@@ -1,0 +1,17 @@
+// Package twe is a Go reproduction of "The Tasks with Effects Model for
+// Safe Concurrency" (Heumann & Adve, PPoPP 2013, with the dissertation's
+// elaborations: the covering-effect analysis, the PACT 2015 tree-based
+// scheduler, and the dynamic-effects extension).
+//
+// The library lives under internal/: rpl and effect implement the
+// hierarchical region/effect algebra; compound and dataflow the
+// covering-effect analysis; lang a small checked task language (TWEL);
+// semantics the executable formal semantics; core the task runtime with
+// naive (single-queue) and tree (scalable) effect-aware schedulers;
+// dyneff the dynamic-effects extension; apps/* the evaluation programs;
+// and bench the figure-regeneration harness. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+//
+// The benchmarks in bench_test.go regenerate every evaluation figure at
+// CI-friendly sizes; cmd/twe-bench prints the full paper-style tables.
+package twe

@@ -1,0 +1,46 @@
+// Actors runs the FourWins game (paper §6.1) in its actor-like module
+// structure: board state, game status and the controller live in separate
+// regions, and every inter-module message is a task with effects on the
+// target module's region — the event-driven concurrency pattern that
+// fork-join models such as DPJ cannot express, while the computer players'
+// move search uses structured parallelism internally.
+//
+// Run: go run ./examples/actors
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twe/internal/apps/fourwins"
+	"twe/internal/core"
+	"twe/internal/tree"
+)
+
+func main() {
+	rt := core.NewRuntime(tree.New(), 4)
+	defer rt.Shutdown()
+
+	// Parallel AI search on an opening position (the benchmarked kernel).
+	var b fourwins.Board
+	b.Drop(3, 1)
+	b.Drop(3, 2)
+	res, err := fourwins.RunTWE(b, 1, 6, func() core.Scheduler { return tree.New() }, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parallel AI (depth 6) suggests column %d (value %d)\n", res.Move, res.Value)
+
+	// Full AI-vs-AI game through the module graph.
+	game := fourwins.NewGame(rt)
+	winner, err := game.Play(5, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch winner {
+	case 0:
+		fmt.Println("game over: draw")
+	default:
+		fmt.Printf("game over: player %d wins\n", winner)
+	}
+}

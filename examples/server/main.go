@@ -1,0 +1,45 @@
+// Server drives the sharded key-value server workload (the paper's second
+// motivating domain, §1.1): client requests arrive as asynchronous tasks —
+// puts and gets with per-shard effects, periodic analytics scans that fan
+// out one spawned reader per shard — and the effect scheduler alone keeps
+// the unsynchronized store consistent.
+//
+// Run: go run ./examples/server
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twe/internal/apps/server"
+	"twe/internal/core"
+	"twe/internal/tree"
+)
+
+func main() {
+	cfg := server.Config{Shards: 8, Keys: 128, Sessions: 8, Requests: 1000, ScanEvery: 40, Seed: 31}
+	reqLog := server.GenerateLog(cfg)
+
+	res, err := server.RunTWE(cfg, reqLog,
+		func() core.Scheduler { return tree.New() }, 4, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	want := server.RunSeq(cfg, reqLog)
+	totalReqs := 0
+	for _, n := range res.SessionReqs {
+		totalReqs += n
+	}
+	fmt.Printf("served %d requests across %d sessions (%d gets, %d scans)\n",
+		totalReqs, cfg.Sessions, len(res.GetResponses), len(res.ScanTotals))
+
+	exact := true
+	for i := range want.SessionReqs {
+		if res.SessionReqs[i] != want.SessionReqs[i] {
+			exact = false
+		}
+	}
+	fmt.Printf("session accounting matches sequential replay exactly: %v\n", exact)
+	fmt.Println("no locks anywhere — per-shard effects serialized the conflicts")
+}

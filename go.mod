@@ -1,0 +1,3 @@
+module twe
+
+go 1.22

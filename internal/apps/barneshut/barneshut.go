@@ -1,0 +1,275 @@
+// Package barneshut is the Barnes-Hut force-computation benchmark of the
+// TWE evaluation (PPoPP 2013 §6; dissertation §6.1): the parallel phase of
+// an n-body simulation. A quadtree over the bodies is built sequentially;
+// the force computation is a parallel loop over bodies, split into one
+// spawned task per worker, each operating on a slice of the body array
+// placed in its own index-parameterized region "Forces:[w]" and reading the
+// shared tree ("reads Tree, Bodies"). The computation is deterministic —
+// the TWE version carries the Deterministic flag, so the runtime rejects
+// any non-fork-join operation inside it (§3.3.5).
+package barneshut
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/pool"
+	"twe/internal/rpl"
+)
+
+// Config sizes the simulation.
+type Config struct {
+	Bodies int
+	Theta  float64 // opening angle criterion
+	Seed   int64
+}
+
+// DefaultConfig approximates the paper's input.
+func DefaultConfig() Config { return Config{Bodies: 20000, Theta: 0.5, Seed: 11} }
+
+// Body is a 2-D point mass.
+type Body struct {
+	X, Y, Mass float64
+	FX, FY     float64
+}
+
+// Generate places bodies deterministically in the unit square.
+func Generate(cfg Config) []Body {
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	bodies := make([]Body, cfg.Bodies)
+	for i := range bodies {
+		bodies[i] = Body{X: rnd.Float64(), Y: rnd.Float64(), Mass: 0.5 + rnd.Float64()}
+	}
+	return bodies
+}
+
+// quad is a quadtree node.
+type quad struct {
+	cx, cy, half float64 // cell center and half-width
+	mass         float64
+	mx, my       float64 // center of mass
+	body         int     // body index if leaf with one body, else -1
+	kids         [4]*quad
+	hasKids      bool
+}
+
+// Tree is the spatial index shared read-only by the force tasks.
+type Tree struct {
+	root  *quad
+	theta float64
+}
+
+// BuildTree constructs the quadtree sequentially.
+func BuildTree(bodies []Body, theta float64) *Tree {
+	root := &quad{cx: 0.5, cy: 0.5, half: 0.5, body: -1}
+	for i := range bodies {
+		insertBody(root, bodies, i)
+	}
+	summarize(root, bodies)
+	return &Tree{root: root, theta: theta}
+}
+
+func insertBody(q *quad, bodies []Body, i int) {
+	if !q.hasKids && q.body < 0 {
+		q.body = i
+		return
+	}
+	if !q.hasKids {
+		// split: push existing body down
+		old := q.body
+		q.body = -1
+		q.hasKids = true
+		insertBody(q.child(bodies[old].X, bodies[old].Y), bodies, old)
+	}
+	insertBody(q.child(bodies[i].X, bodies[i].Y), bodies, i)
+}
+
+func (q *quad) child(x, y float64) *quad {
+	idx := 0
+	cx, cy := q.cx-q.half/2, q.cy-q.half/2
+	if x >= q.cx {
+		idx |= 1
+		cx = q.cx + q.half/2
+	}
+	if y >= q.cy {
+		idx |= 2
+		cy = q.cy + q.half/2
+	}
+	if q.kids[idx] == nil {
+		q.kids[idx] = &quad{cx: cx, cy: cy, half: q.half / 2, body: -1}
+	}
+	return q.kids[idx]
+}
+
+func summarize(q *quad, bodies []Body) {
+	if q == nil {
+		return
+	}
+	if !q.hasKids {
+		if q.body >= 0 {
+			b := bodies[q.body]
+			q.mass, q.mx, q.my = b.Mass, b.X, b.Y
+		}
+		return
+	}
+	for _, k := range q.kids {
+		if k == nil {
+			continue
+		}
+		summarize(k, bodies)
+		q.mass += k.mass
+		q.mx += k.mx * k.mass
+		q.my += k.my * k.mass
+	}
+	if q.mass > 0 {
+		q.mx /= q.mass
+		q.my /= q.mass
+	}
+}
+
+// forceOn accumulates the force on body i from the subtree q.
+func (t *Tree) forceOn(bodies []Body, i int, q *quad) (fx, fy float64) {
+	if q == nil || q.mass == 0 {
+		return 0, 0
+	}
+	b := &bodies[i]
+	dx, dy := q.mx-b.X, q.my-b.Y
+	d2 := dx*dx + dy*dy + 1e-9
+	if !q.hasKids || (q.half*2)*(q.half*2) < t.theta*t.theta*d2 {
+		if !q.hasKids && q.body == i {
+			return 0, 0
+		}
+		d := math.Sqrt(d2)
+		f := b.Mass * q.mass / (d2 * d)
+		return f * dx, f * dy
+	}
+	for _, k := range q.kids {
+		kx, ky := t.forceOn(bodies, i, k)
+		fx += kx
+		fy += ky
+	}
+	return fx, fy
+}
+
+// RunSeq computes all forces sequentially.
+func RunSeq(bodies []Body, t *Tree) {
+	for i := range bodies {
+		bodies[i].FX, bodies[i].FY = t.forceOn(bodies, i, t.root)
+	}
+}
+
+// RunPool is the DPJ-like baseline: a plain parallel loop with no run-time
+// effect scheduling.
+func RunPool(bodies []Body, t *Tree, par int) {
+	p := pool.New(par)
+	var wg sync.WaitGroup
+	per := (len(bodies) + par - 1) / par
+	for w := 0; w < par; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(bodies) {
+			hi = len(bodies)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				bodies[i].FX, bodies[i].FY = t.forceOn(bodies, i, t.root)
+			}
+		})
+	}
+	wg.Wait()
+	p.Shutdown()
+}
+
+// RunTWESubdivide computes the forces with recursive binary subdivision
+// (core.ParallelFor) instead of one flat task per worker. The paper notes
+// DPJ's runtime "can use recursive subdivision to split the iterations of
+// parallel loops" while TWEJava lacked a construct for it (§6.2);
+// ParallelFor supplies that construct in the TWE model.
+func RunTWESubdivide(bodies []Body, t *Tree, mkSched func() core.Scheduler, par int) error {
+	rt := core.NewRuntime(mkSched(), par)
+	defer rt.Shutdown()
+	grain := (len(bodies) + 8*par - 1) / (8 * par)
+	if grain < 1 {
+		grain = 1
+	}
+	task := core.ParallelForTask("forceStepSubdiv",
+		rpl.New(rpl.N("Forces")), 0, len(bodies), grain,
+		effect.NewSet(effect.Read(rpl.New(rpl.N("Tree")))),
+		func(i int) error {
+			bodies[i].FX, bodies[i].FY = t.forceOn(bodies, i, t.root)
+			return nil
+		})
+	_, err := rt.Run(task, nil)
+	return err
+}
+
+// RunTWE computes the forces with one spawned task per worker, the paper's
+// structure ("we create one task per thread using the spawn operation,
+// each operating on a portion of the total set of bodies, which is divided
+// using an index-parameterized array").
+func RunTWE(bodies []Body, t *Tree, mkSched func() core.Scheduler, par int) error {
+	rt := core.NewRuntime(mkSched(), par)
+	defer rt.Shutdown()
+
+	sliceEff := func(w int) effect.Set {
+		return effect.NewSet(
+			effect.Read(rpl.New(rpl.N("Tree"))),
+			effect.WriteEff(rpl.New(rpl.N("Forces"), rpl.Idx(w))))
+	}
+	rootEff := effect.NewSet(
+		effect.Read(rpl.New(rpl.N("Tree"))),
+		effect.WriteEff(rpl.New(rpl.N("Forces"), rpl.Any)))
+
+	per := (len(bodies) + par - 1) / par
+	root := &core.Task{
+		Name:          "forceStep",
+		Eff:           rootEff,
+		Deterministic: true,
+		Body: func(ctx *core.Ctx, _ any) (any, error) {
+			var sfs []*core.SpawnedFuture
+			for w := 0; w < par; w++ {
+				lo := w * per
+				hi := lo + per
+				if hi > len(bodies) {
+					hi = len(bodies)
+				}
+				if lo >= hi {
+					continue
+				}
+				child := &core.Task{
+					Name:          fmt.Sprintf("forces[%d]", w),
+					Eff:           sliceEff(w),
+					Deterministic: true,
+					Body: func(_ *core.Ctx, _ any) (any, error) {
+						for i := lo; i < hi; i++ {
+							bodies[i].FX, bodies[i].FY = t.forceOn(bodies, i, t.root)
+						}
+						return nil, nil
+					},
+				}
+				sf, err := ctx.Spawn(child, nil)
+				if err != nil {
+					return nil, err
+				}
+				sfs = append(sfs, sf)
+			}
+			for _, sf := range sfs {
+				if _, err := ctx.Join(sf); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		},
+	}
+	_, err := rt.Run(root, nil)
+	return err
+}

@@ -1,0 +1,114 @@
+package barneshut
+
+import (
+	"math"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/naive"
+	"twe/internal/tree"
+)
+
+func smallBodies() ([]Body, *Tree) {
+	cfg := Config{Bodies: 500, Theta: 0.5, Seed: 11}
+	b := Generate(cfg)
+	return b, BuildTree(b, cfg.Theta)
+}
+
+func copyBodies(b []Body) []Body { return append([]Body(nil), b...) }
+
+func forcesEqual(a, b []Body, tol float64) bool {
+	for i := range a {
+		if math.Abs(a[i].FX-b[i].FX) > tol || math.Abs(a[i].FY-b[i].FY) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestVariantsAgree(t *testing.T) {
+	orig, tr := smallBodies()
+
+	seq := copyBodies(orig)
+	RunSeq(seq, tr)
+
+	poolB := copyBodies(orig)
+	RunPool(poolB, tr, 4)
+	if !forcesEqual(seq, poolB, 1e-12) {
+		t.Fatal("pool forces differ from sequential")
+	}
+
+	for name, mk := range map[string]func() core.Scheduler{
+		"naive": func() core.Scheduler { return naive.New() },
+		"tree":  func() core.Scheduler { return tree.New() },
+	} {
+		tb := copyBodies(orig)
+		if err := RunTWE(tb, tr, mk, 4); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !forcesEqual(seq, tb, 1e-12) {
+			t.Fatalf("%s: TWE forces differ from sequential", name)
+		}
+
+		sb := copyBodies(orig)
+		if err := RunTWESubdivide(sb, tr, mk, 4); err != nil {
+			t.Fatalf("%s subdivide: %v", name, err)
+		}
+		if !forcesEqual(seq, sb, 1e-12) {
+			t.Fatalf("%s: subdivided TWE forces differ from sequential", name)
+		}
+	}
+}
+
+func TestForcesNonTrivial(t *testing.T) {
+	b, tr := smallBodies()
+	RunSeq(b, tr)
+	nonzero := 0
+	for i := range b {
+		if b[i].FX != 0 || b[i].FY != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(b)/2 {
+		t.Fatalf("only %d of %d bodies have force", nonzero, len(b))
+	}
+}
+
+func TestTreeMassConserved(t *testing.T) {
+	b, _ := smallBodies()
+	tr := BuildTree(b, 0.5)
+	var total float64
+	for i := range b {
+		total += b[i].Mass
+	}
+	if math.Abs(tr.root.mass-total) > 1e-9 {
+		t.Fatalf("tree mass %f != %f", tr.root.mass, total)
+	}
+}
+
+// TestThetaZeroMatchesDirect: with theta=0 the tree never approximates, so
+// forces must equal the O(n²) direct sum.
+func TestThetaZeroMatchesDirect(t *testing.T) {
+	cfg := Config{Bodies: 60, Theta: 0, Seed: 2}
+	b := Generate(cfg)
+	tr := BuildTree(b, 0)
+	bh := copyBodies(b)
+	RunSeq(bh, tr)
+	for i := range b {
+		var fx, fy float64
+		for j := range b {
+			if i == j {
+				continue
+			}
+			dx, dy := b[j].X-b[i].X, b[j].Y-b[i].Y
+			d2 := dx*dx + dy*dy + 1e-9
+			d := math.Sqrt(d2)
+			f := b[i].Mass * b[j].Mass / (d2 * d)
+			fx += f * dx
+			fy += f * dy
+		}
+		if math.Abs(fx-bh[i].FX) > 1e-6 || math.Abs(fy-bh[i].FY) > 1e-6 {
+			t.Fatalf("body %d: direct (%g,%g) vs BH (%g,%g)", i, fx, fy, bh[i].FX, bh[i].FY)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package dyngraph
+
+import (
+	"testing"
+)
+
+func smallCfg() Config { return Config{Nodes: 200, Edges: 260, Seed: 23} }
+
+func validate(t *testing.T, g *Graph) {
+	t.Helper()
+	want := ComponentsOracle(g)
+	for i, r := range g.Labels {
+		if got := r.Peek().(int); got != want[i] {
+			t.Fatalf("node %d: label %d, oracle %d", i, got, want[i])
+		}
+	}
+}
+
+func TestSeqMatchesOracle(t *testing.T) {
+	g := Generate(smallCfg())
+	if _, err := RunSeq(g); err != nil {
+		t.Fatal(err)
+	}
+	validate(t, g)
+}
+
+func TestDynMatchesOracle(t *testing.T) {
+	g := Generate(smallCfg())
+	res, err := RunDyn(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate(t, g)
+	t.Logf("rounds=%d aborts=%d", res.Rounds, res.Aborts)
+}
+
+func TestOracleSelfConsistent(t *testing.T) {
+	g := Generate(smallCfg())
+	comp := ComponentsOracle(g)
+	for u, ns := range g.Adj {
+		for _, v := range ns {
+			if comp[u] != comp[v] {
+				t.Fatalf("edge (%d,%d) crosses components", u, v)
+			}
+		}
+	}
+	// Each component's label is its minimum member.
+	for i, c := range comp {
+		if c > i {
+			t.Fatalf("component label %d exceeds member %d", c, i)
+		}
+	}
+}
+
+func TestIsolatedNodesKeepOwnLabel(t *testing.T) {
+	g := Generate(Config{Nodes: 10, Edges: 0, Seed: 1})
+	if _, err := RunDyn(g, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range g.Labels {
+		if r.Peek().(int) != i {
+			t.Fatalf("isolated node %d relabelled to %d", i, r.Peek())
+		}
+	}
+}

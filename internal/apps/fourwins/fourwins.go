@@ -1,0 +1,398 @@
+// Package fourwins is the FourWins (Connect Four) benchmark of the TWE
+// evaluation (PPoPP 2013 §6.1): an interactive game ported from a JCoBox
+// actor program. The program is structured as modules — game state, board,
+// controller, players — each with its own region, communicating through
+// tasks with read or write effects on the target module's region; this
+// actor-like unstructured concurrency is exactly what fork-join models
+// cannot express. The computer player's AI explores the tree of future
+// moves with recursive structured parallelism, and that parallel negamax
+// search is the portion benchmarked in Figs. 6.2 and 6.4.
+package fourwins
+
+import (
+	"errors"
+	"fmt"
+
+	"sync"
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/pool"
+	"twe/internal/rpl"
+)
+
+// Board dimensions (standard Connect Four).
+const (
+	Cols = 7
+	Rows = 6
+)
+
+// Board is a game position; 0 empty, 1 / 2 player stones.
+type Board struct {
+	cells  [Cols][Rows]int8
+	height [Cols]int
+}
+
+// Drop places a stone for player in column c; reports success.
+func (b *Board) Drop(c int, player int8) bool {
+	if c < 0 || c >= Cols || b.height[c] >= Rows {
+		return false
+	}
+	b.cells[c][b.height[c]] = player
+	b.height[c]++
+	return true
+}
+
+// Undo removes the top stone of column c.
+func (b *Board) Undo(c int) {
+	b.height[c]--
+	b.cells[c][b.height[c]] = 0
+}
+
+// Full reports whether column c cannot take more stones.
+func (b *Board) Full(c int) bool { return b.height[c] >= Rows }
+
+// Winner returns 1 or 2 if that player has four in a row, else 0.
+func (b *Board) Winner() int8 {
+	dirs := [4][2]int{{1, 0}, {0, 1}, {1, 1}, {1, -1}}
+	for c := 0; c < Cols; c++ {
+		for r := 0; r < b.height[c]; r++ {
+			p := b.cells[c][r]
+			if p == 0 {
+				continue
+			}
+			for _, d := range dirs {
+				n := 1
+				for k := 1; k < 4; k++ {
+					cc, rr := c+d[0]*k, r+d[1]*k
+					if cc < 0 || cc >= Cols || rr < 0 || rr >= Rows || b.cells[cc][rr] != p {
+						break
+					}
+					n++
+				}
+				if n >= 4 {
+					return p
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// score evaluates the position for the player to move (simple material/
+// center heuristic; deterministic).
+func (b *Board) score(player int8) int {
+	if w := b.Winner(); w == player {
+		return 10000
+	} else if w != 0 {
+		return -10000
+	}
+	s := 0
+	for c := 0; c < Cols; c++ {
+		center := 3 - abs(3-c)
+		for r := 0; r < b.height[c]; r++ {
+			if b.cells[c][r] == player {
+				s += center
+			} else {
+				s -= center
+			}
+		}
+	}
+	return s
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// negamax explores to the given depth, sequential.
+func negamax(b *Board, player int8, depth int) int {
+	if w := b.Winner(); w != 0 || depth == 0 {
+		return b.score(player)
+	}
+	best := -1 << 30
+	moved := false
+	for c := 0; c < Cols; c++ {
+		if b.Full(c) {
+			continue
+		}
+		moved = true
+		b.Drop(c, player)
+		v := -negamax(b, 3-player, depth-1)
+		b.Undo(c)
+		if v > best {
+			best = v
+		}
+	}
+	if !moved {
+		return 0 // draw
+	}
+	return best
+}
+
+// AIResult is the outcome of a search: the best column and its value.
+type AIResult struct {
+	Move  int
+	Value int
+}
+
+// RunSeq computes the best move sequentially.
+func RunSeq(b Board, player int8, depth int) AIResult {
+	best := AIResult{Move: -1, Value: -1 << 30}
+	for c := 0; c < Cols; c++ {
+		if b.Full(c) {
+			continue
+		}
+		nb := b
+		nb.Drop(c, player)
+		v := -negamax(&nb, 3-player, depth-1)
+		if v > best.Value {
+			best = AIResult{Move: c, Value: v}
+		}
+	}
+	return best
+}
+
+// RunPool parallelizes the top ply on the raw pool (unsafe baseline).
+func RunPool(b Board, player int8, depth, par int) AIResult {
+	p := pool.New(par)
+	vals := make([]int, Cols)
+	ok := make([]bool, Cols)
+	var wg sync.WaitGroup
+	for c := 0; c < Cols; c++ {
+		if b.Full(c) {
+			continue
+		}
+		c := c
+		ok[c] = true
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			nb := b
+			nb.Drop(c, player)
+			vals[c] = -negamax(&nb, 3-player, depth-1)
+		})
+	}
+	wg.Wait()
+	p.Shutdown()
+	best := AIResult{Move: -1, Value: -1 << 30}
+	for c := 0; c < Cols; c++ {
+		if ok[c] && vals[c] > best.Value {
+			best = AIResult{Move: c, Value: vals[c]}
+		}
+	}
+	return best
+}
+
+// RunTWE runs the AI search with tasks with effects: one spawned child per
+// top-level move, each writing its value into its own region "AI:[c]".
+// Two plies are expanded in parallel (top-level moves spawn their replies)
+// as in the recursive parallel computation the paper describes.
+func RunTWE(b Board, player int8, depth int, mkSched func() core.Scheduler, par int) (AIResult, error) {
+	rt := core.NewRuntime(mkSched(), par)
+	defer rt.Shutdown()
+	vals := make([]int, Cols)
+	ok := make([]bool, Cols)
+
+	moveEff := func(c int) effect.Set {
+		return effect.NewSet(
+			effect.Read(rpl.New(rpl.N("Game"))),
+			effect.WriteEff(rpl.New(rpl.N("AI"), rpl.Idx(c), rpl.Any)))
+	}
+	replyEff := func(c, c2 int) effect.Set {
+		return effect.NewSet(
+			effect.Read(rpl.New(rpl.N("Game"))),
+			effect.WriteEff(rpl.New(rpl.N("AI"), rpl.Idx(c), rpl.Idx(c2))))
+	}
+
+	root := &core.Task{
+		Name:          "aiSearch",
+		Eff:           effect.MustParse("reads Game writes AI:*"),
+		Deterministic: true,
+		Body: func(ctx *core.Ctx, _ any) (any, error) {
+			var sfs []*core.SpawnedFuture
+			for c := 0; c < Cols; c++ {
+				if b.Full(c) {
+					continue
+				}
+				c := c
+				ok[c] = true
+				moveTask := &core.Task{
+					Name:          fmt.Sprintf("move[%d]", c),
+					Eff:           moveEff(c),
+					Deterministic: true,
+					Body: func(ctx *core.Ctx, _ any) (any, error) {
+						nb := b
+						nb.Drop(c, player)
+						opp := int8(3 - player)
+						if w := nb.Winner(); w != 0 || depth <= 1 {
+							vals[c] = -nb.score(opp)
+							return nil, nil
+						}
+						// Second ply in parallel: one child per reply.
+						replyVals := make([]int, Cols)
+						replyOK := make([]bool, Cols)
+						var rsfs []*core.SpawnedFuture
+						for c2 := 0; c2 < Cols; c2++ {
+							if nb.Full(c2) {
+								continue
+							}
+							c2 := c2
+							replyOK[c2] = true
+							reply := &core.Task{
+								Name:          fmt.Sprintf("reply[%d][%d]", c, c2),
+								Eff:           replyEff(c, c2),
+								Deterministic: true,
+								Body: func(_ *core.Ctx, _ any) (any, error) {
+									rb := nb
+									rb.Drop(c2, opp)
+									replyVals[c2] = -negamax(&rb, player, depth-2)
+									return nil, nil
+								},
+							}
+							sf, err := ctx.Spawn(reply, nil)
+							if err != nil {
+								return nil, err
+							}
+							rsfs = append(rsfs, sf)
+						}
+						for _, sf := range rsfs {
+							if _, err := ctx.Join(sf); err != nil {
+								return nil, err
+							}
+						}
+						best := -1 << 30
+						moved := false
+						for c2 := 0; c2 < Cols; c2++ {
+							if replyOK[c2] {
+								moved = true
+								if replyVals[c2] > best {
+									best = replyVals[c2]
+								}
+							}
+						}
+						if !moved {
+							best = 0
+						}
+						vals[c] = -best
+						return nil, nil
+					},
+				}
+				sf, err := ctx.Spawn(moveTask, nil)
+				if err != nil {
+					return nil, err
+				}
+				sfs = append(sfs, sf)
+			}
+			for _, sf := range sfs {
+				if _, err := ctx.Join(sf); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		},
+	}
+	if _, err := rt.Run(root, nil); err != nil {
+		return AIResult{}, err
+	}
+	best := AIResult{Move: -1, Value: -1 << 30}
+	for c := 0; c < Cols; c++ {
+		if ok[c] && vals[c] > best.Value {
+			best = AIResult{Move: c, Value: vals[c]}
+		}
+	}
+	return best, nil
+}
+
+// --- Actor-style game modules (expressiveness, §6.1) ----------------------
+
+// Game wires the FourWins modules together over a TWE runtime: board state
+// and game status live in distinct regions; every message between modules
+// is a task with effects on the target module's region. Play drives a full
+// AI-vs-AI game through those tasks — the event-driven concurrency pattern
+// that DPJ-style fork-join models cannot express.
+type Game struct {
+	rt    *core.Runtime
+	board Board
+	turn  int8
+	over  bool
+
+	readBoard *core.Task
+	applyMove *core.Task
+	status    *core.Task
+}
+
+// ErrGameOver is returned by moves after the game finished.
+var ErrGameOver = errors.New("fourwins: game is over")
+
+// NewGame builds the module graph on the runtime.
+func NewGame(rt *core.Runtime) *Game {
+	g := &Game{rt: rt, turn: 1}
+	g.readBoard = &core.Task{
+		Name: "Board.read",
+		Eff:  effect.MustParse("reads BoardState"),
+		Body: func(_ *core.Ctx, _ any) (any, error) { return g.board, nil },
+	}
+	g.applyMove = &core.Task{
+		Name: "Controller.apply",
+		Eff:  effect.MustParse("writes BoardState, GameState"),
+		Body: func(_ *core.Ctx, arg any) (any, error) {
+			if g.over {
+				return nil, ErrGameOver
+			}
+			col := arg.(int)
+			if !g.board.Drop(col, g.turn) {
+				return false, nil
+			}
+			if g.board.Winner() != 0 {
+				g.over = true
+			}
+			g.turn = 3 - g.turn
+			return true, nil
+		},
+	}
+	g.status = &core.Task{
+		Name: "Game.status",
+		Eff:  effect.MustParse("reads BoardState, GameState"),
+		Body: func(_ *core.Ctx, _ any) (any, error) {
+			return struct {
+				Winner int8
+				Over   bool
+			}{g.board.Winner(), g.over}, nil
+		},
+	}
+	return g
+}
+
+// Play runs an AI-vs-AI game with the given search depth and returns the
+// winner (0 for a draw).
+func (g *Game) Play(depth int, maxMoves int) (int8, error) {
+	for move := 0; move < maxMoves; move++ {
+		bv, err := g.rt.Execute(g.readBoard, nil)
+		if err != nil {
+			return 0, err
+		}
+		board := bv.(Board)
+		sv, err := g.rt.Execute(g.status, nil)
+		if err != nil {
+			return 0, err
+		}
+		st := sv.(struct {
+			Winner int8
+			Over   bool
+		})
+		if st.Over {
+			return st.Winner, nil
+		}
+		res := RunSeq(board, g.turn, depth)
+		if res.Move < 0 {
+			return 0, nil // draw: board full
+		}
+		if _, err := g.rt.Execute(g.applyMove, res.Move); err != nil {
+			return 0, err
+		}
+	}
+	return 0, nil
+}

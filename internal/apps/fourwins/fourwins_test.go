@@ -1,0 +1,153 @@
+package fourwins
+
+import (
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/naive"
+	"twe/internal/tree"
+)
+
+func midgameBoard() Board {
+	var b Board
+	moves := []struct {
+		col int
+		p   int8
+	}{{3, 1}, {3, 2}, {2, 1}, {4, 2}, {2, 1}, {5, 2}}
+	for _, m := range moves {
+		b.Drop(m.col, m.p)
+	}
+	return b
+}
+
+func TestWinnerDetection(t *testing.T) {
+	var b Board
+	for i := 0; i < 4; i++ {
+		b.Drop(i, 1)
+	}
+	if b.Winner() != 1 {
+		t.Fatal("horizontal win not detected")
+	}
+	var v Board
+	for i := 0; i < 4; i++ {
+		v.Drop(2, 2)
+	}
+	if v.Winner() != 2 {
+		t.Fatal("vertical win not detected")
+	}
+	var d Board
+	// Build a / diagonal for player 1.
+	d.Drop(0, 1)
+	d.Drop(1, 2)
+	d.Drop(1, 1)
+	d.Drop(2, 2)
+	d.Drop(2, 2)
+	d.Drop(2, 1)
+	d.Drop(3, 2)
+	d.Drop(3, 2)
+	d.Drop(3, 2)
+	d.Drop(3, 1)
+	if d.Winner() != 1 {
+		t.Fatal("diagonal win not detected")
+	}
+}
+
+func TestDropUndo(t *testing.T) {
+	var b Board
+	if !b.Drop(0, 1) {
+		t.Fatal("drop failed")
+	}
+	b.Undo(0)
+	if b.height[0] != 0 || b.cells[0][0] != 0 {
+		t.Fatal("undo did not restore")
+	}
+	for i := 0; i < Rows; i++ {
+		b.Drop(0, 1)
+	}
+	if b.Drop(0, 2) {
+		t.Fatal("drop into full column succeeded")
+	}
+	if b.Drop(-1, 1) || b.Drop(Cols, 1) {
+		t.Fatal("out-of-range drop succeeded")
+	}
+}
+
+func TestAIVariantsAgree(t *testing.T) {
+	b := midgameBoard()
+	const depth = 5
+	want := RunSeq(b, 1, depth)
+	if got := RunPool(b, 1, depth, 4); got != want {
+		t.Fatalf("pool AI = %+v, want %+v", got, want)
+	}
+	for name, mk := range map[string]func() core.Scheduler{
+		"naive": func() core.Scheduler { return naive.New() },
+		"tree":  func() core.Scheduler { return tree.New() },
+	} {
+		got, err := RunTWE(b, 1, depth, mk, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s AI = %+v, want %+v", name, got, want)
+		}
+	}
+}
+
+func TestAIBlocksImmediateWin(t *testing.T) {
+	// Player 2 threatens a vertical four in column 0; player 1 must block
+	// (or win elsewhere — with this empty board, blocking is forced).
+	var b Board
+	b.Drop(0, 2)
+	b.Drop(6, 1)
+	b.Drop(0, 2)
+	b.Drop(6, 1)
+	b.Drop(0, 2)
+	res := RunSeq(b, 1, 4)
+	if res.Move != 0 {
+		t.Fatalf("AI failed to block: played %d", res.Move)
+	}
+}
+
+func TestActorGamePlays(t *testing.T) {
+	rt := core.NewRuntime(tree.New(), 4)
+	defer rt.Shutdown()
+	g := NewGame(rt)
+	winner, err := g.Play(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner != 0 && winner != 1 && winner != 2 {
+		t.Fatalf("bad winner %d", winner)
+	}
+	// With identical deterministic AIs the game must be reproducible.
+	rt2 := core.NewRuntime(tree.New(), 4)
+	defer rt2.Shutdown()
+	winner2, err := NewGame(rt2).Play(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner2 != winner {
+		t.Fatalf("nondeterministic game: %d vs %d", winner, winner2)
+	}
+}
+
+func TestGameOverRejectsMoves(t *testing.T) {
+	rt := core.NewRuntime(tree.New(), 2)
+	defer rt.Shutdown()
+	g := NewGame(rt)
+	// Force a quick win for player 1.
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Execute(g.applyMove, 0); err != nil { // p1
+			t.Fatal(err)
+		}
+		if _, err := rt.Execute(g.applyMove, 1); err != nil { // p2
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Execute(g.applyMove, 0); err != nil { // p1 wins
+		t.Fatal(err)
+	}
+	if _, err := rt.Execute(g.applyMove, 1); err != ErrGameOver {
+		t.Fatalf("move after game over: err=%v", err)
+	}
+}

@@ -1,0 +1,379 @@
+// Package imageedit is the ImageEdit benchmark of the TWE evaluation
+// (PPoPP 2013 §6.1): an image-editing application written from scratch in
+// TWEJava. Each open image has its own region; the pixel data is broken
+// into blocks of adjacent rows totalling about 100k pixels, with each
+// block's data in a separate region using index-parameterized arrays.
+// Concurrency arises both from concurrent operations on different images
+// (event-driven, via executeLater) and from block-level parallelism within
+// one filter application (structured, via spawn/join). Filters include
+// Gaussian blur, sharpening (unsharp mask), Canny-style edge detection
+// (whose final cross-block step is the only sequential part), darkening /
+// brightening, and grayscale conversion.
+package imageedit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sync"
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/pool"
+	"twe/internal/rpl"
+)
+
+// Image is a packed-RGB image (0xRRGGBB per pixel), divided into row
+// blocks for parallelism.
+type Image struct {
+	W, H      int
+	BlockRows int
+	Pix       []int32
+}
+
+// DefaultBlockPixels matches the paper's default block size ("a group of
+// adjacent lines totaling about 100,000 pixels").
+const DefaultBlockPixels = 100000
+
+// New builds a deterministic random image.
+func New(w, h int, seed int64) *Image {
+	rnd := rand.New(rand.NewSource(seed))
+	img := &Image{W: w, H: h, Pix: make([]int32, w*h)}
+	for i := range img.Pix {
+		img.Pix[i] = int32(rnd.Intn(1 << 24))
+	}
+	img.BlockRows = (DefaultBlockPixels + w - 1) / w
+	if img.BlockRows < 1 {
+		img.BlockRows = 1
+	}
+	return img
+}
+
+// Clone copies the image.
+func (im *Image) Clone() *Image {
+	cp := *im
+	cp.Pix = append([]int32(nil), im.Pix...)
+	return &cp
+}
+
+// Blocks returns the number of row blocks.
+func (im *Image) Blocks() int { return (im.H + im.BlockRows - 1) / im.BlockRows }
+
+// blockRange returns the [lo, hi) row range of block b.
+func (im *Image) blockRange(b int) (int, int) {
+	lo := b * im.BlockRows
+	hi := lo + im.BlockRows
+	if hi > im.H {
+		hi = im.H
+	}
+	return lo, hi
+}
+
+func (im *Image) at(x, y int) int32 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+func rgb(p int32) (int32, int32, int32) { return (p >> 16) & 0xff, (p >> 8) & 0xff, p & 0xff }
+
+func pack(r, g, b int32) int32 {
+	return clamp8(r)<<16 | clamp8(g)<<8 | clamp8(b)
+}
+
+func clamp8(v int32) int32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+func luma(p int32) int32 {
+	r, g, b := rgb(p)
+	return (299*r + 587*g + 114*b) / 1000
+}
+
+// Filter computes a destination pixel from the source image. Filters must
+// be pure functions of the source so block tasks can share it read-only.
+type Filter interface {
+	Name() string
+	Apply(src *Image, x, y int) int32
+	// Finalize optionally post-processes the destination sequentially
+	// (e.g. the edge detector's cross-block step); may be nil-like no-op.
+	Finalize(src, dst *Image)
+}
+
+type baseFilter struct{ name string }
+
+func (f baseFilter) Name() string         { return f.name }
+func (f baseFilter) Finalize(_, _ *Image) {}
+
+// Brighten adds Delta to every channel (negative = darken).
+type Brighten struct {
+	baseFilter
+	Delta int32
+}
+
+// NewBrighten returns the brighten/darken filter.
+func NewBrighten(delta int32) *Brighten {
+	return &Brighten{baseFilter{fmt.Sprintf("brighten(%+d)", delta)}, delta}
+}
+
+// Apply implements Filter.
+func (f *Brighten) Apply(src *Image, x, y int) int32 {
+	r, g, b := rgb(src.at(x, y))
+	return pack(r+f.Delta, g+f.Delta, b+f.Delta)
+}
+
+// Grayscale converts to luma.
+type Grayscale struct{ baseFilter }
+
+// NewGrayscale returns the grayscale filter.
+func NewGrayscale() *Grayscale { return &Grayscale{baseFilter{"grayscale"}} }
+
+// Apply implements Filter.
+func (f *Grayscale) Apply(src *Image, x, y int) int32 {
+	l := luma(src.at(x, y))
+	return pack(l, l, l)
+}
+
+// convolve3 applies a 3×3 kernel with the given divisor.
+func convolve3(src *Image, x, y int, k *[9]int32, div int32) int32 {
+	var r, g, b int32
+	i := 0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			pr, pg, pb := rgb(src.at(x+dx, y+dy))
+			w := k[i]
+			r += pr * w
+			g += pg * w
+			b += pb * w
+			i++
+		}
+	}
+	return pack(r/div, g/div, b/div)
+}
+
+// Blur is a Gaussian-ish 3×3 smoothing kernel.
+type Blur struct{ baseFilter }
+
+// NewBlur returns the blur filter.
+func NewBlur() *Blur { return &Blur{baseFilter{"blur"}} }
+
+var blurKernel = [9]int32{1, 2, 1, 2, 4, 2, 1, 2, 1}
+
+// Apply implements Filter.
+func (f *Blur) Apply(src *Image, x, y int) int32 {
+	return convolve3(src, x, y, &blurKernel, 16)
+}
+
+// Sharpen is an unsharp-mask kernel.
+type Sharpen struct{ baseFilter }
+
+// NewSharpen returns the sharpen filter.
+func NewSharpen() *Sharpen { return &Sharpen{baseFilter{"sharpen"}} }
+
+var sharpenKernel = [9]int32{0, -1, 0, -1, 8, -1, 0, -1, 0}
+
+// Apply implements Filter.
+func (f *Sharpen) Apply(src *Image, x, y int) int32 {
+	return convolve3(src, x, y, &sharpenKernel, 4)
+}
+
+// EdgeDetect is a Sobel-magnitude edge detector with a sequential
+// finalization pass that marks edges crossing block boundaries, mirroring
+// the paper's Canny-based filter whose "only non-parallel step is a short
+// final step to identify edges in the input image that cross between two
+// different blocks".
+type EdgeDetect struct {
+	baseFilter
+	Threshold int32
+}
+
+// NewEdgeDetect returns the edge-detection filter.
+func NewEdgeDetect(threshold int32) *EdgeDetect {
+	return &EdgeDetect{baseFilter{"edges"}, threshold}
+}
+
+// Apply implements Filter.
+func (f *EdgeDetect) Apply(src *Image, x, y int) int32 {
+	gx := -luma(src.at(x-1, y-1)) - 2*luma(src.at(x-1, y)) - luma(src.at(x-1, y+1)) +
+		luma(src.at(x+1, y-1)) + 2*luma(src.at(x+1, y)) + luma(src.at(x+1, y+1))
+	gy := -luma(src.at(x-1, y-1)) - 2*luma(src.at(x, y-1)) - luma(src.at(x+1, y-1)) +
+		luma(src.at(x-1, y+1)) + 2*luma(src.at(x, y+1)) + luma(src.at(x+1, y+1))
+	mag := gx
+	if mag < 0 {
+		mag = -mag
+	}
+	if gy < 0 {
+		gy = -gy
+	}
+	mag += gy
+	if mag >= f.Threshold {
+		return 0xffffff
+	}
+	return 0
+}
+
+// Finalize links strong edges across block-boundary rows: a boundary pixel
+// adjacent (vertically) to an edge pixel in the neighbouring block is
+// promoted if its source gradient was at least half the threshold.
+func (f *EdgeDetect) Finalize(src, dst *Image) {
+	for b := 1; b < dst.Blocks(); b++ {
+		lo, _ := dst.blockRange(b)
+		for _, y := range []int{lo - 1, lo} {
+			if y <= 0 || y >= dst.H-1 {
+				continue
+			}
+			for x := 0; x < dst.W; x++ {
+				if dst.Pix[y*dst.W+x] != 0 {
+					continue
+				}
+				if dst.Pix[(y-1)*dst.W+x] == 0 && dst.Pix[(y+1)*dst.W+x] == 0 {
+					continue
+				}
+				half := f.Threshold / 2
+				weak := &EdgeDetect{Threshold: half}
+				if weak.Apply(src, x, y) != 0 {
+					dst.Pix[y*dst.W+x] = 0xffffff
+				}
+			}
+		}
+	}
+}
+
+// Filters returns the full filter set the application exposes.
+func Filters() []Filter {
+	return []Filter{NewBlur(), NewSharpen(), NewEdgeDetect(200), NewBrighten(20), NewBrighten(-20), NewGrayscale()}
+}
+
+// ApplySeq applies the filter sequentially, returning a new image.
+func ApplySeq(src *Image, f Filter) *Image {
+	dst := src.Clone()
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			dst.Pix[y*src.W+x] = f.Apply(src, x, y)
+		}
+	}
+	f.Finalize(src, dst)
+	return dst
+}
+
+// ApplyPool applies the filter with a plain parallel loop over blocks (the
+// unsafe baseline used for single-thread comparisons).
+func ApplyPool(src *Image, f Filter, par int) *Image {
+	dst := src.Clone()
+	p := pool.New(par)
+	var wg sync.WaitGroup
+	for b := 0; b < src.Blocks(); b++ {
+		lo, hi := src.blockRange(b)
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			for y := lo; y < hi; y++ {
+				for x := 0; x < src.W; x++ {
+					dst.Pix[y*src.W+x] = f.Apply(src, x, y)
+				}
+			}
+		})
+	}
+	wg.Wait()
+	p.Shutdown()
+	f.Finalize(src, dst)
+	return dst
+}
+
+// Editor is the TWE application: multiple open images, each in its own
+// region "Image:[id]:*", with filter applications launched as asynchronous
+// tasks in response to (simulated) UI events, and block-level spawn/join
+// parallelism inside each application — the combination of unstructured
+// and structured concurrency the paper highlights.
+type Editor struct {
+	rt *core.Runtime
+	mu sync.Mutex // guards the id table only (the UI thread's own state)
+	im map[int]*Image
+}
+
+// NewEditor creates an editor on the runtime.
+func NewEditor(rt *core.Runtime) *Editor {
+	return &Editor{rt: rt, im: make(map[int]*Image)}
+}
+
+// Open registers an image under an id.
+func (ed *Editor) Open(id int, img *Image) {
+	ed.mu.Lock()
+	ed.im[id] = img
+	ed.mu.Unlock()
+}
+
+// Get returns the current image for id.
+func (ed *Editor) Get(id int) *Image {
+	ed.mu.Lock()
+	defer ed.mu.Unlock()
+	return ed.im[id]
+}
+
+// imageRegion is Root:Image:[id].
+func imageRegion(id int) rpl.RPL { return rpl.New(rpl.N("Image"), rpl.Idx(id)) }
+
+// ApplyAsync launches a filter application on image id, like a menu action
+// in the GUI: an executeLater task with effect "writes Image:[id]:*" that
+// spawns one child per block with effects "reads Image:[id]:Src, writes
+// Image:[id]:Dst:[b]". The returned future completes when the image has
+// been replaced.
+func (ed *Editor) ApplyAsync(id int, f Filter) *core.Future {
+	coord := &core.Task{
+		Name: "applyFilter:" + f.Name(),
+		Eff:  effect.NewSet(effect.WriteEff(imageRegion(id).Append(rpl.Any))),
+		Body: func(ctx *core.Ctx, _ any) (any, error) {
+			src := ed.Get(id)
+			dst := src.Clone()
+			srcEff := effect.Read(imageRegion(id).Append(rpl.N("Src")))
+			var sfs []*core.SpawnedFuture
+			for b := 0; b < src.Blocks(); b++ {
+				lo, hi := src.blockRange(b)
+				blockTask := &core.Task{
+					Name: fmt.Sprintf("%s[img%d][blk%d]", f.Name(), id, b),
+					Eff: effect.NewSet(srcEff,
+						effect.WriteEff(imageRegion(id).Append(rpl.N("Dst"), rpl.Idx(b)))),
+					Body: func(_ *core.Ctx, _ any) (any, error) {
+						for y := lo; y < hi; y++ {
+							for x := 0; x < src.W; x++ {
+								dst.Pix[y*src.W+x] = f.Apply(src, x, y)
+							}
+						}
+						return nil, nil
+					},
+				}
+				sf, err := ctx.Spawn(blockTask, nil)
+				if err != nil {
+					return nil, err
+				}
+				sfs = append(sfs, sf)
+			}
+			for _, sf := range sfs {
+				if _, err := ctx.Join(sf); err != nil {
+					return nil, err
+				}
+			}
+			f.Finalize(src, dst)
+			ed.mu.Lock()
+			ed.im[id] = dst
+			ed.mu.Unlock()
+			return dst, nil
+		},
+	}
+	return ed.rt.ExecuteLater(coord, nil)
+}

@@ -1,0 +1,152 @@
+package imageedit
+
+import (
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/isolcheck"
+	"twe/internal/naive"
+	"twe/internal/tree"
+)
+
+func smallImage(seed int64) *Image {
+	img := New(64, 48, seed)
+	img.BlockRows = 8 // several blocks even at small size
+	return img
+}
+
+func imagesEqual(a, b *Image) bool {
+	if a.W != b.W || a.H != b.H {
+		return false
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFiltersSeqVsPool(t *testing.T) {
+	src := smallImage(1)
+	for _, f := range Filters() {
+		seq := ApplySeq(src, f)
+		par := ApplyPool(src, f, 4)
+		if !imagesEqual(seq, par) {
+			t.Fatalf("%s: pool result differs from sequential", f.Name())
+		}
+	}
+}
+
+func TestFiltersTWE(t *testing.T) {
+	src := smallImage(2)
+	for name, mk := range map[string]func() core.Scheduler{
+		"naive": func() core.Scheduler { return naive.New() },
+		"tree":  func() core.Scheduler { return tree.New() },
+	} {
+		for _, f := range Filters() {
+			chk := isolcheck.New()
+			rt := core.NewRuntime(mk(), 4, core.WithMonitor(chk))
+			ed := NewEditor(rt)
+			ed.Open(1, src.Clone())
+			fut := ed.ApplyAsync(1, f)
+			if _, err := rt.GetValue(fut); err != nil {
+				t.Fatalf("%s/%s: %v", name, f.Name(), err)
+			}
+			want := ApplySeq(src, f)
+			if !imagesEqual(want, ed.Get(1)) {
+				t.Fatalf("%s/%s: TWE result differs from sequential", name, f.Name())
+			}
+			rt.Shutdown()
+			for _, v := range chk.Violations() {
+				t.Error(v)
+			}
+		}
+	}
+}
+
+// TestConcurrentImagesIndependent: operations on different images must not
+// serialize against each other, and interleaved async filters on the same
+// image must apply in submission order (their effects conflict).
+func TestConcurrentImagesAndOrdering(t *testing.T) {
+	rt := core.NewRuntime(tree.New(), 4)
+	defer rt.Shutdown()
+	ed := NewEditor(rt)
+	imgA := smallImage(3)
+	imgB := smallImage(4)
+	ed.Open(1, imgA.Clone())
+	ed.Open(2, imgB.Clone())
+
+	fb := NewBrighten(10)
+	fg := NewGrayscale()
+	f1 := ed.ApplyAsync(1, fb)
+	f2 := ed.ApplyAsync(2, fg)
+	f3 := ed.ApplyAsync(1, fg) // queued behind f1 on image 1
+	for _, f := range []*core.Future{f1, f2, f3} {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantA := ApplySeq(ApplySeq(imgA, fb), fg)
+	wantB := ApplySeq(imgB, fg)
+	if !imagesEqual(wantA, ed.Get(1)) {
+		t.Fatal("image 1: async filters did not compose in order")
+	}
+	if !imagesEqual(wantB, ed.Get(2)) {
+		t.Fatal("image 2: wrong result")
+	}
+}
+
+func TestEdgeDetectFinalizePromotes(t *testing.T) {
+	// A vertical gradient bar crossing a block boundary should stay
+	// connected after finalization.
+	img := New(16, 16, 5)
+	img.BlockRows = 4
+	for i := range img.Pix {
+		img.Pix[i] = 0
+	}
+	for y := 0; y < 16; y++ {
+		for x := 8; x < 16; x++ {
+			img.Pix[y*16+x] = 0xffffff
+		}
+	}
+	f := NewEdgeDetect(200)
+	out := ApplySeq(img, f)
+	col := 0
+	for y := 1; y < 15; y++ {
+		if out.Pix[y*16+7] != 0 || out.Pix[y*16+8] != 0 {
+			col++
+		}
+	}
+	if col < 10 {
+		t.Fatalf("edge bar broken: only %d rows marked", col)
+	}
+}
+
+func TestClampAndPack(t *testing.T) {
+	if pack(300, -5, 128) != int32(255)<<16|128 {
+		t.Fatalf("pack clamp wrong: %x", pack(300, -5, 128))
+	}
+	if luma(0xffffff) != 255 {
+		t.Fatalf("luma(white) = %d", luma(0xffffff))
+	}
+	if luma(0) != 0 {
+		t.Fatalf("luma(black) = %d", luma(0))
+	}
+}
+
+func TestBlockGeometry(t *testing.T) {
+	img := New(100, 57, 1)
+	img.BlockRows = 10
+	if img.Blocks() != 6 {
+		t.Fatalf("blocks = %d", img.Blocks())
+	}
+	lo, hi := img.blockRange(5)
+	if lo != 50 || hi != 57 {
+		t.Fatalf("last block = [%d,%d)", lo, hi)
+	}
+	big := New(500, 300, 1)
+	if big.BlockRows != (DefaultBlockPixels+499)/500 {
+		t.Fatalf("default block rows = %d", big.BlockRows)
+	}
+}

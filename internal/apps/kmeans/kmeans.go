@@ -1,0 +1,256 @@
+// Package kmeans is the K-Means clustering benchmark of the TWE evaluation
+// (PPoPP 2013 §6 / dissertation §6.2–6.3; running example of Fig. 5.1–5.2).
+// Originally adapted from the STAMP suite, the computation is a parallel
+// loop over points with a fine-grain reduction per point: each WorkTask
+// (effect "reads Root") finds the nearest center for its point and then
+// runs an accumulate task with effect "reads Root writes [clusterIdx]" to
+// fold the point's features into that cluster's accumulator — the
+// accumulate task plays the role of an atomic block, and lowering K packs
+// more reductions onto the same cluster regions, raising contention
+// (Fig. 6.3 sweeps K = 25000, 5000, 1000).
+//
+// Three variants are provided:
+//
+//   - RunTWE: tasks with effects under a caller-supplied scheduler.
+//   - RunSync: the "k-means Sync" baseline — same work with per-cluster
+//     mutexes and a plain parallel loop; no safety guarantees.
+//   - RunSeq: sequential reference.
+package kmeans
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/pool"
+	"twe/internal/rpl"
+)
+
+// Config sizes the workload.
+type Config struct {
+	Points     int // number of points (paper: 50_000)
+	Attributes int // features per point
+	K          int // clusters (paper: 25000 / 5000 / 1000)
+	Iters      int // clustering iterations
+	Seed       int64
+	// ChunkSize groups points per WorkTask to keep task counts sane for
+	// small runs; the paper uses one task per point (ChunkSize = 1).
+	ChunkSize int
+}
+
+// DefaultConfig mirrors the paper's input scaled by the given factor.
+func DefaultConfig(k int) Config {
+	return Config{Points: 50000, Attributes: 8, K: k, Iters: 3, Seed: 1, ChunkSize: 1}
+}
+
+func (c Config) chunk() int {
+	if c.ChunkSize <= 0 {
+		return 1
+	}
+	return c.ChunkSize
+}
+
+// Input holds the generated points and initial centers.
+type Input struct {
+	Cfg     Config
+	Attribs [][]float64 // Points × Attributes
+	Initial [][]float64 // K × Attributes
+}
+
+// Generate builds a deterministic synthetic input.
+func Generate(cfg Config) *Input {
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	in := &Input{Cfg: cfg}
+	in.Attribs = make([][]float64, cfg.Points)
+	for i := range in.Attribs {
+		row := make([]float64, cfg.Attributes)
+		for j := range row {
+			row[j] = rnd.Float64()
+		}
+		in.Attribs[i] = row
+	}
+	in.Initial = make([][]float64, cfg.K)
+	for c := range in.Initial {
+		in.Initial[c] = append([]float64(nil), in.Attribs[c%cfg.Points]...)
+	}
+	return in
+}
+
+// Result carries the final centers and membership counts.
+type Result struct {
+	Centers [][]float64
+	Counts  []int
+}
+
+type state struct {
+	in      *Input
+	centers [][]float64 // current centers (read-only within an iteration)
+	sums    [][]float64 // accumulators, indexed by cluster
+	counts  []int
+}
+
+func newState(in *Input) *state {
+	s := &state{in: in}
+	s.centers = make([][]float64, in.Cfg.K)
+	for c := range s.centers {
+		s.centers[c] = append([]float64(nil), in.Initial[c]...)
+	}
+	return s
+}
+
+func (s *state) resetAccum() {
+	s.sums = make([][]float64, s.in.Cfg.K)
+	for c := range s.sums {
+		s.sums[c] = make([]float64, s.in.Cfg.Attributes)
+	}
+	s.counts = make([]int, s.in.Cfg.K)
+}
+
+// nearest computes the index of the closest center to point i.
+func (s *state) nearest(i int) int {
+	best, bestD := 0, -1.0
+	p := s.in.Attribs[i]
+	for c := range s.centers {
+		d := 0.0
+		for j, v := range s.centers[c] {
+			diff := p[j] - v
+			d += diff * diff
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func (s *state) accumulate(cluster, point int) {
+	for j, v := range s.in.Attribs[point] {
+		s.sums[cluster][j] += v
+	}
+	s.counts[cluster]++
+}
+
+func (s *state) updateCenters() {
+	for c := range s.centers {
+		if s.counts[c] == 0 {
+			continue
+		}
+		for j := range s.centers[c] {
+			s.centers[c][j] = s.sums[c][j] / float64(s.counts[c])
+		}
+	}
+}
+
+func (s *state) result() *Result {
+	return &Result{Centers: s.centers, Counts: s.counts}
+}
+
+// RunSeq is the sequential reference implementation.
+func RunSeq(in *Input) *Result {
+	s := newState(in)
+	for it := 0; it < in.Cfg.Iters; it++ {
+		s.resetAccum()
+		for i := 0; i < in.Cfg.Points; i++ {
+			s.accumulate(s.nearest(i), i)
+		}
+		s.updateCenters()
+	}
+	return s.result()
+}
+
+// RunSync is the unsafe baseline: parallel loop + per-cluster mutex.
+func RunSync(in *Input, par int) *Result {
+	s := newState(in)
+	p := pool.New(par)
+	locks := make([]sync.Mutex, in.Cfg.K)
+	chunk := in.Cfg.chunk()
+	for it := 0; it < in.Cfg.Iters; it++ {
+		s.resetAccum()
+		var wg sync.WaitGroup
+		for lo := 0; lo < in.Cfg.Points; lo += chunk {
+			lo := lo
+			hi := lo + chunk
+			if hi > in.Cfg.Points {
+				hi = in.Cfg.Points
+			}
+			wg.Add(1)
+			p.Submit(func() {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					c := s.nearest(i)
+					locks[c].Lock()
+					s.accumulate(c, i)
+					locks[c].Unlock()
+				}
+			})
+		}
+		wg.Wait()
+		s.updateCenters()
+	}
+	p.Shutdown()
+	return s.result()
+}
+
+// RunTWE runs the tasks-with-effects version under the given scheduler
+// factory (naive or tree). Each point chunk is a WorkTask with effect
+// "reads Root"; each reduction is an accumulate task with effect
+// "reads Root writes [clusterIdx]" run via execute (Fig. 5.1).
+func RunTWE(in *Input, mkSched func() core.Scheduler, par int) (*Result, error) {
+	rt := core.NewRuntime(mkSched(), par)
+	defer rt.Shutdown()
+	s := newState(in)
+
+	// One accumulate task definition per cluster; the effect's region is
+	// Root:[clusterIdx] as in Fig. 5.1.
+	accTasks := make([]*core.Task, in.Cfg.K)
+	for c := 0; c < in.Cfg.K; c++ {
+		c := c
+		accTasks[c] = &core.Task{
+			Name: fmt.Sprintf("accumulate[%d]", c),
+			Eff: effect.NewSet(
+				effect.Read(rpl.Root),
+				effect.WriteEff(rpl.New(rpl.Idx(c)))),
+			Body: func(_ *core.Ctx, arg any) (any, error) {
+				s.accumulate(c, arg.(int))
+				return nil, nil
+			},
+		}
+	}
+	workEff := effect.MustParse("reads Root")
+	chunk := in.Cfg.chunk()
+
+	for it := 0; it < in.Cfg.Iters; it++ {
+		s.resetAccum()
+		var futs []*core.Future
+		for lo := 0; lo < in.Cfg.Points; lo += chunk {
+			lo := lo
+			hi := lo + chunk
+			if hi > in.Cfg.Points {
+				hi = in.Cfg.Points
+			}
+			work := &core.Task{
+				Name: "WorkTask",
+				Eff:  workEff,
+				Body: func(ctx *core.Ctx, _ any) (any, error) {
+					for i := lo; i < hi; i++ {
+						c := s.nearest(i)
+						if _, err := ctx.Execute(accTasks[c], i); err != nil {
+							return nil, err
+						}
+					}
+					return nil, nil
+				},
+			}
+			futs = append(futs, rt.ExecuteLater(work, nil))
+		}
+		for _, f := range futs {
+			if _, err := rt.GetValue(f); err != nil {
+				return nil, err
+			}
+		}
+		s.updateCenters()
+	}
+	return s.result(), nil
+}

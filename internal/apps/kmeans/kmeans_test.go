@@ -1,0 +1,78 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/naive"
+	"twe/internal/tree"
+)
+
+func smallCfg(k int) Config {
+	return Config{Points: 400, Attributes: 4, K: k, Iters: 2, Seed: 7, ChunkSize: 4}
+}
+
+func approxEqual(a, b *Result, tol float64) bool {
+	if len(a.Centers) != len(b.Centers) {
+		return false
+	}
+	for c := range a.Centers {
+		if a.Counts[c] != b.Counts[c] {
+			return false
+		}
+		for j := range a.Centers[c] {
+			if math.Abs(a.Centers[c][j]-b.Centers[c][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestVariantsAgree(t *testing.T) {
+	for _, k := range []int{5, 40} {
+		in := Generate(smallCfg(k))
+		seq := RunSeq(in)
+		sync := RunSync(in, 4)
+		if !approxEqual(seq, sync, 1e-9) {
+			t.Fatalf("K=%d: sync result differs from sequential", k)
+		}
+		for name, mk := range map[string]func() core.Scheduler{
+			"naive": func() core.Scheduler { return naive.New() },
+			"tree":  func() core.Scheduler { return tree.New() },
+		} {
+			got, err := RunTWE(in, mk, 4)
+			if err != nil {
+				t.Fatalf("K=%d %s: %v", k, name, err)
+			}
+			if !approxEqual(seq, got, 1e-9) {
+				t.Fatalf("K=%d %s: TWE result differs from sequential", k, name)
+			}
+		}
+	}
+}
+
+func TestCountsSumToPoints(t *testing.T) {
+	in := Generate(smallCfg(10))
+	res := RunSeq(in)
+	total := 0
+	for _, c := range res.Counts {
+		total += c
+	}
+	if total != in.Cfg.Points {
+		t.Fatalf("counts sum %d, want %d", total, in.Cfg.Points)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallCfg(5))
+	b := Generate(smallCfg(5))
+	for i := range a.Attribs {
+		for j := range a.Attribs[i] {
+			if a.Attribs[i][j] != b.Attribs[i][j] {
+				t.Fatal("Generate not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package mesh is the Delaunay-style mesh-refinement benchmark for the
+// dynamic-effects extension (dissertation Ch. 7): the motivating example of
+// an algorithm whose per-task side effects depend on dynamic data — the
+// "cavity" of triangles affected by refining a bad triangle is discovered
+// iteratively while the task runs and cannot be expressed as a static
+// effect (§7.1).
+//
+// The mesh is a synthetic triangulation: a W×H grid with each cell split
+// into two triangles, giving every triangle up to three neighbours. A
+// triangle is "bad" if its quality is below the refinement threshold.
+// Refinement collects a cavity (BFS over neighbours whose quality is below
+// the spread threshold, bounded in size), then retriangulates it — here,
+// setting every member's quality to 1 and stamping it. Each refinement
+// runs as a dyneff section: the cavity refs form its dynamic write set,
+// conflicts with overlapping cavities abort-and-retry the younger task
+// (§7.2.4), and the undo log guarantees no torn cavities.
+package mesh
+
+import (
+	"math/rand"
+	"sync"
+
+	"twe/internal/core"
+	"twe/internal/dyneff"
+	"twe/internal/effect"
+	"twe/internal/rpl"
+)
+
+// Config sizes the mesh.
+type Config struct {
+	W, H      int     // grid cells; triangles = 2*W*H
+	BadFrac   float64 // fraction of initially bad triangles
+	Threshold float64 // quality below this is bad
+	Spread    float64 // cavity includes neighbours with quality below this
+	MaxCavity int     // cavity size bound
+	Seed      int64
+}
+
+// DefaultConfig sizes a contended refinement run.
+func DefaultConfig() Config {
+	return Config{W: 40, H: 40, BadFrac: 0.3, Threshold: 0.5, Spread: 0.9, MaxCavity: 8, Seed: 21}
+}
+
+// Tri is the state stored in each triangle's Ref.
+type Tri struct {
+	Quality float64
+	Stamp   int // id of the refinement that rewrote this triangle, 0 = original
+}
+
+// Mesh is the triangle set with adjacency.
+type Mesh struct {
+	Cfg  Config
+	Reg  *dyneff.Registry
+	Tris []*dyneff.Ref // each holds a Tri
+	Adj  [][]int       // neighbour indices, ≤3 each
+}
+
+// Generate builds a deterministic mesh.
+func Generate(cfg Config) *Mesh {
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	n := 2 * cfg.W * cfg.H
+	m := &Mesh{Cfg: cfg, Reg: dyneff.NewRegistry(), Tris: make([]*dyneff.Ref, n), Adj: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		q := cfg.Threshold + rnd.Float64()*(1-cfg.Threshold)
+		if rnd.Float64() < cfg.BadFrac {
+			q = rnd.Float64() * cfg.Threshold
+		}
+		m.Tris[i] = dyneff.NewRef(m.Reg, Tri{Quality: q})
+	}
+	// Adjacency: cell (x,y) has lower triangle 2*(y*W+x) and upper
+	// 2*(y*W+x)+1; they share the diagonal; lower borders the cell below,
+	// upper the cell to the right (a standard structured triangulation).
+	idx := func(x, y, up int) int { return 2*(y*cfg.W+x) + up }
+	for y := 0; y < cfg.H; y++ {
+		for x := 0; x < cfg.W; x++ {
+			lo, up := idx(x, y, 0), idx(x, y, 1)
+			m.Adj[lo] = append(m.Adj[lo], up)
+			m.Adj[up] = append(m.Adj[up], lo)
+			if y+1 < cfg.H {
+				below := idx(x, y+1, 1)
+				m.Adj[lo] = append(m.Adj[lo], below)
+				m.Adj[below] = append(m.Adj[below], lo)
+			}
+			if x+1 < cfg.W {
+				right := idx(x+1, y, 0)
+				m.Adj[up] = append(m.Adj[up], right)
+				m.Adj[right] = append(m.Adj[right], up)
+			}
+		}
+	}
+	return m
+}
+
+// BadTriangles returns the indices of currently bad triangles (quiescent
+// use only).
+func (m *Mesh) BadTriangles() []int {
+	var out []int
+	for i, r := range m.Tris {
+		if r.Peek().(Tri).Quality < m.Cfg.Threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// refineOne runs one cavity refinement as a dyneff section. It returns
+// false if the seed triangle was already refined by someone else's cavity.
+func (m *Mesh) refineOne(seed int, stamp int) (bool, error) {
+	refined := false
+	_, err := m.Reg.Run(func(tx *dyneff.Tx) error {
+		refined = false
+		st := tx.Get(m.Tris[seed]).(Tri)
+		if st.Quality >= m.Cfg.Threshold {
+			return nil // already fixed by an overlapping cavity
+		}
+		// Iterative cavity discovery (§7.1): grow over neighbours whose
+		// quality is below the spread threshold.
+		cavity := []int{seed}
+		inCav := map[int]bool{seed: true}
+		for qi := 0; qi < len(cavity) && len(cavity) < m.Cfg.MaxCavity; qi++ {
+			for _, nb := range m.Adj[cavity[qi]] {
+				if inCav[nb] || len(cavity) >= m.Cfg.MaxCavity {
+					continue
+				}
+				t := tx.Get(m.Tris[nb]).(Tri) // dynamically adds to read set
+				if t.Quality < m.Cfg.Spread {
+					inCav[nb] = true
+					cavity = append(cavity, nb)
+				}
+			}
+		}
+		// Retriangulate: rewrite every cavity member atomically.
+		for _, i := range cavity {
+			if !tx.AssertIn(m.Tris[i]) {
+				// Every member entered the set via Get above; the static
+				// analysis counterpart is lang's #assertInSet (§7.2.7).
+				tx.AddWrite(m.Tris[i])
+			}
+			tx.Set(m.Tris[i], Tri{Quality: 1.0, Stamp: stamp})
+		}
+		refined = true
+		return nil
+	})
+	return refined, err
+}
+
+// RunPlain is the uninstrumented sequential baseline used to measure the
+// dynamic-effect system's overhead (§7.6.2): the same cavity algorithm on
+// plain slices, no registry, no undo logging. It must be run on a fresh
+// mesh; it reads initial qualities via Peek and never touches the Refs.
+func RunPlain(m *Mesh) int {
+	tris := make([]Tri, len(m.Tris))
+	for i, r := range m.Tris {
+		tris[i] = r.Peek().(Tri)
+	}
+	refinements := 0
+	stamp := 0
+	for seed := range tris {
+		if tris[seed].Quality >= m.Cfg.Threshold {
+			continue
+		}
+		stamp++
+		cavity := []int{seed}
+		inCav := map[int]bool{seed: true}
+		for qi := 0; qi < len(cavity) && len(cavity) < m.Cfg.MaxCavity; qi++ {
+			for _, nb := range m.Adj[cavity[qi]] {
+				if inCav[nb] || len(cavity) >= m.Cfg.MaxCavity {
+					continue
+				}
+				if tris[nb].Quality < m.Cfg.Spread {
+					inCav[nb] = true
+					cavity = append(cavity, nb)
+				}
+			}
+		}
+		for _, i := range cavity {
+			tris[i] = Tri{Quality: 1.0, Stamp: stamp}
+		}
+		refinements++
+	}
+	return refinements
+}
+
+// Result reports a refinement run.
+type Result struct {
+	Refinements int
+	Aborts      int64
+}
+
+// RunSeq refines all bad triangles sequentially.
+func RunSeq(m *Mesh) (*Result, error) {
+	res := &Result{}
+	stamp := 0
+	for _, seed := range m.BadTriangles() {
+		stamp++
+		ok, err := m.refineOne(seed, stamp)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			res.Refinements++
+		}
+	}
+	res.Aborts = m.Reg.Aborts()
+	return res, nil
+}
+
+// RunDyn refines in parallel with plain goroutines sharing a worklist —
+// the dynamic-effect system alone provides isolation.
+func RunDyn(m *Mesh, par int) (*Result, error) {
+	seeds := m.BadTriangles()
+	var next, stamps, refs int64
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if int(next) >= len(seeds) || firstErr != nil {
+					mu.Unlock()
+					return
+				}
+				seed := seeds[next]
+				next++
+				stamps++
+				stamp := int(stamps)
+				mu.Unlock()
+				ok, err := m.refineOne(seed, stamp)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if ok {
+					refs++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Result{Refinements: int(refs), Aborts: m.Reg.Aborts()}, nil
+}
+
+// RunTWE integrates dynamic effects with the TWE scheduler (§7.5.1): each
+// refinement is a task whose *static* effect is only "reads Mesh" — the
+// triangles it touches are dynamic — so the tree scheduler runs them
+// concurrently and the dyneff registry arbitrates the real conflicts.
+func RunTWE(m *Mesh, mkSched func() core.Scheduler, par int) (*Result, error) {
+	rt := core.NewRuntime(mkSched(), par)
+	defer rt.Shutdown()
+	seeds := m.BadTriangles()
+	readsMesh := effect.NewSet(effect.Read(rpl.New(rpl.N("Mesh"))))
+	var mu sync.Mutex
+	refs := 0
+	var futs []*core.Future
+	for i, seed := range seeds {
+		seed, stamp := seed, i+1
+		task := &core.Task{
+			Name: "refine",
+			Eff:  readsMesh,
+			Body: func(_ *core.Ctx, _ any) (any, error) {
+				ok, err := m.refineOne(seed, stamp)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					mu.Lock()
+					refs++
+					mu.Unlock()
+				}
+				return nil, nil
+			},
+		}
+		futs = append(futs, rt.ExecuteLater(task, nil))
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Refinements: refs, Aborts: m.Reg.Aborts()}, nil
+}

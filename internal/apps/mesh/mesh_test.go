@@ -1,0 +1,102 @@
+package mesh
+
+import (
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/tree"
+)
+
+func smallCfg() Config {
+	return Config{W: 10, H: 10, BadFrac: 0.3, Threshold: 0.5, Spread: 0.9, MaxCavity: 6, Seed: 21}
+}
+
+func TestAdjacencySymmetricAndBounded(t *testing.T) {
+	m := Generate(smallCfg())
+	for i, ns := range m.Adj {
+		if len(ns) > 3 {
+			t.Fatalf("triangle %d has %d neighbours", i, len(ns))
+		}
+		for _, j := range ns {
+			found := false
+			for _, k := range m.Adj[j] {
+				if k == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency asymmetric: %d->%d", i, j)
+			}
+		}
+	}
+}
+
+func checkRefined(t *testing.T, m *Mesh) {
+	t.Helper()
+	if bad := m.BadTriangles(); len(bad) != 0 {
+		t.Fatalf("%d bad triangles remain", len(bad))
+	}
+	// No torn cavities: every rewritten triangle has quality exactly 1.
+	for i, r := range m.Tris {
+		tri := r.Peek().(Tri)
+		if tri.Stamp != 0 && tri.Quality != 1.0 {
+			t.Fatalf("triangle %d torn: %+v", i, tri)
+		}
+	}
+}
+
+func TestRunSeq(t *testing.T) {
+	m := Generate(smallCfg())
+	nbad := len(m.BadTriangles())
+	res, err := RunSeq(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refinements == 0 || res.Refinements > nbad {
+		t.Fatalf("refinements = %d with %d bad seeds", res.Refinements, nbad)
+	}
+	checkRefined(t, m)
+}
+
+func TestRunDynParallel(t *testing.T) {
+	m := Generate(smallCfg())
+	res, err := RunDyn(m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRefined(t, m)
+	t.Logf("refinements=%d aborts=%d", res.Refinements, res.Aborts)
+}
+
+func TestRunTWEIntegration(t *testing.T) {
+	m := Generate(smallCfg())
+	res, err := RunTWE(m, func() core.Scheduler { return tree.New() }, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRefined(t, m)
+	if res.Refinements == 0 {
+		t.Fatal("no refinements recorded")
+	}
+}
+
+// TestCavityBounded: refinements never rewrite more than MaxCavity
+// triangles per stamp.
+func TestCavityBounded(t *testing.T) {
+	m := Generate(smallCfg())
+	if _, err := RunSeq(m); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, r := range m.Tris {
+		tri := r.Peek().(Tri)
+		if tri.Stamp != 0 {
+			counts[tri.Stamp]++
+		}
+	}
+	for stamp, n := range counts {
+		if n > m.Cfg.MaxCavity {
+			t.Fatalf("stamp %d rewrote %d > MaxCavity", stamp, n)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package mesh
+
+import "testing"
+
+// TestPlainMatchesSeqCount: the uninstrumented baseline performs exactly
+// the same refinements as the dyneff sequential run (same seeds, same
+// deterministic cavity rule), so the overhead comparison in Fig. 7.6 is
+// apples to apples.
+func TestPlainMatchesSeqCount(t *testing.T) {
+	cfg := smallCfg()
+	m1 := Generate(cfg)
+	plainRefs := RunPlain(m1) // reads initial state only
+
+	m2 := Generate(cfg)
+	res, err := RunSeq(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainRefs != res.Refinements {
+		t.Fatalf("plain=%d dyneff-seq=%d refinements", plainRefs, res.Refinements)
+	}
+	// RunPlain must not have mutated the mesh it read from.
+	if len(m1.BadTriangles()) == 0 {
+		t.Fatal("RunPlain mutated the shared mesh")
+	}
+}
+
+func TestDefaultConfigRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.W*cfg.H == 0 || cfg.Threshold <= 0 || cfg.Spread < cfg.Threshold {
+		t.Fatalf("implausible default config %+v", cfg)
+	}
+	m := Generate(cfg)
+	if len(m.Tris) != 2*cfg.W*cfg.H {
+		t.Fatalf("triangle count %d", len(m.Tris))
+	}
+	if n := len(m.BadTriangles()); n == 0 || n == len(m.Tris) {
+		t.Fatalf("bad fraction degenerate: %d of %d", n, len(m.Tris))
+	}
+}

@@ -1,0 +1,180 @@
+// Package montecarlo is the Monte Carlo financial-simulation benchmark of
+// the TWE evaluation (PPoPP 2013 §6; originally from the Java Grande
+// suite): a deterministic parallel loop computes one simulated asset path
+// per task, followed by a reduction step that updates globally shared
+// statistics. In the DPJ original the reduction used an unchecked
+// "commutative" method with manual locking; in TWE it is a task with
+// effect "writes Stats" run via execute, so atomicity is guaranteed by the
+// scheduler rather than asserted by the programmer — the stronger safety
+// guarantee the paper highlights.
+package montecarlo
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/pool"
+	"twe/internal/rpl"
+)
+
+// Config sizes the simulation.
+type Config struct {
+	Paths     int // number of simulated price paths (paper: 10_000s)
+	Steps     int // time steps per path
+	Seed      int64
+	BatchSize int // paths per worker task
+}
+
+// DefaultConfig approximates the paper's Java Grande input.
+func DefaultConfig() Config { return Config{Paths: 10000, Steps: 240, Seed: 17, BatchSize: 64} }
+
+func (c Config) batch() int {
+	if c.BatchSize <= 0 {
+		return 1
+	}
+	return c.BatchSize
+}
+
+// Stats is the globally shared reduction target.
+type Stats struct {
+	SumValue float64
+	SumSq    float64
+	Count    int
+}
+
+// Mean returns the average simulated end value.
+func (s *Stats) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumValue / float64(s.Count)
+}
+
+// simulatePath runs one geometric-Brownian-motion path with its own seeded
+// RNG, so every variant computes the identical per-path value.
+func simulatePath(cfg Config, path int) float64 {
+	rnd := rand.New(rand.NewSource(cfg.Seed + int64(path)*7919))
+	const (
+		s0    = 100.0
+		mu    = 0.03
+		sigma = 0.2
+	)
+	dt := 1.0 / float64(cfg.Steps)
+	v := s0
+	for s := 0; s < cfg.Steps; s++ {
+		z := rnd.NormFloat64()
+		v *= math.Exp((mu-0.5*sigma*sigma)*dt + sigma*math.Sqrt(dt)*z)
+	}
+	return v
+}
+
+// RunSeq computes the simulation sequentially.
+func RunSeq(cfg Config) *Stats {
+	st := &Stats{}
+	for p := 0; p < cfg.Paths; p++ {
+		v := simulatePath(cfg, p)
+		st.SumValue += v
+		st.SumSq += v * v
+		st.Count++
+	}
+	return st
+}
+
+// RunPool is the DPJ-like baseline: parallel loop plus a mutex-guarded
+// reduction (the "commutative method with internal locking").
+func RunPool(cfg Config, par int) *Stats {
+	st := &Stats{}
+	var mu sync.Mutex
+	p := pool.New(par)
+	var wg sync.WaitGroup
+	b := cfg.batch()
+	for lo := 0; lo < cfg.Paths; lo += b {
+		lo := lo
+		hi := lo + b
+		if hi > cfg.Paths {
+			hi = cfg.Paths
+		}
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			var sum, sq float64
+			for i := lo; i < hi; i++ {
+				v := simulatePath(cfg, i)
+				sum += v
+				sq += v * v
+			}
+			mu.Lock()
+			st.SumValue += sum
+			st.SumSq += sq
+			st.Count += hi - lo
+			mu.Unlock()
+		})
+	}
+	wg.Wait()
+	p.Shutdown()
+	return st
+}
+
+// RunTWE runs worker tasks with per-worker result regions and reduces via
+// an atomic reduction task with effect "writes Stats".
+func RunTWE(cfg Config, mkSched func() core.Scheduler, par int) (*Stats, error) {
+	rt := core.NewRuntime(mkSched(), par)
+	defer rt.Shutdown()
+	st := &Stats{}
+
+	type partial struct {
+		sum, sq float64
+		n       int
+	}
+	reduce := &core.Task{
+		Name: "reduce",
+		Eff:  effect.NewSet(effect.WriteEff(rpl.New(rpl.N("Stats")))),
+		Body: func(_ *core.Ctx, arg any) (any, error) {
+			p := arg.(partial)
+			st.SumValue += p.sum
+			st.SumSq += p.sq
+			st.Count += p.n
+			return nil, nil
+		},
+	}
+
+	b := cfg.batch()
+	var futs []*core.Future
+	batchIdx := 0
+	for lo := 0; lo < cfg.Paths; lo += b {
+		lo := lo
+		hi := lo + b
+		if hi > cfg.Paths {
+			hi = cfg.Paths
+		}
+		w := batchIdx
+		batchIdx++
+		worker := &core.Task{
+			Name: "simulate",
+			Eff: effect.NewSet(
+				effect.Read(rpl.New(rpl.N("Params"))),
+				effect.WriteEff(rpl.New(rpl.N("Results"), rpl.Idx(w)))),
+			Body: func(ctx *core.Ctx, _ any) (any, error) {
+				var p partial
+				for i := lo; i < hi; i++ {
+					v := simulatePath(cfg, i)
+					p.sum += v
+					p.sq += v * v
+					p.n++
+				}
+				_, err := ctx.Execute(reduce, p)
+				return nil, err
+			},
+		}
+		futs = append(futs, rt.ExecuteLater(worker, nil))
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}

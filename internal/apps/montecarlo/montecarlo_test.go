@@ -1,0 +1,60 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/naive"
+	"twe/internal/tree"
+)
+
+func smallCfg() Config { return Config{Paths: 300, Steps: 20, Seed: 17, BatchSize: 16} }
+
+func statsClose(a, b *Stats, tol float64) bool {
+	return a.Count == b.Count &&
+		math.Abs(a.SumValue-b.SumValue) < tol &&
+		math.Abs(a.SumSq-b.SumSq) < tol
+}
+
+func TestVariantsAgree(t *testing.T) {
+	cfg := smallCfg()
+	seq := RunSeq(cfg)
+	if seq.Count != cfg.Paths {
+		t.Fatalf("count %d", seq.Count)
+	}
+	poolS := RunPool(cfg, 4)
+	if !statsClose(seq, poolS, 1e-6) {
+		t.Fatalf("pool stats differ: %+v vs %+v", seq, poolS)
+	}
+	for name, mk := range map[string]func() core.Scheduler{
+		"naive": func() core.Scheduler { return naive.New() },
+		"tree":  func() core.Scheduler { return tree.New() },
+	} {
+		got, err := RunTWE(cfg, mk, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !statsClose(seq, got, 1e-6) {
+			t.Fatalf("%s stats differ: %+v vs %+v", name, seq, got)
+		}
+	}
+}
+
+func TestMeanPlausible(t *testing.T) {
+	st := RunSeq(smallCfg())
+	m := st.Mean()
+	if m < 50 || m > 200 {
+		t.Fatalf("mean %f implausible for s0=100", m)
+	}
+}
+
+func TestPathDeterminism(t *testing.T) {
+	cfg := smallCfg()
+	if simulatePath(cfg, 3) != simulatePath(cfg, 3) {
+		t.Fatal("per-path simulation not deterministic")
+	}
+	if simulatePath(cfg, 3) == simulatePath(cfg, 4) {
+		t.Fatal("distinct paths identical")
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/isolcheck"
+	"twe/internal/naive"
+	"twe/internal/tree"
+)
+
+func smallCfg() Config {
+	return Config{Shards: 4, Keys: 64, Sessions: 8, Requests: 300, ScanEvery: 25, Seed: 31}
+}
+
+func factories() map[string]func() core.Scheduler {
+	return map[string]func() core.Scheduler{
+		"naive": func() core.Scheduler { return naive.New() },
+		"tree":  func() core.Scheduler { return tree.New() },
+	}
+}
+
+// TestSequentialWindowMatchesReplay: with a window of 1 every request
+// completes before the next is submitted, so the concurrent server must
+// reproduce the sequential replay exactly — responses included.
+func TestSequentialWindowMatchesReplay(t *testing.T) {
+	cfg := smallCfg()
+	log := GenerateLog(cfg)
+	want := RunSeq(cfg, log)
+	for name, mk := range factories() {
+		got, err := RunTWE(cfg, log, mk, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got.GetResponses) != len(want.GetResponses) {
+			t.Fatalf("%s: response count mismatch", name)
+		}
+		for i := range want.GetResponses {
+			if got.GetResponses[i] != want.GetResponses[i] {
+				t.Fatalf("%s: get #%d = %d, want %d", name, i, got.GetResponses[i], want.GetResponses[i])
+			}
+		}
+		for i := range want.ScanTotals {
+			if got.ScanTotals[i] != want.ScanTotals[i] {
+				t.Fatalf("%s: scan #%d = %d, want %d", name, i, got.ScanTotals[i], want.ScanTotals[i])
+			}
+		}
+		for k := range want.Shards {
+			for i := range want.Shards[k] {
+				if got.Shards[k][i] != want.Shards[k][i] {
+					t.Fatalf("%s: shard state diverged at [%d][%d]", name, k, i)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentWindowInvariants: with many requests in flight, responses
+// depend on scheduling, but (a) session accounting must be exact — the
+// increments are unsynchronized and only isolation protects them; (b)
+// every final cell holds either 0 or some value that was actually put to
+// that key; (c) the isolation monitor stays silent.
+func TestConcurrentWindowInvariants(t *testing.T) {
+	cfg := smallCfg()
+	log := GenerateLog(cfg)
+	want := RunSeq(cfg, log)
+
+	for name, mk := range factories() {
+		chk := isolcheck.New()
+		rt := core.NewRuntime(mk(), 8, core.WithMonitor(chk))
+		s := New(cfg, rt)
+		futs := make([]*core.Future, len(log))
+		for i := range log {
+			futs[i] = s.Submit(log[i])
+		}
+		for _, f := range futs {
+			if _, err := rt.GetValue(f); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		rt.Shutdown()
+		for _, v := range chk.Violations() {
+			t.Errorf("%s: %v", name, v)
+		}
+
+		for id := range want.SessionReqs {
+			if got := s.sessions[id].Requests; got != want.SessionReqs[id] {
+				t.Errorf("%s: session %d count %d, want %d (lost increment)", name, id, got, want.SessionReqs[id])
+			}
+		}
+		putValues := map[int]map[int]bool{}
+		for _, r := range log {
+			if r.Kind != 'P' {
+				continue
+			}
+			if putValues[r.Key] == nil {
+				putValues[r.Key] = map[int]bool{}
+			}
+			putValues[r.Key][r.Value] = true
+		}
+		for key := 0; key < cfg.Keys; key++ {
+			shard, slot := s.shardOf(key)
+			v := s.shards[shard][slot]
+			if v == 0 {
+				continue
+			}
+			if !putValues[key][v] {
+				t.Errorf("%s: key %d holds %d, never put (torn write?)", name, key, v)
+			}
+		}
+	}
+}
+
+func TestGenerateLogShape(t *testing.T) {
+	cfg := smallCfg()
+	log := GenerateLog(cfg)
+	if len(log) != cfg.Requests {
+		t.Fatalf("log size %d", len(log))
+	}
+	scans := 0
+	for _, r := range log {
+		switch r.Kind {
+		case 'P', 'G', 'S':
+		default:
+			t.Fatalf("bad kind %c", r.Kind)
+		}
+		if r.Kind == 'S' {
+			scans++
+		}
+		if r.Session < 0 || r.Session >= cfg.Sessions {
+			t.Fatal("session out of range")
+		}
+	}
+	if scans != cfg.Requests/cfg.ScanEvery {
+		t.Fatalf("scans = %d", scans)
+	}
+}

@@ -1,0 +1,161 @@
+// Package ssca2 is the SSCA2 graph-construction benchmark of the TWE
+// evaluation (dissertation §6.3, adapted from STAMP): parallel tasks add
+// the edges of a large directed multigraph, using many short
+// transaction-like tasks to protect appends to per-node adjacency arrays.
+// It is the most fine-grained benchmark in the suite — each edge insertion
+// is one task with effect "writes Adj:[u]" — and is the workload on which
+// the single-queue scheduler collapses in Fig. 6.4 while the tree scheduler
+// keeps scaling.
+package ssca2
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/pool"
+	"twe/internal/rpl"
+)
+
+// Config sizes the multigraph.
+type Config struct {
+	Nodes int
+	Edges int
+	Seed  int64
+	// Batch groups edge insertions per task (1 = paper granularity).
+	Batch int
+}
+
+// DefaultConfig returns a scale that exercises contention.
+func DefaultConfig() Config { return Config{Nodes: 1 << 10, Edges: 1 << 15, Seed: 3, Batch: 1} }
+
+func (c Config) batch() int {
+	if c.Batch <= 0 {
+		return 1
+	}
+	return c.Batch
+}
+
+// Edge is a directed multigraph edge.
+type Edge struct{ U, V int }
+
+// Generate produces a deterministic edge list with a skewed (clustered)
+// endpoint distribution, as SSCA2's R-MAT-style generator does.
+func Generate(cfg Config) []Edge {
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	edges := make([]Edge, cfg.Edges)
+	for i := range edges {
+		u := rnd.Intn(cfg.Nodes)
+		if rnd.Intn(4) == 0 { // skew: hot cluster
+			u = rnd.Intn(cfg.Nodes/16 + 1)
+		}
+		edges[i] = Edge{U: u, V: rnd.Intn(cfg.Nodes)}
+	}
+	return edges
+}
+
+// Graph is the adjacency-array result.
+type Graph struct {
+	Adj [][]int
+}
+
+// Canonical sorts each adjacency list so results can be compared across
+// insertion orders.
+func (g *Graph) Canonical() {
+	for _, a := range g.Adj {
+		sort.Ints(a)
+	}
+}
+
+// RunSeq builds the graph sequentially.
+func RunSeq(cfg Config, edges []Edge) *Graph {
+	g := &Graph{Adj: make([][]int, cfg.Nodes)}
+	for _, e := range edges {
+		g.Adj[e.U] = append(g.Adj[e.U], e.V)
+	}
+	return g
+}
+
+// RunSync is the unsafe baseline: parallel loop with one mutex per node.
+func RunSync(cfg Config, edges []Edge, par int) *Graph {
+	g := &Graph{Adj: make([][]int, cfg.Nodes)}
+	locks := make([]sync.Mutex, cfg.Nodes)
+	p := pool.New(par)
+	var wg sync.WaitGroup
+	b := cfg.batch()
+	for lo := 0; lo < len(edges); lo += b {
+		lo := lo
+		hi := lo + b
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			for _, e := range edges[lo:hi] {
+				locks[e.U].Lock()
+				g.Adj[e.U] = append(g.Adj[e.U], e.V)
+				locks[e.U].Unlock()
+			}
+		})
+	}
+	wg.Wait()
+	p.Shutdown()
+	return g
+}
+
+// RunTWE inserts each edge with a task of effect "writes Adj:[u]",
+// executed as a prioritized critical section from driver tasks, mirroring
+// the TWEJava code's transaction-like tasks.
+func RunTWE(cfg Config, edges []Edge, mkSched func() core.Scheduler, par int) (*Graph, error) {
+	rt := core.NewRuntime(mkSched(), par)
+	defer rt.Shutdown()
+	g := &Graph{Adj: make([][]int, cfg.Nodes)}
+
+	appendTask := make([]*core.Task, cfg.Nodes)
+	for u := 0; u < cfg.Nodes; u++ {
+		u := u
+		appendTask[u] = &core.Task{
+			Name: fmt.Sprintf("append[%d]", u),
+			Eff: effect.NewSet(effect.WriteEff(
+				rpl.New(rpl.N("Adj"), rpl.Idx(u)))),
+			Body: func(_ *core.Ctx, arg any) (any, error) {
+				g.Adj[u] = append(g.Adj[u], arg.(int))
+				return nil, nil
+			},
+		}
+	}
+
+	driverEff := effect.MustParse("reads Edges")
+	b := cfg.batch()
+	var futs []*core.Future
+	for lo := 0; lo < len(edges); lo += b {
+		lo := lo
+		hi := lo + b
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		driver := &core.Task{
+			Name: "insertEdges",
+			Eff:  driverEff,
+			Body: func(ctx *core.Ctx, _ any) (any, error) {
+				for _, e := range edges[lo:hi] {
+					if _, err := ctx.Execute(appendTask[e.U], e.V); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			},
+		}
+		futs = append(futs, rt.ExecuteLater(driver, nil))
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

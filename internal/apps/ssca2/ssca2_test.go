@@ -1,0 +1,88 @@
+package ssca2
+
+import (
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/naive"
+	"twe/internal/tree"
+)
+
+func smallCfg() Config { return Config{Nodes: 64, Edges: 800, Seed: 5, Batch: 4} }
+
+func equalGraphs(a, b *Graph) bool {
+	if len(a.Adj) != len(b.Adj) {
+		return false
+	}
+	for u := range a.Adj {
+		if len(a.Adj[u]) != len(b.Adj[u]) {
+			return false
+		}
+		for i := range a.Adj[u] {
+			if a.Adj[u][i] != b.Adj[u][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestVariantsAgree(t *testing.T) {
+	cfg := smallCfg()
+	edges := Generate(cfg)
+	seq := RunSeq(cfg, edges)
+	seq.Canonical()
+
+	syncG := RunSync(cfg, edges, 4)
+	syncG.Canonical()
+	if !equalGraphs(seq, syncG) {
+		t.Fatal("sync graph differs from sequential")
+	}
+
+	for name, mk := range map[string]func() core.Scheduler{
+		"naive": func() core.Scheduler { return naive.New() },
+		"tree":  func() core.Scheduler { return tree.New() },
+	} {
+		g, err := RunTWE(cfg, edges, mk, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g.Canonical()
+		if !equalGraphs(seq, g) {
+			t.Fatalf("%s: TWE graph differs from sequential", name)
+		}
+	}
+}
+
+func TestEdgeCountPreserved(t *testing.T) {
+	cfg := smallCfg()
+	edges := Generate(cfg)
+	g, err := RunTWE(cfg, edges, func() core.Scheduler { return tree.New() }, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, a := range g.Adj {
+		total += len(a)
+	}
+	if total != len(edges) {
+		t.Fatalf("edges lost: %d of %d", total, len(edges))
+	}
+}
+
+func TestGenerateSkew(t *testing.T) {
+	cfg := DefaultConfig()
+	edges := Generate(cfg)
+	if len(edges) != cfg.Edges {
+		t.Fatalf("generated %d edges", len(edges))
+	}
+	hot := 0
+	for _, e := range edges {
+		if e.U < cfg.Nodes/16+1 {
+			hot++
+		}
+	}
+	if hot*3 < cfg.Edges/4 {
+		t.Errorf("skew missing: only %d hot edges of %d", hot, cfg.Edges)
+	}
+}

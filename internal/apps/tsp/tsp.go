@@ -1,0 +1,201 @@
+// Package tsp is the travelling-salesman benchmark of the TWE evaluation
+// (dissertation §6.3): a recursively parallel branch-and-bound search for
+// a minimum-weight Hamiltonian cycle. Each time a solution is found the
+// globally shared best tour is updated atomically; the search prunes on
+// it. The TWE version interoperates with atomics as §5.5.4 describes — the
+// shared bound lives in its own implicit region accessed only through
+// atomic operations — and uses a parallelism cut-off: beyond a predefined
+// recursion depth the search switches to a sequential version to avoid
+// excessive scheduling overheads.
+package tsp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"twe/internal/atomics"
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/pool"
+	"twe/internal/rpl"
+)
+
+// Config sizes the instance.
+type Config struct {
+	Nodes  int // paper: 20
+	CutOff int // parallel recursion depth; paper: 6
+	Seed   int64
+}
+
+// DefaultConfig mirrors the paper's "TSP, 20 Nodes, cut-off=6".
+func DefaultConfig() Config { return Config{Nodes: 20, CutOff: 6, Seed: 9} }
+
+// Generate builds a symmetric random distance matrix.
+func Generate(cfg Config) [][]int {
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	d := make([][]int, cfg.Nodes)
+	for i := range d {
+		d[i] = make([]int, cfg.Nodes)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		for j := i + 1; j < cfg.Nodes; j++ {
+			w := 1 + rnd.Intn(100)
+			d[i][j], d[j][i] = w, w
+		}
+	}
+	return d
+}
+
+// search holds the shared state of one solve. The global best bound is a
+// TWE-safe atomic cell (§5.5.4): its value lives in its own implicit
+// region, so updating it from tasks with unrelated static effects
+// preserves the model's guarantees.
+type search struct {
+	d    [][]int
+	n    int
+	best *atomics.Long
+}
+
+func newSearch(d [][]int) *search {
+	return &search{d: d, n: len(d), best: atomics.NewLong(1 << 40)}
+}
+
+// seqSolve explores sequentially below the cut-off, pruning on best.
+func (s *search) seqSolve(path []int, used []bool, length int) {
+	if int64(length) >= s.best.Load() {
+		return
+	}
+	if len(path) == s.n {
+		total := length + s.d[path[len(path)-1]][path[0]]
+		s.best.Min(int64(total))
+		return
+	}
+	last := path[len(path)-1]
+	for v := 1; v < s.n; v++ {
+		if used[v] {
+			continue
+		}
+		used[v] = true
+		s.seqSolve(append(path, v), used, length+s.d[last][v])
+		used[v] = false
+	}
+}
+
+// RunSeq solves the instance sequentially and returns the optimal tour
+// length.
+func RunSeq(d [][]int) int {
+	s := newSearch(d)
+	used := make([]bool, s.n)
+	used[0] = true
+	s.seqSolve([]int{0}, used, 0)
+	return int(s.best.Load())
+}
+
+// RunForkJoin is the unsafe baseline: raw fork-join recursion on the pool
+// ("ForkJoinTask" in Fig. 6.4).
+func RunForkJoin(d [][]int, cutoff, par int) int {
+	s := newSearch(d)
+	p := pool.New(par)
+	var rec func(path []int, used []bool, length int, wg *sync.WaitGroup)
+	rec = func(path []int, used []bool, length int, wg *sync.WaitGroup) {
+		defer wg.Done()
+		if int64(length) >= s.best.Load() {
+			return
+		}
+		if len(path) >= cutoff || len(path) == s.n {
+			s.seqSolve(path, used, length)
+			return
+		}
+		last := path[len(path)-1]
+		var childWG sync.WaitGroup
+		for v := 1; v < s.n; v++ {
+			if used[v] {
+				continue
+			}
+			np := append(append([]int(nil), path...), v)
+			nu := append([]bool(nil), used...)
+			nu[v] = true
+			nl := length + s.d[last][v]
+			childWG.Add(1)
+			p.Submit(func() { rec(np, nu, nl, &childWG) })
+		}
+		// Release this worker's parallelism token while waiting for the
+		// children, as ForkJoinTask's join does; otherwise recursive waits
+		// exhaust the pool and deadlock.
+		p.Block(childWG.Wait)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	used := make([]bool, s.n)
+	used[0] = true
+	p.Submit(func() { rec([]int{0}, used, 0, &wg) })
+	wg.Wait()
+	p.Shutdown()
+	return int(s.best.Load())
+}
+
+// RunTWE solves with tasks with effects: subtree tasks read the distance
+// matrix (effect "reads Graph") and update the best bound through the
+// atomic, which needs no region per §5.5.4. Spawn is used for the
+// recursive parallelism; below the cut-off the sequential solver runs
+// inline.
+func RunTWE(d [][]int, cfg Config, mkSched func() core.Scheduler, par int) (int, error) {
+	rt := core.NewRuntime(mkSched(), par)
+	defer rt.Shutdown()
+	s := newSearch(d)
+	readsGraph := effect.NewSet(effect.Read(rpl.New(rpl.N("Graph"))))
+
+	type frame struct {
+		path   []int
+		used   []bool
+		length int
+	}
+	var bodyFor func(depthLimit int) core.Body
+	bodyFor = func(depthLimit int) core.Body {
+		return func(ctx *core.Ctx, arg any) (any, error) {
+			fr := arg.(frame)
+			if int64(fr.length) >= s.best.Load() {
+				return nil, nil
+			}
+			if len(fr.path) >= depthLimit || len(fr.path) == s.n {
+				s.seqSolve(fr.path, fr.used, fr.length)
+				return nil, nil
+			}
+			last := fr.path[len(fr.path)-1]
+			var children []*core.SpawnedFuture
+			for v := 1; v < s.n; v++ {
+				if fr.used[v] {
+					continue
+				}
+				np := append(append([]int(nil), fr.path...), v)
+				nu := append([]bool(nil), fr.used...)
+				nu[v] = true
+				child := &core.Task{
+					Name: fmt.Sprintf("tsp-depth%d", len(np)),
+					Eff:  readsGraph,
+					Body: bodyFor(depthLimit),
+				}
+				sf, err := ctx.Spawn(child, frame{np, nu, fr.length + s.d[last][v]})
+				if err != nil {
+					return nil, err
+				}
+				children = append(children, sf)
+			}
+			for _, sf := range children {
+				if _, err := ctx.Join(sf); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		}
+	}
+
+	root := &core.Task{Name: "tsp", Eff: readsGraph, Body: bodyFor(cfg.CutOff)}
+	used := make([]bool, s.n)
+	used[0] = true
+	if _, err := rt.Run(root, frame{[]int{0}, used, 0}); err != nil {
+		return 0, err
+	}
+	return int(s.best.Load()), nil
+}

@@ -1,0 +1,83 @@
+package tsp
+
+import (
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/naive"
+	"twe/internal/tree"
+)
+
+func smallCfg() Config { return Config{Nodes: 9, CutOff: 3, Seed: 9} }
+
+func TestVariantsAgree(t *testing.T) {
+	cfg := smallCfg()
+	d := Generate(cfg)
+	want := RunSeq(d)
+	if want <= 0 {
+		t.Fatalf("degenerate optimum %d", want)
+	}
+	if got := RunForkJoin(d, cfg.CutOff, 4); got != want {
+		t.Fatalf("forkjoin = %d, want %d", got, want)
+	}
+	for name, mk := range map[string]func() core.Scheduler{
+		"naive": func() core.Scheduler { return naive.New() },
+		"tree":  func() core.Scheduler { return tree.New() },
+	} {
+		got, err := RunTWE(d, cfg, mk, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestBruteForceOracle(t *testing.T) {
+	// Exhaustively verify on a tiny instance with an independent oracle.
+	cfg := Config{Nodes: 7, CutOff: 2, Seed: 4}
+	d := Generate(cfg)
+	n := len(d)
+	perm := make([]int, 0, n)
+	used := make([]bool, n)
+	best := 1 << 30
+	var rec func(last, length, count int)
+	rec = func(last, length, count int) {
+		if count == n {
+			if tot := length + d[last][0]; tot < best {
+				best = tot
+			}
+			return
+		}
+		for v := 1; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			perm = append(perm, v)
+			rec(v, length+d[last][v], count+1)
+			perm = perm[:len(perm)-1]
+			used[v] = false
+		}
+	}
+	used[0] = true
+	rec(0, 0, 1)
+	if got := RunSeq(d); got != best {
+		t.Fatalf("RunSeq = %d, oracle = %d", got, best)
+	}
+}
+
+func TestSymmetricMatrix(t *testing.T) {
+	d := Generate(DefaultConfig())
+	for i := range d {
+		if d[i][i] != 0 {
+			t.Fatalf("diagonal not zero at %d", i)
+		}
+		for j := range d {
+			if d[i][j] != d[j][i] {
+				t.Fatalf("matrix asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package atomics provides the TWE-safe atomic cells of §5.5.4
+// ("Interoperation with Java atomics"): each cell's value lives in its own
+// unique implicit region, distinct from every region in the RPL tree, and
+// is accessible only through the cell's atomic operations. Each operation
+// is semantically equivalent to running a tiny task via execute with a
+// read or write effect on that private region alone, so using these cells
+// inside tasks preserves every TWE safety guarantee while avoiding the
+// scheduling cost of a real task — exactly how the TSP benchmark maintains
+// its global best bound.
+package atomics
+
+import "sync/atomic"
+
+// Long is the AtomicLong counterpart: an int64 cell in its own implicit
+// region.
+type Long struct {
+	v atomic.Int64
+}
+
+// NewLong returns a cell holding init.
+func NewLong(init int64) *Long {
+	l := &Long{}
+	l.v.Store(init)
+	return l
+}
+
+// Load is an atomic read (effect: reads of the cell's private region).
+func (l *Long) Load() int64 { return l.v.Load() }
+
+// Store is an atomic write.
+func (l *Long) Store(v int64) { l.v.Store(v) }
+
+// Add atomically adds delta and returns the new value.
+func (l *Long) Add(delta int64) int64 { return l.v.Add(delta) }
+
+// CompareAndSwap performs the classic CAS.
+func (l *Long) CompareAndSwap(old, new int64) bool { return l.v.CompareAndSwap(old, new) }
+
+// Min atomically lowers the cell to v if v is smaller, returning the
+// resulting value — the update pattern of branch-and-bound bounds.
+func (l *Long) Min(v int64) int64 {
+	for {
+		cur := l.v.Load()
+		if v >= cur {
+			return cur
+		}
+		if l.v.CompareAndSwap(cur, v) {
+			return v
+		}
+	}
+}
+
+// Max atomically raises the cell to v if v is larger, returning the
+// resulting value.
+func (l *Long) Max(v int64) int64 {
+	for {
+		cur := l.v.Load()
+		if v <= cur {
+			return cur
+		}
+		if l.v.CompareAndSwap(cur, v) {
+			return v
+		}
+	}
+}
+
+// Bool is an atomic flag in its own implicit region.
+type Bool struct {
+	v atomic.Bool
+}
+
+// Load reads the flag.
+func (b *Bool) Load() bool { return b.v.Load() }
+
+// Store writes the flag.
+func (b *Bool) Store(v bool) { b.v.Store(v) }
+
+// TrySet sets the flag and reports whether this call changed it from
+// false to true (a one-shot latch).
+func (b *Bool) TrySet() bool { return b.v.CompareAndSwap(false, true) }
+
+// Ref is an atomic pointer cell in its own implicit region. The referenced
+// value must itself be immutable or region-protected; the cell only makes
+// the *reference* safe to publish between tasks.
+type Ref[T any] struct {
+	v atomic.Pointer[T]
+}
+
+// Load reads the reference.
+func (r *Ref[T]) Load() *T { return r.v.Load() }
+
+// Store writes the reference.
+func (r *Ref[T]) Store(p *T) { r.v.Store(p) }
+
+// CompareAndSwap performs CAS on the reference.
+func (r *Ref[T]) CompareAndSwap(old, new *T) bool { return r.v.CompareAndSwap(old, new) }

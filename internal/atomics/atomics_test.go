@@ -1,0 +1,105 @@
+package atomics
+
+import (
+	"sync"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/tree"
+)
+
+func TestLongBasics(t *testing.T) {
+	l := NewLong(10)
+	if l.Load() != 10 {
+		t.Fatal("init")
+	}
+	l.Store(5)
+	if l.Add(3) != 8 {
+		t.Fatal("add")
+	}
+	if !l.CompareAndSwap(8, 9) || l.CompareAndSwap(8, 1) {
+		t.Fatal("cas")
+	}
+}
+
+func TestMinMaxConcurrent(t *testing.T) {
+	min := NewLong(1 << 40)
+	max := NewLong(-1 << 40)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v := int64(w*1000 + i)
+				min.Min(v)
+				max.Max(v)
+			}
+		}()
+	}
+	wg.Wait()
+	if min.Load() != 0 {
+		t.Fatalf("min = %d", min.Load())
+	}
+	if max.Load() != 7999 {
+		t.Fatalf("max = %d", max.Load())
+	}
+}
+
+func TestBoolLatch(t *testing.T) {
+	var b Bool
+	if b.Load() {
+		t.Fatal("zero value should be false")
+	}
+	if !b.TrySet() || b.TrySet() {
+		t.Fatal("latch semantics wrong")
+	}
+	b.Store(false)
+	if b.Load() {
+		t.Fatal("store")
+	}
+}
+
+func TestRef(t *testing.T) {
+	var r Ref[int]
+	if r.Load() != nil {
+		t.Fatal("zero")
+	}
+	x := 7
+	r.Store(&x)
+	if *r.Load() != 7 {
+		t.Fatal("load")
+	}
+	y := 8
+	if !r.CompareAndSwap(&x, &y) || r.CompareAndSwap(&x, &y) {
+		t.Fatal("cas")
+	}
+}
+
+// TestInsideTWETasks uses a Long as a shared bound across tasks whose
+// static effects are disjoint — the §5.5.4 pattern. Run with -race.
+func TestInsideTWETasks(t *testing.T) {
+	rt := core.NewRuntime(tree.New(), 4)
+	defer rt.Shutdown()
+	best := NewLong(1 << 30)
+	var futs []*core.Future
+	for i := 0; i < 64; i++ {
+		i := i
+		futs = append(futs, rt.ExecuteLater(core.NewTask("probe",
+			effect.MustParse("reads Work"),
+			func(_ *core.Ctx, _ any) (any, error) {
+				best.Min(int64(1000 - i))
+				return nil, nil
+			}), nil))
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if best.Load() != 937 {
+		t.Fatalf("best = %d, want 937", best.Load())
+	}
+}

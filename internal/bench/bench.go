@@ -1,0 +1,187 @@
+// Package bench is the measurement harness that regenerates the paper's
+// evaluation figures (dissertation Ch. 6 and §7.6). It runs a workload
+// over a thread sweep, reports median/min/max over repetitions — the
+// paper's box plots use medians of 11 runs — and prints aligned tables,
+// one per figure, with speedups relative to a named baseline.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one (thread count → time) measurement.
+type Point struct {
+	Threads          int
+	Median, Min, Max time.Duration
+}
+
+// Series is one line in a figure: a named variant measured across the
+// thread sweep.
+type Series struct {
+	Name   string
+	Points []Point
+	// Err aborts a series without failing the whole figure.
+	Err error
+}
+
+// Measure runs fn once per (threads × reps) and collects medians. fn
+// receives the thread count and must do one complete run.
+func Measure(name string, threads []int, reps int, fn func(par int) error) Series {
+	s := Series{Name: name}
+	for _, th := range threads {
+		times := make([]time.Duration, 0, reps)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if err := fn(th); err != nil {
+				s.Err = fmt.Errorf("%s @%d threads: %w", name, th, err)
+				return s
+			}
+			times = append(times, time.Since(start))
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		s.Points = append(s.Points, Point{
+			Threads: th,
+			Median:  times[len(times)/2],
+			Min:     times[0],
+			Max:     times[len(times)-1],
+		})
+	}
+	return s
+}
+
+// MeasureOnce measures a single-configuration run (used for sequential
+// baselines).
+func MeasureOnce(name string, reps int, fn func() error) (time.Duration, error) {
+	s := Measure(name, []int{1}, reps, func(int) error { return fn() })
+	if s.Err != nil {
+		return 0, s.Err
+	}
+	return s.Points[0].Median, nil
+}
+
+// Figure is a titled collection of series sharing a thread sweep, plus an
+// optional sequential baseline for speedup columns.
+type Figure struct {
+	ID       string // e.g. "6.3a"
+	Title    string
+	Baseline string // descriptive label of the baseline
+	BaseTime time.Duration
+	Series   []Series
+	Notes    []string
+}
+
+// Print renders the figure as an aligned text table: one row per thread
+// count, and per series a time column and (when a baseline is set) a
+// speedup column.
+func (f *Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== Figure %s: %s ==\n", f.ID, f.Title)
+	if f.BaseTime > 0 {
+		fmt.Fprintf(w, "baseline (%s): %s\n", f.Baseline, round(f.BaseTime))
+	}
+	threads := f.threadSweep()
+	// Header.
+	cols := []string{"threads"}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+		if f.BaseTime > 0 {
+			cols = append(cols, "spd")
+		}
+	}
+	widths := make([]int, len(cols))
+	rows := [][]string{cols}
+	for _, th := range threads {
+		row := []string{fmt.Sprintf("%d", th)}
+		for _, s := range f.Series {
+			p, ok := s.point(th)
+			if !ok {
+				row = append(row, "-")
+				if f.BaseTime > 0 {
+					row = append(row, "-")
+				}
+				continue
+			}
+			row = append(row, round(p.Median))
+			if f.BaseTime > 0 {
+				row = append(row, fmt.Sprintf("%.2fx", float64(f.BaseTime)/float64(p.Median)))
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for i, c := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		if ri == 0 {
+			fmt.Fprintln(w, strings.Repeat("-", len(strings.TrimRight(b.String(), " "))))
+		}
+	}
+	for _, s := range f.Series {
+		if s.Err != nil {
+			fmt.Fprintf(w, "!! series %s failed: %v\n", s.Name, s.Err)
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+func (f *Figure) threadSweep() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.Threads] {
+				seen[p.Threads] = true
+				out = append(out, p.Threads)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (s *Series) point(threads int) (Point, bool) {
+	for _, p := range s.Points {
+		if p.Threads == threads {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+func round(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// ParseThreads parses "1,2,4,8" into a sweep.
+func ParseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("bench: bad thread list %q", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

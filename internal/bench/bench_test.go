@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureCollectsMedians(t *testing.T) {
+	calls := 0
+	s := Measure("x", []int{1, 2}, 3, func(par int) error {
+		calls++
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if s.Err != nil {
+		t.Fatal(s.Err)
+	}
+	if calls != 6 {
+		t.Fatalf("ran %d times, want 6", calls)
+	}
+	if len(s.Points) != 2 || s.Points[0].Threads != 1 || s.Points[1].Threads != 2 {
+		t.Fatalf("points wrong: %+v", s.Points)
+	}
+	for _, p := range s.Points {
+		if p.Median < p.Min || p.Median > p.Max || p.Min <= 0 {
+			t.Fatalf("ordering wrong: %+v", p)
+		}
+	}
+}
+
+func TestMeasureErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	s := Measure("x", []int{1}, 2, func(int) error { return boom })
+	if s.Err == nil || !errors.Is(s.Err, boom) {
+		t.Fatalf("err = %v", s.Err)
+	}
+}
+
+func TestFigurePrint(t *testing.T) {
+	f := &Figure{
+		ID:       "6.9",
+		Title:    "test figure",
+		Baseline: "seq",
+		BaseTime: 100 * time.Millisecond,
+		Series: []Series{
+			{Name: "tree", Points: []Point{
+				{Threads: 1, Median: 100 * time.Millisecond},
+				{Threads: 2, Median: 50 * time.Millisecond},
+			}},
+			{Name: "queue", Points: []Point{
+				{Threads: 1, Median: 120 * time.Millisecond},
+			}},
+		},
+		Notes: []string{"hello"},
+	}
+	var b strings.Builder
+	f.Print(&b)
+	out := b.String()
+	for _, want := range []string{"Figure 6.9", "tree", "queue", "2.00x", "hello", "100.0ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Missing point renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Error("missing point placeholder absent")
+	}
+}
+
+func TestParseThreads(t *testing.T) {
+	th, err := ParseThreads("1, 2,4")
+	if err != nil || len(th) != 3 || th[2] != 4 {
+		t.Fatalf("got %v, %v", th, err)
+	}
+	if _, err := ParseThreads("1,x"); err == nil {
+		t.Fatal("bad input accepted")
+	}
+	if _, err := ParseThreads("0"); err == nil {
+		t.Fatal("zero accepted")
+	}
+}
+
+func TestRound(t *testing.T) {
+	if round(1500*time.Millisecond) != "1.50s" {
+		t.Error(round(1500 * time.Millisecond))
+	}
+	if round(2500*time.Microsecond) != "2.5ms" {
+		t.Error(round(2500 * time.Microsecond))
+	}
+	if round(800*time.Nanosecond) != "0µs" {
+		t.Error(round(800 * time.Nanosecond))
+	}
+}
+
+func TestMeasureOnce(t *testing.T) {
+	d, err := MeasureOnce("seq", 3, func() error {
+		time.Sleep(500 * time.Microsecond)
+		return nil
+	})
+	if err != nil || d <= 0 {
+		t.Fatalf("d=%v err=%v", d, err)
+	}
+}

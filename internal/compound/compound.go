@@ -1,0 +1,214 @@
+// Package compound implements the compound effects of the covering-effect
+// analysis (dissertation Ch. 4, elaborating PPoPP 2013 §3.1.5). A compound
+// effect denotes a set of effects — the effects currently covered at a
+// program point — and is built by the grammar
+//
+//	E ::= E̅ | E + E | E − E | E ∩ E
+//
+// where E̅ is the down-set of a declared effect summary (all effects it
+// covers), +E adds every effect included in E (a join transferring a child
+// task's effects back), −E removes every effect interfering with E (a spawn
+// transferring effects away), and ∩ is set intersection (the meet at
+// control-flow merges).
+//
+// Membership is decided by the sequential procedure of Fig. 4.1: scan the
+// additive-subtractive operations right to left; +E′ with e ⊆ E′ answers
+// true, −E′ with ¬e#E′ answers false; otherwise fall through to the base.
+//
+// The package keeps compound effects in the abstract tree form used by the
+// structure-based analysis (§4.4); package dataflow concretizes them to bit
+// vectors over a finite effect domain for the iterative algorithm (§4.3).
+package compound
+
+import (
+	"strings"
+
+	"twe/internal/effect"
+)
+
+type kind uint8
+
+const (
+	kBase kind = iota
+	kAdd
+	kSub
+	kMeet
+)
+
+// Compound is an immutable compound effect. The zero value is not valid;
+// construct with NewBase, Top, or Bottom and derive with Add, Sub, Meet.
+type Compound struct {
+	k kind
+	// base summary, for kBase.
+	base effect.Set
+	// prev t and operand E, for kAdd (t + E) / kSub (t − E).
+	prev    *Compound
+	operand effect.Set
+	// operands for kMeet.
+	l, r *Compound
+}
+
+// NewBase returns the compound effect E̅: the set of all effects included
+// in the summary s. This initializes the covering effect of a task or
+// method to its declared effects.
+func NewBase(s effect.Set) *Compound { return &Compound{k: kBase, base: s} }
+
+// Top is the compound effect covering every possible effect ("writes
+// Root:*", the ⊤ of the semilattice, §4.1.2).
+func Top() *Compound { return NewBase(effect.Top) }
+
+// Bottom is the compound effect covering only pure (the ⊥ of the
+// semilattice: the down-set of the empty summary).
+func Bottom() *Compound { return NewBase(effect.Pure) }
+
+// Add returns c + e: effects included in e become covered (join transfer).
+func (c *Compound) Add(e effect.Set) *Compound {
+	return &Compound{k: kAdd, prev: c, operand: e}
+}
+
+// Sub returns c − e: effects interfering with e stop being covered (spawn
+// transfer).
+func (c *Compound) Sub(e effect.Set) *Compound {
+	return &Compound{k: kSub, prev: c, operand: e}
+}
+
+// Meet returns c ∩ d, the semilattice meet used at control-flow merges: an
+// effect is covered only if covered on both paths.
+func Meet(c, d *Compound) *Compound {
+	if c == nil {
+		return d
+	}
+	if d == nil {
+		return c
+	}
+	return &Compound{k: kMeet, l: c, r: d}
+}
+
+// MeetAll folds Meet over its arguments; nil arguments are identity.
+func MeetAll(cs ...*Compound) *Compound {
+	var out *Compound
+	for _, c := range cs {
+		out = Meet(out, c)
+	}
+	return out
+}
+
+// Contains reports e ∈ c using the procedure of Fig. 4.1 extended
+// recursively through meets: membership in a meet requires membership in
+// both operands; the additive-subtractive tail is scanned right to left.
+func (c *Compound) Contains(e effect.Effect) bool {
+	switch c.k {
+	case kBase:
+		return c.base.CoversEffect(e)
+	case kAdd:
+		if c.operand.Covers(effect.NewSet(e)) {
+			return true
+		}
+		return c.prev.Contains(e)
+	case kSub:
+		if c.operand.InterferesWithEffect(e) {
+			return false
+		}
+		return c.prev.Contains(e)
+	case kMeet:
+		return c.l.Contains(e) && c.r.Contains(e)
+	}
+	panic("compound: invalid kind")
+}
+
+// CoversSet reports that every effect of the summary s is in c. This is the
+// check "the effect of each operation is included in the current covering
+// effect" applied to an operation whose effect is a summary (e.g. a method
+// call).
+func (c *Compound) CoversSet(s effect.Set) bool {
+	for _, e := range s.Effects() {
+		if !c.Contains(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// UncoveredOf returns the effects of s not contained in c, for error
+// reporting.
+func (c *Compound) UncoveredOf(s effect.Set) []effect.Effect {
+	var out []effect.Effect
+	for _, e := range s.Effects() {
+		if !c.Contains(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the compound effect in the abstract grammar form, which is
+// what the paper prints in uncovered-effect error messages (§4.4).
+func (c *Compound) String() string {
+	var b strings.Builder
+	c.render(&b)
+	return b.String()
+}
+
+func (c *Compound) render(b *strings.Builder) {
+	switch c.k {
+	case kBase:
+		b.WriteString("{" + c.base.String() + "}")
+	case kAdd:
+		c.prev.render(b)
+		b.WriteString(" + {" + c.operand.String() + "}")
+	case kSub:
+		c.prev.render(b)
+		b.WriteString(" - {" + c.operand.String() + "}")
+	case kMeet:
+		b.WriteString("(")
+		c.l.render(b)
+		b.WriteString(") ∩ (")
+		c.r.render(b)
+		b.WriteString(")")
+	}
+}
+
+// SyntacticEqual is the heuristic equality of §4.4: it compares abstract
+// structure, which may report false for semantically equal compound effects
+// (harmless: the structure-based analysis then iterates a loop once more)
+// but never reports true for unequal ones.
+func (c *Compound) SyntacticEqual(d *Compound) bool {
+	if c == d {
+		return true
+	}
+	if c == nil || d == nil || c.k != d.k {
+		return false
+	}
+	switch c.k {
+	case kBase:
+		return c.base.Equal(d.base)
+	case kAdd, kSub:
+		return c.operand.Equal(d.operand) && c.prev.SyntacticEqual(d.prev)
+	case kMeet:
+		return c.l.SyntacticEqual(d.l) && c.r.SyntacticEqual(d.r)
+	}
+	return false
+}
+
+// EqualOn reports semantic equality of two compound effects restricted to a
+// finite effect domain: they contain exactly the same members of dom. This
+// is the decidable equality the iterative algorithm works with.
+func (c *Compound) EqualOn(d *Compound, dom []effect.Effect) bool {
+	for _, e := range dom {
+		if c.Contains(e) != d.Contains(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOn reports c ⊆ d on the finite domain (the semilattice partial
+// order of §4.1.2, restricted to dom).
+func (c *Compound) SubsetOn(d *Compound, dom []effect.Effect) bool {
+	for _, e := range dom {
+		if c.Contains(e) && !d.Contains(e) {
+			return false
+		}
+	}
+	return true
+}

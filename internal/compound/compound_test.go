@@ -1,0 +1,305 @@
+package compound
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"twe/internal/effect"
+	"twe/internal/rpl"
+)
+
+func es(s string) effect.Set     { return effect.MustParse(s) }
+func eff(s string) effect.Effect { return effect.MustParse(s).At(0) }
+func r(s string) rpl.RPL         { return rpl.MustParse(s) }
+
+// TestRunningExample follows the paper's increaseContrast example
+// (§3.1.5): covering effect starts at writes Top, Bottom; a spawn of
+// writes Top subtracts it; the join adds it back.
+func TestRunningExample(t *testing.T) {
+	c := NewBase(es("writes Top, Bottom"))
+	wTop := eff("writes Top")
+	wBottom := eff("writes Bottom")
+	rTop := eff("reads Top")
+
+	if !c.Contains(wTop) || !c.Contains(wBottom) || !c.Contains(rTop) {
+		t.Fatal("base should cover writes/reads on Top and Bottom")
+	}
+
+	spawned := c.Sub(es("writes Top"))
+	if spawned.Contains(wTop) {
+		t.Error("after spawn, writes Top must not be covered")
+	}
+	if spawned.Contains(rTop) {
+		t.Error("after spawn, reads Top interferes with transferred writes Top")
+	}
+	if !spawned.Contains(wBottom) {
+		t.Error("after spawn, writes Bottom still covered")
+	}
+
+	joined := spawned.Add(es("writes Top"))
+	if !joined.Contains(wTop) || !joined.Contains(wBottom) {
+		t.Error("after join, full effect restored")
+	}
+}
+
+func TestAddCoversOnlyIncluded(t *testing.T) {
+	c := Bottom().Add(es("writes A"))
+	if !c.Contains(eff("writes A")) || !c.Contains(eff("reads A")) {
+		t.Error("+writes A covers reads/writes A")
+	}
+	if c.Contains(eff("writes B")) {
+		t.Error("+writes A must not cover writes B")
+	}
+	if c.Contains(eff("writes A:*")) {
+		t.Error("+writes A must not cover the larger writes A:*")
+	}
+}
+
+func TestSubRemovesInterfering(t *testing.T) {
+	c := Top().Sub(es("reads A"))
+	if c.Contains(eff("writes A")) {
+		t.Error("-reads A removes writes A (interferes)")
+	}
+	if !c.Contains(eff("reads A")) {
+		t.Error("-reads A keeps reads A (two reads don't interfere)")
+	}
+	if !c.Contains(eff("writes B")) {
+		t.Error("-reads A keeps writes B")
+	}
+}
+
+func TestRightToLeftOrder(t *testing.T) {
+	// (⊥ + writes A − writes A): the rightmost op wins → not covered.
+	c := Bottom().Add(es("writes A")).Sub(es("writes A"))
+	if c.Contains(eff("writes A")) {
+		t.Error("sub after add must remove")
+	}
+	// (⊥ − writes A + writes A): add after sub restores.
+	d := Bottom().Sub(es("writes A")).Add(es("writes A"))
+	if !d.Contains(eff("writes A")) {
+		t.Error("add after sub must restore")
+	}
+}
+
+func TestMeet(t *testing.T) {
+	a := NewBase(es("writes A, B"))
+	b := NewBase(es("writes B, C"))
+	m := Meet(a, b)
+	if m.Contains(eff("writes A")) || m.Contains(eff("writes C")) {
+		t.Error("meet covers only common effects")
+	}
+	if !m.Contains(eff("writes B")) {
+		t.Error("meet keeps writes B")
+	}
+	if Meet(nil, a) != a || Meet(a, nil) != a {
+		t.Error("nil is the identity of Meet")
+	}
+	if MeetAll(a, b, nil) == nil {
+		t.Error("MeetAll should fold")
+	}
+}
+
+func TestCoversSetAndUncovered(t *testing.T) {
+	c := NewBase(es("writes A reads B"))
+	if !c.CoversSet(es("reads A, B")) {
+		t.Error("reads A,B covered by writes A reads B")
+	}
+	if c.CoversSet(es("writes B")) {
+		t.Error("writes B not covered")
+	}
+	un := c.UncoveredOf(es("reads A writes B, C"))
+	if len(un) != 2 {
+		t.Fatalf("want 2 uncovered effects, got %v", un)
+	}
+}
+
+func TestTopBottom(t *testing.T) {
+	dom := domain()
+	top, bot := Top(), Bottom()
+	for _, e := range dom {
+		if !top.Contains(e) {
+			t.Errorf("Top must contain %v", e)
+		}
+		if bot.Contains(e) {
+			t.Errorf("Bottom must not contain %v", e)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := NewBase(es("writes A")).Sub(es("writes B")).Add(es("reads C"))
+	s := c.String()
+	for _, want := range []string{"{writes Root:A}", "- {writes Root:B}", "+ {reads Root:C}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	m := Meet(NewBase(es("writes A")), NewBase(es("writes B")))
+	if !strings.Contains(m.String(), "∩") {
+		t.Errorf("meet rendering: %q", m.String())
+	}
+}
+
+func TestSyntacticEqual(t *testing.T) {
+	a := NewBase(es("writes A")).Sub(es("writes B"))
+	b := NewBase(es("writes A")).Sub(es("writes B"))
+	if !a.SyntacticEqual(b) {
+		t.Error("identical structure should be equal")
+	}
+	c := NewBase(es("writes A")).Sub(es("writes C"))
+	if a.SyntacticEqual(c) {
+		t.Error("different operand should differ")
+	}
+	if a.SyntacticEqual(Meet(a, b)) {
+		t.Error("different kind should differ")
+	}
+	if a.SyntacticEqual(nil) {
+		t.Error("nil is not equal")
+	}
+}
+
+// --- semilattice / framework property tests (Thms 1 & 2) ----------------
+
+func domain() []effect.Effect {
+	var dom []effect.Effect
+	for _, s := range []string{"A", "B", "A:B", "A:*", "A:[1]", "Root"} {
+		dom = append(dom, effect.Read(r(s)), effect.WriteEff(r(s)))
+	}
+	return dom
+}
+
+func randSummary(rnd *rand.Rand) effect.Set {
+	regions := []string{"A", "B", "A:B", "A:*", "A:[1]"}
+	n := rnd.Intn(3)
+	var effs []effect.Effect
+	for i := 0; i < n; i++ {
+		reg := r(regions[rnd.Intn(len(regions))])
+		if rnd.Intn(2) == 0 {
+			effs = append(effs, effect.Read(reg))
+		} else {
+			effs = append(effs, effect.WriteEff(reg))
+		}
+	}
+	return effect.NewSet(effs...)
+}
+
+func randCompound(rnd *rand.Rand, depth int) *Compound {
+	if depth == 0 {
+		return NewBase(randSummary(rnd))
+	}
+	switch rnd.Intn(4) {
+	case 0:
+		return randCompound(rnd, depth-1).Add(randSummary(rnd))
+	case 1:
+		return randCompound(rnd, depth-1).Sub(randSummary(rnd))
+	case 2:
+		return Meet(randCompound(rnd, depth-1), randCompound(rnd, depth-1))
+	default:
+		return NewBase(randSummary(rnd))
+	}
+}
+
+// randTail applies a random additive-subtractive sequence to c; the same
+// tail applied to different bases models a transfer function f ∈ F
+// (Lemma 1's form E → E t).
+type tail []struct {
+	add bool
+	e   effect.Set
+}
+
+func randTail(rnd *rand.Rand) tail {
+	n := rnd.Intn(4)
+	tl := make(tail, n)
+	for i := range tl {
+		tl[i].add = rnd.Intn(2) == 0
+		tl[i].e = randSummary(rnd)
+	}
+	return tl
+}
+
+func (tl tail) apply(c *Compound) *Compound {
+	for _, op := range tl {
+		if op.add {
+			c = c.Add(op.e)
+		} else {
+			c = c.Sub(op.e)
+		}
+	}
+	return c
+}
+
+// TestDistributivity checks Theorem 1: f(E1 ∩ E2) = f(E1) ∩ f(E2) for
+// transfer functions of the form E → E t, on the finite domain.
+func TestDistributivity(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	dom := domain()
+	for trial := 0; trial < 2000; trial++ {
+		e1 := randCompound(rnd, 2)
+		e2 := randCompound(rnd, 2)
+		tl := randTail(rnd)
+		lhs := tl.apply(Meet(e1, e2))
+		rhs := Meet(tl.apply(e1), tl.apply(e2))
+		if !lhs.EqualOn(rhs, dom) {
+			t.Fatalf("distributivity failed:\n e1=%v\n e2=%v\n lhs=%v\n rhs=%v", e1, e2, lhs, rhs)
+		}
+	}
+}
+
+// TestMonotonicity checks Corollary 1: E1 ⊆ E2 ⇒ f(E1) ⊆ f(E2).
+func TestMonotonicity(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	dom := domain()
+	for trial := 0; trial < 2000; trial++ {
+		e1 := randCompound(rnd, 2)
+		e2 := randCompound(rnd, 2)
+		if !e1.SubsetOn(e2, dom) {
+			continue
+		}
+		tl := randTail(rnd)
+		if !tl.apply(e1).SubsetOn(tl.apply(e2), dom) {
+			t.Fatalf("monotonicity failed for e1=%v e2=%v", e1, e2)
+		}
+	}
+}
+
+// TestRapidity checks Theorem 2: f(E) ⊇ E ∩ f(⊤).
+func TestRapidity(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	dom := domain()
+	for trial := 0; trial < 2000; trial++ {
+		e := randCompound(rnd, 2)
+		tl := randTail(rnd)
+		fE := tl.apply(e)
+		rhs := Meet(e, tl.apply(Top()))
+		if !rhs.SubsetOn(fE, dom) {
+			t.Fatalf("rapidity failed for e=%v tail applied=%v", e, fE)
+		}
+	}
+}
+
+// TestMeetLaws checks the semilattice laws on the finite domain.
+func TestMeetLaws(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	dom := domain()
+	for trial := 0; trial < 1000; trial++ {
+		a := randCompound(rnd, 2)
+		b := randCompound(rnd, 2)
+		c := randCompound(rnd, 2)
+		if !Meet(a, a).EqualOn(a, dom) {
+			t.Fatal("meet not idempotent")
+		}
+		if !Meet(a, b).EqualOn(Meet(b, a), dom) {
+			t.Fatal("meet not commutative")
+		}
+		if !Meet(Meet(a, b), c).EqualOn(Meet(a, Meet(b, c)), dom) {
+			t.Fatal("meet not associative")
+		}
+		if !Meet(a, Top()).EqualOn(a, dom) {
+			t.Fatal("⊤ not identity of meet")
+		}
+		if !Meet(a, Bottom()).EqualOn(Bottom(), dom) {
+			t.Fatal("⊥ not absorbing")
+		}
+	}
+}

@@ -1,0 +1,631 @@
+// Package core implements the tasks-with-effects runtime model of Heumann &
+// Adve (PPoPP 2013): dynamically created tasks carrying declared effect
+// summaries, scheduled by a pluggable effect-aware scheduler that enforces
+// task isolation — no two tasks with interfering effects run concurrently.
+//
+// The package provides the TWEJava task operations of Fig. 3.1:
+//
+//	Task.ExecuteLater  →  Runtime.ExecuteLater / Ctx.ExecuteLater
+//	TaskFuture.getValue → Runtime.GetValue / Ctx.GetValue
+//	TaskFuture.isDone   → Future.IsDone
+//	Task.spawn          → Ctx.Spawn
+//	SpawnedTaskFuture.join → Ctx.Join
+//	execute (§5.5.1)    → Runtime.Execute / Ctx.Execute
+//
+// Effect transfer when blocked (§3.1.4) is implemented through the blocker
+// chain: a task that performs GetValue records the target as its blocker,
+// and schedulers ignore effect conflicts between a task and the tasks
+// (transitively) blocked on it. Effect transfer for nested parallelism
+// (§3.1.5) is implemented by Spawn/Join, which move effects between the
+// parent's and child's run-time covering effects; the runtime performs the
+// paper's "limited dynamic checking" that a spawned child's effects are
+// covered by the parent's current covering effect.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"twe/internal/compound"
+	"twe/internal/effect"
+	"twe/internal/pool"
+)
+
+// Status is the lifecycle state of a Future, ordered as in the tree
+// scheduler's TaskFuture.status (Fig. 5.3): WAITING < PRIORITIZED <
+// ENABLED < DONE.
+type Status int32
+
+const (
+	// Waiting: submitted, not yet permitted to run by the scheduler.
+	Waiting Status = iota
+	// Prioritized: still waiting, but some running task blocks on it, so
+	// schedulers favour it (and may disable other tasks' effects for it).
+	Prioritized
+	// Enabled: handed to the execution pool; will run or is running.
+	Enabled
+	// Done: finished; result and error are final.
+	Done
+)
+
+func (s Status) String() string {
+	switch s {
+	case Waiting:
+		return "WAITING"
+	case Prioritized:
+		return "PRIORITIZED"
+	case Enabled:
+		return "ENABLED"
+	case Done:
+		return "DONE"
+	}
+	return fmt.Sprintf("Status(%d)", int32(s))
+}
+
+// Body is a task body. It runs with a Ctx through which it can create and
+// wait for other tasks. A panic in a body is converted to an error on its
+// future.
+type Body func(ctx *Ctx, arg any) (any, error)
+
+// Task is a reusable task definition: a name, a declared effect summary,
+// and a body. The effect summary must cover every memory access the body
+// performs (in TWEJava the compiler proves this; here it is the API
+// contract, checked statically for TWEL programs and dynamically by the
+// isolation monitor in tests).
+type Task struct {
+	Name string
+	Eff  effect.Set
+	Body Body
+	// Deterministic marks the task as declared @Deterministic (§3.3.5):
+	// its body (and everything it invokes) may only use Spawn/Join, never
+	// ExecuteLater/GetValue/Execute. The runtime enforces the restriction
+	// dynamically; the TWEL checker enforces it statically.
+	Deterministic bool
+}
+
+// NewTask is a convenience constructor.
+func NewTask(name string, eff effect.Set, body Body) *Task {
+	return &Task{Name: name, Eff: eff, Body: body}
+}
+
+// Future represents one execution of a task (the paper's TaskFuture / TF
+// tuple). Futures are created by ExecuteLater, Execute, or Spawn.
+type Future struct {
+	task *Task
+	rt   *Runtime
+	arg  any
+	eff  effect.Set // effect summary of this execution
+	seq  uint64     // creation order, for deterministic tie-breaking
+
+	status  atomic.Int32
+	started atomic.Bool
+	blocker atomic.Pointer[Future]
+
+	// Spawn bookkeeping.
+	spawnParent *Future
+	joined      atomic.Bool
+	spawnMu     sync.Mutex
+	spawned     map[*Future]struct{} // spawned, not-yet-joined children
+
+	// Run-time covering effect (declared − spawned + joined), §3.1.5.
+	coverMu  sync.Mutex
+	covering *compound.Compound
+
+	// deterministic is true if this future or any spawn ancestor is
+	// deterministic; restricts the task operations available to the body.
+	deterministic bool
+
+	result any
+	err    error
+	done   chan struct{}
+
+	// SchedState is private storage for the active scheduler, set during
+	// Scheduler.Submit before the future is visible to other goroutines.
+	SchedState any
+}
+
+// Task returns the task definition this future executes.
+func (f *Future) Task() *Task { return f.task }
+
+// Effects returns the effect summary of this execution.
+func (f *Future) Effects() effect.Set { return f.eff }
+
+// Seq returns the creation sequence number (older tasks have smaller Seq).
+func (f *Future) Seq() uint64 { return f.seq }
+
+// Status returns the current lifecycle state.
+func (f *Future) Status() Status { return Status(f.status.Load()) }
+
+// CompareAndSwapStatus atomically transitions the status; schedulers use it
+// for WAITING→PRIORITIZED and similar transitions.
+func (f *Future) CompareAndSwapStatus(from, to Status) bool {
+	return f.status.CompareAndSwap(int32(from), int32(to))
+}
+
+// IsDone reports whether the task has finished (the isDone operation).
+func (f *Future) IsDone() bool { return f.Status() == Done }
+
+// Blocker returns the future this task is currently blocked on, or nil.
+func (f *Future) Blocker() *Future { return f.blocker.Load() }
+
+// BlockedOn walks the blocker chain of f and reports whether it reaches
+// target (Fig. 5.9), i.e. f is directly or transitively blocked on target.
+func (f *Future) BlockedOn(target *Future) bool {
+	b := f.Blocker()
+	for b != nil {
+		if b == target {
+			return true
+		}
+		b = b.Blocker()
+	}
+	return false
+}
+
+// SpawnParent returns the task that spawned this future, or nil if it was
+// created by ExecuteLater/Execute.
+func (f *Future) SpawnParent() *Future { return f.spawnParent }
+
+// SpawnAncestorOf reports whether f is a spawn-ancestor of g.
+func (f *Future) SpawnAncestorOf(g *Future) bool {
+	for p := g.spawnParent; p != nil; p = p.spawnParent {
+		if p == f {
+			return true
+		}
+	}
+	return false
+}
+
+// SpawnedChildren returns a snapshot of the spawned, not-yet-joined
+// children; schedulers consult it when applying effect transfer to a
+// blocked task (Fig. 5.8, lines 6–11).
+func (f *Future) SpawnedChildren() []*Future {
+	f.spawnMu.Lock()
+	defer f.spawnMu.Unlock()
+	out := make([]*Future, 0, len(f.spawned))
+	for c := range f.spawned {
+		out = append(out, c)
+	}
+	return out
+}
+
+func (f *Future) addSpawned(c *Future) {
+	f.spawnMu.Lock()
+	if f.spawned == nil {
+		f.spawned = make(map[*Future]struct{})
+	}
+	f.spawned[c] = struct{}{}
+	f.spawnMu.Unlock()
+}
+
+func (f *Future) removeSpawned(c *Future) {
+	f.spawnMu.Lock()
+	delete(f.spawned, c)
+	f.spawnMu.Unlock()
+}
+
+// ConflictsIgnoringTransfer implements the conflicts() predicate of
+// Fig. 5.8 between the effect summaries of two futures, including the
+// effect-transfer exception: conflicts between a task and a task blocked on
+// it are ignored, unless a spawned child of the blocked task still holds a
+// conflicting effect. Schedulers use the per-effect variant; this
+// whole-summary form is shared by the naive scheduler and the isolation
+// monitor.
+func ConflictsIgnoringTransfer(a, b *Future) bool {
+	if a == b {
+		return false
+	}
+	if a.eff.NonInterfering(b.eff) {
+		return false
+	}
+	if a.BlockedOn(b) {
+		return spawnedConflict(a, b.eff)
+	}
+	if b.BlockedOn(a) {
+		return spawnedConflict(b, a.eff)
+	}
+	return true
+}
+
+// spawnedConflict reports whether any spawned (unjoined) descendant of
+// blocked still holds effects conflicting with eff.
+func spawnedConflict(blocked *Future, eff effect.Set) bool {
+	for _, c := range blocked.SpawnedChildren() {
+		if !c.eff.NonInterfering(eff) {
+			return true
+		}
+		if spawnedConflict(c, eff) {
+			return true
+		}
+	}
+	return false
+}
+
+// Scheduler is the effect-aware scheduling policy. Implementations must
+// guarantee task isolation: Ready may be called on a future only when its
+// effects do not interfere with those of any other future that is Ready
+// and not Done, modulo the blocked-on and spawn transfers above.
+type Scheduler interface {
+	// Submit introduces a future in Waiting (or Prioritized, for Execute)
+	// state. The scheduler enables it — immediately or later — by calling
+	// f.Ready().
+	Submit(f *Future)
+	// NotifyBlocked is called after caller (possibly nil for an external
+	// waiter) has recorded target as its blocker. The scheduler prioritizes
+	// target and re-checks the blocker chain so effect transfer can enable
+	// it (Fig. 5.11).
+	NotifyBlocked(caller, target *Future)
+	// Done is called after f's status became Done; the scheduler releases
+	// f's effects and re-checks conflicting waiters (Fig. 5.14). It is not
+	// called for spawned futures, whose effects the scheduler never held.
+	Done(f *Future)
+}
+
+// Monitor observes task lifecycle transitions. The isolation checker in
+// package isolcheck implements it; production runtimes use the no-op
+// monitor.
+type Monitor interface {
+	// OnRun fires when a future starts executing user code.
+	OnRun(f *Future)
+	// OnBlock/OnUnblock bracket a blocking GetValue/Join.
+	OnBlock(f *Future)
+	OnUnblock(f *Future)
+	// OnFinish fires after the body (and implicit joins) completed.
+	OnFinish(f *Future)
+}
+
+type nopMonitor struct{}
+
+func (nopMonitor) OnRun(*Future)     {}
+func (nopMonitor) OnBlock(*Future)   {}
+func (nopMonitor) OnUnblock(*Future) {}
+func (nopMonitor) OnFinish(*Future)  {}
+
+// Runtime ties a scheduler to an execution pool (§3.4.2).
+type Runtime struct {
+	pool    *pool.Pool
+	sched   Scheduler
+	monitor Monitor
+	seq     atomic.Uint64
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithMonitor installs a lifecycle monitor.
+func WithMonitor(m Monitor) Option { return func(rt *Runtime) { rt.monitor = m } }
+
+// NewRuntime builds a runtime around the given scheduler with the given
+// parallelism (0 = GOMAXPROCS). The scheduler must have been constructed
+// for this runtime via its package's New function.
+func NewRuntime(sched Scheduler, parallelism int, opts ...Option) *Runtime {
+	rt := &Runtime{
+		pool:    pool.New(parallelism),
+		sched:   sched,
+		monitor: nopMonitor{},
+	}
+	for _, o := range opts {
+		o(rt)
+	}
+	if b, ok := sched.(interface{ Bind(*Runtime) }); ok {
+		b.Bind(rt)
+	}
+	return rt
+}
+
+// Pool exposes the execution pool (schedulers and tests use it).
+func (rt *Runtime) Pool() *pool.Pool { return rt.pool }
+
+// Scheduler returns the active scheduler.
+func (rt *Runtime) Scheduler() Scheduler { return rt.sched }
+
+// Shutdown waits for all submitted tasks and closes the pool.
+func (rt *Runtime) Shutdown() { rt.pool.Shutdown() }
+
+func (rt *Runtime) newFuture(t *Task, arg any) *Future {
+	return &Future{
+		task:          t,
+		rt:            rt,
+		arg:           arg,
+		eff:           t.Eff,
+		seq:           rt.seq.Add(1),
+		deterministic: t.Deterministic,
+		done:          make(chan struct{}),
+	}
+}
+
+// ExecuteLater queues an asynchronous execution of t (the executeLater
+// operation) and returns its future.
+func (rt *Runtime) ExecuteLater(t *Task, arg any) *Future {
+	f := rt.newFuture(t, arg)
+	rt.sched.Submit(f)
+	return f
+}
+
+// GetValue blocks until f completes and returns its result (the getValue
+// operation performed from outside any task, e.g. from main).
+func (rt *Runtime) GetValue(f *Future) (any, error) {
+	return rt.getValue(nil, f)
+}
+
+// Execute runs t and waits for it, prioritizing it from the start
+// (§5.5.1); from outside any task.
+func (rt *Runtime) Execute(t *Task, arg any) (any, error) {
+	f := rt.newFuture(t, arg)
+	f.status.Store(int32(Prioritized))
+	rt.sched.Submit(f)
+	return rt.getValue(nil, f)
+}
+
+// Run is a convenience for programs: ExecuteLater + GetValue of a root
+// task.
+func (rt *Runtime) Run(t *Task, arg any) (any, error) {
+	return rt.GetValue(rt.ExecuteLater(t, arg))
+}
+
+// WaitAll waits for every future and returns the first error encountered
+// (still draining the rest, so the runtime quiesces deterministically).
+func (rt *Runtime) WaitAll(futs []*Future) error {
+	var first error
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WaitAll is the in-task variant of Runtime.WaitAll, waiting with effect
+// transfer from the calling task.
+func (c *Ctx) WaitAll(futs []*Future) error {
+	var first error
+	for _, f := range futs {
+		if _, err := c.GetValue(f); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Ready is called by the scheduler when all of f's effects are enabled: it
+// submits the future to the execution pool. It is idempotent in effect
+// because the body-run claims f.started.
+func (f *Future) Ready() {
+	f.status.Store(int32(Enabled))
+	f.rt.pool.Submit(func() {
+		if f.started.CompareAndSwap(false, true) {
+			f.rt.runBody(f)
+		}
+	})
+}
+
+// runBody executes the task body on the calling goroutine, performs the
+// implicit join of unjoined spawned children (§3.1.5), publishes the
+// result, and notifies the scheduler.
+func (rt *Runtime) runBody(f *Future) {
+	rt.monitor.OnRun(f)
+	f.coverMu.Lock()
+	f.covering = compound.NewBase(f.eff)
+	f.coverMu.Unlock()
+
+	ctx := &Ctx{rt: rt, fut: f}
+	res, err := safeCall(f.task.Body, ctx, f.arg)
+
+	// Implicit join: a method never "gives up" effects from the
+	// perspective of its callers (§3.1.5).
+	for {
+		children := f.SpawnedChildren()
+		if len(children) == 0 {
+			break
+		}
+		for _, c := range children {
+			if _, jerr := ctx.Join(&SpawnedFuture{f: c}); jerr != nil && err == nil {
+				if !errors.Is(jerr, ErrAlreadyJoined) {
+					err = jerr
+				}
+			}
+		}
+	}
+
+	f.result, f.err = res, err
+	// OnFinish must precede the Done store: schedulers treat a Done status
+	// as permission to admit conflicting tasks (its memory accesses are
+	// over), so the monitor has to deregister this task before any such
+	// admission can observe Done — otherwise the oracle reports a phantom
+	// overlap between a task that already returned and its successor.
+	rt.monitor.OnFinish(f)
+	f.status.Store(int32(Done))
+	close(f.done)
+	if f.spawnParent == nil {
+		rt.sched.Done(f)
+	}
+}
+
+func safeCall(b Body, ctx *Ctx, arg any) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("task panicked: %w", e)
+			} else {
+				err = fmt.Errorf("task panicked: %v", r)
+			}
+		}
+	}()
+	return b(ctx, arg)
+}
+
+// getValue implements the blocking wait with effect transfer. caller is
+// the future of the task performing the wait, or nil for external waiters.
+func (rt *Runtime) getValue(caller, f *Future) (any, error) {
+	if f.IsDone() {
+		return f.result, f.err
+	}
+	if caller != nil {
+		if caller.BlockedOn(caller) || f == caller {
+			return nil, ErrSelfWait
+		}
+		caller.blocker.Store(f)
+		defer caller.blocker.Store(nil)
+	}
+	rt.sched.NotifyBlocked(caller, f)
+
+	if caller != nil {
+		rt.monitor.OnBlock(caller)
+		defer rt.monitor.OnUnblock(caller)
+	}
+
+	// Inline-run optimization (§5.5): if the target is enabled but not yet
+	// started, run it on this goroutine rather than context-switching.
+	if f.Status() >= Enabled && f.started.CompareAndSwap(false, true) {
+		rt.runBody(f)
+		return f.result, f.err
+	}
+
+	wait := func() { <-f.done }
+	if caller != nil {
+		rt.pool.Block(wait)
+	} else {
+		wait()
+	}
+	return f.result, f.err
+}
+
+// Errors reported by the task operations.
+var (
+	// ErrSelfWait: a task attempted to wait on itself.
+	ErrSelfWait = errors.New("core: task cannot wait on itself")
+	// ErrNotSpawner: Join called by a task other than the spawner (§3.1.5
+	// "only the parent task that spawns a task may join it").
+	ErrNotSpawner = errors.New("core: only the spawning task may join a spawned task")
+	// ErrAlreadyJoined: a spawned task may be joined only once.
+	ErrAlreadyJoined = errors.New("core: spawned task already joined")
+	// ErrDeterminism: a @Deterministic task used a non-deterministic task
+	// operation (§3.3.5).
+	ErrDeterminism = errors.New("core: deterministic task may only use Spawn/Join")
+)
+
+// UncoveredSpawnError reports a spawn whose effects were not covered by the
+// parent's run-time covering effect (§3.1.5's dynamic check).
+type UncoveredSpawnError struct {
+	Parent, Child string
+	ChildEff      effect.Set
+	Covering      string
+}
+
+func (e *UncoveredSpawnError) Error() string {
+	return fmt.Sprintf("core: task %q cannot spawn %q: effects [%v] not covered by current covering effect %s",
+		e.Parent, e.Child, e.ChildEff, e.Covering)
+}
+
+// SpawnedFuture is the handle returned by Spawn; only it supports Join
+// (the SpawnedTaskFuture of Fig. 3.1).
+type SpawnedFuture struct {
+	f *Future
+}
+
+// Future returns the underlying future (GetValue/IsDone work on it, but
+// without join's effect transfer back to the parent).
+func (sf *SpawnedFuture) Future() *Future { return sf.f }
+
+// IsDone reports completion.
+func (sf *SpawnedFuture) IsDone() bool { return sf.f.IsDone() }
+
+// Ctx is the in-task handle through which a body performs task operations.
+type Ctx struct {
+	rt  *Runtime
+	fut *Future
+}
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Future returns the future of the currently executing task.
+func (c *Ctx) Future() *Future { return c.fut }
+
+// ExecuteLater queues an asynchronous task (not permitted inside
+// @Deterministic code).
+func (c *Ctx) ExecuteLater(t *Task, arg any) (*Future, error) {
+	if c.fut.deterministic {
+		return nil, ErrDeterminism
+	}
+	return c.rt.ExecuteLater(t, arg), nil
+}
+
+// GetValue waits for f with effect transfer from the calling task.
+func (c *Ctx) GetValue(f *Future) (any, error) {
+	if c.fut.deterministic {
+		return nil, ErrDeterminism
+	}
+	return c.rt.getValue(c.fut, f)
+}
+
+// Execute runs t to completion as a prioritized critical section (§5.5.1),
+// e.g. the reduction tasks of KMeans.
+func (c *Ctx) Execute(t *Task, arg any) (any, error) {
+	if c.fut.deterministic {
+		return nil, ErrDeterminism
+	}
+	f := c.rt.newFuture(t, arg)
+	f.status.Store(int32(Prioritized))
+	c.rt.sched.Submit(f)
+	return c.rt.getValue(c.fut, f)
+}
+
+// Spawn runs t immediately as a child task, transferring its effects from
+// the calling task (§3.1.5). The child's effects must be covered by the
+// caller's current covering effect; otherwise an *UncoveredSpawnError is
+// returned and nothing is spawned.
+func (c *Ctx) Spawn(t *Task, arg any) (*SpawnedFuture, error) {
+	parent := c.fut
+	parent.coverMu.Lock()
+	if !parent.covering.CoversSet(t.Eff) {
+		err := &UncoveredSpawnError{
+			Parent:   parent.task.Name,
+			Child:    t.Name,
+			ChildEff: t.Eff,
+			Covering: parent.covering.String(),
+		}
+		parent.coverMu.Unlock()
+		return nil, err
+	}
+	parent.covering = parent.covering.Sub(t.Eff)
+	parent.coverMu.Unlock()
+
+	child := c.rt.newFuture(t, arg)
+	child.spawnParent = parent
+	child.deterministic = parent.deterministic || t.Deterministic
+	parent.addSpawned(child)
+	// Spawned tasks are enabled immediately: their effects were
+	// transferred from a running task, so no other running task can
+	// conflict (§5.2.1). The scheduler never tracks them.
+	child.Ready()
+	return &SpawnedFuture{f: child}, nil
+}
+
+// Join waits for a spawned child and transfers its effects back to the
+// caller (§3.1.5). Only the spawner may join, and only once.
+func (c *Ctx) Join(sf *SpawnedFuture) (any, error) {
+	child := sf.f
+	if child.spawnParent != c.fut {
+		return nil, ErrNotSpawner
+	}
+	if !child.joined.CompareAndSwap(false, true) {
+		return nil, ErrAlreadyJoined
+	}
+	v, err := c.rt.getValue(c.fut, child)
+	c.fut.removeSpawned(child)
+	c.fut.coverMu.Lock()
+	c.fut.covering = c.fut.covering.Add(child.eff)
+	c.fut.coverMu.Unlock()
+	return v, err
+}
+
+// CoveringContains reports whether the calling task's current covering
+// effect contains the given summary; bodies can use it for assertions and
+// the monitor uses it to validate accesses.
+func (c *Ctx) CoveringContains(s effect.Set) bool {
+	c.fut.coverMu.Lock()
+	defer c.fut.coverMu.Unlock()
+	return c.fut.covering.CoversSet(s)
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"twe/internal/effect"
+	"twe/internal/rpl"
+)
+
+// ParallelFor runs fn(i) for every lo ≤ i < hi using recursive binary
+// subdivision with spawn/join — the construct the paper notes DPJ's
+// runtime used for parallel loops and that "it would be possible to
+// implement in the tasks with effects model" (§6.2). Ranges at or below
+// grain run inline; larger ranges spawn their left half under a
+// hierarchical child region and recurse inline on the right.
+//
+// Regions: the iteration space is owned by the subtree prefix:* — the
+// calling task's current covering effect must include writes prefix:* —
+// and each recursive split assigns the halves the disjoint subtrees
+// prefix:[0]:* and prefix:[1]:*, so the transfer-checked spawns are
+// covered by construction and siblings never conflict. fn observes the
+// usual TWE contract: iteration i may touch only data the caller placed
+// (conceptually) under its half's region, plus read-only shared data
+// covered by the caller's remaining effects.
+//
+// extra is added to every spawned child's effect summary; pass the shared
+// read effects fn needs (e.g. "reads Tree").
+func ParallelFor(ctx *Ctx, prefix rpl.RPL, lo, hi, grain int, extra effect.Set, fn func(i int) error) error {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi <= lo {
+		return nil
+	}
+	return parallelForRange(ctx, prefix, lo, hi, grain, extra, fn)
+}
+
+func parallelForRange(ctx *Ctx, prefix rpl.RPL, lo, hi, grain int, extra effect.Set, fn func(i int) error) error {
+	if hi-lo <= grain {
+		for i := lo; i < hi; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	mid := lo + (hi-lo)/2
+	leftPrefix := prefix.Append(rpl.Idx(0))
+	rightPrefix := prefix.Append(rpl.Idx(1))
+
+	leftEff := effect.NewSet(effect.WriteEff(leftPrefix.Append(rpl.Any))).Union(extra)
+	child := &Task{
+		Name:          fmt.Sprintf("parfor[%d,%d)", lo, mid),
+		Eff:           leftEff,
+		Deterministic: ctx.fut.deterministic,
+		Body: func(cctx *Ctx, _ any) (any, error) {
+			return nil, parallelForRange(cctx, leftPrefix, lo, mid, grain, extra, fn)
+		},
+	}
+	sf, err := ctx.Spawn(child, nil)
+	if err != nil {
+		return err
+	}
+	rightErr := parallelForRange(ctx, rightPrefix, mid, hi, grain, extra, fn)
+	if _, jerr := ctx.Join(sf); jerr != nil && rightErr == nil {
+		rightErr = jerr
+	}
+	return rightErr
+}
+
+// ParallelForTask wraps ParallelFor as a ready-to-run root task owning the
+// whole iteration space under prefix:*, for callers outside any task.
+func ParallelForTask(name string, prefix rpl.RPL, lo, hi, grain int, extra effect.Set, fn func(i int) error) *Task {
+	return &Task{
+		Name: name,
+		Eff:  effect.NewSet(effect.WriteEff(prefix.Append(rpl.Any))).Union(extra),
+		Body: func(ctx *Ctx, _ any) (any, error) {
+			return nil, ParallelFor(ctx, prefix, lo, hi, grain, extra, fn)
+		},
+	}
+}

@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/isolcheck"
+	"twe/internal/naive"
+	"twe/internal/rpl"
+	"twe/internal/tree"
+)
+
+func TestParallelForCoversRange(t *testing.T) {
+	for name, mk := range map[string]func() core.Scheduler{
+		"naive": func() core.Scheduler { return naive.New() },
+		"tree":  func() core.Scheduler { return tree.New() },
+	} {
+		t.Run(name, func(t *testing.T) {
+			chk := isolcheck.New()
+			rt := core.NewRuntime(mk(), 4, core.WithMonitor(chk))
+			defer rt.Shutdown()
+			const n = 1000
+			out := make([]int32, n)
+			task := core.ParallelForTask("fill", rpl.New(rpl.N("Loop")), 0, n, 16,
+				effect.Pure, func(i int) error {
+					atomic.AddInt32(&out[i], 1)
+					return nil
+				})
+			if _, err := rt.Run(task, nil); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				if v != 1 {
+					t.Fatalf("index %d visited %d times", i, v)
+				}
+			}
+			for _, v := range chk.Violations() {
+				t.Error(v)
+			}
+		})
+	}
+}
+
+func TestParallelForGrainAndEmpty(t *testing.T) {
+	rt := core.NewRuntime(tree.New(), 2)
+	defer rt.Shutdown()
+	count := 0
+	task := core.ParallelForTask("empty", rpl.New(rpl.N("L")), 5, 5, 0,
+		effect.Pure, func(int) error { count++; return nil })
+	if _, err := rt.Run(task, nil); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatal("empty range ran iterations")
+	}
+}
+
+func TestParallelForErrorPropagates(t *testing.T) {
+	rt := core.NewRuntime(tree.New(), 4)
+	defer rt.Shutdown()
+	task := core.ParallelForTask("boom", rpl.New(rpl.N("L")), 0, 64, 4,
+		effect.Pure, func(i int) error {
+			if i == 37 {
+				return fmt.Errorf("iteration 37 failed")
+			}
+			return nil
+		})
+	if _, err := rt.Run(task, nil); err == nil {
+		t.Fatal("error lost")
+	}
+}
+
+// TestParallelForWithSharedReads mirrors the Barnes-Hut structure: every
+// iteration reads a shared structure and writes its own slot.
+func TestParallelForWithSharedReads(t *testing.T) {
+	rt := core.NewRuntime(tree.New(), 4)
+	defer rt.Shutdown()
+	shared := []int{1, 2, 3, 4}
+	const n = 256
+	out := make([]int, n)
+	extra := effect.NewSet(effect.Read(rpl.New(rpl.N("Shared"))))
+	task := core.ParallelForTask("bh", rpl.New(rpl.N("Bodies")), 0, n, 8,
+		extra, func(i int) error {
+			out[i] = shared[i%len(shared)] * i
+			return nil
+		})
+	if _, err := rt.Run(task, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != shared[i%len(shared)]*i {
+			t.Fatalf("out[%d] wrong", i)
+		}
+	}
+}
+
+// TestParallelForDeterministicInheritance: inside a deterministic task,
+// ParallelFor children inherit the restriction.
+func TestParallelForDeterministicInheritance(t *testing.T) {
+	rt := core.NewRuntime(tree.New(), 4)
+	defer rt.Shutdown()
+	other := core.NewTask("o", effect.Pure, func(_ *core.Ctx, _ any) (any, error) { return nil, nil })
+	det := &core.Task{
+		Name:          "det",
+		Eff:           effect.MustParse("writes Loop:*"),
+		Deterministic: true,
+		Body: func(ctx *core.Ctx, _ any) (any, error) {
+			seen := int32(0)
+			err := core.ParallelFor(ctx, rpl.New(rpl.N("Loop")), 0, 32, 4,
+				effect.Pure, func(i int) error {
+					atomic.AddInt32(&seen, 1)
+					return nil
+				})
+			if err != nil {
+				return nil, err
+			}
+			if seen != 32 {
+				return nil, fmt.Errorf("saw %d", seen)
+			}
+			// The enclosing deterministic restriction still applies here.
+			if _, err := ctx.ExecuteLater(other, nil); err != core.ErrDeterminism {
+				return nil, fmt.Errorf("determinism restriction lost: %v", err)
+			}
+			return nil, nil
+		},
+	}
+	if _, err := rt.Run(det, nil); err != nil {
+		t.Fatal(err)
+	}
+}

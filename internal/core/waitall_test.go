@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/tree"
+)
+
+func TestWaitAll(t *testing.T) {
+	rt := core.NewRuntime(tree.New(), 4)
+	defer rt.Shutdown()
+	ok := core.NewTask("ok", effect.MustParse("writes W"), func(_ *core.Ctx, _ any) (any, error) { return nil, nil })
+	bad := core.NewTask("bad", effect.MustParse("writes W"), func(_ *core.Ctx, _ any) (any, error) {
+		return nil, fmt.Errorf("nope")
+	})
+	futs := []*core.Future{
+		rt.ExecuteLater(ok, nil),
+		rt.ExecuteLater(bad, nil),
+		rt.ExecuteLater(ok, nil),
+	}
+	if err := rt.WaitAll(futs); err == nil || err.Error() != "nope" {
+		t.Fatalf("WaitAll err = %v", err)
+	}
+	for _, f := range futs {
+		if !f.IsDone() {
+			t.Fatal("WaitAll must drain every future")
+		}
+	}
+	if err := rt.WaitAll(nil); err != nil {
+		t.Fatal("empty WaitAll must succeed")
+	}
+}
+
+func TestCtxWaitAll(t *testing.T) {
+	rt := core.NewRuntime(tree.New(), 4)
+	defer rt.Shutdown()
+	leaf := core.NewTask("leaf", effect.MustParse("writes L"), func(_ *core.Ctx, arg any) (any, error) {
+		return arg, nil
+	})
+	parent := core.NewTask("parent", effect.MustParse("writes P"), func(ctx *core.Ctx, _ any) (any, error) {
+		var futs []*core.Future
+		for i := 0; i < 10; i++ {
+			f, err := ctx.ExecuteLater(leaf, i)
+			if err != nil {
+				return nil, err
+			}
+			futs = append(futs, f)
+		}
+		return nil, ctx.WaitAll(futs)
+	})
+	if _, err := rt.Run(parent, nil); err != nil {
+		t.Fatal(err)
+	}
+}

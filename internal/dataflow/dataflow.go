@@ -1,0 +1,354 @@
+// Package dataflow implements the iterative data-flow analysis for covering
+// effects (dissertation Ch. 4 §4.2–4.3, elaborating PPoPP 2013 §3.1.5).
+//
+// The analysis is a forward problem over the semilattice of compound
+// effects with meet ∩. Restricting the effect domain D to the effects of
+// the individual operations actually appearing in the flow graph (§4.3)
+// makes every compound effect representable as a bit vector over D: bit i
+// is set iff D[i] is a member of the compound effect. Transfer functions
+// are then:
+//
+//	f_id      — identity
+//	f_E̅      — constant: bit i set iff D[i] ⊆ E
+//	f_{+E}    — set bit i if D[i] ⊆ E, else keep
+//	f_{−E}    — clear bit i if ¬ D[i] # E, else keep
+//
+// The solver is the round-robin algorithm of Fig. 4.2, iterating blocks in
+// reverse postorder; because the framework is rapid (Thm. 2) it converges
+// in at most depth+2 passes.
+package dataflow
+
+import (
+	"fmt"
+
+	"twe/internal/effect"
+)
+
+// OpKind discriminates the operations that matter to the analysis.
+type OpKind uint8
+
+const (
+	// Access is an operation (memory access or method/task call run
+	// inline) whose effects must be covered at its program point.
+	Access OpKind = iota
+	// Spawn transfers the operand effects away to a child task (f_{−E}).
+	Spawn
+	// Join transfers the operand effects back from a joined child (f_{+E}).
+	Join
+)
+
+// Op is one analyzed operation within a basic block.
+type Op struct {
+	Kind OpKind
+	// Eff is the effect summary of the operation: the accessed effects for
+	// Access, or the transferred effects for Spawn/Join.
+	Eff effect.Set
+	// Pos is an optional source position used in error reports.
+	Pos string
+}
+
+// Block is a basic block of the control-flow graph.
+type Block struct {
+	// ID must be unique and dense in [0, len(Graph.Blocks)).
+	ID    int
+	Name  string
+	Ops   []Op
+	Succs []*Block
+}
+
+// Graph is a CFG with a distinguished empty entry block (Fig. 4.2 assumes
+// one; NewGraph creates it).
+type Graph struct {
+	Entry  *Block
+	Blocks []*Block // includes Entry at index 0
+}
+
+// NewGraph returns a graph containing only the empty ENTRY block.
+func NewGraph() *Graph {
+	entry := &Block{ID: 0, Name: "ENTRY"}
+	return &Graph{Entry: entry, Blocks: []*Block{entry}}
+}
+
+// NewBlock appends a fresh block to the graph.
+func (g *Graph) NewBlock(name string) *Block {
+	b := &Block{ID: len(g.Blocks), Name: name}
+	g.Blocks = append(g.Blocks, b)
+	return b
+}
+
+// Edge adds a control-flow edge from a to b.
+func (g *Graph) Edge(a, b *Block) { a.Succs = append(a.Succs, b) }
+
+// Bits is a bit vector over the effect domain.
+type Bits []uint64
+
+func newBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+func (b Bits) get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b Bits) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b Bits) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b Bits) clone() Bits    { c := make(Bits, len(b)); copy(c, b); return c }
+func (b Bits) and(o Bits) Bits { // in place; returns b
+	for i := range b {
+		b[i] &= o[i]
+	}
+	return b
+}
+func (b Bits) equal(o Bits) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Problem is a covering-effects instance: a graph plus the declared effect
+// summary of the task or method the graph belongs to.
+type Problem struct {
+	Graph    *Graph
+	Declared effect.Set
+}
+
+// Error reports an operation whose effects are not covered at its program
+// point.
+type Error struct {
+	Block *Block
+	OpIdx int
+	// Uncovered lists the offending effects.
+	Uncovered []effect.Effect
+	// Covering is a human-readable rendering of the covering effect at the
+	// point, restricted to the analysis domain.
+	Covering string
+}
+
+func (e *Error) Error() string {
+	op := e.Block.Ops[e.OpIdx]
+	pos := op.Pos
+	if pos == "" {
+		pos = fmt.Sprintf("%s#%d", e.Block.Name, e.OpIdx)
+	}
+	return fmt.Sprintf("dataflow: %s: effect %v not covered by current covering effect %s",
+		pos, e.Uncovered, e.Covering)
+}
+
+// Result holds the solved data-flow facts.
+type Result struct {
+	// Domain is the effect domain D in index order.
+	Domain []effect.Effect
+	// In[b.ID] is the covering-effect bit vector at entry to block b.
+	In []Bits
+	// Out[b.ID] is the covering-effect bit vector at exit of block b.
+	Out []Bits
+	// Iterations is the number of passes the solver made, including the
+	// final confirming pass (≤ depth+2 for reducible graphs, §4.3).
+	Iterations int
+	// Errors lists uncovered operations, in block/op order.
+	Errors []*Error
+}
+
+// buildDomain collects the effects of individual Access operations in the
+// graph (§4.3: "the effects of individual operations actually appearing in
+// the flow graph"). Duplicate effects share an index.
+func buildDomain(g *Graph) []effect.Effect {
+	var dom []effect.Effect
+	seen := func(e effect.Effect) bool {
+		for _, d := range dom {
+			if d.Equal(e) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range g.Blocks {
+		for _, op := range b.Ops {
+			if op.Kind != Access {
+				continue
+			}
+			for _, e := range op.Eff.Effects() {
+				if !seen(e) {
+					dom = append(dom, e)
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// constBits returns the bit vector of the constant function f_E̅: bit i set
+// iff D[i] ⊆ E.
+func constBits(dom []effect.Effect, e effect.Set) Bits {
+	b := newBits(len(dom))
+	for i, d := range dom {
+		if e.Covers(effect.NewSet(d)) {
+			b.set(i)
+		}
+	}
+	return b
+}
+
+// applyOp applies one operation's transfer function to the bit vector in
+// place.
+func applyOp(dom []effect.Effect, bits Bits, op Op) {
+	switch op.Kind {
+	case Access:
+		// identity
+	case Spawn:
+		for i, d := range dom {
+			if bits.get(i) && op.Eff.InterferesWithEffect(d) {
+				bits.clear(i)
+			}
+		}
+	case Join:
+		for i, d := range dom {
+			if !bits.get(i) && op.Eff.Covers(effect.NewSet(d)) {
+				bits.set(i)
+			}
+		}
+	}
+}
+
+// reversePostorder computes an RPO over blocks reachable from entry.
+func reversePostorder(g *Graph) []*Block {
+	visited := make([]bool, len(g.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		visited[b.ID] = true
+		for _, s := range b.Succs {
+			if !visited[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	// reverse
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Solve runs the iterative algorithm of Fig. 4.2 and then checks every
+// Access operation against the covering effect at its point.
+func Solve(p *Problem) *Result {
+	g := p.Graph
+	dom := buildDomain(g)
+	n := len(g.Blocks)
+	res := &Result{Domain: dom, In: make([]Bits, n), Out: make([]Bits, n)}
+
+	top := newBits(len(dom))
+	for i := range dom {
+		top.set(i)
+	}
+
+	// OUT[ENTRY] = declared effects; OUT[B] = ⊤ for all others.
+	for _, b := range g.Blocks {
+		if b == g.Entry {
+			res.Out[b.ID] = constBits(dom, p.Declared)
+		} else {
+			res.Out[b.ID] = top.clone()
+		}
+		res.In[b.ID] = top.clone()
+	}
+
+	order := reversePostorder(g)
+	preds := make([][]*Block, n)
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s.ID] = append(preds[s.ID], b)
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		res.Iterations++
+		for _, b := range order {
+			if b == g.Entry {
+				continue
+			}
+			in := top.clone()
+			if len(preds[b.ID]) == 0 {
+				// Unreachable from entry via preds: keep ⊤ (vacuous).
+				in = top.clone()
+			}
+			for _, pb := range preds[b.ID] {
+				in.and(res.Out[pb.ID])
+			}
+			res.In[b.ID] = in
+			out := in.clone()
+			for _, op := range b.Ops {
+				applyOp(dom, out, op)
+			}
+			if !out.equal(res.Out[b.ID]) {
+				res.Out[b.ID] = out
+				changed = true
+			}
+		}
+	}
+
+	// Check coverage of each Access op by replaying transfer functions from
+	// IN[B].
+	index := func(e effect.Effect) int {
+		for i, d := range dom {
+			if d.Equal(e) {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, b := range g.Blocks {
+		cur := res.In[b.ID].clone()
+		if b == g.Entry {
+			cur = res.Out[b.ID].clone()
+		}
+		for i, op := range b.Ops {
+			if op.Kind == Access {
+				var uncovered []effect.Effect
+				for _, e := range op.Eff.Effects() {
+					if !cur.get(index(e)) {
+						uncovered = append(uncovered, e)
+					}
+				}
+				if len(uncovered) > 0 {
+					res.Errors = append(res.Errors, &Error{
+						Block:     b,
+						OpIdx:     i,
+						Uncovered: uncovered,
+						Covering:  renderBits(dom, cur),
+					})
+				}
+			}
+			applyOp(dom, cur, op)
+		}
+	}
+	return res
+}
+
+func renderBits(dom []effect.Effect, b Bits) string {
+	s := "{"
+	first := true
+	for i, d := range dom {
+		if b.get(i) {
+			if !first {
+				s += ", "
+			}
+			s += d.String()
+			first = false
+		}
+	}
+	return s + "}"
+}
+
+// CoveredAt reports whether effect e (which must be in the domain) is
+// covered at entry to block b according to the solved result.
+func (r *Result) CoveredAt(b *Block, e effect.Effect) bool {
+	for i, d := range r.Domain {
+		if d.Equal(e) {
+			return r.In[b.ID].get(i)
+		}
+	}
+	return false
+}

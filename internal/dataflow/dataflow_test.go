@@ -1,0 +1,242 @@
+package dataflow
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"twe/internal/compound"
+	"twe/internal/effect"
+)
+
+func es(s string) effect.Set { return effect.MustParse(s) }
+
+// straight-line: declared writes Top,Bottom; spawn writes Top; access
+// writes Bottom ok; access writes Top fails; join writes Top; access
+// writes Top ok. Mirrors the increaseContrast example.
+func TestStraightLineSpawnJoin(t *testing.T) {
+	g := NewGraph()
+	b := g.NewBlock("body")
+	g.Edge(g.Entry, b)
+	b.Ops = []Op{
+		{Kind: Access, Eff: es("writes Top"), Pos: "pre-spawn"},
+		{Kind: Spawn, Eff: es("writes Top")},
+		{Kind: Access, Eff: es("writes Bottom"), Pos: "mid"},
+		{Kind: Access, Eff: es("reads Top"), Pos: "bad-read"},
+		{Kind: Join, Eff: es("writes Top")},
+		{Kind: Access, Eff: es("writes Top"), Pos: "post-join"},
+	}
+	res := Solve(&Problem{Graph: g, Declared: es("writes Top, Bottom")})
+	if len(res.Errors) != 1 {
+		t.Fatalf("want exactly 1 error, got %v", res.Errors)
+	}
+	if !strings.Contains(res.Errors[0].Error(), "bad-read") {
+		t.Errorf("error should point at bad-read: %v", res.Errors[0])
+	}
+}
+
+func TestUndeclaredEffectRejected(t *testing.T) {
+	g := NewGraph()
+	b := g.NewBlock("body")
+	g.Edge(g.Entry, b)
+	b.Ops = []Op{{Kind: Access, Eff: es("writes Other"), Pos: "x"}}
+	res := Solve(&Problem{Graph: g, Declared: es("writes Top")})
+	if len(res.Errors) != 1 {
+		t.Fatalf("undeclared effect must be reported, got %v", res.Errors)
+	}
+}
+
+// Branch merge: spawn on one side only → after the merge the effect is not
+// covered (meet of the two paths).
+func TestBranchMeet(t *testing.T) {
+	g := NewGraph()
+	cond := g.NewBlock("cond")
+	left := g.NewBlock("left")
+	right := g.NewBlock("right")
+	merge := g.NewBlock("merge")
+	g.Edge(g.Entry, cond)
+	g.Edge(cond, left)
+	g.Edge(cond, right)
+	g.Edge(left, merge)
+	g.Edge(right, merge)
+	left.Ops = []Op{{Kind: Spawn, Eff: es("writes A")}}
+	merge.Ops = []Op{{Kind: Access, Eff: es("writes A"), Pos: "after-merge"}}
+	res := Solve(&Problem{Graph: g, Declared: es("writes A, B")})
+	if len(res.Errors) != 1 {
+		t.Fatalf("want 1 error at merge, got %v", res.Errors)
+	}
+
+	// If both sides join back before the merge, no error.
+	g2 := NewGraph()
+	c2 := g2.NewBlock("cond")
+	l2 := g2.NewBlock("left")
+	r2 := g2.NewBlock("right")
+	m2 := g2.NewBlock("merge")
+	g2.Edge(g2.Entry, c2)
+	g2.Edge(c2, l2)
+	g2.Edge(c2, r2)
+	g2.Edge(l2, m2)
+	g2.Edge(r2, m2)
+	l2.Ops = []Op{{Kind: Spawn, Eff: es("writes A")}, {Kind: Join, Eff: es("writes A")}}
+	m2.Ops = []Op{{Kind: Access, Eff: es("writes A"), Pos: "after-merge"}}
+	res2 := Solve(&Problem{Graph: g2, Declared: es("writes A, B")})
+	if len(res2.Errors) != 0 {
+		t.Fatalf("want no errors after join-before-merge, got %v", res2.Errors)
+	}
+}
+
+// Loop: spawn inside a loop without a join carries the subtraction around
+// the back edge, so an access before the spawn in iteration 2 is uncovered.
+func TestLoopBackEdge(t *testing.T) {
+	g := NewGraph()
+	head := g.NewBlock("head")
+	body := g.NewBlock("body")
+	exit := g.NewBlock("exit")
+	g.Edge(g.Entry, head)
+	g.Edge(head, body)
+	g.Edge(head, exit)
+	g.Edge(body, head) // back edge
+	body.Ops = []Op{
+		{Kind: Access, Eff: es("writes A"), Pos: "loop-access"},
+		{Kind: Spawn, Eff: es("writes A")},
+	}
+	res := Solve(&Problem{Graph: g, Declared: es("writes A")})
+	if len(res.Errors) != 1 {
+		t.Fatalf("loop-carried subtraction must surface, got %v", res.Errors)
+	}
+
+	// With a join at the end of the body the loop is self-correcting.
+	g2 := NewGraph()
+	h2 := g2.NewBlock("head")
+	b2 := g2.NewBlock("body")
+	x2 := g2.NewBlock("exit")
+	g2.Edge(g2.Entry, h2)
+	g2.Edge(h2, b2)
+	g2.Edge(h2, x2)
+	g2.Edge(b2, h2)
+	b2.Ops = []Op{
+		{Kind: Access, Eff: es("writes A"), Pos: "loop-access"},
+		{Kind: Spawn, Eff: es("writes A")},
+		{Kind: Join, Eff: es("writes A")},
+	}
+	res2 := Solve(&Problem{Graph: g2, Declared: es("writes A")})
+	if len(res2.Errors) != 0 {
+		t.Fatalf("balanced spawn/join loop should pass, got %v", res2.Errors)
+	}
+}
+
+// The solver must converge within depth+2 iterations (§4.3: rapid
+// framework, RPO iteration).
+func TestConvergenceBound(t *testing.T) {
+	// A nest of two loops has depth 2 with a natural RPO.
+	g := NewGraph()
+	h1 := g.NewBlock("h1")
+	h2 := g.NewBlock("h2")
+	body := g.NewBlock("body")
+	x := g.NewBlock("exit")
+	g.Edge(g.Entry, h1)
+	g.Edge(h1, h2)
+	g.Edge(h2, body)
+	g.Edge(body, h2)
+	g.Edge(h2, h1)
+	g.Edge(h1, x)
+	body.Ops = []Op{
+		{Kind: Spawn, Eff: es("writes A")},
+		{Kind: Join, Eff: es("writes A")},
+	}
+	res := Solve(&Problem{Graph: g, Declared: es("writes A, B")})
+	if res.Iterations > 4 { // depth 2 + 2
+		t.Errorf("iterations = %d, want <= 4", res.Iterations)
+	}
+}
+
+// Cross-validate the bit-vector solution against the abstract compound
+// evaluation (meet over a sampled set of paths must over-approximate the
+// solver's result: MFP ⊆ each path's value, and for acyclic graphs MFP =
+// meet over all paths, Thm 1 discussion).
+func TestMeetOverPathsAcyclic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	summaries := []effect.Set{es("writes A"), es("writes B"), es("reads A"), es("writes A:*")}
+	for trial := 0; trial < 200; trial++ {
+		// Random acyclic diamond chains.
+		g := NewGraph()
+		depth := 1 + rnd.Intn(3)
+		prev := []*Block{g.Entry}
+		var all [][]*Block
+		for d := 0; d < depth; d++ {
+			width := 1 + rnd.Intn(2)
+			var layer []*Block
+			for w := 0; w < width; w++ {
+				b := g.NewBlock("b")
+				nops := rnd.Intn(3)
+				for o := 0; o < nops; o++ {
+					k := Spawn
+					if rnd.Intn(2) == 0 {
+						k = Join
+					}
+					b.Ops = append(b.Ops, Op{Kind: k, Eff: summaries[rnd.Intn(len(summaries))]})
+				}
+				layer = append(layer, b)
+			}
+			for _, p := range prev {
+				for _, b := range layer {
+					g.Edge(p, b)
+				}
+			}
+			prev = layer
+			all = append(all, layer)
+		}
+		final := g.NewBlock("final")
+		// Access every domain effect so the domain is rich.
+		final.Ops = []Op{{Kind: Access, Eff: es("reads A writes B")}}
+		for _, p := range prev {
+			g.Edge(p, final)
+		}
+		declared := es("writes A, B")
+		res := Solve(&Problem{Graph: g, Declared: declared})
+
+		// Abstract meet-over-paths via DFS enumeration.
+		var mop *compound.Compound
+		var walk func(b *Block, c *compound.Compound)
+		walk = func(b *Block, c *compound.Compound) {
+			for _, op := range b.Ops {
+				switch op.Kind {
+				case Spawn:
+					c = c.Sub(op.Eff)
+				case Join:
+					c = c.Add(op.Eff)
+				}
+			}
+			if b == final {
+				mop = compound.Meet(mop, c)
+				return
+			}
+			for _, s := range b.Succs {
+				walk(s, c)
+			}
+		}
+		walk(g.Entry, compound.NewBase(declared))
+
+		for i, d := range res.Domain {
+			got := res.In[final.ID].get(i)
+			want := mop.Contains(d)
+			if got != want {
+				t.Fatalf("trial %d: MFP vs MOP mismatch on %v: solver=%v paths=%v", trial, d, got, want)
+			}
+		}
+	}
+}
+
+func TestErrorStringWithoutPos(t *testing.T) {
+	g := NewGraph()
+	b := g.NewBlock("blk")
+	g.Edge(g.Entry, b)
+	b.Ops = []Op{{Kind: Access, Eff: es("writes X")}}
+	res := Solve(&Problem{Graph: g, Declared: effect.Pure})
+	if len(res.Errors) != 1 || !strings.Contains(res.Errors[0].Error(), "blk#0") {
+		t.Fatalf("fallback position missing: %v", res.Errors)
+	}
+	if res.CoveredAt(b, es("writes X").At(0)) {
+		t.Error("CoveredAt should be false")
+	}
+}

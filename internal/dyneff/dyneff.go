@@ -1,0 +1,288 @@
+// Package dyneff implements the dynamic-effects extension of the TWE model
+// (dissertation Ch. 7): support for tasks whose side effects depend on
+// dynamic data structures and cannot be expressed statically — e.g. a mesh
+// refinement task whose "cavity" of affected triangles is discovered while
+// it runs.
+//
+// The paper's design maps onto this package as follows:
+//
+//   - References as regions (§7.2.1): a Ref is a managed cell that is its
+//     own region, distinct from the static RPL tree.
+//   - Dynamic reference sets (§7.2.2–7.2.3): each running dynamic section
+//     (Tx) owns a read set and a write set of Refs; AddRead/AddWrite add
+//     elements while the task executes. Get/Set acquire implicitly.
+//   - Conflict detection (§7.5.2): a per-Ref ownership record (readers +
+//     writer) detects conflicts between the dynamic effect sets of
+//     concurrently running tasks. The paper tracks dynamic sets at
+//     scheduler-tree nodes; this implementation centralizes the records on
+//     the Refs themselves, which preserves the observable behaviour
+//     (conflicts between dynamic effects are detected exactly) without
+//     requiring the static RPL machinery to know about references.
+//   - Abort and retry (§7.2.4): on a conflict with an older task the
+//     younger section aborts — its writes are rolled back from an undo log,
+//     its refs are released, and Run retries it after a backoff. Older
+//     sections wait for younger holders instead, so the wait-for relation
+//     only points from older to younger tasks and is acyclic: no deadlock,
+//     and the oldest live section always makes progress.
+//   - Asserting membership (§7.2.7): AssertIn checks that a Ref is already
+//     in the section's dynamic set, the runtime counterpart of the static
+//     #assertInSet check.
+//
+// The package is runtime-only; the corresponding static analysis for TWEL
+// programs (§7.2.6) lives in internal/lang.
+package dyneff
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Ref is a reference-as-region cell. Create with Registry.NewRef; access
+// only through a Tx.
+type Ref struct {
+	id  uint64
+	reg *Registry
+
+	mu      sync.Mutex
+	val     any
+	writer  *Tx
+	readers map[*Tx]struct{}
+}
+
+// ID returns the ref's unique id (useful for ordering and debugging).
+func (r *Ref) ID() uint64 { return r.id }
+
+// Peek returns the committed value without any conflict protection. It is
+// intended for use after all dynamic sections completed (e.g. validating
+// results in tests); concurrent use with running sections is unsafe by
+// design, like reading a TWEJava field outside any task.
+func (r *Ref) Peek() any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.val
+}
+
+// Registry owns a universe of Refs and the abort/retry machinery.
+type Registry struct {
+	nextID  atomic.Uint64
+	nextSeq atomic.Uint64
+	aborts  atomic.Int64
+	commits atomic.Int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// NewRef allocates a managed cell holding v.
+func NewRef(reg *Registry, v any) *Ref {
+	return &Ref{id: reg.nextID.Add(1), reg: reg, val: v}
+}
+
+// Aborts returns the total number of aborted section attempts — the
+// overhead signal reported in the Ch. 7 evaluation.
+func (reg *Registry) Aborts() int64 { return reg.aborts.Load() }
+
+// Commits returns the number of successfully committed sections.
+func (reg *Registry) Commits() int64 { return reg.commits.Load() }
+
+// Tx is one attempt at a dynamic-effects section: the pair of dynamic
+// reference sets of the running task plus its undo log.
+type Tx struct {
+	reg  *Registry
+	seq  uint64 // age: smaller = older = wins conflicts
+	rs   map[*Ref]struct{}
+	ws   map[*Ref]struct{}
+	undo []undoEntry
+}
+
+type undoEntry struct {
+	ref *Ref
+	old any
+}
+
+// abortSignal is panicked by acquire on conflict and recovered by Run.
+type abortSignal struct{ loser *Tx }
+
+// ErrTooManyRetries is returned when a section failed to commit within
+// MaxRetries attempts.
+var ErrTooManyRetries = errors.New("dyneff: section exceeded retry limit")
+
+// MaxRetries bounds the retry loop; the age-based conflict policy makes
+// starvation impossible, so hitting this indicates a livelock bug.
+const MaxRetries = 1 << 20
+
+// Run executes fn as a dynamic-effects section, retrying on conflicts
+// until it commits. fn must confine its side effects to Get/Set on Refs
+// (rolled back on abort) and otherwise be safe to re-execute. It returns
+// the number of aborted attempts.
+func (reg *Registry) Run(fn func(tx *Tx) error) (retries int, err error) {
+	seq := reg.nextSeq.Add(1)
+	for attempt := 0; attempt < MaxRetries; attempt++ {
+		tx := &Tx{reg: reg, seq: seq, rs: map[*Ref]struct{}{}, ws: map[*Ref]struct{}{}}
+		aborted := func() (aborted bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortSignal); ok {
+						aborted = true
+						return
+					}
+					panic(r)
+				}
+			}()
+			err = fn(tx)
+			return false
+		}()
+		if !aborted {
+			tx.release()
+			reg.commits.Add(1)
+			return attempt, err
+		}
+		tx.rollback()
+		tx.release()
+		reg.aborts.Add(1)
+		retries++
+		// Randomized backoff proportional to the age handicap: younger
+		// (larger-seq) tasks back off longer so older sections drain.
+		backoff := time.Duration(rand.Intn(50)+1) * time.Microsecond
+		time.Sleep(backoff)
+	}
+	return retries, ErrTooManyRetries
+}
+
+// rollback restores every written ref from the undo log, newest first.
+func (tx *Tx) rollback() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		e := tx.undo[i]
+		e.ref.mu.Lock()
+		e.ref.val = e.old
+		e.ref.mu.Unlock()
+	}
+	tx.undo = nil
+}
+
+// release removes tx from every acquired ref's ownership record.
+func (tx *Tx) release() {
+	for r := range tx.ws {
+		r.mu.Lock()
+		if r.writer == tx {
+			r.writer = nil
+		}
+		r.mu.Unlock()
+	}
+	for r := range tx.rs {
+		r.mu.Lock()
+		delete(r.readers, tx)
+		r.mu.Unlock()
+	}
+}
+
+// AddRead adds r to the section's dynamic read set (§7.2.3), blocking or
+// aborting per the age policy on conflict with another section's write.
+func (tx *Tx) AddRead(r *Ref) {
+	if _, ok := tx.rs[r]; ok {
+		return
+	}
+	if _, ok := tx.ws[r]; ok {
+		return // write access implies read access
+	}
+	tx.acquire(r, false)
+	tx.rs[r] = struct{}{}
+}
+
+// AddWrite adds r to the section's dynamic write set (§7.2.3).
+func (tx *Tx) AddWrite(r *Ref) {
+	if _, ok := tx.ws[r]; ok {
+		return
+	}
+	tx.acquire(r, true)
+	tx.ws[r] = struct{}{}
+	delete(tx.rs, r) // upgraded
+}
+
+// acquire records tx on r's ownership record, implementing the conflict
+// policy: a conflicting section that is younger than some holder aborts;
+// an older section waits for the younger holders to finish or abort.
+func (tx *Tx) acquire(r *Ref, write bool) {
+	for {
+		r.mu.Lock()
+		oldestHolder := uint64(0)
+		conflict := false
+		if r.writer != nil && r.writer != tx {
+			conflict = true
+			oldestHolder = r.writer.seq
+		}
+		if write {
+			for rd := range r.readers {
+				if rd == tx {
+					continue
+				}
+				conflict = true
+				if oldestHolder == 0 || rd.seq < oldestHolder {
+					oldestHolder = rd.seq
+				}
+			}
+		}
+		if !conflict {
+			if write {
+				r.writer = tx
+				delete(r.readers, tx)
+			} else {
+				if r.readers == nil {
+					r.readers = make(map[*Tx]struct{})
+				}
+				r.readers[tx] = struct{}{}
+			}
+			r.mu.Unlock()
+			return
+		}
+		r.mu.Unlock()
+		if oldestHolder < tx.seq {
+			// A holder is older: the younger requester aborts (§7.2.4).
+			panic(abortSignal{loser: tx})
+		}
+		// The requester is the oldest party: wait for younger holders to
+		// finish or abort; acyclic by the age argument, so this terminates.
+		time.Sleep(time.Microsecond)
+	}
+}
+
+// AssertIn reports whether r is in the section's dynamic sets (§7.2.7);
+// write access implies read membership.
+func (tx *Tx) AssertIn(r *Ref) bool {
+	if _, ok := tx.ws[r]; ok {
+		return true
+	}
+	_, ok := tx.rs[r]
+	return ok
+}
+
+// Get reads the ref's value, adding it to the read set first.
+func (tx *Tx) Get(r *Ref) any {
+	tx.AddRead(r)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.val
+}
+
+// Set writes the ref's value, adding it to the write set first and logging
+// the old value for rollback.
+func (tx *Tx) Set(r *Ref, v any) {
+	tx.AddWrite(r)
+	r.mu.Lock()
+	tx.undo = append(tx.undo, undoEntry{ref: r, old: r.val})
+	r.val = v
+	r.mu.Unlock()
+}
+
+// Sets returns the sizes of the dynamic (read, write) sets; used by tests
+// and by the Ch. 7 overhead measurements.
+func (tx *Tx) Sets() (reads, writes int) { return len(tx.rs), len(tx.ws) }
+
+// String renders a short description for diagnostics.
+func (tx *Tx) String() string {
+	return fmt.Sprintf("tx(seq=%d, |R|=%d, |W|=%d)", tx.seq, len(tx.rs), len(tx.ws))
+}

@@ -1,0 +1,254 @@
+package dyneff
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBasicGetSet(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRef(reg, 10)
+	retries, err := reg.Run(func(tx *Tx) error {
+		if v := tx.Get(r).(int); v != 10 {
+			return fmt.Errorf("got %d", v)
+		}
+		tx.Set(r, 11)
+		if !tx.AssertIn(r) {
+			return errors.New("ref must be in dynamic set after access")
+		}
+		return nil
+	})
+	if err != nil || retries != 0 {
+		t.Fatalf("retries=%d err=%v", retries, err)
+	}
+	if r.Peek().(int) != 11 {
+		t.Fatalf("commit lost: %v", r.Peek())
+	}
+	if reg.Commits() != 1 {
+		t.Fatalf("commits=%d", reg.Commits())
+	}
+}
+
+func TestDynamicSetGrowth(t *testing.T) {
+	reg := NewRegistry()
+	refs := make([]*Ref, 10)
+	for i := range refs {
+		refs[i] = NewRef(reg, i)
+	}
+	_, err := reg.Run(func(tx *Tx) error {
+		// Cavity-style iterative growth: each acquired ref leads to the
+		// next (§7.1's Delaunay cavity discovery pattern).
+		i := 0
+		for i < len(refs) {
+			v := tx.Get(refs[i]).(int)
+			i = v + 1
+		}
+		r, w := tx.Sets()
+		if r != 10 || w != 0 {
+			return fmt.Errorf("sets = (%d,%d), want (10,0)", r, w)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssertInFalseBeforeAccess(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRef(reg, 0)
+	reg.Run(func(tx *Tx) error {
+		if tx.AssertIn(r) {
+			t.Error("AssertIn must be false before any access")
+		}
+		tx.AddRead(r)
+		if !tx.AssertIn(r) {
+			t.Error("AssertIn must be true after AddRead")
+		}
+		tx.AddWrite(r)
+		if !tx.AssertIn(r) {
+			t.Error("AssertIn must remain true after upgrade")
+		}
+		return nil
+	})
+}
+
+func TestUserErrorPropagates(t *testing.T) {
+	reg := NewRegistry()
+	want := errors.New("boom")
+	_, err := reg.Run(func(tx *Tx) error { return want })
+	if err != want {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+// TestRollbackOnAbort forces a conflict and verifies the loser's writes are
+// rolled back before retry.
+func TestRollbackOnAbort(t *testing.T) {
+	reg := NewRegistry()
+	a := NewRef(reg, 0)
+	b := NewRef(reg, 0)
+
+	// Older section: acquires a, then (after the younger wrote b and is
+	// trying to take a) acquires b.
+	holdA := make(chan struct{})
+	youngerRan := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		reg.Run(func(tx *Tx) error {
+			tx.Set(a, 100)
+			close(holdA)
+			<-youngerRan
+			tx.Set(b, 200) // forces the younger holder of b to abort
+			return nil
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-holdA
+		attempt := 0
+		reg.Run(func(tx *Tx) error {
+			attempt++
+			tx.Set(b, 999) // will be rolled back on the first attempt
+			if attempt == 1 {
+				close(youngerRan)
+			}
+			tx.Get(a) // conflicts with the older writer → abort
+			return nil
+		})
+	}()
+	wg.Wait()
+	if got := a.Peek().(int); got != 100 {
+		t.Errorf("a = %d, want 100", got)
+	}
+	// b must end at one of the committed values (200 from older, then 999
+	// if the younger retried after; the younger reruns after the older
+	// finished, so final b = 999) — but never a torn intermediate.
+	if got := b.Peek().(int); got != 999 {
+		t.Errorf("b = %d, want 999 (younger retried after older committed)", got)
+	}
+	if reg.Aborts() == 0 {
+		t.Error("expected at least one abort")
+	}
+}
+
+// TestTransferInvariant: concurrent sections move amounts between random
+// accounts; the total must be conserved — the classic isolation test.
+func TestTransferInvariant(t *testing.T) {
+	reg := NewRegistry()
+	const nAccounts = 20
+	const nWorkers = 8
+	const nOps = 200
+	refs := make([]*Ref, nAccounts)
+	for i := range refs {
+		refs[i] = NewRef(reg, 100)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for op := 0; op < nOps; op++ {
+				i, j := rnd.Intn(nAccounts), rnd.Intn(nAccounts)
+				if i == j {
+					continue
+				}
+				amt := rnd.Intn(10)
+				if _, err := reg.Run(func(tx *Tx) error {
+					vi := tx.Get(refs[i]).(int)
+					vj := tx.Get(refs[j]).(int)
+					tx.Set(refs[i], vi-amt)
+					tx.Set(refs[j], vj+amt)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range refs {
+		total += r.Peek().(int)
+	}
+	if total != nAccounts*100 {
+		t.Fatalf("money not conserved: %d != %d (isolation broken)", total, nAccounts*100)
+	}
+}
+
+// TestCavityStress: sections grow overlapping cavities over a grid and
+// rewrite every cell they own; every committed cavity must be internally
+// consistent (all cells carry the same stamp).
+func TestCavityStress(t *testing.T) {
+	reg := NewRegistry()
+	const n = 64
+	cells := make([]*Ref, n)
+	for i := range cells {
+		cells[i] = NewRef(reg, [2]int{0, 0}) // (stamp, cavitySize)
+	}
+	var wg sync.WaitGroup
+	const workers = 6
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(stamp int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(stamp)))
+			for op := 0; op < 50; op++ {
+				start := rnd.Intn(n)
+				size := 1 + rnd.Intn(5)
+				reg.Run(func(tx *Tx) error {
+					// Discover the cavity dynamically: walk `size` cells.
+					var cav []*Ref
+					for k := 0; k < size; k++ {
+						cav = append(cav, cells[(start+k)%n])
+					}
+					for _, c := range cav {
+						tx.AddWrite(c)
+					}
+					for _, c := range cav {
+						tx.Set(c, [2]int{stamp, size})
+					}
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Each cell must hold a committed (stamp, size) pair, never zero-stamp
+	// unless untouched; torn cavities are unobservable at this granularity,
+	// but undo-log correctness was exercised heavily via aborts.
+	t.Logf("aborts=%d commits=%d", reg.Aborts(), reg.Commits())
+	if reg.Commits() != int64(workers*50) {
+		t.Fatalf("commits = %d, want %d", reg.Commits(), workers*50)
+	}
+}
+
+func TestReadersDoNotConflict(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRef(reg, 7)
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reg.Run(func(tx *Tx) error {
+				if tx.Get(r).(int) != 7 {
+					t.Error("bad read")
+				}
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if reg.Aborts() != 0 {
+		t.Errorf("readers aborted each other: %d aborts", reg.Aborts())
+	}
+}

@@ -1,0 +1,146 @@
+package dyneff
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// opScript is a randomly generated batch of sections, each reading and
+// writing a random subset of refs with a known arithmetic. The quick
+// property: executing the script concurrently under dyneff yields the same
+// per-ref *multiset of applied deltas* as a sequential model — additions
+// commute, so final values must match exactly, for any interleaving.
+type opScript struct {
+	nRefs    int
+	sections [][]secOp
+}
+
+type secOp struct {
+	ref   int
+	delta int
+}
+
+func genScript(r *rand.Rand) opScript {
+	s := opScript{nRefs: 2 + r.Intn(6)}
+	nSec := 1 + r.Intn(12)
+	for i := 0; i < nSec; i++ {
+		nOps := 1 + r.Intn(4)
+		sec := make([]secOp, nOps)
+		for j := range sec {
+			sec[j] = secOp{ref: r.Intn(s.nRefs), delta: r.Intn(9) - 4}
+		}
+		s.sections = append(s.sections, sec)
+	}
+	return s
+}
+
+func TestQuickCommutativeSections(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(genScript(r))
+		},
+	}
+	if err := quick.Check(func(script opScript) bool {
+		// Sequential model.
+		model := make([]int, script.nRefs)
+		for _, sec := range script.sections {
+			for _, op := range sec {
+				model[op.ref] += op.delta
+			}
+		}
+		// Concurrent dyneff execution.
+		reg := NewRegistry()
+		refs := make([]*Ref, script.nRefs)
+		for i := range refs {
+			refs[i] = NewRef(reg, 0)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, len(script.sections))
+		for _, sec := range script.sections {
+			sec := sec
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := reg.Run(func(tx *Tx) error {
+					for _, op := range sec {
+						v := tx.Get(refs[op.ref]).(int)
+						tx.Set(refs[op.ref], v+op.delta)
+					}
+					return nil
+				})
+				if err != nil {
+					errs <- err
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Logf("section error: %v", err)
+			return false
+		}
+		for i, r := range refs {
+			if r.Peek().(int) != model[i] {
+				t.Logf("ref %d: got %d, model %d (aborts=%d)", i, r.Peek(), model[i], reg.Aborts())
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSnapshotConsistency: sections that only read must observe a
+// consistent snapshot of refs written together — never a torn pair.
+func TestQuickSnapshotConsistency(t *testing.T) {
+	reg := NewRegistry()
+	a := NewRef(reg, 0)
+	b := NewRef(reg, 0)
+	stop := make(chan struct{})
+	var torn sync.Once
+	tornSeen := false
+	var wg sync.WaitGroup
+	// Writer: keeps a == b invariant inside each section.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 400; i++ {
+			reg.Run(func(tx *Tx) error {
+				tx.Set(a, i)
+				tx.Set(b, i)
+				return nil
+			})
+		}
+		close(stop)
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reg.Run(func(tx *Tx) error {
+					va := tx.Get(a).(int)
+					vb := tx.Get(b).(int)
+					if va != vb {
+						torn.Do(func() { tornSeen = true })
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if tornSeen {
+		t.Fatal("reader observed a torn write pair: section isolation broken")
+	}
+}

@@ -1,0 +1,285 @@
+// Package effect implements the read/write memory effects of the TWE model
+// (Heumann & Adve, PPoPP 2013, §2.1–2.2 and §3.1.2). An Effect is a read or
+// a write on a region named by an RPL; a Set is an effect summary, the form
+// in which tasks and methods declare their side effects.
+//
+// The two fundamental relations are:
+//
+//   - NonInterfering (#): two effects may run concurrently in either order
+//     with the same result. For memory effects: both are reads, or their
+//     regions are disjoint.
+//   - Included (⊆): one effect conservatively summarizes another:
+//     A ⊆ B iff B#C implies A#C for all C. For region effects:
+//     reads R ⊆ reads S and reads R ⊆ writes S and writes R ⊆ writes S,
+//     whenever R ⊆ S; writes R ⊄ reads S.
+//
+// Set lifts both relations pointwise: two sets are non-interfering if every
+// pair of constituent effects is; A ⊆ B if every effect of A is included in
+// some single effect of B (conservative per §2.2).
+package effect
+
+import (
+	"sort"
+	"strings"
+
+	"twe/internal/rpl"
+)
+
+// Effect is a read or write on a region.
+type Effect struct {
+	// Write is true for a write effect, false for a read effect.
+	Write bool
+	// Region is the RPL the effect operates on.
+	Region rpl.RPL
+}
+
+// Read returns a read effect on the region.
+func Read(r rpl.RPL) Effect { return Effect{Write: false, Region: r} }
+
+// WriteEff returns a write effect on the region. (Named to avoid colliding
+// with the Write field.)
+func WriteEff(r rpl.RPL) Effect { return Effect{Write: true, Region: r} }
+
+// String renders the effect in the paper's surface syntax.
+func (e Effect) String() string {
+	if e.Write {
+		return "writes " + e.Region.String()
+	}
+	return "reads " + e.Region.String()
+}
+
+// NonInterfering reports e # f: both effects may proceed concurrently.
+// True when both are reads or the regions are disjoint. The check is
+// conservative in the same way rpl.Disjoint is.
+func (e Effect) NonInterfering(f Effect) bool {
+	if !e.Write && !f.Write {
+		return true
+	}
+	return e.Region.Disjoint(f.Region)
+}
+
+// Conflicts is the negation of NonInterfering.
+func (e Effect) Conflicts(f Effect) bool { return !e.NonInterfering(f) }
+
+// Included reports e ⊆ f: f covers e.
+func (e Effect) Included(f Effect) bool {
+	if e.Write && !f.Write {
+		return false
+	}
+	return e.Region.Included(f.Region)
+}
+
+// Set is an effect summary: a set of read/write effects. The zero value is
+// the empty summary "pure", which covers no memory operations and
+// interferes with nothing.
+type Set struct {
+	effs []Effect
+}
+
+// Pure is the empty effect summary.
+var Pure = Set{}
+
+// Top is the summary "writes Root:*", which covers every possible effect.
+var Top = NewSet(WriteEff(rpl.RootStar))
+
+// Equal reports exact syntactic equality of two effects.
+func (e Effect) Equal(f Effect) bool {
+	return e.Write == f.Write && e.Region.Equal(f.Region)
+}
+
+// NewSet builds a summary from effects, dropping duplicates and effects
+// already included in another effect of the set (a cheap normal form; the
+// semantics of the set are unchanged by this).
+func NewSet(effs ...Effect) Set {
+	out := make([]Effect, 0, len(effs))
+	for _, e := range effs {
+		redundant := false
+		for _, f := range effs {
+			if !e.Equal(f) && e.Included(f) {
+				// Keep only one of two mutually-including (equal-meaning)
+				// effects: prefer the one that sorts first.
+				if f.Included(e) && less(e, f) {
+					continue
+				}
+				redundant = true
+				break
+			}
+		}
+		dup := false
+		for _, f := range out {
+			if e.Equal(f) {
+				dup = true
+				break
+			}
+		}
+		if !redundant && !dup {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return Set{effs: out}
+}
+
+func less(a, b Effect) bool {
+	if c := a.Region.Compare(b.Region); c != 0 {
+		return c < 0
+	}
+	return !a.Write && b.Write
+}
+
+// Parse parses a comma-separated effect summary in the paper's syntax, e.g.
+// "reads Root writes Top, Bottom" or "writes A:[3], B:*". Each keyword
+// applies to the region list that follows it until the next keyword. The
+// keyword "pure" (alone) denotes the empty summary.
+func Parse(s string) (Set, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "pure" {
+		return Pure, nil
+	}
+	var effs []Effect
+	write := false
+	seenKeyword := false
+	// Tokenize on whitespace and commas, keeping keywords.
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' || r == ',' })
+	for _, f := range fields {
+		switch f {
+		case "reads":
+			write, seenKeyword = false, true
+		case "writes":
+			write, seenKeyword = true, true
+		default:
+			if !seenKeyword {
+				return Set{}, &ParseError{Input: s, Msg: "effect summary must start with 'reads' or 'writes'"}
+			}
+			r, err := rpl.Parse(f)
+			if err != nil {
+				return Set{}, &ParseError{Input: s, Msg: err.Error()}
+			}
+			effs = append(effs, Effect{Write: write, Region: r})
+		}
+	}
+	return NewSet(effs...), nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(s string) Set {
+	set, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// ParseError reports a malformed effect summary.
+type ParseError struct {
+	Input string
+	Msg   string
+}
+
+func (e *ParseError) Error() string { return "effect: parsing " + e.Input + ": " + e.Msg }
+
+// String renders the summary, grouping reads before writes per region order.
+func (s Set) String() string {
+	if len(s.effs) == 0 {
+		return "pure"
+	}
+	var parts []string
+	for _, e := range s.effs {
+		parts = append(parts, e.String())
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Effects returns a copy of the constituent effects.
+func (s Set) Effects() []Effect {
+	cp := make([]Effect, len(s.effs))
+	copy(cp, s.effs)
+	return cp
+}
+
+// Len returns the number of constituent effects.
+func (s Set) Len() int { return len(s.effs) }
+
+// At returns the i-th effect in sorted order.
+func (s Set) At(i int) Effect { return s.effs[i] }
+
+// IsPure reports whether the summary is empty.
+func (s Set) IsPure() bool { return len(s.effs) == 0 }
+
+// Union returns the summary containing the effects of both sets.
+func (s Set) Union(t Set) Set {
+	return NewSet(append(s.Effects(), t.effs...)...)
+}
+
+// NonInterfering reports s # t: every pair of effects across the two
+// summaries is non-interfering, so tasks with these summaries may run
+// concurrently.
+func (s Set) NonInterfering(t Set) bool {
+	for _, e := range s.effs {
+		for _, f := range t.effs {
+			if !e.NonInterfering(f) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Conflicts is the negation of NonInterfering.
+func (s Set) Conflicts(t Set) bool { return !s.NonInterfering(t) }
+
+// Included reports s ⊆ t: every effect of s is included in some effect of
+// t. As in §2.2, this is conservative: it misses cases where an effect of s
+// would only be covered by a combination of several effects of t.
+func (s Set) Included(t Set) bool {
+	for _, e := range s.effs {
+		covered := false
+		for _, f := range t.effs {
+			if e.Included(f) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports t ⊆ s; convenience inverse of Included.
+func (s Set) Covers(t Set) bool { return t.Included(s) }
+
+// CoversEffect reports that a single effect is covered by the summary.
+func (s Set) CoversEffect(e Effect) bool {
+	for _, f := range s.effs {
+		if e.Included(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// InterferesWithEffect reports whether any effect of s interferes with e.
+func (s Set) InterferesWithEffect(e Effect) bool {
+	for _, f := range s.effs {
+		if !f.NonInterfering(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports that two summaries contain exactly the same effects (after
+// the NewSet normal form).
+func (s Set) Equal(t Set) bool {
+	if len(s.effs) != len(t.effs) {
+		return false
+	}
+	for i := range s.effs {
+		if s.effs[i].Write != t.effs[i].Write || !s.effs[i].Region.Equal(t.effs[i].Region) {
+			return false
+		}
+	}
+	return true
+}

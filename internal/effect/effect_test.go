@@ -1,0 +1,246 @@
+package effect
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"twe/internal/rpl"
+)
+
+func rp(s string) rpl.RPL { return rpl.MustParse(s) }
+
+func TestEffectString(t *testing.T) {
+	if got := Read(rp("A")).String(); got != "reads Root:A" {
+		t.Errorf("got %q", got)
+	}
+	if got := WriteEff(rp("A:[1]")).String(); got != "writes Root:A:[1]" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEffectNonInterfering(t *testing.T) {
+	cases := []struct {
+		a, b Effect
+		want bool
+	}{
+		{Read(rp("A")), Read(rp("A")), true},         // two reads
+		{Read(rp("A")), WriteEff(rp("A")), false},    // read/write same region
+		{WriteEff(rp("A")), WriteEff(rp("B")), true}, // disjoint writes
+		{WriteEff(rp("A")), WriteEff(rp("A:*")), false},
+		{WriteEff(rp("A:[1]")), WriteEff(rp("A:[2]")), true},
+		{WriteEff(rp("A:[1]")), Read(rp("A:[?]")), false},
+	}
+	for _, c := range cases {
+		if got := c.a.NonInterfering(c.b); got != c.want {
+			t.Errorf("%v # %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.NonInterfering(c.a); got != c.want {
+			t.Errorf("%v # %v = %v, want %v (sym)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestEffectIncluded(t *testing.T) {
+	cases := []struct {
+		a, b Effect
+		want bool
+	}{
+		{Read(rp("A")), Read(rp("A")), true},
+		{Read(rp("A")), WriteEff(rp("A")), true},   // readsR ⊆ writesR
+		{WriteEff(rp("A")), Read(rp("A")), false},  // writes not ⊆ reads
+		{Read(rp("A")), WriteEff(rp("A:*")), true}, // readsR ⊆ writesS, R⊆S
+		{WriteEff(rp("A:B")), WriteEff(rp("A:*")), true},
+		{WriteEff(rp("A:*")), WriteEff(rp("A:B")), false},
+		{Read(rp("A")), Read(rp("B")), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Included(c.b); got != c.want {
+			t.Errorf("%v ⊆ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"pure", "pure"},
+		{"", "pure"},
+		{"reads A", "reads Root:A"},
+		{"writes Top, Bottom", "writes Root:Bottom, writes Root:Top"},
+		{"reads Root writes A:[3]", "reads Root, writes Root:A:[3]"},
+		{"writes *", "writes Root:*"},
+		{"reads A writes A", "writes Root:A"}, // reads A ⊆ writes A, dropped
+	}
+	for _, c := range cases {
+		s, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := s.String(); got != c.want {
+			t.Errorf("Parse(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if _, err := Parse("A"); err == nil {
+		t.Error("Parse without keyword should fail")
+	}
+	if _, err := Parse("reads [x"); err == nil {
+		t.Error("Parse with bad RPL should fail")
+	}
+}
+
+func TestSetRelations(t *testing.T) {
+	img := MustParse("writes Top, Bottom")
+	gui := MustParse("writes GUIData")
+	top := MustParse("writes Top")
+	all := Top
+
+	// The paper's ImageEdit example (§3.1.3): GUI and increaseContrast
+	// effects are non-interfering; two image operations conflict.
+	if !img.NonInterfering(gui) {
+		t.Error("img # gui expected")
+	}
+	if img.NonInterfering(top) {
+		t.Error("img and top conflict expected")
+	}
+	if !top.Included(img) {
+		t.Error("writes Top ⊆ writes Top, Bottom expected")
+	}
+	if img.Included(top) {
+		t.Error("writes Top, Bottom ⊄ writes Top expected")
+	}
+	if !img.Included(all) || !gui.Included(all) || !Pure.Included(gui) {
+		t.Error("Top covers everything; Pure is included in everything")
+	}
+	if !Pure.NonInterfering(all) {
+		t.Error("pure interferes with nothing")
+	}
+	if all.IsPure() || !Pure.IsPure() {
+		t.Error("IsPure wrong")
+	}
+}
+
+func TestSetUnion(t *testing.T) {
+	a := MustParse("reads A")
+	b := MustParse("writes B")
+	u := a.Union(b)
+	if !a.Included(u) || !b.Included(u) {
+		t.Error("union must cover both operands")
+	}
+	if u.Len() != 2 {
+		t.Errorf("union length = %d, want 2", u.Len())
+	}
+	// Union with a covering effect collapses.
+	c := MustParse("writes A:*").Union(MustParse("reads A:B"))
+	if c.Len() != 1 {
+		t.Errorf("covered union should normalize to 1 effect, got %v", c)
+	}
+}
+
+func TestSetEqualNormalForm(t *testing.T) {
+	a := MustParse("writes B reads A")
+	b := MustParse("reads A writes B")
+	if !a.Equal(b) {
+		t.Errorf("normal form should make %v == %v", a, b)
+	}
+	if a.Equal(MustParse("reads A")) {
+		t.Error("different sets reported equal")
+	}
+}
+
+// --- property tests -----------------------------------------------------
+
+var names = []string{"A", "B", "C"}
+
+func randEffect(r *rand.Rand) Effect {
+	n := r.Intn(3)
+	elems := make([]rpl.Elem, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(5) {
+		case 0:
+			elems = append(elems, rpl.Any)
+		case 1:
+			elems = append(elems, rpl.Idx(r.Intn(2)))
+		default:
+			elems = append(elems, rpl.N(names[r.Intn(len(names))]))
+		}
+	}
+	return Effect{Write: r.Intn(2) == 0, Region: rpl.New(elems...)}
+}
+
+func randSet(r *rand.Rand) Set {
+	n := r.Intn(4)
+	effs := make([]Effect, n)
+	for i := range effs {
+		effs[i] = randEffect(r)
+	}
+	return NewSet(effs...)
+}
+
+func TestQuickEffectLaws(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 3000,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(randEffect(r))
+			}
+		},
+	}
+	// Definition of inclusion: A ⊆ B means B#C implies A#C. Check against
+	// random C.
+	if err := quick.Check(func(a, b, c Effect) bool {
+		if a.Included(b) && b.NonInterfering(c) {
+			return a.NonInterfering(c)
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// # is symmetric; ⊆ is reflexive and transitive.
+	if err := quick.Check(func(a, b, c Effect) bool {
+		if a.NonInterfering(b) != b.NonInterfering(a) {
+			return false
+		}
+		if !a.Included(a) {
+			return false
+		}
+		if a.Included(b) && b.Included(c) && !a.Included(c) {
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetLaws(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(randSet(r))
+			}
+		},
+	}
+	if err := quick.Check(func(a, b, c Set) bool {
+		// Set inclusion respects interference like effect inclusion does.
+		if a.Included(b) && b.NonInterfering(c) && !a.NonInterfering(c) {
+			return false
+		}
+		// Union covers both operands.
+		u := a.Union(b)
+		if !a.Included(u) || !b.Included(u) {
+			return false
+		}
+		// NonInterfering symmetric.
+		if a.NonInterfering(b) != b.NonInterfering(a) {
+			return false
+		}
+		// Everything included in Top; Pure included in everything.
+		return a.Included(Top) && Pure.Included(a)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

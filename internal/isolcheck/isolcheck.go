@@ -1,0 +1,117 @@
+// Package isolcheck is an independent run-time oracle for the TWE task
+// isolation property (PPoPP 2013 §3.3.1; Theorem 3 of the tree-scheduler
+// chapter): no two tasks with interfering effects may be *actively running*
+// concurrently. It implements core.Monitor and re-derives the permitted
+// exceptions from first principles — it shares no state with the
+// schedulers, so scheduler bugs cannot hide from it:
+//
+//   - a task blocked in getValue/join is not actively running, which is
+//     exactly why effect transfer when blocked is sound (§3.1.4);
+//   - a spawn ancestor may hold effects that cover its running descendants,
+//     because spawn transferred them and the covering-effect discipline
+//     forbids the ancestor from touching them until join (§3.1.5).
+//
+// Tests install a Checker via core.WithMonitor and assert Violations() is
+// empty after the workload completes.
+package isolcheck
+
+import (
+	"fmt"
+	"sync"
+
+	"twe/internal/core"
+)
+
+// Checker records isolation violations. Safe for concurrent use.
+type Checker struct {
+	mu         sync.Mutex
+	active     map[*core.Future]bool // true = running, false = blocked
+	peak       int
+	starts     int
+	violations []string
+}
+
+// New returns an empty checker.
+func New() *Checker {
+	return &Checker{active: make(map[*core.Future]bool)}
+}
+
+var _ core.Monitor = (*Checker)(nil)
+
+// OnRun registers f as actively running and checks it against every other
+// active task.
+func (c *Checker) OnRun(f *core.Future) {
+	c.mu.Lock()
+	c.starts++
+	c.checkLocked(f)
+	c.active[f] = true
+	if n := c.runningLocked(); n > c.peak {
+		c.peak = n
+	}
+	c.mu.Unlock()
+}
+
+// OnBlock marks f as blocked (no longer actively running).
+func (c *Checker) OnBlock(f *core.Future) {
+	c.mu.Lock()
+	c.active[f] = false
+	c.mu.Unlock()
+}
+
+// OnUnblock re-checks f against active tasks and marks it running again.
+func (c *Checker) OnUnblock(f *core.Future) {
+	c.mu.Lock()
+	c.checkLocked(f)
+	c.active[f] = true
+	c.mu.Unlock()
+}
+
+// OnFinish removes f.
+func (c *Checker) OnFinish(f *core.Future) {
+	c.mu.Lock()
+	delete(c.active, f)
+	c.mu.Unlock()
+}
+
+func (c *Checker) runningLocked() int {
+	n := 0
+	for _, running := range c.active {
+		if running {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Checker) checkLocked(f *core.Future) {
+	for g, running := range c.active {
+		if !running || g == f {
+			continue
+		}
+		if f.Effects().NonInterfering(g.Effects()) {
+			continue
+		}
+		if f.SpawnAncestorOf(g) || g.SpawnAncestorOf(f) {
+			continue
+		}
+		c.violations = append(c.violations, fmt.Sprintf(
+			"isolation violated: %q [%v] running concurrently with %q [%v]",
+			f.Task().Name, f.Effects(), g.Task().Name, g.Effects()))
+	}
+}
+
+// Violations returns the recorded violations.
+func (c *Checker) Violations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.violations))
+	copy(out, c.violations)
+	return out
+}
+
+// Stats returns (tasks started, peak concurrently-running tasks).
+func (c *Checker) Stats() (starts, peak int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.starts, c.peak
+}

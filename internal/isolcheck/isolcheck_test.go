@@ -1,0 +1,120 @@
+package isolcheck_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/isolcheck"
+	"twe/internal/tree"
+)
+
+func es(s string) effect.Set { return effect.MustParse(s) }
+
+func TestCleanRunHasNoViolations(t *testing.T) {
+	chk := isolcheck.New()
+	rt := core.NewRuntime(tree.New(), 4, core.WithMonitor(chk))
+	task := core.NewTask("t", es("writes R"), func(_ *core.Ctx, _ any) (any, error) { return nil, nil })
+	for i := 0; i < 50; i++ {
+		rt.ExecuteLater(task, nil)
+	}
+	rt.Shutdown()
+	if v := chk.Violations(); len(v) != 0 {
+		t.Fatalf("violations on clean run: %v", v)
+	}
+	starts, peak := chk.Stats()
+	if starts != 50 {
+		t.Errorf("starts = %d", starts)
+	}
+	if peak < 1 {
+		t.Errorf("peak = %d", peak)
+	}
+}
+
+// brokenScheduler enables every task immediately, violating isolation.
+type brokenScheduler struct{}
+
+func (brokenScheduler) Submit(f *core.Future)           { f.Ready() }
+func (brokenScheduler) NotifyBlocked(_, _ *core.Future) {}
+func (brokenScheduler) Done(f *core.Future)             {}
+
+// TestDetectsBrokenScheduler: the checker must flag a scheduler that runs
+// conflicting tasks concurrently — proving it is an independent oracle.
+func TestDetectsBrokenScheduler(t *testing.T) {
+	chk := isolcheck.New()
+	rt := core.NewRuntime(brokenScheduler{}, 4, core.WithMonitor(chk))
+	gate := make(chan struct{})
+	task := core.NewTask("clash", es("writes R"), func(_ *core.Ctx, _ any) (any, error) {
+		<-gate
+		return nil, nil
+	})
+	futs := []*core.Future{rt.ExecuteLater(task, nil), rt.ExecuteLater(task, nil)}
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	for _, f := range futs {
+		rt.GetValue(f)
+	}
+	rt.Shutdown()
+	vs := chk.Violations()
+	if len(vs) == 0 {
+		t.Fatal("broken scheduler not detected")
+	}
+	if !strings.Contains(vs[0], "clash") {
+		t.Errorf("violation should name the task: %v", vs[0])
+	}
+}
+
+// TestSpawnAncestryAllowed: a parent whose effects cover a running spawned
+// child must not be flagged.
+func TestSpawnAncestryAllowed(t *testing.T) {
+	chk := isolcheck.New()
+	rt := core.NewRuntime(tree.New(), 4, core.WithMonitor(chk))
+	child := core.NewTask("c", es("writes P"), func(_ *core.Ctx, _ any) (any, error) {
+		time.Sleep(2 * time.Millisecond)
+		return nil, nil
+	})
+	parent := core.NewTask("p", es("writes P, Q"), func(ctx *core.Ctx, _ any) (any, error) {
+		sf, err := ctx.Spawn(child, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Keep running concurrently with the child before joining.
+		time.Sleep(time.Millisecond)
+		_, err = ctx.Join(sf)
+		return nil, err
+	})
+	if _, err := rt.Run(parent, nil); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if v := chk.Violations(); len(v) != 0 {
+		t.Fatalf("spawn ancestry wrongly flagged: %v", v)
+	}
+}
+
+// TestBlockedTasksNotActive: a task blocked on a conflicting task is not
+// actively running, so no violation.
+func TestBlockedTasksNotActive(t *testing.T) {
+	chk := isolcheck.New()
+	rt := core.NewRuntime(tree.New(), 2, core.WithMonitor(chk))
+	inner := core.NewTask("inner", es("writes R"), func(_ *core.Ctx, _ any) (any, error) {
+		time.Sleep(2 * time.Millisecond)
+		return nil, nil
+	})
+	outer := core.NewTask("outer", es("writes R"), func(ctx *core.Ctx, _ any) (any, error) {
+		f, err := ctx.ExecuteLater(inner, nil)
+		if err != nil {
+			return nil, err
+		}
+		return ctx.GetValue(f)
+	})
+	if _, err := rt.Run(outer, nil); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if v := chk.Violations(); len(v) != 0 {
+		t.Fatalf("blocked-on transfer wrongly flagged: %v", v)
+	}
+}

@@ -1,0 +1,293 @@
+// Package lang implements TWEL, a small imperative tasks-with-effects
+// language that plays the role TWEJava plays in the paper: a concrete
+// program text on which the *static* half of the TWE model runs. It
+// provides a lexer, a parser, and a static checker implementing:
+//
+//   - region and effect declarations with the DPJ-style RPL forms,
+//     including parameter-indexed elements (Ch. 2);
+//   - the covering-effect analysis, in both the structure-based form the
+//     TWEJava compiler uses (§4.4) and — for cross-validation — a lowering
+//     to the CFG-based iterative analysis of §4.3 (package dataflow);
+//   - the @Deterministic restriction (§3.3.5);
+//   - the dynamic-reference-set must-analysis of the dynamic-effects
+//     extension (§7.2.6–7.2.7).
+//
+// Grammar (informal):
+//
+//	program   := decl*
+//	decl      := "region" IDENT ("," IDENT)* ";"
+//	           | "var" IDENT "in" rpl ";"
+//	           | "array" IDENT "[" NUM "]" "in" rpl ";"
+//	           | "refvar" IDENT ";"
+//	           | ("deterministic")? "task" IDENT "(" params? ")"
+//	             "effect" effects block
+//	effects   := (("reads"|"writes") rpl ("," rpl)*)+ | "pure"
+//	stmt      := IDENT "=" expr ";"                  // var write
+//	           | IDENT "[" expr "]" "=" expr ";"     // array write
+//	           | "local" IDENT "=" expr ";"
+//	           | "if" "(" expr ")" block ("else" block)?
+//	           | "while" "(" expr ")" block
+//	           | "let" IDENT "=" ("executeLater"|"spawn") IDENT "(" args? ")" ";"
+//	           | ("getValue"|"join") IDENT ";"
+//	           | "call" IDENT "(" args? ")" ";"
+//	           | ("addread"|"addwrite"|"assertinset"|"useref") IDENT ";"
+//	           | "skip" ";"
+//	expr      := arithmetic/comparison over NUM, params, locals,
+//	             var reads, array reads, "isdone" IDENT
+package lang
+
+import "fmt"
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Program is a parsed TWEL compilation unit.
+type Program struct {
+	Regions []string
+	Vars    []*VarDecl
+	Arrays  []*ArrayDecl
+	RefVars []*RefVarDecl
+	Tasks   []*TaskDecl
+}
+
+// Task returns the task declaration with the given name, or nil.
+func (p *Program) Task(name string) *TaskDecl {
+	for _, t := range p.Tasks {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// VarDecl is "var x in RPL;": a global scalar in a region.
+type VarDecl struct {
+	Name   string
+	Region *RPLExpr
+	Pos    Pos
+}
+
+// ArrayDecl is "array a[N] in RPL;": element i lives in region RPL:[i]
+// (index-parameterized arrays, §2.3).
+type ArrayDecl struct {
+	Name   string
+	Size   int
+	Region *RPLExpr
+	Pos    Pos
+}
+
+// RefVarDecl is "refvar r;": a reference-as-region cell for the
+// dynamic-effects extension (§7.2.1).
+type RefVarDecl struct {
+	Name string
+	Pos  Pos
+}
+
+// TaskDecl declares a task with parameters and an effect summary.
+type TaskDecl struct {
+	Name          string
+	Params        []string
+	Deterministic bool
+	Effects       []*EffectItem
+	Body          *Block
+	Pos           Pos
+}
+
+// EffectItem is one "reads R" or "writes R" clause.
+type EffectItem struct {
+	Write  bool
+	Region *RPLExpr
+	Pos    Pos
+}
+
+// RPLExpr is a syntactic RPL whose index elements may be expressions.
+type RPLExpr struct {
+	Elems []RPLElemExpr
+	Pos   Pos
+}
+
+// RPLElemKind discriminates RPLElemExpr.
+type RPLElemKind int
+
+// RPLElemExpr kinds.
+const (
+	ElemName RPLElemKind = iota
+	ElemIndex
+	ElemStar
+	ElemAnyIdx
+)
+
+// RPLElemExpr is one element of an RPLExpr.
+type RPLElemExpr struct {
+	Kind  RPLElemKind
+	Name  string // ElemName
+	Index Expr   // ElemIndex
+}
+
+// Block is a statement sequence.
+type Block struct {
+	Stmts []Stmt
+}
+
+// Stmt is a statement.
+type Stmt interface {
+	stmt()
+	Position() Pos
+}
+
+// AssignVar is "x = e;".
+type AssignVar struct {
+	Name  string
+	Value Expr
+	Pos   Pos
+}
+
+// AssignArray is "a[i] = e;".
+type AssignArray struct {
+	Name  string
+	Index Expr
+	Value Expr
+	Pos   Pos
+}
+
+// LocalDecl is "local x = e;": a task-local (effect-free) variable.
+type LocalDecl struct {
+	Name  string
+	Value Expr
+	Pos   Pos
+}
+
+// If is a conditional.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	Pos  Pos
+}
+
+// While is a loop.
+type While struct {
+	Cond Expr
+	Body *Block
+	Pos  Pos
+}
+
+// LetFuture is "let f = executeLater T(args);" or "let f = spawn T(args);".
+type LetFuture struct {
+	Name  string
+	Spawn bool
+	Task  string
+	Args  []Expr
+	Pos   Pos
+}
+
+// Wait is "getValue f;" or "join f;".
+type Wait struct {
+	Join   bool
+	Future string
+	Pos    Pos
+}
+
+// Call is "call T(args);": run task T's body inline as a method with an
+// effect summary (§2.3: "the programmer declares the effects of each
+// method as part of its method signature; the compiler can then statically
+// verify..."). The call site is checked against the callee's substituted
+// summary; the callee's body is verified separately (modular checking).
+// Inline-called tasks may not themselves create or wait for tasks.
+type Call struct {
+	Task string
+	Args []Expr
+	Pos  Pos
+}
+
+// RefOp is one of the dynamic-effect statements: addread / addwrite /
+// assertinset / useref (§7.2).
+type RefOp struct {
+	// Op is "addread", "addwrite", "assertinset" or "useref".
+	Op  string
+	Ref string
+	Pos Pos
+}
+
+// Skip is "skip;".
+type Skip struct{ Pos Pos }
+
+func (*AssignVar) stmt()   {}
+func (*AssignArray) stmt() {}
+func (*LocalDecl) stmt()   {}
+func (*If) stmt()          {}
+func (*While) stmt()       {}
+func (*LetFuture) stmt()   {}
+func (*Wait) stmt()        {}
+func (*Call) stmt()        {}
+func (*RefOp) stmt()       {}
+func (*Skip) stmt()        {}
+
+// Position implements Stmt.
+func (s *AssignVar) Position() Pos   { return s.Pos }
+func (s *AssignArray) Position() Pos { return s.Pos }
+func (s *LocalDecl) Position() Pos   { return s.Pos }
+func (s *If) Position() Pos          { return s.Pos }
+func (s *While) Position() Pos       { return s.Pos }
+func (s *LetFuture) Position() Pos   { return s.Pos }
+func (s *Wait) Position() Pos        { return s.Pos }
+func (s *Call) Position() Pos        { return s.Pos }
+func (s *RefOp) Position() Pos       { return s.Pos }
+func (s *Skip) Position() Pos        { return s.Pos }
+
+// Expr is an expression.
+type Expr interface {
+	expr()
+	Position() Pos
+}
+
+// Num is an integer literal.
+type Num struct {
+	Value int
+	Pos   Pos
+}
+
+// Ident references a parameter or local (resolved by the checker).
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// ArrayRead is "a[i]".
+type ArrayRead struct {
+	Name  string
+	Index Expr
+	Pos   Pos
+}
+
+// IsDone is "isdone f": 1 if the future completed, else 0 (the isDone
+// operation of Fig. 3.1). Its result is schedule-dependent, so it is
+// forbidden inside deterministic tasks.
+type IsDone struct {
+	Future string
+	Pos    Pos
+}
+
+// Binary is "l op r" with op in + - * / % < <= > >= == !=.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Pos  Pos
+}
+
+func (*Num) expr()       {}
+func (*IsDone) expr()    {}
+func (*Ident) expr()     {}
+func (*ArrayRead) expr() {}
+func (*Binary) expr()    {}
+
+// Position implements Expr.
+func (e *Num) Position() Pos       { return e.Pos }
+func (e *IsDone) Position() Pos    { return e.Pos }
+func (e *Ident) Position() Pos     { return e.Pos }
+func (e *ArrayRead) Position() Pos { return e.Pos }
+func (e *Binary) Position() Pos    { return e.Pos }

@@ -1,0 +1,235 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/lang"
+	"twe/internal/semantics"
+	"twe/internal/tree"
+)
+
+const callSrc = `
+region A, B;
+var x in A;
+var y in B;
+
+// A "method" with an effect summary (§2.3): verified against its own body,
+// summarized at call sites.
+task bumpX(by) effect reads A writes A {
+    x = x + by;
+}
+
+task main() effect writes A, B {
+    call bumpX(2);
+    call bumpX(3);
+    y = x;
+}
+`
+
+func TestCallChecksAndRuns(t *testing.T) {
+	prog := lang.MustParse(callSrc)
+	if res := lang.Check(prog); !res.OK() {
+		t.Fatalf("static: %v", res.Errors)
+	}
+	// Formal semantics.
+	in := semantics.New(prog, 1)
+	in.Launch("main")
+	if !in.Run(10000) {
+		t.Fatal("stuck")
+	}
+	for _, v := range in.Violations {
+		t.Error(v)
+	}
+	if g := in.Globals(); g["x"] != 5 || g["y"] != 5 {
+		t.Fatalf("globals %v", g)
+	}
+	// Real runtime.
+	rt := core.NewRuntime(tree.New(), 2)
+	defer rt.Shutdown()
+	c, err := lang.Compile(prog, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Globals(); g["x"] != 5 || g["y"] != 5 {
+		t.Fatalf("compiled globals %v", g)
+	}
+}
+
+func TestCallEffectNotCoveredRejected(t *testing.T) {
+	prog := lang.MustParse(`
+region A, B;
+var x in A;
+task writeX() effect writes A { x = 1; }
+task caller() effect writes B {
+    call writeX();
+}
+`)
+	res := lang.Check(prog)
+	if res.OK() {
+		t.Fatal("call with uncovered effects accepted")
+	}
+}
+
+func TestCallSubstitutesIndices(t *testing.T) {
+	prog := lang.MustParse(`
+region A;
+array a[8] in A;
+task setSlot(i) effect writes A:[i] { a[i] = 1; }
+task two() effect writes A:[2] { call setSlot(2); }
+task wrong() effect writes A:[3] { call setSlot(2); }
+`)
+	res := lang.Check(prog)
+	found := false
+	for _, e := range res.Errors {
+		if strings.Contains(e.Msg, "not covered") && e.Pos.Line == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("call substitution not checked: %v", res.Errors)
+	}
+	// "two" (line 5) must be accepted: errors only inside "wrong" (line 6).
+	for _, e := range res.Errors {
+		if e.Pos.Line == 5 {
+			t.Fatalf("correct call rejected: %v", e)
+		}
+	}
+}
+
+func TestCallRecursionRejected(t *testing.T) {
+	prog := lang.MustParse(`
+region A;
+var x in A;
+task pingpongA() effect writes A { call pingpongB(); }
+task pingpongB() effect writes A { call pingpongA(); }
+`)
+	res := lang.Check(prog)
+	found := false
+	for _, e := range res.Errors {
+		if strings.Contains(e.Msg, "call cycle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recursion not rejected: %v", res.Errors)
+	}
+}
+
+func TestCallTaskCreatorRejected(t *testing.T) {
+	prog := lang.MustParse(`
+region A;
+var x in A;
+task other() effect pure { skip; }
+task spawny() effect writes A {
+    let f = executeLater other();
+    getValue f;
+}
+task caller() effect writes A {
+    call spawny();
+}
+`)
+	res := lang.Check(prog)
+	found := false
+	for _, e := range res.Errors {
+		if strings.Contains(e.Msg, "cannot be called inline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("task-creating callee not rejected: %v", res.Errors)
+	}
+}
+
+func TestCallScoping(t *testing.T) {
+	// The callee must not see the caller's locals; its own locals must not
+	// leak back.
+	prog := lang.MustParse(`
+region A;
+var x in A;
+task callee(v) effect writes A {
+    local inner = v * 10;
+    x = inner;
+}
+task main() effect writes A {
+    local inner = 1;
+    call callee(4);
+    x = x + inner;   // caller's "inner" still 1
+}
+`)
+	if res := lang.Check(prog); !res.OK() {
+		t.Fatalf("%v", res.Errors)
+	}
+	in := semantics.New(prog, 5)
+	in.Launch("main")
+	if !in.Run(10000) {
+		t.Fatal("stuck")
+	}
+	if g := in.Globals(); g["x"] != 41 {
+		t.Fatalf("x = %d, want 41 (call scoping broken)", g["x"])
+	}
+	rt := core.NewRuntime(tree.New(), 2)
+	defer rt.Shutdown()
+	c, err := lang.Compile(prog, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Globals(); g["x"] != 41 {
+		t.Fatalf("compiled x = %d, want 41", g["x"])
+	}
+}
+
+func TestCallInferredThroughCaller(t *testing.T) {
+	prog := lang.MustParse(`
+region A, B;
+var x in A;
+task helper() effect writes A { x = 1; }
+task caller() effect writes A, B {
+    call helper();
+}
+`)
+	inferred := lang.Infer(prog)["caller"]
+	if inferred.String() != "writes Root:A" {
+		t.Fatalf("inferred caller effects %v, want writes Root:A", inferred)
+	}
+}
+
+func TestCallFormatRoundTrip(t *testing.T) {
+	prog := lang.MustParse(callSrc)
+	out := lang.Format(prog)
+	if !strings.Contains(out, "call bumpX(2);") {
+		t.Fatalf("call not printed:\n%s", out)
+	}
+	again := lang.MustParse(out)
+	if lang.Format(again) != out {
+		t.Fatal("printer not a fixpoint with calls")
+	}
+}
+
+func TestCallDeterministicRestriction(t *testing.T) {
+	prog := lang.MustParse(`
+region A;
+var x in A;
+task plain() effect writes A { x = 1; }
+deterministic task det() effect writes A {
+    call plain();
+}
+`)
+	res := lang.Check(prog)
+	found := false
+	for _, e := range res.Errors {
+		if strings.Contains(e.Msg, "call deterministic tasks") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("non-deterministic inline callee accepted in deterministic task: %v", res.Errors)
+	}
+}

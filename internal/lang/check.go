@@ -1,0 +1,769 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+
+	"twe/internal/compound"
+	"twe/internal/dataflow"
+	"twe/internal/effect"
+	"twe/internal/rpl"
+)
+
+// Diagnostic is one checker finding.
+type Diagnostic struct {
+	Pos     Pos
+	Msg     string
+	Warning bool
+}
+
+func (d Diagnostic) String() string {
+	sev := "error"
+	if d.Warning {
+		sev = "warning"
+	}
+	return fmt.Sprintf("twel:%v: %s: %s", d.Pos, sev, d.Msg)
+}
+
+// Result collects the checker's findings.
+type Result struct {
+	Errors   []Diagnostic
+	Warnings []Diagnostic
+}
+
+// OK reports whether the program passed all static checks.
+func (r *Result) OK() bool { return len(r.Errors) == 0 }
+
+// Check runs all static checks of the TWE model on the program: name
+// resolution, effect-summary resolution, the covering-effect analysis
+// (structure-based, §4.4, cross-validated against the iterative CFG
+// analysis of §4.3), the deterministic restriction (§3.3.5), and the
+// dynamic-reference-set must-analysis (§7.2.6–7.2.7).
+func Check(prog *Program) *Result {
+	c := &checker{prog: prog}
+	c.resolveDecls()
+	c.checkCallCycles()
+	for _, t := range prog.Tasks {
+		c.checkTask(t)
+	}
+	c.dedupe()
+	return &c.res
+}
+
+type checker struct {
+	prog    *Program
+	res     Result
+	regions map[string]bool
+	vars    map[string]rpl.RPL
+	arrays  map[string]rpl.RPL // element i of a lives in arrays[a]:[i]
+	refs    map[string]bool
+	tasks   map[string]*TaskDecl
+
+	// resolved per-statement effect info, consumed by the CFG lowering.
+	accessEff map[Stmt]effect.Set
+	spawnEff  map[Stmt]effect.Set
+	joinEff   map[Stmt]effect.Set
+}
+
+func (c *checker) errf(pos Pos, format string, args ...any) {
+	c.res.Errors = append(c.res.Errors, Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) warnf(pos Pos, format string, args ...any) {
+	c.res.Warnings = append(c.res.Warnings, Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...), Warning: true})
+}
+
+func (c *checker) dedupe() {
+	key := func(d Diagnostic) string { return fmt.Sprintf("%v|%s|%v", d.Pos, d.Msg, d.Warning) }
+	uniq := func(ds []Diagnostic) []Diagnostic {
+		seen := map[string]bool{}
+		var out []Diagnostic
+		for _, d := range ds {
+			k := key(d)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, d)
+			}
+		}
+		sort.SliceStable(out, func(i, j int) bool {
+			if out[i].Pos.Line != out[j].Pos.Line {
+				return out[i].Pos.Line < out[j].Pos.Line
+			}
+			return out[i].Pos.Col < out[j].Pos.Col
+		})
+		return out
+	}
+	c.res.Errors = uniq(c.res.Errors)
+	c.res.Warnings = uniq(c.res.Warnings)
+}
+
+func (c *checker) resolveDecls() {
+	c.regions = map[string]bool{}
+	c.vars = map[string]rpl.RPL{}
+	c.arrays = map[string]rpl.RPL{}
+	c.refs = map[string]bool{}
+	c.tasks = map[string]*TaskDecl{}
+	c.accessEff = map[Stmt]effect.Set{}
+	c.spawnEff = map[Stmt]effect.Set{}
+	c.joinEff = map[Stmt]effect.Set{}
+
+	for _, r := range c.prog.Regions {
+		if c.regions[r] {
+			c.errf(Pos{}, "region %q declared twice", r)
+		}
+		c.regions[r] = true
+	}
+	for _, v := range c.prog.Vars {
+		if _, dup := c.vars[v.Name]; dup {
+			c.errf(v.Pos, "var %q declared twice", v.Name)
+		}
+		c.vars[v.Name] = c.resolveRPL(v.Region, nil, v.Pos)
+	}
+	for _, a := range c.prog.Arrays {
+		if _, dup := c.arrays[a.Name]; dup {
+			c.errf(a.Pos, "array %q declared twice", a.Name)
+		}
+		if a.Size <= 0 {
+			c.errf(a.Pos, "array %q has non-positive size %d", a.Name, a.Size)
+		}
+		c.arrays[a.Name] = c.resolveRPL(a.Region, nil, a.Pos)
+	}
+	for _, r := range c.prog.RefVars {
+		if c.refs[r.Name] {
+			c.errf(r.Pos, "refvar %q declared twice", r.Name)
+		}
+		c.refs[r.Name] = true
+	}
+	for _, t := range c.prog.Tasks {
+		if _, dup := c.tasks[t.Name]; dup {
+			c.errf(t.Pos, "task %q declared twice", t.Name)
+		}
+		c.tasks[t.Name] = t
+	}
+}
+
+// resolveRPL turns a syntactic RPL into a static rpl.RPL, mapping index
+// expressions to concrete indices (constants), parameter elements
+// (identifiers in params), or [?] otherwise.
+func (c *checker) resolveRPL(e *RPLExpr, params map[string]bool, pos Pos) rpl.RPL {
+	var elems []rpl.Elem
+	for _, el := range e.Elems {
+		switch el.Kind {
+		case ElemName:
+			if !c.regions[el.Name] {
+				c.errf(pos, "undeclared region %q in RPL", el.Name)
+			}
+			elems = append(elems, rpl.N(el.Name))
+		case ElemStar:
+			elems = append(elems, rpl.Any)
+		case ElemAnyIdx:
+			elems = append(elems, rpl.AnyIdx)
+		case ElemIndex:
+			elems = append(elems, c.resolveIndex(el.Index, params))
+		}
+	}
+	return rpl.New(elems...)
+}
+
+// resolveIndex maps an index expression to a static RPL element.
+func (c *checker) resolveIndex(e Expr, params map[string]bool) rpl.Elem {
+	if n, ok := constFold(e); ok {
+		return rpl.Idx(n)
+	}
+	if id, ok := e.(*Ident); ok && params[id.Name] {
+		return rpl.P(id.Name)
+	}
+	return rpl.AnyIdx
+}
+
+func constFold(e Expr) (int, bool) {
+	switch v := e.(type) {
+	case *Num:
+		return v.Value, true
+	case *Binary:
+		l, lok := constFold(v.L)
+		r, rok := constFold(v.R)
+		if !lok || !rok {
+			return 0, false
+		}
+		switch v.Op {
+		case "+":
+			return l + r, true
+		case "-":
+			return l - r, true
+		case "*":
+			return l * r, true
+		case "/":
+			if r != 0 {
+				return l / r, true
+			}
+		case "%":
+			if r != 0 {
+				return l % r, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// declaredEffects resolves a task's effect summary with its own parameters
+// symbolic.
+func (c *checker) declaredEffects(t *TaskDecl) effect.Set {
+	params := map[string]bool{}
+	for _, p := range t.Params {
+		params[p] = true
+	}
+	var effs []effect.Effect
+	for _, item := range t.Effects {
+		r := c.resolveRPL(item.Region, params, item.Pos)
+		effs = append(effs, effect.Effect{Write: item.Write, Region: r})
+	}
+	return effect.NewSet(effs...)
+}
+
+// substitutedEffects resolves a callee's declared effects at a call site,
+// substituting the argument expressions for the callee's parameters
+// (constants stay concrete, the caller's own parameters stay symbolic,
+// anything else becomes [?]).
+func (c *checker) substitutedEffects(callee *TaskDecl, args []Expr, callerParams map[string]bool) effect.Set {
+	argFor := map[string]Expr{}
+	for i, p := range callee.Params {
+		if i < len(args) {
+			argFor[p] = args[i]
+		}
+	}
+	var effs []effect.Effect
+	for _, item := range callee.Effects {
+		var elems []rpl.Elem
+		for _, el := range item.Region.Elems {
+			switch el.Kind {
+			case ElemName:
+				elems = append(elems, rpl.N(el.Name))
+			case ElemStar:
+				elems = append(elems, rpl.Any)
+			case ElemAnyIdx:
+				elems = append(elems, rpl.AnyIdx)
+			case ElemIndex:
+				// Substitute callee params with the call arguments.
+				idx := el.Index
+				if id, ok := idx.(*Ident); ok {
+					if arg, bound := argFor[id.Name]; bound {
+						idx = arg
+					}
+				}
+				elems = append(elems, c.resolveIndex(idx, callerParams))
+			}
+		}
+		effs = append(effs, effect.Effect{Write: item.Write, Region: rpl.New(elems...)})
+	}
+	return effect.NewSet(effs...)
+}
+
+// --- per-task checking -----------------------------------------------------
+
+type futureInfo struct {
+	task    *TaskDecl
+	spawned bool
+	eff     effect.Set // substituted effects at the creation site
+}
+
+// flow is the combined analysis state flowing through the structure-based
+// walk: the covering compound effect (§4.4) and the must-set of
+// definitely-added dynamic references (§7.2.6).
+type flow struct {
+	cov  *compound.Compound
+	refs map[string]bool
+}
+
+func (f flow) clone() flow {
+	r := map[string]bool{}
+	for k, v := range f.refs {
+		if v {
+			r[k] = true
+		}
+	}
+	return flow{cov: f.cov, refs: r}
+}
+
+// meetFlow intersects two states (control-flow merge).
+func meetFlow(a, b flow) flow {
+	refs := map[string]bool{}
+	for k := range a.refs {
+		if b.refs[k] {
+			refs[k] = true
+		}
+	}
+	return flow{cov: compound.Meet(a.cov, b.cov), refs: refs}
+}
+
+func sameRefs(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+type taskChecker struct {
+	*checker
+	task    *TaskDecl
+	params  map[string]bool
+	locals  map[string]bool
+	callees map[string]bool
+	futures map[string]*futureInfo
+	// joins records the distinct join statements per future name; two
+	// different joins of one future may double-join at run time.
+	joins map[string]map[Stmt]bool
+}
+
+func (c *checker) checkTask(t *TaskDecl) {
+	tc := &taskChecker{
+		checker: c,
+		task:    t,
+		params:  map[string]bool{},
+		locals:  map[string]bool{},
+		callees: map[string]bool{},
+		futures: map[string]*futureInfo{},
+		joins:   map[string]map[Stmt]bool{},
+	}
+	for _, p := range t.Params {
+		if tc.params[p] {
+			c.errf(t.Pos, "task %q: duplicate parameter %q", t.Name, p)
+		}
+		tc.params[p] = true
+	}
+	declared := c.declaredEffects(t)
+	in := flow{cov: compound.NewBase(declared), refs: map[string]bool{}}
+	tc.block(t.Body, in)
+
+	for name, stmts := range tc.joins {
+		if len(stmts) > 1 {
+			c.warnf(t.Pos, "task %q: future %q joined on %d paths; joining twice at run time is an error", t.Name, name, len(stmts))
+		}
+	}
+
+	// Cross-check with the iterative CFG analysis (§4.3). The two
+	// algorithms compute the same meet-over-paths solution, so any access
+	// flagged by one must be flagged by the other.
+	tc.crossValidate(declared)
+}
+
+// block runs the structure-based covering analysis (§4.4) over b.
+func (tc *taskChecker) block(b *Block, in flow) flow {
+	cur := in
+	for _, s := range b.Stmts {
+		cur = tc.stmt(s, cur)
+	}
+	return cur
+}
+
+func (tc *taskChecker) stmt(s Stmt, in flow) flow {
+	switch st := s.(type) {
+	case *Skip:
+		return in
+
+	case *LocalDecl:
+		eff := tc.exprEffect(st.Value)
+		tc.checkCovered(s, st.Pos, eff, in)
+		tc.locals[st.Name] = true
+		return in
+
+	case *AssignVar:
+		eff := tc.exprEffect(st.Value)
+		if tc.locals[st.Name] || tc.params[st.Name] {
+			if tc.params[st.Name] {
+				tc.errf(st.Pos, "cannot assign to parameter %q", st.Name)
+			}
+			// local update: value reads only
+		} else if r, ok := tc.vars[st.Name]; ok {
+			eff = eff.Union(effect.NewSet(effect.WriteEff(r)))
+		} else {
+			tc.errf(st.Pos, "undefined variable %q", st.Name)
+		}
+		tc.checkCovered(s, st.Pos, eff, in)
+		return in
+
+	case *AssignArray:
+		eff := tc.exprEffect(st.Index).Union(tc.exprEffect(st.Value))
+		if base, ok := tc.arrays[st.Name]; ok {
+			elem := tc.resolveIndex(st.Index, tc.params)
+			eff = eff.Union(effect.NewSet(effect.WriteEff(base.Append(elem))))
+		} else {
+			tc.errf(st.Pos, "undefined array %q", st.Name)
+		}
+		tc.checkCovered(s, st.Pos, eff, in)
+		return in
+
+	case *If:
+		eff := tc.exprEffect(st.Cond)
+		tc.checkCovered(s, st.Pos, eff, in)
+		thenOut := tc.block(st.Then, in.clone())
+		elseOut := in
+		if st.Else != nil {
+			elseOut = tc.block(st.Else, in.clone())
+		}
+		return meetFlow(thenOut, elseOut)
+
+	case *While:
+		eff := tc.exprEffect(st.Cond)
+		tc.checkCovered(s, st.Pos, eff, in)
+		// First pass over the body (§4.4).
+		out1 := tc.block(st.Body, in.clone())
+		if out1.cov.SyntacticEqual(in.cov) && sameRefs(out1.refs, in.refs) {
+			return in
+		}
+		// Second pass from the meet of entry and first-pass exit.
+		entry := meetFlow(in, out1)
+		out2 := tc.block(st.Body, entry.clone())
+		return meetFlow(entry, out2)
+
+	case *LetFuture:
+		callee, ok := tc.tasks[st.Task]
+		if !ok {
+			tc.errf(st.Pos, "undefined task %q", st.Task)
+			return in
+		}
+		if len(st.Args) != len(callee.Params) {
+			tc.errf(st.Pos, "task %q takes %d arguments, got %d", st.Task, len(callee.Params), len(st.Args))
+		}
+		var argEff effect.Set
+		for _, a := range st.Args {
+			argEff = argEff.Union(tc.exprEffect(a))
+		}
+		tc.checkCovered(s, st.Pos, argEff, in)
+		sub := tc.substitutedEffects(callee, st.Args, tc.params)
+		tc.futures[st.Name] = &futureInfo{task: callee, spawned: st.Spawn, eff: sub}
+		if !st.Spawn {
+			if tc.task.Deterministic {
+				tc.errf(st.Pos, "deterministic task %q may not use executeLater (§3.3.5)", tc.task.Name)
+			}
+			return in
+		}
+		// Spawn: covering-effect transfer (§3.1.5).
+		if tc.task.Deterministic && !callee.Deterministic {
+			tc.errf(st.Pos, "deterministic task %q may only spawn deterministic tasks", tc.task.Name)
+		}
+		if !in.cov.CoversSet(sub) {
+			if allFullySpecified(sub) && allFullySpecified(tc.declaredEffects(tc.task)) {
+				tc.errf(st.Pos, "spawned task %q effects [%v] definitely not covered by covering effect %s",
+					st.Task, sub, in.cov)
+			} else {
+				tc.warnf(st.Pos, "cannot prove spawned task %q effects [%v] covered; a run-time covering check will be performed (§3.1.5)",
+					st.Task, sub)
+			}
+		}
+		tc.spawnEff[s] = sub
+		return flow{cov: in.cov.Sub(sub), refs: in.refs}
+
+	case *Wait:
+		fi, ok := tc.futures[st.Future]
+		if !ok {
+			tc.errf(st.Pos, "undefined future %q", st.Future)
+			return in
+		}
+		if st.Join {
+			if !fi.spawned {
+				tc.errf(st.Pos, "join on %q: only spawned task futures support join", st.Future)
+				return in
+			}
+			if tc.joins[st.Future] == nil {
+				tc.joins[st.Future] = map[Stmt]bool{}
+			}
+			tc.joins[st.Future][s] = true
+			// Effect transfer on join only when the effect parameter is
+			// fully specified (§3.1.5).
+			if allFullySpecified(fi.eff) {
+				tc.joinEff[s] = fi.eff
+				return flow{cov: in.cov.Add(fi.eff), refs: in.refs}
+			}
+			tc.warnf(st.Pos, "join on %q transfers no effects statically: effects [%v] are not fully specified (§3.1.5)",
+				st.Future, fi.eff)
+			return in
+		}
+		// getValue
+		if tc.task.Deterministic {
+			tc.errf(st.Pos, "deterministic task %q may not use getValue (§3.3.5)", tc.task.Name)
+		}
+		return in
+
+	case *Call:
+		callee, ok := tc.tasks[st.Task]
+		if !ok {
+			tc.errf(st.Pos, "undefined task %q", st.Task)
+			return in
+		}
+		if len(st.Args) != len(callee.Params) {
+			tc.errf(st.Pos, "task %q takes %d arguments, got %d", st.Task, len(callee.Params), len(st.Args))
+		}
+		if createsTasks(callee.Body) {
+			tc.errf(st.Pos, "task %q creates or waits for tasks and cannot be called inline", st.Task)
+		}
+		if tc.task.Deterministic && !callee.Deterministic {
+			tc.errf(st.Pos, "deterministic task %q may only call deterministic tasks inline", tc.task.Name)
+		}
+		tc.callees[st.Task] = true
+		eff := tc.exprEffects(st.Args)
+		// The call's effect is the callee's substituted summary — the
+		// modular check of §2.3: the callee's body was verified against
+		// its own summary, so the summary stands in for the body here.
+		eff = eff.Union(tc.substitutedEffects(callee, st.Args, tc.params))
+		tc.checkCovered(s, st.Pos, eff, in)
+		return in
+
+	case *RefOp:
+		if !tc.refs[st.Ref] {
+			tc.errf(st.Pos, "undeclared refvar %q", st.Ref)
+			return in
+		}
+		out := in.clone()
+		switch st.Op {
+		case "addread", "addwrite":
+			out.refs[st.Ref] = true
+		case "assertinset":
+			// The assertion is checked at run time; afterwards the static
+			// analysis may assume membership (§7.2.7).
+			out.refs[st.Ref] = true
+		case "useref":
+			if !in.refs[st.Ref] {
+				tc.errf(st.Pos, "reference %q may not be in the task's dynamic effect set here (§7.2.6); add it or assertinset first", st.Ref)
+			}
+		}
+		return out
+	}
+	tc.errf(s.Position(), "internal: unhandled statement %T", s)
+	return in
+}
+
+// exprEffect computes the read effects of evaluating e.
+func (tc *taskChecker) exprEffect(e Expr) effect.Set {
+	switch v := e.(type) {
+	case *Num:
+		return effect.Pure
+	case *Ident:
+		if tc.params[v.Name] || tc.locals[v.Name] {
+			return effect.Pure
+		}
+		if r, ok := tc.vars[v.Name]; ok {
+			return effect.NewSet(effect.Read(r))
+		}
+		tc.errf(v.Pos, "undefined name %q", v.Name)
+		return effect.Pure
+	case *ArrayRead:
+		idxEff := tc.exprEffect(v.Index)
+		base, ok := tc.arrays[v.Name]
+		if !ok {
+			tc.errf(v.Pos, "undefined array %q", v.Name)
+			return idxEff
+		}
+		elem := tc.resolveIndex(v.Index, tc.params)
+		return idxEff.Union(effect.NewSet(effect.Read(base.Append(elem))))
+	case *Binary:
+		return tc.exprEffect(v.L).Union(tc.exprEffect(v.R))
+	case *IsDone:
+		if _, ok := tc.futures[v.Future]; !ok {
+			tc.errf(v.Pos, "undefined future %q", v.Future)
+		}
+		if tc.task.Deterministic {
+			tc.errf(v.Pos, "deterministic task %q may not use isdone: its result is schedule-dependent (§3.3.5)", tc.task.Name)
+		}
+		return effect.Pure
+	}
+	tc.errf(e.Position(), "internal: unhandled expression %T", e)
+	return effect.Pure
+}
+
+// checkCovered verifies the effects of an operation against the current
+// covering effect and records them for the CFG lowering.
+func (tc *taskChecker) checkCovered(s Stmt, pos Pos, eff effect.Set, in flow) {
+	if prev, ok := tc.accessEff[s]; ok {
+		tc.accessEff[s] = prev.Union(eff)
+	} else {
+		tc.accessEff[s] = eff
+	}
+	if un := in.cov.UncoveredOf(eff); len(un) > 0 {
+		tc.errf(pos, "effect %v not covered by current covering effect %s", un, in.cov)
+	}
+}
+
+// exprEffects unions the read effects of an argument list.
+func (tc *taskChecker) exprEffects(args []Expr) effect.Set {
+	var out effect.Set
+	for _, a := range args {
+		out = out.Union(tc.exprEffect(a))
+	}
+	return out
+}
+
+// createsTasks reports whether a body contains task-creation or waiting
+// operations, which inline-called tasks may not use.
+func createsTasks(b *Block) bool {
+	found := false
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		for _, s := range blk.Stmts {
+			switch st := s.(type) {
+			case *LetFuture, *Wait:
+				found = true
+			case *If:
+				walk(st.Then)
+				if st.Else != nil {
+					walk(st.Else)
+				}
+			case *While:
+				walk(st.Body)
+			}
+		}
+	}
+	walk(b)
+	return found
+}
+
+// checkCallCycles rejects recursive inline calls (the runtime would not
+// terminate; the paper's methods are ordinary Java methods where recursion
+// is fine, but TWEL keeps inline calls non-recursive for decidability of
+// the semantics' step bound).
+func (c *checker) checkCallCycles() {
+	edges := map[string][]string{}
+	var collect func(task string, b *Block)
+	collect = func(task string, b *Block) {
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *Call:
+				edges[task] = append(edges[task], st.Task)
+			case *If:
+				collect(task, st.Then)
+				if st.Else != nil {
+					collect(task, st.Else)
+				}
+			case *While:
+				collect(task, st.Body)
+			}
+		}
+	}
+	for _, t := range c.prog.Tasks {
+		collect(t.Name, t.Body)
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		color[n] = grey
+		for _, m := range edges[n] {
+			switch color[m] {
+			case grey:
+				return true
+			case white:
+				if dfs(m) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, t := range c.prog.Tasks {
+		if color[t.Name] == white && dfs(t.Name) {
+			c.errf(t.Pos, "inline call cycle involving task %q", t.Name)
+			return
+		}
+	}
+}
+
+func allFullySpecified(s effect.Set) bool {
+	for _, e := range s.Effects() {
+		if !e.Region.FullySpecified() {
+			return false
+		}
+	}
+	return true
+}
+
+// --- CFG lowering and cross-validation (§4.3) -------------------------------
+
+// crossValidate lowers the task body to a CFG, runs the iterative
+// covering-effect analysis, and reports any access it flags that the
+// structure-based analysis did not (and vice versa) as internal errors —
+// the two must agree on the meet-over-paths solution.
+func (tc *taskChecker) crossValidate(declared effect.Set) {
+	g := dataflow.NewGraph()
+	entry := g.NewBlock("body")
+	g.Edge(g.Entry, entry)
+	exit := tc.lower(g, entry, tc.task.Body)
+	_ = exit
+	res := dataflow.Solve(&dataflow.Problem{Graph: g, Declared: declared})
+
+	structFlagged := map[string]bool{}
+	for _, d := range tc.res.Errors {
+		structFlagged[fmt.Sprintf("%v", d.Pos)] = true
+	}
+	for _, e := range res.Errors {
+		pos := e.Block.Ops[e.OpIdx].Pos
+		if pos == "" {
+			continue
+		}
+		if !structFlagged[pos] {
+			tc.errf(Pos{}, "internal: iterative analysis flags uncovered access at %s that the structure-based analysis missed", pos)
+		}
+	}
+}
+
+// lower appends b's statements to cur, returning the block control flow
+// falls out of.
+func (tc *taskChecker) lower(g *dataflow.Graph, cur *dataflow.Block, b *Block) *dataflow.Block {
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *If:
+			tc.appendAccess(cur, s)
+			thenB := g.NewBlock("then")
+			g.Edge(cur, thenB)
+			thenOut := tc.lower(g, thenB, st.Then)
+			merge := g.NewBlock("merge")
+			g.Edge(thenOut, merge)
+			if st.Else != nil {
+				elseB := g.NewBlock("else")
+				g.Edge(cur, elseB)
+				elseOut := tc.lower(g, elseB, st.Else)
+				g.Edge(elseOut, merge)
+			} else {
+				g.Edge(cur, merge)
+			}
+			cur = merge
+		case *While:
+			head := g.NewBlock("head")
+			g.Edge(cur, head)
+			tc.appendAccess(head, s)
+			body := g.NewBlock("loop")
+			g.Edge(head, body)
+			bodyOut := tc.lower(g, body, st.Body)
+			g.Edge(bodyOut, head)
+			exit := g.NewBlock("exit")
+			g.Edge(head, exit)
+			cur = exit
+		default:
+			tc.appendAccess(cur, s)
+			if sub, ok := tc.spawnEff[s]; ok {
+				cur.Ops = append(cur.Ops, dataflow.Op{Kind: dataflow.Spawn, Eff: sub, Pos: posKey(s)})
+			}
+			if add, ok := tc.joinEff[s]; ok {
+				cur.Ops = append(cur.Ops, dataflow.Op{Kind: dataflow.Join, Eff: add, Pos: posKey(s)})
+			}
+		}
+	}
+	return cur
+}
+
+func (tc *taskChecker) appendAccess(blk *dataflow.Block, s Stmt) {
+	if eff, ok := tc.accessEff[s]; ok && !eff.IsPure() {
+		blk.Ops = append(blk.Ops, dataflow.Op{Kind: dataflow.Access, Eff: eff, Pos: posKey(s)})
+	}
+}
+
+func posKey(s Stmt) string { return fmt.Sprintf("%v", s.Position()) }

@@ -1,0 +1,308 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+
+	"twe/internal/core"
+)
+
+// Compiled is a TWEL program lowered onto the real TWE runtime: the
+// counterpart of the TWEJava compiler's code generation (§3.4.1). Globals
+// live in plain, unsynchronized Go memory — the scheduler's task isolation
+// is the only thing standing between the generated code and data races,
+// which is exactly the property the end-to-end tests (run under -race)
+// certify.
+type Compiled struct {
+	prog    *Program
+	rt      *core.Runtime
+	globals map[string]*int
+	arrays  map[string][]int
+}
+
+// Compile prepares prog to run on rt. The program must have passed Check;
+// Compile re-runs it and refuses ill-effected programs.
+func Compile(prog *Program, rt *core.Runtime) (*Compiled, error) {
+	if res := Check(prog); !res.OK() {
+		return nil, fmt.Errorf("lang: program fails static checks: %v", res.Errors[0])
+	}
+	c := &Compiled{
+		prog:    prog,
+		rt:      rt,
+		globals: map[string]*int{},
+		arrays:  map[string][]int{},
+	}
+	for _, v := range prog.Vars {
+		c.globals[v.Name] = new(int)
+	}
+	for _, a := range prog.Arrays {
+		c.arrays[a.Name] = make([]int, a.Size)
+	}
+	return c, nil
+}
+
+// Globals snapshots the scalar store. Quiescent use only.
+func (c *Compiled) Globals() map[string]int {
+	out := map[string]int{}
+	for k, p := range c.globals {
+		out[k] = *p
+	}
+	return out
+}
+
+// Arrays snapshots the array store. Quiescent use only.
+func (c *Compiled) Arrays() map[string][]int {
+	out := map[string][]int{}
+	for k, v := range c.arrays {
+		out[k] = append([]int(nil), v...)
+	}
+	return out
+}
+
+// Run launches the named task with the given arguments and waits for it.
+func (c *Compiled) Run(task string, args ...int) error {
+	decl := c.prog.Task(task)
+	if decl == nil {
+		return fmt.Errorf("lang: no task %q", task)
+	}
+	_, err := c.rt.Run(c.mkTask(decl, args), nil)
+	return err
+}
+
+// mkTask instantiates one execution of decl: the dynamic RPLs of its
+// effect summary are computed from the concrete arguments, as the TWEJava
+// compiler's generated code does at task-creation time (§3.4.1).
+func (c *Compiled) mkTask(decl *TaskDecl, args []int) *core.Task {
+	return &core.Task{
+		Name:          decl.Name,
+		Eff:           DynamicEffects(decl, args),
+		Deterministic: decl.Deterministic,
+		Body: func(ctx *core.Ctx, _ any) (any, error) {
+			ex := &executor{c: c, ctx: ctx, env: map[string]int{}, futures: map[string]*futureHandle{}}
+			for i, p := range decl.Params {
+				if i < len(args) {
+					ex.env[p] = args[i]
+				}
+			}
+			return nil, ex.block(decl.Body)
+		},
+	}
+}
+
+// futureHandle remembers how a future was created so Wait picks the right
+// operation.
+type futureHandle struct {
+	fut     *core.Future
+	spawned *core.SpawnedFuture
+}
+
+type executor struct {
+	c       *Compiled
+	ctx     *core.Ctx
+	env     map[string]int
+	futures map[string]*futureHandle
+}
+
+var errOutOfRange = errors.New("lang: array index out of range")
+
+func (ex *executor) block(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := ex.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *executor) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Skip, *RefOp:
+		return nil
+	case *LocalDecl:
+		v, err := ex.eval(st.Value)
+		if err != nil {
+			return err
+		}
+		ex.env[st.Name] = v
+		return nil
+	case *AssignVar:
+		v, err := ex.eval(st.Value)
+		if err != nil {
+			return err
+		}
+		if _, isLocal := ex.env[st.Name]; isLocal {
+			ex.env[st.Name] = v
+			return nil
+		}
+		if p, ok := ex.c.globals[st.Name]; ok {
+			*p = v // unsynchronized by design; isolation protects it
+			return nil
+		}
+		return fmt.Errorf("lang: unknown variable %q", st.Name)
+	case *AssignArray:
+		idx, err := ex.eval(st.Index)
+		if err != nil {
+			return err
+		}
+		v, err := ex.eval(st.Value)
+		if err != nil {
+			return err
+		}
+		arr := ex.c.arrays[st.Name]
+		if idx < 0 || idx >= len(arr) {
+			return fmt.Errorf("%w: %s[%d]", errOutOfRange, st.Name, idx)
+		}
+		arr[idx] = v
+		return nil
+	case *If:
+		v, err := ex.eval(st.Cond)
+		if err != nil {
+			return err
+		}
+		if v != 0 {
+			return ex.block(st.Then)
+		}
+		if st.Else != nil {
+			return ex.block(st.Else)
+		}
+		return nil
+	case *While:
+		for {
+			v, err := ex.eval(st.Cond)
+			if err != nil {
+				return err
+			}
+			if v == 0 {
+				return nil
+			}
+			if err := ex.block(st.Body); err != nil {
+				return err
+			}
+		}
+	case *LetFuture:
+		decl := ex.c.prog.Task(st.Task)
+		args := make([]int, len(st.Args))
+		for i, a := range st.Args {
+			v, err := ex.eval(a)
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		task := ex.c.mkTask(decl, args)
+		if st.Spawn {
+			sf, err := ex.ctx.Spawn(task, nil)
+			if err != nil {
+				return err
+			}
+			ex.futures[st.Name] = &futureHandle{fut: sf.Future(), spawned: sf}
+			return nil
+		}
+		fut, err := ex.ctx.ExecuteLater(task, nil)
+		if err != nil {
+			return err
+		}
+		ex.futures[st.Name] = &futureHandle{fut: fut}
+		return nil
+	case *Call:
+		decl := ex.c.prog.Task(st.Task)
+		env := map[string]int{}
+		for i, p := range decl.Params {
+			if i < len(st.Args) {
+				v, err := ex.eval(st.Args[i])
+				if err != nil {
+					return err
+				}
+				env[p] = v
+			}
+		}
+		callee := &executor{c: ex.c, ctx: ex.ctx, env: env, futures: map[string]*futureHandle{}}
+		return callee.block(decl.Body)
+	case *Wait:
+		h, ok := ex.futures[st.Future]
+		if !ok {
+			return fmt.Errorf("lang: unknown future %q", st.Future)
+		}
+		if st.Join {
+			if h.spawned == nil {
+				return fmt.Errorf("lang: join on non-spawned future %q", st.Future)
+			}
+			_, err := ex.ctx.Join(h.spawned)
+			return err
+		}
+		_, err := ex.ctx.GetValue(h.fut)
+		return err
+	}
+	return fmt.Errorf("lang: unhandled statement %T", s)
+}
+
+func (ex *executor) eval(e Expr) (int, error) {
+	switch v := e.(type) {
+	case *Num:
+		return v.Value, nil
+	case *Ident:
+		if val, ok := ex.env[v.Name]; ok {
+			return val, nil
+		}
+		if p, ok := ex.c.globals[v.Name]; ok {
+			return *p, nil
+		}
+		return 0, fmt.Errorf("lang: unknown name %q", v.Name)
+	case *IsDone:
+		h, ok := ex.futures[v.Future]
+		if !ok {
+			return 0, fmt.Errorf("lang: unknown future %q", v.Future)
+		}
+		return boolInt(h.fut.IsDone()), nil
+	case *ArrayRead:
+		idx, err := ex.eval(v.Index)
+		if err != nil {
+			return 0, err
+		}
+		arr := ex.c.arrays[v.Name]
+		if idx < 0 || idx >= len(arr) {
+			return 0, fmt.Errorf("%w: %s[%d]", errOutOfRange, v.Name, idx)
+		}
+		return arr[idx], nil
+	case *Binary:
+		a, err := ex.eval(v.L)
+		if err != nil {
+			return 0, err
+		}
+		b, err := ex.eval(v.R)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "/":
+			if b == 0 {
+				return 0, nil
+			}
+			return a / b, nil
+		case "%":
+			if b == 0 {
+				return 0, nil
+			}
+			return a % b, nil
+		case "<":
+			return boolInt(a < b), nil
+		case "<=":
+			return boolInt(a <= b), nil
+		case ">":
+			return boolInt(a > b), nil
+		case ">=":
+			return boolInt(a >= b), nil
+		case "==":
+			return boolInt(a == b), nil
+		case "!=":
+			return boolInt(a != b), nil
+		}
+	}
+	return 0, fmt.Errorf("lang: unhandled expression %T", e)
+}

@@ -1,0 +1,175 @@
+package lang_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/isolcheck"
+	"twe/internal/lang"
+	"twe/internal/naive"
+	"twe/internal/semantics"
+	"twe/internal/tree"
+)
+
+func schedFactories() map[string]func() core.Scheduler {
+	return map[string]func() core.Scheduler{
+		"naive": func() core.Scheduler { return naive.New() },
+		"tree":  func() core.Scheduler { return tree.New() },
+	}
+}
+
+// TestCompileCorpusOnRealRuntime compiles every good corpus program with a
+// main task and runs it on both real schedulers with the isolation monitor
+// attached.
+func TestCompileCorpusOnRealRuntime(t *testing.T) {
+	files, _ := filepath.Glob("testdata/*.twel")
+	for _, file := range files {
+		if strings.HasPrefix(filepath.Base(file), "bad_") {
+			continue
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := lang.MustParse(string(src))
+		if prog.Task("main") == nil {
+			continue
+		}
+		for name, mk := range schedFactories() {
+			t.Run(filepath.Base(file)+"/"+name, func(t *testing.T) {
+				chk := isolcheck.New()
+				rt := core.NewRuntime(mk(), 4, core.WithMonitor(chk))
+				c, err := lang.Compile(prog, rt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Run("main"); err != nil {
+					t.Fatal(err)
+				}
+				rt.Shutdown()
+				for _, v := range chk.Violations() {
+					t.Error(v)
+				}
+			})
+		}
+	}
+}
+
+// TestCompiledMatchesInterpreter: for a deterministic TWEL program, the
+// real runtime and the formal-semantics interpreter must compute the same
+// final store.
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	src := `
+region A, B;
+var total in B;
+array a[8] in A;
+deterministic task fill(i) effect writes A:[i] {
+    a[i] = i * i + 1;
+}
+deterministic task fanout() effect writes A:* {
+    let f0 = spawn fill(0);
+    let f1 = spawn fill(1);
+    let f2 = spawn fill(2);
+    let f3 = spawn fill(3);
+    join f0;
+    join f1;
+    join f2;
+    join f3;
+}
+task main() effect writes A:*, B {
+    let f = executeLater fanout();
+    getValue f;
+    local i = 0;
+    while (i < 4) {
+        total = total + a[i];
+        local i = i + 1;
+    }
+}
+`
+	prog := lang.MustParse(src)
+	in := semantics.New(prog, 7)
+	in.Launch("main")
+	if !in.Run(100000) {
+		t.Fatal("interpreter stuck")
+	}
+	wantGlobals := in.Globals()
+	wantArrays := in.Arrays()
+
+	for name, mk := range schedFactories() {
+		rt := core.NewRuntime(mk(), 4)
+		c, err := lang.Compile(prog, rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run("main"); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rt.Shutdown()
+		g := c.Globals()
+		for k, v := range wantGlobals {
+			if g[k] != v {
+				t.Fatalf("%s: global %s = %d, interpreter says %d", name, k, g[k], v)
+			}
+		}
+		a := c.Arrays()
+		for k, v := range wantArrays {
+			for i := range v {
+				if a[k][i] != v[i] {
+					t.Fatalf("%s: %s[%d] = %d, interpreter says %d", name, k, i, a[k][i], v[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCompileFuzzOnRealRuntime runs generated random programs end to end
+// on the real tree scheduler with the monitor attached; under -race this
+// is the strongest whole-system check in the repo.
+func TestCompileFuzzOnRealRuntime(t *testing.T) {
+	const programs = 15
+	for p := int64(0); p < programs; p++ {
+		prog := lang.GenerateRandomProgram(p + 500)
+		chk := isolcheck.New()
+		rt := core.NewRuntime(tree.New(), 4, core.WithMonitor(chk))
+		c, err := lang.Compile(prog, rt)
+		if err != nil {
+			t.Fatalf("program %d: %v", p, err)
+		}
+		if err := c.Run("main"); err != nil {
+			t.Fatalf("program %d: %v", p, err)
+		}
+		rt.Shutdown()
+		for _, v := range chk.Violations() {
+			t.Errorf("program %d: %v", p, v)
+		}
+	}
+}
+
+func TestCompileRejectsBadProgram(t *testing.T) {
+	prog := lang.MustParse(`
+region A, B;
+var x in A;
+task t() effect writes B { x = 1; }
+`)
+	rt := core.NewRuntime(tree.New(), 2)
+	defer rt.Shutdown()
+	if _, err := lang.Compile(prog, rt); err == nil {
+		t.Fatal("ill-effected program compiled")
+	}
+}
+
+func TestCompileRunUnknownTask(t *testing.T) {
+	prog := lang.MustParse(`region A;`)
+	rt := core.NewRuntime(tree.New(), 2)
+	defer rt.Shutdown()
+	c, err := lang.Compile(prog, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run("ghost"); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package lang_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twe/internal/lang"
+	"twe/internal/semantics"
+)
+
+// TestCorpus checks every testdata program: files prefixed bad_ must fail
+// the static checks, all others must pass them AND run cleanly under the
+// formal semantics across many schedules (when they declare a main task).
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.twel")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := lang.Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			res := lang.Check(prog)
+			if strings.HasPrefix(filepath.Base(file), "bad_") {
+				if res.OK() {
+					t.Fatal("ill-effected program passed the static checks")
+				}
+				return
+			}
+			if !res.OK() {
+				t.Fatalf("static errors: %v", res.Errors)
+			}
+			if prog.Task("main") == nil {
+				return // library-style corpus entry; static checks suffice
+			}
+			for seed := int64(0); seed < 10; seed++ {
+				in := semantics.New(prog, seed)
+				if _, err := in.Launch("main"); err != nil {
+					t.Fatal(err)
+				}
+				if !in.Run(500000) {
+					t.Fatalf("seed %d: did not quiesce", seed)
+				}
+				for _, v := range in.Violations {
+					t.Errorf("seed %d: %v", seed, v)
+				}
+			}
+		})
+	}
+}
+
+func TestIsDoneExpression(t *testing.T) {
+	prog := lang.MustParse(`
+region A, B;
+var x in A;
+task slow() effect writes A { x = 1; }
+task main() effect writes B {
+    let f = executeLater slow();
+    local d = isdone f;
+    getValue f;
+    local d2 = isdone f;
+}
+`)
+	if res := lang.Check(prog); !res.OK() {
+		t.Fatalf("%v", res.Errors)
+	}
+	in := semantics.New(prog, 3)
+	in.Launch("main")
+	if !in.Run(10000) {
+		t.Fatal("stuck")
+	}
+	if len(in.Violations) != 0 {
+		t.Fatalf("%v", in.Violations)
+	}
+}
+
+func TestIsDoneRejectedInDeterministic(t *testing.T) {
+	prog := lang.MustParse(`
+region A;
+var x in A;
+deterministic task child() effect writes A { x = 1; }
+deterministic task main() effect writes A {
+    let f = spawn child();
+    local d = isdone f;
+    join f;
+}
+`)
+	res := lang.Check(prog)
+	found := false
+	for _, e := range res.Errors {
+		if strings.Contains(e.Msg, "isdone") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("isdone in deterministic task not rejected: %v", res.Errors)
+	}
+}
+
+func TestIsDoneUndefinedFuture(t *testing.T) {
+	prog := lang.MustParse(`
+region A;
+task main() effect writes A {
+    local d = isdone ghost;
+}
+`)
+	if res := lang.Check(prog); res.OK() {
+		t.Fatal("isdone on undefined future accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package lang
+
+import (
+	"twe/internal/effect"
+	"twe/internal/rpl"
+)
+
+// EvalConst evaluates an expression over an integer environment, returning
+// false when the expression mentions names outside env. Used to compute
+// dynamic RPLs: at task-creation time every parameter has a concrete
+// value, so index expressions over parameters fold to integers (§3.4.1).
+func EvalConst(env map[string]int, e Expr) (int, bool) {
+	switch v := e.(type) {
+	case *Num:
+		return v.Value, true
+	case *Ident:
+		val, ok := env[v.Name]
+		return val, ok
+	case *Binary:
+		a, aok := EvalConst(env, v.L)
+		b, bok := EvalConst(env, v.R)
+		if !aok || !bok {
+			return 0, false
+		}
+		switch v.Op {
+		case "+":
+			return a + b, true
+		case "-":
+			return a - b, true
+		case "*":
+			return a * b, true
+		case "/":
+			if b != 0 {
+				return a / b, true
+			}
+		case "%":
+			if b != 0 {
+				return a % b, true
+			}
+		case "<":
+			return boolInt(a < b), true
+		case "<=":
+			return boolInt(a <= b), true
+		case ">":
+			return boolInt(a > b), true
+		case ">=":
+			return boolInt(a >= b), true
+		case "==":
+			return boolInt(a == b), true
+		case "!=":
+			return boolInt(a != b), true
+		}
+	}
+	return 0, false
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// DynamicEffects resolves a task's declared effect summary with concrete
+// argument values, producing the dynamic RPLs the run-time scheduler sees
+// (§2.3.1, §3.4.1). Index expressions that do not fold become [?].
+func DynamicEffects(decl *TaskDecl, args []int) effect.Set {
+	env := map[string]int{}
+	for i, p := range decl.Params {
+		if i < len(args) {
+			env[p] = args[i]
+		}
+	}
+	var effs []effect.Effect
+	for _, item := range decl.Effects {
+		var elems []rpl.Elem
+		for _, el := range item.Region.Elems {
+			switch el.Kind {
+			case ElemName:
+				elems = append(elems, rpl.N(el.Name))
+			case ElemStar:
+				elems = append(elems, rpl.Any)
+			case ElemAnyIdx:
+				elems = append(elems, rpl.AnyIdx)
+			case ElemIndex:
+				if v, ok := EvalConst(env, el.Index); ok {
+					elems = append(elems, rpl.Idx(v))
+				} else {
+					elems = append(elems, rpl.AnyIdx)
+				}
+			}
+		}
+		effs = append(effs, effect.Effect{Write: item.Write, Region: rpl.New(elems...)})
+	}
+	return effect.NewSet(effs...)
+}

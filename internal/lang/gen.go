@@ -1,0 +1,298 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+
+	"twe/internal/effect"
+	"twe/internal/rpl"
+)
+
+// GenerateRandomProgram produces a random TWEL program whose effect
+// declarations are derived from its bodies by Infer, making it correct by
+// construction. The static checker must accept it and the formal-semantics
+// interpreter must execute it without safety violations under every
+// schedule — the program generator behind the model-checking fuzz tests.
+//
+// The generated shape: a handful of regions, scalars, and arrays; leaf
+// tasks doing random (terminating) imperative work; mid-level tasks that
+// spawn/join leaves and run siblings inline; driver tasks that
+// executeLater/getValue mid-level tasks; and a main task firing several
+// drivers. All loops are counted (`local i = 0; while (i < k) ...`), so
+// every schedule quiesces.
+func GenerateRandomProgram(seed int64) *Program {
+	g := &progGen{rnd: rand.New(rand.NewSource(seed)), prog: &Program{}}
+	g.decls()
+	g.leafTasks()
+	g.midTasks()
+	g.driverTasks()
+	g.mainTask()
+	g.deriveEffects()
+	return g.prog
+}
+
+type progGen struct {
+	rnd  *rand.Rand
+	prog *Program
+
+	vars   []string
+	arrays []string
+	leaves []*TaskDecl
+	mids   []*TaskDecl
+}
+
+func (g *progGen) decls() {
+	nRegions := 2 + g.rnd.Intn(3)
+	for i := 0; i < nRegions; i++ {
+		g.prog.Regions = append(g.prog.Regions, fmt.Sprintf("R%d", i))
+	}
+	nVars := 1 + g.rnd.Intn(3)
+	for i := 0; i < nVars; i++ {
+		name := fmt.Sprintf("v%d", i)
+		g.vars = append(g.vars, name)
+		g.prog.Vars = append(g.prog.Vars, &VarDecl{
+			Name:   name,
+			Region: g.regionExpr(),
+		})
+	}
+	nArrays := 1 + g.rnd.Intn(2)
+	for i := 0; i < nArrays; i++ {
+		name := fmt.Sprintf("arr%d", i)
+		g.arrays = append(g.arrays, name)
+		g.prog.Arrays = append(g.prog.Arrays, &ArrayDecl{
+			Name:   name,
+			Size:   4 + g.rnd.Intn(4),
+			Region: g.regionExpr(),
+		})
+	}
+}
+
+func (g *progGen) regionExpr() *RPLExpr {
+	r := &RPLExpr{}
+	r.Elems = append(r.Elems, RPLElemExpr{Kind: ElemName, Name: g.prog.Regions[g.rnd.Intn(len(g.prog.Regions))]})
+	if g.rnd.Intn(3) == 0 {
+		r.Elems = append(r.Elems, RPLElemExpr{Kind: ElemName, Name: g.prog.Regions[g.rnd.Intn(len(g.prog.Regions))]})
+	}
+	return r
+}
+
+// expr builds a random effect-bearing expression over the given parameter
+// names.
+func (g *progGen) expr(params []string, depth int) Expr {
+	if depth <= 0 || g.rnd.Intn(3) == 0 {
+		switch g.rnd.Intn(4) {
+		case 0:
+			return &Num{Value: g.rnd.Intn(10)}
+		case 1:
+			if len(params) > 0 {
+				return &Ident{Name: params[g.rnd.Intn(len(params))]}
+			}
+			return &Num{Value: 1}
+		case 2:
+			return &Ident{Name: g.vars[g.rnd.Intn(len(g.vars))]}
+		default:
+			a := g.arrays[g.rnd.Intn(len(g.arrays))]
+			return &ArrayRead{Name: a, Index: g.boundedIndex(params, a)}
+		}
+	}
+	ops := []string{"+", "-", "*"}
+	return &Binary{
+		Op: ops[g.rnd.Intn(len(ops))],
+		L:  g.expr(params, depth-1),
+		R:  g.expr(params, depth-1),
+	}
+}
+
+// boundedIndex yields an index expression guaranteed in range: a constant
+// below the array size, or param % size.
+func (g *progGen) boundedIndex(params []string, arrayName string) Expr {
+	size := 4
+	for _, a := range g.prog.Arrays {
+		if a.Name == arrayName {
+			size = a.Size
+		}
+	}
+	if len(params) > 0 && g.rnd.Intn(2) == 0 {
+		// ((p % size) + size) % size: in range even for negative p (Go's %
+		// truncates toward zero).
+		inner := &Binary{Op: "%",
+			L: &Ident{Name: params[g.rnd.Intn(len(params))]},
+			R: &Num{Value: size}}
+		return &Binary{Op: "%",
+			L: &Binary{Op: "+", L: inner, R: &Num{Value: size}},
+			R: &Num{Value: size}}
+	}
+	return &Num{Value: g.rnd.Intn(size)}
+}
+
+// workStmts emits 1–4 random assignment/branch/loop statements.
+func (g *progGen) workStmts(params []string, depth int) []Stmt {
+	n := 1 + g.rnd.Intn(4)
+	var out []Stmt
+	for i := 0; i < n; i++ {
+		switch g.rnd.Intn(6) {
+		case 0, 1: // var write
+			out = append(out, &AssignVar{
+				Name:  g.vars[g.rnd.Intn(len(g.vars))],
+				Value: g.expr(params, 2),
+			})
+		case 2, 3: // array write
+			a := g.arrays[g.rnd.Intn(len(g.arrays))]
+			out = append(out, &AssignArray{
+				Name:  a,
+				Index: g.boundedIndex(params, a),
+				Value: g.expr(params, 2),
+			})
+		case 4: // branch
+			if depth > 0 {
+				ifs := &If{
+					Cond: &Binary{Op: "<", L: g.expr(params, 1), R: &Num{Value: 5}},
+					Then: &Block{Stmts: g.workStmts(params, depth-1)},
+				}
+				if g.rnd.Intn(2) == 0 {
+					ifs.Else = &Block{Stmts: g.workStmts(params, depth-1)}
+				}
+				out = append(out, ifs)
+			}
+		case 5: // counted loop
+			if depth > 0 {
+				ctr := fmt.Sprintf("i%d", g.rnd.Intn(100))
+				body := g.workStmts(append(params, ctr), depth-1)
+				body = append(body, &LocalDecl{Name: ctr, Value: &Binary{Op: "+", L: &Ident{Name: ctr}, R: &Num{Value: 1}}})
+				out = append(out,
+					&LocalDecl{Name: ctr, Value: &Num{Value: 0}},
+					&While{
+						Cond: &Binary{Op: "<", L: &Ident{Name: ctr}, R: &Num{Value: 1 + g.rnd.Intn(3)}},
+						Body: &Block{Stmts: body},
+					})
+			}
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, &Skip{})
+	}
+	return out
+}
+
+func (g *progGen) leafTasks() {
+	n := 2 + g.rnd.Intn(3)
+	for i := 0; i < n; i++ {
+		params := []string{"p"}
+		t := &TaskDecl{
+			Name:   fmt.Sprintf("leaf%d", i),
+			Params: params,
+			Body:   &Block{Stmts: g.workStmts(params, 2)},
+		}
+		g.leaves = append(g.leaves, t)
+		g.prog.Tasks = append(g.prog.Tasks, t)
+	}
+}
+
+// midTasks do inline work, then spawn exactly one leaf and join it at the
+// end. The single-spawn shape keeps the generated program spawn-safe by
+// construction: the inline work precedes the transfer, nothing follows the
+// join, and sibling spawned effects cannot conflict with each other.
+func (g *progGen) midTasks() {
+	n := 1 + g.rnd.Intn(2)
+	for i := 0; i < n; i++ {
+		params := []string{"q"}
+		var stmts []Stmt
+		stmts = append(stmts, g.workStmts(params, 1)...)
+		if g.rnd.Intn(2) == 0 {
+			// Inline method call: the callee's substituted summary becomes
+			// part of this task's inferred effects.
+			callee := g.leaves[g.rnd.Intn(len(g.leaves))]
+			stmts = append(stmts, &Call{Task: callee.Name, Args: []Expr{g.expr(params, 1)}})
+		}
+		leaf := g.leaves[g.rnd.Intn(len(g.leaves))]
+		stmts = append(stmts,
+			&LetFuture{Name: "f0", Spawn: true, Task: leaf.Name,
+				Args: []Expr{g.expr(params, 1)}},
+			&Wait{Join: true, Future: "f0"})
+		t := &TaskDecl{
+			Name:   fmt.Sprintf("mid%d", i),
+			Params: params,
+			Body:   &Block{Stmts: stmts},
+		}
+		g.mids = append(g.mids, t)
+		g.prog.Tasks = append(g.prog.Tasks, t)
+	}
+}
+
+// driverTasks executeLater mid tasks and wait for them.
+func (g *progGen) driverTasks() {
+	params := []string{"d"}
+	var stmts []Stmt
+	n := 1 + g.rnd.Intn(3)
+	for s := 0; s < n; s++ {
+		target := g.mids[g.rnd.Intn(len(g.mids))].Name
+		if g.rnd.Intn(3) == 0 {
+			target = g.leaves[g.rnd.Intn(len(g.leaves))].Name
+		}
+		fname := fmt.Sprintf("df%d", s)
+		stmts = append(stmts,
+			&LetFuture{Name: fname, Task: target, Args: []Expr{g.expr(params, 1)}},
+			&Wait{Future: fname})
+	}
+	g.prog.Tasks = append(g.prog.Tasks, &TaskDecl{
+		Name:   "driver0",
+		Params: params,
+		Body:   &Block{Stmts: stmts},
+	})
+}
+
+func (g *progGen) mainTask() {
+	var stmts []Stmt
+	n := 1 + g.rnd.Intn(3)
+	for s := 0; s < n; s++ {
+		fname := fmt.Sprintf("mf%d", s)
+		stmts = append(stmts,
+			&LetFuture{Name: fname, Task: "driver0", Args: []Expr{&Num{Value: g.rnd.Intn(8)}}},
+			&Wait{Future: fname})
+	}
+	g.prog.Tasks = append(g.prog.Tasks, &TaskDecl{
+		Name: "main",
+		Body: &Block{Stmts: stmts},
+	})
+}
+
+// deriveEffects runs inference and splices the inferred summaries back as
+// the declared effects. Drivers additionally take the union with every
+// task they executeLater so the whole-program story stays simple (their
+// getValue then never needs effect transfer; transfer is still exercised
+// because the inferred summaries routinely overlap).
+func (g *progGen) deriveEffects() {
+	inferred := Infer(g.prog)
+	for _, t := range g.prog.Tasks {
+		set := inferred[t.Name]
+		t.Effects = effectItems(set)
+	}
+}
+
+// effectItems converts a summary to syntax form.
+func effectItems(s effect.Set) []*EffectItem {
+	var items []*EffectItem
+	for _, e := range s.Effects() {
+		items = append(items, &EffectItem{Write: e.Write, Region: rplToExpr(e.Region)})
+	}
+	return items
+}
+
+func rplToExpr(r rpl.RPL) *RPLExpr {
+	out := &RPLExpr{}
+	for i := 0; i < r.Len(); i++ {
+		switch el := r.Elem(i); el.Kind {
+		case rpl.Name:
+			out.Elems = append(out.Elems, RPLElemExpr{Kind: ElemName, Name: el.Name})
+		case rpl.Index:
+			out.Elems = append(out.Elems, RPLElemExpr{Kind: ElemIndex, Index: &Num{Value: el.Index}})
+		case rpl.Star:
+			out.Elems = append(out.Elems, RPLElemExpr{Kind: ElemStar})
+		case rpl.AnyIndex:
+			out.Elems = append(out.Elems, RPLElemExpr{Kind: ElemAnyIdx})
+		case rpl.Param:
+			out.Elems = append(out.Elems, RPLElemExpr{Kind: ElemIndex, Index: &Ident{Name: el.Name}})
+		}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package lang
+
+import (
+	"twe/internal/effect"
+	"twe/internal/rpl"
+)
+
+// Infer computes a sound effect summary for every task from its body
+// alone, the role of the effect-inference tooling the paper leans on for
+// annotation burden (§2.3: Vakilian et al. show "most DPJ/TWEJava-style
+// effect specifications" can be inferred).
+//
+// A task's inferred summary is the union of
+//
+//   - the effects of its own memory accesses (with constant indices kept
+//     concrete, parameter indices kept symbolic, everything else [?]), and
+//   - the substituted summaries of the tasks it spawns — spawn transfers
+//     the child's effects out of the parent's covering effect, so the
+//     parent's declaration must include them (§3.1.5);
+//
+// and excludes the effects of tasks it merely executeLater-creates, which
+// the scheduler checks independently ("excluding any effects of
+// asynchronous tasks it may in turn create", Fig. 5.1 caption).
+//
+// Recursive spawn chains are solved by Kleene iteration; if a summary has
+// not stabilized after maxRounds (index arguments shifting every round),
+// its index elements are widened to [?], which always converges.
+func Infer(prog *Program) map[string]effect.Set {
+	inf := &inferrer{
+		prog:    prog,
+		vars:    map[string]rpl.RPL{},
+		arrays:  map[string]rpl.RPL{},
+		current: map[string]effect.Set{},
+	}
+	for _, v := range prog.Vars {
+		inf.vars[v.Name] = staticDeclRPL(v.Region)
+	}
+	for _, a := range prog.Arrays {
+		inf.arrays[a.Name] = staticDeclRPL(a.Region)
+	}
+	for _, t := range prog.Tasks {
+		inf.current[t.Name] = effect.Pure
+	}
+
+	const maxRounds = 12
+	for round := 0; ; round++ {
+		changed := false
+		for _, t := range prog.Tasks {
+			next := inf.taskEffects(t)
+			if round >= maxRounds {
+				next = widenIndices(next)
+			}
+			if !next.Equal(inf.current[t.Name]) {
+				inf.current[t.Name] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > maxRounds+4 {
+			// Widening guarantees convergence; this is a defensive stop.
+			break
+		}
+	}
+	out := map[string]effect.Set{}
+	for k, v := range inf.current {
+		out[k] = v
+	}
+	return out
+}
+
+// staticDeclRPL resolves a declaration-site RPL (no parameters in scope).
+func staticDeclRPL(e *RPLExpr) rpl.RPL {
+	var elems []rpl.Elem
+	for _, el := range e.Elems {
+		switch el.Kind {
+		case ElemName:
+			elems = append(elems, rpl.N(el.Name))
+		case ElemStar:
+			elems = append(elems, rpl.Any)
+		case ElemAnyIdx:
+			elems = append(elems, rpl.AnyIdx)
+		case ElemIndex:
+			if n, ok := constFold(el.Index); ok {
+				elems = append(elems, rpl.Idx(n))
+			} else {
+				elems = append(elems, rpl.AnyIdx)
+			}
+		}
+	}
+	return rpl.New(elems...)
+}
+
+type inferrer struct {
+	prog    *Program
+	vars    map[string]rpl.RPL
+	arrays  map[string]rpl.RPL
+	current map[string]effect.Set
+}
+
+func (inf *inferrer) taskEffects(t *TaskDecl) effect.Set {
+	params := map[string]bool{}
+	for _, p := range t.Params {
+		params[p] = true
+	}
+	w := &inferWalk{inf: inf, params: params}
+	w.block(t.Body)
+	return w.acc
+}
+
+type inferWalk struct {
+	inf    *inferrer
+	params map[string]bool
+	acc    effect.Set
+}
+
+func (w *inferWalk) add(s effect.Set) { w.acc = w.acc.Union(s) }
+
+func (w *inferWalk) block(b *Block) {
+	for _, s := range b.Stmts {
+		w.stmt(s)
+	}
+}
+
+func (w *inferWalk) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *Skip, *RefOp, *Wait:
+		// no static memory effects (dynamic refs are outside the RPL
+		// system; getValue/join transfer but do not access)
+	case *LocalDecl:
+		w.expr(st.Value)
+	case *AssignVar:
+		w.expr(st.Value)
+		if r, ok := w.inf.vars[st.Name]; ok {
+			w.add(effect.NewSet(effect.WriteEff(r)))
+		}
+	case *AssignArray:
+		w.expr(st.Index)
+		w.expr(st.Value)
+		if base, ok := w.inf.arrays[st.Name]; ok {
+			w.add(effect.NewSet(effect.WriteEff(base.Append(w.indexElem(st.Index)))))
+		}
+	case *If:
+		w.expr(st.Cond)
+		w.block(st.Then)
+		if st.Else != nil {
+			w.block(st.Else)
+		}
+	case *While:
+		w.expr(st.Cond)
+		w.block(st.Body)
+	case *LetFuture:
+		for _, a := range st.Args {
+			w.expr(a)
+		}
+		if st.Spawn {
+			// Spawned effects must be covered by the parent's summary.
+			if callee := w.inf.prog.Task(st.Task); callee != nil {
+				w.add(w.substitute(callee, st.Args))
+			}
+		}
+	case *Call:
+		for _, a := range st.Args {
+			w.expr(a)
+		}
+		// The callee's body runs inline: its effects are the caller's.
+		if callee := w.inf.prog.Task(st.Task); callee != nil {
+			w.add(w.substitute(callee, st.Args))
+		}
+	}
+}
+
+func (w *inferWalk) expr(e Expr) {
+	switch v := e.(type) {
+	case *Num, *IsDone:
+	case *Ident:
+		if w.params[v.Name] {
+			return
+		}
+		if r, ok := w.inf.vars[v.Name]; ok {
+			w.add(effect.NewSet(effect.Read(r)))
+		}
+		// Unknown names are locals (or checker errors); no effect either way.
+	case *ArrayRead:
+		w.expr(v.Index)
+		if base, ok := w.inf.arrays[v.Name]; ok {
+			w.add(effect.NewSet(effect.Read(base.Append(w.indexElem(v.Index)))))
+		}
+	case *Binary:
+		w.expr(v.L)
+		w.expr(v.R)
+	}
+}
+
+func (w *inferWalk) indexElem(e Expr) rpl.Elem {
+	if n, ok := constFold(e); ok {
+		return rpl.Idx(n)
+	}
+	if id, ok := e.(*Ident); ok && w.params[id.Name] {
+		return rpl.P(id.Name)
+	}
+	return rpl.AnyIdx
+}
+
+// substitute maps the callee's *current inferred* summary through the call
+// arguments, mirroring checker.substitutedEffects but over inferred sets.
+func (w *inferWalk) substitute(callee *TaskDecl, args []Expr) effect.Set {
+	cur := w.inf.current[callee.Name]
+	argFor := map[string]Expr{}
+	for i, p := range callee.Params {
+		if i < len(args) {
+			argFor[p] = args[i]
+		}
+	}
+	var out []effect.Effect
+	for _, e := range cur.Effects() {
+		var elems []rpl.Elem
+		for i := 0; i < e.Region.Len(); i++ {
+			el := e.Region.Elem(i)
+			if el.Kind == rpl.Param {
+				if arg, ok := argFor[el.Name]; ok {
+					elems = append(elems, w.indexElem(arg))
+					continue
+				}
+				// Parameter of the callee with no binding: unknown index.
+				elems = append(elems, rpl.AnyIdx)
+				continue
+			}
+			elems = append(elems, el)
+		}
+		out = append(out, effect.Effect{Write: e.Write, Region: rpl.New(elems...)})
+	}
+	return effect.NewSet(out...)
+}
+
+// widenIndices replaces concrete and symbolic index elements with [?],
+// forcing convergence of recursive spawn chains.
+func widenIndices(s effect.Set) effect.Set {
+	var out []effect.Effect
+	for _, e := range s.Effects() {
+		var elems []rpl.Elem
+		for i := 0; i < e.Region.Len(); i++ {
+			el := e.Region.Elem(i)
+			if el.Kind == rpl.Index || el.Kind == rpl.Param {
+				elems = append(elems, rpl.AnyIdx)
+			} else {
+				elems = append(elems, el)
+			}
+		}
+		out = append(out, effect.Effect{Write: e.Write, Region: rpl.New(elems...)})
+	}
+	return effect.NewSet(out...)
+}
+
+// AnnotationFinding reports a task whose declared summary diverges from
+// the inferred one.
+type AnnotationFinding struct {
+	Task string
+	// Missing holds inferred effects not covered by the declaration — the
+	// declaration is unsound and the checker will reject the body.
+	Missing []effect.Effect
+	// Inferred is the full inferred summary, printable as a suggestion.
+	Inferred effect.Set
+}
+
+// Audit compares inferred summaries against declared ones and returns one
+// finding per task whose declaration fails to cover its inferred effects.
+// (Declarations broader than necessary are legal — summaries may be
+// conservative — so they are not reported.)
+func Audit(prog *Program) []AnnotationFinding {
+	inferred := Infer(prog)
+	c := &checker{prog: prog}
+	c.resolveDecls()
+	var out []AnnotationFinding
+	for _, t := range prog.Tasks {
+		decl := c.declaredEffects(t)
+		var missing []effect.Effect
+		for _, e := range inferred[t.Name].Effects() {
+			if !decl.CoversEffect(e) {
+				missing = append(missing, e)
+			}
+		}
+		if len(missing) > 0 {
+			out = append(out, AnnotationFinding{Task: t.Name, Missing: missing, Inferred: inferred[t.Name]})
+		}
+	}
+	return out
+}

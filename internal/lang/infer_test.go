@@ -1,0 +1,165 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twe/internal/effect"
+)
+
+func inferOf(t *testing.T, src, task string) effect.Set {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Infer(prog)[task]
+}
+
+func TestInferSimpleAccesses(t *testing.T) {
+	got := inferOf(t, `
+region A, B;
+var x in A;
+var y in B;
+task t() effect writes A, B {
+    x = y + 1;
+}
+`, "t")
+	want := effect.MustParse("writes A reads B")
+	if !got.Equal(want) {
+		t.Fatalf("inferred %v, want %v", got, want)
+	}
+}
+
+func TestInferArrayIndices(t *testing.T) {
+	got := inferOf(t, `
+region A;
+array a[8] in A;
+task t(i) effect writes A:* {
+    a[0] = a[i] + a[i*2];
+}
+`, "t")
+	want := effect.MustParse("writes A:[0] reads A:[i], A:[?]")
+	if !got.Equal(want) {
+		t.Fatalf("inferred %v, want %v", got, want)
+	}
+}
+
+func TestInferIncludesSpawnedEffects(t *testing.T) {
+	src := `
+region A, B;
+var x in A;
+var y in B;
+task child(k) effect writes A { x = k; }
+task parent() effect writes A, B {
+    let f = spawn child(1);
+    y = 2;
+    join f;
+}
+`
+	got := inferOf(t, src, "parent")
+	if !got.CoversEffect(effect.MustParse("writes A").At(0)) {
+		t.Fatalf("parent must include spawned child's writes A: %v", got)
+	}
+	if !got.CoversEffect(effect.MustParse("writes B").At(0)) {
+		t.Fatalf("parent must include its own writes B: %v", got)
+	}
+}
+
+func TestInferExcludesExecuteLater(t *testing.T) {
+	got := inferOf(t, `
+region A, B;
+var x in A;
+task worker() effect writes A { x = 1; }
+task driver() effect writes B {
+    let f = executeLater worker();
+    getValue f;
+}
+`, "driver")
+	if got.InterferesWithEffect(effect.MustParse("writes A").At(0)) {
+		t.Fatalf("executeLater must not contribute effects: %v", got)
+	}
+}
+
+func TestInferRecursiveSpawnConverges(t *testing.T) {
+	// A recursive spawn whose index argument shifts each level: inference
+	// must widen to [?] rather than diverge.
+	got := inferOf(t, `
+region A;
+array a[8] in A;
+task rec(i) effect writes A:* {
+    a[i] = 1;
+    if (i < 7) {
+        let f = spawn rec(i + 1);
+        join f;
+    }
+}
+`, "rec")
+	if !got.CoversEffect(effect.MustParse("writes A:[?]").At(0)) {
+		t.Fatalf("recursion should widen to writes A:[?]: %v", got)
+	}
+}
+
+func TestInferredIsSubsetOfDeclaredOnCorpus(t *testing.T) {
+	files, _ := filepath.Glob("testdata/*.twel")
+	for _, file := range files {
+		if strings.HasPrefix(filepath.Base(file), "bad_") {
+			continue
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := MustParse(string(src))
+		if findings := Audit(prog); len(findings) != 0 {
+			t.Errorf("%s: declared effects fail to cover inferred ones: %+v", file, findings)
+		}
+	}
+}
+
+func TestAuditFlagsUnsoundDeclaration(t *testing.T) {
+	prog := MustParse(`
+region A, B;
+var x in A;
+task liar() effect writes B { x = 1; }
+`)
+	findings := Audit(prog)
+	if len(findings) != 1 || findings[0].Task != "liar" || len(findings[0].Missing) == 0 {
+		t.Fatalf("audit should flag the lying summary: %+v", findings)
+	}
+}
+
+func TestInferredEffectsPassChecker(t *testing.T) {
+	// Substituting the inferred summaries for the declared ones must yield
+	// a program the checker accepts (inference is sound wrt the checker),
+	// for straight-line bodies without joins.
+	src := `
+region A, B;
+var x in A;
+array a[4] in B;
+task t(i) effect writes A, B:* {
+    x = x + 1;
+    a[i] = x;
+}
+`
+	prog := MustParse(src)
+	inferred := Infer(prog)["t"]
+	// Rebuild the program with the inferred effects spliced in, using
+	// TWEL's whitespace-separated clause syntax.
+	var clauses []string
+	for _, e := range inferred.Effects() {
+		kw := "reads"
+		if e.Write {
+			kw = "writes"
+		}
+		clauses = append(clauses, kw+" "+e.Region.String())
+	}
+	prog2 := MustParse(strings.Replace(src,
+		"effect writes A, B:*",
+		"effect "+strings.Join(clauses, " "), 1))
+	if res := Check(prog2); !res.OK() {
+		t.Fatalf("inferred summary rejected by checker: %v (summary %v)", res.Errors, inferred)
+	}
+}

@@ -1,0 +1,450 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) *Result {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func wantOK(t *testing.T, src string) *Result {
+	t.Helper()
+	res := check(t, src)
+	for _, e := range res.Errors {
+		t.Errorf("unexpected error: %v", e)
+	}
+	return res
+}
+
+func wantError(t *testing.T, src, substr string) {
+	t.Helper()
+	res := check(t, src)
+	for _, e := range res.Errors {
+		if strings.Contains(e.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("expected error containing %q, got %v", substr, res.Errors)
+}
+
+func wantWarning(t *testing.T, res *Result, substr string) {
+	t.Helper()
+	for _, w := range res.Warnings {
+		if strings.Contains(w.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("expected warning containing %q, got %v", substr, res.Warnings)
+}
+
+// imageEditSrc mirrors the paper's Fig. 3.2 increaseContrast example.
+const imageEditSrc = `
+region Top, Bottom;
+var topSum in Top;
+var bottomSum in Bottom;
+
+task increaseTop() effect writes Top {
+    topSum = topSum + 1;
+}
+
+task increaseContrast() effect writes Top, Bottom {
+    let f = spawn increaseTop();
+    bottomSum = bottomSum + 1;   // covered: writes Top was transferred away
+    join f;
+    topSum = topSum + 1;         // covered again after join
+}
+`
+
+func TestIncreaseContrastExample(t *testing.T) {
+	wantOK(t, imageEditSrc)
+}
+
+func TestAccessAfterSpawnRejected(t *testing.T) {
+	wantError(t, `
+region Top, Bottom;
+var topSum in Top;
+task child() effect writes Top { topSum = 1; }
+task parent() effect writes Top, Bottom {
+    let f = spawn child();
+    topSum = 2;   // conflicts with transferred writes Top
+    join f;
+}
+`, "not covered")
+}
+
+func TestUndeclaredEffectRejected(t *testing.T) {
+	wantError(t, `
+region A, B;
+var x in A;
+task t() effect writes B { x = 1; }
+`, "not covered")
+}
+
+func TestReadCoveredByWrite(t *testing.T) {
+	wantOK(t, `
+region A;
+var x in A;
+task t() effect writes A { x = x + 1; }
+`)
+}
+
+func TestBranchMeet(t *testing.T) {
+	// Spawn on one branch only: after the merge the effect is unavailable.
+	wantError(t, `
+region A, B;
+var x in A;
+task child() effect writes A { x = 1; }
+task parent(c) effect writes A, B {
+    if (c < 1) {
+        let f = spawn child();
+        join f;
+    } else {
+        let g = spawn child();
+        // no join on this path before the merge... but implicit join
+        // semantics are dynamic; statically g's effect stays transferred.
+    }
+    x = 3;
+}
+`, "not covered")
+
+	// Joining on both branches restores the effect.
+	wantOK(t, `
+region A, B;
+var x in A;
+task child() effect writes A { x = 1; }
+task parent(c) effect writes A, B {
+    if (c < 1) {
+        let f = spawn child();
+        join f;
+    } else {
+        let g = spawn child();
+        join g;
+    }
+    x = 3;
+}
+`)
+}
+
+func TestLoopCarriedSubtraction(t *testing.T) {
+	wantError(t, `
+region A;
+var x in A;
+task child() effect writes A { x = 1; }
+task parent(n) effect writes A {
+    local i = 0;
+    while (i < n) {
+        x = 2;               // uncovered from iteration 2 on
+        let f = spawn child();
+        local i = i + 1;
+    }
+}
+`, "not covered")
+
+	wantOK(t, `
+region A;
+var x in A;
+task child() effect writes A { x = 1; }
+task parent(n) effect writes A {
+    local i = 0;
+    while (i < n) {
+        x = 2;
+        let f = spawn child();
+        join f;
+        local i = i + 1;
+    }
+}
+`)
+}
+
+func TestIndexParameterizedArrays(t *testing.T) {
+	// KMeans-style: accumulate task writes cluster [c]; distinct constant
+	// indices are disjoint.
+	wantOK(t, `
+region Clusters;
+array centers[10] in Clusters;
+task acc(c) effect writes Clusters:[c] {
+    centers[c] = centers[c] + 1;
+}
+task two() effect writes Clusters:[1], Clusters:[2] {
+    let f = spawn acc(1);
+    centers[2] = 5;   // disjoint from transferred [1]
+    join f;
+}
+`)
+
+	wantError(t, `
+region Clusters;
+array centers[10] in Clusters;
+task acc(c) effect writes Clusters:[c] {
+    centers[c] = centers[c] + 1;
+    centers[c+1] = 0;   // [?] not covered by [c]
+}
+`, "not covered")
+}
+
+func TestUnknownIndexNeedsWildcard(t *testing.T) {
+	wantOK(t, `
+region A;
+array a[4] in A;
+task t(i) effect writes A:[?] {
+    a[i*2] = 1;   // unknown index covered by [?]
+}
+`)
+	wantOK(t, `
+region A;
+array a[4] in A;
+task t(i) effect writes A:* {
+    a[i*2] = 1;
+}
+`)
+}
+
+func TestSpawnRuntimeCheckWarning(t *testing.T) {
+	// Spawning tasks on loop-dependent indices cannot be proven covered
+	// statically; the paper inserts a run-time check (§3.1.5).
+	res := wantOK(t, `
+region A;
+array a[8] in A;
+task worker(i) effect writes A:[i] {
+    a[i] = 1;
+}
+task driver(n) effect writes A:* {
+    local i = 0;
+    while (i < n) {
+        let f = spawn worker(i);
+        join f;
+        local i = i + 1;
+    }
+}
+`)
+	_ = res
+}
+
+func TestDefinitelyUncoveredSpawnError(t *testing.T) {
+	wantError(t, `
+region A, B;
+var x in B;
+task child() effect writes B { x = 1; }
+task parent() effect writes A {
+    let f = spawn child();
+}
+`, "definitely not covered")
+}
+
+func TestJoinTransferOnlyWhenFullySpecified(t *testing.T) {
+	res := wantOK(t, `
+region A;
+array a[8] in A;
+task worker(i) effect writes A:[i] {
+    a[i] = 1;
+}
+task driver(j) effect writes A:* {
+    let f = spawn worker(j*2);   // substituted effect A:[?]: not fully specified
+    join f;
+}
+`)
+	wantWarning(t, res, "transfers no effects statically")
+}
+
+func TestDeterministicRestrictions(t *testing.T) {
+	wantError(t, `
+region A;
+var x in A;
+task other() effect pure { skip; }
+deterministic task det() effect writes A {
+    let f = executeLater other();
+}
+`, "executeLater")
+
+	wantError(t, `
+region A;
+var x in A;
+task helper() effect writes A { x = 1; }
+deterministic task det() effect writes A {
+    let f = spawn helper();
+    join f;
+}
+`, "deterministic tasks")
+}
+
+func TestDeterministicSpawnDeterministicOK(t *testing.T) {
+	wantOK(t, `
+region A;
+var x in A;
+deterministic task helper() effect writes A { x = 1; }
+deterministic task det() effect writes A {
+    let f = spawn helper();
+    join f;
+}
+`)
+}
+
+func TestJoinMisuse(t *testing.T) {
+	wantError(t, `
+region A;
+task child() effect pure { skip; }
+task parent() effect writes A {
+    let f = executeLater child();
+    join f;
+}
+`, "only spawned")
+
+	wantError(t, `
+region A;
+task parent() effect writes A {
+    getValue nosuch;
+}
+`, "undefined future")
+}
+
+func TestDoubleJoinWarning(t *testing.T) {
+	res := wantOK(t, `
+region A;
+task child() effect pure { skip; }
+task parent() effect writes A {
+    let f = spawn child();
+    join f;
+    join f;
+}
+`)
+	wantWarning(t, res, "joined on 2 paths")
+}
+
+func TestDynamicRefSets(t *testing.T) {
+	wantOK(t, `
+refvar r;
+task t() effect pure {
+    addread r;
+    useref r;
+}
+`)
+	wantError(t, `
+refvar r;
+task t() effect pure {
+    useref r;
+}
+`, "may not be in the task's dynamic effect set")
+
+	// assertinset establishes membership for the analysis (§7.2.7).
+	wantOK(t, `
+refvar r;
+task t() effect pure {
+    assertinset r;
+    useref r;
+}
+`)
+
+	// Must-analysis: membership established on only one branch is lost at
+	// the merge.
+	wantError(t, `
+refvar r;
+task t(c) effect pure {
+    if (c < 1) {
+        addwrite r;
+    }
+    useref r;
+}
+`, "may not be in")
+
+	// Established on both branches: fine.
+	wantOK(t, `
+refvar r;
+task t(c) effect pure {
+    if (c < 1) {
+        addwrite r;
+    } else {
+        addread r;
+    }
+    useref r;
+}
+`)
+}
+
+func TestNameResolutionErrors(t *testing.T) {
+	wantError(t, `
+task t() effect writes Nowhere { skip; }
+`, "undeclared region")
+	wantError(t, `
+region A;
+task t() effect writes A { x = 1; }
+`, "undefined variable")
+	wantError(t, `
+region A;
+task t() effect writes A { a[0] = 1; }
+`, "undefined array")
+	wantError(t, `
+region A;
+task t() effect writes A {
+    let f = executeLater nosuch();
+}
+`, "undefined task")
+	wantError(t, `
+refvar r;
+task t() effect pure { addread s; }
+`, "undeclared refvar")
+	wantError(t, `
+region A;
+var x in A;
+task t(i, i) effect writes A { skip; }
+`, "duplicate parameter")
+	wantError(t, `
+region A;
+task t(n) effect writes A {
+    let f = executeLater t();
+}
+`, "takes 1 arguments")
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"task",
+		"region ;",
+		"task t() effect { }",
+		"task t() effect pure { x = ; }",
+		"task t() effect pure { if x { } }",
+		"var x in 3;",
+		"array a[x] in A;",
+		"task t() effect pure { let f = frobnicate t2(); }",
+		"task t() effect pure { skip; ",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseRoundTripStructure(t *testing.T) {
+	prog := MustParse(imageEditSrc)
+	if len(prog.Regions) != 2 || len(prog.Vars) != 2 || len(prog.Tasks) != 2 {
+		t.Fatalf("unexpected decl counts: %+v", prog)
+	}
+	ic := prog.Task("increaseContrast")
+	if ic == nil || len(ic.Body.Stmts) != 4 {
+		t.Fatalf("increaseContrast body wrong: %+v", ic)
+	}
+	if prog.Task("nosuch") != nil {
+		t.Fatal("Task lookup of missing task")
+	}
+}
+
+func TestCommentsAndOperators(t *testing.T) {
+	wantOK(t, `
+// leading comment
+region A;
+var x in A; // trailing comment
+task t(n) effect writes A {
+    local y = (n + 2) * 3 - 4 / 2 % 3;
+    if (y <= 10) { x = 1; } else { x = 2; }
+    if (y >= 0) { skip; }
+    if (y == 0) { skip; }
+    if (y != 0) { skip; }
+}
+`)
+}

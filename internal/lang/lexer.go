@@ -1,0 +1,102 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNum
+	tokPunct // single/double-char punctuation, in tok.text
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  int
+	pos  Pos
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNum:
+		return strconv.Itoa(t.num)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes src. Comments run from "//" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	runes := []rune(src)
+	i := 0
+	advance := func() {
+		if runes[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+		i++
+	}
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case r == '/' && i+1 < len(runes) && runes[i+1] == '/':
+			for i < len(runes) && runes[i] != '\n' {
+				advance()
+			}
+		case unicode.IsSpace(r):
+			advance()
+		case unicode.IsLetter(r) || r == '_':
+			start := i
+			pos := Pos{line, col}
+			for i < len(runes) && (unicode.IsLetter(runes[i]) || unicode.IsDigit(runes[i]) || runes[i] == '_') {
+				advance()
+			}
+			toks = append(toks, token{kind: tokIdent, text: string(runes[start:i]), pos: pos})
+		case unicode.IsDigit(r):
+			start := i
+			pos := Pos{line, col}
+			for i < len(runes) && unicode.IsDigit(runes[i]) {
+				advance()
+			}
+			n, err := strconv.Atoi(string(runes[start:i]))
+			if err != nil {
+				return nil, fmt.Errorf("%v: bad number: %v", pos, err)
+			}
+			toks = append(toks, token{kind: tokNum, num: n, pos: pos})
+		default:
+			pos := Pos{line, col}
+			// two-char operators
+			if i+1 < len(runes) {
+				two := string(runes[i : i+2])
+				switch two {
+				case "<=", ">=", "==", "!=":
+					advance()
+					advance()
+					toks = append(toks, token{kind: tokPunct, text: two, pos: pos})
+					continue
+				}
+			}
+			switch r {
+			case '(', ')', '{', '}', '[', ']', ';', ',', ':', '=', '*', '+', '-', '/', '%', '<', '>', '?':
+				advance()
+				toks = append(toks, token{kind: tokPunct, text: string(r), pos: pos})
+			default:
+				return nil, fmt.Errorf("%v: unexpected character %q", pos, string(r))
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: Pos{line, col}})
+	return toks, nil
+}

@@ -1,0 +1,566 @@
+package lang
+
+import "fmt"
+
+// Parse parses a TWEL program.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+type parseError struct {
+	pos Pos
+	msg string
+}
+
+func (e *parseError) Error() string { return fmt.Sprintf("twel:%v: %s", e.pos, e.msg) }
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &parseError{pos: p.cur().pos, msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind != tokEOF && p.cur().text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %v", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, Pos, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", t.pos, p.errf("expected identifier, found %v", t)
+	}
+	p.i++
+	return t.text, t.pos, nil
+}
+
+var keywords = map[string]bool{
+	"region": true, "var": true, "array": true, "refvar": true,
+	"task": true, "deterministic": true, "effect": true,
+	"reads": true, "writes": true, "pure": true, "in": true,
+	"local": true, "if": true, "else": true, "while": true,
+	"let": true, "executeLater": true, "spawn": true,
+	"getValue": true, "join": true, "skip": true,
+	"addread": true, "addwrite": true, "assertinset": true, "useref": true,
+	"isdone": true, "call": true,
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.cur().kind != tokEOF {
+		switch p.cur().text {
+		case "region":
+			p.i++
+			for {
+				name, _, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				prog.Regions = append(prog.Regions, name)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "var":
+			p.i++
+			name, pos, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("in"); err != nil {
+				return nil, err
+			}
+			r, err := p.rpl()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			prog.Vars = append(prog.Vars, &VarDecl{Name: name, Region: r, Pos: pos})
+		case "array":
+			p.i++
+			name, pos, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("["); err != nil {
+				return nil, err
+			}
+			if p.cur().kind != tokNum {
+				return nil, p.errf("expected array size, found %v", p.cur())
+			}
+			size := p.next().num
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("in"); err != nil {
+				return nil, err
+			}
+			r, err := p.rpl()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			prog.Arrays = append(prog.Arrays, &ArrayDecl{Name: name, Size: size, Region: r, Pos: pos})
+		case "refvar":
+			p.i++
+			name, pos, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			prog.RefVars = append(prog.RefVars, &RefVarDecl{Name: name, Pos: pos})
+		case "task", "deterministic":
+			t, err := p.taskDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Tasks = append(prog.Tasks, t)
+		default:
+			return nil, p.errf("expected declaration, found %v", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) taskDecl() (*TaskDecl, error) {
+	det := p.accept("deterministic")
+	pos := p.cur().pos
+	if err := p.expect("task"); err != nil {
+		return nil, err
+	}
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	if !p.accept(")") {
+		for {
+			pn, _, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, pn)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("effect"); err != nil {
+		return nil, err
+	}
+	effs, err := p.effects()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &TaskDecl{Name: name, Params: params, Deterministic: det, Effects: effs, Body: body, Pos: pos}, nil
+}
+
+func (p *parser) effects() ([]*EffectItem, error) {
+	if p.accept("pure") {
+		return nil, nil
+	}
+	var items []*EffectItem
+	for p.cur().text == "reads" || p.cur().text == "writes" {
+		write := p.next().text == "writes"
+		for {
+			pos := p.cur().pos
+			r, err := p.rpl()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, &EffectItem{Write: write, Region: r, Pos: pos})
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if len(items) == 0 {
+		return nil, p.errf("expected effect summary (reads/writes/pure), found %v", p.cur())
+	}
+	return items, nil
+}
+
+// rpl parses "Root", "A:B:[e]:*:[?]" etc. Bare element lists are
+// Root-implicit, as in the paper.
+func (p *parser) rpl() (*RPLExpr, error) {
+	r := &RPLExpr{Pos: p.cur().pos}
+	first := true
+	for {
+		switch {
+		case p.cur().kind == tokIdent && p.cur().text == "Root" && first:
+			p.i++ // implicit root, no element stored
+		case p.cur().kind == tokIdent && !keywords[p.cur().text]:
+			r.Elems = append(r.Elems, RPLElemExpr{Kind: ElemName, Name: p.next().text})
+		case p.cur().text == "*":
+			p.i++
+			r.Elems = append(r.Elems, RPLElemExpr{Kind: ElemStar})
+		case p.cur().text == "[":
+			p.i++
+			if p.accept("?") {
+				if err := p.expect("]"); err != nil {
+					return nil, err
+				}
+				r.Elems = append(r.Elems, RPLElemExpr{Kind: ElemAnyIdx})
+				break
+			}
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			r.Elems = append(r.Elems, RPLElemExpr{Kind: ElemIndex, Index: e})
+		default:
+			return nil, p.errf("expected RPL element, found %v", p.cur())
+		}
+		first = false
+		if !p.accept(":") {
+			return r, nil
+		}
+	}
+}
+
+func (p *parser) block() (*Block, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.text {
+	case "skip":
+		p.i++
+		return &Skip{Pos: t.pos}, p.expect(";")
+	case "local":
+		p.i++
+		name, pos, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		v, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &LocalDecl{Name: name, Value: v, Pos: pos}, p.expect(";")
+	case "if":
+		p.i++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els *Block
+		if p.accept("else") {
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els, Pos: t.pos}, nil
+	case "while":
+		p.i++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body, Pos: t.pos}, nil
+	case "let":
+		p.i++
+		name, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		spawn := false
+		switch {
+		case p.accept("spawn"):
+			spawn = true
+		case p.accept("executeLater"):
+		default:
+			return nil, p.errf("expected executeLater or spawn, found %v", p.cur())
+		}
+		taskName, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		if !p.accept(")") {
+			for {
+				a, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		return &LetFuture{Name: name, Spawn: spawn, Task: taskName, Args: args, Pos: t.pos}, p.expect(";")
+	case "call":
+		p.i++
+		taskName, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		if !p.accept(")") {
+			for {
+				a, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		return &Call{Task: taskName, Args: args, Pos: t.pos}, p.expect(";")
+	case "getValue", "join":
+		p.i++
+		name, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Wait{Join: t.text == "join", Future: name, Pos: t.pos}, p.expect(";")
+	case "addread", "addwrite", "assertinset", "useref":
+		p.i++
+		name, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &RefOp{Op: t.text, Ref: name, Pos: t.pos}, p.expect(";")
+	}
+	// assignment: IDENT = expr | IDENT [ expr ] = expr
+	if t.kind != tokIdent || keywords[t.text] {
+		return nil, p.errf("expected statement, found %v", t)
+	}
+	p.i++
+	if p.accept("[") {
+		idx, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		v, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignArray{Name: t.text, Index: idx, Value: v, Pos: t.pos}, p.expect(";")
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	v, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignVar{Name: t.text, Value: v, Pos: t.pos}, p.expect(";")
+}
+
+// expression parses comparisons over additive over multiplicative terms.
+func (p *parser) expression() (Expr, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().text
+		switch op {
+		case "<", "<=", ">", ">=", "==", "!=":
+			pos := p.next().pos
+			r, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: op, L: l, R: r, Pos: pos}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) additive() (Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().text
+		if op != "+" && op != "-" {
+			return l, nil
+		}
+		pos := p.next().pos
+		r, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r, Pos: pos}
+	}
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().text
+		if op != "*" && op != "/" && op != "%" {
+			return l, nil
+		}
+		pos := p.next().pos
+		r, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r, Pos: pos}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNum:
+		p.i++
+		return &Num{Value: t.num, Pos: t.pos}, nil
+	case t.text == "isdone":
+		p.i++
+		name, pos, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &IsDone{Future: name, Pos: pos}, nil
+	case t.text == "(":
+		p.i++
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case t.kind == tokIdent && !keywords[t.text]:
+		p.i++
+		if p.accept("[") {
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &ArrayRead{Name: t.text, Index: idx, Pos: t.pos}, nil
+		}
+		return &Ident{Name: t.text, Pos: t.pos}, nil
+	default:
+		return nil, p.errf("expected expression, found %v", t)
+	}
+}

@@ -1,0 +1,155 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a Program back to TWEL source. Parse(Format(p)) yields a
+// structurally identical program, which the round-trip tests verify; the
+// printer also makes generated fuzz programs and inferred annotations
+// human-readable.
+func Format(p *Program) string {
+	var b strings.Builder
+	if len(p.Regions) > 0 {
+		b.WriteString("region " + strings.Join(p.Regions, ", ") + ";\n")
+	}
+	for _, v := range p.Vars {
+		fmt.Fprintf(&b, "var %s in %s;\n", v.Name, formatRPL(v.Region))
+	}
+	for _, a := range p.Arrays {
+		fmt.Fprintf(&b, "array %s[%d] in %s;\n", a.Name, a.Size, formatRPL(a.Region))
+	}
+	for _, r := range p.RefVars {
+		fmt.Fprintf(&b, "refvar %s;\n", r.Name)
+	}
+	for _, t := range p.Tasks {
+		b.WriteString("\n")
+		if t.Deterministic {
+			b.WriteString("deterministic ")
+		}
+		fmt.Fprintf(&b, "task %s(%s) effect %s ", t.Name, strings.Join(t.Params, ", "), formatEffects(t.Effects))
+		formatBlock(&b, t.Body, 0)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func formatEffects(items []*EffectItem) string {
+	if len(items) == 0 {
+		return "pure"
+	}
+	var parts []string
+	lastKw := ""
+	for _, it := range items {
+		kw := "reads"
+		if it.Write {
+			kw = "writes"
+		}
+		if kw != lastKw {
+			parts = append(parts, kw+" "+formatRPL(it.Region))
+			lastKw = kw
+		} else {
+			parts[len(parts)-1] += ", " + formatRPL(it.Region)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func formatRPL(r *RPLExpr) string {
+	if len(r.Elems) == 0 {
+		return "Root"
+	}
+	var parts []string
+	for _, el := range r.Elems {
+		switch el.Kind {
+		case ElemName:
+			parts = append(parts, el.Name)
+		case ElemStar:
+			parts = append(parts, "*")
+		case ElemAnyIdx:
+			parts = append(parts, "[?]")
+		case ElemIndex:
+			parts = append(parts, "["+formatExpr(el.Index)+"]")
+		}
+	}
+	return strings.Join(parts, ":")
+}
+
+func formatBlock(b *strings.Builder, blk *Block, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		b.WriteString(strings.Repeat("    ", depth+1))
+		formatStmt(b, s, depth+1)
+		b.WriteString("\n")
+	}
+	b.WriteString(strings.Repeat("    ", depth) + "}")
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	switch st := s.(type) {
+	case *Skip:
+		b.WriteString("skip;")
+	case *LocalDecl:
+		fmt.Fprintf(b, "local %s = %s;", st.Name, formatExpr(st.Value))
+	case *AssignVar:
+		fmt.Fprintf(b, "%s = %s;", st.Name, formatExpr(st.Value))
+	case *AssignArray:
+		fmt.Fprintf(b, "%s[%s] = %s;", st.Name, formatExpr(st.Index), formatExpr(st.Value))
+	case *If:
+		fmt.Fprintf(b, "if (%s) ", formatExpr(st.Cond))
+		formatBlock(b, st.Then, depth)
+		if st.Else != nil {
+			b.WriteString(" else ")
+			formatBlock(b, st.Else, depth)
+		}
+	case *While:
+		fmt.Fprintf(b, "while (%s) ", formatExpr(st.Cond))
+		formatBlock(b, st.Body, depth)
+	case *LetFuture:
+		op := "executeLater"
+		if st.Spawn {
+			op = "spawn"
+		}
+		var args []string
+		for _, a := range st.Args {
+			args = append(args, formatExpr(a))
+		}
+		fmt.Fprintf(b, "let %s = %s %s(%s);", st.Name, op, st.Task, strings.Join(args, ", "))
+	case *Wait:
+		op := "getValue"
+		if st.Join {
+			op = "join"
+		}
+		fmt.Fprintf(b, "%s %s;", op, st.Future)
+	case *Call:
+		var args []string
+		for _, a := range st.Args {
+			args = append(args, formatExpr(a))
+		}
+		fmt.Fprintf(b, "call %s(%s);", st.Task, strings.Join(args, ", "))
+	case *RefOp:
+		fmt.Fprintf(b, "%s %s;", st.Op, st.Ref)
+	default:
+		fmt.Fprintf(b, "/* unknown stmt %T */", s)
+	}
+}
+
+// formatExpr renders fully parenthesized expressions, so precedence never
+// changes across a round trip.
+func formatExpr(e Expr) string {
+	switch v := e.(type) {
+	case *Num:
+		return fmt.Sprintf("%d", v.Value)
+	case *Ident:
+		return v.Name
+	case *IsDone:
+		return "isdone " + v.Future
+	case *ArrayRead:
+		return fmt.Sprintf("%s[%s]", v.Name, formatExpr(v.Index))
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", formatExpr(v.L), v.Op, formatExpr(v.R))
+	default:
+		return fmt.Sprintf("/* unknown expr %T */", e)
+	}
+}

@@ -1,0 +1,89 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFormatRoundTripCorpus: Format(Parse(src)) must reparse to a program
+// that formats identically (print → parse → print is a fixpoint).
+func TestFormatRoundTripCorpus(t *testing.T) {
+	files, _ := filepath.Glob("testdata/*.twel")
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1 := MustParse(string(src))
+		out1 := Format(p1)
+		p2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("%s: reparse of formatted output failed: %v\n%s", file, err, out1)
+		}
+		out2 := Format(p2)
+		if out1 != out2 {
+			t.Fatalf("%s: Format not a fixpoint:\n--- first\n%s\n--- second\n%s", file, out1, out2)
+		}
+	}
+}
+
+// TestFormatRoundTripGenerated: the fuzz generator's ASTs survive the
+// printer/parser round trip and still pass the checker.
+func TestFormatRoundTripGenerated(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p1 := GenerateRandomProgram(seed)
+		out1 := Format(p1)
+		p2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, out1)
+		}
+		if res := Check(p2); !res.OK() {
+			t.Fatalf("seed %d: reparsed program fails checks: %v", seed, res.Errors)
+		}
+		if out2 := Format(p2); out1 != out2 {
+			t.Fatalf("seed %d: printer not a fixpoint", seed)
+		}
+	}
+}
+
+func TestFormatSpecificForms(t *testing.T) {
+	src := `
+region A, B;
+var x in A;
+array a[4] in B;
+refvar r;
+deterministic task leaf(i) effect writes B:[i] {
+    a[i] = (i * 2);
+}
+task main(n) effect reads A writes B:*, A {
+    local y = ((n + 1) % 3);
+    if (y < 2) { x = a[0]; } else { skip; }
+    while (y > 0) {
+        local y = (y - 1);
+    }
+    let f = spawn leaf(1);
+    join f;
+    let g = executeLater leaf(2);
+    local d = isdone g;
+    getValue g;
+    addread r;
+    useref r;
+}
+`
+	out := Format(MustParse(src))
+	for _, want := range []string{
+		"deterministic task leaf(i)", "effect writes B:[i]",
+		"let f = spawn leaf(1);", "join f;", "isdone g",
+		"addread r;", "useref r;", "while", "else", "refvar r;",
+		"array a[4] in B;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+	if res := Check(MustParse(out)); !res.OK() {
+		t.Fatalf("formatted program fails checks: %v", res.Errors)
+	}
+}

@@ -1,0 +1,110 @@
+// Package naive implements the initial single-queue TWEJava scheduler
+// (PPoPP 2013 §3.4.2; dissertation §5.2.2): one queue of tasks — both
+// running and waiting — protected by one global lock. A task becomes
+// enabled by scanning from its position toward the head of the queue and
+// checking its effects against every task ahead of it; conflicting tasks
+// therefore generally run in enqueue order. Tasks that a running task
+// blocks on are prioritized and may jump ahead of earlier waiting tasks
+// (but never violate isolation with enabled tasks).
+//
+// The design is deliberately unsophisticated — it is the baseline the
+// tree-based scheduler (package tree) is evaluated against in Figs. 6.3 and
+// 6.4: all scheduling is serialized on the global lock, and each enable
+// attempt compares effects against every non-done task ahead in the queue.
+package naive
+
+import (
+	"sync"
+
+	"twe/internal/core"
+)
+
+// Scheduler is the single-queue, single-lock scheduler. Create with New
+// and pass to core.NewRuntime.
+type Scheduler struct {
+	mu    sync.Mutex
+	queue []*core.Future // running and waiting tasks, in enqueue order
+}
+
+// New returns an empty naive scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+var _ core.Scheduler = (*Scheduler)(nil)
+
+// Submit appends the future to the queue and attempts to enable waiting
+// tasks.
+func (s *Scheduler) Submit(f *core.Future) {
+	s.mu.Lock()
+	s.queue = append(s.queue, f)
+	s.scanLocked()
+	s.mu.Unlock()
+}
+
+// NotifyBlocked prioritizes the blocker chain starting at target and
+// re-scans: being blocked on may allow target to run through effect
+// transfer (§3.1.4).
+func (s *Scheduler) NotifyBlocked(caller, target *core.Future) {
+	s.mu.Lock()
+	for tbl := target; tbl != nil; tbl = tbl.Blocker() {
+		tbl.CompareAndSwapStatus(core.Waiting, core.Prioritized)
+	}
+	s.scanLocked()
+	s.mu.Unlock()
+}
+
+// Done removes the finished future from the queue and re-scans, which may
+// enable tasks that were waiting on its effects.
+func (s *Scheduler) Done(f *core.Future) {
+	s.mu.Lock()
+	for i, q := range s.queue {
+		if q == f {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	s.scanLocked()
+	s.mu.Unlock()
+}
+
+// scanLocked attempts to enable every waiting task, in queue order. A task
+// can be enabled when (a) it does not conflict with any enabled non-done
+// task — the isolation requirement, with conflicts against tasks blocked on
+// it ignored per the effect-transfer rule — and (b) unless prioritized, no
+// conflicting waiting task is ahead of it in the queue (FIFO fairness,
+// "conflicting tasks run in the order they were enqueued").
+func (s *Scheduler) scanLocked() {
+	for i, f := range s.queue {
+		st := f.Status()
+		if st >= core.Enabled {
+			continue
+		}
+		if s.canEnableLocked(i, f, st == core.Prioritized) {
+			f.Ready()
+		}
+	}
+}
+
+func (s *Scheduler) canEnableLocked(pos int, f *core.Future, prioritized bool) bool {
+	for j, q := range s.queue {
+		if q == f || q.Status() == core.Done {
+			continue
+		}
+		enabled := q.Status() >= core.Enabled
+		if !enabled && (prioritized || j > pos) {
+			// Waiting tasks behind f never block it; waiting tasks ahead
+			// are bypassed by prioritized tasks.
+			continue
+		}
+		if core.ConflictsIgnoringTransfer(f, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the current queue length (running + waiting); used by tests.
+func (s *Scheduler) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}

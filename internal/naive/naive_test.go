@@ -1,0 +1,58 @@
+package naive_test
+
+import (
+	"fmt"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/naive"
+	"twe/internal/schedtest"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Run(t, "naive", func() core.Scheduler { return naive.New() })
+}
+
+// TestFIFOOrder: the naive scheduler runs conflicting tasks in enqueue
+// order (§3.4.2).
+func TestFIFOOrder(t *testing.T) {
+	rt := core.NewRuntime(naive.New(), 4)
+	defer rt.Shutdown()
+	var order []int
+	const n = 50
+	futs := make([]*core.Future, n)
+	for i := 0; i < n; i++ {
+		i := i
+		futs[i] = rt.ExecuteLater(core.NewTask(fmt.Sprintf("t%d", i),
+			effect.MustParse("writes R"),
+			func(_ *core.Ctx, _ any) (any, error) {
+				order = append(order, i)
+				return nil, nil
+			}), nil)
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d: conflicting tasks ran out of enqueue order %v", i, v, order[:i+1])
+		}
+	}
+}
+
+// TestQueueDrains: the queue must be empty after all work completes.
+func TestQueueDrains(t *testing.T) {
+	s := naive.New()
+	rt := core.NewRuntime(s, 2)
+	task := core.NewTask("t", effect.MustParse("writes X"), func(_ *core.Ctx, _ any) (any, error) { return nil, nil })
+	for i := 0; i < 20; i++ {
+		rt.ExecuteLater(task, nil)
+	}
+	rt.Shutdown()
+	if s.Len() != 0 {
+		t.Fatalf("queue not drained: %d entries remain", s.Len())
+	}
+}

@@ -1,0 +1,151 @@
+// Package pool provides the low-level task execution substrate that the
+// TWE schedulers hand enabled tasks to — the role Java's ForkJoinPool plays
+// in TWEJava (§3.4.2, §5.5). It bounds the number of concurrently *running*
+// tasks while allowing any number of logically in-flight tasks:
+//
+//   - Submit never blocks; work queues when all parallelism tokens are
+//     taken and starts as tokens free up.
+//   - Block lets a running task wait for a condition while releasing its
+//     token, so tasks blocked in getValue/join cannot starve the pool
+//     (ForkJoinPool's compensation-thread behaviour).
+//
+// Goroutines are cheap, so the pool does not multiplex work onto a fixed
+// worker set; it gates goroutines on a token count instead. This preserves
+// the two properties the TWE schedulers rely on: bounded parallelism and
+// deadlock-freedom under blocking.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded-parallelism executor. The zero value is not usable;
+// create with New.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	running int // tasks currently holding a token
+	par     int // maximum tokens
+	pending int // submitted but not finished (for Quiesce)
+	closed  bool
+}
+
+// New returns a pool with the given parallelism. If par <= 0 it defaults to
+// runtime.GOMAXPROCS(0).
+func New(par int) *Pool {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{par: par}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Parallelism returns the pool's token count.
+func (p *Pool) Parallelism() int { return p.par }
+
+// Submit enqueues f for execution. It never blocks and is safe to call
+// from inside pool tasks (including while holding unrelated locks).
+func (p *Pool) Submit(f func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("pool: Submit after Shutdown")
+	}
+	p.pending++
+	p.queue = append(p.queue, f)
+	p.dispatchLocked()
+	p.mu.Unlock()
+}
+
+// dispatchLocked starts queued work while tokens are available.
+func (p *Pool) dispatchLocked() {
+	for p.running < p.par && len(p.queue) > 0 {
+		f := p.queue[0]
+		p.queue = p.queue[1:]
+		p.running++
+		go p.runLoop(f)
+	}
+}
+
+// runLoop runs f, then keeps draining the queue while holding its token.
+func (p *Pool) runLoop(f func()) {
+	for {
+		p.runOne(f)
+		p.mu.Lock()
+		p.pending--
+		if len(p.queue) == 0 {
+			p.running--
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		f = p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+	}
+}
+
+func (p *Pool) runOne(f func()) {
+	defer func() {
+		// A panicking task must not kill the process or leak the token
+		// accounting; TWE task bodies convert panics to errors above this
+		// layer, so reaching here indicates a bug in runtime code. Re-panic
+		// after fixing the books would lose the pool; surface loudly instead.
+		if r := recover(); r != nil {
+			panic(r)
+		}
+	}()
+	f()
+}
+
+// Block is called from inside a pool task to wait for an external
+// condition. It releases the caller's parallelism token (allowing queued
+// work to run — the compensation that prevents blocked tasks from
+// deadlocking the pool), calls wait, and re-acquires a token before
+// returning.
+func (p *Pool) Block(wait func()) {
+	p.mu.Lock()
+	p.running--
+	p.dispatchLocked()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	wait()
+
+	p.mu.Lock()
+	for p.running >= p.par {
+		p.cond.Wait()
+	}
+	p.running++
+	p.mu.Unlock()
+}
+
+// Quiesce blocks until every submitted task has finished. Tasks may submit
+// more tasks while it waits.
+func (p *Pool) Quiesce() {
+	p.mu.Lock()
+	for p.pending > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Shutdown waits for all work to finish and marks the pool closed. Further
+// Submit calls panic.
+func (p *Pool) Shutdown() {
+	p.Quiesce()
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of (running, queued, pending) counts; used by
+// tests and the benchmark harness.
+func (p *Pool) Stats() (running, queued, pending int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running, len(p.queue), p.pending
+}

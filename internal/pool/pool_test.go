@@ -1,0 +1,153 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunsAll(t *testing.T) {
+	p := New(4)
+	var n atomic.Int64
+	for i := 0; i < 1000; i++ {
+		p.Submit(func() { n.Add(1) })
+	}
+	p.Quiesce()
+	if n.Load() != 1000 {
+		t.Fatalf("ran %d of 1000", n.Load())
+	}
+}
+
+func TestParallelismBound(t *testing.T) {
+	const par = 3
+	p := New(par)
+	var cur, max atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			c := cur.Add(1)
+			for {
+				m := max.Load()
+				if c <= m || max.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			cur.Add(-1)
+		})
+	}
+	wg.Wait()
+	if max.Load() > par {
+		t.Fatalf("observed %d concurrent tasks, bound %d", max.Load(), par)
+	}
+}
+
+// TestBlockReleasesToken: with parallelism 1, a task that blocks on a
+// condition satisfied only by a later-submitted task must not deadlock.
+func TestBlockReleasesToken(t *testing.T) {
+	p := New(1)
+	done := make(chan struct{})
+	release := make(chan struct{})
+	p.Submit(func() {
+		p.Submit(func() { close(release) })
+		p.Block(func() { <-release })
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock: Block did not release the parallelism token")
+	}
+	p.Quiesce()
+}
+
+// TestBlockReacquires: after Block returns, the bound still holds.
+func TestBlockReacquires(t *testing.T) {
+	const par = 2
+	p := New(par)
+	var cur, max atomic.Int64
+	note := func() {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(50 * time.Microsecond)
+		cur.Add(-1)
+	}
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			note()
+			p.Block(func() { <-gate })
+			note()
+		})
+	}
+	// Let them all reach the block, then open the gate.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if max.Load() > par {
+		t.Fatalf("observed %d concurrent, bound %d", max.Load(), par)
+	}
+}
+
+func TestQuiesceWaitsForChained(t *testing.T) {
+	p := New(2)
+	var n atomic.Int64
+	var chain func(depth int)
+	chain = func(depth int) {
+		n.Add(1)
+		if depth > 0 {
+			p.Submit(func() { chain(depth - 1) })
+		}
+	}
+	p.Submit(func() { chain(50) })
+	p.Quiesce()
+	if n.Load() != 51 {
+		t.Fatalf("chain incomplete: %d", n.Load())
+	}
+}
+
+func TestShutdownThenSubmitPanics(t *testing.T) {
+	p := New(1)
+	p.Submit(func() {})
+	p.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit after Shutdown should panic")
+		}
+	}()
+	p.Submit(func() {})
+}
+
+func TestDefaultParallelism(t *testing.T) {
+	p := New(0)
+	if p.Parallelism() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default parallelism = %d", p.Parallelism())
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := New(1)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	p.Submit(func() { close(started); <-gate })
+	<-started
+	p.Submit(func() {})
+	r, q, pd := p.Stats()
+	if r != 1 || q != 1 || pd != 2 {
+		t.Fatalf("Stats = (%d,%d,%d), want (1,1,2)", r, q, pd)
+	}
+	close(gate)
+	p.Quiesce()
+}

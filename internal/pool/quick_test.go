@@ -1,0 +1,80 @@
+package pool
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickBoundHolds: for random (parallelism, tasks, block-probability)
+// triples, the concurrency bound must hold and every task must run exactly
+// once — the two invariants the TWE schedulers build on.
+func TestQuickBoundHolds(t *testing.T) {
+	type scenario struct {
+		par    int
+		tasks  int
+		blockP int // percent of tasks that Block mid-run
+	}
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(scenario{
+				par:    1 + r.Intn(6),
+				tasks:  1 + r.Intn(60),
+				blockP: r.Intn(100),
+			})
+		},
+	}
+	if err := quick.Check(func(sc scenario) bool {
+		p := New(sc.par)
+		var cur, max, ran atomic.Int64
+		gate := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < sc.tasks; i++ {
+			i := i
+			wg.Add(1)
+			p.Submit(func() {
+				defer wg.Done()
+				c := cur.Add(1)
+				for {
+					m := max.Load()
+					if c <= m || max.CompareAndSwap(m, c) {
+						break
+					}
+				}
+				if i%100 < sc.blockP {
+					cur.Add(-1)
+					p.Block(func() { <-gate })
+					c2 := cur.Add(1)
+					for {
+						m := max.Load()
+						if c2 <= m || max.CompareAndSwap(m, c2) {
+							break
+						}
+					}
+				}
+				time.Sleep(10 * time.Microsecond)
+				ran.Add(1)
+				cur.Add(-1)
+			})
+		}
+		close(gate)
+		wg.Wait()
+		p.Shutdown()
+		if int(ran.Load()) != sc.tasks {
+			t.Logf("ran %d of %d", ran.Load(), sc.tasks)
+			return false
+		}
+		if int(max.Load()) > sc.par {
+			t.Logf("max concurrency %d > bound %d", max.Load(), sc.par)
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,840 @@
+// Package schedtest is a conformance suite run against every TWE scheduler
+// implementation (naive and tree). It checks the behaviours the paper
+// guarantees independently of scheduling policy: task isolation, result
+// delivery, atomicity of non-waiting tasks, effect transfer when blocked,
+// spawn/join effect transfer, determinism of spawn/join-only computations,
+// and liveness under contention.
+package schedtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/isolcheck"
+	"twe/internal/rpl"
+)
+
+// Factory creates a fresh scheduler instance.
+type Factory func() core.Scheduler
+
+// Run executes the full conformance suite against the scheduler factory.
+func Run(t *testing.T, name string, mk Factory) {
+	t.Run(name+"/BasicResult", func(t *testing.T) { basicResult(t, mk) })
+	t.Run(name+"/ErrorAndPanic", func(t *testing.T) { errorAndPanic(t, mk) })
+	t.Run(name+"/ConflictingTasksAtomic", func(t *testing.T) { conflictingTasksAtomic(t, mk) })
+	t.Run(name+"/DisjointTasksOverlap", func(t *testing.T) { disjointTasksOverlap(t, mk) })
+	t.Run(name+"/EffectTransferWhenBlocked", func(t *testing.T) { effectTransferWhenBlocked(t, mk) })
+	t.Run(name+"/ScribblePattern", func(t *testing.T) { scribblePattern(t, mk) })
+	t.Run(name+"/SpawnJoinSum", func(t *testing.T) { spawnJoinSum(t, mk) })
+	t.Run(name+"/UncoveredSpawnRejected", func(t *testing.T) { uncoveredSpawnRejected(t, mk) })
+	t.Run(name+"/JoinMisuse", func(t *testing.T) { joinMisuse(t, mk) })
+	t.Run(name+"/ImplicitJoin", func(t *testing.T) { implicitJoin(t, mk) })
+	t.Run(name+"/DeterministicRestriction", func(t *testing.T) { deterministicRestriction(t, mk) })
+	t.Run(name+"/ExecuteCriticalSection", func(t *testing.T) { executeCriticalSection(t, mk) })
+	t.Run(name+"/DeterministicOutput", func(t *testing.T) { deterministicOutput(t, mk) })
+	t.Run(name+"/StressIsolation", func(t *testing.T) { stressIsolation(t, mk) })
+	t.Run(name+"/StressHierarchy", func(t *testing.T) { stressHierarchy(t, mk) })
+	t.Run(name+"/StressExecutePriority", func(t *testing.T) { stressExecutePriority(t, mk) })
+	t.Run(name+"/WildcardEffects", func(t *testing.T) { wildcardEffects(t, mk) })
+	t.Run(name+"/Pipeline", func(t *testing.T) { pipeline(t, mk) })
+	t.Run(name+"/IndexedRegions", func(t *testing.T) { indexedRegions(t, mk) })
+}
+
+func es(s string) effect.Set { return effect.MustParse(s) }
+
+// newRT builds a runtime with an isolation checker installed; the returned
+// finish func shuts down and asserts no violations.
+func newRT(t *testing.T, mk Factory, par int) (*core.Runtime, *isolcheck.Checker, func()) {
+	t.Helper()
+	chk := isolcheck.New()
+	rt := core.NewRuntime(mk(), par, core.WithMonitor(chk))
+	return rt, chk, func() {
+		rt.Shutdown()
+		for _, v := range chk.Violations() {
+			t.Error(v)
+		}
+	}
+}
+
+func basicResult(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 2)
+	defer finish()
+	task := core.NewTask("double", es("pure"), func(_ *core.Ctx, arg any) (any, error) {
+		return arg.(int) * 2, nil
+	})
+	f := rt.ExecuteLater(task, 21)
+	v, err := rt.GetValue(f)
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("got (%v, %v), want (42, nil)", v, err)
+	}
+	if !f.IsDone() {
+		t.Error("future should be done")
+	}
+}
+
+func errorAndPanic(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 2)
+	defer finish()
+	boom := core.NewTask("boom", es("pure"), func(_ *core.Ctx, _ any) (any, error) {
+		return nil, fmt.Errorf("deliberate")
+	})
+	if _, err := rt.Run(boom, nil); err == nil || err.Error() != "deliberate" {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	pan := core.NewTask("panic", es("pure"), func(_ *core.Ctx, _ any) (any, error) {
+		panic("kapow")
+	})
+	if _, err := rt.Run(pan, nil); err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+// conflictingTasksAtomic: N tasks increment an unsynchronized counter under
+// the same write effect. Isolation must serialize them; run with -race to
+// additionally prove data-race freedom (§3.3.2).
+func conflictingTasksAtomic(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 4)
+	defer finish()
+	counter := 0
+	const n = 200
+	inc := core.NewTask("inc", es("writes Counter"), func(_ *core.Ctx, _ any) (any, error) {
+		counter++ // deliberately unsynchronized
+		return nil, nil
+	})
+	futs := make([]*core.Future, n)
+	for i := range futs {
+		futs[i] = rt.ExecuteLater(inc, nil)
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if counter != n {
+		t.Fatalf("counter = %d, want %d (isolation broken)", counter, n)
+	}
+}
+
+// disjointTasksOverlap: tasks with disjoint effects must be able to run
+// concurrently — each waits at a barrier that only opens when all have
+// started; a serializing scheduler would deadlock (guarded by timeout).
+func disjointTasksOverlap(t *testing.T, mk Factory) {
+	const n = 3
+	rt, chk, finish := newRT(t, mk, n)
+	defer finish()
+	arrived := make(chan struct{}, n)
+	proceed := make(chan struct{})
+	futs := make([]*core.Future, n)
+	for i := 0; i < n; i++ {
+		task := core.NewTask(fmt.Sprintf("disjoint%d", i),
+			effect.NewSet(effect.WriteEff(rpl.New(rpl.N("D"), rpl.Idx(i)))),
+			func(_ *core.Ctx, _ any) (any, error) {
+				arrived <- struct{}{}
+				<-proceed
+				return nil, nil
+			})
+		futs[i] = rt.ExecuteLater(task, nil)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-arrived:
+		case <-time.After(10 * time.Second):
+			t.Fatal("disjoint tasks did not run concurrently (scheduler over-serializes)")
+		}
+	}
+	close(proceed)
+	for _, f := range futs {
+		rt.GetValue(f)
+	}
+	if _, peak := chk.Stats(); peak < n {
+		t.Errorf("peak concurrency %d, want >= %d", peak, n)
+	}
+}
+
+// effectTransferWhenBlocked: task A creates B with conflicting effects and
+// blocks on it; without effect transfer this deadlocks (§3.1.4).
+func effectTransferWhenBlocked(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 2)
+	defer finish()
+	inner := core.NewTask("inner", es("writes R"), func(_ *core.Ctx, _ any) (any, error) {
+		return "inner-done", nil
+	})
+	outer := core.NewTask("outer", es("writes R"), func(ctx *core.Ctx, _ any) (any, error) {
+		f, err := ctx.ExecuteLater(inner, nil)
+		if err != nil {
+			return nil, err
+		}
+		return ctx.GetValue(f)
+	})
+	v, err := runWithTimeout(t, rt, outer, nil, 10*time.Second)
+	if err != nil || v != "inner-done" {
+		t.Fatalf("got (%v, %v)", v, err)
+	}
+}
+
+// scribblePattern reproduces the modified KMeans example of §5.3.2: work
+// (writes TF) creates scribble (writes Root:*), runs conflicting subtasks,
+// then blocks on scribble, which can only run at that point.
+func scribblePattern(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 4)
+	defer finish()
+	order := make(chan string, 16)
+	scribble := core.NewTask("scribble", es("writes *"), func(_ *core.Ctx, _ any) (any, error) {
+		order <- "scribble"
+		return nil, nil
+	})
+	workItem := core.NewTask("workItem", es("writes W"), func(_ *core.Ctx, _ any) (any, error) {
+		order <- "work"
+		return nil, nil
+	})
+	work := core.NewTask("work", es("writes TF"), func(ctx *core.Ctx, _ any) (any, error) {
+		sf, _ := ctx.ExecuteLater(scribble, nil)
+		var items []*core.Future
+		for i := 0; i < 3; i++ {
+			it, _ := ctx.ExecuteLater(workItem, nil)
+			items = append(items, it)
+		}
+		for _, it := range items {
+			if _, err := ctx.GetValue(it); err != nil {
+				return nil, err
+			}
+		}
+		return ctx.GetValue(sf)
+	})
+	if _, err := runWithTimeout(t, rt, work, nil, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	close(order)
+	var seq []string
+	for s := range order {
+		seq = append(seq, s)
+	}
+	if len(seq) != 4 || seq[len(seq)-1] != "scribble" {
+		t.Fatalf("scribble must run last (after transfer): %v", seq)
+	}
+}
+
+func spawnJoinSum(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 4)
+	defer finish()
+	data := make([]int64, 1000)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	var sumRange func(ctx *core.Ctx, arg any) (any, error)
+	sumRange = func(ctx *core.Ctx, arg any) (any, error) {
+		r := arg.([2]int)
+		lo, hi := r[0], r[1]
+		if hi-lo <= 64 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += data[i]
+			}
+			return s, nil
+		}
+		mid := (lo + hi) / 2
+		// Index-parameterized halves share the parent's region; declared
+		// effect "reads Data" is covered by the parent's.
+		child := core.NewTask("sumL", es("reads Data"), sumRange)
+		sf, err := ctx.Spawn(child, [2]int{lo, mid})
+		if err != nil {
+			return nil, err
+		}
+		rv, err := sumRange(ctx, [2]int{mid, hi})
+		if err != nil {
+			return nil, err
+		}
+		lv, err := ctx.Join(sf)
+		if err != nil {
+			return nil, err
+		}
+		return lv.(int64) + rv.(int64), nil
+	}
+	root := core.NewTask("sum", es("reads Data"), sumRange)
+	v, err := rt.Run(root, [2]int{0, len(data)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(data)) * int64(len(data)-1) / 2
+	if v.(int64) != want {
+		t.Fatalf("sum = %d, want %d", v, want)
+	}
+}
+
+func uncoveredSpawnRejected(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 2)
+	defer finish()
+	child := core.NewTask("child", es("writes Other"), func(_ *core.Ctx, _ any) (any, error) { return nil, nil })
+	parent := core.NewTask("parent", es("writes Mine"), func(ctx *core.Ctx, _ any) (any, error) {
+		_, err := ctx.Spawn(child, nil)
+		return nil, err
+	})
+	_, err := rt.Run(parent, nil)
+	var use *core.UncoveredSpawnError
+	if err == nil || !asUncovered(err, &use) {
+		t.Fatalf("want UncoveredSpawnError, got %v", err)
+	}
+
+	// A second spawn of the SAME effects after the first must also fail:
+	// the covering effect lost them (§3.1.5).
+	child2 := core.NewTask("child2", es("writes Mine"), func(ctx *core.Ctx, _ any) (any, error) {
+		gate := make(chan struct{})
+		defer close(gate)
+		return nil, nil
+	})
+	parent2 := core.NewTask("parent2", es("writes Mine"), func(ctx *core.Ctx, _ any) (any, error) {
+		sf, err := ctx.Spawn(child2, nil)
+		if err != nil {
+			return nil, err
+		}
+		_, err2 := ctx.Spawn(child2, nil) // same effect again: uncovered now
+		if err2 == nil {
+			return nil, fmt.Errorf("double spawn of transferred effect not rejected")
+		}
+		ctx.Join(sf)
+		// After the join the effects are back; spawning again succeeds.
+		sf2, err3 := ctx.Spawn(child2, nil)
+		if err3 != nil {
+			return nil, fmt.Errorf("spawn after join should succeed: %v", err3)
+		}
+		ctx.Join(sf2)
+		return nil, nil
+	})
+	if _, err := rt.Run(parent2, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func asUncovered(err error, target **core.UncoveredSpawnError) bool {
+	u, ok := err.(*core.UncoveredSpawnError)
+	if ok {
+		*target = u
+	}
+	return ok
+}
+
+func joinMisuse(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 2)
+	defer finish()
+	child := core.NewTask("c", es("pure"), func(_ *core.Ctx, _ any) (any, error) { return 1, nil })
+	parent := core.NewTask("p", es("pure"), func(ctx *core.Ctx, _ any) (any, error) {
+		sf, err := ctx.Spawn(child, nil)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ctx.Join(sf); err != nil {
+			return nil, err
+		}
+		if _, err := ctx.Join(sf); err != core.ErrAlreadyJoined {
+			return nil, fmt.Errorf("double join: got %v", err)
+		}
+		return sf, nil
+	})
+	v, err := rt.Run(parent, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join from a different task is rejected.
+	sf := v.(*core.SpawnedFuture)
+	other := core.NewTask("other", es("pure"), func(ctx *core.Ctx, _ any) (any, error) {
+		_, err := ctx.Join(sf)
+		return nil, err
+	})
+	if _, err := rt.Run(other, nil); err != core.ErrNotSpawner {
+		t.Fatalf("foreign join: got %v, want ErrNotSpawner", err)
+	}
+}
+
+func implicitJoin(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 4)
+	defer finish()
+	var flag atomic.Bool
+	child := core.NewTask("slowChild", es("writes C"), func(_ *core.Ctx, _ any) (any, error) {
+		time.Sleep(10 * time.Millisecond)
+		flag.Store(true)
+		return nil, nil
+	})
+	parent := core.NewTask("parent", es("writes C"), func(ctx *core.Ctx, _ any) (any, error) {
+		_, err := ctx.Spawn(child, nil)
+		return nil, err // returns without joining
+	})
+	if _, err := rt.Run(parent, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !flag.Load() {
+		t.Fatal("implicit join must complete spawned children before the parent is done")
+	}
+}
+
+func deterministicRestriction(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 2)
+	defer finish()
+	other := core.NewTask("x", es("pure"), func(_ *core.Ctx, _ any) (any, error) { return nil, nil })
+	det := &core.Task{
+		Name:          "det",
+		Eff:           es("pure"),
+		Deterministic: true,
+		Body: func(ctx *core.Ctx, _ any) (any, error) {
+			if _, err := ctx.ExecuteLater(other, nil); err != core.ErrDeterminism {
+				return nil, fmt.Errorf("executeLater allowed in deterministic task: %v", err)
+			}
+			return nil, nil
+		},
+	}
+	if _, err := rt.Run(det, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// executeCriticalSection uses Execute for fine-grain reductions, the
+// KMeans accumulate pattern (Fig. 5.1).
+func executeCriticalSection(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 4)
+	defer finish()
+	const buckets = 4
+	counts := make([]int, buckets)
+	accTask := make([]*core.Task, buckets)
+	for b := 0; b < buckets; b++ {
+		accTask[b] = core.NewTask(fmt.Sprintf("acc%d", b),
+			effect.NewSet(effect.WriteEff(rpl.New(rpl.Idx(b)))),
+			func(b int) core.Body {
+				return func(_ *core.Ctx, _ any) (any, error) {
+					counts[b]++ // unsynchronized; protected by isolation
+					return nil, nil
+				}
+			}(b))
+	}
+	work := core.NewTask("work", es("reads Root"), func(ctx *core.Ctx, arg any) (any, error) {
+		i := arg.(int)
+		_, err := ctx.Execute(accTask[i%buckets], nil)
+		return nil, err
+	})
+	const n = 100
+	futs := make([]*core.Future, n)
+	for i := 0; i < n; i++ {
+		futs[i] = rt.ExecuteLater(work, i)
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("reductions lost: %d of %d", total, n)
+	}
+}
+
+// deterministicOutput: a spawn/join-only computation must produce identical
+// results across repeated runs (§3.3.5).
+func deterministicOutput(t *testing.T, mk Factory) {
+	type rng struct {
+		lo, hi int
+		prefix rpl.RPL // hierarchical region of this subtree (bit path under Out)
+	}
+	subtreeEff := func(prefix rpl.RPL) effect.Set {
+		return effect.NewSet(effect.WriteEff(prefix.Append(rpl.Any)))
+	}
+	run := func() []int64 {
+		rt, _, finish := newRT(t, mk, 4)
+		defer finish()
+		out := make([]int64, 8)
+		var fill func(ctx *core.Ctx, arg any) (any, error)
+		fill = func(ctx *core.Ctx, arg any) (any, error) {
+			r := arg.(rng)
+			if r.hi-r.lo == 1 {
+				out[r.lo] = int64(r.lo * r.lo) // leaf region: r.prefix
+				return nil, nil
+			}
+			mid := (r.lo + r.hi) / 2
+			left := rng{r.lo, mid, r.prefix.Append(rpl.Idx(0))}
+			right := rng{mid, r.hi, r.prefix.Append(rpl.Idx(1))}
+			// Spawn the left subtree under its own hierarchical region; the
+			// right subtree runs inline under the parent's remaining
+			// covering effect (disjoint from the transferred left one).
+			sf, err := ctx.Spawn(&core.Task{
+				Name: "fill", Eff: subtreeEff(left.prefix), Deterministic: true, Body: fill,
+			}, left)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := fill(ctx, right); err != nil {
+				return nil, err
+			}
+			_, err = ctx.Join(sf)
+			return nil, err
+		}
+		top := rng{0, len(out), rpl.New(rpl.N("Out"))}
+		root := &core.Task{Name: "fill", Eff: subtreeEff(top.prefix), Deterministic: true, Body: fill}
+		if _, err := rt.Run(root, top); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a := run()
+	b := run()
+	for i := range a {
+		if a[i] != b[i] || a[i] != int64(i*i) {
+			t.Fatalf("nondeterministic or wrong output: %v vs %v", a, b)
+		}
+	}
+}
+
+// stressIsolation hammers the scheduler with randomly conflicting tasks and
+// lets the isolation checker judge. Each region's counter is incremented
+// unsynchronized; totals must match exactly.
+func stressIsolation(t *testing.T, mk Factory) {
+	rt, chk, finish := newRT(t, mk, 8)
+	defer finish()
+	const regions = 5
+	const n = 400
+	counters := make([]int, regions)
+	expected := make([]int64, regions)
+	rnd := rand.New(rand.NewSource(12345))
+	tasks := make([]*core.Task, regions)
+	for rgn := 0; rgn < regions; rgn++ {
+		tasks[rgn] = core.NewTask(fmt.Sprintf("stress%d", rgn),
+			effect.NewSet(effect.WriteEff(rpl.New(rpl.N("S"), rpl.Idx(rgn)))),
+			func(rgn int) core.Body {
+				return func(_ *core.Ctx, _ any) (any, error) {
+					counters[rgn]++
+					return nil, nil
+				}
+			}(rgn))
+	}
+	wide := core.NewTask("wide", es("writes S:*"), func(_ *core.Ctx, _ any) (any, error) {
+		s := 0
+		for _, c := range counters {
+			s += c
+		}
+		return s, nil
+	})
+	var futs []*core.Future
+	for i := 0; i < n; i++ {
+		if rnd.Intn(10) == 0 {
+			futs = append(futs, rt.ExecuteLater(wide, nil))
+		} else {
+			rgn := rnd.Intn(regions)
+			expected[rgn]++
+			futs = append(futs, rt.ExecuteLater(tasks[rgn], nil))
+		}
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for rgn := range counters {
+		if int64(counters[rgn]) != expected[rgn] {
+			t.Errorf("region %d: %d updates, want %d", rgn, counters[rgn], expected[rgn])
+		}
+	}
+	if starts, _ := chk.Stats(); starts < n {
+		t.Errorf("monitor saw %d starts, want >= %d", starts, n)
+	}
+}
+
+// stressHierarchy drives tasks whose effects sit at random depths of a
+// region tree, with wildcard effects covering random subtrees. Each region
+// path carries an unsynchronized counter; a leaf task bumps its own
+// counter, a subtree task bumps every counter underneath it. Exact final
+// counts prove isolation across ancestor/descendant conflicts (the
+// checkAt/checkBelow/hoisting paths of the tree scheduler).
+func stressHierarchy(t *testing.T, mk Factory) {
+	rt, chk, finish := newRT(t, mk, 8)
+	defer finish()
+
+	// Region tree: H:[a]:[b] with a in 0..2, b in 0..2.
+	const fan = 3
+	counters := make([][]int, fan)
+	expected := make([][]int64, fan)
+	for a := 0; a < fan; a++ {
+		counters[a] = make([]int, fan)
+		expected[a] = make([]int64, fan)
+	}
+	leafTask := func(a, b int) *core.Task {
+		return core.NewTask(fmt.Sprintf("leaf[%d][%d]", a, b),
+			effect.NewSet(effect.WriteEff(rpl.New(rpl.N("H"), rpl.Idx(a), rpl.Idx(b)))),
+			func(_ *core.Ctx, _ any) (any, error) {
+				counters[a][b]++
+				return nil, nil
+			})
+	}
+	subtreeTask := func(a int) *core.Task {
+		return core.NewTask(fmt.Sprintf("subtree[%d]", a),
+			effect.NewSet(effect.WriteEff(rpl.New(rpl.N("H"), rpl.Idx(a), rpl.Any))),
+			func(_ *core.Ctx, _ any) (any, error) {
+				for b := 0; b < fan; b++ {
+					counters[a][b]++
+				}
+				return nil, nil
+			})
+	}
+	rootTask := core.NewTask("whole",
+		effect.NewSet(effect.WriteEff(rpl.New(rpl.N("H"), rpl.Any))),
+		func(_ *core.Ctx, _ any) (any, error) {
+			for a := 0; a < fan; a++ {
+				for b := 0; b < fan; b++ {
+					counters[a][b]++
+				}
+			}
+			return nil, nil
+		})
+
+	rnd := rand.New(rand.NewSource(4242))
+	var futs []*core.Future
+	for i := 0; i < 500; i++ {
+		switch rnd.Intn(10) {
+		case 0: // whole-tree sweep
+			futs = append(futs, rt.ExecuteLater(rootTask, nil))
+			for a := 0; a < fan; a++ {
+				for b := 0; b < fan; b++ {
+					expected[a][b]++
+				}
+			}
+		case 1, 2: // subtree sweep
+			a := rnd.Intn(fan)
+			futs = append(futs, rt.ExecuteLater(subtreeTask(a), nil))
+			for b := 0; b < fan; b++ {
+				expected[a][b]++
+			}
+		default: // leaf
+			a, b := rnd.Intn(fan), rnd.Intn(fan)
+			futs = append(futs, rt.ExecuteLater(leafTask(a, b), nil))
+			expected[a][b]++
+		}
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a := 0; a < fan; a++ {
+		for b := 0; b < fan; b++ {
+			if int64(counters[a][b]) != expected[a][b] {
+				t.Errorf("H:[%d]:[%d] = %d, want %d (lost/duplicated update)",
+					a, b, counters[a][b], expected[a][b])
+			}
+		}
+	}
+	_ = chk
+}
+
+// stressExecutePriority mixes long-running background tasks with many
+// prioritized execute critical sections that conflict with them, driving
+// the tryDisable/prioritization machinery.
+func stressExecutePriority(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 8)
+	defer finish()
+	const slots = 4
+	vals := make([]int, slots)
+	crit := make([]*core.Task, slots)
+	for i := 0; i < slots; i++ {
+		crit[i] = core.NewTask(fmt.Sprintf("crit[%d]", i),
+			effect.NewSet(effect.WriteEff(rpl.New(rpl.N("E"), rpl.Idx(i)))),
+			func(i int) core.Body {
+				return func(_ *core.Ctx, _ any) (any, error) {
+					vals[i]++
+					return nil, nil
+				}
+			}(i))
+	}
+	// Background tasks sweep multiple slots (multi-effect: two slot
+	// regions each), so prioritized criticals race to disable their
+	// partially enabled effects.
+	bg := func(a, b int) *core.Task {
+		return core.NewTask(fmt.Sprintf("bg[%d,%d]", a, b),
+			effect.NewSet(
+				effect.WriteEff(rpl.New(rpl.N("E"), rpl.Idx(a))),
+				effect.WriteEff(rpl.New(rpl.N("E"), rpl.Idx(b)))),
+			func(_ *core.Ctx, _ any) (any, error) {
+				vals[a]++
+				vals[b]++
+				return nil, nil
+			})
+	}
+	driver := core.NewTask("driver", es("reads D"), func(ctx *core.Ctx, arg any) (any, error) {
+		i := arg.(int)
+		if _, err := ctx.Execute(crit[i%slots], nil); err != nil {
+			return nil, err
+		}
+		_, err := ctx.Execute(crit[(i+1)%slots], nil)
+		return nil, err
+	})
+	rnd := rand.New(rand.NewSource(7))
+	expected := make([]int64, slots)
+	var futs []*core.Future
+	for i := 0; i < 150; i++ {
+		if rnd.Intn(4) == 0 {
+			a, b := rnd.Intn(slots), rnd.Intn(slots)
+			if a == b {
+				b = (b + 1) % slots
+			}
+			futs = append(futs, rt.ExecuteLater(bg(a, b), nil))
+			expected[a]++
+			expected[b]++
+		} else {
+			futs = append(futs, rt.ExecuteLater(driver, i))
+			expected[i%slots]++
+			expected[(i+1)%slots]++
+		}
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < slots; i++ {
+		if int64(vals[i]) != expected[i] {
+			t.Errorf("slot %d: %d, want %d", i, vals[i], expected[i])
+		}
+	}
+}
+
+// wildcardEffects: a task with a wildcard effect (writes A:*) must exclude
+// tasks on any region under A but admit tasks elsewhere.
+func wildcardEffects(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 4)
+	defer finish()
+	shared := 0
+	sweep := core.NewTask("sweep", es("writes A:*"), func(_ *core.Ctx, _ any) (any, error) {
+		v := shared
+		time.Sleep(time.Millisecond)
+		shared = v + 1
+		return nil, nil
+	})
+	poke := core.NewTask("poke", es("writes A:[7]"), func(_ *core.Ctx, _ any) (any, error) {
+		v := shared
+		shared = v + 1
+		return nil, nil
+	})
+	var futs []*core.Future
+	for i := 0; i < 30; i++ {
+		futs = append(futs, rt.ExecuteLater(sweep, nil), rt.ExecuteLater(poke, nil))
+	}
+	for _, f := range futs {
+		rt.GetValue(f)
+	}
+	if shared != 60 {
+		t.Fatalf("lost updates under wildcard effects: %d != 60", shared)
+	}
+}
+
+// pipeline builds the pipelined computation the paper's introduction says
+// fork-join models cannot express (§1.1: DPJ "excludes cases like
+// pipelined computations or algorithms with more general task graphs").
+// Items flow through three stages; stage s of item i is a task reading the
+// previous stage's slot and writing its own ("writes Pipe:[s]:[i], reads
+// Pipe:[s-1]:[i]"), with the dependency expressed by a getValue on the
+// upstream task — a general task DAG, scheduled safely by effects.
+func pipeline(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 4)
+	defer finish()
+	const stages = 3
+	const items = 12
+	buf := [stages][items]int{}
+	slotEff := func(s, i int) effect.Effect {
+		return effect.WriteEff(rpl.New(rpl.N("Pipe"), rpl.Idx(s), rpl.Idx(i)))
+	}
+	readEff := func(s, i int) effect.Effect {
+		return effect.Read(rpl.New(rpl.N("Pipe"), rpl.Idx(s), rpl.Idx(i)))
+	}
+	var futs [stages][items]*core.Future
+	for s := 0; s < stages; s++ {
+		for i := 0; i < items; i++ {
+			s, i := s, i
+			var eff effect.Set
+			if s == 0 {
+				eff = effect.NewSet(slotEff(0, i))
+			} else {
+				eff = effect.NewSet(slotEff(s, i), readEff(s-1, i))
+			}
+			upstream := (*core.Future)(nil)
+			if s > 0 {
+				upstream = futs[s-1][i]
+			}
+			futs[s][i] = rt.ExecuteLater(core.NewTask(
+				fmt.Sprintf("stage%d[%d]", s, i), eff,
+				func(ctx *core.Ctx, _ any) (any, error) {
+					if upstream != nil {
+						if _, err := ctx.GetValue(upstream); err != nil {
+							return nil, err
+						}
+						buf[s][i] = buf[s-1][i] * 10
+					} else {
+						buf[0][i] = i + 1
+					}
+					return nil, nil
+				}), nil)
+		}
+	}
+	for i := 0; i < items; i++ {
+		if _, err := rt.GetValue(futs[stages-1][i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < items; i++ {
+		if want := (i + 1) * 100; buf[stages-1][i] != want {
+			t.Fatalf("item %d: %d, want %d (pipeline order broken)", i, buf[stages-1][i], want)
+		}
+	}
+}
+
+// indexedRegions: per-index tasks are mutually disjoint but each conflicts
+// with itself; counts must be exact per index.
+func indexedRegions(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 4)
+	defer finish()
+	const k = 8
+	counts := make([]int, k)
+	mkTask := func(i int) *core.Task {
+		return core.NewTask(fmt.Sprintf("idx%d", i),
+			effect.NewSet(effect.WriteEff(rpl.New(rpl.N("Arr"), rpl.Idx(i)))),
+			func(_ *core.Ctx, _ any) (any, error) {
+				counts[i]++
+				return nil, nil
+			})
+	}
+	var futs []*core.Future
+	for round := 0; round < 25; round++ {
+		for i := 0; i < k; i++ {
+			futs = append(futs, rt.ExecuteLater(mkTask(i), nil))
+		}
+	}
+	for _, f := range futs {
+		rt.GetValue(f)
+	}
+	for i, c := range counts {
+		if c != 25 {
+			t.Errorf("index %d: %d, want 25", i, c)
+		}
+	}
+}
+
+func runWithTimeout(t *testing.T, rt *core.Runtime, task *core.Task, arg any, d time.Duration) (any, error) {
+	t.Helper()
+	type res struct {
+		v   any
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		v, err := rt.Run(task, arg)
+		ch <- res{v, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-time.After(d):
+		t.Fatal("timeout: likely scheduler deadlock")
+		return nil, nil
+	}
+}

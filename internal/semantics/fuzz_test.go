@@ -1,0 +1,117 @@
+package semantics
+
+import (
+	"testing"
+
+	"twe/internal/lang"
+)
+
+// TestFuzzRandomPrograms: correct-by-construction random TWEL programs
+// (effects derived by inference) must pass the static checker, quiesce
+// under every explored schedule, and never trip the isolation, race, or
+// covering oracles. This is the model-checking workhorse of the safety
+// argument: each program/seed pair explores a different interleaving of
+// the formal semantics' transitions.
+func TestFuzzRandomPrograms(t *testing.T) {
+	const programs = 40
+	const schedules = 8
+	for p := int64(0); p < programs; p++ {
+		prog := lang.GenerateRandomProgram(p)
+		res := lang.Check(prog)
+		if !res.OK() {
+			t.Fatalf("program %d: generator produced statically invalid program: %v", p, res.Errors)
+		}
+		for s := int64(0); s < schedules; s++ {
+			in := New(prog, s)
+			if _, err := in.Launch("main"); err != nil {
+				t.Fatalf("program %d: %v", p, err)
+			}
+			if !in.Run(2_000_000) {
+				t.Fatalf("program %d seed %d: did not quiesce", p, s)
+			}
+			for _, v := range in.Violations {
+				t.Errorf("program %d seed %d: %v", p, s, v)
+			}
+		}
+	}
+}
+
+// TestFuzzDeterministicLeafOrder: for each random program, schedules that
+// differ only in interleaving must agree on the final store whenever the
+// program is conflict-serialized... in general TWEL programs here are
+// nondeterministic (executeLater ordering), so instead we check a weaker,
+// always-true property: repeated runs with the SAME seed are bitwise
+// reproducible (the interpreter itself is deterministic).
+func TestFuzzReproducible(t *testing.T) {
+	for p := int64(0); p < 10; p++ {
+		prog := lang.GenerateRandomProgram(p + 1000)
+		run := func() (map[string]int, map[string][]int) {
+			in := New(prog, 42)
+			in.Launch("main")
+			if !in.Run(2_000_000) {
+				t.Fatalf("program %d: stuck", p)
+			}
+			return in.Globals(), in.Arrays()
+		}
+		g1, a1 := run()
+		g2, a2 := run()
+		for k, v := range g1 {
+			if g2[k] != v {
+				t.Fatalf("program %d: interpreter nondeterministic on %s", p, k)
+			}
+		}
+		for k, v := range a1 {
+			for i := range v {
+				if a2[k][i] != v[i] {
+					t.Fatalf("program %d: interpreter nondeterministic on %s[%d]", p, k, i)
+				}
+			}
+		}
+	}
+}
+
+// TestCallbackPattern is the paper's §3.1.4 module-callback scenario: A
+// blocks on a task in module B, which "calls back" by launching and
+// blocking on another task whose effects interfere with A's. Effect
+// transfer must thread the chain without deadlock.
+func TestCallbackPattern(t *testing.T) {
+	src := `
+region ModA, ModB;
+var aState in ModA;
+var bState in ModB;
+
+task callbackIntoA() effect writes ModA {
+    aState = aState + 100;
+}
+
+task serviceInB() effect writes ModB, ModA {
+    bState = 1;
+    let cb = executeLater callbackIntoA();
+    getValue cb;
+}
+
+task mainA() effect writes ModA {
+    aState = 1;
+    let svc = executeLater serviceInB();
+    getValue svc;
+    aState = aState + 1;
+}
+`
+	prog := lang.MustParse(src)
+	if res := lang.Check(prog); !res.OK() {
+		t.Fatalf("%v", res.Errors)
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		in := New(prog, seed)
+		in.Launch("mainA")
+		if !in.Run(100000) {
+			t.Fatalf("seed %d: callback pattern deadlocked", seed)
+		}
+		for _, v := range in.Violations {
+			t.Errorf("seed %d: %v", seed, v)
+		}
+		if got := in.Globals()["aState"]; got != 102 {
+			t.Fatalf("seed %d: aState = %d, want 102", seed, got)
+		}
+	}
+}

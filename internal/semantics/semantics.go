@@ -1,0 +1,831 @@
+// Package semantics is an executable small-step interpretation of the
+// formal dynamic semantics of tasks with effects (PPoPP 2013 §3.2,
+// Fig. 3.4, expressed there in the K framework). The configuration mirrors
+// the paper's nested cells — task cells with code/env/spawned, a running
+// set of (L, Eff, blockedOn) tuples, a waiting set, a global environment,
+// and a store of TF tuples — and each K rule becomes one transition:
+//
+//	executelater     — allocate TF(Eff, code, ⊥), add L to waiting
+//	start-task       — move L from waiting into running, creating a task
+//	                   cell, only if ∀(L2,Eff2,B) ∈ running:
+//	                   Eff # Eff2 ∨ L ∈ B
+//	spawn            — allocate TF and start it immediately; record in the
+//	                   parent's spawned set
+//	getvalue/join-*  — return the value if done, else record blocking and
+//	                   propagate it along chains (indirect-blocking)
+//	return/done      — implicit joins, set return value, erase the cell
+//	isdone           — inspect the TF tuple
+//
+// A driver explores schedules by picking uniformly (under a seed) among
+// enabled transitions, and an oracle validates after every step:
+//
+//   - task isolation: active tasks have pairwise non-interfering effects
+//     modulo blocked-on transfer and spawn ancestry (§3.3.1);
+//   - data-race freedom: no two concurrently-active tasks touch the same
+//     location conflictingly (§3.3.2);
+//   - dynamic covering: every access is covered by its task's current
+//     covering effect — the run-time counterpart of the Ch. 4 analysis.
+//
+// Programs are TWEL ASTs (package lang); array index parameters are
+// evaluated to integers at task-creation time, producing the fully
+// specified dynamic RPLs the paper's scheduler sees (§2.3.1).
+package semantics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"twe/internal/compound"
+	"twe/internal/effect"
+	"twe/internal/lang"
+	"twe/internal/rpl"
+)
+
+// Violation is an oracle finding.
+type Violation struct {
+	Step int
+	Msg  string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("step %d: %s", v.Step, v.Msg) }
+
+// tf is the paper's TF tuple: TF(Eff, code, ret).
+type tf struct {
+	eff     effect.Set
+	decl    *lang.TaskDecl
+	args    []int
+	ret     *int // nil = ⊥T
+	spawned bool
+}
+
+// frame is one level of block execution in a task cell's k cell. A while
+// body is pushed without advancing past the While statement, so popping the
+// body frame naturally re-tests the condition.
+type frame struct {
+	block *lang.Block
+	pc    int
+	// env, when non-nil, is the call frame's own environment (inline call
+	// parameters and locals); nil frames share the task environment.
+	env map[string]int
+}
+
+// cell is a task cell: code position, local environment, spawned set.
+// Inline calls push frames with their own environments; lookup and
+// assignment use the innermost frame that has one, falling back to the
+// task env.
+type cell struct {
+	id      int
+	frames  []frame
+	env     map[string]int
+	futures map[string]int // future name → store location
+	spawned map[int]bool
+	// covering is the dynamic covering effect (declared − spawned +
+	// joined), used by the covering oracle and the spawn check.
+	covering *compound.Compound
+}
+
+// runInfo is a (L, Eff, blockedOn) tuple of the running cell.
+type runInfo struct {
+	eff       effect.Set
+	blockedOn map[int]bool
+	// blockedStmt is non-nil while the task is blocked in getValue/join.
+	blockedStmt *lang.Wait
+}
+
+// Interp holds a configuration and its oracles.
+type Interp struct {
+	prog    *lang.Program
+	rnd     *rand.Rand
+	store   map[int]*tf
+	globals map[string]int
+	arrays  map[string][]int
+	running map[int]*runInfo
+	waiting map[int]bool
+	cells   map[int]*cell
+	nextLoc int
+	steps   int
+
+	// race oracle: per-location accesses by currently active tasks.
+	accesses map[string][]access
+
+	Violations []Violation
+	// TraceEnabled turns on transition logging into Trace (bounded), used
+	// by twe-sim -v and by tests diagnosing schedules.
+	TraceEnabled bool
+	// Trace holds one line per transition when TraceEnabled.
+	Trace []string
+}
+
+type access struct {
+	task  int
+	write bool
+}
+
+// New builds an interpreter for prog with the given schedule seed. The
+// program must have passed lang.Check.
+func New(prog *lang.Program, seed int64) *Interp {
+	in := &Interp{
+		prog:     prog,
+		rnd:      rand.New(rand.NewSource(seed)),
+		store:    map[int]*tf{},
+		globals:  map[string]int{},
+		arrays:   map[string][]int{},
+		running:  map[int]*runInfo{},
+		waiting:  map[int]bool{},
+		cells:    map[int]*cell{},
+		nextLoc:  1,
+		accesses: map[string][]access{},
+	}
+	for _, v := range prog.Vars {
+		in.globals[v.Name] = 0
+	}
+	for _, a := range prog.Arrays {
+		in.arrays[a.Name] = make([]int, a.Size)
+	}
+	return in
+}
+
+// Globals returns the final scalar store (for determinism checks).
+func (in *Interp) Globals() map[string]int {
+	out := map[string]int{}
+	for k, v := range in.globals {
+		out[k] = v
+	}
+	return out
+}
+
+// Arrays returns the final array store.
+func (in *Interp) Arrays() map[string][]int {
+	out := map[string][]int{}
+	for k, v := range in.arrays {
+		out[k] = append([]int(nil), v...)
+	}
+	return out
+}
+
+// Steps returns the number of transitions taken.
+func (in *Interp) Steps() int { return in.steps }
+
+func (in *Interp) violate(format string, args ...any) {
+	in.Violations = append(in.Violations, Violation{Step: in.steps, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Launch performs executelater on the named task from outside any task
+// (the initial main invocation) and returns its location.
+func (in *Interp) Launch(taskName string, args ...int) (int, error) {
+	decl := in.prog.Task(taskName)
+	if decl == nil {
+		return 0, fmt.Errorf("semantics: no task %q", taskName)
+	}
+	return in.executeLater(decl, args), nil
+}
+
+func (in *Interp) executeLater(decl *lang.TaskDecl, args []int) int {
+	l := in.nextLoc
+	in.nextLoc++
+	in.store[l] = &tf{eff: lang.DynamicEffects(decl, args), decl: decl, args: args}
+	in.waiting[l] = true
+	return l
+}
+
+// Run drives transitions until quiescence or maxSteps; returns whether the
+// configuration quiesced (no waiting or running tasks remain).
+func (in *Interp) Run(maxSteps int) bool {
+	for in.steps < maxSteps {
+		if !in.step() {
+			return len(in.waiting) == 0 && len(in.running) == 0
+		}
+	}
+	return false
+}
+
+// step performs one randomly chosen enabled transition; false if none.
+func (in *Interp) step() bool {
+	type choice func()
+	var choices []choice
+
+	// Deterministic iteration order makes a (program, seed) pair fully
+	// reproducible despite Go's randomized map order.
+	waitingIDs := sortedKeys(in.waiting)
+	runningIDs := make([]int, 0, len(in.running))
+	for l := range in.running {
+		runningIDs = append(runningIDs, l)
+	}
+	sort.Ints(runningIDs)
+
+	// start-task rule: any waiting task whose effects are non-interfering
+	// with every running task, or which every conflicting running task is
+	// blocked on.
+	for _, l := range waitingIDs {
+		l := l
+		if in.canStart(l) {
+			choices = append(choices, func() { in.startTask(l) })
+		}
+	}
+	// step rules: any running, unblocked task advances one statement.
+	for _, l := range runningIDs {
+		l, ri := l, in.running[l]
+		if len(ri.blockedOn) > 0 {
+			// getvalue/join-succeeds: unblock if the target is done.
+			st := ri.blockedStmt
+			if st != nil {
+				target := in.cells[l].futures[st.Future]
+				if in.store[target].ret != nil {
+					choices = append(choices, func() { in.finishWait(l, st, target) })
+				}
+			}
+			continue
+		}
+		choices = append(choices, func() { in.stepTask(l) })
+	}
+	if len(choices) == 0 {
+		return false
+	}
+	in.steps++
+	pick := in.rnd.Intn(len(choices))
+	if in.TraceEnabled && len(in.Trace) < 100000 {
+		in.Trace = append(in.Trace, fmt.Sprintf("step %d: %d transitions enabled, running=%d waiting=%d",
+			in.steps, len(choices), len(in.running), len(in.waiting)))
+	}
+	choices[pick]()
+	in.checkIsolation()
+	return true
+}
+
+// canStart implements the start-task side condition.
+func (in *Interp) canStart(l int) bool {
+	eff := in.store[l].eff
+	for l2, ri := range in.running {
+		if l2 == l {
+			continue
+		}
+		if eff.NonInterfering(ri.eff) {
+			continue
+		}
+		if !in.blockedOnTrans(l2, l) {
+			return false
+		}
+	}
+	return true
+}
+
+func (in *Interp) startTask(l int) {
+	delete(in.waiting, l)
+	t := in.store[l]
+	c := &cell{
+		id:      l,
+		env:     map[string]int{},
+		futures: map[string]int{},
+		spawned: map[int]bool{},
+	}
+	for i, p := range t.decl.Params {
+		if i < len(t.args) {
+			c.env[p] = t.args[i]
+		}
+	}
+	c.frames = []frame{{block: t.decl.Body}}
+	c.covering = compound.NewBase(t.eff)
+	in.cells[l] = c
+	in.running[l] = &runInfo{eff: t.eff, blockedOn: map[int]bool{}}
+}
+
+// finishWait applies getvalue-succeeds / join-succeeds.
+func (in *Interp) finishWait(l int, st *lang.Wait, target int) {
+	ri := in.running[l]
+	ri.blockedOn = map[int]bool{}
+	ri.blockedStmt = nil
+	c := in.cells[l]
+	if st.Join {
+		if !c.spawned[target] {
+			in.violate("task %d joined %d which is not its unjoined spawned child", l, target)
+		}
+		delete(c.spawned, target)
+		// Dynamic effect transfer back on join (§3.1.5: "dynamically, we
+		// always consider the effects of a completed child task to be
+		// transferred when it is joined").
+		c.covering = c.covering.Add(in.store[target].eff)
+	}
+	c.advance()
+}
+
+// stepTask executes one statement of task l.
+func (in *Interp) stepTask(l int) {
+	c := in.cells[l]
+	s := c.current()
+	if s == nil {
+		in.finishTask(l)
+		return
+	}
+	switch st := s.(type) {
+	case *lang.Skip:
+		c.advance()
+	case *lang.LocalDecl:
+		v := in.eval(l, st.Value)
+		c.activeEnv()[st.Name] = v
+		c.advance()
+	case *lang.AssignVar:
+		v := in.eval(l, st.Value)
+		if env, ok := c.lookupEnv(st.Name); ok {
+			env[st.Name] = v
+		} else {
+			in.writeGlobal(l, st.Name, v)
+		}
+		c.advance()
+	case *lang.AssignArray:
+		idx := in.eval(l, st.Index)
+		v := in.eval(l, st.Value)
+		in.writeArray(l, st.Name, idx, v)
+		c.advance()
+	case *lang.If:
+		cond := in.eval(l, st.Cond)
+		c.advance()
+		if cond != 0 {
+			c.push(st.Then)
+		} else if st.Else != nil {
+			c.push(st.Else)
+		}
+	case *lang.While:
+		if in.eval(l, st.Cond) != 0 {
+			c.push(st.Body)
+		} else {
+			c.advance()
+		}
+	case *lang.LetFuture:
+		decl := in.prog.Task(st.Task)
+		args := make([]int, len(st.Args))
+		for i, a := range st.Args {
+			args[i] = in.eval(l, a)
+		}
+		if st.Spawn {
+			in.spawn(l, st.Name, decl, args)
+		} else {
+			c.futures[st.Name] = in.executeLater(decl, args)
+		}
+		c.advance()
+	case *lang.Wait:
+		target := c.futures[st.Future]
+		if in.store[target].ret != nil {
+			in.finishWait(l, st, target)
+			return
+		}
+		// getvalue-blocks / join-blocks + indirect-blocking: propagate
+		// fully at blocking time, as the TWEJava implementation does.
+		ri := in.running[l]
+		ri.blockedStmt = st
+		ri.blockedOn = map[int]bool{target: true}
+	case *lang.Call:
+		decl := in.prog.Task(st.Task)
+		env := map[string]int{}
+		for i, p := range decl.Params {
+			if i < len(st.Args) {
+				env[p] = in.eval(l, st.Args[i])
+			}
+		}
+		c.advance()
+		c.frames = append(c.frames, frame{block: decl.Body, env: env})
+	case *lang.RefOp:
+		// Dynamic reference operations are runtime no-ops here; their
+		// semantics are exercised by package dyneff.
+		c.advance()
+	default:
+		in.violate("task %d: unhandled statement %T", l, s)
+		c.advance()
+	}
+}
+
+// spawn implements the spawn rule: allocate, start immediately, record in
+// the parent's spawned set, and transfer covering effects.
+func (in *Interp) spawn(parent int, futName string, decl *lang.TaskDecl, args []int) {
+	l := in.nextLoc
+	in.nextLoc++
+	eff := lang.DynamicEffects(decl, args)
+	in.store[l] = &tf{eff: eff, decl: decl, args: args, spawned: true}
+	pc := in.cells[parent]
+	pc.futures[futName] = l
+	pc.spawned[l] = true
+	if !pc.covering.CoversSet(eff) {
+		in.violate("task %d spawned %d with effects [%v] not covered by its covering effect %s",
+			parent, l, eff, pc.covering)
+	}
+	pc.covering = pc.covering.Sub(eff)
+
+	// Start immediately (no start-task side condition).
+	t := in.store[l]
+	c := &cell{id: l, env: map[string]int{}, futures: map[string]int{}, spawned: map[int]bool{}}
+	for i, p := range t.decl.Params {
+		if i < len(args) {
+			c.env[p] = args[i]
+		}
+	}
+	c.frames = []frame{{block: t.decl.Body}}
+	c.covering = compound.NewBase(eff)
+	in.cells[l] = c
+	in.running[l] = &runInfo{eff: eff, blockedOn: map[int]bool{}}
+}
+
+// finishTask implements return/await-spawned/set-return-value/done. For
+// simplicity the implicit joins happen when all spawned children are done;
+// until then the task is treated as blocked on them.
+func (in *Interp) finishTask(l int) {
+	c := in.cells[l]
+	ri := in.running[l]
+	if len(c.spawned) > 0 {
+		for _, s := range sortedKeys(c.spawned) {
+			if in.store[s].ret == nil {
+				// await-spawned: block on the remaining children.
+				ri.blockedOn = map[int]bool{s: true}
+				ri.blockedStmt = &lang.Wait{Join: true, Future: in.futureNameOf(c, s)}
+				return
+			}
+			delete(c.spawned, s)
+			c.covering = c.covering.Add(in.store[s].eff)
+		}
+	}
+	zero := 0
+	in.store[l].ret = &zero
+	delete(in.running, l)
+	delete(in.cells, l)
+	in.purgeAccesses(l)
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (in *Interp) futureNameOf(c *cell, loc int) string {
+	for name, l := range c.futures {
+		if l == loc {
+			return name
+		}
+	}
+	return "?"
+}
+
+// --- expression evaluation --------------------------------------------------
+
+func (in *Interp) eval(l int, e lang.Expr) int {
+	c := in.cells[l]
+	switch v := e.(type) {
+	case *lang.Num:
+		return v.Value
+	case *lang.Ident:
+		if env, ok := c.lookupEnv(v.Name); ok {
+			return env[v.Name]
+		}
+		return in.readGlobal(l, v.Name)
+	case *lang.ArrayRead:
+		idx := in.eval(l, v.Index)
+		return in.readArray(l, v.Name, idx)
+	case *lang.IsDone:
+		target, ok := c.futures[v.Future]
+		if !ok {
+			in.violate("task %d: isdone on unknown future %q", l, v.Future)
+			return 0
+		}
+		return b2i(in.store[target].ret != nil)
+	case *lang.Binary:
+		a, b := in.eval(l, v.L), in.eval(l, v.R)
+		switch v.Op {
+		case "+":
+			return a + b
+		case "-":
+			return a - b
+		case "*":
+			return a * b
+		case "/":
+			if b == 0 {
+				return 0
+			}
+			return a / b
+		case "%":
+			if b == 0 {
+				return 0
+			}
+			return a % b
+		case "<":
+			return b2i(a < b)
+		case "<=":
+			return b2i(a <= b)
+		case ">":
+			return b2i(a > b)
+		case ">=":
+			return b2i(a >= b)
+		case "==":
+			return b2i(a == b)
+		case "!=":
+			return b2i(a != b)
+		}
+	}
+	in.violate("task %d: unhandled expression %T", l, e)
+	return 0
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- store access with oracles ----------------------------------------------
+
+func (in *Interp) regionOfVar(name string) (rpl.RPL, bool) {
+	for _, v := range in.prog.Vars {
+		if v.Name == name {
+			return staticRegion(v.Region), true
+		}
+	}
+	return rpl.RPL{}, false
+}
+
+func (in *Interp) regionOfArrayElem(name string, idx int) (rpl.RPL, bool) {
+	for _, a := range in.prog.Arrays {
+		if a.Name == name {
+			return staticRegion(a.Region).Append(rpl.Idx(idx)), true
+		}
+	}
+	return rpl.RPL{}, false
+}
+
+// staticRegion resolves a declaration RPL (no parameters possible there).
+func staticRegion(e *lang.RPLExpr) rpl.RPL {
+	var elems []rpl.Elem
+	for _, el := range e.Elems {
+		switch el.Kind {
+		case lang.ElemName:
+			elems = append(elems, rpl.N(el.Name))
+		case lang.ElemStar:
+			elems = append(elems, rpl.Any)
+		case lang.ElemAnyIdx:
+			elems = append(elems, rpl.AnyIdx)
+		case lang.ElemIndex:
+			if n, ok := (el.Index).(*lang.Num); ok {
+				elems = append(elems, rpl.Idx(n.Value))
+			} else {
+				elems = append(elems, rpl.AnyIdx)
+			}
+		}
+	}
+	return rpl.New(elems...)
+}
+
+func (in *Interp) readGlobal(l int, name string) int {
+	if region, ok := in.regionOfVar(name); ok {
+		in.recordAccess(l, "v:"+name, effect.Read(region), false)
+		return in.globals[name]
+	}
+	in.violate("task %d read unknown name %q", l, name)
+	return 0
+}
+
+func (in *Interp) writeGlobal(l int, name string, v int) {
+	if region, ok := in.regionOfVar(name); ok {
+		in.recordAccess(l, "v:"+name, effect.WriteEff(region), true)
+		in.globals[name] = v
+		return
+	}
+	in.violate("task %d wrote unknown name %q", l, name)
+}
+
+func (in *Interp) readArray(l int, name string, idx int) int {
+	arr, ok := in.arrays[name]
+	if !ok || idx < 0 || idx >= len(arr) {
+		in.violate("task %d read %s[%d] out of range", l, name, idx)
+		return 0
+	}
+	region, _ := in.regionOfArrayElem(name, idx)
+	in.recordAccess(l, fmt.Sprintf("a:%s[%d]", name, idx), effect.Read(region), false)
+	return arr[idx]
+}
+
+func (in *Interp) writeArray(l int, name string, idx, v int) {
+	arr, ok := in.arrays[name]
+	if !ok || idx < 0 || idx >= len(arr) {
+		in.violate("task %d wrote %s[%d] out of range", l, name, idx)
+		return
+	}
+	region, _ := in.regionOfArrayElem(name, idx)
+	in.recordAccess(l, fmt.Sprintf("a:%s[%d]", name, idx), effect.WriteEff(region), true)
+	arr[idx] = v
+}
+
+// recordAccess enforces the covering oracle and the data-race oracle.
+func (in *Interp) recordAccess(l int, loc string, eff effect.Effect, write bool) {
+	c := in.cells[l]
+	if c != nil && !c.covering.Contains(eff) {
+		in.violate("task %d access %s with effect %v not covered by its covering effect %s",
+			l, loc, eff, c.covering)
+	}
+	for _, a := range in.accesses[loc] {
+		if a.task == l || (!a.write && !write) {
+			continue
+		}
+		if in.orderedTasks(a.task, l) {
+			continue
+		}
+		in.violate("data race on %s between tasks %d and %d", loc, a.task, l)
+	}
+	in.accesses[loc] = append(in.accesses[loc], access{task: l, write: write})
+}
+
+// orderedTasks reports whether two live tasks are ordered by blocking or
+// spawn ancestry (the permitted concurrent-conflict cases): a is blocked
+// (transitively) on b or on a spawn ancestor of b — in which case a cannot
+// resume until b's whole spawn family completed (Fig. 5.8's spawned-child
+// handling) — or vice versa, or they are spawn-related themselves.
+func (in *Interp) orderedTasks(a, b int) bool {
+	if in.blockedOnFamily(a, b) || in.blockedOnFamily(b, a) {
+		return true
+	}
+	return in.spawnRelated(a, b)
+}
+
+// blockedOnFamily reports that a is transitively blocked on b or on a task
+// whose spawn subtree contains b.
+func (in *Interp) blockedOnFamily(a, b int) bool {
+	ri, ok := in.running[a]
+	if !ok {
+		return true // a finished: ordered before b's later accesses
+	}
+	seen := map[int]bool{a: true}
+	work := make([]int, 0, len(ri.blockedOn))
+	for t := range ri.blockedOn {
+		work = append(work, t)
+	}
+	for len(work) > 0 {
+		t := work[0]
+		work = work[1:]
+		if t == b || in.isSpawnAncestor(t, b) {
+			return true
+		}
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if tri, ok := in.running[t]; ok {
+			for nb := range tri.blockedOn {
+				work = append(work, nb)
+			}
+		}
+	}
+	return false
+}
+
+// isSpawnAncestor reports that desc is in anc's spawn subtree.
+func (in *Interp) isSpawnAncestor(anc, desc int) bool {
+	seen := map[int]bool{}
+	var rec func(x int) bool
+	rec = func(x int) bool {
+		if x == desc {
+			return true
+		}
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+		if c, ok := in.cells[x]; ok {
+			for s := range c.spawned {
+				if rec(s) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if anc == desc {
+		return false
+	}
+	return rec(anc)
+}
+
+// blockedOnTrans walks the blocked-on chain from a, implementing the
+// paper's indirect-blocking rule lazily: the set of tasks a is blocked on
+// is the transitive closure over direct blocked-on edges.
+func (in *Interp) blockedOnTrans(a, b int) bool {
+	ri, ok := in.running[a]
+	if !ok {
+		return true // a finished: its accesses are ordered before b's
+	}
+	seen := map[int]bool{a: true}
+	work := make([]int, 0, len(ri.blockedOn))
+	for t := range ri.blockedOn {
+		work = append(work, t)
+	}
+	for len(work) > 0 {
+		t := work[0]
+		work = work[1:]
+		if t == b {
+			return true
+		}
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if tri, ok := in.running[t]; ok {
+			for nb := range tri.blockedOn {
+				work = append(work, nb)
+			}
+		}
+	}
+	return false
+}
+
+func (in *Interp) spawnRelated(a, b int) bool {
+	return in.isSpawnAncestor(a, b) || in.isSpawnAncestor(b, a)
+}
+
+// purgeAccesses drops a finished task's access records: subsequent
+// conflicting accesses are ordered after it through the scheduler's
+// happens-before edges (§3.3.2).
+func (in *Interp) purgeAccesses(l int) {
+	for loc, as := range in.accesses {
+		var keep []access
+		for _, a := range as {
+			if a.task != l {
+				keep = append(keep, a)
+			}
+		}
+		in.accesses[loc] = keep
+	}
+}
+
+// checkIsolation is the global invariant check after each transition: any
+// two running tasks must have non-interfering effects, unless one is
+// (transitively) blocked on the other or they are spawn-related.
+func (in *Interp) checkIsolation() {
+	ids := make([]int, 0, len(in.running))
+	for l := range in.running {
+		ids = append(ids, l)
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			a, b := ids[i], ids[j]
+			if in.running[a].eff.NonInterfering(in.running[b].eff) {
+				continue
+			}
+			if in.orderedTasks(a, b) {
+				continue
+			}
+			if in.spawnRelated(a, b) {
+				continue
+			}
+			in.violate("isolation: tasks %d [%v] and %d [%v] run concurrently with interfering effects",
+				a, in.running[a].eff, b, in.running[b].eff)
+		}
+	}
+}
+
+// --- task cell helpers --------------------------------------------------
+
+// current returns the next statement, unwinding finished blocks; nil when
+// the body is exhausted.
+func (c *cell) current() lang.Stmt {
+	for len(c.frames) > 0 {
+		f := &c.frames[len(c.frames)-1]
+		if f.pc < len(f.block.Stmts) {
+			return f.block.Stmts[f.pc]
+		}
+		c.frames = c.frames[:len(c.frames)-1]
+	}
+	return nil
+}
+
+// advance moves past the current statement.
+func (c *cell) advance() {
+	if len(c.frames) == 0 {
+		return
+	}
+	c.frames[len(c.frames)-1].pc++
+}
+
+// push enters a nested block.
+func (c *cell) push(b *lang.Block) {
+	c.frames = append(c.frames, frame{block: b})
+}
+
+// activeEnv returns the innermost call-frame environment, or the task env.
+func (c *cell) activeEnv() map[string]int {
+	for i := len(c.frames) - 1; i >= 0; i-- {
+		if c.frames[i].env != nil {
+			return c.frames[i].env
+		}
+	}
+	return c.env
+}
+
+// lookupEnv finds the environment binding name. Inline-call frames have
+// their own scope (params + locals) and do NOT see the caller's locals,
+// like the paper's methods; names not bound there resolve as globals.
+func (c *cell) lookupEnv(name string) (map[string]int, bool) {
+	env := c.activeEnv()
+	if _, ok := env[name]; ok {
+		return env, true
+	}
+	return nil, false
+}

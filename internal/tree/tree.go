@@ -1,0 +1,814 @@
+// Package tree implements the scalable tree-based scheduler for tasks with
+// hierarchical effects (dissertation Ch. 5; PACT 2015). The scheduler
+// maintains a tree mirroring the RPL tree: one node per wildcard-free RPL
+// prefix. Every effect is held at the node of the maximal wildcard-free
+// prefix of its RPL (or higher, while waiting), which gives the two
+// properties that make the scheduler scale:
+//
+//  1. An effect can conflict only with effects at the same node, its
+//     ancestors, or (for wildcard effects) its descendants — effects in
+//     sibling subtrees need never be compared (§5.3).
+//  2. Scheduling operations lock individual tree nodes hand-over-hand,
+//     strictly top-down, so operations on disjoint subtrees proceed
+//     concurrently (§5.3.1).
+//
+// The implementation follows the paper's pseudocode: insert (Fig. 5.4),
+// addEffect/removeEffect (5.5), checkAt (5.6), checkBelow (5.7), conflicts
+// (5.8) with blockedOn (5.9) via the core blocker chain, enable/tryDisable
+// (5.10) over an atomic disabled-effect counter whose negative^Whigh range
+// encodes the rechecking flag, await-driven prioritization (5.11),
+// recheckTask/recheckEffect (5.12), lockContainingNode (5.13), and taskDone
+// (5.14). It also implements the §5.5.3 optimization of partitioning each
+// node's effects into six sets so conflict checks skip sets that provably
+// cannot conflict, and the §5.4 liveness safety net that prioritizes an
+// arbitrary waiting task if ever no task is enabled.
+package tree
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"twe/internal/core"
+	"twe/internal/rpl"
+)
+
+// set indices for the six per-node effect sets (§5.5.3).
+const (
+	setEnabledReadTail = iota
+	setEnabledReadNoTail
+	setEnabledWriteTail
+	setEnabledWriteNoTail
+	setDisabledRead
+	setDisabledWrite
+	numSets
+)
+
+// effInst is one effect of one task execution, tracked by the scheduler
+// (the Effect record of Fig. 5.3).
+type effInst struct {
+	write bool
+	r     rpl.RPL
+	fut   *core.Future
+
+	// node is the tree node currently containing the effect; read lock-free
+	// by lockContainingNode, written under the containing node's lock.
+	node atomic.Pointer[node]
+	// enabled and waiters are guarded by the containing node's lock.
+	enabled bool
+	waiters map[*effInst]struct{}
+	// setIdx is the index of the per-node set holding the effect; guarded
+	// by the containing node's lock.
+	setIdx int
+}
+
+// node is a scheduler-tree node (Fig. 5.3). Its lock guards its effect
+// sets, its children map, and the enabled/waiters/setIdx fields of effects
+// it contains. The root node of an optimized scheduler uses a read-write
+// lock (§5.5.2): inserts that merely pass through the root take the read
+// lock and look children up in a lock-free concurrent map, so concurrent
+// task submissions do not serialize on the root.
+type node struct {
+	mu    sync.Mutex
+	rw    *sync.RWMutex // non-nil only at an RW-optimized root
+	depth int
+	elem  rpl.Elem // edge label from parent; zero at root
+	// children is guarded by the node lock; the RW root uses childSync
+	// instead so lookups are safe under the read lock.
+	children  map[rpl.Elem]*node
+	childSync *sync.Map // rpl.Elem → *node; non-nil iff rw != nil
+	sets      [numSets]map[*effInst]struct{}
+	// enabledTail counts effects in the two enabled-with-tail sets; at the
+	// RW root a nonzero value forces writers onto the write-lock path
+	// because pass-through effects could conflict with them (§5.5.2).
+	enabledTail atomic.Int32
+}
+
+func newNode(depth int, elem rpl.Elem) *node {
+	return &node{depth: depth, elem: elem}
+}
+
+// lock acquires the node exclusively (write lock at the RW root).
+func (n *node) lock() {
+	if n.rw != nil {
+		n.rw.Lock()
+	} else {
+		n.mu.Lock()
+	}
+}
+
+// unlock releases an exclusive hold.
+func (n *node) unlock() {
+	if n.rw != nil {
+		n.rw.Unlock()
+	} else {
+		n.mu.Unlock()
+	}
+}
+
+// getOrCreateChild returns the child for elem, creating it if absent. The
+// caller must hold the node exclusively — or, at the RW root, at least the
+// read lock (childSync is internally synchronized).
+func (n *node) getOrCreateChild(elem rpl.Elem) *node {
+	if n.childSync != nil {
+		if c, ok := n.childSync.Load(elem); ok {
+			return c.(*node)
+		}
+		c, _ := n.childSync.LoadOrStore(elem, newNode(n.depth+1, elem))
+		return c.(*node)
+	}
+	if n.children == nil {
+		n.children = make(map[rpl.Elem]*node)
+	}
+	c, ok := n.children[elem]
+	if !ok {
+		c = newNode(n.depth+1, elem)
+		n.children[elem] = c
+	}
+	return c
+}
+
+// sortedChildren returns the children in a deterministic order so sibling
+// locks are always acquired consistently (§5.5.2). Caller holds the node
+// (exclusively, or read-locked at the RW root).
+func (n *node) sortedChildren() []*node {
+	var out []*node
+	if n.childSync != nil {
+		n.childSync.Range(func(_, v any) bool {
+			out = append(out, v.(*node))
+			return true
+		})
+	} else {
+		out = make([]*node, 0, len(n.children))
+		for _, c := range n.children {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return compareElem(out[i].elem, out[j].elem) < 0
+	})
+	return out
+}
+
+func compareElem(a, b rpl.Elem) int {
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind)
+	}
+	switch {
+	case a.Name < b.Name:
+		return -1
+	case a.Name > b.Name:
+		return 1
+	case a.Index < b.Index:
+		return -1
+	case a.Index > b.Index:
+		return 1
+	}
+	return 0
+}
+
+// placement computes the six-set index for an effect held at node n.
+func (n *node) placement(e *effInst) int {
+	if !e.enabled {
+		if e.write {
+			return setDisabledWrite
+		}
+		return setDisabledRead
+	}
+	tail := e.r.Len() > n.depth
+	switch {
+	case e.write && tail:
+		return setEnabledWriteTail
+	case e.write:
+		return setEnabledWriteNoTail
+	case tail:
+		return setEnabledReadTail
+	default:
+		return setEnabledReadNoTail
+	}
+}
+
+// add places e at n (addEffect, Fig. 5.5). Caller holds the node lock.
+func (n *node) add(e *effInst) {
+	idx := n.placement(e)
+	if n.sets[idx] == nil {
+		n.sets[idx] = make(map[*effInst]struct{})
+	}
+	n.sets[idx][e] = struct{}{}
+	e.setIdx = idx
+	e.node.Store(n)
+	if idx == setEnabledReadTail || idx == setEnabledWriteTail {
+		n.enabledTail.Add(1)
+	}
+}
+
+// remove deletes e from n (removeEffect, Fig. 5.5). Caller holds the node
+// lock.
+func (n *node) remove(e *effInst) {
+	delete(n.sets[e.setIdx], e)
+	if e.setIdx == setEnabledReadTail || e.setIdx == setEnabledWriteTail {
+		n.enabledTail.Add(-1)
+	}
+}
+
+// replace re-files e after its enabled flag changed. Caller holds n.mu.
+func (n *node) replace(e *effInst) {
+	n.remove(e)
+	n.add(e)
+}
+
+// futState is the scheduler's per-future record (the TaskFuture fields of
+// Fig. 5.3 that TWEJava keeps on the future object).
+type futState struct {
+	effs []*effInst
+	// disabled counts not-yet-enabled effects. recheckTask adds
+	// recheckOffset while rechecking, which blocks tryDisable (the paper's
+	// "special range of values" encoding of the rechecking flag).
+	disabled atomic.Int64
+}
+
+const recheckOffset = int64(1) << 32
+
+func stateOf(f *core.Future) *futState {
+	if f == nil || f.SchedState == nil {
+		return nil
+	}
+	st, _ := f.SchedState.(*futState)
+	return st
+}
+
+// Scheduler is the tree-based TWE scheduler. Create with New and pass to
+// core.NewRuntime.
+type Scheduler struct {
+	root *node
+	// recheckMu is the global recheck lock: only one task's effects are
+	// rechecked at a time, preventing interleaved rechecks of conflicting
+	// tasks from disabling each other forever (Fig. 5.12).
+	recheckMu sync.Mutex
+
+	// Liveness safety net (§5.3.2): if no task is enabled while waiting
+	// tasks exist, prioritize and recheck one arbitrary (oldest) waiter.
+	liveMu       sync.Mutex
+	waiting      map[*core.Future]struct{}
+	enabledCount int
+
+	// Instrumentation (cheap atomics) for the scalability claims of §5.3:
+	// how many pairwise effect comparisons the scheduler performed, and how
+	// many inserts took the root fast path.
+	conflictChecks atomic.Int64
+	fastInserts    atomic.Int64
+	slowInserts    atomic.Int64
+}
+
+// Stats is a snapshot of scheduler instrumentation counters.
+type Stats struct {
+	// ConflictChecks counts invocations of the conflicts() predicate —
+	// the per-pair effect comparisons the tree structure exists to avoid.
+	ConflictChecks int64
+	// FastInserts / SlowInserts count Submit calls that took the §5.5.2
+	// root read-lock fast path vs the write-lock path.
+	FastInserts, SlowInserts int64
+}
+
+// Stats returns the current instrumentation counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		ConflictChecks: s.conflictChecks.Load(),
+		FastInserts:    s.fastInserts.Load(),
+		SlowInserts:    s.slowInserts.Load(),
+	}
+}
+
+// Options configure the scheduler; the zero value enables all paper
+// optimizations.
+type Options struct {
+	// DisableRootRW turns off the §5.5.2 root read-write-lock fast path
+	// (used by the ablation benchmarks).
+	DisableRootRW bool
+}
+
+// New returns an empty tree scheduler with all optimizations enabled.
+func New() *Scheduler { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns an empty tree scheduler with explicit options.
+func NewWithOptions(opts Options) *Scheduler {
+	root := newNode(0, rpl.Elem{})
+	if !opts.DisableRootRW {
+		root.rw = new(sync.RWMutex)
+		root.childSync = new(sync.Map)
+	}
+	return &Scheduler{
+		root:    root,
+		waiting: make(map[*core.Future]struct{}),
+	}
+}
+
+var _ core.Scheduler = (*Scheduler)(nil)
+
+// Submit inserts the future's effects starting at the root (executeLater).
+func (s *Scheduler) Submit(f *core.Future) {
+	effSet := f.Effects()
+	st := &futState{}
+	for _, e := range effSet.Effects() {
+		st.effs = append(st.effs, &effInst{write: e.Write, r: e.Region, fut: f})
+	}
+	st.disabled.Store(int64(len(st.effs)))
+	f.SchedState = st
+
+	if len(st.effs) == 0 {
+		// A pure task conflicts with nothing.
+		s.liveMu.Lock()
+		s.enabledCount++
+		s.liveMu.Unlock()
+		f.Ready()
+		return
+	}
+
+	s.liveMu.Lock()
+	s.waiting[f] = struct{}{}
+	s.liveMu.Unlock()
+
+	prio := f.Status() == core.Prioritized // the execute optimization, §5.5.1
+	if s.root.rw != nil && s.tryFastInsert(st.effs, prio) {
+		s.fastInserts.Add(1)
+		s.ensureLiveness()
+		return
+	}
+	s.slowInserts.Add(1)
+	s.root.lock()
+	s.insert(s.root, st.effs, 0, prio)
+	s.ensureLiveness()
+}
+
+// tryFastInsert is the §5.5.2 fast path: when every effect passes through
+// the root (its RPL starts with a concrete element) and the root holds no
+// enabled effects with tails that a pass-through could conflict with, the
+// insert needs only the root's read lock. Child nodes are still locked in
+// sorted order, so concurrent fast inserts cannot deadlock.
+func (s *Scheduler) tryFastInsert(effs []*effInst, prio bool) bool {
+	for _, e := range effs {
+		if e.r.Len() == 0 || e.r.Elem(0).IsWildcard() {
+			return false // lands at the root: write path
+		}
+	}
+	root := s.root
+	root.rw.RLock()
+	if root.enabledTail.Load() != 0 {
+		// A wildcard effect sits at the root; pass-through inserts must
+		// check against it under the write lock.
+		root.rw.RUnlock()
+		return false
+	}
+	effectsBelow := make(map[*node][]*effInst)
+	for _, e := range effs {
+		child := root.getOrCreateChild(e.r.Elem(0))
+		effectsBelow[child] = append(effectsBelow[child], e)
+	}
+	children := make([]*node, 0, len(effectsBelow))
+	for c := range effectsBelow {
+		children = append(children, c)
+	}
+	sort.Slice(children, func(i, j int) bool {
+		return compareElem(children[i].elem, children[j].elem) < 0
+	})
+	for _, c := range children {
+		c.lock()
+	}
+	root.rw.RUnlock()
+	for _, c := range children {
+		s.insert(c, effectsBelow[c], 1, prio)
+	}
+	return true
+}
+
+// NotifyBlocked implements the await prioritization of Fig. 5.11: the
+// blocked-on chain is walked and every not-yet-enabled task on it is
+// rechecked, which lets effect transfer enable it.
+func (s *Scheduler) NotifyBlocked(caller, target *core.Future) {
+	target.CompareAndSwapStatus(core.Waiting, core.Prioritized)
+	for tbl := target; tbl != nil; tbl = tbl.Blocker() {
+		if tbl.Status() < core.Enabled {
+			if st := stateOf(tbl); st != nil {
+				tbl.CompareAndSwapStatus(core.Waiting, core.Prioritized)
+				s.recheckTask(tbl, st)
+			}
+		}
+	}
+}
+
+// Done removes the finished task's effects from the tree and re-checks the
+// effects that were waiting on them (taskDone, Fig. 5.14).
+func (s *Scheduler) Done(f *core.Future) {
+	st := stateOf(f)
+	if st == nil {
+		return
+	}
+	for _, e := range st.effs {
+		n := s.lockContainingNode(e)
+		n.remove(e)
+		// Snapshot-and-clear waiters inside the same critical section as
+		// the removal: checkAt/checkBelow add waiters only while holding
+		// this node's lock and only for effects still present, so no
+		// wakeup can be lost.
+		waiters := make([]*effInst, 0, len(e.waiters))
+		for w := range e.waiters {
+			waiters = append(waiters, w)
+		}
+		e.waiters = nil
+		n.unlock()
+		// Recheck oldest-first: conflicting waiters are admitted in task
+		// age order, the fairness §3.1.3 asks of schedulers for
+		// interactive programs ("avoid delaying the execution of one task
+		// excessively while other tasks execute ahead of it").
+		sort.Slice(waiters, func(i, j int) bool {
+			return waiters[i].fut.Seq() < waiters[j].fut.Seq()
+		})
+
+		for _, w := range waiters {
+			nw := s.lockContainingNode(w)
+			if !w.enabled && w.fut.Status() < core.Done {
+				prio := w.fut.Status() == core.Prioritized
+				s.recheckEffect(w, nw, prio)
+				if prio && w.fut.Status() == core.Prioritized {
+					// Rechecking the single effect did not enable the task;
+					// recheck all its effects (some may have been disabled).
+					if wst := stateOf(w.fut); wst != nil {
+						s.recheckTask(w.fut, wst)
+					}
+				}
+			} else {
+				nw.unlock()
+			}
+		}
+	}
+
+	s.liveMu.Lock()
+	s.enabledCount--
+	s.liveMu.Unlock()
+	s.ensureLiveness()
+}
+
+// --- insertion (Fig. 5.4) ------------------------------------------------
+
+// insert processes effects at node n, which must be locked on entry and is
+// unlocked before recursing into children.
+func (s *Scheduler) insert(n *node, effs []*effInst, depth int, prio bool) {
+	effectsBelow := make(map[*node][]*effInst)
+	for _, e := range effs {
+		if e.r.Len() == depth || e.r.Elem(depth).IsWildcard() {
+			// n is the maximal wildcard-free prefix node: the effect lives
+			// here permanently (while this placement holds).
+			n.add(e)
+			if !s.checkAt(n, e, prio) {
+				if !s.checkBelow(n, e, n, prio) {
+					s.enable(e, n)
+				}
+			}
+		} else {
+			if s.checkAt(n, e, prio) {
+				n.add(e) // wait here; recheck will move it down later
+			} else {
+				child := n.getOrCreateChild(e.r.Elem(depth))
+				effectsBelow[child] = append(effectsBelow[child], e)
+			}
+		}
+	}
+	children := make([]*node, 0, len(effectsBelow))
+	for c := range effectsBelow {
+		children = append(children, c)
+	}
+	sort.Slice(children, func(i, j int) bool {
+		return compareElem(children[i].elem, children[j].elem) < 0
+	})
+	for _, c := range children {
+		c.lock()
+	}
+	n.unlock()
+	for _, c := range children {
+		s.insert(c, effectsBelow[c], depth+1, prio)
+	}
+}
+
+// --- conflict checking (Figs. 5.6–5.8) ------------------------------------
+
+// checkAt tests e against the enabled effects at n (Fig. 5.6), using only
+// the six-set subsets that can possibly conflict (§5.5.3): read effects
+// skip other reads, and an effect passing through n on the way to a deeper
+// node can only conflict with effects that have a tail beyond n's prefix.
+// Caller holds n.mu and the lock of e's containing node (if e is placed).
+func (s *Scheduler) checkAt(n *node, e *effInst, prio bool) bool {
+	// passing-through: e continues below n with a concrete element.
+	passing := e.r.Len() > n.depth && !e.r.Elem(n.depth).IsWildcard()
+	var idxs []int
+	if e.write {
+		if passing {
+			idxs = []int{setEnabledReadTail, setEnabledWriteTail}
+		} else {
+			idxs = []int{setEnabledReadTail, setEnabledReadNoTail, setEnabledWriteTail, setEnabledWriteNoTail}
+		}
+	} else {
+		if passing {
+			idxs = []int{setEnabledWriteTail}
+		} else {
+			idxs = []int{setEnabledWriteTail, setEnabledWriteNoTail}
+		}
+	}
+	for _, idx := range idxs {
+		for ep := range n.sets[idx] {
+			if !ep.enabled || !s.conflicts(ep, e) {
+				continue
+			}
+			if prio && s.tryDisable(ep, n) {
+				if e.waiters == nil {
+					e.waiters = make(map[*effInst]struct{})
+				}
+				e.waiters[ep] = struct{}{}
+				continue
+			}
+			if ep.waiters == nil {
+				ep.waiters = make(map[*effInst]struct{})
+			}
+			ep.waiters[e] = struct{}{}
+			return true
+		}
+	}
+	return false
+}
+
+// checkBelow tests e (held at ne) against all effects in the subtrees below
+// n (Fig. 5.7). Conflicting disabled effects are hoisted up to ne so that a
+// later recheck starting at ne will encounter e. Caller holds n.mu and
+// ne.mu; children are locked hand-over-hand.
+func (s *Scheduler) checkBelow(n *node, e *effInst, ne *node, prio bool) bool {
+	if !e.r.HasWildcard() {
+		// A wildcard-free RPL is disjoint from every RPL with a longer
+		// wildcard-free prefix.
+		return false
+	}
+	for _, child := range n.sortedChildren() {
+		child.lock()
+		conflictFound := false
+		// Snapshot: hoisting mutates the sets during iteration.
+		var all []*effInst
+		for idx := range child.sets {
+			if !e.write && (idx == setEnabledReadTail || idx == setEnabledReadNoTail || idx == setDisabledRead) {
+				continue // read effect cannot conflict with reads
+			}
+			for ep := range child.sets[idx] {
+				all = append(all, ep)
+			}
+		}
+		for _, ep := range all {
+			if !s.conflicts(ep, e) {
+				continue
+			}
+			if !ep.enabled || (prio && s.tryDisable(ep, child)) {
+				// Move the (now) disabled conflicting effect up to ne and
+				// remember it as a waiter of e.
+				if e.waiters == nil {
+					e.waiters = make(map[*effInst]struct{})
+				}
+				e.waiters[ep] = struct{}{}
+				child.remove(ep)
+				ne.add(ep)
+			} else {
+				if ep.waiters == nil {
+					ep.waiters = make(map[*effInst]struct{})
+				}
+				ep.waiters[e] = struct{}{}
+				conflictFound = true
+				break
+			}
+		}
+		if !conflictFound {
+			conflictFound = s.checkBelow(child, e, ne, prio)
+		}
+		child.unlock()
+		if conflictFound {
+			return true
+		}
+	}
+	return false
+}
+
+// conflicts implements Fig. 5.8: effects of the same task never conflict;
+// otherwise two effects conflict unless both are reads or their RPLs are
+// disjoint; and conflicts with a task blocked (directly or transitively) on
+// the new effect's task are forgiven — unless a spawned child of the
+// blocked task still holds a conflicting effect.
+func (s *Scheduler) conflicts(ep, e *effInst) bool {
+	s.conflictChecks.Add(1)
+	if ep.fut == e.fut {
+		return false
+	}
+	if (!ep.write && !e.write) || ep.r.Disjoint(e.r) {
+		return false
+	}
+	if ep.fut.BlockedOn(e.fut) {
+		return spawnedConflicts(ep.fut, e)
+	}
+	return true
+}
+
+// spawnedConflicts checks the effects of blocked's spawned (unjoined)
+// descendants against e (Fig. 5.8 lines 7–10).
+func spawnedConflicts(blocked *core.Future, e *effInst) bool {
+	for _, child := range blocked.SpawnedChildren() {
+		for _, ce := range child.Effects().Effects() {
+			if (ce.Write || e.write) && !ce.Region.Disjoint(e.r) {
+				return true
+			}
+		}
+		if spawnedConflicts(child, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- enabling and disabling (Fig. 5.10) -----------------------------------
+
+// enable marks e enabled; if it was the task's last disabled effect the
+// task is handed to the execution pool. Caller holds n.mu (= e's node).
+func (s *Scheduler) enable(e *effInst, n *node) {
+	if e.enabled {
+		return
+	}
+	e.enabled = true
+	n.replace(e)
+	st := stateOf(e.fut)
+	v := st.disabled.Add(-1)
+	if v == 0 || v == recheckOffset {
+		s.liveMu.Lock()
+		delete(s.waiting, e.fut)
+		s.enabledCount++
+		s.liveMu.Unlock()
+		e.fut.Ready()
+	}
+}
+
+// tryDisable attempts to take an enabled effect away from a task that is
+// not yet fully enabled and not being rechecked. Caller holds n.mu (= ep's
+// node).
+func (s *Scheduler) tryDisable(ep *effInst, n *node) bool {
+	st := stateOf(ep.fut)
+	for {
+		v := st.disabled.Load()
+		if v < 1 || v >= recheckOffset {
+			// v == 0: all effects enabled, task already submitted.
+			// v >= offset: task is being rechecked.
+			return false
+		}
+		if st.disabled.CompareAndSwap(v, v+1) {
+			ep.enabled = false
+			n.replace(ep)
+			return true
+		}
+	}
+}
+
+// --- rechecking (Figs. 5.12–5.13) ------------------------------------------
+
+// recheckTask re-examines every disabled effect of t under the global
+// recheck lock (Fig. 5.12).
+func (s *Scheduler) recheckTask(t *core.Future, st *futState) {
+	s.recheckMu.Lock()
+	st.disabled.Add(recheckOffset) // set the rechecking flag
+	for _, e := range st.effs {
+		n := s.lockContainingNode(e)
+		if !e.enabled {
+			s.recheckEffect(e, n, true)
+			if t.Status() >= core.Enabled {
+				break
+			}
+		} else {
+			n.unlock()
+		}
+	}
+	st.disabled.Add(-recheckOffset)
+	s.recheckMu.Unlock()
+}
+
+// recheckEffect re-checks a single disabled effect, moving it down toward
+// the node of its maximal wildcard-free prefix as long as it has no
+// conflicts (Fig. 5.12). n is e's containing node, locked on entry;
+// recheckEffect unlocks it (or its successor) before returning.
+func (s *Scheduler) recheckEffect(e *effInst, n *node, prio bool) {
+	for {
+		if s.checkAt(n, e, prio) {
+			n.unlock()
+			return
+		}
+		d := n.depth
+		if e.r.Len() == d || e.r.Elem(d).IsWildcard() {
+			if !s.checkBelow(n, e, n, prio) {
+				s.enable(e, n)
+			}
+			n.unlock()
+			return
+		}
+		n.remove(e)
+		next := n.getOrCreateChild(e.r.Elem(d))
+		next.lock()
+		next.add(e)
+		n.unlock()
+		n = next
+	}
+}
+
+// lockContainingNode locks the node currently holding e (Fig. 5.13),
+// retrying if the effect moved between the load and the lock. The nil
+// retry is the pseudocode's "if n = null then goto 2": a concurrent
+// Submit has registered the effect but not yet placed it in the tree.
+func (s *Scheduler) lockContainingNode(e *effInst) *node {
+	for {
+		n := e.node.Load()
+		if n == nil {
+			runtime.Gosched()
+			continue
+		}
+		n.lock()
+		if e.node.Load() == n {
+			return n
+		}
+		n.unlock()
+	}
+}
+
+// --- liveness safety net ---------------------------------------------------
+
+// ensureLiveness prioritizes and rechecks the oldest waiting task if no
+// task is currently enabled (§5.3.2: "we can also prioritize and recheck an
+// arbitrary task in the very rare case that there are waiting tasks
+// remaining but no tasks currently running").
+func (s *Scheduler) ensureLiveness() {
+	for {
+		s.liveMu.Lock()
+		if s.enabledCount > 0 || len(s.waiting) == 0 {
+			s.liveMu.Unlock()
+			return
+		}
+		var oldest *core.Future
+		for f := range s.waiting {
+			if f.Status() >= core.Enabled || f.IsDone() {
+				continue
+			}
+			if oldest == nil || f.Seq() < oldest.Seq() {
+				oldest = f
+			}
+		}
+		s.liveMu.Unlock()
+		if oldest == nil {
+			return
+		}
+		oldest.CompareAndSwapStatus(core.Waiting, core.Prioritized)
+		if st := stateOf(oldest); st != nil {
+			s.recheckTask(oldest, st)
+		}
+		// A prioritized recheck while nothing is enabled always succeeds
+		// (every conflicting enabled effect belongs to a non-fully-enabled
+		// task and is disablable), so this loop terminates.
+		if oldest.Status() >= core.Enabled {
+			return
+		}
+	}
+}
+
+// --- introspection (tests, benchmarks) --------------------------------------
+
+// NodeCount walks the tree and returns the number of nodes; used by tests.
+func (s *Scheduler) NodeCount() int {
+	var count func(n *node) int
+	count = func(n *node) int {
+		n.lock()
+		kids := n.sortedChildren()
+		n.unlock()
+		total := 1
+		for _, c := range kids {
+			total += count(c)
+		}
+		return total
+	}
+	return count(s.root)
+}
+
+// PendingEffects returns the number of effects currently held in the tree;
+// zero after quiescence.
+func (s *Scheduler) PendingEffects() int {
+	var count func(n *node) int
+	count = func(n *node) int {
+		n.lock()
+		total := 0
+		for i := range n.sets {
+			total += len(n.sets[i])
+		}
+		kids := n.sortedChildren()
+		n.unlock()
+		for _, c := range kids {
+			total += count(c)
+		}
+		return total
+	}
+	return count(s.root)
+}
