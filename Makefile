@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet fuzz check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+# Pinned-seed differential fuzz smoke (see DESIGN.md §6).
+fuzz:
+	$(GO) run ./cmd/twe-fuzz -seed 0 -n 300 -schedules 2 -timeout 20s
+
+check:
+	./ci.sh

@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI gate: vet, full build, race-enabled tests, and a pinned-seed
+# differential fuzz smoke. Run via `make check` or directly.
+set -eu
+
+echo '== go vet =='
+go vet ./...
+
+echo '== go build =='
+go build ./...
+
+echo '== go test (tier 1) =='
+go test ./...
+
+echo '== go test -race internal =='
+go test -race ./internal/...
+
+# Differential fuzz smoke: pinned seed range so the run is reproducible and
+# bounded (~30s incl. build); any divergence exits non-zero with a replay
+# command line.
+echo '== twe-fuzz smoke =='
+go run ./cmd/twe-fuzz -seed 0 -n 300 -schedules 2 -timeout 20s
+
+echo 'ci: OK'

@@ -1,0 +1,110 @@
+// Command twe-fuzz is the deterministic schedule-fuzzing and
+// differential-replay harness for the TWE schedulers (internal/schedfuzz).
+//
+// Fuzz mode generates one random-but-reproducible TWEL program per seed and
+// runs it differentially: an analytic expected store, the formal-semantics
+// interpreter, and the naive and tree schedulers across several perturbed
+// schedules, all under the isolation oracle. Any divergence prints as a
+// replayable (seed, schedule, scheduler) triple and the command exits 1.
+//
+// Usage:
+//
+//	twe-fuzz [-seed N] [-n COUNT] [-schedules K] [-par P] [-timeout D]
+//	         [-schedule M] [-sched naive|tree] [-shrink] [-budget B]
+//	         [-dump] [-v]
+//
+// Fuzzing a range:       twe-fuzz -seed 0 -n 1000
+// Replaying a failure:   twe-fuzz -seed 42 -schedule 3 -sched tree
+// Inspecting a program:  twe-fuzz -seed 42 -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"twe/internal/lang"
+	"twe/internal/schedfuzz"
+)
+
+func main() {
+	seed := flag.Int64("seed", 0, "first seed (the program generator is a pure function of the seed)")
+	n := flag.Int("n", 100, "number of seeds to fuzz (ignored when -schedule or -sched is given)")
+	schedules := flag.Int("schedules", 3, "perturbed schedules per scheduler, in addition to the unperturbed schedule 0")
+	par := flag.Int("par", 4, "runtime worker parallelism")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-execution timeout before reporting a suspected deadlock")
+	schedule := flag.Int("schedule", -1, "replay only this schedule index for -seed (-1 = sweep all)")
+	sched := flag.String("sched", "", "replay only this scheduler: naive or tree (empty = both)")
+	shrink := flag.Bool("shrink", false, "on failure, greedily shrink the failing program and print the minimized source")
+	budget := flag.Int("budget", 200, "shrink budget: max differential re-runs while minimizing")
+	dump := flag.Bool("dump", false, "print the generated TWEL program for -seed and exit")
+	verbose := flag.Bool("v", false, "print per-seed progress")
+	flag.Parse()
+
+	if *sched != "" && *sched != "naive" && *sched != "tree" {
+		fmt.Fprintf(os.Stderr, "twe-fuzz: unknown scheduler %q (want naive or tree)\n", *sched)
+		os.Exit(2)
+	}
+
+	cfg := schedfuzz.Config{Schedules: *schedules, Parallelism: *par, Timeout: *timeout}
+
+	if *dump {
+		spec := schedfuzz.Generate(*seed)
+		prog, err := schedfuzz.Render(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "twe-fuzz: seed %d: %v\n", *seed, err)
+			os.Exit(1)
+		}
+		fmt.Printf("// seed %d: %d tasks, %d instances\n%s", *seed, len(spec.Tasks), spec.Instances(), lang.Format(prog))
+		return
+	}
+
+	// Replay mode: a single seed, optionally pinned to one scheduler and
+	// one schedule index.
+	if *schedule >= 0 || *sched != "" {
+		fails := schedfuzz.Replay(*seed, *sched, *schedule, cfg)
+		report(fails, cfg, *shrink, *budget)
+		if len(fails) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("seed %d: ok\n", *seed)
+		return
+	}
+
+	start := time.Now()
+	progress := func(s int64, fails []*schedfuzz.Failure) {
+		if *verbose {
+			status := "ok"
+			if len(fails) > 0 {
+				status = fmt.Sprintf("%d FAILURE(S)", len(fails))
+			}
+			fmt.Printf("seed %d: %s\n", s, status)
+		}
+	}
+	rep := schedfuzz.Fuzz(*seed, *n, cfg, progress)
+	fmt.Printf("fuzzed %d programs (%d task instances) in %v: %d failure(s)\n",
+		rep.Programs, rep.Instances, time.Since(start).Round(time.Millisecond), len(rep.Failures))
+	report(rep.Failures, cfg, *shrink, *budget)
+	if len(rep.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// report prints each failure with its replay command line, shrinking the
+// first failing seed when requested.
+func report(fails []*schedfuzz.Failure, cfg schedfuzz.Config, shrink bool, budget int) {
+	shrunkSeeds := map[int64]bool{}
+	for _, f := range fails {
+		fmt.Printf("FAIL %v\n", f)
+		fmt.Printf("     replay: twe-fuzz -seed %d -schedule %d -sched %s\n", f.Seed, f.Schedule, f.Scheduler)
+		if !shrink || shrunkSeeds[f.Seed] || f.Scheduler == "gen" || f.Scheduler == "interp" {
+			continue
+		}
+		shrunkSeeds[f.Seed] = true
+		min := schedfuzz.Shrink(schedfuzz.Generate(f.Seed), cfg, budget)
+		if prog, err := schedfuzz.Render(min); err == nil {
+			fmt.Printf("     shrunk program (still failing):\n%s", lang.Format(prog))
+		}
+	}
+}

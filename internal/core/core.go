@@ -282,11 +282,47 @@ func (nopMonitor) OnBlock(*Future)   {}
 func (nopMonitor) OnUnblock(*Future) {}
 func (nopMonitor) OnFinish(*Future)  {}
 
+// YieldPoint identifies a controlled-preemption point in the runtime: the
+// instants at which a schedule-fuzzing harness may perturb the interleaving
+// without changing what the runtime is allowed to do. The points bracket the
+// transitions a Monitor observes, plus task submission.
+type YieldPoint uint8
+
+const (
+	// PointSubmit: a future is about to be handed to the scheduler.
+	PointSubmit YieldPoint = iota
+	// PointStart: a future's body is about to start executing.
+	PointStart
+	// PointBlock: a task is about to block in getValue/join.
+	PointBlock
+	// PointUnblock: a blocked task is about to resume.
+	PointUnblock
+	// PointFinish: a body returned; its effects are about to be released.
+	PointFinish
+)
+
+func (p YieldPoint) String() string {
+	switch p {
+	case PointSubmit:
+		return "submit"
+	case PointStart:
+		return "start"
+	case PointBlock:
+		return "block"
+	case PointUnblock:
+		return "unblock"
+	case PointFinish:
+		return "finish"
+	}
+	return fmt.Sprintf("YieldPoint(%d)", uint8(p))
+}
+
 // Runtime ties a scheduler to an execution pool (§3.4.2).
 type Runtime struct {
 	pool    *pool.Pool
 	sched   Scheduler
 	monitor Monitor
+	yield   func(f *Future, p YieldPoint)
 	seq     atomic.Uint64
 }
 
@@ -295,6 +331,23 @@ type Option func(*Runtime)
 
 // WithMonitor installs a lifecycle monitor.
 func WithMonitor(m Monitor) Option { return func(rt *Runtime) { rt.monitor = m } }
+
+// WithYield installs a controlled-preemption hook, called at each
+// YieldPoint with the future making the transition. The hook may delay the
+// calling goroutine (runtime.Gosched, short sleeps) to steer the runtime
+// through different interleavings, but must not call back into the runtime.
+// Schedule fuzzing (internal/schedfuzz) uses it; production runtimes leave
+// it unset, which costs a single nil check per transition.
+func WithYield(fn func(f *Future, p YieldPoint)) Option {
+	return func(rt *Runtime) { rt.yield = fn }
+}
+
+// yieldAt invokes the controlled-preemption hook, if any.
+func (rt *Runtime) yieldAt(f *Future, p YieldPoint) {
+	if rt.yield != nil {
+		rt.yield(f, p)
+	}
+}
 
 // NewRuntime builds a runtime around the given scheduler with the given
 // parallelism (0 = GOMAXPROCS). The scheduler must have been constructed
@@ -339,6 +392,7 @@ func (rt *Runtime) newFuture(t *Task, arg any) *Future {
 // operation) and returns its future.
 func (rt *Runtime) ExecuteLater(t *Task, arg any) *Future {
 	f := rt.newFuture(t, arg)
+	rt.yieldAt(f, PointSubmit)
 	rt.sched.Submit(f)
 	return f
 }
@@ -354,6 +408,7 @@ func (rt *Runtime) GetValue(f *Future) (any, error) {
 func (rt *Runtime) Execute(t *Task, arg any) (any, error) {
 	f := rt.newFuture(t, arg)
 	f.status.Store(int32(Prioritized))
+	rt.yieldAt(f, PointSubmit)
 	rt.sched.Submit(f)
 	return rt.getValue(nil, f)
 }
@@ -404,6 +459,7 @@ func (f *Future) Ready() {
 // implicit join of unjoined spawned children (§3.1.5), publishes the
 // result, and notifies the scheduler.
 func (rt *Runtime) runBody(f *Future) {
+	rt.yieldAt(f, PointStart)
 	rt.monitor.OnRun(f)
 	f.coverMu.Lock()
 	f.covering = compound.NewBase(f.eff)
@@ -429,6 +485,7 @@ func (rt *Runtime) runBody(f *Future) {
 	}
 
 	f.result, f.err = res, err
+	rt.yieldAt(f, PointFinish)
 	// OnFinish must precede the Done store: schedulers treat a Done status
 	// as permission to admit conflicting tasks (its memory accesses are
 	// over), so the monitor has to deregister this task before any such
@@ -465,15 +522,25 @@ func (rt *Runtime) getValue(caller, f *Future) (any, error) {
 		if caller.BlockedOn(caller) || f == caller {
 			return nil, ErrSelfWait
 		}
+		rt.yieldAt(caller, PointBlock)
+		// OnBlock must precede the blocker publication: storing the blocker
+		// is what licenses schedulers to admit tasks conflicting with the
+		// caller (effect transfer, §3.1.4) — and not only via NotifyBlocked
+		// below, since a scan triggered by a concurrent Done can observe the
+		// chain the instant it is stored. The monitor therefore has to see
+		// the caller as blocked first, or the isolation oracle reports a
+		// phantom overlap between the caller and the transferred-to task.
+		// Symmetrically, on wake the blocker is retracted before OnUnblock
+		// re-registers the caller as active.
+		rt.monitor.OnBlock(caller)
 		caller.blocker.Store(f)
-		defer caller.blocker.Store(nil)
+		defer func() {
+			caller.blocker.Store(nil)
+			rt.yieldAt(caller, PointUnblock)
+			rt.monitor.OnUnblock(caller)
+		}()
 	}
 	rt.sched.NotifyBlocked(caller, f)
-
-	if caller != nil {
-		rt.monitor.OnBlock(caller)
-		defer rt.monitor.OnUnblock(caller)
-	}
 
 	// Inline-run optimization (§5.5): if the target is enabled but not yet
 	// started, run it on this goroutine rather than context-switching.
@@ -568,6 +635,7 @@ func (c *Ctx) Execute(t *Task, arg any) (any, error) {
 	}
 	f := c.rt.newFuture(t, arg)
 	f.status.Store(int32(Prioritized))
+	c.rt.yieldAt(f, PointSubmit)
 	c.rt.sched.Submit(f)
 	return c.rt.getValue(c.fut, f)
 }

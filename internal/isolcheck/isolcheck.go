@@ -20,7 +20,25 @@ import (
 	"sync"
 
 	"twe/internal/core"
+	"twe/internal/effect"
 )
+
+// Violation is one observed breach of task isolation: two tasks with
+// interfering effect summaries were actively running at the same instant.
+// Task1 is the task whose transition (OnRun/OnUnblock) exposed the overlap;
+// Task2 was already running. The structured fields let schedfuzz and tests
+// assert on the offending tasks rather than parse a message.
+type Violation struct {
+	Task1, Task2 string     // task names
+	Eff1, Eff2   effect.Set // their effect summaries
+	Seq1, Seq2   uint64     // future creation sequence numbers
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf(
+		"isolation violated: %q #%d [%v] running concurrently with %q #%d [%v]",
+		v.Task1, v.Seq1, v.Eff1, v.Task2, v.Seq2, v.Eff2)
+}
 
 // Checker records isolation violations. Safe for concurrent use.
 type Checker struct {
@@ -28,7 +46,7 @@ type Checker struct {
 	active     map[*core.Future]bool // true = running, false = blocked
 	peak       int
 	starts     int
-	violations []string
+	violations []Violation
 }
 
 // New returns an empty checker.
@@ -94,17 +112,19 @@ func (c *Checker) checkLocked(f *core.Future) {
 		if f.SpawnAncestorOf(g) || g.SpawnAncestorOf(f) {
 			continue
 		}
-		c.violations = append(c.violations, fmt.Sprintf(
-			"isolation violated: %q [%v] running concurrently with %q [%v]",
-			f.Task().Name, f.Effects(), g.Task().Name, g.Effects()))
+		c.violations = append(c.violations, Violation{
+			Task1: f.Task().Name, Task2: g.Task().Name,
+			Eff1: f.Effects(), Eff2: g.Effects(),
+			Seq1: f.Seq(), Seq2: g.Seq(),
+		})
 	}
 }
 
 // Violations returns the recorded violations.
-func (c *Checker) Violations() []string {
+func (c *Checker) Violations() []Violation {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]string, len(c.violations))
+	out := make([]Violation, len(c.violations))
 	copy(out, c.violations)
 	return out
 }
@@ -114,4 +134,18 @@ func (c *Checker) Stats() (starts, peak int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.starts, c.peak
+}
+
+// Starts returns the number of task starts observed.
+func (c *Checker) Starts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.starts
+}
+
+// Peak returns the peak number of concurrently-running tasks observed.
+func (c *Checker) Peak() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peak
 }

@@ -1,7 +1,6 @@
 package isolcheck_test
 
 import (
-	"strings"
 	"testing"
 	"time"
 
@@ -61,8 +60,17 @@ func TestDetectsBrokenScheduler(t *testing.T) {
 	if len(vs) == 0 {
 		t.Fatal("broken scheduler not detected")
 	}
-	if !strings.Contains(vs[0], "clash") {
-		t.Errorf("violation should name the task: %v", vs[0])
+	if vs[0].Task1 != "clash" || vs[0].Task2 != "clash" {
+		t.Errorf("violation should name the tasks: %v", vs[0])
+	}
+	if vs[0].Eff1.String() != "writes Root:R" || vs[0].Eff2.String() != "writes Root:R" {
+		t.Errorf("violation should carry the effect summaries: %v", vs[0])
+	}
+	if vs[0].Seq1 == vs[0].Seq2 {
+		t.Errorf("violation should carry distinct future seqs: %v", vs[0])
+	}
+	if chk.Starts() != 2 || chk.Peak() < 2 {
+		t.Errorf("accessors: starts = %d, peak = %d", chk.Starts(), chk.Peak())
 	}
 }
 

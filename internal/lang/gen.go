@@ -269,6 +269,11 @@ func (g *progGen) deriveEffects() {
 	}
 }
 
+// EffectItems converts an effect summary to declaration syntax, for program
+// generators (this package's GenerateRandomProgram, internal/schedfuzz) that
+// compute summaries with Infer and splice them back into TaskDecls.
+func EffectItems(s effect.Set) []*EffectItem { return effectItems(s) }
+
 // effectItems converts a summary to syntax form.
 func effectItems(s effect.Set) []*EffectItem {
 	var items []*EffectItem

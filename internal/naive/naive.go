@@ -108,3 +108,18 @@ func (s *Scheduler) Len() int {
 	defer s.mu.Unlock()
 	return len(s.queue)
 }
+
+// Pending returns the number of queued tasks that are not yet enabled.
+// Diagnostics (twe-fuzz deadlock reports) use it; a nonzero value after the
+// runtime should have quiesced means tasks are stuck waiting for effects.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.queue {
+		if f.Status() < core.Enabled {
+			n++
+		}
+	}
+	return n
+}

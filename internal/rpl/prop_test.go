@@ -1,0 +1,251 @@
+package rpl
+
+import "testing"
+
+// Brute-force cross-validation of Disjoint and Included against an
+// explicit enumerator. Patterns are every RPL of length ≤ maxPatternLen
+// over {A, B, [0], [1], *, [?]}; their denotations are computed over the
+// universe of fully specified RPLs of length ≤ maxWordLen over
+// {A, B, [0], [1]}.
+//
+// The universe bound is not a soundness hole for the disjointness check:
+// if two patterns of length ≤ 3 overlap at all, a common word of length
+// ≤ 6 exists (any longer witness has a position absorbed by a * in both
+// patterns, which can be pumped out), so maxWordLen = 6 makes the bounded
+// check exact for overlap witnesses.
+const (
+	maxPatternLen = 3
+	maxWordLen    = 6
+)
+
+// patternAlphabet spans every element form of a dynamic RPL.
+var patternAlphabet = []Elem{N("A"), N("B"), Idx(0), Idx(1), Any, AnyIdx}
+
+// wordAlphabet spans the fully specified elements the wildcards range over.
+var wordAlphabet = []Elem{N("A"), N("B"), Idx(0), Idx(1)}
+
+// enumSeqs returns every element sequence of length 0..maxLen over the
+// alphabet, in a deterministic order.
+func enumSeqs(alphabet []Elem, maxLen int) [][]Elem {
+	seqs := [][]Elem{{}}
+	frontier := [][]Elem{{}}
+	for l := 1; l <= maxLen; l++ {
+		var next [][]Elem
+		for _, s := range frontier {
+			for _, e := range alphabet {
+				ext := make([]Elem, len(s), len(s)+1)
+				copy(ext, s)
+				ext = append(ext, e)
+				next = append(next, ext)
+			}
+		}
+		seqs = append(seqs, next...)
+		frontier = next
+	}
+	return seqs
+}
+
+// matchSeq is the reference matcher: does the pattern denote the fully
+// specified word? * matches any (possibly empty) element sequence, [?] any
+// single index element; everything else matches itself.
+func matchSeq(pattern, word []Elem) bool {
+	if len(pattern) == 0 {
+		return len(word) == 0
+	}
+	switch pattern[0].Kind {
+	case Star:
+		return matchSeq(pattern[1:], word) ||
+			(len(word) > 0 && matchSeq(pattern, word[1:]))
+	case AnyIndex:
+		return len(word) > 0 && word[0].Kind == Index && matchSeq(pattern[1:], word[1:])
+	default:
+		return len(word) > 0 && word[0] == pattern[0] && matchSeq(pattern[1:], word[1:])
+	}
+}
+
+// bitset is a packed denotation over the word universe.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i/64] |= 1 << (i % 64) }
+func (b bitset) intersects(c bitset) bool {
+	for i := range b {
+		if b[i]&c[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+func (b bitset) subsetOf(c bitset) bool {
+	for i := range b {
+		if b[i]&^c[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// denote computes the pattern's denotation over the universe.
+func denote(pattern []Elem, universe [][]Elem) bitset {
+	b := newBitset(len(universe))
+	for i, w := range universe {
+		if matchSeq(pattern, w) {
+			b.set(i)
+		}
+	}
+	return b
+}
+
+// witness returns a word in both denotations, for failure messages.
+func witness(universe [][]Elem, b, c bitset) RPL {
+	for i := range universe {
+		if b[i/64]&c[i/64]&(1<<(i%64)) != 0 {
+			return New(universe[i]...)
+		}
+	}
+	return Root
+}
+
+// counterexample returns a word in b but not c.
+func counterexample(universe [][]Elem, b, c bitset) RPL {
+	for i := range universe {
+		if b[i/64]&^c[i/64]&(1<<(i%64)) != 0 {
+			return New(universe[i]...)
+		}
+	}
+	return Root
+}
+
+func starFree(p []Elem) bool {
+	for _, e := range p {
+		if e.Kind == Star {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDisjointIncludedBruteForce checks, for every pair of patterns:
+//
+//   - Disjoint soundness: Disjoint ⇒ the denotations share no word. This is
+//     strict (no bounded-universe false alarms): a true overlap always has a
+//     witness within maxWordLen.
+//   - Disjoint exactness on the *-free fragment: without * the relation is
+//     decidable position-by-position, so Disjoint must equal the enumerator.
+//   - Disjoint symmetry.
+//   - Included soundness: Included ⇒ denotation subset over the universe.
+//   - Included exactness on fully specified pairs (⊆ iff equal) and on the
+//     *-free fragment.
+func TestDisjointIncludedBruteForce(t *testing.T) {
+	universe := enumSeqs(wordAlphabet, maxWordLen)
+	patterns := enumSeqs(patternAlphabet, maxPatternLen)
+
+	dens := make([]bitset, len(patterns))
+	rpls := make([]RPL, len(patterns))
+	for i, p := range patterns {
+		dens[i] = denote(p, universe)
+		rpls[i] = New(p...)
+	}
+	t.Logf("%d patterns, %d-word universe", len(patterns), len(universe))
+
+	bad := 0
+	fail := func(format string, args ...any) {
+		bad++
+		if bad <= 20 {
+			t.Errorf(format, args...)
+		}
+	}
+	for i := range patterns {
+		for j := range patterns {
+			r, s := rpls[i], rpls[j]
+			disjoint := r.Disjoint(s)
+			overlapBF := dens[i].intersects(dens[j])
+
+			if disjoint && overlapBF {
+				fail("Disjoint(%v, %v) = true, but both denote %v",
+					r, s, witness(universe, dens[i], dens[j]))
+			}
+			if disjoint != s.Disjoint(r) {
+				fail("Disjoint(%v, %v) != Disjoint(%v, %v)", r, s, s, r)
+			}
+			if starFree(patterns[i]) && starFree(patterns[j]) && disjoint == overlapBF {
+				fail("star-free Disjoint(%v, %v) = %v, enumerator says overlap=%v",
+					r, s, disjoint, overlapBF)
+			}
+
+			included := r.Included(s)
+			subsetBF := dens[i].subsetOf(dens[j])
+			if included && !subsetBF {
+				fail("Included(%v, %v) = true, but %v is denoted only by the first",
+					r, s, counterexample(universe, dens[i], dens[j]))
+			}
+			if r.FullySpecified() && s.FullySpecified() && included != r.Equal(s) {
+				fail("fully specified Included(%v, %v) = %v, want %v", r, s, included, r.Equal(s))
+			}
+			if starFree(patterns[i]) && starFree(patterns[j]) && included != subsetBF {
+				fail("star-free Included(%v, %v) = %v, enumerator says subset=%v",
+					r, s, included, subsetBF)
+			}
+		}
+	}
+	if bad > 20 {
+		t.Errorf("... and %d more failures", bad-20)
+	}
+}
+
+// TestParamRelationsBruteForce checks the relations on patterns containing
+// symbolic parameter indices [p]. A parameter stands for one unknown index,
+// consistent across both RPLs of a comparison; distinct parameters may
+// alias. Soundness therefore quantifies over every assignment: Disjoint
+// (resp. Included) may only hold if it holds for all substitutions of the
+// parameters by concrete indices.
+func TestParamRelationsBruteForce(t *testing.T) {
+	alphabet := []Elem{N("A"), Idx(0), Idx(1), AnyIdx, P("p"), P("q")}
+	// Words need index [2] so two parameters can take a value no concrete
+	// index element of a pattern mentions.
+	words := []Elem{N("A"), Idx(0), Idx(1), Idx(2)}
+	universe := enumSeqs(words, 4)
+	patterns := enumSeqs(alphabet, 2)
+
+	subst := func(p []Elem, pv, qv int) []Elem {
+		out := make([]Elem, len(p))
+		for i, e := range p {
+			if e.Kind == Param {
+				if e.Name == "p" {
+					out[i] = Idx(pv)
+				} else {
+					out[i] = Idx(qv)
+				}
+			} else {
+				out[i] = e
+			}
+		}
+		return out
+	}
+
+	for i := range patterns {
+		for j := range patterns {
+			r, s := New(patterns[i]...), New(patterns[j]...)
+			disjoint := r.Disjoint(s)
+			included := r.Included(s)
+			if !disjoint && !included {
+				continue
+			}
+			for pv := 0; pv <= 2; pv++ {
+				for qv := 0; qv <= 2; qv++ {
+					di := denote(subst(patterns[i], pv, qv), universe)
+					dj := denote(subst(patterns[j], pv, qv), universe)
+					if disjoint && di.intersects(dj) {
+						t.Errorf("Disjoint(%v, %v) = true, but with [p]=%d [q]=%d both denote %v",
+							r, s, pv, qv, witness(universe, di, dj))
+					}
+					if included && !di.subsetOf(dj) {
+						t.Errorf("Included(%v, %v) = true, but with [p]=%d [q]=%d: %v not covered",
+							r, s, pv, qv, counterexample(universe, di, dj))
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,560 @@
+package schedfuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"twe/internal/effect"
+	"twe/internal/rpl"
+)
+
+// maxInstances bounds the total task instances one generated program
+// creates; Generate trims child-creating ops deterministically past it.
+const maxInstances = 250
+
+// Generate derives a Spec from the seed. The same seed always yields the
+// same spec — replay regenerates programs rather than storing them.
+func Generate(seed int64) *Spec {
+	g := &gen{
+		rnd:  rand.New(rand.NewSource(seed)),
+		spec: &Spec{Seed: seed},
+	}
+	g.plan()
+	// Compute tasks are generated from the highest index down so that a
+	// task's child candidates (strictly higher indices) are complete, with
+	// their conservative effect summaries known.
+	for i := len(g.spec.Tasks) - 1; i >= g.nDrivers; i-- {
+		g.computeOps(i)
+	}
+	for i := g.nDrivers - 1; i >= 0; i-- {
+		g.driverOps(i)
+	}
+	g.assignWidening()
+	g.trim()
+	return g.spec
+}
+
+type gen struct {
+	rnd  *rand.Rand
+	spec *Spec
+
+	nDrivers int
+	// sharedVars / sharedArrays index into spec.Vars / spec.Arrays.
+	sharedVars   []int
+	sharedArrays []int
+	// privateVar[d] is the spec.Vars index of driver d's private scalar, or
+	// -1; probeOf[d] is the task index of its probe compute task, or -1.
+	privateVar []int
+	probeOf    []int
+	// ownerOf[t] is the owning driver of probe task t, or -1.
+	ownerOf []int
+	// consEff[t] is the conservative effect summary of task t: its own
+	// accesses (param-dependent indices as [?]) plus the summaries of its
+	// spawn/call children. It over-approximates the declared summary Render
+	// later infers, so non-interference checked against it is sound.
+	consEff []effect.Set
+}
+
+// plan fixes the region universe, globals, and the task skeleton.
+func (g *gen) plan() {
+	s := g.spec
+	nRegions := 2 + g.rnd.Intn(3)
+	for i := 0; i < nRegions; i++ {
+		s.Regions = append(s.Regions, fmt.Sprintf("R%d", i))
+	}
+	nVars := 2 + g.rnd.Intn(3)
+	for i := 0; i < nVars; i++ {
+		g.sharedVars = append(g.sharedVars, len(s.Vars))
+		s.Vars = append(s.Vars, VarSpec{Name: fmt.Sprintf("v%d", i), Path: g.sharedPath()})
+	}
+	nArrays := 1 + g.rnd.Intn(2)
+	for i := 0; i < nArrays; i++ {
+		g.sharedArrays = append(g.sharedArrays, len(s.Arrays))
+		s.Arrays = append(s.Arrays, ArraySpec{
+			Name: fmt.Sprintf("a%d", i),
+			Size: 3 + g.rnd.Intn(4),
+			Path: g.sharedPath(),
+		})
+	}
+	for i, n := 0, g.rnd.Intn(3); i < n; i++ {
+		s.Refs = append(s.Refs, fmt.Sprintf("r%d", i))
+	}
+
+	g.nDrivers = 2 + g.rnd.Intn(2)
+	nCompute := 3 + g.rnd.Intn(3)
+	g.privateVar = make([]int, g.nDrivers)
+	g.probeOf = make([]int, g.nDrivers)
+
+	// Driver d gets a private region/var and a dedicated probe compute task
+	// with probability ~1/2: the probe shares only the private location, so
+	// waiting on it while holding the private effects exercises effect
+	// transfer when blocked (§3.1.4) without risking conflict-wait cycles.
+	probes := 0
+	for d := 0; d < g.nDrivers; d++ {
+		g.privateVar[d], g.probeOf[d] = -1, -1
+		if g.rnd.Intn(2) == 0 {
+			region := fmt.Sprintf("P%d", d)
+			s.Regions = append(s.Regions, region)
+			g.privateVar[d] = len(s.Vars)
+			s.Vars = append(s.Vars, VarSpec{Name: fmt.Sprintf("pv%d", d), Path: []string{region}})
+			probes++
+		}
+	}
+
+	total := g.nDrivers + nCompute + probes
+	g.ownerOf = make([]int, total)
+	g.consEff = make([]effect.Set, total)
+	for i := range g.ownerOf {
+		g.ownerOf[i] = -1
+	}
+	for i := 0; i < total; i++ {
+		t := &TaskSpec{HasParam: i != 0}
+		switch {
+		case i == 0:
+			t.Name, t.Kind = "main", TaskDriver
+		case i < g.nDrivers:
+			t.Name, t.Kind = fmt.Sprintf("drv%d", i), TaskDriver
+		default:
+			t.Name, t.Kind = fmt.Sprintf("cmp%d", i), TaskCompute
+		}
+		s.Tasks = append(s.Tasks, t)
+	}
+	// Probe tasks take the highest compute indices.
+	next := total - 1
+	for d := g.nDrivers - 1; d >= 0; d-- {
+		if g.privateVar[d] >= 0 {
+			g.probeOf[d] = next
+			g.ownerOf[next] = d
+			s.Tasks[next].Name = fmt.Sprintf("prb%d", next)
+			next--
+		}
+	}
+}
+
+func (g *gen) sharedPath() []string {
+	path := []string{g.spec.Regions[g.rnd.Intn(len(g.spec.Regions))]}
+	if g.rnd.Intn(3) == 0 {
+		path = append(path, g.spec.Regions[g.rnd.Intn(len(g.spec.Regions))])
+	}
+	return path
+}
+
+// locRegion resolves a Loc to its conservative RPL (param indices → [?]).
+func (g *gen) locRegion(l Loc) rpl.RPL {
+	var path []string
+	if l.IsArray {
+		path = g.spec.Arrays[g.arrayIdx(l.Name)].Path
+	} else {
+		for _, v := range g.spec.Vars {
+			if v.Name == l.Name {
+				path = v.Path
+				break
+			}
+		}
+	}
+	elems := make([]rpl.Elem, 0, len(path)+1)
+	for _, n := range path {
+		elems = append(elems, rpl.N(n))
+	}
+	if l.IsArray {
+		if l.IndexFromParam {
+			elems = append(elems, rpl.AnyIdx)
+		} else {
+			elems = append(elems, rpl.Idx(l.Index))
+		}
+	}
+	return rpl.New(elems...)
+}
+
+func (g *gen) arrayIdx(name string) int {
+	for i, a := range g.spec.Arrays {
+		if a.Name == name {
+			return i
+		}
+	}
+	return 0
+}
+
+// opEffect is the conservative effect of a single access op.
+func (g *gen) opEffect(op *Op) effect.Set {
+	switch op.Kind {
+	case OpInc, OpLoopInc, OpCondInc:
+		return effect.NewSet(effect.WriteEff(g.locRegion(op.Loc)))
+	case OpRead:
+		return effect.NewSet(effect.Read(g.locRegion(op.Loc)))
+	case OpSpawn, OpCall:
+		return g.consEff[op.Child]
+	}
+	return effect.Pure
+}
+
+// sharedLoc picks a shared scalar or array element, honoring hasParam.
+func (g *gen) sharedLoc(hasParam bool) Loc {
+	if g.rnd.Intn(3) != 0 || len(g.sharedArrays) == 0 {
+		vi := g.sharedVars[g.rnd.Intn(len(g.sharedVars))]
+		return Loc{Name: g.spec.Vars[vi].Name}
+	}
+	ai := g.sharedArrays[g.rnd.Intn(len(g.sharedArrays))]
+	arr := g.spec.Arrays[ai]
+	l := Loc{Name: arr.Name, IsArray: true}
+	if hasParam && g.rnd.Intn(2) == 0 {
+		l.IndexFromParam = true
+	} else {
+		l.Index = g.rnd.Intn(arr.Size)
+	}
+	return l
+}
+
+// accessOp builds an Inc/LoopInc/CondInc/Read on loc.
+func (g *gen) accessOp(kind OpKind, loc Loc, hasParam bool) *Op {
+	op := &Op{Kind: kind, Loc: loc, Amount: 1 + g.rnd.Intn(5)}
+	if hasParam && g.rnd.Intn(4) == 0 {
+		op.AmountFromParam = true
+	}
+	switch kind {
+	case OpLoopInc:
+		op.Count = 1 + g.rnd.Intn(3)
+	case OpCondInc:
+		op.CondK = g.rnd.Intn(8)
+	}
+	return op
+}
+
+// childArg picks the argument for a launch/spawn/call.
+func (g *gen) childArg(op *Op, hasParam bool) {
+	if hasParam && g.rnd.Intn(2) == 0 {
+		op.ArgFromParam = true
+	} else {
+		op.Arg = g.rnd.Intn(8)
+	}
+}
+
+// computeOps fills the body of compute task ti. Every access, spawn, and
+// call must stay non-interfering with the footprint already transferred to
+// spawned children: the covering-effect discipline (§3.1.5) otherwise
+// rejects the program (joins of not-fully-specified summaries restore no
+// coverage statically, so the exclusion lasts to the end of the body).
+func (g *gen) computeOps(ti int) {
+	t := g.spec.Tasks[ti]
+	var own effect.Set
+	spawnedFoot := effect.Pure
+	var openSpawns []string
+
+	// Probe tasks touch only their driver's private var.
+	probeOwner := g.ownerOf[ti]
+
+	pickLoc := func() Loc {
+		if probeOwner >= 0 {
+			return Loc{Name: g.spec.Vars[g.privateVar[probeOwner]].Name}
+		}
+		return g.sharedLoc(t.HasParam)
+	}
+
+	nOps := 1 + g.rnd.Intn(5)
+	if probeOwner >= 0 {
+		nOps = 1 + g.rnd.Intn(3)
+	}
+	for k := 0; k < nOps; k++ {
+		roll := g.rnd.Intn(100)
+		var op *Op
+		switch {
+		case roll < 40:
+			op = g.accessOp(OpInc, pickLoc(), t.HasParam)
+		case roll < 50:
+			op = g.accessOp(OpLoopInc, pickLoc(), t.HasParam)
+		case roll < 60 && t.HasParam:
+			op = g.accessOp(OpCondInc, pickLoc(), t.HasParam)
+		case roll < 75:
+			op = g.accessOp(OpRead, pickLoc(), t.HasParam)
+		case roll < 85 && probeOwner < 0:
+			// Spawn a higher-index compute task.
+			child := g.pickComputeChild(ti)
+			if child < 0 {
+				continue
+			}
+			op = &Op{Kind: OpSpawn, Child: child, Fut: fmt.Sprintf("f%d", k)}
+			g.childArg(op, t.HasParam)
+		case roll < 93 && probeOwner < 0:
+			// Inline call: the callee must create no tasks.
+			child := g.pickCallChild(ti)
+			if child < 0 {
+				continue
+			}
+			op = &Op{Kind: OpCall, Child: child}
+			g.childArg(op, t.HasParam)
+		default:
+			if len(g.spec.Refs) == 0 {
+				continue
+			}
+			op = &Op{Kind: OpRefUse, Ref: g.spec.Refs[g.rnd.Intn(len(g.spec.Refs))], RefWrite: g.rnd.Intn(2) == 0}
+		}
+		ce := g.opEffect(op)
+		if !ce.NonInterfering(spawnedFoot) {
+			continue // would not be covered inside/after the spawn window
+		}
+		t.Ops = append(t.Ops, op)
+		switch op.Kind {
+		case OpSpawn:
+			spawnedFoot = spawnedFoot.Union(ce)
+			own = own.Union(ce)
+			openSpawns = append(openSpawns, op.Fut)
+			// Join the spawned child after a short window, or leave the
+			// implicit end-of-body join to do it.
+			if g.rnd.Intn(3) > 0 {
+				t.Ops = append(t.Ops, &Op{Kind: OpJoin, Fut: op.Fut})
+				openSpawns = openSpawns[:len(openSpawns)-1]
+			}
+		case OpCall:
+			own = own.Union(ce)
+		default:
+			own = own.Union(ce)
+		}
+	}
+	for _, fut := range openSpawns {
+		if g.rnd.Intn(2) == 0 {
+			t.Ops = append(t.Ops, &Op{Kind: OpJoin, Fut: fut})
+		}
+	}
+	g.consEff[ti] = own
+
+	// Leaf compute tasks (pure bodies) may be @Deterministic (§3.3.5).
+	leaf := true
+	for _, op := range t.Ops {
+		if op.createsChild() || op.Kind == OpRefUse {
+			leaf = false
+		}
+	}
+	if leaf && g.rnd.Intn(4) == 0 {
+		t.Deterministic = true
+	}
+}
+
+// pickComputeChild picks a spawnable compute task with index > ti. Probe
+// tasks are never candidates: a compute task that reached a probe would
+// carry the probe's private effect in its summary, giving it a conflict
+// edge into a foreign driver that blocks while holding that effect — which
+// can close a mixed wait/conflict cycle (deadlock) through the driver's own
+// wait chain. Keeping private regions exclusive to each driver and its
+// probe decouples compute-task conflicts from blocked drivers entirely.
+func (g *gen) pickComputeChild(ti int) int {
+	var cands []int
+	for j := ti + 1; j < len(g.spec.Tasks); j++ {
+		if g.spec.Tasks[j].Kind == TaskCompute && g.ownerOf[j] < 0 {
+			cands = append(cands, j)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[g.rnd.Intn(len(cands))]
+}
+
+// pickCallChild picks an inline-callable compute task (> ti, creates no
+// tasks, not a probe — see pickComputeChild).
+func (g *gen) pickCallChild(ti int) int {
+	var cands []int
+	for j := ti + 1; j < len(g.spec.Tasks); j++ {
+		if g.spec.Tasks[j].Kind != TaskCompute || g.ownerOf[j] >= 0 {
+			continue
+		}
+		ok := true
+		for _, op := range g.spec.Tasks[j].Ops {
+			if op.Kind == OpLaunch || op.Kind == OpSpawn || op.Kind == OpWait || op.Kind == OpJoin {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cands = append(cands, j)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[g.rnd.Intn(len(cands))]
+}
+
+// driverOps fills the body of driver ti: launches with immediate, deferred,
+// and absent waits, plus accesses confined to the driver's private var.
+// Drivers never touch shared state: a task that blocks while holding
+// contested effects could close a conflict-wait cycle (deadlock), and
+// deadlock would be schedule-dependent — fatal for a differential oracle.
+func (g *gen) driverOps(ti int) {
+	t := g.spec.Tasks[ti]
+	priv := -1
+	if ti < len(g.privateVar) {
+		priv = g.privateVar[ti]
+	}
+	var pending []string
+	futN := 0
+
+	launch := func(child int) {
+		op := &Op{Kind: OpLaunch, Child: child, Fut: fmt.Sprintf("f%d", futN)}
+		futN++
+		g.childArg(op, t.HasParam)
+		t.Ops = append(t.Ops, op)
+		switch g.rnd.Intn(3) {
+		case 0: // immediate wait
+			t.Ops = append(t.Ops, &Op{Kind: OpWait, Fut: op.Fut})
+		case 1: // deferred wait
+			pending = append(pending, op.Fut)
+		default: // fire and forget (or flushed at the end)
+			if g.rnd.Intn(2) == 0 {
+				pending = append(pending, op.Fut)
+			}
+		}
+	}
+
+	nOps := 2 + g.rnd.Intn(4)
+	if ti == 0 {
+		nOps = 3 + g.rnd.Intn(3)
+	}
+	for k := 0; k < nOps; k++ {
+		if len(pending) > 0 && g.rnd.Intn(3) == 0 {
+			t.Ops = append(t.Ops, &Op{Kind: OpWait, Fut: pending[0]})
+			pending = pending[1:]
+			continue
+		}
+		roll := g.rnd.Intn(100)
+		switch {
+		case roll < 55:
+			child := g.pickLaunchChild(ti)
+			if child >= 0 {
+				launch(child)
+			}
+		case roll < 75 && priv >= 0:
+			kind := OpInc
+			if t.HasParam && g.rnd.Intn(4) == 0 {
+				kind = OpCondInc
+			} else if g.rnd.Intn(4) == 0 {
+				kind = OpRead
+			}
+			op := g.accessOp(kind, Loc{Name: g.spec.Vars[priv].Name}, t.HasParam)
+			t.Ops = append(t.Ops, op)
+		case roll < 85 && len(g.spec.Refs) > 0:
+			t.Ops = append(t.Ops, &Op{Kind: OpRefUse, Ref: g.spec.Refs[g.rnd.Intn(len(g.spec.Refs))], RefWrite: g.rnd.Intn(2) == 0})
+		default:
+			child := g.pickLaunchChild(ti)
+			if child >= 0 {
+				launch(child)
+			}
+		}
+	}
+	// Flush (some) deferred waits; the rest run fire-and-forget and are
+	// drained by runtime shutdown / interpreter quiescence.
+	for _, fut := range pending {
+		if g.rnd.Intn(2) == 0 {
+			t.Ops = append(t.Ops, &Op{Kind: OpWait, Fut: fut})
+		}
+	}
+
+	// A probed driver must WRITE its private var, not merely read it: two
+	// instances of the same driver share the private region, and with a
+	// read-only summary they run concurrently — each can then block on its
+	// own private-writing probe that the other instance's read effect keeps
+	// from being admitted (the transfer rule only ignores conflicts with
+	// tasks blocked on the probe), a real cross-instance deadlock. A write
+	// in the summary serializes instances of the driver instead.
+	if priv >= 0 {
+		hasWrite := false
+		for _, op := range t.Ops {
+			switch op.Kind {
+			case OpInc, OpLoopInc, OpCondInc:
+				hasWrite = true
+			}
+		}
+		if !hasWrite {
+			t.Ops = append([]*Op{{Kind: OpInc, Loc: Loc{Name: g.spec.Vars[priv].Name}, Amount: 1}}, t.Ops...)
+		}
+	}
+
+	// Conservative summary: private accesses only (launches transfer
+	// nothing into the driver's summary).
+	var own effect.Set
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case OpInc, OpLoopInc, OpCondInc, OpRead:
+			own = own.Union(g.opEffect(op))
+		}
+	}
+	g.consEff[ti] = own
+
+	// main must drive something.
+	if ti == 0 {
+		hasLaunch := false
+		for _, op := range t.Ops {
+			if op.Kind == OpLaunch {
+				hasLaunch = true
+			}
+		}
+		if !hasLaunch {
+			if child := g.pickLaunchChild(0); child >= 0 {
+				launch(child)
+			}
+		}
+	}
+}
+
+// pickLaunchChild picks an executeLater target for driver ti: a
+// higher-index driver, a regular compute task, or the driver's own probe.
+// Probes of other drivers are excluded — a foreign launch would create
+// private-effect conflicts with a driver that blocks while holding them.
+func (g *gen) pickLaunchChild(ti int) int {
+	var cands []int
+	for j := ti + 1; j < len(g.spec.Tasks); j++ {
+		if owner := g.ownerOf[j]; owner >= 0 && owner != ti {
+			continue
+		}
+		cands = append(cands, j)
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	// Weight the driver's own probe so the §3.1.4 transfer path is hit.
+	if ti < len(g.probeOf) && g.probeOf[ti] >= 0 && g.rnd.Intn(3) == 0 {
+		return g.probeOf[ti]
+	}
+	return cands[g.rnd.Intn(len(cands))]
+}
+
+// assignWidening marks tasks whose declared summaries Render may widen
+// with wildcards. Spawn and call targets are excluded: their declared
+// summaries must stay inside the parent's (checker and runtime covering
+// checks use the declaration, not the body).
+func (g *gen) assignWidening() {
+	excluded := map[int]bool{}
+	for _, t := range g.spec.Tasks {
+		for _, op := range t.Ops {
+			if op.Kind == OpSpawn || op.Kind == OpCall {
+				excluded[op.Child] = true
+			}
+		}
+	}
+	for i, t := range g.spec.Tasks {
+		if i == 0 || excluded[i] {
+			continue
+		}
+		if g.rnd.Intn(3) == 0 {
+			t.WidenSeed = g.rnd.Uint64() | 1
+		}
+	}
+}
+
+// trim deterministically drops child-creating ops until the instance count
+// is bounded.
+func (g *gen) trim() {
+	for g.spec.Instances() > maxInstances {
+		ti, oj := -1, -1
+		for i, t := range g.spec.Tasks {
+			for j, op := range t.Ops {
+				if op.createsChild() {
+					ti, oj = i, j
+				}
+			}
+		}
+		if ti < 0 {
+			return
+		}
+		g.spec.DropOp(ti, oj)
+	}
+}

@@ -1,0 +1,216 @@
+package schedfuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"twe/internal/effect"
+	"twe/internal/lang"
+	"twe/internal/rpl"
+)
+
+// Render lowers a Spec to a TWEL program. Effect summaries are derived from
+// the bodies with lang.Infer, then optionally widened (WidenSeed) to stress
+// the schedulers with wildcard and over-approximate declarations, and the
+// result is verified with lang.Check: the generated programs must be
+// accepted by the static checker, otherwise the generator itself is broken
+// and Render reports it.
+func Render(s *Spec) (*lang.Program, error) {
+	p := &lang.Program{Regions: append([]string(nil), s.Regions...)}
+	for _, v := range s.Vars {
+		p.Vars = append(p.Vars, &lang.VarDecl{Name: v.Name, Region: pathExpr(v.Path)})
+	}
+	for _, a := range s.Arrays {
+		p.Arrays = append(p.Arrays, &lang.ArrayDecl{Name: a.Name, Size: a.Size, Region: pathExpr(a.Path)})
+	}
+	for _, r := range s.Refs {
+		p.RefVars = append(p.RefVars, &lang.RefVarDecl{Name: r})
+	}
+	for _, t := range s.Tasks {
+		td := &lang.TaskDecl{Name: t.Name, Deterministic: t.Deterministic}
+		if t.HasParam {
+			td.Params = []string{"p"}
+		}
+		td.Body = &lang.Block{Stmts: renderOps(s, t)}
+		p.Tasks = append(p.Tasks, td)
+	}
+
+	inferred := lang.Infer(p)
+	for i, td := range p.Tasks {
+		set := inferred[td.Name]
+		if ws := s.Tasks[i].WidenSeed; ws != 0 {
+			set = widen(set, ws)
+		}
+		td.Effects = lang.EffectItems(set)
+	}
+
+	res := lang.Check(p)
+	if !res.OK() {
+		msgs := make([]string, 0, len(res.Errors))
+		for _, d := range res.Errors {
+			msgs = append(msgs, d.String())
+		}
+		return nil, fmt.Errorf("generated program rejected by checker:\n%s\nprogram:\n%s",
+			strings.Join(msgs, "\n"), lang.Format(p))
+	}
+	return p, nil
+}
+
+func pathExpr(path []string) *lang.RPLExpr {
+	r := &lang.RPLExpr{}
+	for _, n := range path {
+		r.Elems = append(r.Elems, lang.RPLElemExpr{Kind: lang.ElemName, Name: n})
+	}
+	return r
+}
+
+// renderOps lowers a task body. Op j uses locals named after j, so the
+// rendered names stay unique within the body.
+func renderOps(s *Spec, t *TaskSpec) []lang.Stmt {
+	var out []lang.Stmt
+	for j, op := range t.Ops {
+		switch op.Kind {
+		case OpInc:
+			out = append(out, incStmt(s, op))
+		case OpLoopInc:
+			ctr := fmt.Sprintf("i%d", j)
+			out = append(out,
+				&lang.LocalDecl{Name: ctr, Value: &lang.Num{Value: 0}},
+				&lang.While{
+					Cond: &lang.Binary{Op: "<", L: &lang.Ident{Name: ctr}, R: &lang.Num{Value: op.Count}},
+					Body: &lang.Block{Stmts: []lang.Stmt{
+						incStmt(s, op),
+						&lang.LocalDecl{Name: ctr, Value: &lang.Binary{Op: "+", L: &lang.Ident{Name: ctr}, R: &lang.Num{Value: 1}}},
+					}},
+				})
+		case OpCondInc:
+			out = append(out, &lang.If{
+				Cond: &lang.Binary{Op: "<", L: &lang.Ident{Name: "p"}, R: &lang.Num{Value: op.CondK}},
+				Then: &lang.Block{Stmts: []lang.Stmt{incStmt(s, op)}},
+			})
+		case OpRead:
+			out = append(out, &lang.LocalDecl{Name: fmt.Sprintf("s%d", j), Value: locRead(s, op)})
+		case OpLaunch:
+			out = append(out, &lang.LetFuture{Name: op.Fut, Task: s.Tasks[op.Child].Name, Args: []lang.Expr{argExpr(op)}})
+		case OpWait:
+			out = append(out, &lang.Wait{Future: op.Fut})
+		case OpSpawn:
+			out = append(out, &lang.LetFuture{Name: op.Fut, Spawn: true, Task: s.Tasks[op.Child].Name, Args: []lang.Expr{argExpr(op)}})
+		case OpJoin:
+			out = append(out, &lang.Wait{Join: true, Future: op.Fut})
+		case OpCall:
+			out = append(out, &lang.Call{Task: s.Tasks[op.Child].Name, Args: []lang.Expr{argExpr(op)}})
+		case OpRefUse:
+			mode := "addread"
+			if op.RefWrite {
+				mode = "addwrite"
+			}
+			out = append(out,
+				&lang.RefOp{Op: mode, Ref: op.Ref},
+				&lang.RefOp{Op: "useref", Ref: op.Ref})
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, &lang.Skip{})
+	}
+	return out
+}
+
+// incStmt renders "loc = loc + amount".
+func incStmt(s *Spec, op *Op) lang.Stmt {
+	amount := lang.Expr(&lang.Num{Value: op.Amount})
+	if op.AmountFromParam {
+		amount = &lang.Ident{Name: "p"}
+	}
+	if op.Loc.IsArray {
+		// The index expression is duplicated on both sides; it is
+		// deterministic (a constant or a pure function of p), so both
+		// evaluations resolve to the same element.
+		return &lang.AssignArray{
+			Name:  op.Loc.Name,
+			Index: idxExpr(s, op.Loc),
+			Value: &lang.Binary{Op: "+", L: locRead(s, op), R: amount},
+		}
+	}
+	return &lang.AssignVar{
+		Name:  op.Loc.Name,
+		Value: &lang.Binary{Op: "+", L: locRead(s, op), R: amount},
+	}
+}
+
+func locRead(s *Spec, op *Op) lang.Expr {
+	if op.Loc.IsArray {
+		return &lang.ArrayRead{Name: op.Loc.Name, Index: idxExpr(s, op.Loc)}
+	}
+	return &lang.Ident{Name: op.Loc.Name}
+}
+
+// idxExpr renders the element index: a constant, or the in-range form
+// ((p % size) + size) % size mirrored by Spec.boundedIdx.
+func idxExpr(s *Spec, l Loc) lang.Expr {
+	if !l.IndexFromParam {
+		return &lang.Num{Value: l.Index}
+	}
+	size := s.arraySize(l.Name)
+	inner := &lang.Binary{Op: "%", L: &lang.Ident{Name: "p"}, R: &lang.Num{Value: size}}
+	return &lang.Binary{Op: "%",
+		L: &lang.Binary{Op: "+", L: inner, R: &lang.Num{Value: size}},
+		R: &lang.Num{Value: size}}
+}
+
+func argExpr(op *Op) lang.Expr {
+	if op.ArgFromParam {
+		return &lang.Ident{Name: "p"}
+	}
+	return &lang.Num{Value: op.Arg}
+}
+
+// widen over-approximates an inferred summary, deterministically from the
+// seed: individual index elements become [?], suffixes collapse to *, and
+// reads become writes. Every transformation only enlarges the summary, so
+// the declaration still covers the body — but the schedulers now see
+// wildcard RPLs and coarser conflicts, exercising the Included/Disjoint
+// machinery on partially specified RPLs (§2.3.1) and the conservative
+// must-conflict admission paths.
+func widen(s effect.Set, seed uint64) effect.Set {
+	h := seed
+	next := func(n int) int {
+		// splitmix64 step: deterministic, seed-derived decisions.
+		h += 0x9e3779b97f4a7c15
+		z := h
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return int(z % uint64(n))
+	}
+	var out []effect.Effect
+	for _, e := range s.Effects() {
+		r := e.Region
+		elems := r.Elems()
+		// Index-like elements → [?] with probability 1/3 each.
+		for i, el := range elems {
+			if (el.Kind == rpl.Index || el.Kind == rpl.Param) && next(3) == 0 {
+				elems[i] = rpl.AnyIdx
+			}
+		}
+		// Collapse a suffix to *: keep at least one leading element so the
+		// widened region does not swallow unrelated subtrees of Root.
+		if len(elems) >= 1 && next(4) == 0 {
+			keep := 1 + next(len(elems))
+			if keep > len(elems) {
+				keep = len(elems)
+			}
+			elems = append(elems[:keep:keep], rpl.Any)
+		}
+		write := e.Write
+		if !write && next(3) == 0 {
+			write = true
+		}
+		ne := effect.Read(rpl.New(elems...))
+		if write {
+			ne = effect.WriteEff(rpl.New(elems...))
+		}
+		out = append(out, ne)
+	}
+	return effect.NewSet(out...)
+}

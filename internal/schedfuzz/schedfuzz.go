@@ -1,0 +1,58 @@
+// Package schedfuzz is a deterministic schedule-fuzzing and
+// differential-replay harness for the TWE schedulers.
+//
+// One fuzz iteration, from a single int64 seed:
+//
+//  1. Generate derives a Spec — a random task DAG over a small RPL region
+//     universe, with disjoint, conflicting, and nested effects, wildcard
+//     (widened) summaries, executeLater/getValue chains, spawn/join trees,
+//     inline calls, and dynamic-effect reference ops.
+//  2. Render lowers the Spec to a TWEL program whose effect summaries are
+//     inferred from the bodies (then optionally widened) and verifies it
+//     with the static checker.
+//  3. RunSpec executes the program differentially:
+//     an analytic expected store folded directly from the Spec;
+//     the formal-semantics interpreter (internal/semantics) as ground
+//     truth; and the naive and tree schedulers on the real runtime, each
+//     across several perturbed schedules (core.WithYield + Yielder), all
+//     under the isolcheck isolation oracle.
+//     Results, final stores, and oracle verdicts must agree; any
+//     divergence becomes a Failure replayable from (seed, schedule,
+//     scheduler).
+//  4. ShrinkSpec greedily minimizes a failing Spec while the failure
+//     reproduces.
+//
+// # Why the outcomes are exactly comparable
+//
+// TWE programs are nondeterministic in general (task interleaving is
+// unspecified), which would make differential store comparison meaningless.
+// The generator therefore emits programs that are deterministic by
+// construction: every shared-state write is a commutative constant
+// increment rendered as a single statement, and task isolation makes each
+// statement atomic with respect to interfering tasks, so the final store is
+// the same under every legal schedule — and computable analytically from
+// the Spec. Any observed difference is a real scheduler bug (lost update,
+// isolation breach, premature result) rather than benign nondeterminism.
+//
+// # Why generated programs cannot deadlock
+//
+// A deadlock would be schedule-dependent and so would also break the
+// differential comparison; the generator rules it out structurally.
+// Tasks are split into drivers and compute tasks. Drivers (main and drv*)
+// executeLater other drivers, regular compute tasks, and at most their own
+// private "probe" compute task, and block in getValue — but their effect
+// summaries cover only private per-driver locations, so nothing a driver
+// holds while blocked can be demanded by an unrelated task, except its own
+// probe, which the §3.1.4 blocked-on effect-transfer rule admits. Compute
+// tasks (cmp*, prb*) touch shared state and spawn/join or inline-call only
+// higher-index compute tasks; they never executeLater or getValue, so they
+// never block while holding contested effects (a joined spawn child either
+// runs under the transfer rules or is already running). Wait edges thus
+// point strictly down the task-index order, conflict edges only ever wait
+// on tasks that terminate, and no mixed wait/conflict cycle can form.
+//
+// The harness still exercises the interesting machinery: conflicting and
+// nested effects among compute tasks, wildcard summaries via widening,
+// effect transfer when blocked via probes, spawn/join covering-effect
+// transfer, and prioritized bypass of waiting tasks.
+package schedfuzz

@@ -1,0 +1,93 @@
+package schedfuzz
+
+// ShrinkSpec greedily minimizes a failing spec: it tries structure-removing
+// mutations (drop a task, drop an op, unwiden a summary, flatten a loop) and
+// keeps any mutant for which failing still returns true, iterating to a
+// fixpoint or until budget mutation attempts are spent. failing must be
+// (sufficiently) deterministic — with schedule fuzzing the caller typically
+// wraps RunSpec over all schedules so a flaky reproduction still counts.
+func ShrinkSpec(spec *Spec, failing func(*Spec) bool, budget int) *Spec {
+	cur := spec.Clone()
+	attempt := func(mutate func(*Spec) bool) bool {
+		if budget <= 0 {
+			return false
+		}
+		cand := cur.Clone()
+		if !mutate(cand) {
+			return false // mutation not applicable; costs no budget
+		}
+		budget--
+		if failing(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed && budget > 0; {
+		changed = false
+		// Drop whole tasks, highest index first so children vanish before
+		// their creators.
+		for ti := len(cur.Tasks) - 1; ti >= 1; ti-- {
+			i := ti
+			if attempt(func(s *Spec) bool {
+				if i >= len(s.Tasks) {
+					return false
+				}
+				s.DropTask(i)
+				return true
+			}) {
+				changed = true
+			}
+		}
+		// Drop individual ops, last first.
+		for ti := len(cur.Tasks) - 1; ti >= 0; ti-- {
+			for j := len(cur.Tasks[ti].Ops) - 1; j >= 0; j-- {
+				i, k := ti, j
+				if attempt(func(s *Spec) bool {
+					if i >= len(s.Tasks) || k >= len(s.Tasks[i].Ops) {
+						return false
+					}
+					s.DropOp(i, k)
+					return true
+				}) {
+					changed = true
+				}
+			}
+		}
+		// Simplify in place: remove widening, flatten loops.
+		for ti := range cur.Tasks {
+			i := ti
+			if cur.Tasks[i].WidenSeed != 0 {
+				if attempt(func(s *Spec) bool {
+					s.Tasks[i].WidenSeed = 0
+					return true
+				}) {
+					changed = true
+				}
+			}
+			for j, op := range cur.Tasks[i].Ops {
+				if op.Kind == OpLoopInc && op.Count > 1 {
+					k := j
+					if attempt(func(s *Spec) bool {
+						s.Tasks[i].Ops[k].Count = 1
+						return true
+					}) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// Shrink minimizes a spec whose RunSpec reported failures, using RunSpec
+// itself as the failing predicate. Budget bounds the number of differential
+// re-runs; shrinking a schedule-sensitive failure re-tests all schedules, so
+// a modest budget (tens) already costs many executions.
+func Shrink(spec *Spec, cfg Config, budget int) *Spec {
+	return ShrinkSpec(spec, func(s *Spec) bool {
+		return len(RunSpec(s, cfg)) > 0
+	}, budget)
+}

@@ -1,0 +1,420 @@
+package schedfuzz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Spec is the generator's intermediate representation of one fuzz program: a
+// task DAG over a small region universe, low-level enough to mutate (the
+// shrinker drops tasks and ops) and high-level enough to render to a TWEL
+// program and to fold analytically into the expected final store.
+//
+// Structural invariants (established by Generate, preserved by the mutation
+// helpers; Render assumes them):
+//
+//   - Tasks[0] is "main": a driver with no parameter. Every other task has
+//     exactly one parameter p.
+//   - Child indices in Launch/Spawn/Call ops are strictly greater than the
+//     index of the task containing the op, so the task graph is acyclic.
+//   - Driver tasks (TaskDriver) create and wait for tasks but touch only
+//     their own private locations; compute tasks (TaskCompute) touch shared
+//     locations but never executeLater/getValue. This split keeps every
+//     generated program deadlock-free: wait edges go strictly down the index
+//     order and effect-conflict edges never enter a task that can block
+//     while holding them (see the package comment in schedfuzz.go).
+//   - All global writes are commutative constant increments, so the final
+//     store is schedule-independent and exactly comparable across the
+//     semantics interpreter, the naive scheduler, and the tree scheduler.
+type Spec struct {
+	Seed    int64
+	Regions []string
+	Vars    []VarSpec
+	Arrays  []ArraySpec
+	Refs    []string
+	Tasks   []*TaskSpec
+}
+
+// VarSpec declares a scalar global living in the region path Path.
+type VarSpec struct {
+	Name string
+	Path []string
+}
+
+// ArraySpec declares a global array; element i lives in Path:[i].
+type ArraySpec struct {
+	Name string
+	Size int
+	Path []string
+}
+
+// TaskKind partitions tasks into drivers and compute tasks (see Spec).
+type TaskKind uint8
+
+const (
+	// TaskDriver tasks orchestrate: executeLater/getValue, plus increments
+	// restricted to the driver's private locations.
+	TaskDriver TaskKind = iota
+	// TaskCompute tasks do effectful work on shared state and may
+	// spawn/join or inline-call other compute tasks; they never
+	// executeLater or getValue.
+	TaskCompute
+)
+
+// TaskSpec is one task declaration. Ops execute sequentially.
+type TaskSpec struct {
+	Name          string
+	Kind          TaskKind
+	HasParam      bool
+	Deterministic bool
+	// WidenSeed, when nonzero, widens the task's inferred effect summary
+	// (indices to [?], suffixes to *, reads to writes) before declaring it.
+	// Only tasks that are never spawn or call targets may be widened.
+	WidenSeed uint64
+	Ops       []*Op
+}
+
+// Loc identifies a scalar global or one array element.
+type Loc struct {
+	Name    string
+	IsArray bool
+	// Index is the constant element index; if IndexFromParam, the index is
+	// ((p % size) + size) % size instead.
+	Index          int
+	IndexFromParam bool
+}
+
+// OpKind enumerates the op repertoire.
+type OpKind uint8
+
+const (
+	// OpInc: Loc = Loc + Amount (or + p when AmountFromParam).
+	OpInc OpKind = iota
+	// OpLoopInc: a counted loop performing Count increments of Amount.
+	OpLoopInc
+	// OpCondInc: if (p < CondK) { Loc = Loc + Amount }.
+	OpCondInc
+	// OpRead: a local sink read of Loc (read effect, no store change).
+	OpRead
+	// OpLaunch: Fut = executeLater Child(arg).
+	OpLaunch
+	// OpWait: getValue(Fut).
+	OpWait
+	// OpSpawn: Fut = spawn Child(arg).
+	OpSpawn
+	// OpJoin: join(Fut). A spawn without a join is joined implicitly when
+	// the body ends.
+	OpJoin
+	// OpCall: inline call Child(arg).
+	OpCall
+	// OpRefUse: addread/addwrite Ref; useref Ref — dynamic-effect syntax,
+	// a no-op at run time.
+	OpRefUse
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInc:
+		return "inc"
+	case OpLoopInc:
+		return "loopinc"
+	case OpCondInc:
+		return "condinc"
+	case OpRead:
+		return "read"
+	case OpLaunch:
+		return "launch"
+	case OpWait:
+		return "wait"
+	case OpSpawn:
+		return "spawn"
+	case OpJoin:
+		return "join"
+	case OpCall:
+		return "call"
+	case OpRefUse:
+		return "refuse"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one operation of a task body. Which fields are meaningful depends
+// on Kind.
+type Op struct {
+	Kind            OpKind
+	Loc             Loc
+	Amount          int
+	AmountFromParam bool
+	Count           int
+	CondK           int
+	Child           int
+	Fut             string
+	Arg             int
+	ArgFromParam    bool
+	Ref             string
+	RefWrite        bool
+}
+
+// createsChild reports that the op instantiates Child.
+func (o *Op) createsChild() bool {
+	return o.Kind == OpLaunch || o.Kind == OpSpawn || o.Kind == OpCall
+}
+
+// Store is a final program store: globals plus arrays. It is the unit of
+// differential comparison.
+type Store struct {
+	Globals map[string]int
+	Arrays  map[string][]int
+}
+
+// Equal reports exact store equality.
+func (s Store) Equal(o Store) bool {
+	if len(s.Globals) != len(o.Globals) || len(s.Arrays) != len(o.Arrays) {
+		return false
+	}
+	for k, v := range s.Globals {
+		if ov, ok := o.Globals[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range s.Arrays {
+		ov, ok := o.Arrays[k]
+		if !ok || len(ov) != len(v) {
+			return false
+		}
+		for i := range v {
+			if v[i] != ov[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the store with sorted keys, for failure reports.
+func (s Store) String() string {
+	var parts []string
+	for _, k := range sortedKeys(s.Globals) {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, s.Globals[k]))
+	}
+	arrKeys := make([]string, 0, len(s.Arrays))
+	for k := range s.Arrays {
+		arrKeys = append(arrKeys, k)
+	}
+	sort.Strings(arrKeys)
+	for _, k := range arrKeys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, s.Arrays[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// DiffStores describes the first differences between two stores.
+func DiffStores(label1 string, a Store, label2 string, b Store) string {
+	var diffs []string
+	for _, k := range sortedKeys(a.Globals) {
+		if a.Globals[k] != b.Globals[k] {
+			diffs = append(diffs, fmt.Sprintf("%s: %s=%d vs %s=%d", k, label1, a.Globals[k], label2, b.Globals[k]))
+		}
+	}
+	arrKeys := make([]string, 0, len(a.Arrays))
+	for k := range a.Arrays {
+		arrKeys = append(arrKeys, k)
+	}
+	sort.Strings(arrKeys)
+	for _, k := range arrKeys {
+		av, bv := a.Arrays[k], b.Arrays[k]
+		for i := range av {
+			if i >= len(bv) || av[i] != bv[i] {
+				diffs = append(diffs, fmt.Sprintf("%s[%d]: %s=%d vs %s", k, i, label1, av[i], label2))
+				break
+			}
+		}
+	}
+	if len(diffs) == 0 {
+		return "stores equal"
+	}
+	return strings.Join(diffs, "; ")
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// arraySize returns the declared size of the named array.
+func (s *Spec) arraySize(name string) int {
+	for _, a := range s.Arrays {
+		if a.Name == name {
+			return a.Size
+		}
+	}
+	return 1
+}
+
+// boundedIdx mirrors the rendered ((p % size) + size) % size expression.
+func boundedIdx(p, size int) int {
+	return ((p % size) + size) % size
+}
+
+// ExpectedStore folds the spec analytically into the unique final store.
+// Because every write is a commutative constant increment and the schedulers
+// make each task atomic with respect to interfering tasks, every legal
+// schedule of the interpreter and of both runtimes must produce exactly this
+// store — the analytic half of the differential oracle.
+func (s *Spec) ExpectedStore() Store {
+	st := Store{Globals: map[string]int{}, Arrays: map[string][]int{}}
+	for _, v := range s.Vars {
+		st.Globals[v.Name] = 0
+	}
+	for _, a := range s.Arrays {
+		st.Arrays[a.Name] = make([]int, a.Size)
+	}
+	var run func(ti, arg int)
+	run = func(ti, arg int) {
+		for _, op := range s.Tasks[ti].Ops {
+			amount := op.Amount
+			if op.AmountFromParam {
+				amount = arg
+			}
+			switch op.Kind {
+			case OpInc:
+				s.applyInc(&st, op, arg, amount)
+			case OpLoopInc:
+				for i := 0; i < op.Count; i++ {
+					s.applyInc(&st, op, arg, amount)
+				}
+			case OpCondInc:
+				if arg < op.CondK {
+					s.applyInc(&st, op, arg, amount)
+				}
+			case OpLaunch, OpSpawn, OpCall:
+				childArg := op.Arg
+				if op.ArgFromParam {
+					childArg = arg
+				}
+				run(op.Child, childArg)
+			}
+		}
+	}
+	run(0, 0)
+	return st
+}
+
+func (s *Spec) applyInc(st *Store, op *Op, arg, amount int) {
+	if op.Loc.IsArray {
+		idx := op.Loc.Index
+		if op.Loc.IndexFromParam {
+			idx = boundedIdx(arg, s.arraySize(op.Loc.Name))
+		}
+		st.Arrays[op.Loc.Name][idx] += amount
+	} else {
+		st.Globals[op.Loc.Name] += amount
+	}
+}
+
+// Instances returns the total number of task instances one run creates
+// (main plus every transitive launch/spawn/call). Generate keeps it bounded.
+func (s *Spec) Instances() int {
+	memo := make([]int, len(s.Tasks))
+	for i := len(s.Tasks) - 1; i >= 0; i-- {
+		n := 1
+		for _, op := range s.Tasks[i].Ops {
+			if op.createsChild() {
+				n += memo[op.Child]
+			}
+		}
+		memo[i] = n
+	}
+	if len(memo) == 0 {
+		return 0
+	}
+	return memo[0]
+}
+
+// Clone deep-copies the spec so mutations don't alias.
+func (s *Spec) Clone() *Spec {
+	out := &Spec{
+		Seed:    s.Seed,
+		Regions: append([]string(nil), s.Regions...),
+		Vars:    make([]VarSpec, len(s.Vars)),
+		Arrays:  make([]ArraySpec, len(s.Arrays)),
+		Refs:    append([]string(nil), s.Refs...),
+		Tasks:   make([]*TaskSpec, len(s.Tasks)),
+	}
+	for i, v := range s.Vars {
+		out.Vars[i] = VarSpec{Name: v.Name, Path: append([]string(nil), v.Path...)}
+	}
+	for i, a := range s.Arrays {
+		out.Arrays[i] = ArraySpec{Name: a.Name, Size: a.Size, Path: append([]string(nil), a.Path...)}
+	}
+	for i, t := range s.Tasks {
+		nt := *t
+		nt.Ops = make([]*Op, len(t.Ops))
+		for j, op := range t.Ops {
+			cp := *op
+			nt.Ops[j] = &cp
+		}
+		out.Tasks[i] = &nt
+	}
+	return out
+}
+
+// DropTask removes task ti (never 0) along with every op that creates or
+// waits for it, renumbering the remaining child indices. The result
+// preserves the Spec invariants.
+func (s *Spec) DropTask(ti int) {
+	if ti <= 0 || ti >= len(s.Tasks) {
+		return
+	}
+	s.Tasks = append(s.Tasks[:ti], s.Tasks[ti+1:]...)
+	for _, t := range s.Tasks {
+		var kept []*Op
+		dropped := map[string]bool{} // futures of dropped creators
+		for _, op := range t.Ops {
+			if op.createsChild() && op.Child == ti {
+				if op.Fut != "" {
+					dropped[op.Fut] = true
+				}
+				continue
+			}
+			if (op.Kind == OpWait || op.Kind == OpJoin) && dropped[op.Fut] {
+				continue
+			}
+			if op.createsChild() && op.Child > ti {
+				op.Child--
+			}
+			kept = append(kept, op)
+		}
+		t.Ops = kept
+	}
+}
+
+// DropOp removes op j of task ti; if the op creates a future, its paired
+// wait/join is removed too.
+func (s *Spec) DropOp(ti, j int) {
+	if ti < 0 || ti >= len(s.Tasks) {
+		return
+	}
+	t := s.Tasks[ti]
+	if j < 0 || j >= len(t.Ops) {
+		return
+	}
+	victim := t.Ops[j]
+	var kept []*Op
+	for k, op := range t.Ops {
+		if k == j {
+			continue
+		}
+		if victim.createsChild() && victim.Fut != "" &&
+			(op.Kind == OpWait || op.Kind == OpJoin) && op.Fut == victim.Fut {
+			continue
+		}
+		kept = append(kept, op)
+	}
+	t.Ops = kept
+}

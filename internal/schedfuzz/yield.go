@@ -1,0 +1,51 @@
+package schedfuzz
+
+import (
+	"runtime"
+	"time"
+
+	"twe/internal/core"
+)
+
+// Yielder produces the controlled-preemption function installed into the
+// runtime with core.WithYield. At every scheduling-relevant point (submit,
+// start, block, unblock, finish) it decides — as a pure function of
+// (seed, schedule, future sequence number, point) — whether the current
+// goroutine yields the processor, and how hard. Varying the schedule index
+// with a fixed seed drives the same program through different interleavings
+// deterministically enough that `twe-fuzz -seed N -schedule M` replays the
+// perturbation pattern exactly; the Go runtime adds residual nondeterminism,
+// which the differential oracle tolerates because correct outcomes are
+// schedule-independent by construction.
+//
+// Schedule 0 means "no perturbation": callers should install no yielder at
+// all for it, keeping a pristine baseline in the schedule sweep.
+func Yielder(seed int64, schedule int) func(f *core.Future, p core.YieldPoint) {
+	base := mix(mix(uint64(seed), uint64(schedule)+0x51ed2701), 0x2545f4914f6cdd1d)
+	return func(f *core.Future, p core.YieldPoint) {
+		h := mix(base, f.Seq()*8+uint64(p))
+		switch h % 16 {
+		case 0, 1, 2, 3:
+			runtime.Gosched()
+		case 4, 5:
+			for i := 0; i < int(h>>4%4)+2; i++ {
+				runtime.Gosched()
+			}
+		case 6:
+			// A real delay reorders more aggressively than Gosched when all
+			// workers are runnable.
+			time.Sleep(time.Duration(h>>4%50+1) * time.Microsecond)
+		default:
+			// No yield: most points proceed untouched so programs still
+			// finish quickly.
+		}
+	}
+}
+
+// mix is a splitmix64-style finalizer over the pair (h, v).
+func mix(h, v uint64) uint64 {
+	z := h ^ (v + 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

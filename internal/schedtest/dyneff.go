@@ -1,0 +1,192 @@
+package schedtest
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twe/internal/core"
+	"twe/internal/dyneff"
+)
+
+// Dynamic-effects conformance (dissertation Ch. 7): tasks whose side
+// effects live in dynamic reference sets must stay correct under any
+// scheduler — conflicting sections abort and retry with exact-once commit
+// semantics, and the undo log restores the pre-state of every aborted
+// attempt. The cases run dyneff sections inside tasks on the real runtime,
+// so the scheduler under test controls when the sections collide.
+
+// dyneffCounterExact: heavily conflicting increment sections on one ref
+// must commit exactly once each — the final counter equals tasks×increments
+// no matter how many attempts aborted along the way.
+func dyneffCounterExact(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 4)
+	defer finish()
+
+	reg := dyneff.NewRegistry()
+	counter := dyneff.NewRef(reg, 0)
+	const tasks, perTask = 6, 25
+
+	worker := core.NewTask("dyn-inc", es("pure"), func(_ *core.Ctx, _ any) (any, error) {
+		for i := 0; i < perTask; i++ {
+			_, err := reg.Run(func(tx *dyneff.Tx) error {
+				v := tx.Get(counter).(int)
+				if !tx.AssertIn(counter) {
+					t.Error("AssertIn false after Get")
+				}
+				tx.Set(counter, v+1)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+
+	futs := make([]*core.Future, tasks)
+	for i := range futs {
+		futs[i] = rt.ExecuteLater(worker, nil)
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := counter.Peek().(int); got != tasks*perTask {
+		t.Errorf("counter = %d, want %d (lost or doubled updates across %d aborts)",
+			got, tasks*perTask, reg.Aborts())
+	}
+	if c := reg.Commits(); c != tasks*perTask {
+		t.Errorf("commits = %d, want %d", c, tasks*perTask)
+	}
+}
+
+// dyneffAbortRestoresPreState: a younger section that wrote refA and then
+// aborts acquiring refB (held by an older section) must roll refA back —
+// the older section observes the pre-state, and the retry commits exactly
+// once.
+func dyneffAbortRestoresPreState(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 2)
+	defer finish()
+
+	reg := dyneff.NewRegistry()
+	refA := dyneff.NewRef(reg, 10)
+	refB := dyneff.NewRef(reg, 20)
+
+	olderHoldsB := make(chan struct{})
+	var seenByOlder atomic.Int64
+
+	older := core.NewTask("older", es("pure"), func(_ *core.Ctx, _ any) (any, error) {
+		_, err := reg.Run(func(tx *dyneff.Tx) error {
+			v := tx.Get(refB).(int) // acquire B first; the younger will abort on it
+			close(olderHoldsB)
+			// Wait until the younger section aborted at least once, i.e. it
+			// wrote refA and was rolled back.
+			for reg.Aborts() == 0 {
+				time.Sleep(10 * time.Microsecond)
+			}
+			// The undo log must have restored refA: any value other than
+			// the initial one means an aborted write leaked.
+			seenByOlder.Store(int64(tx.Get(refA).(int)))
+			tx.Set(refB, v+5)
+			return nil
+		})
+		return nil, err
+	})
+	younger := core.NewTask("younger", es("pure"), func(_ *core.Ctx, _ any) (any, error) {
+		_, err := reg.Run(func(tx *dyneff.Tx) error {
+			tx.Set(refA, tx.Get(refA).(int)+1)
+			tx.Set(refB, tx.Get(refB).(int)+2) // conflicts with the older holder → abort
+			return nil
+		})
+		return nil, err
+	})
+
+	fo := rt.ExecuteLater(older, nil)
+	<-olderHoldsB
+	fy := rt.ExecuteLater(younger, nil)
+	if _, err := rt.GetValue(fo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.GetValue(fy); err != nil {
+		t.Fatal(err)
+	}
+
+	if v := seenByOlder.Load(); v != 10 {
+		t.Errorf("older saw refA = %d after the younger aborted, want pre-state 10", v)
+	}
+	if reg.Aborts() < 1 {
+		t.Error("expected at least one abort")
+	}
+	if c := reg.Commits(); c != 2 {
+		t.Errorf("commits = %d, want 2", c)
+	}
+	if a := refA.Peek().(int); a != 11 {
+		t.Errorf("refA = %d, want 11 (exactly one committed increment)", a)
+	}
+	if b := refB.Peek().(int); b != 27 {
+		t.Errorf("refB = %d, want 27 (20 + older's 5 + younger's 2)", b)
+	}
+}
+
+// dyneffTransferConservation: concurrent transfer sections over a pool of
+// account refs — the classic shape the dynamic reference sets exist for
+// (§7.2.2): which accounts a task touches is data-dependent. Conservation
+// must hold exactly; commits must equal the number of sections.
+func dyneffTransferConservation(t *testing.T, mk Factory) {
+	rt, _, finish := newRT(t, mk, 4)
+	defer finish()
+
+	reg := dyneff.NewRegistry()
+	const accounts, tasks, perTask, initial = 4, 8, 20, 100
+	refs := make([]*dyneff.Ref, accounts)
+	for i := range refs {
+		refs[i] = dyneff.NewRef(reg, initial)
+	}
+
+	// The account pair each transfer touches is derived from the task's
+	// argument — unknowable statically, exactly the dynamic-effects case.
+	worker := core.NewTask("transfer", es("pure"), func(_ *core.Ctx, arg any) (any, error) {
+		h := uint64(arg.(int))*0x9e3779b97f4a7c15 + 1
+		for i := 0; i < perTask; i++ {
+			h ^= h << 13
+			h ^= h >> 7
+			h ^= h << 17
+			from := refs[h%accounts]
+			to := refs[(h>>8)%accounts]
+			if from == to {
+				continue
+			}
+			if _, err := reg.Run(func(tx *dyneff.Tx) error {
+				fv := tx.Get(from).(int)
+				tv := tx.Get(to).(int)
+				tx.Set(from, fv-1)
+				tx.Set(to, tv+1)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+
+	futs := make([]*core.Future, tasks)
+	for i := range futs {
+		futs[i] = rt.ExecuteLater(worker, i)
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	total := 0
+	for _, r := range refs {
+		total += r.Peek().(int)
+	}
+	if total != accounts*initial {
+		t.Errorf("conservation violated: total = %d, want %d (%d aborts)",
+			total, accounts*initial, reg.Aborts())
+	}
+}

@@ -43,6 +43,9 @@ func Run(t *testing.T, name string, mk Factory) {
 	t.Run(name+"/WildcardEffects", func(t *testing.T) { wildcardEffects(t, mk) })
 	t.Run(name+"/Pipeline", func(t *testing.T) { pipeline(t, mk) })
 	t.Run(name+"/IndexedRegions", func(t *testing.T) { indexedRegions(t, mk) })
+	t.Run(name+"/DyneffCounterExact", func(t *testing.T) { dyneffCounterExact(t, mk) })
+	t.Run(name+"/DyneffAbortRestoresPreState", func(t *testing.T) { dyneffAbortRestoresPreState(t, mk) })
+	t.Run(name+"/DyneffTransferConservation", func(t *testing.T) { dyneffTransferConservation(t, mk) })
 }
 
 func es(s string) effect.Set { return effect.MustParse(s) }

@@ -167,6 +167,43 @@ func (in *Interp) Arrays() map[string][]int {
 // Steps returns the number of transitions taken.
 func (in *Interp) Steps() int { return in.steps }
 
+// Outcome is the structured result of executing a program under the
+// semantics: the ground truth a differential harness compares the real
+// runtimes against.
+type Outcome struct {
+	// Quiesced reports that the configuration reached quiescence (no
+	// waiting or running tasks) within the step budget. False means the
+	// budget expired or the program deadlocked under this schedule.
+	Quiesced bool
+	// Steps is the number of transitions taken.
+	Steps int
+	// Globals and Arrays are the final stores.
+	Globals map[string]int
+	Arrays  map[string][]int
+	// Violations are the oracle verdicts (isolation, race, covering).
+	Violations []Violation
+}
+
+// Execute imports a checked TWEL program, launches the named task with the
+// given arguments, runs the schedule chosen by seed to quiescence (bounded
+// by maxSteps transitions), and returns the structured outcome. It is the
+// one-call entry point used by schedule fuzzing (internal/schedfuzz) and
+// any other client that treats the semantics as an executable oracle.
+func Execute(prog *lang.Program, task string, seed int64, maxSteps int, args ...int) (*Outcome, error) {
+	in := New(prog, seed)
+	if _, err := in.Launch(task, args...); err != nil {
+		return nil, err
+	}
+	quiesced := in.Run(maxSteps)
+	return &Outcome{
+		Quiesced:   quiesced,
+		Steps:      in.Steps(),
+		Globals:    in.Globals(),
+		Arrays:     in.Arrays(),
+		Violations: append([]Violation(nil), in.Violations...),
+	}, nil
+}
+
 func (in *Interp) violate(format string, args ...any) {
 	in.Violations = append(in.Violations, Violation{Step: in.steps, Msg: fmt.Sprintf(format, args...)})
 }

@@ -793,6 +793,15 @@ func (s *Scheduler) NodeCount() int {
 	return count(s.root)
 }
 
+// Pending returns the number of submitted tasks that are not yet enabled.
+// Diagnostics (twe-fuzz deadlock reports) use it; a nonzero value after the
+// runtime should have quiesced means tasks are stuck waiting for effects.
+func (s *Scheduler) Pending() int {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	return len(s.waiting)
+}
+
 // PendingEffects returns the number of effects currently held in the tree;
 // zero after quiescence.
 func (s *Scheduler) PendingEffects() int {
