@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz check
+.PHONY: build test race vet fuzz obs-smoke check
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,21 @@ vet:
 # Pinned-seed differential fuzz smoke (see DESIGN.md §6).
 fuzz:
 	$(GO) run ./cmd/twe-fuzz -seed 0 -n 300 -schedules 2 -timeout 20s
+
+# Observability smoke (see DESIGN.md §7): run two workloads under the
+# tracer + isolation oracle, then structurally validate the emitted
+# Chrome trace and Prometheus dump; obs/core tests run under -race.
+obs-smoke:
+	$(GO) test -race ./internal/obs/ ./internal/core/
+	$(GO) build -o /tmp/twe-trace-smoke ./cmd/twe-trace
+	/tmp/twe-trace-smoke -app kmeans -sched tree -par 4 -isolcheck \
+		-trace /tmp/twe-smoke-kmeans.json -metrics /tmp/twe-smoke-kmeans.prom
+	/tmp/twe-trace-smoke -app server -sched naive -par 4 -isolcheck \
+		-trace /tmp/twe-smoke-server.json -metrics /tmp/twe-smoke-server.prom
+	/tmp/twe-trace-smoke -check /tmp/twe-smoke-kmeans.json
+	/tmp/twe-trace-smoke -check /tmp/twe-smoke-server.json
+	/tmp/twe-trace-smoke -checkmetrics /tmp/twe-smoke-kmeans.prom
+	/tmp/twe-trace-smoke -checkmetrics /tmp/twe-smoke-server.prom
 
 check:
 	./ci.sh

@@ -21,4 +21,18 @@ go test -race ./internal/...
 echo '== twe-fuzz smoke =='
 go run ./cmd/twe-fuzz -seed 0 -n 300 -schedules 2 -timeout 20s
 
+# Observability smoke (DESIGN.md §7): trace two workloads under the
+# isolation oracle and validate the Chrome trace / Prometheus outputs
+# with twe-trace's built-in structural checkers — no external tools.
+echo '== obs smoke =='
+go build -o /tmp/twe-trace-ci ./cmd/twe-trace
+/tmp/twe-trace-ci -app kmeans -sched tree -par 4 -isolcheck \
+	-trace /tmp/twe-ci-kmeans.json -metrics /tmp/twe-ci-kmeans.prom
+/tmp/twe-trace-ci -app server -sched naive -par 4 -isolcheck \
+	-trace /tmp/twe-ci-server.json -metrics /tmp/twe-ci-server.prom
+/tmp/twe-trace-ci -check /tmp/twe-ci-kmeans.json
+/tmp/twe-trace-ci -check /tmp/twe-ci-server.json
+/tmp/twe-trace-ci -checkmetrics /tmp/twe-ci-kmeans.prom
+/tmp/twe-trace-ci -checkmetrics /tmp/twe-ci-server.prom
+
 echo 'ci: OK'

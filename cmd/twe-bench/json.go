@@ -1,0 +1,118 @@
+// JSON benchmark mode: perf-trajectory snapshots for regression tracking.
+//
+// `twe-bench -json <dir>` runs every registry workload (internal/workloads,
+// the same CI-sized inputs cmd/twe-trace uses) under both schedulers across
+// the -threads sweep and writes one BENCH_<workload>.json per workload.
+// The schema is documented in EXPERIMENTS.md ("Perf-trajectory JSON");
+// sessions diff these files to catch scheduler-overhead regressions that
+// the human-readable figure tables hide.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"twe/internal/core"
+	"twe/internal/obs"
+	"twe/internal/workloads"
+)
+
+// benchRun is one (scheduler × parallelism) measurement of a workload.
+type benchRun struct {
+	Scheduler       string  `json:"scheduler"`
+	Par             int     `json:"par"`
+	Reps            int     `json:"reps"`
+	NsPerOp         int64   `json:"ns_per_op"` // median wall time of one full run
+	MinNs           int64   `json:"min_ns"`
+	MaxNs           int64   `json:"max_ns"`
+	Tasks           uint64  `json:"tasks"`           // tasks per run (submits + spawns)
+	TasksPerSec     float64 `json:"tasks_per_sec"`   // tasks / median seconds
+	ConflictChecks  uint64  `json:"conflict_checks"` // per run (averaged over reps)
+	ConflictHits    uint64  `json:"conflict_hits"`
+	ConflictHitRate float64 `json:"conflict_hit_rate"`
+	Blocks          uint64  `json:"blocks"`
+	Transfers       uint64  `json:"transfers"`
+}
+
+// benchFile is the BENCH_<workload>.json document.
+type benchFile struct {
+	SchemaVersion int        `json:"schema_version"`
+	Workload      string     `json:"workload"`
+	GeneratedBy   string     `json:"generated_by"`
+	Runs          []benchRun `json:"runs"`
+}
+
+// runJSON produces BENCH_<workload>.json for every registry workload.
+func runJSON(dir string, threads []int, reps int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, w := range workloads.All() {
+		doc := benchFile{SchemaVersion: 1, Workload: w.Name, GeneratedBy: "twe-bench -json"}
+		for _, sched := range []struct {
+			name string
+			mk   func() core.Scheduler
+		}{{"tree", mkTree}, {"naive", mkNaive}} {
+			for _, par := range threads {
+				r, err := measureJSON(w, sched.name, sched.mk, par, reps)
+				if err != nil {
+					return fmt.Errorf("%s/%s@%d: %w", w.Name, sched.name, par, err)
+				}
+				doc.Runs = append(doc.Runs, r)
+			}
+		}
+		path := filepath.Join(dir, "BENCH_"+w.Name+".json")
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d runs)\n", path, len(doc.Runs))
+	}
+	return nil
+}
+
+// measureJSON times reps runs of w under one scheduler/parallelism and
+// folds in the tracer's scheduler metrics. One metrics-only tracer spans
+// all reps; per-run counters divide by reps.
+func measureJSON(w workloads.Workload, schedName string, mk func() core.Scheduler, par, reps int) (benchRun, error) {
+	tr := obs.New(obs.WithCapacity(1024))
+	times := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := w.Run(mk, par, core.WithTracer(tr)); err != nil {
+			return benchRun{}, err
+		}
+		times = append(times, time.Since(start))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	med := times[len(times)/2]
+
+	s := tr.Metrics().Snapshot()
+	n := uint64(reps)
+	tasks := (s.TasksSubmitted + s.Spawns) / n
+	r := benchRun{
+		Scheduler:       schedName,
+		Par:             par,
+		Reps:            reps,
+		NsPerOp:         med.Nanoseconds(),
+		MinNs:           times[0].Nanoseconds(),
+		MaxNs:           times[len(times)-1].Nanoseconds(),
+		Tasks:           tasks,
+		ConflictChecks:  s.ConflictChecks / n,
+		ConflictHits:    s.ConflictHits / n,
+		ConflictHitRate: s.ConflictHitRate(),
+		Blocks:          s.Blocks / n,
+		Transfers:       s.Transfers / n,
+	}
+	if sec := med.Seconds(); sec > 0 {
+		r.TasksPerSec = float64(tasks) / sec
+	}
+	return r, nil
+}

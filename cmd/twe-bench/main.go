@@ -49,6 +49,7 @@ var (
 	threadsFlag = flag.String("threads", "1,2,4,8", "comma-separated thread sweep")
 	repsFlag    = flag.Int("reps", 3, "repetitions per configuration (paper: 11)")
 	scaleFlag   = flag.String("scale", "small", "input scale: small (CI-sized) or paper")
+	jsonFlag    = flag.String("json", "", "write BENCH_<workload>.json perf snapshots into this directory and exit (see EXPERIMENTS.md for the schema)")
 )
 
 func mkNaive() core.Scheduler { return naive.New() }
@@ -113,6 +114,14 @@ func main() {
 		os.Exit(2)
 	}
 	reps := *repsFlag
+
+	if *jsonFlag != "" {
+		if err := runJSON(*jsonFlag, threads, reps); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, f func(sizes, []int, int) []*bench.Figure) {
 		for _, fig := range f(sz, threads, reps) {

@@ -1,0 +1,280 @@
+// Command twe-trace runs one of the example TWE workloads (internal/apps)
+// under the observability tracer (internal/obs) and exports the results:
+//
+//	twe-trace -app kmeans -sched tree -par 4 -trace kmeans.json -metrics kmeans.prom
+//
+// The trace file is Chrome trace-event JSON — open it at https://ui.perfetto.dev
+// (or chrome://tracing) to see per-worker task run spans, block/unblock
+// nesting, and conflict-stall instants. The metrics file is Prometheus text
+// exposition format; a human-readable snapshot summary is always printed to
+// stderr.
+//
+// With -isolcheck the run also installs the independent isolation oracle
+// (internal/isolcheck); its violations (there should be none) and
+// peak-concurrency high-water marks appear as trace instants.
+//
+// Validation modes for CI (no external tools needed):
+//
+//	twe-trace -check trace.json        # structurally validate a trace file
+//	twe-trace -checkmetrics m.prom     # validate a Prometheus dump
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"twe/internal/core"
+	"twe/internal/isolcheck"
+	"twe/internal/naive"
+	"twe/internal/obs"
+	"twe/internal/tree"
+	"twe/internal/workloads"
+)
+
+var (
+	appFlag     = flag.String("app", "", "workload to run (see -list)")
+	schedFlag   = flag.String("sched", "tree", "scheduler: tree or naive")
+	parFlag     = flag.Int("par", 4, "pool parallelism")
+	traceFlag   = flag.String("trace", "", "write Chrome trace-event JSON to this file")
+	metricsFlag = flag.String("metrics", "", "write Prometheus text metrics to this file")
+	eventsFlag  = flag.Int("events", 1<<14, "tracer ring capacity per shard (events)")
+	isoFlag     = flag.Bool("isolcheck", false, "run the isolation oracle and mirror its findings into the trace")
+	listFlag    = flag.Bool("list", false, "list available workloads and exit")
+	checkFlag   = flag.String("check", "", "validate a Chrome trace JSON file and exit")
+	checkMFlag  = flag.String("checkmetrics", "", "validate a Prometheus metrics dump and exit")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "twe-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	switch {
+	case *listFlag:
+		for _, w := range workloads.All() {
+			fmt.Printf("%-12s %s\n", w.Name, w.Desc)
+		}
+		return nil
+	case *checkFlag != "":
+		return checkTrace(*checkFlag)
+	case *checkMFlag != "":
+		return checkMetrics(*checkMFlag)
+	}
+
+	if *appFlag == "" {
+		return fmt.Errorf("missing -app (use -list to see workloads)")
+	}
+	w, err := workloads.Get(*appFlag)
+	if err != nil {
+		return err
+	}
+	var mk func() core.Scheduler
+	switch *schedFlag {
+	case "tree":
+		mk = func() core.Scheduler { return tree.New() }
+	case "naive":
+		mk = func() core.Scheduler { return naive.New() }
+	default:
+		return fmt.Errorf("unknown scheduler %q (want tree or naive)", *schedFlag)
+	}
+
+	tr := obs.New(obs.WithCapacity(*eventsFlag))
+	opts := []core.Option{core.WithTracer(tr)}
+	var checker *isolcheck.Checker
+	if *isoFlag {
+		checker = isolcheck.New()
+		checker.SetTracer(tr)
+		opts = append(opts, core.WithMonitor(checker))
+	}
+
+	if err := w.Run(mk, *parFlag, opts...); err != nil {
+		return fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+
+	snap := tr.Metrics().Snapshot()
+	fmt.Fprintf(os.Stderr, "%s (%s, par=%d): %d submitted, %d completed, %d blocks, %d transfers\n",
+		w.Name, *schedFlag, *parFlag,
+		snap.TasksSubmitted, snap.TasksCompleted, snap.Blocks, snap.Transfers)
+	fmt.Fprintf(os.Stderr, "  conflict checks %d, hits %d (rate %.3f); admission scans %d, tree node visits %d\n",
+		snap.ConflictChecks, snap.ConflictHits, snap.ConflictHitRate(),
+		snap.AdmissionScans, snap.TreeNodeVisits)
+	fmt.Fprintf(os.Stderr, "  events recorded %d, dropped %d; peak pool running %d, peak queue depth %d\n",
+		tr.Len(), tr.Dropped(), snap.PoolRunningPeak, snap.QueueDepthPeak)
+	if checker != nil {
+		starts, peak := checker.Stats()
+		fmt.Fprintf(os.Stderr, "  isolcheck: %d starts, peak %d concurrent, %d violations\n",
+			starts, peak, len(checker.Violations()))
+		for _, v := range checker.Violations() {
+			fmt.Fprintln(os.Stderr, "  VIOLATION:", v)
+		}
+	}
+
+	if *traceFlag != "" {
+		if err := writeFile(*traceFlag, func(f *os.File) error { return tr.WriteChromeTrace(f) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  trace written to %s (load in https://ui.perfetto.dev)\n", *traceFlag)
+	}
+	if *metricsFlag != "" {
+		wr := func(f *os.File) error { _, err := tr.Metrics().WriteTo(f); return err }
+		if err := writeFile(*metricsFlag, wr); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  metrics written to %s\n", *metricsFlag)
+	}
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// checkTrace structurally validates a Chrome trace-event JSON file: it must
+// parse, contain events, include at least one complete ("X") task span and
+// thread-name metadata, and every event must carry the required keys.
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no traceEvents", path)
+	}
+	var spans, meta int
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			return fmt.Errorf("%s: event %d has no ph", path, i)
+		}
+		if _, ok := ev["name"].(string); !ok {
+			return fmt.Errorf("%s: event %d has no name", path, i)
+		}
+		switch ph {
+		case "X":
+			spans++
+			if _, ok := ev["dur"]; !ok {
+				return fmt.Errorf("%s: complete event %d has no dur", path, i)
+			}
+			fallthrough
+		case "i":
+			if _, ok := ev["ts"]; !ok {
+				return fmt.Errorf("%s: event %d has no ts", path, i)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("%s: no task run spans (ph=X)", path)
+	}
+	if meta == 0 {
+		return fmt.Errorf("%s: no thread metadata (ph=M)", path)
+	}
+	fmt.Printf("%s: ok (%d events, %d spans, %d metadata)\n", path, len(doc.TraceEvents), spans, meta)
+	return nil
+}
+
+// requiredMetrics are the families every twe-trace metrics dump must expose.
+var requiredMetrics = []string{
+	"twe_tasks_submitted_total",
+	"twe_tasks_completed_total",
+	"twe_conflict_checks_total",
+	"twe_sched_queue_depth_peak",
+	"twe_pool_running_peak",
+	"twe_admission_latency_seconds_bucket",
+	"twe_admission_latency_seconds_count",
+}
+
+// checkMetrics validates a Prometheus text-format dump: every required
+// family is present with HELP/TYPE headers, sample lines parse as
+// name[{labels}] value, and the admission histogram's +Inf bucket equals
+// its _count.
+func checkMetrics(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	seen := map[string]bool{}
+	var help, typ int
+	var infBucket, count float64
+	var lines int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		lines++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP") {
+			help++
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE") {
+			typ++
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("%s: malformed sample line %d: %q", path, lines, line)
+		}
+		val, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return fmt.Errorf("%s: line %d: bad value: %w", path, lines, err)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return fmt.Errorf("%s: line %d: unterminated labels: %q", path, lines, line)
+			}
+			if strings.Contains(name, `le="+Inf"`) {
+				infBucket = val
+			}
+			name = name[:i]
+		}
+		seen[name] = true
+		if name == "twe_admission_latency_seconds_count" {
+			count = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, m := range requiredMetrics {
+		if !seen[m] {
+			return fmt.Errorf("%s: missing metric %s", path, m)
+		}
+	}
+	if help == 0 || typ == 0 {
+		return fmt.Errorf("%s: missing # HELP / # TYPE headers", path)
+	}
+	if infBucket != count {
+		return fmt.Errorf("%s: histogram +Inf bucket (%g) != count (%g)", path, infBucket, count)
+	}
+	fmt.Printf("%s: ok (%d metric families, histogram consistent)\n", path, len(seen))
+	return nil
+}

@@ -194,8 +194,8 @@ func RunPool(bodies []Body, t *Tree, par int) {
 // DPJ's runtime "can use recursive subdivision to split the iterations of
 // parallel loops" while TWEJava lacked a construct for it (§6.2);
 // ParallelFor supplies that construct in the TWE model.
-func RunTWESubdivide(bodies []Body, t *Tree, mkSched func() core.Scheduler, par int) error {
-	rt := core.NewRuntime(mkSched(), par)
+func RunTWESubdivide(bodies []Body, t *Tree, mkSched func() core.Scheduler, par int, opts ...core.Option) error {
+	rt := core.NewRuntime(mkSched(), par, opts...)
 	defer rt.Shutdown()
 	grain := (len(bodies) + 8*par - 1) / (8 * par)
 	if grain < 1 {
@@ -216,8 +216,8 @@ func RunTWESubdivide(bodies []Body, t *Tree, mkSched func() core.Scheduler, par 
 // structure ("we create one task per thread using the spawn operation,
 // each operating on a portion of the total set of bodies, which is divided
 // using an index-parameterized array").
-func RunTWE(bodies []Body, t *Tree, mkSched func() core.Scheduler, par int) error {
-	rt := core.NewRuntime(mkSched(), par)
+func RunTWE(bodies []Body, t *Tree, mkSched func() core.Scheduler, par int, opts ...core.Option) error {
+	rt := core.NewRuntime(mkSched(), par, opts...)
 	defer rt.Shutdown()
 
 	sliceEff := func(w int) effect.Set {

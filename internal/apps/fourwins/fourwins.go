@@ -190,8 +190,8 @@ func RunPool(b Board, player int8, depth, par int) AIResult {
 // top-level move, each writing its value into its own region "AI:[c]".
 // Two plies are expanded in parallel (top-level moves spawn their replies)
 // as in the recursive parallel computation the paper describes.
-func RunTWE(b Board, player int8, depth int, mkSched func() core.Scheduler, par int) (AIResult, error) {
-	rt := core.NewRuntime(mkSched(), par)
+func RunTWE(b Board, player int8, depth int, mkSched func() core.Scheduler, par int, opts ...core.Option) (AIResult, error) {
+	rt := core.NewRuntime(mkSched(), par, opts...)
 	defer rt.Shutdown()
 	vals := make([]int, Cols)
 	ok := make([]bool, Cols)

@@ -197,8 +197,8 @@ func RunSync(in *Input, par int) *Result {
 // factory (naive or tree). Each point chunk is a WorkTask with effect
 // "reads Root"; each reduction is an accumulate task with effect
 // "reads Root writes [clusterIdx]" run via execute (Fig. 5.1).
-func RunTWE(in *Input, mkSched func() core.Scheduler, par int) (*Result, error) {
-	rt := core.NewRuntime(mkSched(), par)
+func RunTWE(in *Input, mkSched func() core.Scheduler, par int, opts ...core.Option) (*Result, error) {
+	rt := core.NewRuntime(mkSched(), par, opts...)
 	defer rt.Shutdown()
 	s := newState(in)
 

@@ -251,8 +251,8 @@ func RunDyn(m *Mesh, par int) (*Result, error) {
 // refinement is a task whose *static* effect is only "reads Mesh" — the
 // triangles it touches are dynamic — so the tree scheduler runs them
 // concurrently and the dyneff registry arbitrates the real conflicts.
-func RunTWE(m *Mesh, mkSched func() core.Scheduler, par int) (*Result, error) {
-	rt := core.NewRuntime(mkSched(), par)
+func RunTWE(m *Mesh, mkSched func() core.Scheduler, par int, opts ...core.Option) (*Result, error) {
+	rt := core.NewRuntime(mkSched(), par, opts...)
 	defer rt.Shutdown()
 	seeds := m.BadTriangles()
 	readsMesh := effect.NewSet(effect.Read(rpl.New(rpl.N("Mesh"))))

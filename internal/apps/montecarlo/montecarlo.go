@@ -120,8 +120,8 @@ func RunPool(cfg Config, par int) *Stats {
 
 // RunTWE runs worker tasks with per-worker result regions and reduces via
 // an atomic reduction task with effect "writes Stats".
-func RunTWE(cfg Config, mkSched func() core.Scheduler, par int) (*Stats, error) {
-	rt := core.NewRuntime(mkSched(), par)
+func RunTWE(cfg Config, mkSched func() core.Scheduler, par int, opts ...core.Option) (*Stats, error) {
+	rt := core.NewRuntime(mkSched(), par, opts...)
 	defer rt.Shutdown()
 	st := &Stats{}
 

@@ -200,8 +200,8 @@ type Result struct {
 
 // RunTWE submits the whole log asynchronously with a bounded in-flight
 // window, then waits for every response.
-func RunTWE(cfg Config, log []Request, mkSched func() core.Scheduler, par, window int) (*Result, error) {
-	rt := core.NewRuntime(mkSched(), par)
+func RunTWE(cfg Config, log []Request, mkSched func() core.Scheduler, par, window int, opts ...core.Option) (*Result, error) {
+	rt := core.NewRuntime(mkSched(), par, opts...)
 	defer rt.Shutdown()
 	s := New(cfg, rt)
 	if window <= 0 {

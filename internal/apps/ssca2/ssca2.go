@@ -110,8 +110,8 @@ func RunSync(cfg Config, edges []Edge, par int) *Graph {
 // RunTWE inserts each edge with a task of effect "writes Adj:[u]",
 // executed as a prioritized critical section from driver tasks, mirroring
 // the TWEJava code's transaction-like tasks.
-func RunTWE(cfg Config, edges []Edge, mkSched func() core.Scheduler, par int) (*Graph, error) {
-	rt := core.NewRuntime(mkSched(), par)
+func RunTWE(cfg Config, edges []Edge, mkSched func() core.Scheduler, par int, opts ...core.Option) (*Graph, error) {
+	rt := core.NewRuntime(mkSched(), par, opts...)
 	defer rt.Shutdown()
 	g := &Graph{Adj: make([][]int, cfg.Nodes)}
 

@@ -140,8 +140,8 @@ func RunForkJoin(d [][]int, cutoff, par int) int {
 // atomic, which needs no region per §5.5.4. Spawn is used for the
 // recursive parallelism; below the cut-off the sequential solver runs
 // inline.
-func RunTWE(d [][]int, cfg Config, mkSched func() core.Scheduler, par int) (int, error) {
-	rt := core.NewRuntime(mkSched(), par)
+func RunTWE(d [][]int, cfg Config, mkSched func() core.Scheduler, par int, opts ...core.Option) (int, error) {
+	rt := core.NewRuntime(mkSched(), par, opts...)
 	defer rt.Shutdown()
 	s := newSearch(d)
 	readsGraph := effect.NewSet(effect.Read(rpl.New(rpl.N("Graph"))))

@@ -30,6 +30,7 @@ import (
 
 	"twe/internal/compound"
 	"twe/internal/effect"
+	"twe/internal/obs"
 	"twe/internal/pool"
 )
 
@@ -103,6 +104,13 @@ type Future struct {
 	started atomic.Bool
 	blocker atomic.Pointer[Future]
 
+	// Tracing bookkeeping, used only when the runtime has a tracer:
+	// worker is the pool worker currently running the body (0 = external
+	// or inline), submitNS the tracer-clock submission time for the
+	// admission-latency histogram.
+	worker   atomic.Int32
+	submitNS atomic.Int64
+
 	// Spawn bookkeeping.
 	spawnParent *Future
 	joined      atomic.Bool
@@ -141,7 +149,13 @@ func (f *Future) Status() Status { return Status(f.status.Load()) }
 // CompareAndSwapStatus atomically transitions the status; schedulers use it
 // for WAITING→PRIORITIZED and similar transitions.
 func (f *Future) CompareAndSwapStatus(from, to Status) bool {
-	return f.status.CompareAndSwap(int32(from), int32(to))
+	if !f.status.CompareAndSwap(int32(from), int32(to)) {
+		return false
+	}
+	if tr := f.rt.tracer; tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindStatus, Task: f.seq, Name: f.task.Name, Detail: to.String()})
+	}
+	return true
 }
 
 // IsDone reports whether the task has finished (the isDone operation).
@@ -322,6 +336,7 @@ type Runtime struct {
 	pool    *pool.Pool
 	sched   Scheduler
 	monitor Monitor
+	tracer  *obs.Tracer
 	yield   func(f *Future, p YieldPoint)
 	seq     atomic.Uint64
 }
@@ -331,6 +346,13 @@ type Option func(*Runtime)
 
 // WithMonitor installs a lifecycle monitor.
 func WithMonitor(m Monitor) Option { return func(rt *Runtime) { rt.monitor = m } }
+
+// WithTracer installs an observability tracer (internal/obs): the runtime
+// emits lifecycle, block/transfer and admission events into it, and the
+// pool and scheduler update its metrics. A nil tracer (the default) costs
+// one pointer comparison per hook point and performs no allocation — see
+// the nil-tracer AllocsPerRun test in internal/obs.
+func WithTracer(t *obs.Tracer) Option { return func(rt *Runtime) { rt.tracer = t } }
 
 // WithYield installs a controlled-preemption hook, called at each
 // YieldPoint with the future making the transition. The hook may delay the
@@ -361,6 +383,9 @@ func NewRuntime(sched Scheduler, parallelism int, opts ...Option) *Runtime {
 	for _, o := range opts {
 		o(rt)
 	}
+	if rt.tracer != nil {
+		rt.pool.SetTracer(rt.tracer)
+	}
 	if b, ok := sched.(interface{ Bind(*Runtime) }); ok {
 		b.Bind(rt)
 	}
@@ -373,11 +398,26 @@ func (rt *Runtime) Pool() *pool.Pool { return rt.pool }
 // Scheduler returns the active scheduler.
 func (rt *Runtime) Scheduler() Scheduler { return rt.sched }
 
+// Tracer returns the installed observability tracer, or nil. Schedulers
+// read it in Bind; a nil result means "do not instrument".
+func (rt *Runtime) Tracer() *obs.Tracer { return rt.tracer }
+
+// Pending returns the number of submitted tasks the scheduler has not yet
+// enabled, or -1 if the scheduler does not expose it. Both bundled
+// schedulers do, behind their own locks, so diagnostics (deadlock
+// reports, the obs CLI) can poll it concurrently with scheduling.
+func (rt *Runtime) Pending() int {
+	if pc, ok := rt.sched.(interface{ Pending() int }); ok {
+		return pc.Pending()
+	}
+	return -1
+}
+
 // Shutdown waits for all submitted tasks and closes the pool.
 func (rt *Runtime) Shutdown() { rt.pool.Shutdown() }
 
 func (rt *Runtime) newFuture(t *Task, arg any) *Future {
-	return &Future{
+	f := &Future{
 		task:          t,
 		rt:            rt,
 		arg:           arg,
@@ -386,6 +426,20 @@ func (rt *Runtime) newFuture(t *Task, arg any) *Future {
 		deterministic: t.Deterministic,
 		done:          make(chan struct{}),
 	}
+	if rt.tracer != nil {
+		f.submitNS.Store(rt.tracer.Clock())
+	}
+	return f
+}
+
+// traceSubmit records a submission event and counter; the single nil
+// check is the entire cost when tracing is off.
+func (rt *Runtime) traceSubmit(f *Future) {
+	if rt.tracer == nil {
+		return
+	}
+	rt.tracer.Metrics().TasksSubmitted.Add(1)
+	rt.tracer.Emit(obs.Event{Kind: obs.KindSubmit, Task: f.seq, Name: f.task.Name, Detail: f.Status().String()})
 }
 
 // ExecuteLater queues an asynchronous execution of t (the executeLater
@@ -393,6 +447,7 @@ func (rt *Runtime) newFuture(t *Task, arg any) *Future {
 func (rt *Runtime) ExecuteLater(t *Task, arg any) *Future {
 	f := rt.newFuture(t, arg)
 	rt.yieldAt(f, PointSubmit)
+	rt.traceSubmit(f)
 	rt.sched.Submit(f)
 	return f
 }
@@ -409,6 +464,7 @@ func (rt *Runtime) Execute(t *Task, arg any) (any, error) {
 	f := rt.newFuture(t, arg)
 	f.status.Store(int32(Prioritized))
 	rt.yieldAt(f, PointSubmit)
+	rt.traceSubmit(f)
 	rt.sched.Submit(f)
 	return rt.getValue(nil, f)
 }
@@ -448,18 +504,29 @@ func (c *Ctx) WaitAll(futs []*Future) error {
 // because the body-run claims f.started.
 func (f *Future) Ready() {
 	f.status.Store(int32(Enabled))
-	f.rt.pool.Submit(func() {
+	if tr := f.rt.tracer; tr != nil {
+		lat := tr.Clock() - f.submitNS.Load()
+		tr.Metrics().ObserveAdmission(lat)
+		tr.Emit(obs.Event{Kind: obs.KindEnable, Task: f.seq, Name: f.task.Name,
+			Detail: fmt.Sprintf("%dµs", lat/1e3)})
+	}
+	f.rt.pool.SubmitWorker(func(worker int) {
 		if f.started.CompareAndSwap(false, true) {
-			f.rt.runBody(f)
+			f.rt.runBody(f, int32(worker))
 		}
 	})
 }
 
 // runBody executes the task body on the calling goroutine, performs the
 // implicit join of unjoined spawned children (§3.1.5), publishes the
-// result, and notifies the scheduler.
-func (rt *Runtime) runBody(f *Future) {
+// result, and notifies the scheduler. worker is the pool worker id for
+// trace attribution (0 = external goroutine or inline run).
+func (rt *Runtime) runBody(f *Future, worker int32) {
 	rt.yieldAt(f, PointStart)
+	f.worker.Store(worker)
+	if rt.tracer != nil {
+		rt.tracer.Emit(obs.Event{Kind: obs.KindStart, Task: f.seq, Name: f.task.Name, Worker: worker})
+	}
 	rt.monitor.OnRun(f)
 	f.coverMu.Lock()
 	f.covering = compound.NewBase(f.eff)
@@ -486,6 +553,10 @@ func (rt *Runtime) runBody(f *Future) {
 
 	f.result, f.err = res, err
 	rt.yieldAt(f, PointFinish)
+	if rt.tracer != nil {
+		rt.tracer.Metrics().TasksCompleted.Add(1)
+		rt.tracer.Emit(obs.Event{Kind: obs.KindFinish, Task: f.seq, Name: f.task.Name, Worker: f.worker.Load()})
+	}
 	// OnFinish must precede the Done store: schedulers treat a Done status
 	// as permission to admit conflicting tasks (its memory accesses are
 	// over), so the monitor has to deregister this task before any such
@@ -533,19 +604,35 @@ func (rt *Runtime) getValue(caller, f *Future) (any, error) {
 		// Symmetrically, on wake the blocker is retracted before OnUnblock
 		// re-registers the caller as active.
 		rt.monitor.OnBlock(caller)
+		if rt.tracer != nil {
+			m := rt.tracer.Metrics()
+			m.Blocks.Add(1)
+			m.Transfers.Add(1)
+			rt.tracer.Emit(obs.Event{Kind: obs.KindBlock, Task: caller.seq, Other: f.seq,
+				Name: caller.task.Name, Worker: caller.worker.Load()})
+		}
 		caller.blocker.Store(f)
 		defer func() {
 			caller.blocker.Store(nil)
 			rt.yieldAt(caller, PointUnblock)
+			if rt.tracer != nil {
+				rt.tracer.Emit(obs.Event{Kind: obs.KindUnblock, Task: caller.seq, Other: f.seq,
+					Name: caller.task.Name, Worker: caller.worker.Load()})
+			}
 			rt.monitor.OnUnblock(caller)
 		}()
 	}
 	rt.sched.NotifyBlocked(caller, f)
 
 	// Inline-run optimization (§5.5): if the target is enabled but not yet
-	// started, run it on this goroutine rather than context-switching.
+	// started, run it on this goroutine rather than context-switching. The
+	// inline task inherits the caller's worker row in the trace.
 	if f.Status() >= Enabled && f.started.CompareAndSwap(false, true) {
-		rt.runBody(f)
+		var worker int32
+		if caller != nil {
+			worker = caller.worker.Load()
+		}
+		rt.runBody(f, worker)
 		return f.result, f.err
 	}
 
@@ -636,6 +723,7 @@ func (c *Ctx) Execute(t *Task, arg any) (any, error) {
 	f := c.rt.newFuture(t, arg)
 	f.status.Store(int32(Prioritized))
 	c.rt.yieldAt(f, PointSubmit)
+	c.rt.traceSubmit(f)
 	c.rt.sched.Submit(f)
 	return c.rt.getValue(c.fut, f)
 }
@@ -664,6 +752,11 @@ func (c *Ctx) Spawn(t *Task, arg any) (*SpawnedFuture, error) {
 	child.spawnParent = parent
 	child.deterministic = parent.deterministic || t.Deterministic
 	parent.addSpawned(child)
+	if tr := c.rt.tracer; tr != nil {
+		tr.Metrics().Spawns.Add(1)
+		tr.Emit(obs.Event{Kind: obs.KindSpawn, Task: parent.seq, Other: child.seq,
+			Name: t.Name, Worker: parent.worker.Load()})
+	}
 	// Spawned tasks are enabled immediately: their effects were
 	// transferred from a running task, so no other running task can
 	// conflict (§5.2.1). The scheduler never tracks them.
@@ -686,6 +779,11 @@ func (c *Ctx) Join(sf *SpawnedFuture) (any, error) {
 	c.fut.coverMu.Lock()
 	c.fut.covering = c.fut.covering.Add(child.eff)
 	c.fut.coverMu.Unlock()
+	if tr := c.rt.tracer; tr != nil {
+		tr.Metrics().Joins.Add(1)
+		tr.Emit(obs.Event{Kind: obs.KindJoin, Task: c.fut.seq, Other: child.seq,
+			Name: c.fut.task.Name, Worker: c.fut.worker.Load()})
+	}
 	return v, err
 }
 

@@ -1,0 +1,48 @@
+package core_test
+
+// Overhead benchmark for the observability layer (acceptance criterion:
+// an untraced runtime must stay within a few percent of the pre-obs
+// baseline, and tracing must be cheap enough to leave on in tests).
+// Compare with:
+//
+//	go test ./internal/core -bench=TracerOverhead -benchtime=2s
+//
+// The workload is deliberately scheduler-bound — many small conflicting
+// tasks — so any per-hook cost shows up, not get amortized away by task
+// bodies.
+
+import (
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/obs"
+	"twe/internal/tree"
+)
+
+func runSmallTasks(b *testing.B, opts ...core.Option) {
+	task := core.NewTask("t", es("writes R"), func(_ *core.Ctx, arg any) (any, error) {
+		return arg, nil
+	})
+	for i := 0; i < b.N; i++ {
+		rt := core.NewRuntime(tree.New(), 4, opts...)
+		futs := make([]*core.Future, 0, 64)
+		for j := 0; j < 64; j++ {
+			futs = append(futs, rt.ExecuteLater(task, j))
+		}
+		for _, f := range futs {
+			if _, err := rt.GetValue(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rt.Shutdown()
+	}
+}
+
+func BenchmarkTracerOverhead(b *testing.B) {
+	b.Run("untraced", func(b *testing.B) {
+		runSmallTasks(b)
+	})
+	b.Run("traced", func(b *testing.B) {
+		runSmallTasks(b, core.WithTracer(obs.New()))
+	})
+}

@@ -1,0 +1,120 @@
+package core_test
+
+// Race audit for the diagnostic read surface (ISSUE: racy Status()/Pending()
+// reads). Status(), IsDone(), Blocker(), BlockedOn() and Runtime.Pending()
+// are documented as safe to call from any goroutine at any time — tools
+// like twe-fuzz's deadlock reporter and the obs exporter do exactly that
+// while scheduling is in full flight. This test hammers every one of those
+// accessors concurrently with a conflicting workload on both schedulers;
+// `go test -race` turns any unsynchronized read into a failure.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/naive"
+	"twe/internal/obs"
+	"twe/internal/tree"
+)
+
+func TestDiagnosticReadsRaceFree(t *testing.T) {
+	schedulers := map[string]func() core.Scheduler{
+		"tree":  func() core.Scheduler { return tree.New() },
+		"naive": func() core.Scheduler { return naive.New() },
+	}
+	for name, mk := range schedulers {
+		t.Run(name, func(t *testing.T) {
+			const tasks = 200
+			tr := obs.New(obs.WithCapacity(256))
+			rt := core.NewRuntime(mk(), 4, core.WithTracer(tr))
+			defer rt.Shutdown()
+
+			// All tasks write the same region, so the scheduler keeps a deep
+			// pending queue and statuses churn through every transition.
+			task := core.NewTask("w", es("writes R"), func(c *core.Ctx, arg any) (any, error) {
+				return arg, nil
+			})
+
+			futs := make([]*core.Future, 0, tasks)
+			var mu sync.Mutex
+			stop := make(chan struct{})
+			var reads atomic.Int64
+
+			// Hammer goroutines: diagnostic reads racing against scheduling.
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// Check stop at the bottom so every hammer does at least
+					// one full pass even if the workload wins the race.
+					for done := false; !done; {
+						select {
+						case <-stop:
+							done = true
+						default:
+						}
+						mu.Lock()
+						snapshot := append([]*core.Future(nil), futs...)
+						mu.Unlock()
+						for _, f := range snapshot {
+							_ = f.Status()
+							_ = f.IsDone()
+							_ = f.Blocker()
+							if len(snapshot) > 1 {
+								_ = f.BlockedOn(snapshot[0])
+							}
+							reads.Add(1)
+						}
+						_ = rt.Pending()
+						_ = tr.Metrics().Snapshot()
+						_ = tr.Len()
+					}
+				}()
+			}
+
+			for i := 0; i < tasks; i++ {
+				f := rt.ExecuteLater(task, i)
+				mu.Lock()
+				futs = append(futs, f)
+				mu.Unlock()
+			}
+			for i, f := range futs {
+				v, err := rt.GetValue(f)
+				if err != nil {
+					t.Fatalf("task %d: %v", i, err)
+				}
+				if v != i {
+					t.Fatalf("task %d returned %v", i, v)
+				}
+			}
+			close(stop)
+			wg.Wait()
+			if reads.Load() == 0 {
+				t.Fatal("hammer goroutines performed no reads")
+			}
+			if p := rt.Pending(); p != 0 {
+				t.Errorf("Pending() = %d after quiesce, want 0", p)
+			}
+		})
+	}
+}
+
+// TestPendingUnsupportedScheduler pins the -1 sentinel for schedulers
+// that do not expose a pending count.
+func TestPendingUnsupportedScheduler(t *testing.T) {
+	rt := core.NewRuntime(noPendingSched{tree.New()}, 1)
+	defer rt.Shutdown()
+	if p := rt.Pending(); p != -1 {
+		t.Errorf("Pending() = %d for scheduler without Pending(), want -1", p)
+	}
+}
+
+// noPendingSched wraps the tree scheduler but hides its Pending method.
+type noPendingSched struct{ inner *tree.Scheduler }
+
+func (s noPendingSched) Submit(f *core.Future)           { s.inner.Submit(f) }
+func (s noPendingSched) NotifyBlocked(c, t *core.Future) { s.inner.NotifyBlocked(c, t) }
+func (s noPendingSched) Done(f *core.Future)             { s.inner.Done(f) }

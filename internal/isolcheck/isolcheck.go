@@ -21,6 +21,7 @@ import (
 
 	"twe/internal/core"
 	"twe/internal/effect"
+	"twe/internal/obs"
 )
 
 // Violation is one observed breach of task isolation: two tasks with
@@ -47,11 +48,22 @@ type Checker struct {
 	peak       int
 	starts     int
 	violations []Violation
+	tracer     *obs.Tracer
 }
 
 // New returns an empty checker.
 func New() *Checker {
 	return &Checker{active: make(map[*core.Future]bool)}
+}
+
+// SetTracer makes the checker mirror violations and Peak() high-water
+// updates into the observability trace, so oracle findings appear inline
+// next to the task spans that caused them. Call before the workload
+// starts; a nil tracer (the default) disables mirroring.
+func (c *Checker) SetTracer(t *obs.Tracer) {
+	c.mu.Lock()
+	c.tracer = t
+	c.mu.Unlock()
 }
 
 var _ core.Monitor = (*Checker)(nil)
@@ -65,6 +77,10 @@ func (c *Checker) OnRun(f *core.Future) {
 	c.active[f] = true
 	if n := c.runningLocked(); n > c.peak {
 		c.peak = n
+		if c.tracer != nil {
+			c.tracer.Emit(obs.Event{Kind: obs.KindPeak, Task: f.Seq(),
+				Other: uint64(n), Name: f.Task().Name})
+		}
 	}
 	c.mu.Unlock()
 }
@@ -112,11 +128,16 @@ func (c *Checker) checkLocked(f *core.Future) {
 		if f.SpawnAncestorOf(g) || g.SpawnAncestorOf(f) {
 			continue
 		}
-		c.violations = append(c.violations, Violation{
+		v := Violation{
 			Task1: f.Task().Name, Task2: g.Task().Name,
 			Eff1: f.Effects(), Eff2: g.Effects(),
 			Seq1: f.Seq(), Seq2: g.Seq(),
-		})
+		}
+		c.violations = append(c.violations, v)
+		if c.tracer != nil {
+			c.tracer.Emit(obs.Event{Kind: obs.KindViolation, Task: v.Seq1, Other: v.Seq2,
+				Name: v.Task1, Detail: v.String()})
+		}
 	}
 }
 

@@ -15,15 +15,18 @@ package naive
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"twe/internal/core"
+	"twe/internal/obs"
 )
 
 // Scheduler is the single-queue, single-lock scheduler. Create with New
 // and pass to core.NewRuntime.
 type Scheduler struct {
-	mu    sync.Mutex
-	queue []*core.Future // running and waiting tasks, in enqueue order
+	mu     sync.Mutex
+	queue  []*core.Future // running and waiting tasks, in enqueue order
+	tracer *obs.Tracer    // set in Bind; nil when the runtime is untraced
 }
 
 // New returns an empty naive scheduler.
@@ -31,13 +34,44 @@ func New() *Scheduler { return &Scheduler{} }
 
 var _ core.Scheduler = (*Scheduler)(nil)
 
+// Bind is called by core.NewRuntime; the scheduler picks up the
+// runtime's tracer (if any) for admission metrics and stall events.
+func (s *Scheduler) Bind(rt *core.Runtime) { s.tracer = rt.Tracer() }
+
+// stallState is the per-future SchedState of this scheduler, used only
+// when tracing: it deduplicates conflict-stall events so a task waiting
+// behind one long-running conflicter emits one event per distinct
+// blocker, not one per rescan.
+type stallState struct {
+	stalledOn atomic.Uint64
+	effStr    string // cached effect summary for stall events (under s.mu)
+}
+
 // Submit appends the future to the queue and attempts to enable waiting
 // tasks.
 func (s *Scheduler) Submit(f *core.Future) {
 	s.mu.Lock()
+	if s.tracer != nil {
+		f.SchedState = &stallState{}
+	}
 	s.queue = append(s.queue, f)
 	s.scanLocked()
+	s.noteDepthLocked()
 	s.mu.Unlock()
+}
+
+// noteDepthLocked publishes the waiting-task gauge.
+func (s *Scheduler) noteDepthLocked() {
+	if s.tracer == nil {
+		return
+	}
+	n := int64(0)
+	for _, f := range s.queue {
+		if f.Status() < core.Enabled {
+			n++
+		}
+	}
+	s.tracer.Metrics().SetQueueDepth(n)
 }
 
 // NotifyBlocked prioritizes the blocker chain starting at target and
@@ -49,6 +83,7 @@ func (s *Scheduler) NotifyBlocked(caller, target *core.Future) {
 		tbl.CompareAndSwapStatus(core.Waiting, core.Prioritized)
 	}
 	s.scanLocked()
+	s.noteDepthLocked()
 	s.mu.Unlock()
 }
 
@@ -63,6 +98,7 @@ func (s *Scheduler) Done(f *core.Future) {
 		}
 	}
 	s.scanLocked()
+	s.noteDepthLocked()
 	s.mu.Unlock()
 }
 
@@ -73,6 +109,9 @@ func (s *Scheduler) Done(f *core.Future) {
 // conflicting waiting task is ahead of it in the queue (FIFO fairness,
 // "conflicting tasks run in the order they were enqueued").
 func (s *Scheduler) scanLocked() {
+	if s.tracer != nil {
+		s.tracer.Metrics().AdmissionScans.Add(1)
+	}
 	for i, f := range s.queue {
 		st := f.Status()
 		if st >= core.Enabled {
@@ -95,11 +134,34 @@ func (s *Scheduler) canEnableLocked(pos int, f *core.Future, prioritized bool) b
 			// are bypassed by prioritized tasks.
 			continue
 		}
-		if core.ConflictsIgnoringTransfer(f, q) {
+		conflict := core.ConflictsIgnoringTransfer(f, q)
+		if s.tracer != nil {
+			m := s.tracer.Metrics()
+			m.ConflictChecks.Add(1)
+			if conflict {
+				m.ConflictHits.Add(1)
+				s.traceStall(f, q)
+			}
+		}
+		if conflict {
 			return false
 		}
 	}
 	return true
+}
+
+// traceStall emits a conflict-stall event once per distinct blocking task
+// (scans re-encounter the same conflict until the blocker finishes).
+func (s *Scheduler) traceStall(f, q *core.Future) {
+	st, _ := f.SchedState.(*stallState)
+	if st == nil || st.stalledOn.Swap(q.Seq()) == q.Seq() {
+		return
+	}
+	if st.effStr == "" {
+		st.effStr = f.Effects().String()
+	}
+	s.tracer.Emit(obs.Event{Kind: obs.KindConflictStall, Task: f.Seq(), Other: q.Seq(),
+		Name: f.Task().Name, Detail: st.effStr})
 }
 
 // Len returns the current queue length (running + waiting); used by tests.

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteChromeTrace exports the recorded events as Chrome trace-event JSON
+// (the "JSON Object Format": {"traceEvents": [...]}), loadable in
+// Perfetto and chrome://tracing. The mapping:
+//
+//   - Each task execution becomes a complete ("X") slice on the row (tid)
+//     of the pool worker that ran it, so isolation serialization between
+//     interfering tasks is visible as non-overlap across rows.
+//   - Each blocking getValue/join becomes a nested "blocked→T<n>" slice
+//     on the same row — the window in which effect transfer is licensed.
+//   - Submissions, admissions, spawns, joins, conflict stalls, oracle
+//     violations and peaks become instant ("i") events.
+//   - Worker rows get thread_name metadata ("worker N"; 0 = "external").
+//
+// Timestamps are microseconds from the tracer epoch, as the format
+// requires. Call after the workload quiesced.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: WriteChromeTrace on nil Tracer")
+	}
+	evs := ChromeTraceEvents(t.Events())
+	doc := map[string]any{
+		"traceEvents":     evs,
+		"displayTimeUnit": "ms",
+		"otherData": map[string]any{
+			"droppedEvents": t.Dropped(),
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ChromeTraceEvents converts recorded events to Chrome trace-event
+// objects. Exported separately so tests can golden-check the conversion
+// on synthetic events and tools can post-process.
+func ChromeTraceEvents(events []Event) []map[string]any {
+	out := []map[string]any{{
+		"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+		"args": map[string]any{"name": "twe runtime"},
+	}}
+
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+
+	// Pair start/finish and block/unblock per task to build slices.
+	type open struct {
+		ts     int64
+		worker int32
+		name   string
+		other  uint64
+	}
+	starts := map[uint64]open{}
+	blocks := map[uint64]open{}
+	workers := map[int32]bool{}
+	var lastTS int64
+
+	slice := func(name, cat string, from open, toNS int64, args map[string]any) map[string]any {
+		workers[from.worker] = true
+		ev := map[string]any{
+			"name": name, "cat": cat, "ph": "X",
+			"ts": us(from.ts), "dur": us(toNS - from.ts),
+			"pid": 1, "tid": from.worker,
+		}
+		if args != nil {
+			ev["args"] = args
+		}
+		return ev
+	}
+	instant := func(e Event, name string, args map[string]any) map[string]any {
+		workers[e.Worker] = true
+		return map[string]any{
+			"name": name, "cat": e.Kind.String(), "ph": "i", "s": "t",
+			"ts": us(e.TS), "pid": 1, "tid": e.Worker, "args": args,
+		}
+	}
+
+	for _, e := range events {
+		if e.TS > lastTS {
+			lastTS = e.TS
+		}
+		switch e.Kind {
+		case KindStart:
+			starts[e.Task] = open{ts: e.TS, worker: e.Worker, name: e.Name}
+		case KindFinish:
+			if o, ok := starts[e.Task]; ok {
+				delete(starts, e.Task)
+				out = append(out, slice(o.name, "task", o, e.TS,
+					map[string]any{"seq": e.Task}))
+			}
+		case KindBlock:
+			blocks[e.Task] = open{ts: e.TS, worker: e.Worker, name: e.Name, other: e.Other}
+		case KindUnblock:
+			if o, ok := blocks[e.Task]; ok {
+				delete(blocks, e.Task)
+				out = append(out, slice(fmt.Sprintf("blocked→T%d", o.other), "block", o, e.TS,
+					map[string]any{"seq": e.Task, "blocker": o.other}))
+			}
+		case KindSubmit:
+			out = append(out, instant(e, fmt.Sprintf("submit %s", e.Name),
+				map[string]any{"seq": e.Task, "status": e.Detail}))
+		case KindEnable:
+			out = append(out, instant(e, fmt.Sprintf("enable %s", e.Name),
+				map[string]any{"seq": e.Task, "latency": e.Detail}))
+		case KindSpawn:
+			out = append(out, instant(e, fmt.Sprintf("spawn→T%d", e.Other),
+				map[string]any{"parent": e.Task, "child": e.Other, "task": e.Name}))
+		case KindJoin:
+			out = append(out, instant(e, fmt.Sprintf("join←T%d", e.Other),
+				map[string]any{"parent": e.Task, "child": e.Other}))
+		case KindConflictStall:
+			out = append(out, instant(e, fmt.Sprintf("conflict-stall %s vs T%d", e.Name, e.Other),
+				map[string]any{"stalled": e.Task, "holder": e.Other, "effects": e.Detail}))
+		case KindViolation:
+			out = append(out, instant(e, "ISOLATION VIOLATION",
+				map[string]any{"task": e.Task, "other": e.Other, "report": e.Detail}))
+		case KindPeak:
+			out = append(out, instant(e, fmt.Sprintf("peak running=%d", e.Other),
+				map[string]any{"peak": e.Other}))
+		case KindStatus:
+			out = append(out, instant(e, fmt.Sprintf("T%d→%s", e.Task, e.Detail),
+				map[string]any{"seq": e.Task, "status": e.Detail}))
+		case KindScan:
+			// Scans are high-volume and carry no per-task information;
+			// they are surfaced through the metrics, not the trace.
+		}
+	}
+
+	// Close slices still open at export time so nothing disappears.
+	for task, o := range starts {
+		out = append(out, slice(o.name+" (unfinished)", "task", o, lastTS,
+			map[string]any{"seq": task}))
+	}
+	for task, o := range blocks {
+		out = append(out, slice(fmt.Sprintf("blocked→T%d (unfinished)", o.other), "block", o, lastTS,
+			map[string]any{"seq": task, "blocker": o.other}))
+	}
+
+	// Name the worker rows.
+	wids := make([]int32, 0, len(workers))
+	for w := range workers {
+		wids = append(wids, w)
+	}
+	sort.Slice(wids, func(i, j int) bool { return wids[i] < wids[j] })
+	for _, w := range wids {
+		name := fmt.Sprintf("worker %d", w)
+		if w == 0 {
+			name = "external"
+		}
+		out = append(out, map[string]any{
+			"ph": "M", "name": "thread_name", "pid": 1, "tid": w,
+			"args": map[string]any{"name": name},
+		})
+	}
+	return out
+}

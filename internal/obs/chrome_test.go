@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// syntheticLifecycle is a deterministic two-task trace: T1 runs on worker
+// 1, blocks on T2 (which runs inline on the same worker per §5.5), then
+// finishes. It exercises every slice/instant path in ChromeTraceEvents.
+func syntheticLifecycle() []Event {
+	return []Event{
+		{TS: 1000, Kind: KindSubmit, Task: 1, Name: "parent", Detail: "WAITING"},
+		{TS: 2000, Kind: KindEnable, Task: 1, Name: "parent", Detail: "1µs"},
+		{TS: 3000, Kind: KindStart, Task: 1, Name: "parent", Worker: 1},
+		{TS: 4000, Kind: KindSubmit, Task: 2, Name: "child", Detail: "WAITING"},
+		{TS: 5000, Kind: KindBlock, Task: 1, Other: 2, Name: "parent", Worker: 1},
+		{TS: 6000, Kind: KindStart, Task: 2, Name: "child", Worker: 1},
+		{TS: 7000, Kind: KindConflictStall, Task: 3, Other: 2, Name: "rival", Detail: "writes X"},
+		{TS: 8000, Kind: KindFinish, Task: 2, Name: "child", Worker: 1},
+		{TS: 9000, Kind: KindUnblock, Task: 1, Other: 2, Name: "parent", Worker: 1},
+		{TS: 10000, Kind: KindFinish, Task: 1, Name: "parent", Worker: 1},
+	}
+}
+
+// TestChromeTraceEventsGolden pins the exact JSON conversion. Go's
+// encoding/json sorts map keys, so the serialization is deterministic.
+func TestChromeTraceEventsGolden(t *testing.T) {
+	got, err := json.MarshalIndent(ChromeTraceEvents(syntheticLifecycle()), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `[
+ {
+  "args": {
+   "name": "twe runtime"
+  },
+  "name": "process_name",
+  "ph": "M",
+  "pid": 1,
+  "tid": 0
+ },
+ {
+  "args": {
+   "seq": 1,
+   "status": "WAITING"
+  },
+  "cat": "submit",
+  "name": "submit parent",
+  "ph": "i",
+  "pid": 1,
+  "s": "t",
+  "tid": 0,
+  "ts": 1
+ },
+ {
+  "args": {
+   "latency": "1µs",
+   "seq": 1
+  },
+  "cat": "enable",
+  "name": "enable parent",
+  "ph": "i",
+  "pid": 1,
+  "s": "t",
+  "tid": 0,
+  "ts": 2
+ },
+ {
+  "args": {
+   "seq": 2,
+   "status": "WAITING"
+  },
+  "cat": "submit",
+  "name": "submit child",
+  "ph": "i",
+  "pid": 1,
+  "s": "t",
+  "tid": 0,
+  "ts": 4
+ },
+ {
+  "args": {
+   "effects": "writes X",
+   "holder": 2,
+   "stalled": 3
+  },
+  "cat": "conflict-stall",
+  "name": "conflict-stall rival vs T2",
+  "ph": "i",
+  "pid": 1,
+  "s": "t",
+  "tid": 0,
+  "ts": 7
+ },
+ {
+  "args": {
+   "seq": 2
+  },
+  "cat": "task",
+  "dur": 2,
+  "name": "child",
+  "ph": "X",
+  "pid": 1,
+  "tid": 1,
+  "ts": 6
+ },
+ {
+  "args": {
+   "blocker": 2,
+   "seq": 1
+  },
+  "cat": "block",
+  "dur": 4,
+  "name": "blocked→T2",
+  "ph": "X",
+  "pid": 1,
+  "tid": 1,
+  "ts": 5
+ },
+ {
+  "args": {
+   "seq": 1
+  },
+  "cat": "task",
+  "dur": 7,
+  "name": "parent",
+  "ph": "X",
+  "pid": 1,
+  "tid": 1,
+  "ts": 3
+ },
+ {
+  "args": {
+   "name": "external"
+  },
+  "name": "thread_name",
+  "ph": "M",
+  "pid": 1,
+  "tid": 0
+ },
+ {
+  "args": {
+   "name": "worker 1"
+  },
+  "name": "thread_name",
+  "ph": "M",
+  "pid": 1,
+  "tid": 1
+ }
+]`
+	if string(got) != want {
+		t.Errorf("ChromeTraceEvents golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestChromeTraceClosesUnfinishedSlices(t *testing.T) {
+	evs := []Event{
+		{TS: 1000, Kind: KindStart, Task: 1, Name: "stuck", Worker: 2},
+		{TS: 2000, Kind: KindBlock, Task: 1, Other: 9, Name: "stuck", Worker: 2},
+		{TS: 5000, Kind: KindSubmit, Task: 3, Name: "late"},
+	}
+	var taskSlices, blockSlices int
+	for _, ev := range ChromeTraceEvents(evs) {
+		if ev["ph"] != "X" {
+			continue
+		}
+		name := ev["name"].(string)
+		if !strings.HasSuffix(name, "(unfinished)") {
+			t.Errorf("open slice not marked unfinished: %q", name)
+		}
+		// Closed at the last timestamp seen anywhere in the trace (5µs).
+		if end := ev["ts"].(float64) + ev["dur"].(float64); end != 5 {
+			t.Errorf("slice %q ends at %gµs, want 5", name, end)
+		}
+		switch ev["cat"] {
+		case "task":
+			taskSlices++
+		case "block":
+			blockSlices++
+		}
+	}
+	if taskSlices != 1 || blockSlices != 1 {
+		t.Errorf("got %d task + %d block unfinished slices, want 1 + 1", taskSlices, blockSlices)
+	}
+}
+
+func TestWriteChromeTraceDocument(t *testing.T) {
+	tr := New(WithCapacity(2)) // drop some events on purpose
+	for _, e := range sameShardEvents(5) {
+		tr.Emit(e)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+		OtherData   struct {
+			DroppedEvents uint64 `json:"droppedEvents"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	if doc.DisplayUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayUnit)
+	}
+	if doc.OtherData.DroppedEvents != 3 {
+		t.Errorf("droppedEvents = %d, want 3", doc.OtherData.DroppedEvents)
+	}
+}
+
+func TestChromeTraceScanEventsOmitted(t *testing.T) {
+	evs := []Event{{TS: 1000, Kind: KindScan}}
+	for _, ev := range ChromeTraceEvents(evs) {
+		if ev["ph"] != "M" {
+			t.Errorf("scan event leaked into trace: %v", ev)
+		}
+	}
+}

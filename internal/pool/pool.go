@@ -18,18 +18,22 @@ package pool
 import (
 	"runtime"
 	"sync"
+
+	"twe/internal/obs"
 )
 
 // Pool is a bounded-parallelism executor. The zero value is not usable;
 // create with New.
 type Pool struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []func()
-	running int // tasks currently holding a token
-	par     int // maximum tokens
-	pending int // submitted but not finished (for Quiesce)
-	closed  bool
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []queued
+	running    int // tasks currently holding a token
+	par        int // maximum tokens
+	pending    int // submitted but not finished (for Quiesce)
+	nextWorker int // worker goroutine id allocator (1-based)
+	closed     bool
+	tracer     *obs.Tracer
 }
 
 // New returns a pool with the given parallelism. If par <= 0 it defaults to
@@ -46,16 +50,53 @@ func New(par int) *Pool {
 // Parallelism returns the pool's token count.
 func (p *Pool) Parallelism() int { return p.par }
 
+// SetTracer installs the observability tracer whose pool-utilization
+// gauge and worker counters this pool updates. Must be called before the
+// first Submit (core.NewRuntime does so when WithTracer is given).
+func (p *Pool) SetTracer(t *obs.Tracer) {
+	p.mu.Lock()
+	p.tracer = t
+	p.mu.Unlock()
+}
+
+// queued is one unit of submitted work: exactly one of f / fw is set.
+// Two fields instead of wrapping f in a closure keeps Submit — the path
+// every DPJ-like baseline and app uses — allocation-free.
+type queued struct {
+	f  func()
+	fw func(worker int)
+}
+
+func (q queued) call(worker int) {
+	if q.f != nil {
+		q.f()
+		return
+	}
+	q.fw(worker)
+}
+
 // Submit enqueues f for execution. It never blocks and is safe to call
 // from inside pool tasks (including while holding unrelated locks).
 func (p *Pool) Submit(f func()) {
+	p.submit(queued{f: f})
+}
+
+// SubmitWorker is Submit for work that wants to know which pool worker
+// goroutine runs it (1-based id; a worker keeps its id while draining the
+// queue). The TWE runtime uses it to attribute task run spans to worker
+// rows in the Chrome trace.
+func (p *Pool) SubmitWorker(f func(worker int)) {
+	p.submit(queued{fw: f})
+}
+
+func (p *Pool) submit(q queued) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		panic("pool: Submit after Shutdown")
 	}
 	p.pending++
-	p.queue = append(p.queue, f)
+	p.queue = append(p.queue, q)
 	p.dispatchLocked()
 	p.mu.Unlock()
 }
@@ -66,18 +107,31 @@ func (p *Pool) dispatchLocked() {
 		f := p.queue[0]
 		p.queue = p.queue[1:]
 		p.running++
-		go p.runLoop(f)
+		p.nextWorker++
+		if p.tracer != nil {
+			p.tracer.Metrics().WorkersStarted.Add(1)
+		}
+		go p.runLoop(p.nextWorker, f)
+	}
+	p.noteRunningLocked()
+}
+
+// noteRunningLocked publishes the running-token gauge to the tracer.
+func (p *Pool) noteRunningLocked() {
+	if p.tracer != nil {
+		p.tracer.Metrics().SetPoolRunning(int64(p.running))
 	}
 }
 
 // runLoop runs f, then keeps draining the queue while holding its token.
-func (p *Pool) runLoop(f func()) {
+func (p *Pool) runLoop(worker int, f queued) {
 	for {
-		p.runOne(f)
+		p.runOne(worker, f)
 		p.mu.Lock()
 		p.pending--
 		if len(p.queue) == 0 {
 			p.running--
+			p.noteRunningLocked()
 			p.cond.Broadcast()
 			p.mu.Unlock()
 			return
@@ -88,7 +142,7 @@ func (p *Pool) runLoop(f func()) {
 	}
 }
 
-func (p *Pool) runOne(f func()) {
+func (p *Pool) runOne(worker int, f queued) {
 	defer func() {
 		// A panicking task must not kill the process or leak the token
 		// accounting; TWE task bodies convert panics to errors above this
@@ -98,7 +152,7 @@ func (p *Pool) runOne(f func()) {
 			panic(r)
 		}
 	}()
-	f()
+	f.call(worker)
 }
 
 // Block is called from inside a pool task to wait for an external
@@ -120,6 +174,7 @@ func (p *Pool) Block(wait func()) {
 		p.cond.Wait()
 	}
 	p.running++
+	p.noteRunningLocked()
 	p.mu.Unlock()
 }
 

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"twe/internal/core"
+	"twe/internal/obs"
 	"twe/internal/rpl"
 )
 
@@ -226,6 +227,13 @@ type futState struct {
 	// recheckOffset while rechecking, which blocks tryDisable (the paper's
 	// "special range of values" encoding of the rechecking flag).
 	disabled atomic.Int64
+	// stalledOn deduplicates conflict-stall trace events (one per
+	// distinct blocking task, not one per recheck); tracing only.
+	stalledOn atomic.Uint64
+	// effStr caches the formatted effect summary for stall events, so a
+	// future that stalls repeatedly formats its effects once. Accessed
+	// from whichever goroutine is checking the future, hence atomic.
+	effStr atomic.Pointer[string]
 }
 
 const recheckOffset = int64(1) << 32
@@ -259,6 +267,49 @@ type Scheduler struct {
 	conflictChecks atomic.Int64
 	fastInserts    atomic.Int64
 	slowInserts    atomic.Int64
+
+	// tracer is the runtime's observability sink (set in Bind; nil when
+	// untraced). The scheduler feeds it conflict-check/hit counters,
+	// node-visit counts, queue depth, and conflict-stall events.
+	tracer *obs.Tracer
+}
+
+// Bind is called by core.NewRuntime; the scheduler picks up the
+// runtime's tracer (if any).
+func (s *Scheduler) Bind(rt *core.Runtime) { s.tracer = rt.Tracer() }
+
+// visitNode counts one tree-node traversal in the metrics.
+func (s *Scheduler) visitNode() {
+	if s.tracer != nil {
+		s.tracer.Metrics().TreeNodeVisits.Add(1)
+	}
+}
+
+// noteDepthLocked publishes the waiting-task gauge; caller holds liveMu.
+func (s *Scheduler) noteDepthLocked() {
+	if s.tracer != nil {
+		s.tracer.Metrics().SetQueueDepth(int64(len(s.waiting)))
+	}
+}
+
+// traceStall emits a conflict-stall event for e waiting on ep, once per
+// distinct blocking task.
+func (s *Scheduler) traceStall(e, ep *effInst) {
+	if s.tracer == nil {
+		return
+	}
+	st := stateOf(e.fut)
+	if st == nil || st.stalledOn.Swap(ep.fut.Seq()) == ep.fut.Seq() {
+		return
+	}
+	eff := st.effStr.Load()
+	if eff == nil {
+		str := e.fut.Effects().String()
+		eff = &str
+		st.effStr.Store(eff)
+	}
+	s.tracer.Emit(obs.Event{Kind: obs.KindConflictStall, Task: e.fut.Seq(), Other: ep.fut.Seq(),
+		Name: e.fut.Task().Name, Detail: *eff})
 }
 
 // Stats is a snapshot of scheduler instrumentation counters.
@@ -327,6 +378,7 @@ func (s *Scheduler) Submit(f *core.Future) {
 
 	s.liveMu.Lock()
 	s.waiting[f] = struct{}{}
+	s.noteDepthLocked()
 	s.liveMu.Unlock()
 
 	prio := f.Status() == core.Prioritized // the execute optimization, §5.5.1
@@ -454,6 +506,7 @@ func (s *Scheduler) Done(f *core.Future) {
 // insert processes effects at node n, which must be locked on entry and is
 // unlocked before recursing into children.
 func (s *Scheduler) insert(n *node, effs []*effInst, depth int, prio bool) {
+	s.visitNode()
 	effectsBelow := make(map[*node][]*effInst)
 	for _, e := range effs {
 		if e.r.Len() == depth || e.r.Elem(depth).IsWildcard() {
@@ -530,6 +583,7 @@ func (s *Scheduler) checkAt(n *node, e *effInst, prio bool) bool {
 				ep.waiters = make(map[*effInst]struct{})
 			}
 			ep.waiters[e] = struct{}{}
+			s.traceStall(e, ep)
 			return true
 		}
 	}
@@ -548,6 +602,7 @@ func (s *Scheduler) checkBelow(n *node, e *effInst, ne *node, prio bool) bool {
 	}
 	for _, child := range n.sortedChildren() {
 		child.lock()
+		s.visitNode()
 		conflictFound := false
 		// Snapshot: hoisting mutates the sets during iteration.
 		var all []*effInst
@@ -577,6 +632,7 @@ func (s *Scheduler) checkBelow(n *node, e *effInst, ne *node, prio bool) bool {
 					ep.waiters = make(map[*effInst]struct{})
 				}
 				ep.waiters[e] = struct{}{}
+				s.traceStall(e, ep)
 				conflictFound = true
 				break
 			}
@@ -599,6 +655,18 @@ func (s *Scheduler) checkBelow(n *node, e *effInst, ne *node, prio bool) bool {
 // blocked task still holds a conflicting effect.
 func (s *Scheduler) conflicts(ep, e *effInst) bool {
 	s.conflictChecks.Add(1)
+	c := s.conflictsInner(ep, e)
+	if s.tracer != nil {
+		m := s.tracer.Metrics()
+		m.ConflictChecks.Add(1)
+		if c {
+			m.ConflictHits.Add(1)
+		}
+	}
+	return c
+}
+
+func (s *Scheduler) conflictsInner(ep, e *effInst) bool {
 	if ep.fut == e.fut {
 		return false
 	}
@@ -643,6 +711,7 @@ func (s *Scheduler) enable(e *effInst, n *node) {
 		s.liveMu.Lock()
 		delete(s.waiting, e.fut)
 		s.enabledCount++
+		s.noteDepthLocked()
 		s.liveMu.Unlock()
 		e.fut.Ready()
 	}
@@ -673,6 +742,9 @@ func (s *Scheduler) tryDisable(ep *effInst, n *node) bool {
 // recheckTask re-examines every disabled effect of t under the global
 // recheck lock (Fig. 5.12).
 func (s *Scheduler) recheckTask(t *core.Future, st *futState) {
+	if s.tracer != nil {
+		s.tracer.Metrics().AdmissionScans.Add(1)
+	}
 	s.recheckMu.Lock()
 	st.disabled.Add(recheckOffset) // set the rechecking flag
 	for _, e := range st.effs {
@@ -696,6 +768,7 @@ func (s *Scheduler) recheckTask(t *core.Future, st *futState) {
 // recheckEffect unlocks it (or its successor) before returning.
 func (s *Scheduler) recheckEffect(e *effInst, n *node, prio bool) {
 	for {
+		s.visitNode()
 		if s.checkAt(n, e, prio) {
 			n.unlock()
 			return

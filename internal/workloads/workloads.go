@@ -1,0 +1,161 @@
+// Package workloads is a small registry of CI-sized runs of the example
+// applications (internal/apps), shared by the observability CLI
+// (cmd/twe-trace) and the JSON benchmark mode of cmd/twe-bench. Each entry
+// builds deterministic inputs, runs the app's TWE implementation under the
+// given scheduler/parallelism, and forwards any core.Option — which is how
+// twe-trace injects core.WithTracer without the apps knowing about tracing.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"twe/internal/apps/barneshut"
+	"twe/internal/apps/fourwins"
+	"twe/internal/apps/imageedit"
+	"twe/internal/apps/kmeans"
+	"twe/internal/apps/mesh"
+	"twe/internal/apps/montecarlo"
+	"twe/internal/apps/server"
+	"twe/internal/apps/ssca2"
+	"twe/internal/apps/tsp"
+	"twe/internal/core"
+)
+
+// RunFunc executes one workload to completion. mkSched builds a fresh
+// scheduler, par is the pool parallelism, and opts are forwarded to
+// core.NewRuntime (e.g. core.WithTracer, core.WithMonitor).
+type RunFunc func(mkSched func() core.Scheduler, par int, opts ...core.Option) error
+
+// Workload couples a registry name with its runner and a one-line
+// description (shown by twe-trace -list).
+type Workload struct {
+	Name string
+	Desc string
+	Run  RunFunc
+}
+
+var registry = map[string]Workload{
+	"kmeans": {
+		Name: "kmeans",
+		Desc: "K-Means clustering, chunked accumulator tasks (paper §6.2)",
+		Run: func(mk func() core.Scheduler, par int, opts ...core.Option) error {
+			cfg := kmeans.Config{Points: 4000, Attributes: 8, K: 400, Iters: 1, Seed: 1, ChunkSize: 8}
+			_, err := kmeans.RunTWE(kmeans.Generate(cfg), mk, par, opts...)
+			return err
+		},
+	},
+	"montecarlo": {
+		Name: "montecarlo",
+		Desc: "Monte Carlo path simulation with a shared accumulator",
+		Run: func(mk func() core.Scheduler, par int, opts ...core.Option) error {
+			cfg := montecarlo.Config{Paths: 4000, Steps: 120, Seed: 17, BatchSize: 64}
+			_, err := montecarlo.RunTWE(cfg, mk, par, opts...)
+			return err
+		},
+	},
+	"ssca2": {
+		Name: "ssca2",
+		Desc: "SSCA2 graph construction, per-node adjacency regions",
+		Run: func(mk func() core.Scheduler, par int, opts ...core.Option) error {
+			cfg := ssca2.Config{Nodes: 512, Edges: 4096, Seed: 3, Batch: 8}
+			_, err := ssca2.RunTWE(cfg, ssca2.Generate(cfg), mk, par, opts...)
+			return err
+		},
+	},
+	"tsp": {
+		Name: "tsp",
+		Desc: "branch-and-bound TSP with a shared best-cost bound",
+		Run: func(mk func() core.Scheduler, par int, opts ...core.Option) error {
+			cfg := tsp.Config{Nodes: 11, CutOff: 4, Seed: 9}
+			_, err := tsp.RunTWE(tsp.Generate(cfg), cfg, mk, par, opts...)
+			return err
+		},
+	},
+	"barneshut": {
+		Name: "barneshut",
+		Desc: "Barnes-Hut force computation, read-shared tree",
+		Run: func(mk func() core.Scheduler, par int, opts ...core.Option) error {
+			cfg := barneshut.Config{Bodies: 4000, Theta: 0.5, Seed: 11}
+			bodies := barneshut.Generate(cfg)
+			t := barneshut.BuildTree(bodies, cfg.Theta)
+			return barneshut.RunTWE(bodies, t, mk, par, opts...)
+		},
+	},
+	"fourwins": {
+		Name: "fourwins",
+		Desc: "FourWins game-tree search, spawn/join parallelism (§3.1.5)",
+		Run: func(mk func() core.Scheduler, par int, opts ...core.Option) error {
+			var b fourwins.Board
+			_, err := fourwins.RunTWE(b, 1, 5, mk, par, opts...)
+			return err
+		},
+	},
+	"mesh": {
+		Name: "mesh",
+		Desc: "Delaunay-style mesh refinement with dynamic effects (§7.6)",
+		Run: func(mk func() core.Scheduler, par int, opts ...core.Option) error {
+			cfg := mesh.DefaultConfig()
+			cfg.W, cfg.H = 30, 30
+			_, err := mesh.RunTWE(mesh.Generate(cfg), mk, par, opts...)
+			return err
+		},
+	},
+	"server": {
+		Name: "server",
+		Desc: "sharded KV server replaying a mixed put/get/scan log",
+		Run: func(mk func() core.Scheduler, par int, opts ...core.Option) error {
+			cfg := server.Config{Shards: 8, Keys: 128, Sessions: 8, Requests: 800, ScanEvery: 50, Seed: 31}
+			_, err := server.RunTWE(cfg, server.GenerateLog(cfg), mk, par, 4*par, opts...)
+			return err
+		},
+	},
+	"imageedit": {
+		Name: "imageedit",
+		Desc: "interactive image editor: async UI tasks + spawn/join filters",
+		Run: func(mk func() core.Scheduler, par int, opts ...core.Option) error {
+			rt := core.NewRuntime(mk(), par, opts...)
+			defer rt.Shutdown()
+			ed := imageedit.NewEditor(rt)
+			ed.Open(1, imageedit.New(400, 300, 13))
+			ed.Open(2, imageedit.New(400, 300, 14))
+			f1 := ed.ApplyAsync(1, imageedit.NewSharpen())
+			f2 := ed.ApplyAsync(2, imageedit.NewEdgeDetect(200))
+			f3 := ed.ApplyAsync(1, imageedit.NewGrayscale()) // queued behind f1 on image 1
+			for _, f := range []*core.Future{f1, f2, f3} {
+				if _, err := rt.GetValue(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	},
+}
+
+// Get returns the named workload.
+func Get(name string) (Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("unknown workload %q (have: %v)", name, Names())
+	}
+	return w, nil
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every workload, sorted by name.
+func All() []Workload {
+	var out []Workload
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
