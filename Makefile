@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz obs-smoke check
+.PHONY: build test race vet fuzz faults obs-smoke check
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,15 @@ vet:
 # Pinned-seed differential fuzz smoke (see DESIGN.md §6).
 fuzz:
 	$(GO) run ./cmd/twe-fuzz -seed 0 -n 300 -schedules 2 -timeout 20s
+
+# Fault-tolerance gate (see DESIGN.md §10): the fault-injection property
+# tests plus every package with a failure exit path, twice, under -race,
+# then a pinned-seed fault-mode differential fuzz.
+faults:
+	$(GO) test -race -count=2 ./internal/faultinject/ ./internal/core/ \
+		./internal/pool/ ./internal/dyneff/ ./internal/naive/ ./internal/tree/ \
+		./internal/apps/server/
+	$(GO) run ./cmd/twe-fuzz -faults -seed 0 -n 150 -schedules 1 -timeout 20s
 
 # Observability smoke (see DESIGN.md §7): run two workloads under the
 # tracer + isolation oracle, then structurally validate the emitted

@@ -21,6 +21,12 @@ go test -race ./internal/...
 echo '== twe-fuzz smoke =='
 go run ./cmd/twe-fuzz -seed 0 -n 300 -schedules 2 -timeout 20s
 
+# Fault-injection smoke (DESIGN.md §10): the same differential harness
+# with panics/cancels/deadlines injected into a seed-chosen task subset —
+# surviving-store equality, failure classes, oracle, quiescence.
+echo '== twe-fuzz -faults smoke =='
+go run ./cmd/twe-fuzz -faults -seed 0 -n 120 -schedules 1 -timeout 20s
+
 # Observability smoke (DESIGN.md §7): trace two workloads under the
 # isolation oracle and validate the Chrome trace / Prometheus outputs
 # with twe-trace's built-in structural checkers — no external tools.
@@ -30,9 +36,13 @@ go build -o /tmp/twe-trace-ci ./cmd/twe-trace
 	-trace /tmp/twe-ci-kmeans.json -metrics /tmp/twe-ci-kmeans.prom
 /tmp/twe-trace-ci -app server -sched naive -par 4 -isolcheck \
 	-trace /tmp/twe-ci-server.json -metrics /tmp/twe-ci-server.prom
+/tmp/twe-trace-ci -faults \
+	-trace /tmp/twe-ci-faults.json -metrics /tmp/twe-ci-faults.prom
 /tmp/twe-trace-ci -check /tmp/twe-ci-kmeans.json
 /tmp/twe-trace-ci -check /tmp/twe-ci-server.json
+/tmp/twe-trace-ci -check /tmp/twe-ci-faults.json
 /tmp/twe-trace-ci -checkmetrics /tmp/twe-ci-kmeans.prom
 /tmp/twe-trace-ci -checkmetrics /tmp/twe-ci-server.prom
+/tmp/twe-trace-ci -checkmetrics /tmp/twe-ci-faults.prom
 
 echo 'ci: OK'

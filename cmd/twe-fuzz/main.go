@@ -7,13 +7,21 @@
 // schedules, all under the isolation oracle. Any divergence prints as a
 // replayable (seed, schedule, scheduler) triple and the command exits 1.
 //
+// Fault mode (-faults) injects deterministic failures — panicking bodies,
+// cancel-at-launch, and near-immediate deadlines — into a seed-chosen
+// subset of each program's launched tasks, then checks that both
+// schedulers agree on the surviving store, that every faulted future
+// reports the right failure class, that the isolation oracle stays quiet,
+// and that the schedulers quiesce (no leaked effects on any exit path).
+//
 // Usage:
 //
 //	twe-fuzz [-seed N] [-n COUNT] [-schedules K] [-par P] [-timeout D]
-//	         [-schedule M] [-sched naive|tree] [-shrink] [-budget B]
-//	         [-dump] [-v]
+//	         [-schedule M] [-sched naive|tree] [-faults] [-shrink]
+//	         [-budget B] [-dump] [-v]
 //
 // Fuzzing a range:       twe-fuzz -seed 0 -n 1000
+// Fault injection:       twe-fuzz -faults -seed 0 -n 200
 // Replaying a failure:   twe-fuzz -seed 42 -schedule 3 -sched tree
 // Inspecting a program:  twe-fuzz -seed 42 -dump
 package main
@@ -39,6 +47,7 @@ func main() {
 	shrink := flag.Bool("shrink", false, "on failure, greedily shrink the failing program and print the minimized source")
 	budget := flag.Int("budget", 200, "shrink budget: max differential re-runs while minimizing")
 	dump := flag.Bool("dump", false, "print the generated TWEL program for -seed and exit")
+	faults := flag.Bool("faults", false, "inject deterministic faults (panic/cancel/deadline) into launched tasks")
 	verbose := flag.Bool("v", false, "print per-seed progress")
 	flag.Parse()
 
@@ -63,8 +72,13 @@ func main() {
 	// Replay mode: a single seed, optionally pinned to one scheduler and
 	// one schedule index.
 	if *schedule >= 0 || *sched != "" {
-		fails := schedfuzz.Replay(*seed, *sched, *schedule, cfg)
-		report(fails, cfg, *shrink, *budget)
+		var fails []*schedfuzz.Failure
+		if *faults {
+			fails = schedfuzz.ReplayFaults(*seed, *sched, *schedule, cfg)
+		} else {
+			fails = schedfuzz.Replay(*seed, *sched, *schedule, cfg)
+		}
+		report(fails, cfg, *shrink, *budget, *faults)
 		if len(fails) > 0 {
 			os.Exit(1)
 		}
@@ -82,23 +96,35 @@ func main() {
 			fmt.Printf("seed %d: %s\n", s, status)
 		}
 	}
-	rep := schedfuzz.Fuzz(*seed, *n, cfg, progress)
-	fmt.Printf("fuzzed %d programs (%d task instances) in %v: %d failure(s)\n",
-		rep.Programs, rep.Instances, time.Since(start).Round(time.Millisecond), len(rep.Failures))
-	report(rep.Failures, cfg, *shrink, *budget)
+	var rep *schedfuzz.Report
+	mode := "fuzzed"
+	if *faults {
+		rep = schedfuzz.FuzzFaults(*seed, *n, cfg, progress)
+		mode = "fault-injected"
+	} else {
+		rep = schedfuzz.Fuzz(*seed, *n, cfg, progress)
+	}
+	fmt.Printf("%s %d programs (%d task instances) in %v: %d failure(s)\n",
+		mode, rep.Programs, rep.Instances, time.Since(start).Round(time.Millisecond), len(rep.Failures))
+	report(rep.Failures, cfg, *shrink, *budget, *faults)
 	if len(rep.Failures) > 0 {
 		os.Exit(1)
 	}
 }
 
 // report prints each failure with its replay command line, shrinking the
-// first failing seed when requested.
-func report(fails []*schedfuzz.Failure, cfg schedfuzz.Config, shrink bool, budget int) {
+// first failing seed when requested (shrinking operates on the un-faulted
+// program, so it is skipped in fault mode).
+func report(fails []*schedfuzz.Failure, cfg schedfuzz.Config, shrink bool, budget int, faults bool) {
+	mode := ""
+	if faults {
+		mode = "-faults "
+	}
 	shrunkSeeds := map[int64]bool{}
 	for _, f := range fails {
 		fmt.Printf("FAIL %v\n", f)
-		fmt.Printf("     replay: twe-fuzz -seed %d -schedule %d -sched %s\n", f.Seed, f.Schedule, f.Scheduler)
-		if !shrink || shrunkSeeds[f.Seed] || f.Scheduler == "gen" || f.Scheduler == "interp" {
+		fmt.Printf("     replay: twe-fuzz %s-seed %d -schedule %d -sched %s\n", mode, f.Seed, f.Schedule, f.Scheduler)
+		if !shrink || faults || shrunkSeeds[f.Seed] || f.Scheduler == "gen" || f.Scheduler == "interp" {
 			continue
 		}
 		shrunkSeeds[f.Seed] = true

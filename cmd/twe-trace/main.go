@@ -44,6 +44,7 @@ var (
 	metricsFlag = flag.String("metrics", "", "write Prometheus text metrics to this file")
 	eventsFlag  = flag.Int("events", 1<<14, "tracer ring capacity per shard (events)")
 	isoFlag     = flag.Bool("isolcheck", false, "run the isolation oracle and mirror its findings into the trace")
+	faultsFlag  = flag.Bool("faults", false, "shorthand for -app faults -isolcheck: run the fault-injection storm under the oracle")
 	listFlag    = flag.Bool("list", false, "list available workloads and exit")
 	checkFlag   = flag.String("check", "", "validate a Chrome trace JSON file and exit")
 	checkMFlag  = flag.String("checkmetrics", "", "validate a Prometheus metrics dump and exit")
@@ -70,6 +71,10 @@ func run() error {
 		return checkMetrics(*checkMFlag)
 	}
 
+	if *faultsFlag {
+		*appFlag = "faults"
+		*isoFlag = true
+	}
 	if *appFlag == "" {
 		return fmt.Errorf("missing -app (use -list to see workloads)")
 	}
@@ -109,6 +114,10 @@ func run() error {
 		snap.AdmissionScans, snap.TreeNodeVisits)
 	fmt.Fprintf(os.Stderr, "  events recorded %d, dropped %d; peak pool running %d, peak queue depth %d\n",
 		tr.Len(), tr.Dropped(), snap.PoolRunningPeak, snap.QueueDepthPeak)
+	if snap.TasksCancelled+snap.TaskPanics+snap.DeadlinesExceeded+snap.DyneffRetries > 0 {
+		fmt.Fprintf(os.Stderr, "  faults: %d cancelled, %d panics contained, %d deadlines exceeded, %d dyneff retries, %d breaker trips\n",
+			snap.TasksCancelled, snap.TaskPanics, snap.DeadlinesExceeded, snap.DyneffRetries, snap.DyneffBreakerTrips)
+	}
 	if checker != nil {
 		starts, peak := checker.Stats()
 		fmt.Fprintf(os.Stderr, "  isolcheck: %d starts, peak %d concurrent, %d violations\n",
@@ -201,6 +210,12 @@ func checkTrace(path string) error {
 var requiredMetrics = []string{
 	"twe_tasks_submitted_total",
 	"twe_tasks_completed_total",
+	"twe_tasks_cancelled_total",
+	"twe_task_panics_total",
+	"twe_deadlines_exceeded_total",
+	"twe_dyneff_retries_total",
+	"twe_dyneff_breaker_trips_total",
+	"twe_pool_panics_total",
 	"twe_conflict_checks_total",
 	"twe_sched_queue_depth_peak",
 	"twe_pool_running_peak",

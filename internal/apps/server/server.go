@@ -23,8 +23,10 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"twe/internal/core"
 	"twe/internal/effect"
@@ -39,6 +41,12 @@ type Config struct {
 	Requests  int
 	ScanEvery int // every n-th request is a full scan
 	Seed      int64
+	// Deadline, when positive, bounds each request's queue-plus-service
+	// time: requests are submitted with a per-task deadline and shed
+	// (resolved with ErrDeadlineExceeded) if they cannot start in time —
+	// an overloaded server drops stale work instead of serving it late.
+	// Zero keeps the unbounded behavior.
+	Deadline time.Duration
 }
 
 // DefaultConfig returns a contended mixed workload.
@@ -110,6 +118,15 @@ func shardRegion(k int) rpl.RPL { return rpl.New(rpl.N("Shard"), rpl.Idx(k)) }
 
 func sessionRegion(id int) rpl.RPL { return rpl.New(rpl.N("Session"), rpl.Idx(id)) }
 
+// dispatch submits a request task, with the configured per-request
+// deadline when load shedding is enabled.
+func (s *Server) dispatch(t *core.Task) *core.Future {
+	if s.cfg.Deadline > 0 {
+		return s.rt.ExecuteLaterDeadline(t, nil, s.cfg.Deadline)
+	}
+	return s.rt.ExecuteLater(t, nil)
+}
+
 // Submit dispatches one request asynchronously (the event-driven half) and
 // returns its future. The response value is the Get result, the scan sum,
 // or nil for Put.
@@ -117,31 +134,37 @@ func (s *Server) Submit(r Request) *core.Future {
 	switch r.Kind {
 	case 'P':
 		shard, slot := s.shardOf(r.Key)
-		return s.rt.ExecuteLater(&core.Task{
+		return s.dispatch(&core.Task{
 			Name: fmt.Sprintf("put[s%d]", shard),
 			Eff: effect.NewSet(
 				effect.WriteEff(shardRegion(shard)),
 				effect.WriteEff(sessionRegion(r.Session))),
-			Body: func(_ *core.Ctx, _ any) (any, error) {
+			Body: func(ctx *core.Ctx, _ any) (any, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err // shed: deadline expired before service
+				}
 				s.shards[shard][slot] = r.Value
 				s.sessions[r.Session].Requests++
 				return nil, nil
 			},
-		}, nil)
+		})
 	case 'G':
 		shard, slot := s.shardOf(r.Key)
-		return s.rt.ExecuteLater(&core.Task{
+		return s.dispatch(&core.Task{
 			Name: fmt.Sprintf("get[s%d]", shard),
 			Eff: effect.NewSet(
 				effect.Read(shardRegion(shard)),
 				effect.WriteEff(sessionRegion(r.Session))),
-			Body: func(_ *core.Ctx, _ any) (any, error) {
+			Body: func(ctx *core.Ctx, _ any) (any, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				s.sessions[r.Session].Requests++
 				return s.shards[shard][slot], nil
 			},
-		}, nil)
+		})
 	default: // 'S': parallel scan within one request
-		return s.rt.ExecuteLater(&core.Task{
+		return s.dispatch(&core.Task{
 			Name: "scan",
 			Eff: effect.NewSet(
 				effect.Read(rpl.New(rpl.N("Shard"), rpl.Any)),
@@ -150,6 +173,9 @@ func (s *Server) Submit(r Request) *core.Future {
 				// the per-request scratch region Session:[id]:[k].
 				effect.WriteEff(sessionRegion(r.Session).Append(rpl.Any))),
 			Body: func(ctx *core.Ctx, _ any) (any, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				partial := make([]int, s.cfg.Shards)
 				var sfs []*core.SpawnedFuture
 				for k := 0; k < s.cfg.Shards; k++ {
@@ -186,7 +212,7 @@ func (s *Server) Submit(r Request) *core.Future {
 				s.sessions[r.Session].LastScan = total
 				return total, nil
 			},
-		}, nil)
+		})
 	}
 }
 
@@ -196,6 +222,11 @@ type Result struct {
 	SessionReqs  []int
 	GetResponses []int
 	ScanTotals   []int
+	// Shed counts requests dropped by deadline load shedding. A shed
+	// request performs no accesses at all, so with Deadline > 0 the
+	// served/shed split partitions the log exactly:
+	// sum(SessionReqs) + Shed == len(log).
+	Shed int
 }
 
 // RunTWE submits the whole log asynchronously with a bounded in-flight
@@ -209,10 +240,13 @@ func RunTWE(cfg Config, log []Request, mkSched func() core.Scheduler, par, windo
 	}
 	res := &Result{SessionReqs: make([]int, cfg.Sessions)}
 	futs := make([]*core.Future, len(log))
+	shedable := func(err error) bool {
+		return cfg.Deadline > 0 && errors.Is(err, core.ErrDeadlineExceeded)
+	}
 	for i := range log {
 		futs[i] = s.Submit(log[i])
 		if i >= window {
-			if _, err := rt.GetValue(futs[i-window]); err != nil {
+			if _, err := rt.GetValue(futs[i-window]); err != nil && !shedable(err) {
 				return nil, err
 			}
 		}
@@ -220,6 +254,10 @@ func RunTWE(cfg Config, log []Request, mkSched func() core.Scheduler, par, windo
 	for i, f := range futs {
 		v, err := rt.GetValue(f)
 		if err != nil {
+			if shedable(err) {
+				res.Shed++
+				continue
+			}
 			return nil, err
 		}
 		switch log[i].Kind {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"testing"
+	"time"
 
 	"twe/internal/core"
 	"twe/internal/isolcheck"
@@ -107,6 +108,65 @@ func TestConcurrentWindowInvariants(t *testing.T) {
 			if !putValues[key][v] {
 				t.Errorf("%s: key %d holds %d, never put (torn write?)", name, key, v)
 			}
+		}
+	}
+}
+
+// TestDeadlineLoadShedding: with a deadline far below the queueing delay
+// of a full log dump, the server sheds stale requests instead of serving
+// them late. A shed request performs no accesses, so session accounting
+// partitions the log exactly: served + shed == submitted. Isolation must
+// hold across the shed/served mix.
+func TestDeadlineLoadShedding(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Deadline = 50 * time.Microsecond
+	log := GenerateLog(cfg)
+	for name, mk := range factories() {
+		chk := isolcheck.New()
+		res, err := RunTWE(cfg, log, mk, 2, len(log), core.WithMonitor(chk))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, v := range chk.Violations() {
+			t.Errorf("%s: %v", name, v)
+		}
+		if res.Shed == 0 {
+			t.Errorf("%s: nothing shed under a %v deadline with the whole log in flight", name, cfg.Deadline)
+		}
+		served := 0
+		for _, n := range res.SessionReqs {
+			served += n
+		}
+		if served+res.Shed != cfg.Requests {
+			t.Errorf("%s: served %d + shed %d != %d submitted (partial service?)",
+				name, served, res.Shed, cfg.Requests)
+		}
+	}
+}
+
+// TestNoSheddingUnderGenerousDeadline: a deadline the workload easily
+// meets must not change behavior — the sequential-window run still
+// matches the replay exactly and nothing is shed.
+func TestNoSheddingUnderGenerousDeadline(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Deadline = time.Minute
+	log := GenerateLog(cfg)
+	want := RunSeq(cfg, log)
+	got, err := RunTWE(cfg, log, func() core.Scheduler { return tree.New() }, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shed != 0 {
+		t.Fatalf("shed %d requests under a one-minute deadline", got.Shed)
+	}
+	for i := range want.GetResponses {
+		if got.GetResponses[i] != want.GetResponses[i] {
+			t.Fatalf("get #%d = %d, want %d", i, got.GetResponses[i], want.GetResponses[i])
+		}
+	}
+	for id, n := range want.SessionReqs {
+		if got.SessionReqs[id] != n {
+			t.Fatalf("session %d count %d, want %d", id, got.SessionReqs[id], n)
 		}
 	}
 }

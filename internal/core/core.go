@@ -25,6 +25,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -124,6 +125,10 @@ type Future struct {
 	// deterministic is true if this future or any spawn ancestor is
 	// deterministic; restricts the task operations available to the body.
 	deterministic bool
+
+	// Fault tolerance (fault.go): cancellation cause, deadline timer,
+	// submitted flag.
+	cancelState
 
 	result any
 	err    error
@@ -313,6 +318,9 @@ const (
 	PointUnblock
 	// PointFinish: a body returned; its effects are about to be released.
 	PointFinish
+	// PointCancel: a cancelled future that never ran is about to finish
+	// and release its effects.
+	PointCancel
 )
 
 func (p YieldPoint) String() string {
@@ -327,6 +335,8 @@ func (p YieldPoint) String() string {
 		return "unblock"
 	case PointFinish:
 		return "finish"
+	case PointCancel:
+		return "cancel"
 	}
 	return fmt.Sprintf("YieldPoint(%d)", uint8(p))
 }
@@ -344,8 +354,28 @@ type Runtime struct {
 // Option configures a Runtime.
 type Option func(*Runtime)
 
-// WithMonitor installs a lifecycle monitor.
-func WithMonitor(m Monitor) Option { return func(rt *Runtime) { rt.monitor = m } }
+// WithMonitor installs a lifecycle monitor. Multiple WithMonitor options
+// stack: every installed monitor observes every transition, in
+// installation order (a harness that wires its own oracle can therefore
+// forward caller-supplied options without silencing either side).
+func WithMonitor(m Monitor) Option {
+	return func(rt *Runtime) {
+		if _, nop := rt.monitor.(nopMonitor); nop || rt.monitor == nil {
+			rt.monitor = m
+			return
+		}
+		rt.monitor = monitorPair{rt.monitor, m}
+	}
+}
+
+// monitorPair fans every Monitor callback out to two monitors; stacked
+// WithMonitor options nest pairs.
+type monitorPair struct{ a, b Monitor }
+
+func (p monitorPair) OnRun(f *Future)     { p.a.OnRun(f); p.b.OnRun(f) }
+func (p monitorPair) OnBlock(f *Future)   { p.a.OnBlock(f); p.b.OnBlock(f) }
+func (p monitorPair) OnUnblock(f *Future) { p.a.OnUnblock(f); p.b.OnUnblock(f) }
+func (p monitorPair) OnFinish(f *Future)  { p.a.OnFinish(f); p.b.OnFinish(f) }
 
 // WithTracer installs an observability tracer (internal/obs): the runtime
 // emits lifecycle, block/transfer and admission events into it, and the
@@ -448,6 +478,12 @@ func (rt *Runtime) ExecuteLater(t *Task, arg any) *Future {
 	f := rt.newFuture(t, arg)
 	rt.yieldAt(f, PointSubmit)
 	rt.traceSubmit(f)
+	if f.IsDone() {
+		// Cancelled by the yield hook before submission; the scheduler
+		// must never see it (fault.go).
+		return f
+	}
+	f.submitted.Store(true)
 	rt.sched.Submit(f)
 	return f
 }
@@ -465,6 +501,10 @@ func (rt *Runtime) Execute(t *Task, arg any) (any, error) {
 	f.status.Store(int32(Prioritized))
 	rt.yieldAt(f, PointSubmit)
 	rt.traceSubmit(f)
+	if f.IsDone() {
+		return f.result, f.err
+	}
+	f.submitted.Store(true)
 	rt.sched.Submit(f)
 	return rt.getValue(nil, f)
 }
@@ -503,7 +543,18 @@ func (c *Ctx) WaitAll(futs []*Future) error {
 // submits the future to the execution pool. It is idempotent in effect
 // because the body-run claims f.started.
 func (f *Future) Ready() {
-	f.status.Store(int32(Enabled))
+	// CAS loop so a concurrent cancellation's Done store can never be
+	// overwritten: a scheduler recheck that was already enabling this
+	// future when it was cancelled must not resurrect it (fault.go).
+	for {
+		cur := f.status.Load()
+		if Status(cur) == Done {
+			return
+		}
+		if f.status.CompareAndSwap(cur, int32(Enabled)) {
+			break
+		}
+	}
 	if tr := f.rt.tracer; tr != nil {
 		lat := tr.Clock() - f.submitNS.Load()
 		tr.Metrics().ObserveAdmission(lat)
@@ -524,6 +575,14 @@ func (f *Future) Ready() {
 func (rt *Runtime) runBody(f *Future, worker int32) {
 	rt.yieldAt(f, PointStart)
 	f.worker.Store(worker)
+	if f.CancelCause() != nil {
+		// Cancelled after being enabled but before the body started (the
+		// pool claim won the race against Cancel's): skip the body and
+		// finish as cancelled. The task was admitted, so its effects are
+		// released through the normal Done notification.
+		rt.finishCancelled(f, true)
+		return
+	}
 	if rt.tracer != nil {
 		rt.tracer.Emit(obs.Event{Kind: obs.KindStart, Task: f.seq, Name: f.task.Name, Worker: worker})
 	}
@@ -534,6 +593,11 @@ func (rt *Runtime) runBody(f *Future, worker int32) {
 
 	ctx := &Ctx{rt: rt, fut: f}
 	res, err := safeCall(f.task.Body, ctx, f.arg)
+	if pe, ok := err.(*PanicError); ok && rt.tracer != nil {
+		rt.tracer.Metrics().TaskPanics.Add(1)
+		rt.tracer.Emit(obs.Event{Kind: obs.KindPanic, Task: f.seq, Name: f.task.Name,
+			Worker: worker, Detail: fmt.Sprint(pe.Value)})
+	}
 
 	// Implicit join: a method never "gives up" effects from the
 	// perspective of its callers (§3.1.5).
@@ -565,19 +629,19 @@ func (rt *Runtime) runBody(f *Future, worker int32) {
 	rt.monitor.OnFinish(f)
 	f.status.Store(int32(Done))
 	close(f.done)
+	f.stopTimer()
 	if f.spawnParent == nil {
 		rt.sched.Done(f)
 	}
 }
 
+// safeCall contains a panicking body as a *PanicError carrying the panic
+// value and the captured stack; the pool worker and the process survive
+// (DESIGN.md §10).
 func safeCall(b Body, ctx *Ctx, arg any) (res any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if e, ok := r.(error); ok {
-				err = fmt.Errorf("task panicked: %w", e)
-			} else {
-				err = fmt.Errorf("task panicked: %v", r)
-			}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
 	return b(ctx, arg)
@@ -724,6 +788,10 @@ func (c *Ctx) Execute(t *Task, arg any) (any, error) {
 	f.status.Store(int32(Prioritized))
 	c.rt.yieldAt(f, PointSubmit)
 	c.rt.traceSubmit(f)
+	if f.IsDone() {
+		return f.result, f.err
+	}
+	f.submitted.Store(true)
 	c.rt.sched.Submit(f)
 	return c.rt.getValue(c.fut, f)
 }

@@ -1,0 +1,444 @@
+package core_test
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twe/internal/core"
+	"twe/internal/isolcheck"
+	"twe/internal/naive"
+	"twe/internal/obs"
+	"twe/internal/tree"
+)
+
+// forEachSched runs the test body against both bundled schedulers with an
+// isolation monitor installed, and asserts zero violations and a quiesced
+// scheduler afterwards.
+func forEachSched(t *testing.T, fn func(t *testing.T, rt *core.Runtime)) {
+	t.Helper()
+	for _, tc := range []struct {
+		name string
+		mk   func() core.Scheduler
+	}{
+		{"naive", func() core.Scheduler { return naive.New() }},
+		{"tree", func() core.Scheduler { return tree.New() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			chk := isolcheck.New()
+			rt := core.NewRuntime(tc.mk(), 4, core.WithMonitor(chk))
+			fn(t, rt)
+			rt.Shutdown()
+			if vs := chk.Violations(); len(vs) != 0 {
+				t.Fatalf("isolation violations: %v", vs)
+			}
+			if !rt.Quiesced() {
+				t.Fatalf("scheduler not quiesced after shutdown (leaked effects or queue entries)")
+			}
+		})
+	}
+}
+
+// gate returns a task holding writes X until release is closed, plus a
+// channel closed once its body is running.
+func gateTask(name string, running chan<- struct{}, release <-chan struct{}) *core.Task {
+	return core.NewTask(name, es("writes X"), func(_ *core.Ctx, _ any) (any, error) {
+		close(running)
+		<-release
+		return nil, nil
+	})
+}
+
+func TestCancelWaitingDescheduled(t *testing.T) {
+	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
+		running := make(chan struct{})
+		release := make(chan struct{})
+		blocker := rt.ExecuteLater(gateTask("blocker", running, release), nil)
+		<-running
+
+		ran := false
+		victim := rt.ExecuteLater(core.NewTask("victim", es("writes X"),
+			func(_ *core.Ctx, _ any) (any, error) { ran = true; return nil, nil }), nil)
+		if victim.Status() >= core.Enabled {
+			t.Fatalf("victim enabled despite conflicting with a running task")
+		}
+		cause := errors.New("caller gave up")
+		if !victim.Cancel(cause) {
+			t.Fatalf("Cancel should win on a waiting task")
+		}
+		if !victim.IsDone() {
+			t.Fatalf("cancelled waiting task should be done immediately")
+		}
+		if _, err := rt.GetValue(victim); !errors.Is(err, cause) {
+			t.Fatalf("GetValue err = %v, want %v", err, cause)
+		}
+		// Double cancel is a no-op.
+		if victim.Cancel(nil) {
+			t.Fatalf("second Cancel should report false")
+		}
+
+		// A subsequently submitted interfering task must run: the victim's
+		// effects were released on descheduling.
+		close(release)
+		successor := rt.ExecuteLater(core.NewTask("successor", es("writes X"),
+			func(_ *core.Ctx, _ any) (any, error) { return 7, nil }), nil)
+		v, err := rt.GetValue(successor)
+		if err != nil || v.(int) != 7 {
+			t.Fatalf("successor = (%v, %v), want (7, nil)", v, err)
+		}
+		if _, err := rt.GetValue(blocker); err != nil {
+			t.Fatal(err)
+		}
+		if ran {
+			t.Fatalf("cancelled task body ran")
+		}
+	})
+}
+
+func TestCancelRunningCooperative(t *testing.T) {
+	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
+		started := make(chan struct{})
+		f := rt.ExecuteLater(core.NewTask("spinner", es("writes X"),
+			func(ctx *core.Ctx, _ any) (any, error) {
+				close(started)
+				for ctx.Err() == nil {
+					runtime.Gosched()
+				}
+				return nil, ctx.Err()
+			}), nil)
+		<-started
+		cause := errors.New("operator abort")
+		if f.Cancel(cause) {
+			t.Fatalf("Cancel of a running task should be cooperative (false)")
+		}
+		if _, err := rt.GetValue(f); !errors.Is(err, cause) {
+			t.Fatalf("err = %v, want cooperative cause %v", err, cause)
+		}
+	})
+}
+
+func TestCancelCompletedNoop(t *testing.T) {
+	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
+		f := rt.ExecuteLater(core.NewTask("ok", es("writes X"),
+			func(_ *core.Ctx, _ any) (any, error) { return 42, nil }), nil)
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+		if f.Cancel(nil) {
+			t.Fatalf("Cancel after completion should be a no-op")
+		}
+		if v, err := rt.GetValue(f); err != nil || v.(int) != 42 {
+			t.Fatalf("completed value clobbered by late Cancel: (%v, %v)", v, err)
+		}
+		if f.Err() != nil {
+			t.Fatalf("Err = %v on a successful future", f.Err())
+		}
+	})
+}
+
+func TestCancelDefaultCause(t *testing.T) {
+	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
+		running := make(chan struct{})
+		release := make(chan struct{})
+		defer close(release)
+		rt.ExecuteLater(gateTask("blocker", running, release), nil)
+		<-running
+		victim := rt.ExecuteLater(core.NewTask("victim", es("writes X"),
+			func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), nil)
+		victim.Cancel(nil)
+		if _, err := rt.GetValue(victim); !errors.Is(err, core.ErrCancelled) {
+			t.Fatalf("err = %v, want ErrCancelled", err)
+		}
+		if victim.CancelCause() == nil || victim.Err() == nil {
+			t.Fatalf("CancelCause/Err should be set after cancellation")
+		}
+	})
+}
+
+func TestDeadlineDeschedulesWaitingTask(t *testing.T) {
+	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
+		running := make(chan struct{})
+		release := make(chan struct{})
+		blocker := rt.ExecuteLater(gateTask("blocker", running, release), nil)
+		<-running
+		late := rt.ExecuteLaterDeadline(core.NewTask("late", es("writes X"),
+			func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), nil, 10*time.Millisecond)
+		if _, err := rt.GetValue(late); !errors.Is(err, core.ErrDeadlineExceeded) {
+			t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+		}
+		close(release)
+		if _, err := rt.GetValue(blocker); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDeadlineCooperativeWhileRunning(t *testing.T) {
+	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
+		f := rt.ExecuteLaterDeadline(core.NewTask("slow", es("writes X"),
+			func(ctx *core.Ctx, _ any) (any, error) {
+				for ctx.Err() == nil {
+					runtime.Gosched()
+				}
+				return nil, ctx.Err()
+			}), nil, 5*time.Millisecond)
+		if _, err := rt.GetValue(f); !errors.Is(err, core.ErrDeadlineExceeded) {
+			t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+		}
+	})
+}
+
+func TestDeadlineMetInTime(t *testing.T) {
+	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
+		f := rt.ExecuteLaterDeadline(core.NewTask("fast", es("writes X"),
+			func(_ *core.Ctx, _ any) (any, error) { return "ok", nil }), nil, 10*time.Second)
+		v, err := rt.GetValue(f)
+		if err != nil || v.(string) != "ok" {
+			t.Fatalf("(%v, %v), want (ok, nil)", v, err)
+		}
+	})
+}
+
+// TestPanicContainment is the tentpole acceptance criterion: a panicking
+// task body never crashes the process or a pool worker; the future
+// reports the failure with a captured stack, the task's effects are
+// released, and a subsequently submitted interfering task completes.
+func TestPanicContainment(t *testing.T) {
+	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
+		f := rt.ExecuteLater(core.NewTask("bomb", es("writes X"),
+			func(_ *core.Ctx, _ any) (any, error) { panic("injected failure") }), nil)
+		_, err := rt.GetValue(f)
+		var pe *core.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v (%T), want *PanicError", err, err)
+		}
+		if pe.Value != "injected failure" {
+			t.Fatalf("PanicError.Value = %v, want injected failure", pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "goroutine") {
+			t.Fatalf("PanicError.Stack not captured: %q", pe.Stack)
+		}
+		if !strings.Contains(err.Error(), "task panicked") {
+			t.Fatalf("error message %q lost the panic prefix", err)
+		}
+
+		successor := rt.ExecuteLater(core.NewTask("successor", es("writes X"),
+			func(_ *core.Ctx, _ any) (any, error) { return 1, nil }), nil)
+		if v, err := rt.GetValue(successor); err != nil || v.(int) != 1 {
+			t.Fatalf("interfering successor after panic = (%v, %v), want (1, nil)", v, err)
+		}
+	})
+}
+
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("root cause")
+	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
+		f := rt.ExecuteLater(core.NewTask("bomb", es("writes X"),
+			func(_ *core.Ctx, _ any) (any, error) { panic(sentinel) }), nil)
+		if _, err := rt.GetValue(f); !errors.Is(err, sentinel) {
+			t.Fatalf("panic(error) should unwrap to the cause; err = %v", err)
+		}
+	})
+}
+
+func TestSpawnCancelAndPanicPropagation(t *testing.T) {
+	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
+		parent := core.NewTask("parent", es("writes X, writes Y"),
+			func(ctx *core.Ctx, _ any) (any, error) {
+				// Explicit join of a cancelled spin-child returns the cause.
+				sf, err := ctx.Spawn(core.NewTask("child", es("writes X"),
+					func(cctx *core.Ctx, _ any) (any, error) {
+						for cctx.Err() == nil {
+							runtime.Gosched()
+						}
+						return nil, cctx.Err()
+					}), nil)
+				if err != nil {
+					return nil, err
+				}
+				sf.Future().Cancel(core.ErrCancelled)
+				if _, jerr := ctx.Join(sf); !errors.Is(jerr, core.ErrCancelled) {
+					t.Errorf("Join of cancelled child err = %v, want ErrCancelled", jerr)
+				}
+
+				// A panicking spawned child left unjoined propagates through
+				// the implicit join as the parent's error.
+				if _, err := ctx.Spawn(core.NewTask("bomb", es("writes Y"),
+					func(*core.Ctx, any) (any, error) { panic("child blew up") }), nil); err != nil {
+					return nil, err
+				}
+				return nil, nil
+			})
+		_, err := rt.Run(parent, nil)
+		var pe *core.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("implicit join should surface the child panic; err = %v", err)
+		}
+	})
+}
+
+func TestCancelSpawnedBeforeStart(t *testing.T) {
+	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
+		parent := core.NewTask("parent", es("writes X"),
+			func(ctx *core.Ctx, _ any) (any, error) {
+				sf, err := ctx.Spawn(core.NewTask("child", es("writes X"),
+					func(*core.Ctx, any) (any, error) { return "ran", nil }), nil)
+				if err != nil {
+					return nil, err
+				}
+				won := sf.Future().Cancel(nil)
+				v, jerr := ctx.Join(sf)
+				if won {
+					if !errors.Is(jerr, core.ErrCancelled) {
+						t.Errorf("descheduled spawn join err = %v, want ErrCancelled", jerr)
+					}
+				} else if jerr != nil || v != "ran" {
+					t.Errorf("raced spawn join = (%v, %v), want (ran, nil)", v, jerr)
+				}
+				return nil, nil
+			})
+		if _, err := rt.Run(parent, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCancelBeforeSubmitViaYieldHook(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() core.Scheduler
+	}{
+		{"naive", func() core.Scheduler { return naive.New() }},
+		{"tree", func() core.Scheduler { return tree.New() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := core.NewRuntime(tc.mk(), 2, core.WithYield(func(f *core.Future, p core.YieldPoint) {
+				if p == core.PointSubmit && f.Task().Name == "victim" {
+					f.Cancel(nil)
+				}
+			}))
+			f := rt.ExecuteLater(core.NewTask("victim", es("writes X"),
+				func(*core.Ctx, any) (any, error) { return nil, nil }), nil)
+			if !f.IsDone() {
+				t.Fatalf("pre-submit cancelled future should be done on return")
+			}
+			if _, err := rt.GetValue(f); !errors.Is(err, core.ErrCancelled) {
+				t.Fatalf("err = %v, want ErrCancelled", err)
+			}
+			// The scheduler never saw the future; interfering work proceeds.
+			ok := rt.ExecuteLater(core.NewTask("after", es("writes X"),
+				func(*core.Ctx, any) (any, error) { return 3, nil }), nil)
+			if v, err := rt.GetValue(ok); err != nil || v.(int) != 3 {
+				t.Fatalf("(%v, %v), want (3, nil)", v, err)
+			}
+			rt.Shutdown()
+			if !rt.Quiesced() {
+				t.Fatalf("scheduler leaked the never-submitted future")
+			}
+		})
+	}
+}
+
+func TestCtxErrNilWithoutCancel(t *testing.T) {
+	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
+		f := rt.ExecuteLater(core.NewTask("plain", es("writes X"),
+			func(ctx *core.Ctx, _ any) (any, error) {
+				if ctx.Err() != nil {
+					t.Errorf("Ctx.Err = %v on an uncancelled task", ctx.Err())
+				}
+				return nil, nil
+			}), nil)
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+		if f.Err() != nil {
+			t.Fatalf("Future.Err = %v, want nil", f.Err())
+		}
+	})
+}
+
+// TestFaultEventsAndMetrics checks the obs surfacing: cancel, panic and
+// deadline transitions produce their event kinds and counters.
+func TestFaultEventsAndMetrics(t *testing.T) {
+	tr := obs.New()
+	rt := core.NewRuntime(tree.New(), 4, core.WithTracer(tr))
+
+	running := make(chan struct{})
+	release := make(chan struct{})
+	blocker := rt.ExecuteLater(gateTask("blocker", running, release), nil)
+	<-running
+
+	cancelled := rt.ExecuteLater(core.NewTask("cancelled", es("writes X"),
+		func(*core.Ctx, any) (any, error) { return nil, nil }), nil)
+	cancelled.Cancel(nil)
+
+	late := rt.ExecuteLaterDeadline(core.NewTask("late", es("writes X"),
+		func(*core.Ctx, any) (any, error) { return nil, nil }), nil, 5*time.Millisecond)
+	if _, err := rt.GetValue(late); !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("deadline err = %v", err)
+	}
+	close(release)
+	if _, err := rt.GetValue(blocker); err != nil {
+		t.Fatal(err)
+	}
+
+	bomb := rt.ExecuteLater(core.NewTask("bomb", es("writes Z"),
+		func(*core.Ctx, any) (any, error) { panic("boom") }), nil)
+	if _, err := rt.GetValue(bomb); err == nil {
+		t.Fatal("panic not surfaced")
+	}
+	rt.Shutdown()
+
+	s := tr.Metrics().Snapshot()
+	if s.TasksCancelled != 2 {
+		t.Errorf("TasksCancelled = %d, want 2 (explicit + deadline)", s.TasksCancelled)
+	}
+	if s.DeadlinesExceeded != 1 {
+		t.Errorf("DeadlinesExceeded = %d, want 1", s.DeadlinesExceeded)
+	}
+	if s.TaskPanics != 1 {
+		t.Errorf("TaskPanics = %d, want 1", s.TaskPanics)
+	}
+	var sawCancel, sawDeadline, sawPanic bool
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case obs.KindCancel:
+			sawCancel = true
+		case obs.KindDeadline:
+			sawDeadline = true
+		case obs.KindPanic:
+			sawPanic = true
+		}
+	}
+	if !sawCancel || !sawDeadline || !sawPanic {
+		t.Errorf("missing fault events: cancel=%v deadline=%v panic=%v",
+			sawCancel, sawDeadline, sawPanic)
+	}
+}
+
+// TestCancelStorm hammers Cancel against the start race under both
+// schedulers: N conflicting tasks, every other one cancelled concurrently
+// with scheduling. Each future must end Done with either its own result
+// or a cancellation error, and nothing may leak.
+func TestCancelStorm(t *testing.T) {
+	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
+		const n = 60
+		var ran atomic.Int32
+		futs := make([]*core.Future, n)
+		for i := range futs {
+			futs[i] = rt.ExecuteLater(core.NewTask("w", es("writes X"),
+				func(*core.Ctx, any) (any, error) { ran.Add(1); return nil, nil }), nil)
+			if i%2 == 1 {
+				go futs[i].Cancel(nil)
+			}
+		}
+		for _, f := range futs {
+			if _, err := rt.GetValue(f); err != nil && !errors.Is(err, core.ErrCancelled) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		}
+	})
+}

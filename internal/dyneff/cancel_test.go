@@ -1,0 +1,115 @@
+package dyneff_test
+
+import (
+	"errors"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/dyneff"
+	"twe/internal/effect"
+	"twe/internal/naive"
+	"twe/internal/tree"
+)
+
+func es(s string) effect.Set { return effect.MustParse(s) }
+
+// TestCancelMidSectionRollsBack is the regression test for the
+// partial-write ordering bug: a task cancelled cooperatively in the
+// middle of a dynamic-effects section winds down by returning Ctx.Err
+// from fn, and every ref written before the wind-down must be rolled
+// back — newest first — before the refs are released. Previously an
+// error return committed the partial writes.
+//
+// The cancellation is injected deterministically with core.WithYield: the
+// hook cancels the future at PointStart, so the body observes Ctx.Err
+// between its two writes on every run.
+func TestCancelMidSectionRollsBack(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() core.Scheduler
+	}{
+		{"naive", func() core.Scheduler { return naive.New() }},
+		{"tree", func() core.Scheduler { return tree.New() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cause := errors.New("cancelled mid-section")
+			rt := core.NewRuntime(tc.mk(), 2, core.WithYield(func(f *core.Future, p core.YieldPoint) {
+				if p == core.PointStart && f.Task().Name == "section" {
+					f.Cancel(cause)
+				}
+			}))
+			defer rt.Shutdown()
+			reg := dyneff.NewRegistry()
+			a := dyneff.NewRef(reg, "oldA")
+			b := dyneff.NewRef(reg, "oldB")
+
+			task := core.NewTask("section", es("writes S"),
+				func(ctx *core.Ctx, _ any) (any, error) {
+					_, err := reg.Run(func(tx *dyneff.Tx) error {
+						tx.Set(a, "dirtyA")
+						if err := ctx.Err(); err != nil {
+							return err // cooperative wind-down mid-section
+						}
+						tx.Set(b, "dirtyB")
+						return nil
+					})
+					return nil, err
+				})
+			if _, err := rt.Execute(task, nil); !errors.Is(err, cause) {
+				t.Fatalf("err = %v, want the cancellation cause", err)
+			}
+			if a.Peek() != "oldA" || b.Peek() != "oldB" {
+				t.Fatalf("partial writes escaped: a=%v b=%v", a.Peek(), b.Peek())
+			}
+			// Both refs must be free for the next section.
+			if _, err := reg.Run(func(tx *dyneff.Tx) error {
+				tx.Set(a, "newA")
+				tx.Set(b, "newB")
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if a.Peek() != "newA" || b.Peek() != "newB" {
+				t.Fatalf("refs not writable after cancelled section: a=%v b=%v", a.Peek(), b.Peek())
+			}
+		})
+	}
+}
+
+// TestPanicInSectionContained: a panic inside a dynamic section rolls the
+// section back, releases its refs, and surfaces through the task layer as
+// a contained *PanicError — the scheduler and pool survive.
+func TestPanicInSectionContained(t *testing.T) {
+	rt := core.NewRuntime(tree.New(), 2)
+	defer rt.Shutdown()
+	reg := dyneff.NewRegistry()
+	a := dyneff.NewRef(reg, 5)
+	task := core.NewTask("bomb", es("writes S"),
+		func(_ *core.Ctx, _ any) (any, error) {
+			_, err := reg.Run(func(tx *dyneff.Tx) error {
+				tx.Set(a, 99)
+				panic("section bomb")
+			})
+			return nil, err
+		})
+	_, err := rt.Execute(task, nil)
+	var pe *core.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want contained *PanicError", err)
+	}
+	if a.Peek().(int) != 5 {
+		t.Fatalf("a = %v, want rollback to 5", a.Peek())
+	}
+	// The runtime survives: an interfering successor completes.
+	ok := core.NewTask("after", es("writes S"),
+		func(_ *core.Ctx, _ any) (any, error) {
+			_, err := reg.Run(func(tx *dyneff.Tx) error { tx.Set(a, 6); return nil })
+			return nil, err
+		})
+	if _, err := rt.Execute(ok, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Peek().(int) != 6 {
+		t.Fatalf("a = %v, want 6", a.Peek())
+	}
+}

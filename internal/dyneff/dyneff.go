@@ -35,10 +35,11 @@ package dyneff
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"twe/internal/obs"
 )
 
 // Ref is a reference-as-region cell. Create with Registry.NewRef; access
@@ -72,10 +73,19 @@ type Registry struct {
 	nextSeq atomic.Uint64
 	aborts  atomic.Int64
 	commits atomic.Int64
+	cfg     Config
+	tracer  *obs.Tracer
+	breakerState
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{} }
+// NewRegistry returns an empty registry with the default Config.
+func NewRegistry() *Registry { return NewRegistryWithConfig(Config{}) }
+
+// NewRegistryWithConfig returns an empty registry with the given retry and
+// breaker bounds (zero fields select defaults; see Config).
+func NewRegistryWithConfig(c Config) *Registry {
+	return &Registry{cfg: c.withDefaults()}
+}
 
 // NewRef allocates a managed cell holding v.
 func NewRef(reg *Registry, v any) *Ref {
@@ -108,49 +118,78 @@ type undoEntry struct {
 type abortSignal struct{ loser *Tx }
 
 // ErrTooManyRetries is returned when a section failed to commit within
-// MaxRetries attempts.
+// Config.MaxAttempts attempts.
 var ErrTooManyRetries = errors.New("dyneff: section exceeded retry limit")
 
-// MaxRetries bounds the retry loop; the age-based conflict policy makes
-// starvation impossible, so hitting this indicates a livelock bug.
-const MaxRetries = 1 << 20
-
 // Run executes fn as a dynamic-effects section, retrying on conflicts
-// until it commits. fn must confine its side effects to Get/Set on Refs
-// (rolled back on abort) and otherwise be safe to re-execute. It returns
-// the number of aborted attempts.
+// with capped exponential backoff until it commits or exhausts the
+// registry's attempt budget. fn must confine its side effects to Get/Set
+// on Refs and otherwise be safe to re-execute.
+//
+// Every exit path releases the section's refs exactly once, and any path
+// that does not commit — conflict abort, fn returning an error, or fn
+// panicking (including a cooperative-cancellation wind-down that errors
+// out mid-section) — rolls the undo log back *before* releasing, so
+// partial writes are never visible to other sections. A foreign panic is
+// re-raised after the cleanup for the task layer to contain.
+//
+// Run returns the number of aborted attempts.
 func (reg *Registry) Run(fn func(tx *Tx) error) (retries int, err error) {
 	seq := reg.nextSeq.Add(1)
-	for attempt := 0; attempt < MaxRetries; attempt++ {
+	for attempt := 1; ; attempt++ {
 		tx := &Tx{reg: reg, seq: seq, rs: map[*Ref]struct{}{}, ws: map[*Ref]struct{}{}}
-		aborted := func() (aborted bool) {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(abortSignal); ok {
-						aborted = true
-						return
-					}
-					panic(r)
-				}
-			}()
-			err = fn(tx)
-			return false
-		}()
+		aborted, err := reg.attempt(tx, fn)
 		if !aborted {
+			if err != nil {
+				// A failed section must not commit its partial writes.
+				tx.rollback()
+				tx.release()
+				return retries, err
+			}
 			tx.release()
 			reg.commits.Add(1)
-			return attempt, err
+			return retries, nil
 		}
 		tx.rollback()
 		tx.release()
 		reg.aborts.Add(1)
 		retries++
-		// Randomized backoff proportional to the age handicap: younger
-		// (larger-seq) tasks back off longer so older sections drain.
-		backoff := time.Duration(rand.Intn(50)+1) * time.Microsecond
-		time.Sleep(backoff)
+		if attempt >= reg.cfg.MaxAttempts {
+			return retries, ErrTooManyRetries
+		}
+		if tr := reg.tracer; tr != nil {
+			tr.Metrics().DyneffRetries.Add(1)
+			tr.Emit(obs.Event{Kind: obs.KindRetry, Task: seq, Detail: fmt.Sprintf("attempt %d", attempt)})
+		}
+		reg.noteAbort()
+		time.Sleep(reg.backoff(seq, attempt))
 	}
-	return retries, ErrTooManyRetries
+}
+
+// attempt runs fn once under the breaker, converting a conflict abort
+// into a flag. The undo log is intact on return (the caller rolls back);
+// a foreign panic is cleaned up here — rollback, release, breaker exit —
+// then re-raised.
+func (reg *Registry) attempt(tx *Tx, fn func(tx *Tx) error) (aborted bool, err error) {
+	serialized := reg.breakerEnter()
+	committed := false
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				reg.breakerExit(serialized, false)
+				aborted = true
+				return
+			}
+			tx.rollback()
+			tx.release()
+			reg.breakerExit(serialized, false)
+			panic(r)
+		}
+		reg.breakerExit(serialized, committed)
+	}()
+	err = fn(tx)
+	committed = err == nil
+	return false, err
 }
 
 // rollback restores every written ref from the undo log, newest first.

@@ -1,0 +1,149 @@
+// Bounded retry and abort-storm damping for dynamic-effects sections
+// (DESIGN.md §10). The dissertation's abort/retry loop (§7.2.4) retries
+// immediately and unboundedly — safe for the paper's workloads, but a
+// production runtime needs the loop to (a) terminate when a section can
+// never commit, (b) back off instead of burning CPU re-colliding, and
+// (c) stop a storm of mutually-aborting sections from collapsing
+// throughput. This file adds all three: a per-section attempt budget with
+// capped exponential backoff, and a registry-wide circuit breaker that
+// serializes sections while open so the oldest always commits.
+package dyneff
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twe/internal/obs"
+)
+
+// Config bounds the abort/retry machinery. The zero value of any field
+// selects its default.
+type Config struct {
+	// MaxAttempts caps the attempts of one section (default 64). The
+	// age-based conflict policy makes starvation impossible, so a section
+	// that exhausts the budget indicates a livelock bug or a section whose
+	// fn keeps failing; Run returns ErrTooManyRetries.
+	MaxAttempts int
+	// BackoffBase is the sleep after the first abort (default 1µs); each
+	// further abort doubles it up to BackoffCap (default 512µs). The
+	// backoff is deterministic — jitter comes from each section's age, not
+	// from a RNG, so fault-injection runs replay identically.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// BreakerThreshold is the number of aborts, counted registry-wide since
+	// the breaker last closed, that open it (default 32). While open, every
+	// section runs serialized on one mutex — no conflicts, so the storm
+	// drains at sequential speed instead of thrashing.
+	BreakerThreshold int64
+	// BreakerCooldown is the number of serialized commits after which the
+	// breaker closes again (default 4).
+	BreakerCooldown int64
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxAttempts      = 64
+	DefaultBreakerThreshold = 32
+	DefaultBreakerCooldown  = 4
+)
+
+const (
+	defaultBackoffBase = time.Microsecond
+	defaultBackoffCap  = 512 * time.Microsecond
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = defaultBackoffBase
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = defaultBackoffCap
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	return c
+}
+
+// SetTracer installs the observability tracer that receives retry and
+// breaker events (obs.KindRetry / obs.KindBreaker) and the DyneffRetries /
+// DyneffBreakerTrips counters. Call before running sections.
+func (reg *Registry) SetTracer(t *obs.Tracer) { reg.tracer = t }
+
+// BreakerOpen reports whether the abort-storm breaker is currently open
+// (sections serialized).
+func (reg *Registry) BreakerOpen() bool { return reg.breakerOpen.Load() }
+
+// BreakerTrips returns how many times the breaker has opened.
+func (reg *Registry) BreakerTrips() int64 { return reg.breakerTrips.Load() }
+
+// backoff returns the sleep before the given retry (attempt >= 1),
+// exponential in the attempt and skewed by the section's age so that
+// colliding sections desynchronize without randomness: younger (larger
+// seq) sections wait slightly longer, reinforcing the oldest-wins policy.
+func (reg *Registry) backoff(seq uint64, attempt int) time.Duration {
+	d := reg.cfg.BackoffBase << uint(attempt-1)
+	if d <= 0 || d > reg.cfg.BackoffCap {
+		d = reg.cfg.BackoffCap
+	}
+	return d + time.Duration(seq%8)*reg.cfg.BackoffBase/4
+}
+
+// noteAbort feeds the breaker: opening it when the abort count since the
+// last close crosses the threshold.
+func (reg *Registry) noteAbort() {
+	if reg.abortStreak.Add(1) < reg.cfg.BreakerThreshold {
+		return
+	}
+	if reg.breakerOpen.CompareAndSwap(false, true) {
+		reg.breakerTrips.Add(1)
+		reg.cooldownLeft.Store(reg.cfg.BreakerCooldown)
+		if tr := reg.tracer; tr != nil {
+			tr.Metrics().DyneffBreakerTrips.Add(1)
+			tr.Emit(obs.Event{Kind: obs.KindBreaker, Detail: "open"})
+		}
+	}
+}
+
+// breakerEnter serializes the caller while the breaker is open. Returns
+// whether the serial lock is held (pass to breakerExit).
+func (reg *Registry) breakerEnter() bool {
+	if !reg.breakerOpen.Load() {
+		return false
+	}
+	reg.serialMu.Lock()
+	// The breaker may have closed while we queued; run serialized anyway —
+	// correctness never depends on the breaker, it is only a throttle.
+	return true
+}
+
+// breakerExit releases the serial lock and, after a committed serialized
+// section, counts down the cooldown that closes the breaker.
+func (reg *Registry) breakerExit(serialized, committed bool) {
+	if !serialized {
+		return
+	}
+	if committed && reg.cooldownLeft.Add(-1) <= 0 && reg.breakerOpen.CompareAndSwap(true, false) {
+		reg.abortStreak.Store(0)
+		if tr := reg.tracer; tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindBreaker, Detail: "closed"})
+		}
+	}
+	reg.serialMu.Unlock()
+}
+
+// breakerState groups the abort-storm fields embedded in Registry.
+type breakerState struct {
+	serialMu     sync.Mutex
+	breakerOpen  atomic.Bool
+	abortStreak  atomic.Int64
+	cooldownLeft atomic.Int64
+	breakerTrips atomic.Int64
+}

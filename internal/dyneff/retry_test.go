@@ -1,0 +1,149 @@
+package dyneff
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"twe/internal/obs"
+)
+
+// holdWriter fabricates an old section holding r's writer slot, forcing
+// every younger accessor to abort until released.
+func holdWriter(reg *Registry, r *Ref) *Tx {
+	tx := &Tx{reg: reg, seq: reg.nextSeq.Add(1), rs: map[*Ref]struct{}{}, ws: map[*Ref]struct{}{}}
+	tx.AddWrite(r)
+	return tx
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	reg := NewRegistryWithConfig(Config{MaxAttempts: 3, BackoffBase: time.Nanosecond})
+	r := NewRef(reg, 0)
+	blocker := holdWriter(reg, r)
+	retries, err := reg.Run(func(tx *Tx) error {
+		tx.Get(r)
+		return nil
+	})
+	if !errors.Is(err, ErrTooManyRetries) {
+		t.Fatalf("err = %v, want ErrTooManyRetries", err)
+	}
+	if retries != 3 {
+		t.Fatalf("retries = %d, want 3 (the full budget)", retries)
+	}
+	blocker.release()
+	// The exhausted section must have released its refs: a fresh section
+	// commits immediately.
+	if retries, err := reg.Run(func(tx *Tx) error { tx.Set(r, 7); return nil }); err != nil || retries != 0 {
+		t.Fatalf("after exhaustion: retries=%d err=%v", retries, err)
+	}
+	if got := r.Peek().(int); got != 7 {
+		t.Fatalf("r = %d, want 7", got)
+	}
+}
+
+func TestBreakerTripsAndCloses(t *testing.T) {
+	tr := obs.New()
+	reg := NewRegistryWithConfig(Config{
+		MaxAttempts: 16, BackoffBase: time.Nanosecond,
+		BreakerThreshold: 4, BreakerCooldown: 1,
+	})
+	reg.SetTracer(tr)
+	r := NewRef(reg, 0)
+	blocker := holdWriter(reg, r)
+	if _, err := reg.Run(func(tx *Tx) error { tx.Get(r); return nil }); !errors.Is(err, ErrTooManyRetries) {
+		t.Fatalf("victim err = %v", err)
+	}
+	if !reg.BreakerOpen() {
+		t.Fatal("breaker should be open after an abort storm")
+	}
+	if reg.BreakerTrips() != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", reg.BreakerTrips())
+	}
+	blocker.release()
+	// One committed serialized section satisfies the cooldown and closes
+	// the breaker.
+	if _, err := reg.Run(func(tx *Tx) error { tx.Set(r, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if reg.BreakerOpen() {
+		t.Fatal("breaker should have closed after the cooldown commit")
+	}
+
+	s := tr.Metrics().Snapshot()
+	if s.DyneffRetries == 0 {
+		t.Error("DyneffRetries not counted")
+	}
+	if s.DyneffBreakerTrips != 1 {
+		t.Errorf("DyneffBreakerTrips = %d, want 1", s.DyneffBreakerTrips)
+	}
+	var sawRetry bool
+	var breakerSeq []string
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case obs.KindRetry:
+			sawRetry = true
+		case obs.KindBreaker:
+			breakerSeq = append(breakerSeq, e.Detail)
+		}
+	}
+	if !sawRetry {
+		t.Error("no KindRetry events emitted")
+	}
+	if len(breakerSeq) != 2 || breakerSeq[0] != "open" || breakerSeq[1] != "closed" {
+		t.Errorf("breaker event sequence = %v, want [open closed]", breakerSeq)
+	}
+}
+
+// TestErrorRollsBackPartialWrites: a section whose fn returns an error
+// must roll back every write before releasing its refs — an error return
+// is a failed section, not a commit.
+func TestErrorRollsBackPartialWrites(t *testing.T) {
+	reg := NewRegistry()
+	a, b := NewRef(reg, 1), NewRef(reg, 2)
+	boom := errors.New("boom")
+	if _, err := reg.Run(func(tx *Tx) error {
+		tx.Set(a, 10)
+		tx.Set(b, 20)
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if a.Peek().(int) != 1 || b.Peek().(int) != 2 {
+		t.Fatalf("partial writes escaped a failed section: a=%v b=%v", a.Peek(), b.Peek())
+	}
+	// Refs must be released: a fresh section acquires both and commits.
+	if _, err := reg.Run(func(tx *Tx) error { tx.Set(a, 3); tx.Set(b, 4); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if a.Peek().(int) != 3 || b.Peek().(int) != 4 {
+		t.Fatalf("post-failure section lost writes: a=%v b=%v", a.Peek(), b.Peek())
+	}
+}
+
+// TestForeignPanicRollsBackAndReleases: a panic out of fn propagates to
+// the caller (for the task layer to contain), but only after the undo log
+// is rolled back and the refs are released.
+func TestForeignPanicRollsBackAndReleases(t *testing.T) {
+	reg := NewRegistry()
+	a := NewRef(reg, "clean")
+	func() {
+		defer func() {
+			if r := recover(); r != "mid-section" {
+				t.Fatalf("recovered %v, want the foreign panic", r)
+			}
+		}()
+		reg.Run(func(tx *Tx) error {
+			tx.Set(a, "dirty")
+			panic("mid-section")
+		})
+	}()
+	if a.Peek() != "clean" {
+		t.Fatalf("a = %v after panicking section, want clean", a.Peek())
+	}
+	if _, err := reg.Run(func(tx *Tx) error { tx.Set(a, "next"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Commits() != 1 {
+		t.Fatalf("Commits = %d: the panicking attempt must not count", reg.Commits())
+	}
+}

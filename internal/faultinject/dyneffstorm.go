@@ -1,0 +1,148 @@
+// Dyneff storm: a forced-conflict scenario for the dynamic-effects
+// registry (internal/dyneff). Many goroutines repeatedly run atomic
+// sections that each increment two refs drawn from a deliberately tiny
+// pool, so the age-based conflict policy fires constantly: younger
+// sections abort, roll back, back off, and retry under the bounded retry
+// budget, and abort storms trip the circuit breaker. The invariant is
+// exactness under failure: every ref's final value equals the number of
+// committed increments recorded for it — aborted and budget-exhausted
+// sections contribute nothing.
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"twe/internal/dyneff"
+	"twe/internal/obs"
+)
+
+// DyneffPlan parameterizes one storm. The zero value is usable.
+type DyneffPlan struct {
+	// Seed drives every goroutine's ref choices.
+	Seed int64
+	// Refs is the size of the shared ref pool (default 4 — small on
+	// purpose, to force conflicts).
+	Refs int
+	// Goroutines is the number of concurrent mutators (default 8).
+	Goroutines int
+	// Sections is how many atomic sections each goroutine attempts
+	// (default 32).
+	Sections int
+	// Cfg configures the registry's retry budget and breaker; the zero
+	// value takes the dyneff defaults.
+	Cfg dyneff.Config
+}
+
+func (p DyneffPlan) withDefaults() DyneffPlan {
+	if p.Refs <= 0 {
+		p.Refs = 4
+	}
+	if p.Goroutines <= 0 {
+		p.Goroutines = 8
+	}
+	if p.Sections <= 0 {
+		p.Sections = 32
+	}
+	return p
+}
+
+// DyneffOutcome is what one storm observed.
+type DyneffOutcome struct {
+	// Committed and Exhausted partition the attempted sections:
+	// committed ones incremented two refs; exhausted ones hit
+	// ErrTooManyRetries and incremented nothing.
+	Committed, Exhausted int
+	// Retries is the total number of abort-and-retry cycles.
+	Retries int
+	// BreakerTrips is how often the abort-storm breaker opened.
+	BreakerTrips int64
+	// Final and Expected are the per-ref end values and the per-ref
+	// committed-increment counts; exactness means Final[i]==Expected[i].
+	Final, Expected []int
+}
+
+// Consistent reports whether every ref's final value matches its
+// committed-increment count.
+func (o DyneffOutcome) Consistent() bool {
+	for i := range o.Final {
+		if o.Final[i] != o.Expected[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunDyneffStorm runs the storm on a fresh registry. A non-nil tracer
+// receives the registry's retry and breaker events. Only
+// ErrTooManyRetries is tolerated from a section; any other error is
+// returned (the section bodies cannot fail on their own).
+func RunDyneffStorm(plan DyneffPlan, tracer *obs.Tracer) (DyneffOutcome, error) {
+	plan = plan.withDefaults()
+	reg := dyneff.NewRegistryWithConfig(plan.Cfg)
+	if tracer != nil {
+		reg.SetTracer(tracer)
+	}
+	refs := make([]*dyneff.Ref, plan.Refs)
+	for i := range refs {
+		refs[i] = dyneff.NewRef(reg, 0)
+	}
+
+	expected := make([]atomic.Int64, plan.Refs)
+	var committed, exhausted, retries atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+
+	var wg sync.WaitGroup
+	for g := 0; g < plan.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(plan.Seed<<8 ^ int64(g)))
+			for s := 0; s < plan.Sections; s++ {
+				a := rng.Intn(plan.Refs)
+				b := rng.Intn(plan.Refs)
+				r, err := reg.Run(func(tx *dyneff.Tx) error {
+					tx.Set(refs[a], tx.Get(refs[a]).(int)+1)
+					tx.Set(refs[b], tx.Get(refs[b]).(int)+1)
+					return nil
+				})
+				retries.Add(int64(r))
+				switch {
+				case err == nil:
+					committed.Add(1)
+					expected[a].Add(1)
+					expected[b].Add(1)
+				case errors.Is(err, dyneff.ErrTooManyRetries):
+					exhausted.Add(1)
+				default:
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	out := DyneffOutcome{
+		Committed:    int(committed.Load()),
+		Exhausted:    int(exhausted.Load()),
+		Retries:      int(retries.Load()),
+		BreakerTrips: reg.BreakerTrips(),
+		Final:        make([]int, plan.Refs),
+		Expected:     make([]int, plan.Refs),
+	}
+	for i, ref := range refs {
+		out.Final[i] = ref.Peek().(int)
+		out.Expected[i] = int(expected[i].Load())
+	}
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, nil
+}

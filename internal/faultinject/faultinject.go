@@ -1,0 +1,275 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// TWE runtime. It builds a sharded-counter storm — N tasks, each
+// incrementing one of S plain-int counters guarded by a per-shard write
+// effect — and injects a seed-chosen mix of failures: panicking bodies,
+// cancel-at-launch, and near-immediate deadlines. The scenario then
+// asserts the fault-tolerance invariants the runtime promises:
+//
+//   - every future resolves, and its error class matches the injected
+//     fault (panic → *core.PanicError, cancel → ErrCancelled, deadline →
+//     ErrDeadlineExceeded);
+//   - faulted tasks contribute nothing, so sum(counters) == Completed —
+//     the counters are PLAIN ints, so under -race this doubles as a proof
+//     that effect isolation held across every failure path;
+//   - after the storm, one interfering task per shard still completes,
+//     proving no exit path leaked its effects into the scheduler;
+//   - the isolation oracle (internal/isolcheck) records zero violations
+//     and the scheduler quiesces.
+//
+// Everything is a pure function of Plan.Seed, so a failing scenario is a
+// replayable one-liner. The harness is shared by the faultinject property
+// tests, the "faults" workload (internal/workloads → twe-trace), and CI.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/isolcheck"
+)
+
+// Kind is the fault injected into one storm task.
+type Kind uint8
+
+const (
+	// None leaves the task healthy: it increments its shard counter.
+	None Kind = iota
+	// Panic makes the body panic before touching its counter.
+	Panic
+	// Cancel cancels the future right after launch; the body (if it wins
+	// the start race) spins until it observes the cancellation.
+	Cancel
+	// Deadline launches the task with a short deadline; the body spins
+	// until the deadline fires.
+	Deadline
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Cancel:
+		return "cancel"
+	case Deadline:
+		return "deadline"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Plan parameterizes one scenario. The zero value is usable: withDefaults
+// fills in a CI-sized storm.
+type Plan struct {
+	// Seed makes the scenario reproducible: task→shard assignment and
+	// fault marking are pure functions of it.
+	Seed int64
+	// Tasks is the number of storm tasks (default 64).
+	Tasks int
+	// Shards is the number of counters, one write-effect region each
+	// (default 8).
+	Shards int
+	// PanicRate, CancelRate and DeadlineRate are per-task probabilities
+	// (defaults 0.15 each; the remainder stays healthy).
+	PanicRate, CancelRate, DeadlineRate float64
+	// Deadline is the budget given to deadline-faulted tasks (default
+	// 1ms — long enough to start, far too short to outlive the spin).
+	Deadline time.Duration
+	// Parallelism is the pool size (default 4).
+	Parallelism int
+}
+
+func (p Plan) withDefaults() Plan {
+	if p.Tasks <= 0 {
+		p.Tasks = 64
+	}
+	if p.Shards <= 0 {
+		p.Shards = 8
+	}
+	if p.PanicRate == 0 && p.CancelRate == 0 && p.DeadlineRate == 0 {
+		p.PanicRate, p.CancelRate, p.DeadlineRate = 0.15, 0.15, 0.15
+	}
+	if p.Deadline <= 0 {
+		p.Deadline = time.Millisecond
+	}
+	if p.Parallelism <= 0 {
+		p.Parallelism = 4
+	}
+	return p
+}
+
+// Outcome is what one scenario observed. The harness classifies every
+// future by its resolution; RunScenario returns a non-nil error only when
+// the harness itself broke (an unclassifiable resolution or a failed
+// post-storm task) — invariant checks on the Outcome are the caller's.
+type Outcome struct {
+	// Completed counts healthy tasks that ran to completion, including
+	// the post-storm interference tasks (one per shard).
+	Completed int
+	// Cancelled, Panicked and DeadlineExceeded count futures that
+	// resolved with the matching failure class.
+	Cancelled, Panicked, DeadlineExceeded int
+	// Counters is the final shard-counter state; isolation plus
+	// fault containment imply sum(Counters) == Completed.
+	Counters []int
+	// Quiesced reports core.Runtime.Quiesced after shutdown: no waiting
+	// tasks, no enabled tasks, no leaked effects.
+	Quiesced bool
+	// Violations is the isolation oracle's findings (must be empty).
+	Violations []isolcheck.Violation
+}
+
+// Sum returns the total of all shard counters.
+func (o Outcome) Sum() int {
+	n := 0
+	for _, c := range o.Counters {
+		n += c
+	}
+	return n
+}
+
+// assignment is the seed-derived per-task plan: which shard, which fault.
+type assignment struct {
+	shard int
+	kind  Kind
+}
+
+// assign derives the task→(shard, fault) map from the plan seed.
+func assign(p Plan) []assignment {
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x0fa17))
+	out := make([]assignment, p.Tasks)
+	for i := range out {
+		out[i].shard = rng.Intn(p.Shards)
+		switch r := rng.Float64(); {
+		case r < p.PanicRate:
+			out[i].kind = Panic
+		case r < p.PanicRate+p.CancelRate:
+			out[i].kind = Cancel
+		case r < p.PanicRate+p.CancelRate+p.DeadlineRate:
+			out[i].kind = Deadline
+		}
+	}
+	return out
+}
+
+// spin blocks until the task observes its own cancellation, bailing out
+// after a bound so a lost cancellation becomes a reported error instead
+// of a hung scenario.
+func spin(ctx *core.Ctx) (any, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for ctx.Err() == nil {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("faultinject: cancellation never observed")
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+	return nil, ctx.Err()
+}
+
+// RunScenario runs one storm under a fresh scheduler from mkSched, with
+// the isolation oracle attached. Extra opts are forwarded to
+// core.NewRuntime (e.g. core.WithTracer, which is how twe-trace observes
+// the injected faults as events and metrics).
+func RunScenario(plan Plan, mkSched func() core.Scheduler, opts ...core.Option) (Outcome, error) {
+	plan = plan.withDefaults()
+	checker := isolcheck.New()
+	rtOpts := append(append([]core.Option{}, opts...), core.WithMonitor(checker))
+	rt := core.NewRuntime(mkSched(), plan.Parallelism, rtOpts...)
+
+	counters := make([]int, plan.Shards) // plain ints: isolation is the only synchronization
+	plans := assign(plan)
+	futs := make([]*core.Future, plan.Tasks)
+	for i, a := range plans {
+		a := a
+		eff := effect.MustParse(fmt.Sprintf("writes S:[%d]", a.shard))
+		var body core.Body
+		switch a.kind {
+		case None:
+			body = func(ctx *core.Ctx, arg any) (any, error) {
+				counters[a.shard]++
+				return nil, nil
+			}
+		case Panic:
+			i := i
+			body = func(ctx *core.Ctx, arg any) (any, error) {
+				panic(fmt.Sprintf("injected panic (task %d)", i))
+			}
+		default: // Cancel, Deadline
+			body = func(ctx *core.Ctx, arg any) (any, error) { return spin(ctx) }
+		}
+		t := core.NewTask(fmt.Sprintf("storm-%d-%s", i, a.kind), eff, body)
+		if a.kind == Deadline {
+			futs[i] = rt.ExecuteLaterDeadline(t, nil, plan.Deadline)
+		} else {
+			futs[i] = rt.ExecuteLater(t, nil)
+			if a.kind == Cancel {
+				futs[i].Cancel(nil)
+			}
+		}
+	}
+
+	var out Outcome
+	for i, f := range futs {
+		_, err := rt.GetValue(f)
+		switch c := classify(err); c {
+		case None:
+			out.Completed++
+		case Cancel:
+			out.Cancelled++
+		case Panic:
+			out.Panicked++
+		case Deadline:
+			out.DeadlineExceeded++
+		default:
+			rt.Shutdown()
+			return out, fmt.Errorf("task %d (%s): unclassifiable resolution %v", i, plans[i].kind, err)
+		}
+	}
+
+	// Post-storm interference: one more writer per shard. If any exit
+	// path above leaked its effects, the scheduler still holds a
+	// conflicting claim on that shard and this task cannot run.
+	for s := 0; s < plan.Shards; s++ {
+		s := s
+		t := core.NewTask(fmt.Sprintf("post-%d", s),
+			effect.MustParse(fmt.Sprintf("writes S:[%d]", s)),
+			func(ctx *core.Ctx, arg any) (any, error) {
+				counters[s]++
+				return nil, nil
+			})
+		if _, err := rt.GetValue(rt.ExecuteLaterDeadline(t, nil, 5*time.Second)); err != nil {
+			rt.Shutdown()
+			return out, fmt.Errorf("post-storm task on shard %d blocked or failed: %w (leaked effects?)", s, err)
+		}
+		out.Completed++
+	}
+
+	rt.Shutdown()
+	out.Quiesced = rt.Quiesced()
+	out.Counters = counters
+	out.Violations = checker.Violations()
+	return out, nil
+}
+
+// classify maps a future resolution back to the fault kind it implies.
+// An unknown error is reported as a sentinel the caller rejects. Order
+// matters: a deadline resolves to ErrDeadlineExceeded, which is not
+// ErrCancelled, but check the more specific class first anyway.
+func classify(err error) Kind {
+	var pe *core.PanicError
+	switch {
+	case err == nil:
+		return None
+	case errors.Is(err, core.ErrDeadlineExceeded):
+		return Deadline
+	case errors.Is(err, core.ErrCancelled):
+		return Cancel
+	case errors.As(err, &pe):
+		return Panic
+	}
+	return Kind(255)
+}

@@ -102,6 +102,17 @@ func (s *Scheduler) Done(f *core.Future) {
 	s.mu.Unlock()
 }
 
+// Deschedule removes a cancelled future that may never have been enabled
+// (core.Descheduler). For this scheduler the bookkeeping is identical to
+// Done: drop the queue entry and re-scan — the freed queue slot may
+// unblock FIFO-ordered waiters behind it.
+func (s *Scheduler) Deschedule(f *core.Future) { s.Done(f) }
+
+// Quiesced reports whether the scheduler retains no task bookkeeping;
+// the fault-injection suite asserts it after every scenario (no leaked
+// queue entries on any exit path).
+func (s *Scheduler) Quiesced() bool { return s.Len() == 0 }
+
 // scanLocked attempts to enable every waiting task, in queue order. A task
 // can be enabled when (a) it does not conflict with any enabled non-done
 // task — the isolation requirement, with conflicts against tasks blocked on

@@ -123,6 +123,21 @@ func ChromeTraceEvents(events []Event) []map[string]any {
 		case KindPeak:
 			out = append(out, instant(e, fmt.Sprintf("peak running=%d", e.Other),
 				map[string]any{"peak": e.Other}))
+		case KindCancel:
+			out = append(out, instant(e, fmt.Sprintf("cancel T%d", e.Task),
+				map[string]any{"seq": e.Task, "task": e.Name, "cause": e.Detail}))
+		case KindPanic:
+			out = append(out, instant(e, fmt.Sprintf("PANIC T%d", e.Task),
+				map[string]any{"seq": e.Task, "task": e.Name, "value": e.Detail}))
+		case KindDeadline:
+			out = append(out, instant(e, fmt.Sprintf("deadline T%d", e.Task),
+				map[string]any{"seq": e.Task, "task": e.Name}))
+		case KindRetry:
+			out = append(out, instant(e, fmt.Sprintf("dyneff retry tx%d", e.Task),
+				map[string]any{"tx": e.Task, "attempt": e.Detail}))
+		case KindBreaker:
+			out = append(out, instant(e, fmt.Sprintf("dyneff breaker %s", e.Detail),
+				map[string]any{"state": e.Detail}))
 		case KindStatus:
 			out = append(out, instant(e, fmt.Sprintf("T%d→%s", e.Task, e.Detail),
 				map[string]any{"seq": e.Task, "status": e.Detail}))

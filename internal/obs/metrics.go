@@ -32,6 +32,14 @@ type Metrics struct {
 	Blocks         atomic.Uint64 // blocking getValue/join entries
 	Transfers      atomic.Uint64 // blocker publications licensing transfer (§3.1.4)
 
+	// Fault-tolerance counters (DESIGN.md §10).
+	TasksCancelled     atomic.Uint64 // futures finished by cancellation (any cause)
+	TaskPanics         atomic.Uint64 // task bodies that panicked (contained as failures)
+	DeadlinesExceeded  atomic.Uint64 // cancellations caused by an expired deadline
+	DyneffRetries      atomic.Uint64 // dynamic-effects section aborts that retried
+	DyneffBreakerTrips atomic.Uint64 // abort-storm circuit-breaker openings
+	PoolPanics         atomic.Uint64 // panics contained by a pool worker (runtime-layer bugs)
+
 	// Scheduler counters.
 	ConflictChecks atomic.Uint64 // conflicts() predicate invocations
 	ConflictHits   atomic.Uint64 // checks that found interference
@@ -96,6 +104,11 @@ func (m *Metrics) ObserveAdmission(ns int64) {
 type Snapshot struct {
 	TasksSubmitted, TasksCompleted   uint64
 	Spawns, Joins, Blocks, Transfers uint64
+	TasksCancelled, TaskPanics       uint64
+	DeadlinesExceeded                uint64
+	DyneffRetries                    uint64
+	DyneffBreakerTrips               uint64
+	PoolPanics                       uint64
 	ConflictChecks, ConflictHits     uint64
 	AdmissionScans, TreeNodeVisits   uint64
 	WorkersStarted                   uint64
@@ -121,23 +134,29 @@ func (m *Metrics) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	s := Snapshot{
-		TasksSubmitted:  m.TasksSubmitted.Load(),
-		TasksCompleted:  m.TasksCompleted.Load(),
-		Spawns:          m.Spawns.Load(),
-		Joins:           m.Joins.Load(),
-		Blocks:          m.Blocks.Load(),
-		Transfers:       m.Transfers.Load(),
-		ConflictChecks:  m.ConflictChecks.Load(),
-		ConflictHits:    m.ConflictHits.Load(),
-		AdmissionScans:  m.AdmissionScans.Load(),
-		TreeNodeVisits:  m.TreeNodeVisits.Load(),
-		WorkersStarted:  m.WorkersStarted.Load(),
-		QueueDepth:      m.queueDepth.Load(),
-		QueueDepthPeak:  m.queueDepthPeak.Load(),
-		PoolRunning:     m.poolRunning.Load(),
-		PoolRunningPeak: m.poolRunningPeak.Load(),
-		AdmissionCount:  m.admCount.Load(),
-		AdmissionSumNS:  m.admSumNS.Load(),
+		TasksSubmitted:     m.TasksSubmitted.Load(),
+		TasksCompleted:     m.TasksCompleted.Load(),
+		Spawns:             m.Spawns.Load(),
+		Joins:              m.Joins.Load(),
+		Blocks:             m.Blocks.Load(),
+		Transfers:          m.Transfers.Load(),
+		TasksCancelled:     m.TasksCancelled.Load(),
+		TaskPanics:         m.TaskPanics.Load(),
+		DeadlinesExceeded:  m.DeadlinesExceeded.Load(),
+		DyneffRetries:      m.DyneffRetries.Load(),
+		DyneffBreakerTrips: m.DyneffBreakerTrips.Load(),
+		PoolPanics:         m.PoolPanics.Load(),
+		ConflictChecks:     m.ConflictChecks.Load(),
+		ConflictHits:       m.ConflictHits.Load(),
+		AdmissionScans:     m.AdmissionScans.Load(),
+		TreeNodeVisits:     m.TreeNodeVisits.Load(),
+		WorkersStarted:     m.WorkersStarted.Load(),
+		QueueDepth:         m.queueDepth.Load(),
+		QueueDepthPeak:     m.queueDepthPeak.Load(),
+		PoolRunning:        m.poolRunning.Load(),
+		PoolRunningPeak:    m.poolRunningPeak.Load(),
+		AdmissionCount:     m.admCount.Load(),
+		AdmissionSumNS:     m.admSumNS.Load(),
 	}
 	for i := range m.admBuckets {
 		s.AdmissionBuckets[i] = m.admBuckets[i].Load()
@@ -183,6 +202,24 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		},
 		func() error {
 			return counter("twe_effect_transfers_total", "Blocker publications licensing effect transfer while blocked.", s.Transfers)
+		},
+		func() error {
+			return counter("twe_tasks_cancelled_total", "Futures finished by cancellation (any cause).", s.TasksCancelled)
+		},
+		func() error {
+			return counter("twe_task_panics_total", "Task bodies that panicked and were contained as failures.", s.TaskPanics)
+		},
+		func() error {
+			return counter("twe_deadlines_exceeded_total", "Cancellations caused by an expired per-task deadline.", s.DeadlinesExceeded)
+		},
+		func() error {
+			return counter("twe_dyneff_retries_total", "Dynamic-effects section aborts that retried with backoff.", s.DyneffRetries)
+		},
+		func() error {
+			return counter("twe_dyneff_breaker_trips_total", "Abort-storm circuit-breaker openings in the dyneff registry.", s.DyneffBreakerTrips)
+		},
+		func() error {
+			return counter("twe_pool_panics_total", "Panics contained by a pool worker (runtime-layer bugs).", s.PoolPanics)
 		},
 		func() error {
 			return counter("twe_conflict_checks_total", "Effect-interference predicate invocations by the scheduler.", s.ConflictChecks)

@@ -16,6 +16,12 @@ func TestPrometheusGolden(t *testing.T) {
 	m.Joins.Store(3)
 	m.Blocks.Store(4)
 	m.Transfers.Store(4)
+	m.TasksCancelled.Store(2)
+	m.TaskPanics.Store(1)
+	m.DeadlinesExceeded.Store(1)
+	m.DyneffRetries.Store(6)
+	m.DyneffBreakerTrips.Store(1)
+	m.PoolPanics.Store(0)
 	m.ConflictChecks.Store(100)
 	m.ConflictHits.Store(7)
 	m.AdmissionScans.Store(20)
@@ -57,6 +63,24 @@ twe_blocks_total 4
 # HELP twe_effect_transfers_total Blocker publications licensing effect transfer while blocked.
 # TYPE twe_effect_transfers_total counter
 twe_effect_transfers_total 4
+# HELP twe_tasks_cancelled_total Futures finished by cancellation (any cause).
+# TYPE twe_tasks_cancelled_total counter
+twe_tasks_cancelled_total 2
+# HELP twe_task_panics_total Task bodies that panicked and were contained as failures.
+# TYPE twe_task_panics_total counter
+twe_task_panics_total 1
+# HELP twe_deadlines_exceeded_total Cancellations caused by an expired per-task deadline.
+# TYPE twe_deadlines_exceeded_total counter
+twe_deadlines_exceeded_total 1
+# HELP twe_dyneff_retries_total Dynamic-effects section aborts that retried with backoff.
+# TYPE twe_dyneff_retries_total counter
+twe_dyneff_retries_total 6
+# HELP twe_dyneff_breaker_trips_total Abort-storm circuit-breaker openings in the dyneff registry.
+# TYPE twe_dyneff_breaker_trips_total counter
+twe_dyneff_breaker_trips_total 1
+# HELP twe_pool_panics_total Panics contained by a pool worker (runtime-layer bugs).
+# TYPE twe_pool_panics_total counter
+twe_pool_panics_total 0
 # HELP twe_conflict_checks_total Effect-interference predicate invocations by the scheduler.
 # TYPE twe_conflict_checks_total counter
 twe_conflict_checks_total 100

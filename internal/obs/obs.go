@@ -77,6 +77,23 @@ const (
 	// KindPeak: the isolation oracle observed a new high-water mark of
 	// concurrently running tasks; Other holds the new peak.
 	KindPeak
+	// KindCancel: the task was cancelled (Future.Cancel). Detail says
+	// whether it was descheduled before running or cancelled cooperatively.
+	KindCancel
+	// KindPanic: a task body panicked and was contained as a task failure
+	// (or, with Task==0, a pool worker contained a runtime-layer panic).
+	// Detail carries the panic value.
+	KindPanic
+	// KindDeadline: the task's deadline expired; the cancellation that
+	// follows carries ErrDeadlineExceeded as its cause.
+	KindDeadline
+	// KindRetry: a dynamic-effects atomic section aborted and will retry
+	// with backoff. Task holds the section's transaction sequence number;
+	// Detail the attempt count.
+	KindRetry
+	// KindBreaker: the dyneff abort-storm circuit breaker changed state;
+	// Detail is "open" or "closed".
+	KindBreaker
 )
 
 func (k Kind) String() string {
@@ -107,6 +124,16 @@ func (k Kind) String() string {
 		return "violation"
 	case KindPeak:
 		return "peak"
+	case KindCancel:
+		return "cancel"
+	case KindPanic:
+		return "panic"
+	case KindDeadline:
+		return "deadline"
+	case KindRetry:
+		return "retry"
+	case KindBreaker:
+		return "breaker"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

@@ -149,7 +149,8 @@ func TestNilTracerZeroAlloc(t *testing.T) {
 func TestKindStrings(t *testing.T) {
 	kinds := []Kind{KindSubmit, KindStatus, KindEnable, KindStart, KindBlock,
 		KindUnblock, KindSpawn, KindJoin, KindFinish, KindConflictStall,
-		KindScan, KindViolation, KindPeak}
+		KindScan, KindViolation, KindPeak,
+		KindCancel, KindPanic, KindDeadline, KindRetry, KindBreaker}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

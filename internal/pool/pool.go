@@ -16,7 +16,10 @@
 package pool
 
 import (
+	"fmt"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"twe/internal/obs"
@@ -34,6 +37,7 @@ type Pool struct {
 	nextWorker int // worker goroutine id allocator (1-based)
 	closed     bool
 	tracer     *obs.Tracer
+	onPanic    func(worker int, recovered any, stack []byte)
 }
 
 // New returns a pool with the given parallelism. If par <= 0 it defaults to
@@ -142,14 +146,40 @@ func (p *Pool) runLoop(worker int, f queued) {
 	}
 }
 
+// SetPanicHandler installs the callback invoked when a submitted function
+// panics past the task layer (TWE bodies convert their own panics to
+// errors above this pool, so reaching the handler indicates a bug in
+// runtime code, not in a task body). The default handler writes the panic
+// and stack to stderr. The handler runs on the surviving worker
+// goroutine; it must not panic.
+func (p *Pool) SetPanicHandler(h func(worker int, recovered any, stack []byte)) {
+	p.mu.Lock()
+	p.onPanic = h
+	p.mu.Unlock()
+}
+
 func (p *Pool) runOne(worker int, f queued) {
 	defer func() {
 		// A panicking task must not kill the process or leak the token
-		// accounting; TWE task bodies convert panics to errors above this
-		// layer, so reaching here indicates a bug in runtime code. Re-panic
-		// after fixing the books would lose the pool; surface loudly instead.
+		// accounting (DESIGN.md §10): contain the panic, keep the worker,
+		// and report through the metrics and the panic handler so the
+		// failure is loud without being fatal.
 		if r := recover(); r != nil {
-			panic(r)
+			stack := debug.Stack()
+			p.mu.Lock()
+			h := p.onPanic
+			tr := p.tracer
+			p.mu.Unlock()
+			if tr != nil {
+				tr.Metrics().PoolPanics.Add(1)
+				tr.Emit(obs.Event{Kind: obs.KindPanic, Worker: int32(worker),
+					Detail: fmt.Sprint(r)})
+			}
+			if h != nil {
+				h(worker, r, stack)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "pool: worker %d contained panic: %v\n%s", worker, r, stack)
 		}
 	}()
 	f.call(worker)

@@ -151,3 +151,65 @@ func TestStats(t *testing.T) {
 	close(gate)
 	p.Quiesce()
 }
+
+// TestPanicContainedWorkerSurvives asserts that a panic escaping a
+// submitted function neither crashes the process nor corrupts the token
+// accounting: the handler fires with the worker id and stack, and the pool
+// keeps executing subsequent work at full parallelism.
+func TestPanicContainedWorkerSurvives(t *testing.T) {
+	p := New(2)
+	type report struct {
+		worker    int
+		recovered any
+		stack     []byte
+	}
+	got := make(chan report, 1)
+	p.SetPanicHandler(func(worker int, recovered any, stack []byte) {
+		got <- report{worker, recovered, stack}
+	})
+	p.Submit(func() { panic("runtime bug") })
+	p.Quiesce()
+
+	select {
+	case r := <-got:
+		if r.recovered != "runtime bug" {
+			t.Fatalf("recovered = %v", r.recovered)
+		}
+		if r.worker <= 0 {
+			t.Fatalf("worker id = %d", r.worker)
+		}
+		if len(r.stack) == 0 {
+			t.Fatal("empty stack in panic handler")
+		}
+	default:
+		t.Fatal("panic handler never ran")
+	}
+
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.Submit(func() { n.Add(1) })
+	}
+	p.Quiesce()
+	if n.Load() != 100 {
+		t.Fatalf("pool lost work after contained panic: ran %d of 100", n.Load())
+	}
+	if running, queued, pending := p.Stats(); running != 0 || queued != 0 || pending != 0 {
+		t.Fatalf("leaked accounting after panic: running=%d queued=%d pending=%d",
+			running, queued, pending)
+	}
+}
+
+// TestPanicDefaultHandlerKeepsPool checks the no-handler path: the panic
+// is swallowed (written to stderr) and the token comes back.
+func TestPanicDefaultHandlerKeepsPool(t *testing.T) {
+	p := New(1)
+	p.Submit(func() { panic("default path") })
+	done := make(chan struct{})
+	p.Submit(func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool stalled after contained panic with default handler")
+	}
+	p.Shutdown()
+}

@@ -1,0 +1,483 @@
+// Fault-injection mode for the schedule fuzzer (DESIGN.md §10): the same
+// generated task DAGs, but with a seed-chosen subset of launched tasks
+// replaced by deterministic failure stubs — panicking bodies, tasks
+// cancelled at their launch site, and tasks launched with an already-tight
+// deadline. The differential oracle then checks that under every
+// scheduler and perturbed schedule:
+//
+//   - the surviving tasks produce exactly the analytic expected store
+//     (faulted tasks contribute nothing — no partial effects leak);
+//   - the isolation oracle observes no violation;
+//   - every faulted future reports the right failure class; and
+//   - the scheduler quiesces (no leaked queue entries or effects).
+//
+// Faulted programs cannot be rendered to TWEL (the language has no
+// cancellation), so this mode executes specs directly on the core runtime
+// with the spec's conservative effect summaries. The store is plain Go
+// ints written without synchronization: under -race this doubles as a
+// proof that isolation holds across injected failures.
+package schedfuzz
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"twe/internal/core"
+	"twe/internal/isolcheck"
+)
+
+// FaultKind classifies the failure stub injected into a task.
+type FaultKind uint8
+
+const (
+	// FaultNone: the task runs its ordinary body.
+	FaultNone FaultKind = iota
+	// FaultPanic: the body panics immediately; the future must report a
+	// contained *core.PanicError.
+	FaultPanic
+	// FaultCancel: the launch site cancels the future right after
+	// submission; the body (if it ever starts) spins until it observes the
+	// cancellation. The future must report core.ErrCancelled.
+	FaultCancel
+	// FaultDeadline: the task is launched with a deadline that expires
+	// almost immediately; the body spins until cancelled. The future must
+	// report core.ErrDeadlineExceeded.
+	FaultDeadline
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultPanic:
+		return "panic"
+	case FaultCancel:
+		return "cancel"
+	case FaultDeadline:
+		return "deadline"
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
+
+// Fault-mode failure kinds, extending the FailKind taxonomy in run.go.
+const (
+	// FaultOutcome: a faulted future finished with the wrong error class.
+	FaultOutcome FailKind = "fault-outcome"
+	// NotQuiesced: the scheduler retained task or effect bookkeeping after
+	// the run — some exit path leaked.
+	NotQuiesced FailKind = "not-quiesced"
+)
+
+// faultDeadline is the deadline given to FaultDeadline tasks: long enough
+// to outlive submission, far too short for a loaded queue.
+const faultDeadline = 2 * time.Millisecond
+
+// WithFaults clones the spec and marks a seed-chosen subset of its tasks
+// as faulted. Only tasks whose every creation site is a launch are
+// eligible: a faulted spawn or call target would fail its parent too,
+// making the expected store depend on fault timing. At least one eligible
+// task is always faulted (when any exists), so a fault campaign never
+// silently degenerates to the plain differential mode.
+func WithFaults(spec *Spec, seed int64) *Spec {
+	out := spec.Clone()
+	rnd := rand.New(rand.NewSource(seed ^ 0x5eedfa17))
+	var eligible []int
+	for ti := 1; ti < len(out.Tasks); ti++ {
+		launchedOnly, created := true, false
+		for _, t := range out.Tasks {
+			for _, op := range t.Ops {
+				if op.createsChild() && op.Child == ti {
+					created = true
+					if op.Kind != OpLaunch {
+						launchedOnly = false
+					}
+				}
+			}
+		}
+		if created && launchedOnly {
+			eligible = append(eligible, ti)
+		}
+	}
+	kinds := []FaultKind{FaultPanic, FaultCancel, FaultDeadline}
+	marked := 0
+	for _, ti := range eligible {
+		if rnd.Intn(3) == 0 {
+			out.Tasks[ti].Fault = kinds[rnd.Intn(len(kinds))]
+			marked++
+		}
+	}
+	if marked == 0 && len(eligible) > 0 {
+		ti := eligible[rnd.Intn(len(eligible))]
+		out.Tasks[ti].Fault = kinds[rnd.Intn(len(kinds))]
+	}
+	return out
+}
+
+// Faulted returns the indices of fault-injected tasks.
+func (s *Spec) Faulted() []int {
+	var out []int
+	for i, t := range s.Tasks {
+		if t.Fault != FaultNone {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// faultExec executes a (possibly faulted) spec directly on a core runtime.
+type faultExec struct {
+	spec  *Spec
+	rt    *core.Runtime
+	tasks []*core.Task
+
+	// The store: plain unsynchronized ints — the schedulers' isolation is
+	// the only thing keeping -race quiet.
+	globals map[string]*int
+	arrays  map[string][]int
+
+	mu      sync.Mutex
+	faulted []faultedFut
+}
+
+type faultedFut struct {
+	fut  *core.Future
+	kind FaultKind
+	name string
+}
+
+func newFaultExec(spec *Spec, rt *core.Runtime) *faultExec {
+	e := &faultExec{
+		spec:    spec,
+		rt:      rt,
+		globals: map[string]*int{},
+		arrays:  map[string][]int{},
+	}
+	for _, v := range spec.Vars {
+		e.globals[v.Name] = new(int)
+	}
+	for _, a := range spec.Arrays {
+		e.arrays[a.Name] = make([]int, a.Size)
+	}
+	effs := spec.ConsEffects()
+	e.tasks = make([]*core.Task, len(spec.Tasks))
+	for ti := range spec.Tasks {
+		ti := ti
+		t := core.NewTask(spec.Tasks[ti].Name, effs[ti], e.body(ti))
+		t.Deterministic = spec.Tasks[ti].Deterministic
+		e.tasks[ti] = t
+	}
+	return e
+}
+
+// body builds the task body: the fault stub for faulted tasks, the op
+// interpreter otherwise.
+func (e *faultExec) body(ti int) core.Body {
+	t := e.spec.Tasks[ti]
+	switch t.Fault {
+	case FaultPanic:
+		return func(*core.Ctx, any) (any, error) {
+			panic(fmt.Sprintf("schedfuzz: injected panic in %s", t.Name))
+		}
+	case FaultCancel, FaultDeadline:
+		return func(ctx *core.Ctx, _ any) (any, error) {
+			// Spin until the (already issued or already armed) cancellation
+			// arrives; bail out after a generous bound so a lost cancel is a
+			// reported failure, not a hung fuzzer.
+			bail := time.Now().Add(10 * time.Second)
+			for ctx.Err() == nil {
+				if time.Now().After(bail) {
+					return nil, fmt.Errorf("schedfuzz: cancellation never reached %s", t.Name)
+				}
+				runtime.Gosched()
+			}
+			return nil, ctx.Err()
+		}
+	}
+	return func(ctx *core.Ctx, arg any) (any, error) {
+		p, _ := arg.(int)
+		return nil, e.interpret(ctx, ti, p)
+	}
+}
+
+// interpret runs task ti's ops with parameter p inside ctx. OpCall
+// recurses inline (same ctx), mirroring the TWEL executor.
+func (e *faultExec) interpret(ctx *core.Ctx, ti, p int) error {
+	futs := map[string]*core.Future{}
+	spawns := map[string]*core.SpawnedFuture{}
+	for _, op := range e.spec.Tasks[ti].Ops {
+		amount := op.Amount
+		if op.AmountFromParam {
+			amount = p
+		}
+		childArg := op.Arg
+		if op.ArgFromParam {
+			childArg = p
+		}
+		switch op.Kind {
+		case OpInc:
+			e.applyInc(op, p, amount)
+		case OpLoopInc:
+			for i := 0; i < op.Count; i++ {
+				e.applyInc(op, p, amount)
+			}
+		case OpCondInc:
+			if p < op.CondK {
+				e.applyInc(op, p, amount)
+			}
+		case OpRead:
+			_ = e.read(op, p)
+		case OpLaunch:
+			child := e.spec.Tasks[op.Child]
+			var f *core.Future
+			var err error
+			if child.Fault == FaultDeadline {
+				f, err = ctx.ExecuteLaterDeadline(e.tasks[op.Child], childArg, faultDeadline)
+			} else {
+				f, err = ctx.ExecuteLater(e.tasks[op.Child], childArg)
+			}
+			if err != nil {
+				return err
+			}
+			if child.Fault == FaultCancel {
+				f.Cancel(nil)
+			}
+			if child.Fault != FaultNone {
+				e.mu.Lock()
+				e.faulted = append(e.faulted, faultedFut{f, child.Fault, child.Name})
+				e.mu.Unlock()
+			}
+			if op.Fut != "" {
+				futs[op.Fut] = f
+			}
+		case OpWait:
+			f := futs[op.Fut]
+			if f == nil {
+				continue
+			}
+			if _, err := ctx.GetValue(f); err != nil && !isFaultErr(err) {
+				return err
+			}
+		case OpSpawn:
+			sf, err := ctx.Spawn(e.tasks[op.Child], childArg)
+			if err != nil {
+				return err
+			}
+			if op.Fut != "" {
+				spawns[op.Fut] = sf
+			}
+		case OpJoin:
+			sf := spawns[op.Fut]
+			if sf == nil {
+				continue
+			}
+			if _, err := ctx.Join(sf); err != nil && !errors.Is(err, core.ErrAlreadyJoined) {
+				return err
+			}
+		case OpCall:
+			if err := e.interpret(ctx, op.Child, childArg); err != nil {
+				return err
+			}
+		case OpRefUse:
+			// Dynamic-effect declaration: a no-op at run time, as in TWEL.
+		}
+	}
+	return nil
+}
+
+// isFaultErr reports whether err is one of the deterministic failure
+// classes injected by this mode; waits tolerate exactly these.
+func isFaultErr(err error) bool {
+	var pe *core.PanicError
+	return errors.Is(err, core.ErrCancelled) ||
+		errors.Is(err, core.ErrDeadlineExceeded) ||
+		errors.As(err, &pe)
+}
+
+func (e *faultExec) applyInc(op *Op, p, amount int) {
+	if op.Loc.IsArray {
+		e.arrays[op.Loc.Name][e.idx(op, p)] += amount
+	} else {
+		*e.globals[op.Loc.Name] += amount
+	}
+}
+
+func (e *faultExec) read(op *Op, p int) int {
+	if op.Loc.IsArray {
+		return e.arrays[op.Loc.Name][e.idx(op, p)]
+	}
+	return *e.globals[op.Loc.Name]
+}
+
+func (e *faultExec) idx(op *Op, p int) int {
+	if op.Loc.IndexFromParam {
+		return boundedIdx(p, e.spec.arraySize(op.Loc.Name))
+	}
+	return op.Loc.Index
+}
+
+func (e *faultExec) store() Store {
+	st := Store{Globals: map[string]int{}, Arrays: map[string][]int{}}
+	for name, v := range e.globals {
+		st.Globals[name] = *v
+	}
+	for name, a := range e.arrays {
+		st.Arrays[name] = append([]int(nil), a...)
+	}
+	return st
+}
+
+// checkOutcomes verifies every faulted future finished with its injected
+// failure class.
+func (e *faultExec) checkOutcomes() string {
+	for _, ff := range e.faulted {
+		if !ff.fut.IsDone() {
+			return fmt.Sprintf("faulted task %s (%s) never finished", ff.name, ff.kind)
+		}
+		err := ff.fut.Err()
+		var pe *core.PanicError
+		ok := false
+		switch ff.kind {
+		case FaultPanic:
+			ok = errors.As(err, &pe)
+		case FaultCancel:
+			ok = errors.Is(err, core.ErrCancelled)
+		case FaultDeadline:
+			ok = errors.Is(err, core.ErrDeadlineExceeded)
+		}
+		if !ok {
+			return fmt.Sprintf("faulted task %s: injected %s but future reports %v", ff.name, ff.kind, err)
+		}
+	}
+	return ""
+}
+
+// runFaultsOnRuntime executes the faulted spec on a fresh runtime with the
+// named scheduler and (seed, schedule) yielder. Mirrors runOnRuntime but
+// adds the fault-outcome and quiescence checks.
+func runFaultsOnRuntime(spec *Spec, name string, seed int64, schedule int, cfg Config) (Store, *Failure) {
+	sched := newScheduler(name)
+	chk := isolcheck.New()
+	opts := []core.Option{core.WithMonitor(chk)}
+	if schedule != 0 {
+		opts = append(opts, core.WithYield(Yielder(seed, schedule)))
+	}
+	rt := core.NewRuntime(sched, cfg.Parallelism, opts...)
+	e := newFaultExec(spec, rt)
+
+	fail := func(kind FailKind, format string, args ...any) *Failure {
+		return &Failure{Seed: seed, Schedule: schedule, Scheduler: name,
+			Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := rt.Execute(e.tasks[0], 0)
+		if err == nil {
+			// Fire-and-forget faulted futures may still be waiting on their
+			// deadline; wait for each before draining the pool so the
+			// quiescence check below is deterministic.
+			e.mu.Lock()
+			faulted := append([]faultedFut(nil), e.faulted...)
+			e.mu.Unlock()
+			for _, ff := range faulted {
+				rt.GetValue(ff.fut)
+			}
+		}
+		rt.Shutdown()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil && !isFaultErr(err) {
+			return Store{}, fail(RuntimeError, "run: %v", err)
+		}
+	case <-time.After(cfg.Timeout):
+		detail := fmt.Sprintf("no quiescence after %v", cfg.Timeout)
+		if pc, ok := sched.(pendingCount); ok {
+			detail += fmt.Sprintf("; %d task(s) still pending in scheduler queue", pc.Pending())
+		}
+		return Store{}, fail(Deadlock, "%s", detail)
+	}
+
+	if vs := chk.Violations(); len(vs) > 0 {
+		return Store{}, fail(Isolation, "%d violation(s) under faults: %v", len(vs), vs)
+	}
+	if msg := e.checkOutcomes(); msg != "" {
+		return Store{}, fail(FaultOutcome, "%s", msg)
+	}
+	if !rt.Quiesced() {
+		return Store{}, fail(NotQuiesced, "scheduler retained bookkeeping after faulted run")
+	}
+	return e.store(), nil
+}
+
+// RunSpecFaults runs one faulted spec differentially across both
+// schedulers and cfg.Schedules perturbed schedules, comparing every final
+// store against the analytic expectation (which skips faulted tasks). The
+// TWEL interpreter is skipped: the language has no failure constructs.
+func RunSpecFaults(spec *Spec, cfg Config) []*Failure {
+	cfg = cfg.withDefaults()
+	expected := spec.ExpectedStore()
+	var fails []*Failure
+	for _, name := range schedulerNames {
+		if cfg.onlyScheduler != "" && name != cfg.onlyScheduler {
+			continue
+		}
+		for schedule := 0; schedule <= cfg.Schedules; schedule++ {
+			if cfg.onlySchedule >= 0 && schedule != cfg.onlySchedule {
+				continue
+			}
+			st, fail := runFaultsOnRuntime(spec, name, spec.Seed, schedule, cfg)
+			if fail != nil {
+				fails = append(fails, fail)
+				continue
+			}
+			if !st.Equal(expected) {
+				fails = append(fails, &Failure{Seed: spec.Seed, Schedule: schedule, Scheduler: name,
+					Kind: StoreMismatch, Detail: "under faults: " + DiffStores("expected", expected, name, st)})
+			}
+		}
+	}
+	return fails
+}
+
+// FuzzOneFaults generates the program for one seed, injects faults, and
+// runs it differentially.
+func FuzzOneFaults(seed int64, cfg Config) []*Failure {
+	return RunSpecFaults(WithFaults(Generate(seed), seed), cfg)
+}
+
+// ReplayFaults re-runs one seed with fault injection, optionally
+// restricted to a single scheduler ("naive"/"tree", "" = both) and a
+// single schedule index (negative = 0..cfg.Schedules). This is the engine
+// behind `twe-fuzz -faults -seed N -schedule M`.
+func ReplayFaults(seed int64, scheduler string, schedule int, cfg Config) []*Failure {
+	cfg.filtered = true
+	cfg.onlyScheduler = scheduler
+	cfg.onlySchedule = schedule
+	if schedule > cfg.Schedules {
+		cfg.Schedules = schedule
+	}
+	return FuzzOneFaults(seed, cfg)
+}
+
+// FuzzFaults runs a fault-injection campaign over seeds [start, start+n).
+func FuzzFaults(start int64, n int, cfg Config, progress func(seed int64, fails []*Failure)) *Report {
+	rep := &Report{}
+	for i := 0; i < n; i++ {
+		seed := start + int64(i)
+		spec := WithFaults(Generate(seed), seed)
+		rep.Programs++
+		rep.Instances += spec.Instances()
+		fails := RunSpecFaults(spec, cfg)
+		rep.Failures = append(rep.Failures, fails...)
+		if progress != nil {
+			progress(seed, fails)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,133 @@
+package schedfuzz
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWithFaultsDeterministic: the same seed must mark the same tasks with
+// the same fault kinds — replayability is the whole point.
+func TestWithFaultsDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		a := WithFaults(Generate(seed), seed)
+		b := WithFaults(Generate(seed), seed)
+		ka := make([]FaultKind, len(a.Tasks))
+		kb := make([]FaultKind, len(b.Tasks))
+		for i := range a.Tasks {
+			ka[i], kb[i] = a.Tasks[i].Fault, b.Tasks[i].Fault
+		}
+		if !reflect.DeepEqual(ka, kb) {
+			t.Fatalf("seed %d: fault marking not deterministic: %v vs %v", seed, ka, kb)
+		}
+	}
+}
+
+// TestWithFaultsMarksLaunchTargetsOnly: a faulted spawn or call target
+// would fail its parent, so eligibility is restricted to tasks created
+// exclusively by launches.
+func TestWithFaultsMarksLaunchTargetsOnly(t *testing.T) {
+	marked := 0
+	for seed := int64(0); seed < 50; seed++ {
+		spec := WithFaults(Generate(seed), seed)
+		for _, ti := range spec.Faulted() {
+			marked++
+			for _, task := range spec.Tasks {
+				for _, op := range task.Ops {
+					if op.createsChild() && op.Child == ti && op.Kind != OpLaunch {
+						t.Fatalf("seed %d: task %d faulted but created by %v", seed, ti, op.Kind)
+					}
+				}
+			}
+		}
+	}
+	if marked == 0 {
+		t.Fatal("no task faulted across 50 seeds — WithFaults is inert")
+	}
+}
+
+// TestExpectedStoreSkipsFaulted: a faulted task and its would-be children
+// contribute nothing to the analytic expectation.
+func TestExpectedStoreSkipsFaulted(t *testing.T) {
+	spec := &Spec{
+		Regions: []string{"R"},
+		Vars:    []VarSpec{{Name: "v0", Path: []string{"R"}}},
+		Tasks: []*TaskSpec{
+			{Name: "main", Kind: TaskDriver, Ops: []*Op{
+				{Kind: OpLaunch, Child: 1, Fut: "f0"},
+				{Kind: OpWait, Fut: "f0"},
+				{Kind: OpLaunch, Child: 2, Fut: "f1"},
+				{Kind: OpWait, Fut: "f1"},
+			}},
+			{Name: "ok", Kind: TaskCompute, HasParam: true, Ops: []*Op{
+				{Kind: OpInc, Loc: Loc{Name: "v0"}, Amount: 5},
+			}},
+			{Name: "bad", Kind: TaskCompute, HasParam: true, Fault: FaultPanic, Ops: []*Op{
+				{Kind: OpInc, Loc: Loc{Name: "v0"}, Amount: 100},
+			}},
+		},
+	}
+	st := spec.ExpectedStore()
+	if st.Globals["v0"] != 5 {
+		t.Fatalf("v0 = %d, want 5 (faulted increment must be skipped)", st.Globals["v0"])
+	}
+}
+
+// TestFaultDifferentialPinnedSeeds is the tentpole differential check:
+// pinned seeds, faults injected, both schedulers, unperturbed plus one
+// perturbed schedule — surviving-store equality, isolation, fault
+// outcomes, and quiescence all asserted inside RunSpecFaults.
+func TestFaultDifferentialPinnedSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{Schedules: 1}
+	for seed := int64(0); seed < 40; seed++ {
+		spec := WithFaults(Generate(seed), seed)
+		if fails := RunSpecFaults(spec, cfg); len(fails) > 0 {
+			t.Fatalf("seed %d (faulted %v): %v", seed, spec.Faulted(), fails[0])
+		}
+	}
+}
+
+// TestFaultOutcomeClasses pins one task of each fault kind in a
+// hand-written spec and checks the run reports no failures — the
+// executor's outcome checker asserts each future's error class.
+func TestFaultOutcomeClasses(t *testing.T) {
+	spec := &Spec{
+		Seed:    7,
+		Regions: []string{"R"},
+		Vars: []VarSpec{
+			{Name: "v0", Path: []string{"R"}},
+		},
+		Tasks: []*TaskSpec{
+			{Name: "main", Kind: TaskDriver, Ops: []*Op{
+				{Kind: OpLaunch, Child: 1, Fut: "f1"},
+				{Kind: OpLaunch, Child: 2, Fut: "f2"},
+				{Kind: OpLaunch, Child: 3, Fut: "f3"},
+				{Kind: OpLaunch, Child: 4, Fut: "f4"},
+				{Kind: OpWait, Fut: "f1"},
+				{Kind: OpWait, Fut: "f2"},
+				{Kind: OpWait, Fut: "f3"},
+				{Kind: OpWait, Fut: "f4"},
+			}},
+			{Name: "panics", Kind: TaskCompute, HasParam: true, Fault: FaultPanic, Ops: []*Op{
+				{Kind: OpInc, Loc: Loc{Name: "v0"}, Amount: 1},
+			}},
+			{Name: "cancelled", Kind: TaskCompute, HasParam: true, Fault: FaultCancel, Ops: []*Op{
+				{Kind: OpInc, Loc: Loc{Name: "v0"}, Amount: 1},
+			}},
+			{Name: "deadlined", Kind: TaskCompute, HasParam: true, Fault: FaultDeadline, Ops: []*Op{
+				{Kind: OpInc, Loc: Loc{Name: "v0"}, Amount: 1},
+			}},
+			{Name: "survivor", Kind: TaskCompute, HasParam: true, Ops: []*Op{
+				{Kind: OpInc, Loc: Loc{Name: "v0"}, Amount: 3},
+			}},
+		},
+	}
+	if fails := RunSpecFaults(spec, Config{Schedules: 1}); len(fails) > 0 {
+		t.Fatalf("hand-written fault spec failed: %v", fails[0])
+	}
+	if st := spec.ExpectedStore(); st.Globals["v0"] != 3 {
+		t.Fatalf("expected store v0 = %d, want 3", st.Globals["v0"])
+	}
+}

@@ -139,41 +139,9 @@ func (g *gen) sharedPath() []string {
 	return path
 }
 
-// locRegion resolves a Loc to its conservative RPL (param indices → [?]).
-func (g *gen) locRegion(l Loc) rpl.RPL {
-	var path []string
-	if l.IsArray {
-		path = g.spec.Arrays[g.arrayIdx(l.Name)].Path
-	} else {
-		for _, v := range g.spec.Vars {
-			if v.Name == l.Name {
-				path = v.Path
-				break
-			}
-		}
-	}
-	elems := make([]rpl.Elem, 0, len(path)+1)
-	for _, n := range path {
-		elems = append(elems, rpl.N(n))
-	}
-	if l.IsArray {
-		if l.IndexFromParam {
-			elems = append(elems, rpl.AnyIdx)
-		} else {
-			elems = append(elems, rpl.Idx(l.Index))
-		}
-	}
-	return rpl.New(elems...)
-}
-
-func (g *gen) arrayIdx(name string) int {
-	for i, a := range g.spec.Arrays {
-		if a.Name == name {
-			return i
-		}
-	}
-	return 0
-}
+// locRegion resolves a Loc to its conservative RPL (param indices → [?]);
+// the shared resolution lives on Spec so the fault executor can reuse it.
+func (g *gen) locRegion(l Loc) rpl.RPL { return g.spec.LocRegion(l) }
 
 // opEffect is the conservative effect of a single access op.
 func (g *gen) opEffect(op *Op) effect.Set {

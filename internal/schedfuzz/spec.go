@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"twe/internal/effect"
+	"twe/internal/rpl"
 )
 
 // Spec is the generator's intermediate representation of one fuzz program: a
@@ -72,7 +75,11 @@ type TaskSpec struct {
 	// (indices to [?], suffixes to *, reads to writes) before declaring it.
 	// Only tasks that are never spawn or call targets may be widened.
 	WidenSeed uint64
-	Ops       []*Op
+	// Fault marks the task as fault-injected (see faults.go): its body is
+	// replaced by a deterministic failure stub, so it contributes nothing
+	// to the store. Set by WithFaults; FaultNone for ordinary specs.
+	Fault FaultKind
+	Ops   []*Op
 }
 
 // Loc identifies a scalar global or one array element.
@@ -246,6 +253,65 @@ func sortedKeys(m map[string]int) []string {
 	return keys
 }
 
+// LocRegion resolves a Loc to its conservative RPL: param-dependent array
+// indices become [?]. Shared by the generator's effect inference and the
+// direct-on-core fault executor.
+func (s *Spec) LocRegion(l Loc) rpl.RPL {
+	var path []string
+	if l.IsArray {
+		for _, a := range s.Arrays {
+			if a.Name == l.Name {
+				path = a.Path
+				break
+			}
+		}
+	} else {
+		for _, v := range s.Vars {
+			if v.Name == l.Name {
+				path = v.Path
+				break
+			}
+		}
+	}
+	elems := make([]rpl.Elem, 0, len(path)+1)
+	for _, n := range path {
+		elems = append(elems, rpl.N(n))
+	}
+	if l.IsArray {
+		if l.IndexFromParam {
+			elems = append(elems, rpl.AnyIdx)
+		} else {
+			elems = append(elems, rpl.Idx(l.Index))
+		}
+	}
+	return rpl.New(elems...)
+}
+
+// ConsEffects computes the conservative effect summary of every task: its
+// own accesses plus the summaries of its spawn/call children (launch
+// children are independent tasks and transfer nothing). It matches the
+// generator's incremental consEff computation for a fully built spec and
+// over-approximates every actual access, so tasks declared with it are
+// soundly schedulable.
+func (s *Spec) ConsEffects() []effect.Set {
+	effs := make([]effect.Set, len(s.Tasks))
+	for i := len(s.Tasks) - 1; i >= 0; i-- {
+		var own effect.Set
+		for _, op := range s.Tasks[i].Ops {
+			switch op.Kind {
+			case OpInc, OpLoopInc, OpCondInc:
+				own = own.Union(effect.NewSet(effect.WriteEff(s.LocRegion(op.Loc))))
+			case OpRead:
+				own = own.Union(effect.NewSet(effect.Read(s.LocRegion(op.Loc))))
+			case OpSpawn, OpCall:
+				own = own.Union(effs[op.Child])
+			}
+		}
+		effs[i] = own
+	}
+	return effs
+}
+
 // arraySize returns the declared size of the named array.
 func (s *Spec) arraySize(name string) int {
 	for _, a := range s.Arrays {
@@ -276,6 +342,11 @@ func (s *Spec) ExpectedStore() Store {
 	}
 	var run func(ti, arg int)
 	run = func(ti, arg int) {
+		if s.Tasks[ti].Fault != FaultNone {
+			// A fault-injected task's body is a failure stub: it performs no
+			// accesses and creates no children.
+			return
+		}
 		for _, op := range s.Tasks[ti].Ops {
 			amount := op.Amount
 			if op.AmountFromParam {

@@ -501,6 +501,84 @@ func (s *Scheduler) Done(f *core.Future) {
 	s.ensureLiveness()
 }
 
+// Deschedule removes a cancelled future that may never have been enabled
+// (core.Descheduler): its effects leave the tree, effects that were
+// waiting on them are rechecked, and the liveness bookkeeping is settled
+// whether the task was still waiting or had already been enabled.
+//
+// The core cancel path publishes the future's Done status before calling
+// Deschedule. Holding the global recheck lock across the removal then
+// gives exclusion against recheckTask in both directions: an in-flight
+// recheck of this task finishes before the removal starts (it could
+// otherwise move or re-enable an effect that is being removed), and any
+// later recheck observes Done under recheckMu and stands down. The
+// waiter-recheck path of Done does not take recheckMu, but it re-checks
+// the waiter's status under its node lock, so a removed effect is never
+// resurrected there either.
+func (s *Scheduler) Deschedule(f *core.Future) {
+	st := stateOf(f)
+	if st == nil {
+		return
+	}
+	var waiters []*effInst
+	s.recheckMu.Lock()
+	for _, e := range st.effs {
+		n := s.lockContainingNode(e)
+		n.remove(e)
+		for w := range e.waiters {
+			waiters = append(waiters, w)
+		}
+		e.waiters = nil
+		n.unlock()
+	}
+	s.recheckMu.Unlock()
+
+	s.liveMu.Lock()
+	if _, ok := s.waiting[f]; ok {
+		// Never fully enabled: it held a waiting slot.
+		delete(s.waiting, f)
+		s.noteDepthLocked()
+	} else {
+		// The task had been enabled (or was pure) before the cancel won
+		// the start race; release its enabled slot like Done does.
+		s.enabledCount--
+	}
+	s.liveMu.Unlock()
+
+	// Recheck the effects that were waiting on the removed ones,
+	// oldest-first, exactly as Done does.
+	sort.Slice(waiters, func(i, j int) bool {
+		return waiters[i].fut.Seq() < waiters[j].fut.Seq()
+	})
+	for _, w := range waiters {
+		nw := s.lockContainingNode(w)
+		if !w.enabled && w.fut.Status() < core.Done {
+			prio := w.fut.Status() == core.Prioritized
+			s.recheckEffect(w, nw, prio)
+			if prio && w.fut.Status() == core.Prioritized {
+				if wst := stateOf(w.fut); wst != nil {
+					s.recheckTask(w.fut, wst)
+				}
+			}
+		} else {
+			nw.unlock()
+		}
+	}
+	s.ensureLiveness()
+}
+
+// Quiesced reports whether the scheduler retains no task or effect
+// bookkeeping: no waiting tasks, no live enabled tasks, and an empty
+// effect tree. The fault-injection suite asserts it after every scenario
+// to prove that every exit path — done, cancelled, panicked — released
+// its effects.
+func (s *Scheduler) Quiesced() bool {
+	s.liveMu.Lock()
+	w, en := len(s.waiting), s.enabledCount
+	s.liveMu.Unlock()
+	return w == 0 && en == 0 && s.PendingEffects() == 0
+}
+
 // --- insertion (Fig. 5.4) ------------------------------------------------
 
 // insert processes effects at node n, which must be locked on entry and is
@@ -746,6 +824,14 @@ func (s *Scheduler) recheckTask(t *core.Future, st *futState) {
 		s.tracer.Metrics().AdmissionScans.Add(1)
 	}
 	s.recheckMu.Lock()
+	if t.IsDone() {
+		// The task finished — normally, or cancelled and descheduled —
+		// between the caller's decision and this point. Deschedule removes
+		// effects under recheckMu, so touching them here could re-add an
+		// effect to the tree after its removal; stand down.
+		s.recheckMu.Unlock()
+		return
+	}
 	st.disabled.Add(recheckOffset) // set the rechecking flag
 	for _, e := range st.effs {
 		n := s.lockContainingNode(e)

@@ -423,3 +423,99 @@ func TestManyFineGrainTasks(t *testing.T) {
 		t.Error(v)
 	}
 }
+
+// TestDescheduleRemovesEffectsAndWakesWaiters: cancelling a waiting task
+// must pull its effects out of the tree and recheck the waiters parked
+// behind it; the scheduler must audit clean afterwards.
+func TestDescheduleRemovesEffectsAndWakesWaiters(t *testing.T) {
+	s := tree.New()
+	rt := core.NewRuntime(s, 4)
+	running := make(chan struct{})
+	release := make(chan struct{})
+	head := rt.ExecuteLater(core.NewTask("head", es("writes A:[0]"),
+		func(_ *core.Ctx, _ any) (any, error) {
+			close(running)
+			<-release
+			return nil, nil
+		}), nil)
+	<-running
+
+	// victim conflicts with head (wildcard over the same subtree) and
+	// parks; its effect instance is placed in the tree as disabled.
+	victim := rt.ExecuteLater(core.NewTask("victim", es("writes A:*"),
+		func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), nil)
+	if victim.Status() >= core.Enabled {
+		t.Fatal("victim admitted despite conflicting with running head")
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1 parked victim", got)
+	}
+	before := s.PendingEffects()
+	if !victim.Cancel(nil) {
+		t.Fatal("waiting victim should be cancellable")
+	}
+	// Descheduling must pull the victim's effect out of the tree and the
+	// waiting set while head still runs and holds its own effect.
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after deschedule, want 0", got)
+	}
+	if after := s.PendingEffects(); after >= before {
+		t.Fatalf("PendingEffects %d -> %d: victim's effects not removed", before, after)
+	}
+	close(release)
+	if _, err := rt.GetValue(head); err != nil {
+		t.Fatal(err)
+	}
+	// A task covered by the victim's former wildcard runs normally.
+	tail := rt.ExecuteLater(core.NewTask("tail", es("writes A:[1]"),
+		func(_ *core.Ctx, _ any) (any, error) { return "ran", nil }), nil)
+	if v, err := rt.GetValue(tail); err != nil || v != "ran" {
+		t.Fatalf("tail after deschedule = (%v, %v)", v, err)
+	}
+	rt.Shutdown()
+	if !s.Quiesced() {
+		t.Fatalf("tree not quiesced after deschedule: pending=%d pendingEffects=%d",
+			s.Pending(), s.PendingEffects())
+	}
+}
+
+// TestQuiescedAfterMixedExitPaths drives all four exit paths (normal,
+// cancelled-waiting, panicked, deadline-expired) through one scheduler
+// instance and asserts the audit is clean: no waiting entries, no live
+// enabled count, no effects left in the tree.
+func TestQuiescedAfterMixedExitPaths(t *testing.T) {
+	s := tree.New()
+	rt := core.NewRuntime(s, 4)
+	running := make(chan struct{})
+	release := make(chan struct{})
+	head := rt.ExecuteLater(core.NewTask("head", es("writes A"),
+		func(_ *core.Ctx, _ any) (any, error) {
+			close(running)
+			<-release
+			return nil, nil
+		}), nil)
+	<-running
+	cancelled := rt.ExecuteLater(core.NewTask("c", es("writes A"),
+		func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), nil)
+	cancelled.Cancel(nil)
+	late := rt.ExecuteLaterDeadline(core.NewTask("d", es("writes A"),
+		func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), nil, 5*time.Millisecond)
+	rt.GetValue(late)
+	bomb := rt.ExecuteLater(core.NewTask("p", es("writes B"),
+		func(_ *core.Ctx, _ any) (any, error) { panic("tree bomb") }), nil)
+	rt.GetValue(bomb)
+	close(release)
+	if _, err := rt.GetValue(head); err != nil {
+		t.Fatal(err)
+	}
+	ok := rt.ExecuteLater(core.NewTask("ok", es("writes A, writes B"),
+		func(_ *core.Ctx, _ any) (any, error) { return 1, nil }), nil)
+	if v, err := rt.GetValue(ok); err != nil || v.(int) != 1 {
+		t.Fatalf("successor across all regions = (%v, %v)", v, err)
+	}
+	rt.Shutdown()
+	if !s.Quiesced() {
+		t.Fatalf("audit dirty after mixed exits: pending=%d pendingEffects=%d",
+			s.Pending(), s.PendingEffects())
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"twe/internal/apps/ssca2"
 	"twe/internal/apps/tsp"
 	"twe/internal/core"
+	"twe/internal/faultinject"
 )
 
 // RunFunc executes one workload to completion. mkSched builds a fresh
@@ -108,6 +109,27 @@ var registry = map[string]Workload{
 			cfg := server.Config{Shards: 8, Keys: 128, Sessions: 8, Requests: 800, ScanEvery: 50, Seed: 31}
 			_, err := server.RunTWE(cfg, server.GenerateLog(cfg), mk, par, 4*par, opts...)
 			return err
+		},
+	},
+	"faults": {
+		Name: "faults",
+		Desc: "deterministic fault-injection storm: panics, cancels, deadlines over sharded counters",
+		Run: func(mk func() core.Scheduler, par int, opts ...core.Option) error {
+			plan := faultinject.Plan{Seed: 1, Tasks: 96, Parallelism: par}
+			out, err := faultinject.RunScenario(plan, mk, opts...)
+			if err != nil {
+				return err
+			}
+			if n := len(out.Violations); n > 0 {
+				return fmt.Errorf("faults: %d isolation violation(s), first: %v", n, out.Violations[0])
+			}
+			if out.Sum() != out.Completed {
+				return fmt.Errorf("faults: sum(counters)=%d, completed=%d — a faulted task leaked a write", out.Sum(), out.Completed)
+			}
+			if !out.Quiesced {
+				return fmt.Errorf("faults: runtime did not quiesce")
+			}
+			return nil
 		},
 	},
 	"imageedit": {
