@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz faults obs-smoke check
+.PHONY: build test race vet fuzz faults obs-smoke serve serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,21 @@ obs-smoke:
 	/tmp/twe-trace-smoke -check /tmp/twe-smoke-server.json
 	/tmp/twe-trace-smoke -checkmetrics /tmp/twe-smoke-kmeans.prom
 	/tmp/twe-trace-smoke -checkmetrics /tmp/twe-smoke-server.prom
+
+# Run the twe-serve daemon in the foreground on a fixed port (see
+# DESIGN.md §11); drive it from another shell, e.g.
+#   go run ./cmd/twe-load -addr 127.0.0.1:7270 -conns 64
+# Ctrl-C drains gracefully and prints the audit summary.
+serve:
+	$(GO) run ./cmd/twe-serve -addr 127.0.0.1:7270 -sched tree -par 4 \
+		-isolcheck -metrics-addr 127.0.0.1:7271
+
+# Service-layer gate (see DESIGN.md §11): svc tests under -race, then the
+# three-phase end-to-end smoke (correctness under the isolation oracle,
+# forced overload with -expect-shed, fault-mode effect release).
+serve-smoke:
+	$(GO) test -race ./internal/svc/
+	./scripts/serve-smoke.sh
 
 check:
 	./ci.sh

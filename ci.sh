@@ -45,4 +45,17 @@ go build -o /tmp/twe-trace-ci ./cmd/twe-trace
 /tmp/twe-trace-ci -checkmetrics /tmp/twe-ci-server.prom
 /tmp/twe-trace-ci -checkmetrics /tmp/twe-ci-faults.prom
 
+# Service-layer smoke (DESIGN.md §11): three twe-serve daemons on
+# ephemeral ports driven by the closed-loop load generator — correctness
+# under the isolation oracle (writes BENCH_serve.json), forced overload
+# with -expect-shed, and fault-mode effect release. Each phase asserts a
+# clean SIGTERM drain audit.
+echo '== serve smoke =='
+BENCH_OUT=/tmp/BENCH_serve.json ./scripts/serve-smoke.sh
+
+# Perf snapshot of the in-process server workload (BENCH_server.json,
+# schema in EXPERIMENTS.md) via the -apps filter.
+echo '== twe-bench -json (server) =='
+go run ./cmd/twe-bench -json /tmp/twe-ci-bench -apps server -threads 1,4 -reps 2
+
 echo 'ci: OK'

@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"twe/internal/core"
@@ -46,12 +47,36 @@ type benchFile struct {
 	Runs          []benchRun `json:"runs"`
 }
 
-// runJSON produces BENCH_<workload>.json for every registry workload.
-func runJSON(dir string, threads []int, reps int) error {
+// runJSON produces BENCH_<workload>.json for every registry workload (or
+// the -apps subset). The "serve" workload is excluded unless named
+// explicitly: its benchmark artifact is BENCH_serve.json from twe-load,
+// which measures the wire path rather than an in-process replay.
+func runJSON(dir string, threads []int, reps int, apps string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	var selected map[string]bool
+	if apps != "" {
+		selected = make(map[string]bool)
+		for _, name := range strings.Split(apps, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, err := workloads.Get(name); err != nil {
+				return err
+			}
+			selected[name] = true
+		}
+	}
 	for _, w := range workloads.All() {
+		if selected != nil && !selected[w.Name] {
+			continue
+		}
+		if selected == nil && w.Name == "serve" {
+			fmt.Printf("skipping %s (benchmarked over the wire by twe-load; pass -apps serve to force)\n", w.Name)
+			continue
+		}
 		doc := benchFile{SchemaVersion: 1, Workload: w.Name, GeneratedBy: "twe-bench -json"}
 		for _, sched := range []struct {
 			name string

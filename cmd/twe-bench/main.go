@@ -50,6 +50,7 @@ var (
 	repsFlag    = flag.Int("reps", 3, "repetitions per configuration (paper: 11)")
 	scaleFlag   = flag.String("scale", "small", "input scale: small (CI-sized) or paper")
 	jsonFlag    = flag.String("json", "", "write BENCH_<workload>.json perf snapshots into this directory and exit (see EXPERIMENTS.md for the schema)")
+	appsFlag    = flag.String("apps", "", "with -json: comma-separated registry workloads to run (empty = all)")
 )
 
 func mkNaive() core.Scheduler { return naive.New() }
@@ -116,7 +117,7 @@ func main() {
 	reps := *repsFlag
 
 	if *jsonFlag != "" {
-		if err := runJSON(*jsonFlag, threads, reps); err != nil {
+		if err := runJSON(*jsonFlag, threads, reps, *appsFlag); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,172 @@
+// Command twe-load is the deterministic closed-loop load generator for
+// twe-serve. Every connection's request plan (key/effect mix, conflict
+// ratio, scans, adds) is derived from -seed, responses are validated
+// in order against a per-connection oracle, and after the drive phase a
+// validation connection sweeps the whole key space against the exact
+// final-state oracle and cross-checks the server's served/shed/busy
+// accounting. -json writes a BENCH_serve.json perf snapshot
+// (EXPERIMENTS.md documents the schema).
+//
+// -faults exercises the effect-release paths: a third of the
+// connections abruptly disconnect mid-run and another third chase puts
+// with wire cancels; the run then asserts the server goes fully idle
+// (no leaked in-flight requests). -expect-shed makes the run fail
+// unless overload was actually observed (forced-overload smoke).
+// -scrape GETs a Prometheus endpoint and asserts the serve families are
+// present.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"twe/internal/svc"
+)
+
+var (
+	addrFlag     = flag.String("addr", "", "twe-serve address")
+	addrFileFlag = flag.String("addr-file", "", "read the server address from this file (polls until it appears)")
+	connsFlag    = flag.Int("conns", 8, "concurrent connections")
+	requestsFlag = flag.Int("requests", 100, "requests per connection")
+	pipelineFlag = flag.Int("pipeline", 4, "closed-loop window per connection")
+	modeFlag     = flag.String("mode", "closed", "closed (windowed) or open (burst)")
+	seedFlag     = flag.Int64("seed", 1, "plan seed")
+	conflictFlag = flag.Float64("conflict", 0.25, "probability an op hits the shared key range")
+	scanFlag     = flag.Int("scan-every", 0, "every n-th request is a full scan (0 = none)")
+	addFracFlag  = flag.Float64("add-frac", 0.15, "fraction of ops that are accumulator adds (<0 disables)")
+	faultsFlag   = flag.Bool("faults", false, "mid-run disconnects + wire cancels; assert effects are released")
+	jsonFlag     = flag.String("json", "", "write BENCH_serve.json here")
+	expectFlag   = flag.Bool("expect-shed", false, "fail unless shedding/backpressure was observed")
+	scrapeFlag   = flag.String("scrape", "", "GET this Prometheus URL and assert the serve metric families exist")
+)
+
+func resolveAddr() (string, error) {
+	if *addrFlag != "" {
+		return *addrFlag, nil
+	}
+	if *addrFileFlag == "" {
+		return "", fmt.Errorf("need -addr or -addr-file")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, err := os.ReadFile(*addrFileFlag)
+		if err == nil && len(b) > 0 {
+			return strings.TrimSpace(string(b)), nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("address file %s did not appear", *addrFileFlag)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func scrape(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		return fmt.Errorf("empty metrics body from %s", url)
+	}
+	for _, family := range []string{
+		"twe_serve_requests_total",
+		"twe_serve_request_latency_seconds_count",
+		"twe_admission_latency_seconds_count",
+		"twe_tasks_submitted_total",
+	} {
+		if !strings.Contains(string(body), family) {
+			return fmt.Errorf("metrics from %s missing family %s", url, family)
+		}
+	}
+	fmt.Printf("twe-load: scraped %s: %d bytes, serve+runtime families present\n", url, len(body))
+	return nil
+}
+
+func main() {
+	flag.Parse()
+
+	if *scrapeFlag != "" && *addrFlag == "" && *addrFileFlag == "" {
+		if err := scrape(*scrapeFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "twe-load:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	addr, err := resolveAddr()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twe-load:", err)
+		os.Exit(2)
+	}
+	cfg := svc.LoadConfig{
+		Addr:      addr,
+		Conns:     *connsFlag,
+		Requests:  *requestsFlag,
+		Pipeline:  *pipelineFlag,
+		Mode:      *modeFlag,
+		Seed:      *seedFlag,
+		Conflict:  *conflictFlag,
+		ScanEvery: *scanFlag,
+		AddFrac:   *addFracFlag,
+		Faults:    *faultsFlag,
+	}
+	rep, err := svc.RunLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twe-load:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("twe-load: %s sched=%s conns=%d reqs/conn=%d pipeline=%d seed=%d conflict=%.2f faults=%v\n",
+		addr, rep.Sched, rep.Conns, rep.RequestsPerConn, cfg.Pipeline, cfg.Seed, cfg.Conflict, cfg.Faults)
+	fmt.Printf("twe-load: sent=%d served=%d shed=%d busy=%d cancelled=%d acks=%d killed=%d elapsed=%v throughput=%.0f/s\n",
+		rep.Sent, rep.Served, rep.Shed, rep.Busy, rep.Cancelled, rep.CancelAcks, rep.Killed,
+		time.Duration(rep.ElapsedNS), rep.ThroughputRPS)
+	fmt.Printf("twe-load: latency p50=%v p90=%v p99=%v max=%v shed-rate=%.3f oracle-checks=%d\n",
+		time.Duration(rep.P50NS), time.Duration(rep.P90NS), time.Duration(rep.P99NS),
+		time.Duration(rep.MaxNS), rep.ShedRate(), rep.Checks)
+	if st := rep.ServerStats; st != nil {
+		fmt.Printf("twe-load: server requests=%d served=%d shed=%d busy=%d cancelled=%d disconnects=%d effcache=%d/%d inflight=%d\n",
+			st.Requests, st.Served, st.Shed, st.Busy, st.Cancelled, st.Disconnects,
+			st.EffHits, st.EffHits+st.EffMisses, st.Inflight)
+	}
+
+	code := 0
+	if n := len(rep.Violations); n > 0 {
+		fmt.Fprintf(os.Stderr, "twe-load: %d ORACLE VIOLATION(S):\n", n)
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, "  ", v)
+		}
+		code = 1
+	} else {
+		fmt.Println("twe-load: oracle clean")
+	}
+	if *expectFlag && rep.Shed+rep.Busy == 0 {
+		fmt.Fprintln(os.Stderr, "twe-load: -expect-shed: no shedding or backpressure observed")
+		code = 1
+	}
+	if *jsonFlag != "" {
+		if err := rep.WriteBench(*jsonFlag, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "twe-load: bench:", err)
+			code = 1
+		} else {
+			fmt.Printf("twe-load: wrote %s\n", *jsonFlag)
+		}
+	}
+	if *scrapeFlag != "" {
+		if err := scrape(*scrapeFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "twe-load:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

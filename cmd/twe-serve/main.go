@@ -1,0 +1,126 @@
+// Command twe-serve runs the TWE runtime behind a TCP service boundary
+// (internal/svc): clients declare each request's effect on the wire and
+// the effect scheduler is the admission-control and serialization layer.
+//
+// Typical use:
+//
+//	twe-serve -sched tree -par 4 -isolcheck -addr 127.0.0.1:7270 &
+//	twe-load  -addr 127.0.0.1:7270 -conns 64 -requests 200
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: it stops accepting,
+// serves everything already admitted, shuts the runtime down, and exits
+// non-zero if the drain audit fails (runtime not quiesced, leaked
+// in-flight gauge, isolation violations, or served-accounting mismatch).
+// -metrics-addr exposes Prometheus text metrics over HTTP (/metrics);
+// -trace writes a Chrome trace of the serving runtime at exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"twe/internal/svc"
+)
+
+var (
+	addrFlag        = flag.String("addr", "127.0.0.1:0", "TCP listen address (port 0 = ephemeral)")
+	addrFileFlag    = flag.String("addr-file", "", "write the bound address to this file (for scripts using port 0)")
+	schedFlag       = flag.String("sched", "tree", "scheduler: tree or naive")
+	parFlag         = flag.Int("par", 4, "pool parallelism")
+	shardsFlag      = flag.Int("shards", 8, "store shard count")
+	keysFlag        = flag.Int("keys", 256, "store key count")
+	maxInflightFlag = flag.Int("max-inflight", 0, "admitted-but-unresolved bound; excess gets busy (0 = unbounded)")
+	deadlineFlag    = flag.Duration("deadline", 0, "per-request deadline; late requests are shed (0 = none)")
+	isolFlag        = flag.Bool("isolcheck", false, "attach the isolation-oracle monitor")
+	traceFlag       = flag.String("trace", "", "write a Chrome trace here at exit")
+	metricsFlag     = flag.String("metrics-addr", "", "HTTP listen address for /metrics (empty = disabled)")
+	metricsFileFlag = flag.String("metrics-addr-file", "", "write the bound metrics address to this file")
+	drainFlag       = flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound")
+)
+
+func main() {
+	flag.Parse()
+	s, err := svc.Start(svc.Config{
+		Addr:        *addrFlag,
+		Sched:       *schedFlag,
+		Par:         *parFlag,
+		Shards:      *shardsFlag,
+		Keys:        *keysFlag,
+		MaxInflight: *maxInflightFlag,
+		Deadline:    *deadlineFlag,
+		Isolcheck:   *isolFlag,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twe-serve:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("twe-serve: listening on %s (sched=%s par=%d shards=%d keys=%d max-inflight=%d deadline=%v)\n",
+		s.Addr(), *schedFlag, *parFlag, *shardsFlag, *keysFlag, *maxInflightFlag, *deadlineFlag)
+	if *addrFileFlag != "" {
+		if err := os.WriteFile(*addrFileFlag, []byte(s.Addr()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "twe-serve:", err)
+			os.Exit(2)
+		}
+	}
+
+	if *metricsFlag != "" {
+		mln, err := net.Listen("tcp", *metricsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twe-serve: metrics listen:", err)
+			os.Exit(2)
+		}
+		if *metricsFileFlag != "" {
+			if err := os.WriteFile(*metricsFileFlag, []byte(mln.Addr().String()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "twe-serve:", err)
+				os.Exit(2)
+			}
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := s.WriteMetrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		fmt.Printf("twe-serve: metrics on http://%s/metrics\n", mln.Addr())
+		go func() { _ = http.Serve(mln, mux) }()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("twe-serve: draining...")
+
+	code := 0
+	if err := s.Drain(*drainFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "twe-serve:", err)
+		code = 1
+	}
+	st := s.Stats()
+	fmt.Printf("twe-serve: drained: conns=%d requests=%d served=%d shed=%d busy=%d cancelled=%d rejected=%d errors=%d disconnects=%d effcache=%d/%d inflight-peak=%d\n",
+		st.ConnsAccepted, st.Requests, st.Served, st.Shed, st.Busy, st.Cancelled, st.Rejected, st.Errors,
+		st.Disconnects, st.EffHits, st.EffHits+st.EffMisses, st.InflightPeak)
+
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err == nil {
+			err = s.Tracer().WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twe-serve: trace:", err)
+			code = 1
+		} else {
+			fmt.Printf("twe-serve: wrote trace to %s\n", *traceFlag)
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,123 @@
+package effect
+
+import (
+	"math/rand"
+	"testing"
+
+	"twe/internal/rpl"
+)
+
+// randRegion mirrors the region shapes the rest of the repo produces:
+// named segments, concrete and negative indices, [?] (schedfuzz's index
+// erasure), parameters, and an optional trailing * (schedfuzz's tail
+// truncation, and the svc scan effect).
+func randRegion(rnd *rand.Rand) rpl.RPL {
+	names := []string{"A", "B", "Shard", "Session", "Left", "Right"}
+	n := rnd.Intn(4)
+	elems := make([]rpl.Elem, 0, n+1)
+	for j := 0; j < n; j++ {
+		switch rnd.Intn(4) {
+		case 0:
+			elems = append(elems, rpl.N(names[rnd.Intn(len(names))]))
+		case 1:
+			elems = append(elems, rpl.Idx(rnd.Intn(201)-100))
+		case 2:
+			elems = append(elems, rpl.AnyIdx)
+		default:
+			elems = append(elems, rpl.P("p"))
+		}
+	}
+	if rnd.Intn(4) == 0 {
+		elems = append(elems, rpl.Any)
+	}
+	return rpl.New(elems...)
+}
+
+func checkSetRoundTrip(t *testing.T, set Set) {
+	t.Helper()
+	s := set.String()
+	back, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	if !back.Equal(set) {
+		t.Fatalf("Parse(String) round trip: %q -> %q", s, back)
+	}
+	if again := back.String(); again != s {
+		t.Fatalf("String not a fixed point: %q -> %q", s, again)
+	}
+}
+
+// TestSetRoundTripRandom: for every normalized summary NewSet can build,
+// Parse(String(s)) == s. This is the property the service layer leans
+// on — internal/svc round-trips declared effects through the wire as
+// Strings and admits tasks under the parsed set.
+func TestSetRoundTripRandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		n := rnd.Intn(5)
+		effs := make([]Effect, n)
+		for j := range effs {
+			if rnd.Intn(2) == 0 {
+				effs[j] = Read(randRegion(rnd))
+			} else {
+				effs[j] = WriteEff(randRegion(rnd))
+			}
+		}
+		checkSetRoundTrip(t, NewSet(effs...))
+	}
+}
+
+func TestSetRoundTripCorners(t *testing.T) {
+	for _, set := range []Set{
+		Pure,
+		Top,
+		NewSet(Read(rpl.Root)),
+		NewSet(WriteEff(rpl.Root)),
+		NewSet(Read(rpl.RootStar), WriteEff(rpl.RootStar)),
+		NewSet( // the svc wire shapes: put/get/scan
+			WriteEff(rpl.New(rpl.N("Shard"), rpl.Idx(3))),
+			WriteEff(rpl.New(rpl.N("Session"), rpl.Idx(0)))),
+		NewSet(
+			Read(rpl.New(rpl.N("Shard"), rpl.Any)),
+			WriteEff(rpl.New(rpl.N("Session"), rpl.Idx(7), rpl.Any))),
+		NewSet(Read(rpl.New(rpl.N("A"), rpl.AnyIdx, rpl.P("p")))),
+	} {
+		checkSetRoundTrip(t, set)
+	}
+}
+
+func TestSetParseSurfaceForms(t *testing.T) {
+	cases := map[string]Set{
+		"pure":                        Pure,
+		"":                            Pure,
+		"writes Root:*":               Top,
+		"reads A writes B":            NewSet(Read(rpl.MustParse("A")), WriteEff(rpl.MustParse("B"))),
+		"writes A:[3], B:*":           NewSet(WriteEff(rpl.MustParse("A:[3]")), WriteEff(rpl.MustParse("B:*"))),
+		"reads Root:Shard:[1], writes Root:Session:[0]": NewSet(
+			Read(rpl.MustParse("Shard:[1]")), WriteEff(rpl.MustParse("Session:[0]"))),
+	}
+	for s, want := range cases {
+		got, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("Parse(%q) = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestSetParseRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"A:B",            // region before any keyword
+		"bogus Root:X",   // unknown keyword position
+		"writes A::B",    // malformed region
+		"reads [",        // malformed region
+	} {
+		if set, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) = %q, want error", s, set)
+		}
+	}
+}

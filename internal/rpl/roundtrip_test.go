@@ -1,0 +1,99 @@
+package rpl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The element alphabet for the round-trip property: every kind the
+// surface syntax can denote, including the wildcards schedfuzz renders
+// ([?] via index erasure, a trailing * via tail truncation), negative
+// and multi-digit indices, parameters, and the name "Root" appearing as
+// an ordinary interior element.
+var roundTripAlphabet = []Elem{
+	N("A"), N("B"), N("Shard"), N("Session"), N("Root"), N("x9"),
+	Idx(0), Idx(3), Idx(41), Idx(-7),
+	AnyIdx, Any,
+	P("p"), P("i0"),
+}
+
+func checkRoundTrip(t *testing.T, r RPL) {
+	t.Helper()
+	s := r.String()
+	back, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v (from %d-elem RPL)", s, err, r.Len())
+	}
+	if !back.Equal(r) {
+		t.Fatalf("Parse(String) round trip: %q -> %q", s, back)
+	}
+	if again := back.String(); again != s {
+		t.Fatalf("String not a fixed point: %q -> %q", s, again)
+	}
+}
+
+// TestRPLRoundTripExhaustive covers every RPL up to three elements over
+// the full alphabet (1 + 14 + 14² + 14³ forms).
+func TestRPLRoundTripExhaustive(t *testing.T) {
+	al := roundTripAlphabet
+	checkRoundTrip(t, Root)
+	for _, a := range al {
+		checkRoundTrip(t, New(a))
+		for _, b := range al {
+			checkRoundTrip(t, New(a, b))
+			for _, c := range al {
+				checkRoundTrip(t, New(a, b, c))
+			}
+		}
+	}
+}
+
+// TestRPLRoundTripRandom drives deeper paths (up to 8 elements) from a
+// pinned seed.
+func TestRPLRoundTripRandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		n := rnd.Intn(9)
+		elems := make([]Elem, n)
+		for j := range elems {
+			e := roundTripAlphabet[rnd.Intn(len(roundTripAlphabet))]
+			if e.Kind == Index {
+				e.Index = rnd.Intn(2001) - 1000
+			}
+			elems[j] = e
+		}
+		checkRoundTrip(t, New(elems...))
+	}
+}
+
+func TestRPLParseRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"A::B", "A:", ":A", "A:[", "A:[]", "A:[x y]", "A:B*", "A:[3]]", "A:?",
+	} {
+		if r, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) = %q, want error", s, r)
+		}
+	}
+}
+
+func TestRPLParseAcceptsSurfaceForms(t *testing.T) {
+	cases := map[string]RPL{
+		"Root":               Root,
+		"":                   Root,
+		"Root:A:[3]":         New(N("A"), Idx(3)),
+		"A:[3]":              New(N("A"), Idx(3)), // Root prefix optional
+		"Shard:*":            New(N("Shard"), Any),
+		"A:[?]:[p]":          New(N("A"), AnyIdx, P("p")),
+		" Root : A : [ -2 ]": New(N("A"), Idx(-2)), // interior whitespace
+	}
+	for s, want := range cases {
+		got, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("Parse(%q) = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -145,11 +145,17 @@ func Parse(s string) (RPL, error) {
 	if s == "" || s == "Root" {
 		return Root, nil
 	}
-	s = strings.TrimPrefix(s, "Root:")
 	parts := strings.Split(s, ":")
+	for i, p := range parts {
+		parts[i] = strings.TrimSpace(p)
+	}
+	// The implicit leading Root element is accepted and stripped after
+	// tokenizing, so "Root : A" and "Root:A" read the same.
+	if parts[0] == "Root" {
+		parts = parts[1:]
+	}
 	elems := make([]Elem, 0, len(parts))
 	for _, p := range parts {
-		p = strings.TrimSpace(p)
 		switch {
 		case p == "":
 			return RPL{}, fmt.Errorf("rpl: empty element in %q", s)

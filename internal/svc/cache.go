@@ -1,0 +1,74 @@
+package svc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"twe/internal/effect"
+)
+
+// EffectCache memoizes effect.Parse keyed on the wire string, so the
+// steady-state request path never re-parses: clients send a small set of
+// canonical effect strings (one per op shape × session) and after warmup
+// every admission is a read-locked map hit with zero allocations
+// (BenchmarkEffectCacheHit proves it). Parse errors are not cached — a
+// malformed string is already the slow path and a bounded map must not
+// be poisoned by a hostile peer cycling garbage.
+//
+// The cache is bounded: once max entries are resident, unknown strings
+// are parsed per-request without insertion. Canonical traffic fits far
+// below any reasonable bound, so this only degrades adversarial clients.
+type EffectCache struct {
+	mu    sync.RWMutex
+	m     map[string]effect.Set
+	max   int
+	hits  atomic.Int64
+	misses atomic.Int64
+
+	parse func(string) (effect.Set, error) // test seam; defaults to effect.Parse
+}
+
+// NewEffectCache builds a cache bounded to max entries (≤0 means a
+// default of 4096).
+func NewEffectCache(max int) *EffectCache {
+	if max <= 0 {
+		max = 4096
+	}
+	return &EffectCache{m: make(map[string]effect.Set, 64), max: max, parse: effect.Parse}
+}
+
+// Lookup returns the parsed effect set for the wire string, memoized.
+func (c *EffectCache) Lookup(s string) (effect.Set, error) {
+	c.mu.RLock()
+	es, ok := c.m[s]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return es, nil
+	}
+	c.misses.Add(1)
+	es, err := c.parse(s)
+	if err != nil {
+		return effect.Set{}, err
+	}
+	c.mu.Lock()
+	if cached, ok := c.m[s]; ok {
+		es = cached // keep the first insertion canonical
+	} else if len(c.m) < c.max {
+		c.m[s] = es
+	}
+	c.mu.Unlock()
+	return es, nil
+}
+
+// Stats returns the hit/miss counters.
+func (c *EffectCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the resident entry count.
+func (c *EffectCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -1,0 +1,137 @@
+package svc
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"twe/internal/effect"
+)
+
+// countingCache wraps the cache with an instrumented parser so tests can
+// prove the steady state never re-parses.
+func countingCache(max int) (*EffectCache, *atomic.Int64) {
+	c := NewEffectCache(max)
+	var parses atomic.Int64
+	c.parse = func(s string) (effect.Set, error) {
+		parses.Add(1)
+		return effect.Parse(s)
+	}
+	return c, &parses
+}
+
+func TestEffectCacheParsesOnce(t *testing.T) {
+	c, parses := countingCache(16)
+	a := PutEffect(8, 17, 0)
+	b := GetEffect(8, 3, 1)
+	for i := 0; i < 100; i++ {
+		for _, s := range []string{a, b} {
+			es, err := c.Lookup(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if es.String() != s {
+				t.Fatalf("Lookup(%q) = %q", s, es)
+			}
+		}
+	}
+	if got := parses.Load(); got != 2 {
+		t.Fatalf("parses = %d, want 2", got)
+	}
+	hits, misses := c.Stats()
+	if misses != 2 || hits != 198 {
+		t.Fatalf("hits/misses = %d/%d, want 198/2", hits, misses)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestEffectCacheBounded(t *testing.T) {
+	c, parses := countingCache(1)
+	if _, err := c.Lookup(AddEffect(0)); err != nil {
+		t.Fatal(err)
+	}
+	// A second distinct string is parsed every time but never resident.
+	other := AddEffect(1)
+	for i := 0; i < 5; i++ {
+		es, err := c.Lookup(other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if es.String() != other {
+			t.Fatalf("uncached Lookup returned %q", es)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (bounded)", c.Len())
+	}
+	if got := parses.Load(); got != 6 {
+		t.Fatalf("parses = %d, want 6", got)
+	}
+}
+
+func TestEffectCacheErrorNotCached(t *testing.T) {
+	c, _ := countingCache(16)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Lookup("bogus Root:X"); err == nil {
+			t.Fatal("malformed effect parsed")
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error was cached: Len = %d", c.Len())
+	}
+}
+
+// TestEffectCacheSteadyStateZeroAlloc is satellite 3's proof: once the
+// canonical wire strings are resident, the request path's effect lookup
+// performs zero allocations and zero parses.
+func TestEffectCacheSteadyStateZeroAlloc(t *testing.T) {
+	c, parses := countingCache(64)
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = PutEffect(8, i, i%4)
+		if _, err := c.Lookup(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := parses.Load()
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := c.Lookup(keys[i%len(keys)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Lookup allocates %.1f/op, want 0", allocs)
+	}
+	if got := parses.Load(); got != warm {
+		t.Fatalf("steady state re-parsed: %d parses after warmup at %d", got, warm)
+	}
+}
+
+func BenchmarkEffectCacheHit(b *testing.B) {
+	c := NewEffectCache(64)
+	s := PutEffect(8, 17, 0)
+	if _, err := c.Lookup(s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Lookup(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkEffectParseUncached(b *testing.B) {
+	s := PutEffect(8, 17, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := effect.Parse(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

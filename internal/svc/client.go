@@ -1,0 +1,113 @@
+package svc
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a minimal twe-serve client. Send/Flush may be used from one
+// goroutine while Recv runs in another (the pipelined pattern the load
+// generator uses); the convenience Do/Stats helpers are strictly
+// sequential.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	// Geometry from the server's hello frame.
+	SID    int
+	Sched  string
+	Shards int
+	Keys   int
+
+	nextID uint64
+}
+
+// Dial connects and consumes the hello frame.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, br: bufio.NewReaderSize(conn, 32<<10), bw: bufio.NewWriterSize(conn, 32<<10)}
+	var hello Response
+	if err := ReadFrame(c.br, &hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("svc: reading hello: %w", err)
+	}
+	if hello.Status != StatusHello || hello.Stats == nil {
+		conn.Close()
+		return nil, fmt.Errorf("svc: unexpected hello frame: %+v", hello)
+	}
+	c.SID = int(hello.Val)
+	c.Sched = hello.Stats.Sched
+	c.Shards = hello.Stats.Shards
+	c.Keys = hello.Stats.Keys
+	return c, nil
+}
+
+// Send buffers one request frame (call Flush to push it out).
+func (c *Client) Send(req *Request) error { return WriteFrame(c.bw, req) }
+
+// Flush pushes buffered frames to the server.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Recv reads one response frame.
+func (c *Client) Recv() (*Response, error) {
+	var resp Response
+	if err := ReadFrame(c.br, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Do sends one request and waits for its response.
+func (c *Client) Do(req *Request) (*Response, error) {
+	if req.ID == 0 {
+		c.nextID++
+		req.ID = c.nextID
+	}
+	if err := c.Send(req); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	return c.Recv()
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (*StatsBody, error) {
+	resp, err := c.Do(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK || resp.Stats == nil {
+		return nil, fmt.Errorf("svc: bad stats response: %+v", resp)
+	}
+	return resp.Stats, nil
+}
+
+// Get reads a key (sequential helper; retries are the caller's concern).
+func (c *Client) Get(key int) (*Response, error) {
+	return c.Do(&Request{Op: OpGet, Key: key, Eff: GetEffect(c.Shards, key, c.SID)})
+}
+
+// Put writes a key.
+func (c *Client) Put(key int, val int64) (*Response, error) {
+	return c.Do(&Request{Op: OpPut, Key: key, Val: val, Eff: PutEffect(c.Shards, key, c.SID)})
+}
+
+// Add folds delta into a key's accumulator and returns the new total.
+func (c *Client) Add(key int, delta int64) (*Response, error) {
+	return c.Do(&Request{Op: OpAdd, Key: key, Val: delta, Eff: AddEffect(c.SID)})
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RawConn exposes the underlying connection (the fault-mode load
+// generator closes it abruptly mid-run).
+func (c *Client) RawConn() net.Conn { return c.conn }

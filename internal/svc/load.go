@@ -1,0 +1,700 @@
+package svc
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig shapes one twe-load run. Everything is derived from Seed,
+// so a pinned seed reproduces the exact per-connection request plans.
+type LoadConfig struct {
+	Addr     string
+	Conns    int
+	Requests int // per connection
+	Pipeline int // closed-loop window (outstanding requests per connection)
+	Mode     string  // "closed" (windowed) or "open" (burst: send without waiting)
+	Seed     int64
+	Conflict float64 // probability an op targets the shared key range
+	ScanEvery int    // every n-th request is a full scan; 0 disables
+	AddFrac   float64 // fraction of non-scan ops that are adds; <0 disables adds
+	// Faults exercises the effect-release paths: every conn with
+	// conn%3==2 abruptly closes mid-plan, every conn with conn%3==1
+	// chases 30% of its puts with a wire cancel.
+	Faults bool
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Conns <= 0 {
+		c.Conns = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 100
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 4
+	}
+	if c.Mode == "" {
+		c.Mode = "closed"
+	}
+	if c.AddFrac == 0 {
+		c.AddFrac = 0.15
+	}
+	return c
+}
+
+// planOp is one deterministic plan entry.
+type planOp struct {
+	op     string
+	key    int
+	val    int64
+	target int // cancel: plan index of the op to cancel; -1 otherwise
+}
+
+// partition splits the key space: the low `shared` keys are contended by
+// every connection (the conflict dial), the rest is cut into disjoint
+// per-connection ranges whose final values the oracle can pin exactly.
+type partition struct{ shared, ownBase, ownSize int }
+
+func partitionFor(keys, conns, conn int) partition {
+	shared := keys / 8
+	if shared < 1 {
+		shared = 1
+	}
+	ownSize := (keys - shared) / conns
+	return partition{shared: shared, ownBase: shared + conn*ownSize, ownSize: ownSize}
+}
+
+func (p partition) owned(key int) bool {
+	return p.ownSize > 0 && key >= p.ownBase && key < p.ownBase+p.ownSize
+}
+
+// buildPlan derives connection conn's request plan from the seed.
+func buildPlan(cfg LoadConfig, conn, keys int) []planOp {
+	rnd := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(conn)*7919 + 1))
+	p := partitionFor(keys, cfg.Conns, conn)
+	var ops []planOp
+	for r := 0; r < cfg.Requests; r++ {
+		if cfg.ScanEvery > 0 && r%cfg.ScanEvery == cfg.ScanEvery-1 {
+			ops = append(ops, planOp{op: OpScan, target: -1})
+			continue
+		}
+		var key int
+		if p.ownSize == 0 || rnd.Float64() < cfg.Conflict {
+			key = rnd.Intn(p.shared)
+		} else {
+			key = p.ownBase + rnd.Intn(p.ownSize)
+		}
+		addFrac := cfg.AddFrac
+		if addFrac < 0 {
+			addFrac = 0
+		}
+		roll := rnd.Float64()
+		switch {
+		case roll < addFrac:
+			ops = append(ops, planOp{op: OpAdd, key: key, val: 1 + rnd.Int63n(9), target: -1})
+		case roll < addFrac+(1-addFrac)/2:
+			ops = append(ops, planOp{op: OpPut, key: key, val: 1 + rnd.Int63n(999), target: -1})
+		default:
+			ops = append(ops, planOp{op: OpGet, key: key, target: -1})
+		}
+		if cfg.Faults && conn%3 == 1 && ops[len(ops)-1].op == OpPut && rnd.Float64() < 0.3 {
+			ops = append(ops, planOp{op: OpCancel, target: len(ops) - 1})
+		}
+	}
+	return ops
+}
+
+// workerResult is one connection's response log digest. All fields are
+// written by the connection's receiver goroutine and read only after it
+// finishes.
+type workerResult struct {
+	sid      int
+	killed   bool
+	sent     int // frames sent (data + control)
+	dataSent int64
+	resolved int // responses processed, in order
+
+	served, shed, busy, cancelled, rejected, errs, acks int64
+	latNS                                               []int64
+
+	model         map[int]int64   // last served put value per key, program order
+	sharedOK      map[int][]int64 // every served put value on shared keys
+	attempted     map[int][]int64 // killed conn: puts sent but unresolved
+	addsServed    map[int]int64   // served add deltas per key
+	addsAttempted int64           // killed conn: unresolved add deltas
+
+	violations []string
+}
+
+func (r *workerResult) violate(format string, args ...any) {
+	if len(r.violations) < 50 {
+		r.violations = append(r.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// runLoadWorker drives one connection through its plan: a sender
+// (windowed in closed mode) and a receiver that checks responses in
+// order against the connection's running model. Response order per
+// connection is part of the protocol, so resp.ID must equal the next
+// plan index — any reordering is itself a violation.
+func runLoadWorker(cfg LoadConfig, conn int) (*workerResult, error) {
+	c, err := Dial(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	res := &workerResult{
+		sid:        c.SID,
+		model:      make(map[int]int64),
+		sharedOK:   make(map[int][]int64),
+		attempted:  make(map[int][]int64),
+		addsServed: make(map[int]int64),
+	}
+	plan := buildPlan(cfg, conn, c.Keys)
+	p := partitionFor(c.Keys, cfg.Conns, conn)
+
+	killAt := -1
+	if cfg.Faults && conn%3 == 2 && len(plan) > 2 {
+		killAt = len(plan) / 2
+	}
+
+	sendTimes := make([]int64, len(plan))
+	useWindow := cfg.Mode != "open"
+	window := make(chan struct{}, cfg.Pipeline)
+
+	process := func(idx int, resp *Response) {
+		op := plan[idx]
+		if st := atomic.LoadInt64(&sendTimes[idx]); st != 0 {
+			res.latNS = append(res.latNS, time.Now().UnixNano()-st)
+		}
+		res.resolved++
+		switch resp.Status {
+		case StatusOK:
+			switch op.op {
+			case OpCancel:
+				res.acks++
+			case OpPut:
+				res.served++
+				res.model[op.key] = op.val
+				if op.key < p.shared {
+					res.sharedOK[op.key] = append(res.sharedOK[op.key], op.val)
+				}
+			case OpAdd:
+				res.served++
+				res.addsServed[op.key] += op.val
+			case OpGet:
+				res.served++
+				if p.owned(op.key) || cfg.Conns == 1 {
+					if want := res.model[op.key]; resp.Val != want {
+						res.violate("conn %d req %d: get key %d = %d, want %d", conn, idx+1, op.key, resp.Val, want)
+					}
+				}
+			case OpScan:
+				res.served++
+				if cfg.Conns == 1 {
+					var want int64
+					for _, v := range res.model {
+						want += v
+					}
+					if resp.Val != want {
+						res.violate("conn %d req %d: scan = %d, want %d", conn, idx+1, resp.Val, want)
+					}
+				} else if resp.Val < 0 || resp.Val > int64(c.Keys)*1000 {
+					res.violate("conn %d req %d: scan = %d out of bounds", conn, idx+1, resp.Val)
+				}
+			}
+		case StatusShed:
+			res.shed++
+		case StatusBusy:
+			res.busy++
+		case StatusCancelled:
+			res.cancelled++
+		case StatusRejected:
+			res.rejected++
+			res.violate("conn %d req %d: rejected: %s", conn, idx+1, resp.Err)
+		default:
+			res.errs++
+			res.violate("conn %d req %d: status %s: %s", conn, idx+1, resp.Status, resp.Err)
+		}
+	}
+
+	recvDone := make(chan error, 1)
+	go func() {
+		for idx := 0; idx < len(plan); idx++ {
+			resp, err := c.Recv()
+			if err != nil {
+				recvDone <- err
+				return
+			}
+			if resp.ID != uint64(idx+1) {
+				res.violate("conn %d: out-of-order response id %d, want %d", conn, resp.ID, idx+1)
+				recvDone <- fmt.Errorf("out-of-order response")
+				return
+			}
+			process(idx, resp)
+			if useWindow {
+				<-window
+			}
+		}
+		recvDone <- nil
+	}()
+
+	var sendErr error
+	sentIdx := 0
+	for i, op := range plan {
+		if i == killAt {
+			res.killed = true
+			c.RawConn().Close() // abrupt mid-run disconnect
+			break
+		}
+		req := &Request{ID: uint64(i + 1), Op: op.op, Key: op.key, Val: op.val}
+		switch op.op {
+		case OpPut:
+			req.Eff = PutEffect(c.Shards, op.key, c.SID)
+		case OpGet:
+			req.Eff = GetEffect(c.Shards, op.key, c.SID)
+		case OpAdd:
+			req.Eff = AddEffect(c.SID)
+		case OpScan:
+			req.Eff = ScanEffect(c.SID)
+		case OpCancel:
+			req.Target = uint64(op.target + 1)
+		}
+		if useWindow {
+			window <- struct{}{}
+		}
+		atomic.StoreInt64(&sendTimes[i], time.Now().UnixNano())
+		if sendErr = c.Send(req); sendErr == nil {
+			sendErr = c.Flush()
+		}
+		if sendErr != nil {
+			break
+		}
+		sentIdx = i + 1
+		res.sent++
+		if op.op != OpCancel {
+			res.dataSent++
+		}
+	}
+	recvErr := <-recvDone
+
+	if res.killed {
+		// Requests sent but never resolved may or may not have executed;
+		// the sweep oracle treats their writes as possible-but-not-required.
+		for i := res.resolved; i < sentIdx; i++ {
+			switch op := plan[i]; op.op {
+			case OpPut:
+				res.attempted[op.key] = append(res.attempted[op.key], op.val)
+			case OpAdd:
+				res.addsAttempted += op.val
+			}
+		}
+		return res, nil
+	}
+	if sendErr != nil {
+		return nil, fmt.Errorf("send: %w", sendErr)
+	}
+	if recvErr != nil {
+		return nil, fmt.Errorf("recv: %w", recvErr)
+	}
+	return res, nil
+}
+
+// LoadReport is a twe-load run summary; WriteBench renders it as
+// BENCH_serve.json (schema in EXPERIMENTS.md).
+type LoadReport struct {
+	Conns, RequestsPerConn int
+	Sched                  string
+	Killed                 int
+
+	Sent, Served, Shed, Busy, Cancelled, Rejected, Errors, CancelAcks int64
+
+	ElapsedNS     int64
+	ThroughputRPS float64 // served responses per second during the drive phase
+
+	P50NS, P90NS, P99NS, MaxNS int64
+	MeanNS                     float64
+
+	Checks     int64 // oracle comparisons performed (in-run + sweep)
+	Violations []string
+
+	ServerStats *StatsBody
+}
+
+// ShedRate returns (shed+busy)/requests-sent — the overload signal the
+// forced-overload smoke asserts on.
+func (rep *LoadReport) ShedRate() float64 {
+	if rep.Sent == 0 {
+		return 0
+	}
+	return float64(rep.Shed+rep.Busy) / float64(rep.Sent)
+}
+
+func (rep *LoadReport) violate(format string, args ...any) {
+	if len(rep.Violations) < 100 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// RunLoad drives the full closed-loop run: Conns workers in parallel,
+// then a validation connection that waits for the server to go idle,
+// cross-checks the server's accounting against the client-side counts,
+// and sweeps the whole key space (puts and accumulators) against the
+// oracle assembled from every connection's in-order response log.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	results := make([]*workerResult, cfg.Conns)
+	errs := make([]error, cfg.Conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Conns; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = runLoadWorker(cfg, i)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("conn %d: %w", i, err)
+		}
+	}
+
+	rep := &LoadReport{Conns: cfg.Conns, RequestsPerConn: cfg.Requests, ElapsedNS: elapsed.Nanoseconds()}
+	var lat []int64
+	for _, r := range results {
+		rep.Sent += int64(r.sent)
+		rep.Served += r.served
+		rep.Shed += r.shed
+		rep.Busy += r.busy
+		rep.Cancelled += r.cancelled
+		rep.Rejected += r.rejected
+		rep.Errors += r.errs
+		rep.CancelAcks += r.acks
+		if r.killed {
+			rep.Killed++
+		}
+		lat = append(lat, r.latNS...)
+		rep.Violations = append(rep.Violations, r.violations...)
+		rep.Checks += int64(r.resolved)
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		rep.ThroughputRPS = float64(rep.Served) / sec
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pick := func(q float64) int64 { return lat[int(q*float64(len(lat)-1))] }
+		rep.P50NS, rep.P90NS, rep.P99NS, rep.MaxNS = pick(0.50), pick(0.90), pick(0.99), lat[len(lat)-1]
+		var sum int64
+		for _, v := range lat {
+			sum += v
+		}
+		rep.MeanNS = float64(sum) / float64(len(lat))
+	}
+
+	vc, err := Dial(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("validation dial: %w", err)
+	}
+	defer vc.Close()
+	rep.Sched = vc.Sched
+
+	st, err := awaitIdle(vc)
+	if err != nil {
+		return nil, err
+	}
+	if st.Inflight != 0 {
+		rep.violate("server in-flight gauge leaked: %d", st.Inflight)
+	}
+	crossCheck(rep, st, cfg, results)
+	if err := sweep(vc, rep, cfg, results); err != nil {
+		return nil, err
+	}
+	final, err := vc.Stats()
+	if err != nil {
+		return nil, err
+	}
+	rep.ServerStats = final
+	if got := final.Served + final.Shed + final.Busy + final.Cancelled + final.Rejected + final.Errors; got != final.Requests {
+		rep.violate("server accounting does not partition: %d classified vs %d requests", got, final.Requests)
+	}
+	return rep, nil
+}
+
+// awaitIdle polls stats until every worker session is gone and the
+// in-flight gauge is zero — after a fault run this is the observable
+// "cancelled requests released their effects and the runtime quiesced".
+func awaitIdle(vc *Client) (*StatsBody, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := vc.Stats()
+		if err != nil {
+			return nil, err
+		}
+		if st.Inflight == 0 && st.Sessions == 1 {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, nil // reported as a violation by the caller
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// crossCheck compares server counters with the client-side tallies. In
+// a fault-free run the match is exact; with kills, responses can be lost
+// after the server counted them, so only inequalities hold.
+func crossCheck(rep *LoadReport, st *StatsBody, cfg LoadConfig, results []*workerResult) {
+	var dataSent, served, shed, busy, cancelled int64
+	for _, r := range results {
+		dataSent += r.dataSent
+		served += r.served
+		shed += r.shed
+		busy += r.busy
+		cancelled += r.cancelled
+	}
+	if !cfg.Faults {
+		type pair struct {
+			name       string
+			srv, local int64
+		}
+		for _, p := range []pair{
+			{"requests", st.Requests, dataSent},
+			{"served", st.Served, served},
+			{"shed", st.Shed, shed},
+			{"busy", st.Busy, busy},
+			{"cancelled", st.Cancelled, cancelled},
+			{"rejected", st.Rejected, 0},
+			{"errors", st.Errors, 0},
+		} {
+			if p.srv != p.local {
+				rep.violate("server %s = %d, clients saw %d", p.name, p.srv, p.local)
+			}
+		}
+	} else {
+		if st.Served < served {
+			rep.violate("server served %d < client-observed %d", st.Served, served)
+		}
+		if st.Requests > dataSent {
+			rep.violate("server requests %d > data ops sent %d", st.Requests, dataSent)
+		}
+	}
+}
+
+// sweep reads every key (and accumulator) through the validation
+// connection and checks the final state against the per-key allowed set
+// derived from the response logs.
+func sweep(vc *Client, rep *LoadReport, cfg LoadConfig, results []*workerResult) error {
+	shared := partitionFor(vc.Keys, cfg.Conns, 0).shared
+	retry := func(do func() (*Response, error)) (*Response, error) {
+		for attempt := 0; attempt < 50; attempt++ {
+			resp, err := do()
+			if err != nil {
+				return nil, err
+			}
+			if resp.Status == StatusOK {
+				return resp, nil
+			}
+			if resp.Status != StatusShed && resp.Status != StatusBusy {
+				return resp, nil // hard failure, caller flags it
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return nil, fmt.Errorf("sweep op still shed/busy after 50 attempts")
+	}
+
+	for key := 0; key < vc.Keys; key++ {
+		key := key
+		resp, err := retry(func() (*Response, error) { return vc.Get(key) })
+		if err != nil {
+			return err
+		}
+		if resp.Status != StatusOK {
+			rep.violate("sweep get key %d: status %s: %s", key, resp.Status, resp.Err)
+			continue
+		}
+		rep.Checks++
+		got := resp.Val
+		allowed, exact := allowedFinals(key, vc.Keys, shared, cfg, results)
+		if exact >= 0 {
+			if got != exact {
+				rep.violate("final key %d = %d, want exactly %d", key, got, exact)
+			}
+		} else if !allowed[got] {
+			rep.violate("final key %d = %d, not in allowed set %v", key, got, keysOf(allowed))
+		}
+	}
+
+	// Accumulators: add(key, 0) returns the current total. Adds are
+	// commutative, so served deltas sum exactly; unresolved deltas from
+	// killed connections widen the total into a range.
+	var totals int64
+	perKey := make(map[int]int64)
+	for key := 0; key < vc.Keys; key++ {
+		resp, err := retry(func() (*Response, error) { return vc.Add(key, 0) })
+		if err != nil {
+			return err
+		}
+		if resp.Status != StatusOK {
+			rep.violate("sweep add key %d: status %s: %s", key, resp.Status, resp.Err)
+			continue
+		}
+		totals += resp.Val
+		perKey[key] = resp.Val
+	}
+	var servedAdds, attemptedAdds int64
+	servedByKey := make(map[int]int64)
+	for _, r := range results {
+		for k, v := range r.addsServed {
+			servedAdds += v
+			servedByKey[k] += v
+		}
+		attemptedAdds += r.addsAttempted
+	}
+	rep.Checks++
+	if cfg.Faults {
+		if totals < servedAdds || totals > servedAdds+attemptedAdds {
+			rep.violate("accumulator total %d outside [%d,%d]", totals, servedAdds, servedAdds+attemptedAdds)
+		}
+	} else {
+		for key, want := range servedByKey {
+			rep.Checks++
+			if perKey[key] != want {
+				rep.violate("accumulator key %d = %d, want %d", key, perKey[key], want)
+			}
+		}
+		if totals != servedAdds {
+			rep.violate("accumulator total %d, want %d", totals, servedAdds)
+		}
+	}
+	return nil
+}
+
+// allowedFinals returns the oracle for one key's final value: an exact
+// value (exact >= 0) when a single live connection owns the key, or the
+// set of values any serialization could have left behind.
+func allowedFinals(key, keys, shared int, cfg LoadConfig, results []*workerResult) (allowed map[int64]bool, exact int64) {
+	if key >= shared {
+		// Owned key: exactly one connection's partition contains it.
+		for conn, r := range results {
+			p := partitionFor(keys, cfg.Conns, conn)
+			if !p.owned(key) {
+				continue
+			}
+			if !r.killed {
+				return nil, r.model[key] // zero when never put — still exact
+			}
+			set := map[int64]bool{r.model[key]: true}
+			for _, v := range r.attempted[key] {
+				set[v] = true
+			}
+			return set, -1
+		}
+		return nil, 0 // rounding leftovers: never written by anyone
+	}
+	// Shared key: any served write (from any connection) or any
+	// unresolved write from a killed connection can be last; zero only
+	// if no write is known to have been served.
+	set := make(map[int64]bool)
+	anyServed := false
+	for _, r := range results {
+		for _, v := range r.sharedOK[key] {
+			set[v] = true
+			anyServed = true
+		}
+		if r.killed {
+			for _, v := range r.attempted[key] {
+				set[v] = true
+			}
+		}
+	}
+	if !anyServed {
+		set[0] = true
+	}
+	return set, -1
+}
+
+func keysOf(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WriteBench writes the BENCH_serve.json perf snapshot (schema_version 1,
+// documented in EXPERIMENTS.md).
+func (rep *LoadReport) WriteBench(path string, cfg LoadConfig) error {
+	doc := struct {
+		SchemaVersion int    `json:"schema_version"`
+		Workload      string `json:"workload"`
+		GeneratedBy   string `json:"generated_by"`
+		Config        struct {
+			Sched     string  `json:"scheduler"`
+			Conns     int     `json:"conns"`
+			Requests  int     `json:"requests_per_conn"`
+			Pipeline  int     `json:"pipeline"`
+			Mode      string  `json:"mode"`
+			Seed      int64   `json:"seed"`
+			Conflict  float64 `json:"conflict"`
+			ScanEvery int     `json:"scan_every"`
+			Faults    bool    `json:"faults"`
+		} `json:"config"`
+		Results struct {
+			Sent          int64   `json:"sent"`
+			Served        int64   `json:"served"`
+			Shed          int64   `json:"shed"`
+			Busy          int64   `json:"busy"`
+			Cancelled     int64   `json:"cancelled"`
+			ElapsedNS     int64   `json:"elapsed_ns"`
+			ThroughputRPS float64 `json:"throughput_rps"`
+			P50NS         int64   `json:"p50_ns"`
+			P90NS         int64   `json:"p90_ns"`
+			P99NS         int64   `json:"p99_ns"`
+			MaxNS         int64   `json:"max_ns"`
+			MeanNS        float64 `json:"mean_ns"`
+			ShedRate      float64 `json:"shed_rate"`
+			Checks        int64   `json:"oracle_checks"`
+			Violations    int     `json:"violations"`
+		} `json:"results"`
+	}{SchemaVersion: 1, Workload: "serve", GeneratedBy: "twe-load"}
+	doc.Config.Sched = rep.Sched
+	doc.Config.Conns = cfg.Conns
+	doc.Config.Requests = cfg.Requests
+	doc.Config.Pipeline = cfg.Pipeline
+	doc.Config.Mode = cfg.Mode
+	doc.Config.Seed = cfg.Seed
+	doc.Config.Conflict = cfg.Conflict
+	doc.Config.ScanEvery = cfg.ScanEvery
+	doc.Config.Faults = cfg.Faults
+	doc.Results.Sent = rep.Sent
+	doc.Results.Served = rep.Served
+	doc.Results.Shed = rep.Shed
+	doc.Results.Busy = rep.Busy
+	doc.Results.Cancelled = rep.Cancelled
+	doc.Results.ElapsedNS = rep.ElapsedNS
+	doc.Results.ThroughputRPS = rep.ThroughputRPS
+	doc.Results.P50NS = rep.P50NS
+	doc.Results.P90NS = rep.P90NS
+	doc.Results.P99NS = rep.P99NS
+	doc.Results.MaxNS = rep.MaxNS
+	doc.Results.MeanNS = rep.MeanNS
+	doc.Results.ShedRate = rep.ShedRate()
+	doc.Results.Checks = rep.Checks
+	doc.Results.Violations = len(rep.Violations)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

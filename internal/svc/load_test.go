@@ -1,0 +1,85 @@
+package svc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBuildPlanDeterministic(t *testing.T) {
+	cfg := LoadConfig{Conns: 8, Requests: 200, Seed: 42, Conflict: 0.3, ScanEvery: 9, AddFrac: 0.2}.withDefaults()
+	a := buildPlan(cfg, 3, 256)
+	b := buildPlan(cfg, 3, 256)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed+conn produced different plans")
+	}
+	other := buildPlan(cfg, 4, 256)
+	if reflect.DeepEqual(a, other) {
+		t.Fatal("different conns produced identical plans")
+	}
+	reseeded := buildPlan(LoadConfig{Conns: 8, Requests: 200, Seed: 43, Conflict: 0.3, ScanEvery: 9, AddFrac: 0.2}.withDefaults(), 3, 256)
+	if reflect.DeepEqual(a, reseeded) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestBuildPlanShape(t *testing.T) {
+	cfg := LoadConfig{Conns: 4, Requests: 100, Seed: 7, Conflict: 0.25, ScanEvery: 10, Faults: true}.withDefaults()
+	for conn := 0; conn < cfg.Conns; conn++ {
+		p := partitionFor(256, cfg.Conns, conn)
+		plan := buildPlan(cfg, conn, 256)
+		scans, cancels := 0, 0
+		for i, op := range plan {
+			switch op.op {
+			case OpScan:
+				scans++
+			case OpCancel:
+				cancels++
+				if op.target < 0 || op.target >= i || plan[op.target].op != OpPut {
+					t.Fatalf("conn %d: cancel at %d targets %d (not an earlier put)", conn, i, op.target)
+				}
+			case OpPut, OpGet, OpAdd:
+				if op.key < p.shared && op.key < 0 {
+					t.Fatalf("conn %d: negative key %d", conn, op.key)
+				}
+				if op.key >= p.shared && !p.owned(op.key) {
+					t.Fatalf("conn %d: key %d outside shared range and own partition", conn, op.key)
+				}
+			default:
+				t.Fatalf("conn %d: unexpected op %q", conn, op.op)
+			}
+		}
+		if scans != cfg.Requests/cfg.ScanEvery {
+			t.Fatalf("conn %d: %d scans, want %d", conn, scans, cfg.Requests/cfg.ScanEvery)
+		}
+		if conn%3 == 1 && cancels == 0 {
+			t.Fatalf("conn %d: fault mode produced no cancels", conn)
+		}
+		if conn%3 != 1 && cancels != 0 {
+			t.Fatalf("conn %d: unexpected cancels", conn)
+		}
+	}
+}
+
+// TestPartitionDisjoint: every connection's owned range is disjoint from
+// the shared range and from every other connection's range — that
+// disjointness is what lets the sweep oracle pin owned keys exactly.
+func TestPartitionDisjoint(t *testing.T) {
+	for _, tc := range []struct{ keys, conns int }{{256, 8}, {128, 9}, {64, 1}, {16, 32}} {
+		owner := make(map[int]int)
+		for conn := 0; conn < tc.conns; conn++ {
+			p := partitionFor(tc.keys, tc.conns, conn)
+			if p.shared < 1 {
+				t.Fatalf("keys=%d conns=%d: shared = %d", tc.keys, tc.conns, p.shared)
+			}
+			for k := p.ownBase; k < p.ownBase+p.ownSize; k++ {
+				if k < p.shared || k >= tc.keys {
+					t.Fatalf("keys=%d conns=%d conn=%d: owned key %d out of range", tc.keys, tc.conns, conn, k)
+				}
+				if prev, dup := owner[k]; dup {
+					t.Fatalf("keys=%d conns=%d: key %d owned by conns %d and %d", tc.keys, tc.conns, k, prev, conn)
+				}
+				owner[k] = conn
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package svc
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Latency histogram geometry: same bucket bounds as the runtime's
+// admission-latency histogram (internal/obs) so the two layers line up
+// on a dashboard.
+var (
+	latBounds = [...]int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+	latLabels = [...]string{"1e-06", "1e-05", "0.0001", "0.001", "0.01", "0.1", "1"}
+)
+
+const numLatBuckets = len(latBounds) + 1
+
+// latHist is a fixed-bucket latency histogram (nanosecond observations,
+// Prometheus seconds on export). All fields are atomics.
+type latHist struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [numLatBuckets]atomic.Int64
+}
+
+// Observe records one latency in nanoseconds.
+func (h *latHist) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	idx := len(latBounds) // +Inf
+	for i, b := range latBounds {
+		if ns <= b {
+			idx = i
+			break
+		}
+	}
+	h.buckets[idx].Add(1)
+}
+
+func (h *latHist) writeTo(w io.Writer, name, help string) (int64, error) {
+	var total int64
+	p := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	if err := p("# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return total, err
+	}
+	var cum int64
+	for i, lbl := range latLabels {
+		cum += h.buckets[i].Load()
+		if err := p("%s_bucket{le=%q} %d\n", name, lbl, cum); err != nil {
+			return total, err
+		}
+	}
+	cum += h.buckets[len(latBounds)].Load()
+	if err := p("%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return total, err
+	}
+	if err := p("%s_sum %g\n", name, float64(h.sumNS.Load())/1e9); err != nil {
+		return total, err
+	}
+	if err := p("%s_count %d\n", name, h.count.Load()); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// Metrics is the service-layer counter set, exported in the Prometheus
+// text format under twe_serve_* (the runtime's own twe_* families come
+// from internal/obs; Server.WriteMetrics emits both).
+type Metrics struct {
+	ConnsAccepted atomic.Int64
+	ConnsClosed   atomic.Int64
+	Disconnects   atomic.Int64 // reader errors with requests still in flight
+
+	Requests   atomic.Int64 // data ops received
+	Served     atomic.Int64
+	Shed       atomic.Int64
+	Busy       atomic.Int64
+	Cancelled  atomic.Int64
+	Rejected   atomic.Int64
+	Errors     atomic.Int64
+	ControlOps atomic.Int64
+
+	inflight     atomic.Int64
+	inflightPeak atomic.Int64
+
+	ReqLat latHist // admission → response resolved (queue + service)
+	RunLat latHist // task body service time (served ops only)
+}
+
+// IncInflight bumps the in-flight gauge and returns the new value; the
+// caller compares it against the admission bound.
+func (m *Metrics) IncInflight() int64 {
+	n := m.inflight.Add(1)
+	for {
+		p := m.inflightPeak.Load()
+		if n <= p || m.inflightPeak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	return n
+}
+
+// DecInflight releases one in-flight slot.
+func (m *Metrics) DecInflight() { m.inflight.Add(-1) }
+
+// Inflight reads the gauge.
+func (m *Metrics) Inflight() int64 { return m.inflight.Load() }
+
+// InflightPeak reads the gauge's high-water mark.
+func (m *Metrics) InflightPeak() int64 { return m.inflightPeak.Load() }
+
+// WriteTo renders the service metrics in the Prometheus text exposition
+// format. It implements io.WriterTo.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	p := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	counter := func(name, help string, v int64) error {
+		return p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) error {
+		return p("# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	steps := []struct {
+		fn   func(name, help string, v int64) error
+		name string
+		help string
+		v    int64
+	}{
+		{counter, "twe_serve_conns_accepted_total", "Client connections accepted.", m.ConnsAccepted.Load()},
+		{counter, "twe_serve_conns_closed_total", "Client connections fully drained and closed.", m.ConnsClosed.Load()},
+		{counter, "twe_serve_disconnects_total", "Connections lost with requests still in flight.", m.Disconnects.Load()},
+		{counter, "twe_serve_requests_total", "Data operations received (put/get/scan/add).", m.Requests.Load()},
+		{counter, "twe_serve_served_total", "Data operations served successfully.", m.Served.Load()},
+		{counter, "twe_serve_shed_total", "Data operations shed by deadline before service.", m.Shed.Load()},
+		{counter, "twe_serve_busy_total", "Data operations refused at admission (in-flight bound).", m.Busy.Load()},
+		{counter, "twe_serve_cancelled_total", "Data operations cancelled before any access.", m.Cancelled.Load()},
+		{counter, "twe_serve_rejected_total", "Malformed or insufficiently-declared requests.", m.Rejected.Load()},
+		{counter, "twe_serve_errors_total", "Data operations whose body failed.", m.Errors.Load()},
+		{counter, "twe_serve_control_ops_total", "Cancel and stats frames handled inline.", m.ControlOps.Load()},
+		{gauge, "twe_serve_inflight", "Admitted data ops not yet resolved.", m.inflight.Load()},
+		{gauge, "twe_serve_inflight_peak", "Peak of twe_serve_inflight.", m.inflightPeak.Load()},
+	}
+	for _, s := range steps {
+		if err := s.fn(s.name, s.help, s.v); err != nil {
+			return total, err
+		}
+	}
+	n, err := m.ReqLat.writeTo(w, "twe_serve_request_latency_seconds", "Admission to response-resolved latency (queue + service).")
+	total += n
+	if err != nil {
+		return total, err
+	}
+	n, err = m.RunLat.writeTo(w, "twe_serve_run_latency_seconds", "Task body service time for served ops.")
+	total += n
+	return total, err
+}

@@ -1,0 +1,380 @@
+package svc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"twe/internal/core"
+	"twe/internal/dyneff"
+	"twe/internal/effect"
+	"twe/internal/rpl"
+)
+
+// respQueueCap bounds the reader→writer response queue. When a client
+// pipelines faster than responses resolve, the reader eventually blocks
+// on the queue and TCP backpressure does the rest; the writer always
+// drains independently, so this cannot deadlock.
+const respQueueCap = 256
+
+// pending is one response owed to the client, either an already-decided
+// immediate response (hello, busy, rejected, cancel/stats acks) or an
+// admitted task's future to resolve. The writer consumes pendings in
+// admission order, which is what gives pipelined clients in-order
+// responses.
+type pending struct {
+	id     uint64
+	fut    *core.Future
+	resp   *Response
+	arrive time.Time
+}
+
+// session is one client connection: a reader goroutine that decodes,
+// validates, and admits requests, and a writer goroutine that resolves
+// futures in order and encodes responses. Each connection is a TWE
+// "session": every data op it submits carries a writes Session:[sid]
+// effect, so one connection's ops execute in program order (the
+// schedulers admit conflicting tasks in submission order) while ops from
+// different connections interleave wherever their effects permit —
+// task isolation extends across the network boundary.
+type session struct {
+	id   int
+	srv  *Server
+	conn net.Conn
+	q    chan pending
+
+	mu   sync.Mutex
+	pend map[uint64]*core.Future // in-flight, by request id (cancel target lookup)
+
+	// ops counts store-visible served ops. It is written only inside
+	// this session's task bodies — serialized by the Session:[sid]
+	// effect, never concurrently — and read at drain, after the runtime
+	// has shut down.
+	ops int64
+}
+
+func newSession(srv *Server, id int, conn net.Conn) *session {
+	return &session{id: id, srv: srv, conn: conn, q: make(chan pending, respQueueCap),
+		pend: make(map[uint64]*core.Future)}
+}
+
+func (s *session) start() {
+	geo := &StatsBody{Sched: s.srv.schedName, Shards: s.srv.cfg.Shards, Keys: s.srv.cfg.Keys}
+	s.q <- pending{resp: &Response{Status: StatusHello, Val: int64(s.id), Stats: geo}}
+	go s.writer()
+	go s.reader()
+}
+
+func (s *session) reader() {
+	defer close(s.q)
+	br := bufio.NewReaderSize(s.conn, 32<<10)
+	for {
+		var req Request
+		if err := ReadFrame(br, &req); err != nil {
+			var ne net.Error
+			if s.srv.draining.Load() && errors.As(err, &ne) && ne.Timeout() {
+				// Graceful drain: the server poked our read deadline.
+				// Everything already admitted resolves and flushes;
+				// in-flight futures are left to finish, not cancelled.
+				return
+			}
+			// Disconnect (or protocol error): release every effect the
+			// client still holds by cancelling its in-flight futures —
+			// tasks that have not started never will, running bodies see
+			// the cancel at their next check. The writer drains them all.
+			if n := s.abort(); n > 0 {
+				s.srv.m.Disconnects.Add(1)
+			}
+			return
+		}
+		s.handle(&req)
+	}
+}
+
+func (s *session) handle(req *Request) {
+	switch req.Op {
+	case OpCancel:
+		s.srv.m.ControlOps.Add(1)
+		s.mu.Lock()
+		fut := s.pend[req.Target]
+		s.mu.Unlock()
+		var landed int64
+		if fut != nil && fut.Cancel(core.ErrCancelled) {
+			landed = 1 // cancelled before it started; effects released unused
+		}
+		s.q <- pending{resp: &Response{ID: req.ID, Status: StatusOK, Val: landed}}
+	case OpStats:
+		s.srv.m.ControlOps.Add(1)
+		st := s.srv.Stats()
+		s.q <- pending{resp: &Response{ID: req.ID, Status: StatusOK, Stats: &st}}
+	default:
+		s.handleData(req)
+	}
+}
+
+// handleData is the admission state machine (DESIGN.md §11): parse the
+// declared effect (memoized) → check it covers the op's required effect
+// → take an in-flight slot or refuse with busy → submit to the runtime
+// under the declared effect, with the configured deadline. No server
+// lock is held across any of it.
+func (s *session) handleData(req *Request) {
+	m := &s.srv.m
+	m.Requests.Add(1)
+	reject := func(format string, args ...any) {
+		m.Rejected.Add(1)
+		s.q <- pending{resp: &Response{ID: req.ID, Status: StatusRejected, Err: fmt.Sprintf(format, args...)}}
+	}
+	declared, err := s.srv.cache.Lookup(req.Eff)
+	if err != nil {
+		reject("bad effect: %v", err)
+		return
+	}
+	task, required, err := s.buildTask(req)
+	if err != nil {
+		reject("%v", err)
+		return
+	}
+	if !declared.Covers(required) {
+		reject("declared effect %q does not cover required %q", declared, required)
+		return
+	}
+	// The wire effect is the admission key: the task runs under what the
+	// client declared, exactly as §2.1 tasks run under their summaries.
+	task.Eff = declared
+	if cur := m.IncInflight(); s.srv.cfg.MaxInflight > 0 && cur > int64(s.srv.cfg.MaxInflight) {
+		m.DecInflight()
+		m.Busy.Add(1)
+		s.q <- pending{resp: &Response{ID: req.ID, Status: StatusBusy}}
+		return
+	}
+	var fut *core.Future
+	if d := s.srv.cfg.Deadline; d > 0 {
+		fut = s.srv.rt.ExecuteLaterDeadline(task, nil, d)
+	} else {
+		fut = s.srv.rt.ExecuteLater(task, nil)
+	}
+	s.mu.Lock()
+	s.pend[req.ID] = fut
+	s.mu.Unlock()
+	s.q <- pending{id: req.ID, fut: fut, arrive: time.Now()}
+}
+
+// buildTask returns the op's task body and its required (minimal)
+// effect. Bodies touch shard state with no synchronization — the
+// scheduler's isolation guarantee is load-bearing here, and the
+// isolcheck oracle audits it in CI.
+func (s *session) buildTask(req *Request) (*core.Task, effect.Set, error) {
+	st := s.srv.st
+	hold := s.srv.cfg.Hold
+	m := &s.srv.m
+	checkKey := func() error {
+		if req.Key < 0 || req.Key >= s.srv.cfg.Keys {
+			return fmt.Errorf("key %d out of range [0,%d)", req.Key, s.srv.cfg.Keys)
+		}
+		return nil
+	}
+	switch req.Op {
+	case OpPut:
+		if err := checkKey(); err != nil {
+			return nil, effect.Set{}, err
+		}
+		shard, slot := st.slot(req.Key)
+		key, val := req.Key, req.Val
+		return &core.Task{
+			Name: fmt.Sprintf("put[s%d]", shard),
+			Body: func(ctx *core.Ctx, _ any) (any, error) {
+				if hold != nil {
+					hold(OpPut, key)
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err // shed or cancelled before any access
+				}
+				t0 := time.Now()
+				st.shards[shard][slot] = val
+				s.ops++
+				m.RunLat.Observe(time.Since(t0).Nanoseconds())
+				return int64(0), nil
+			},
+		}, putEffectSet(shard, s.id), nil
+
+	case OpGet:
+		if err := checkKey(); err != nil {
+			return nil, effect.Set{}, err
+		}
+		shard, slot := st.slot(req.Key)
+		key := req.Key
+		return &core.Task{
+			Name: fmt.Sprintf("get[s%d]", shard),
+			Body: func(ctx *core.Ctx, _ any) (any, error) {
+				if hold != nil {
+					hold(OpGet, key)
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				t0 := time.Now()
+				v := st.shards[shard][slot]
+				s.ops++
+				m.RunLat.Observe(time.Since(t0).Nanoseconds())
+				return v, nil
+			},
+		}, getEffectSet(shard, s.id), nil
+
+	case OpAdd:
+		if err := checkKey(); err != nil {
+			return nil, effect.Set{}, err
+		}
+		key, delta := req.Key, req.Val
+		ref := st.accum[key]
+		return &core.Task{
+			Name: "add",
+			Body: func(ctx *core.Ctx, _ any) (any, error) {
+				if hold != nil {
+					hold(OpAdd, key)
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				t0 := time.Now()
+				var total int64
+				if _, err := st.reg.Run(func(tx *dyneff.Tx) error {
+					if err := ctx.Err(); err != nil {
+						return err // abort rolls the section back
+					}
+					cur, _ := tx.Get(ref).(int64)
+					total = cur + delta
+					tx.Set(ref, total)
+					return nil
+				}); err != nil {
+					return nil, err
+				}
+				s.ops++
+				m.RunLat.Observe(time.Since(t0).Nanoseconds())
+				return total, nil
+			},
+		}, addEffectSet(s.id), nil
+
+	case OpScan:
+		return &core.Task{
+			Name: "scan",
+			Body: func(ctx *core.Ctx, _ any) (any, error) {
+				if hold != nil {
+					hold(OpScan, -1)
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				t0 := time.Now()
+				partial := make([]int64, len(st.shards))
+				sfs := make([]*core.SpawnedFuture, 0, len(st.shards))
+				for k := range st.shards {
+					k := k
+					sf, err := ctx.Spawn(&core.Task{
+						Name: fmt.Sprintf("scanShard[%d]", k),
+						Eff: effect.NewSet(
+							effect.Read(shardRegion(k)),
+							effect.WriteEff(rpl.New(rpl.N("Session"), rpl.Idx(s.id), rpl.Idx(k)))),
+						Body: func(_ *core.Ctx, _ any) (any, error) {
+							var sum int64
+							for _, v := range st.shards[k] {
+								sum += v
+							}
+							partial[k] = sum
+							return nil, nil
+						},
+					}, nil)
+					if err != nil {
+						return nil, err
+					}
+					sfs = append(sfs, sf)
+				}
+				for _, sf := range sfs {
+					if _, err := ctx.Join(sf); err != nil {
+						return nil, err
+					}
+				}
+				var total int64
+				for _, p := range partial {
+					total += p
+				}
+				s.ops++
+				m.RunLat.Observe(time.Since(t0).Nanoseconds())
+				return total, nil
+			},
+		}, scanEffectSet(s.id), nil
+
+	default:
+		return nil, effect.Set{}, fmt.Errorf("unknown op %q", req.Op)
+	}
+}
+
+func (s *session) writer() {
+	defer s.srv.sessionDone(s)
+	defer s.conn.Close()
+	bw := bufio.NewWriterSize(s.conn, 32<<10)
+	alive := true
+	for p := range s.q {
+		resp := p.resp
+		if p.fut != nil {
+			v, err := s.srv.rt.GetValue(p.fut)
+			resp = s.classify(p.id, v, err)
+			s.srv.m.DecInflight()
+			s.mu.Lock()
+			delete(s.pend, p.id)
+			s.mu.Unlock()
+			s.srv.m.ReqLat.Observe(time.Since(p.arrive).Nanoseconds())
+		}
+		if alive {
+			// After a write error (client gone) keep draining futures —
+			// their accounting and effect release must still happen.
+			if err := WriteFrame(bw, resp); err != nil {
+				alive = false
+			} else if len(s.q) == 0 && bw.Flush() != nil {
+				alive = false
+			}
+		}
+	}
+	if alive {
+		bw.Flush()
+	}
+}
+
+func (s *session) classify(id uint64, v any, err error) *Response {
+	m := &s.srv.m
+	switch {
+	case err == nil:
+		m.Served.Add(1)
+		resp := &Response{ID: id, Status: StatusOK}
+		if val, ok := v.(int64); ok {
+			resp.Val = val
+		}
+		return resp
+	case errors.Is(err, core.ErrDeadlineExceeded):
+		m.Shed.Add(1)
+		return &Response{ID: id, Status: StatusShed, Err: err.Error()}
+	case errors.Is(err, core.ErrCancelled):
+		m.Cancelled.Add(1)
+		return &Response{ID: id, Status: StatusCancelled}
+	default:
+		m.Errors.Add(1)
+		return &Response{ID: id, Status: StatusError, Err: err.Error()}
+	}
+}
+
+// abort cancels every in-flight future after a disconnect and returns
+// how many were still pending.
+func (s *session) abort() int {
+	s.mu.Lock()
+	futs := make([]*core.Future, 0, len(s.pend))
+	for _, f := range s.pend {
+		futs = append(futs, f)
+	}
+	s.mu.Unlock()
+	for _, f := range futs {
+		f.Cancel(core.ErrCancelled)
+	}
+	return len(futs)
+}

@@ -1,0 +1,291 @@
+package svc
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twe/internal/core"
+	"twe/internal/isolcheck"
+	"twe/internal/naive"
+	"twe/internal/obs"
+	"twe/internal/tree"
+)
+
+// Config sizes and shapes a Server.
+type Config struct {
+	Addr   string // listen address; empty means 127.0.0.1:0 (ephemeral)
+	Sched  string // "tree" (default) or "naive"
+	Par    int    // pool parallelism (default 4)
+	Shards int    // default 8
+	Keys   int    // default 256
+
+	// MaxInflight bounds admitted-but-unresolved data ops server-wide;
+	// excess requests are refused with StatusBusy (backpressure). 0 means
+	// unbounded.
+	MaxInflight int
+	// Deadline, when positive, is attached to every admitted data op:
+	// requests that cannot start in time are shed with StatusShed
+	// instead of served late (DESIGN.md §10 load shedding).
+	Deadline time.Duration
+
+	Isolcheck   bool // attach the isolation-oracle monitor
+	EffCacheMax int  // effect-cache bound (default 4096)
+
+	// MkSched overrides Sched with an explicit scheduler constructor
+	// (used by the workloads registry to plug in the harness scheduler).
+	MkSched func() core.Scheduler
+	// Opts are forwarded to core.NewRuntime (e.g. core.WithTracer).
+	Opts []core.Option
+
+	// Hold, when set, is called at the start of every data-op task body
+	// before its cancellation check — a test seam that lets unit tests
+	// gate body execution deterministically.
+	Hold func(op string, key int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Sched == "" {
+		c.Sched = "tree"
+	}
+	if c.Par <= 0 {
+		c.Par = 4
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Keys <= 0 {
+		c.Keys = 256
+	}
+	return c
+}
+
+// Server is the twe-serve daemon: accept loop, per-connection sessions,
+// and the TWE runtime they all submit into. The request path takes no
+// locks around state accesses — the effect scheduler is the
+// serialization layer; the only mutexes guard connection bookkeeping.
+type Server struct {
+	cfg       Config
+	schedName string
+
+	ln  net.Listener
+	rt  *core.Runtime
+	tr  *obs.Tracer
+	chk *isolcheck.Checker
+	st  *store
+
+	m     Metrics
+	cache *EffectCache
+
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	live    map[*session]struct{}
+	all     []*session // every session ever accepted; ops summed at drain
+	nextSID int
+
+	sessWg   sync.WaitGroup // live sessions
+	acceptWg sync.WaitGroup
+}
+
+// Start builds the runtime and store, binds the listener, and begins
+// accepting connections.
+func Start(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, live: make(map[*session]struct{})}
+
+	mk := cfg.MkSched
+	s.schedName = cfg.Sched
+	if mk == nil {
+		switch cfg.Sched {
+		case "tree":
+			mk = func() core.Scheduler { return tree.New() }
+		case "naive":
+			mk = func() core.Scheduler { return naive.New() }
+		default:
+			return nil, fmt.Errorf("svc: unknown scheduler %q (want tree or naive)", cfg.Sched)
+		}
+	} else if cfg.Sched == "" {
+		s.schedName = "custom"
+	}
+
+	opts := []core.Option{core.WithTracer(obs.New())}
+	if cfg.Isolcheck {
+		s.chk = isolcheck.New()
+		opts = append(opts, core.WithMonitor(s.chk))
+	}
+	opts = append(opts, cfg.Opts...) // caller options win (e.g. a shared tracer)
+
+	s.rt = core.NewRuntime(mk(), cfg.Par, opts...)
+	s.tr = s.rt.Tracer()
+	if s.chk != nil {
+		s.chk.SetTracer(s.tr)
+	}
+	s.st = newStore(cfg.Shards, cfg.Keys)
+	s.st.reg.SetTracer(s.tr)
+	s.cache = NewEffectCache(cfg.EffCacheMax)
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		s.rt.Shutdown()
+		return nil, err
+	}
+	s.ln = ln
+	s.acceptWg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Tracer returns the runtime's (effective) tracer.
+func (s *Server) Tracer() *obs.Tracer { return s.tr }
+
+// Metrics returns the service-layer metric set.
+func (s *Server) Metrics() *Metrics { return &s.m }
+
+// Violations returns the isolation oracle's findings (nil when the
+// checker is disabled — or when isolation held, which is the theorem).
+func (s *Server) Violations() []isolcheck.Violation {
+	if s.chk == nil {
+		return nil
+	}
+	return s.chk.Violations()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (drain)
+		}
+		if s.draining.Load() {
+			conn.Close()
+			continue
+		}
+		s.mu.Lock()
+		sess := newSession(s, s.nextSID, conn)
+		s.nextSID++
+		s.live[sess] = struct{}{}
+		s.all = append(s.all, sess)
+		s.sessWg.Add(1)
+		s.mu.Unlock()
+		s.m.ConnsAccepted.Add(1)
+		sess.start()
+	}
+}
+
+func (s *Server) sessionDone(sess *session) {
+	s.mu.Lock()
+	delete(s.live, sess)
+	s.mu.Unlock()
+	s.m.ConnsClosed.Add(1)
+	s.sessWg.Done()
+}
+
+// Stats snapshots the server counters for the stats op and the CLIs.
+func (s *Server) Stats() StatsBody {
+	s.mu.Lock()
+	sessions := int64(len(s.live))
+	s.mu.Unlock()
+	hits, misses := s.cache.Stats()
+	return StatsBody{
+		Sched:         s.schedName,
+		Shards:        s.cfg.Shards,
+		Keys:          s.cfg.Keys,
+		Sessions:      sessions,
+		ConnsAccepted: s.m.ConnsAccepted.Load(),
+		Disconnects:   s.m.Disconnects.Load(),
+		Requests:      s.m.Requests.Load(),
+		Served:        s.m.Served.Load(),
+		Shed:          s.m.Shed.Load(),
+		Busy:          s.m.Busy.Load(),
+		Cancelled:     s.m.Cancelled.Load(),
+		Rejected:      s.m.Rejected.Load(),
+		Errors:        s.m.Errors.Load(),
+		ControlOps:    s.m.ControlOps.Load(),
+		EffHits:       hits,
+		EffMisses:     misses,
+		Inflight:      s.m.Inflight(),
+		InflightPeak:  s.m.InflightPeak(),
+	}
+}
+
+// WriteMetrics emits the full Prometheus exposition: the runtime's twe_*
+// families followed by the service's twe_serve_* families.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	if _, err := s.tr.Metrics().WriteTo(w); err != nil {
+		return err
+	}
+	_, err := s.m.WriteTo(w)
+	return err
+}
+
+// Drain gracefully shuts the server down: stop accepting, unstick every
+// session's reader (already-buffered frames are still served), wait for
+// all in-flight work to resolve and responses to flush, shut the runtime
+// down, then audit the final state — quiesced runtime, zero in-flight,
+// clean isolation oracle, and exact served accounting (the sum of
+// store-visible ops across sessions must equal the Served counter:
+// every effect a shed/cancelled task held was released without a write).
+func (s *Server) Drain(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	s.draining.Store(true)
+	s.ln.Close()
+	s.acceptWg.Wait()
+
+	s.mu.Lock()
+	for sess := range s.live {
+		sess.conn.SetReadDeadline(time.Now()) // wake the reader
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.sessWg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		return fmt.Errorf("svc: drain timed out after %v (%d session(s) still live)", timeout, func() int {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return len(s.live)
+		}())
+	}
+	s.rt.Shutdown()
+
+	var probs []string
+	if !s.rt.Quiesced() {
+		probs = append(probs, "runtime not quiesced")
+	}
+	if n := s.m.Inflight(); n != 0 {
+		probs = append(probs, fmt.Sprintf("in-flight gauge leaked: %d", n))
+	}
+	if s.chk != nil {
+		if v := s.chk.Violations(); len(v) > 0 {
+			probs = append(probs, fmt.Sprintf("%d isolation violation(s), first: %v", len(v), v[0]))
+		}
+	}
+	var ops int64
+	s.mu.Lock()
+	for _, sess := range s.all {
+		ops += sess.ops
+	}
+	s.mu.Unlock()
+	if served := s.m.Served.Load(); ops != served {
+		probs = append(probs, fmt.Sprintf("served accounting mismatch: store ops %d != served %d", ops, served))
+	}
+	if len(probs) > 0 {
+		return fmt.Errorf("svc: dirty drain: %v", probs)
+	}
+	return nil
+}

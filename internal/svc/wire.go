@@ -1,0 +1,149 @@
+// Package svc puts the TWE runtime behind a real service boundary: a
+// TCP daemon (cmd/twe-serve) that accepts concurrent client connections,
+// parses each request's *declared effect* from the textual wire format
+// (round-tripping rpl/effect String forms), and submits it to the runtime
+// so the effect scheduler itself is the admission-control and
+// serialization layer across clients — no locks in the request path.
+//
+// The paper's §1.1 motivates exactly this shape: "Servers use concurrency
+// to respond to multiple client requests... A server may also combine
+// concurrency used to handle multiple client requests with parallelism
+// that may be needed to quickly process an individual request."
+// internal/apps/server models it in-process; svc adds what a network
+// boundary demands: per-connection sessions with pipelined requests and
+// in-order responses, server-side deadlines and load shedding (DESIGN.md
+// §10 fault layer), bounded in-flight admission with backpressure
+// signaled to clients, graceful drain, and obs wiring (DESIGN.md §7).
+//
+// Wire format: each frame is a 4-byte big-endian length followed by one
+// JSON document (Request from client, Response from server). The server
+// sends a hello Response when a connection is accepted, carrying the
+// server-assigned session id (Val) and the store geometry the client
+// needs to build effect strings. See DESIGN.md §11 for the grammar and
+// the admission state machine.
+package svc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a frame payload; larger length prefixes are treated as
+// protocol errors so a corrupt or hostile peer cannot make the server
+// allocate unboundedly.
+const MaxFrame = 1 << 20
+
+// Request ops.
+const (
+	OpPut    = "put"    // write Val to Key
+	OpGet    = "get"    // read Key
+	OpScan   = "scan"   // sum the whole store (parallel: one spawned child per shard)
+	OpAdd    = "add"    // fold Val into Key's accumulator (dynamic effects, commutative)
+	OpCancel = "cancel" // best-effort cancel of the in-flight request with id Target
+	OpStats  = "stats"  // server counters snapshot
+)
+
+// Response statuses.
+const (
+	StatusHello     = "hello"     // connection accepted; Val = session id, Stats = geometry
+	StatusOK        = "ok"        // served; Val is the result
+	StatusShed      = "shed"      // deadline expired before service (load shedding)
+	StatusBusy      = "busy"      // rejected at admission: in-flight bound hit (backpressure)
+	StatusCancelled = "cancelled" // cancelled before it performed any access
+	StatusRejected  = "rejected"  // malformed request, bad effect, or insufficient declared effect
+	StatusError     = "error"     // body failed (panic, dyneff retry budget, ...)
+)
+
+// Request is one client frame. Eff is the declared effect summary in the
+// effect.Set String form, e.g.
+//
+//	"reads Root:Shard:[3], writes Root:Session:[0]"
+//
+// The server parses it (memoized, see EffectCache), checks it covers the
+// accesses the op will perform, and submits the task under the *declared*
+// effect — the wire effect is the admission key, exactly as §2.1 tasks
+// declare summaries that the scheduler enforces.
+type Request struct {
+	ID     uint64 `json:"id"`
+	Op     string `json:"op"`
+	Key    int    `json:"key,omitempty"`
+	Val    int64  `json:"val,omitempty"`
+	Eff    string `json:"eff,omitempty"`
+	Target uint64 `json:"target,omitempty"` // cancel: id of the request to cancel
+}
+
+// Response is one server frame. Responses are written in request order
+// per connection (pipelining preserves FIFO).
+type Response struct {
+	ID     uint64     `json:"id"`
+	Status string     `json:"status"`
+	Val    int64      `json:"val,omitempty"`
+	Err    string     `json:"err,omitempty"`
+	Stats  *StatsBody `json:"stats,omitempty"`
+}
+
+// StatsBody is the stats-op payload and the hello geometry. All counters
+// are server-lifetime totals; the request accounting partitions every
+// admitted-or-refused data op exactly:
+//
+//	Requests == Served + Shed + Busy + Cancelled + Rejected + Errors
+type StatsBody struct {
+	Sched  string `json:"sched,omitempty"`
+	Shards int    `json:"shards,omitempty"`
+	Keys   int    `json:"keys,omitempty"`
+
+	Sessions      int64 `json:"sessions"`       // currently connected
+	ConnsAccepted int64 `json:"conns_accepted"` // lifetime
+	Disconnects   int64 `json:"disconnects"`    // reader errors with requests still in flight
+
+	Requests   int64 `json:"requests"` // data ops received (excl. cancel/stats)
+	Served     int64 `json:"served"`
+	Shed       int64 `json:"shed"`
+	Busy       int64 `json:"busy"`
+	Cancelled  int64 `json:"cancelled"`
+	Rejected   int64 `json:"rejected"`
+	Errors     int64 `json:"errors"`
+	ControlOps int64 `json:"control_ops"` // cancel + stats frames
+
+	EffHits      int64 `json:"eff_hits"` // effect-cache hits/misses
+	EffMisses    int64 `json:"eff_misses"`
+	Inflight     int64 `json:"inflight"` // admitted, response not yet resolved
+	InflightPeak int64 `json:"inflight_peak"`
+}
+
+// WriteFrame marshals v and writes one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("svc: frame too large (%d > %d)", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame and unmarshals it into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("svc: frame too large (%d > %d)", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	return json.Unmarshal(payload, v)
+}

@@ -1,0 +1,72 @@
+package svc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	reqs := []Request{
+		{ID: 1, Op: OpPut, Key: 17, Val: 42, Eff: "writes Root:Shard:[1], writes Root:Session:[0]"},
+		{ID: 2, Op: OpGet, Key: 3, Eff: "reads Root:Shard:[3], writes Root:Session:[0]"},
+		{ID: 3, Op: OpCancel, Target: 1},
+		{ID: 4, Op: OpStats},
+	}
+	for i := range reqs {
+		if err := WriteFrame(&buf, &reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range reqs {
+		var got Request
+		if err := ReadFrame(&buf, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != reqs[i] {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, reqs[i])
+		}
+	}
+}
+
+func TestFrameResponseWithStats(t *testing.T) {
+	var buf bytes.Buffer
+	in := Response{ID: 9, Status: StatusOK, Stats: &StatsBody{Sched: "tree", Shards: 8, Keys: 256, Served: 12, Inflight: 3}}
+	if err := WriteFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out Response
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 9 || out.Status != StatusOK || out.Stats == nil || *out.Stats != *in.Stats {
+		t.Fatalf("got %+v (stats %+v)", out, out.Stats)
+	}
+}
+
+func TestFrameOversizeRejected(t *testing.T) {
+	if err := WriteFrame(io.Discard, strings.Repeat("x", MaxFrame+10)); err == nil {
+		t.Fatal("oversize WriteFrame succeeded")
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	var req Request
+	if err := ReadFrame(bytes.NewReader(hdr[:]), &req); err == nil {
+		t.Fatal("oversize ReadFrame succeeded")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Request{ID: 1, Op: OpGet}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	var req Request
+	if err := ReadFrame(bytes.NewReader(trunc), &req); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}

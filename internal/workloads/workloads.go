@@ -9,6 +9,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"twe/internal/apps/barneshut"
 	"twe/internal/apps/fourwins"
@@ -21,6 +22,7 @@ import (
 	"twe/internal/apps/tsp"
 	"twe/internal/core"
 	"twe/internal/faultinject"
+	"twe/internal/svc"
 )
 
 // RunFunc executes one workload to completion. mkSched builds a fresh
@@ -109,6 +111,31 @@ var registry = map[string]Workload{
 			cfg := server.Config{Shards: 8, Keys: 128, Sessions: 8, Requests: 800, ScanEvery: 50, Seed: 31}
 			_, err := server.RunTWE(cfg, server.GenerateLog(cfg), mk, par, 4*par, opts...)
 			return err
+		},
+	},
+	"serve": {
+		Name: "serve",
+		Desc: "twe-serve service layer driven by the closed-loop generator over loopback (DESIGN.md §11)",
+		Run: func(mk func() core.Scheduler, par int, opts ...core.Option) error {
+			s, err := svc.Start(svc.Config{
+				MkSched: mk, Par: par, Shards: 8, Keys: 128, Opts: opts,
+			})
+			if err != nil {
+				return err
+			}
+			rep, err := svc.RunLoad(svc.LoadConfig{
+				Addr: s.Addr(), Conns: 8, Requests: 40, Pipeline: 4,
+				Seed: 21, Conflict: 0.25, ScanEvery: 10,
+			})
+			if err != nil {
+				s.Drain(10 * time.Second)
+				return err
+			}
+			if n := len(rep.Violations); n > 0 {
+				s.Drain(10 * time.Second)
+				return fmt.Errorf("serve: %d oracle violation(s), first: %s", n, rep.Violations[0])
+			}
+			return s.Drain(10 * time.Second)
 		},
 	},
 	"faults": {

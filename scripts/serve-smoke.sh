@@ -1,0 +1,84 @@
+#!/bin/sh
+# serve-smoke: end-to-end gate for the service layer (DESIGN.md §11).
+# Three phases against real twe-serve daemons on ephemeral ports:
+#
+#   1. correctness — tree scheduler under the isolation oracle, 32
+#      pipelined connections with scans and accumulator adds; the load
+#      generator's per-connection and final-state oracles must be clean,
+#      the Prometheus scrape non-empty with the serve families present,
+#      BENCH_serve.json written, and the SIGTERM drain audit clean.
+#   2. forced overload — tiny in-flight bound and a 300µs deadline;
+#      shedding/backpressure must actually be observed (-expect-shed)
+#      with exact served+shed accounting, and the drain still clean.
+#   3. faults — mid-run disconnects and wire cancels; every effect must
+#      be released (server back to idle, no leaked in-flight gauge).
+#
+# Run via `make serve-smoke` or directly. Exits non-zero on any failure.
+set -eu
+
+TMP="$(mktemp -d /tmp/twe-serve-smoke.XXXXXX)"
+BENCH_OUT="${BENCH_OUT:-$TMP/BENCH_serve.json}"
+SERVE="$TMP/twe-serve"
+LOAD="$TMP/twe-load"
+SRV_PID=""
+
+cleanup() {
+	[ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$SERVE" ./cmd/twe-serve
+go build -o "$LOAD" ./cmd/twe-load
+
+# start_server <logname> <serve flags...>: launches a daemon on an
+# ephemeral port and waits for the address files.
+start_server() {
+	log="$TMP/$1.log"; shift
+	rm -f "$TMP/addr" "$TMP/maddr"
+	"$SERVE" -addr 127.0.0.1:0 -addr-file "$TMP/addr" \
+		-metrics-addr 127.0.0.1:0 -metrics-addr-file "$TMP/maddr" \
+		-drain-timeout 30s "$@" >"$log" 2>&1 &
+	SRV_PID=$!
+	i=0
+	while [ ! -s "$TMP/addr" ] || [ ! -s "$TMP/maddr" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "serve-smoke: server did not bind"; cat "$log"; exit 1; }
+		sleep 0.1
+	done
+}
+
+# stop_server <logname>: SIGTERM, then assert the drain audit passed.
+stop_server() {
+	kill -TERM "$SRV_PID"
+	if ! wait "$SRV_PID"; then
+		echo "serve-smoke: $1: dirty drain"
+		cat "$TMP/$1.log"
+		exit 1
+	fi
+	SRV_PID=""
+	cat "$TMP/$1.log"
+}
+
+echo '== serve-smoke 1/3: correctness (tree + isolcheck, 32 conns) =='
+start_server correctness -sched tree -par 4 -isolcheck
+"$LOAD" -addr-file "$TMP/addr" -conns 32 -requests 40 -pipeline 4 \
+	-conflict 0.25 -scan-every 20 -seed 7 \
+	-json "$BENCH_OUT" -scrape "http://$(cat "$TMP/maddr")/metrics"
+stop_server correctness
+[ -s "$BENCH_OUT" ] || { echo "serve-smoke: $BENCH_OUT missing"; exit 1; }
+echo "serve-smoke: wrote $BENCH_OUT"
+
+echo '== serve-smoke 2/3: forced overload (-max-inflight 2, 300us deadline) =='
+start_server overload -sched tree -par 2 -max-inflight 2 -deadline 300us
+"$LOAD" -addr-file "$TMP/addr" -conns 32 -requests 40 -pipeline 8 \
+	-conflict 0.25 -seed 9 -expect-shed
+stop_server overload
+
+echo '== serve-smoke 3/3: faults (disconnects + cancels release effects) =='
+start_server faults -sched tree -par 4 -isolcheck
+"$LOAD" -addr-file "$TMP/addr" -conns 16 -requests 40 -pipeline 4 \
+	-conflict 0.25 -seed 11 -faults
+stop_server faults
+
+echo 'serve-smoke: OK'
