@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz faults obs-smoke serve serve-smoke check
+.PHONY: build test race vet fuzz faults obs-smoke serve serve-smoke batch-smoke check
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,16 @@ serve:
 serve-smoke:
 	$(GO) test -race ./internal/svc/
 	./scripts/serve-smoke.sh
+
+# Batched-admission gate (see DESIGN.md §12): the batch unit/parity/
+# conformance tests under -race, a pinned-seed batch-mode differential
+# fuzz, then the end-to-end smoke driving batch wire frames (including
+# under -faults) against live twe-serve daemons.
+batch-smoke:
+	$(GO) test -race -run Batch ./internal/core/ ./internal/naive/ \
+		./internal/tree/ ./internal/svc/ ./internal/schedfuzz/
+	$(GO) run ./cmd/twe-fuzz -batch -seed 0 -n 150 -schedules 1 -timeout 20s
+	./scripts/batch-smoke.sh
 
 check:
 	./ci.sh

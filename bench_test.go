@@ -360,6 +360,69 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSubmitBatch compares batched group admission against per-task
+// submission for a conflict-free 64-task batch (the ISSUE 5 acceptance
+// shape). The timer covers the admission phase only — the per-task cost
+// of registering the group with the scheduler and dispatching the enabled
+// tasks to the pool — because that is what batching amortizes; each
+// iteration still drains the group (untimed) so queue depth stays
+// bounded. submits/s is the acceptance metric recorded in
+// BENCH_batch.json: Tree/Batch must clear ≥1.5× Tree/PerTask.
+func BenchmarkSubmitBatch(b *testing.B) {
+	const batch = 64
+	// Disjoint regions under a shared namespace prefix (the shape a
+	// service admitting request tasks produces, e.g. twe-serve's
+	// per-request regions): per-task submission walks the spine once per
+	// task, batched admission once per group.
+	mkSubs := func() ([]*core.Task, []core.Submission) {
+		tasks := make([]*core.Task, batch)
+		subs := make([]core.Submission, batch)
+		for i := range tasks {
+			tasks[i] = core.NewTask("t",
+				effect.NewSet(effect.WriteEff(rpl.New(rpl.N("srv"), rpl.N("data"), rpl.N("R"), rpl.Idx(i)))),
+				func(_ *core.Ctx, _ any) (any, error) { return nil, nil })
+			subs[i] = core.Submission{Task: tasks[i]}
+		}
+		return tasks, subs
+	}
+	drain := func(b *testing.B, rt *core.Runtime, futs []*core.Future) {
+		b.StopTimer()
+		if err := rt.WaitAll(futs); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	for _, tc := range []struct {
+		name string
+		mk   func() core.Scheduler
+	}{{"SingleQueue", mkNaive}, {"Tree", mkTree}} {
+		b.Run(tc.name+"/PerTask", func(b *testing.B) {
+			rt := core.NewRuntime(tc.mk(), par())
+			defer rt.Shutdown()
+			tasks, _ := mkSubs()
+			futs := make([]*core.Future, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, t := range tasks {
+					futs[j] = rt.ExecuteLater(t, nil)
+				}
+				drain(b, rt, futs)
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "submits/s")
+		})
+		b.Run(tc.name+"/Batch", func(b *testing.B) {
+			rt := core.NewRuntime(tc.mk(), par())
+			defer rt.Shutdown()
+			_, subs := mkSubs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drain(b, rt, rt.SubmitBatch(subs))
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "submits/s")
+		})
+	}
+}
+
 // BenchmarkRootRWAblation isolates the §5.5.2 root read-write-lock
 // optimization: many concurrent submissions of disjoint-subtree tasks,
 // with and without the fast path.

@@ -27,6 +27,14 @@ go run ./cmd/twe-fuzz -seed 0 -n 300 -schedules 2 -timeout 20s
 echo '== twe-fuzz -faults smoke =='
 go run ./cmd/twe-fuzz -faults -seed 0 -n 120 -schedules 1 -timeout 20s
 
+# Batched-admission smoke (DESIGN.md §12): the same generated programs
+# with launches grouped into SubmitBatch calls at seed-derived
+# boundaries — identical groups under both schedulers, so store
+# equality, the isolation oracle, and quiescence check the batched
+# insert path differentially.
+echo '== twe-fuzz -batch smoke =='
+go run ./cmd/twe-fuzz -batch -seed 0 -n 120 -schedules 1 -timeout 20s
+
 # Observability smoke (DESIGN.md §7): trace two workloads under the
 # isolation oracle and validate the Chrome trace / Prometheus outputs
 # with twe-trace's built-in structural checkers — no external tools.
@@ -53,9 +61,17 @@ go build -o /tmp/twe-trace-ci ./cmd/twe-trace
 echo '== serve smoke =='
 BENCH_OUT=/tmp/BENCH_serve.json ./scripts/serve-smoke.sh
 
-# Perf snapshot of the in-process server workload (BENCH_server.json,
-# schema in EXPERIMENTS.md) via the -apps filter.
-echo '== twe-bench -json (server) =='
-go run ./cmd/twe-bench -json /tmp/twe-ci-bench -apps server -threads 1,4 -reps 2
+# Batched-admission wire smoke (DESIGN.md §12): twe-serve daemons driven
+# by twe-load -batch 4 so every data op arrives inside a batch frame and
+# enters the runtime through SubmitBatch — once clean, once under
+# -faults (half-sent batches must release every admitted effect).
+echo '== batch smoke =='
+./scripts/batch-smoke.sh
+
+# Perf snapshots of the in-process workloads via the -apps filter:
+# BENCH_server.json plus BENCH_batch.json (batched vs per-task
+# submission throughput; schemas in EXPERIMENTS.md).
+echo '== twe-bench -json (server,batch) =='
+go run ./cmd/twe-bench -json /tmp/twe-ci-bench -apps server,batch -threads 1,4 -reps 2
 
 echo 'ci: OK'

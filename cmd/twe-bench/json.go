@@ -18,7 +18,9 @@ import (
 	"time"
 
 	"twe/internal/core"
+	"twe/internal/effect"
 	"twe/internal/obs"
+	"twe/internal/rpl"
 	"twe/internal/workloads"
 )
 
@@ -37,6 +39,26 @@ type benchRun struct {
 	ConflictHitRate float64 `json:"conflict_hit_rate"`
 	Blocks          uint64  `json:"blocks"`
 	Transfers       uint64  `json:"transfers"`
+	// Batched-admission counters (DESIGN.md §12), per run; zero for
+	// workloads that never call SubmitBatch.
+	BatchSubmits  uint64 `json:"batch_submits,omitempty"`
+	BatchTasks    uint64 `json:"batch_tasks,omitempty"`
+	BatchDescents uint64 `json:"batch_descents,omitempty"`
+}
+
+// submitBench is the admission microbenchmark recorded alongside the
+// "batch" workload: submissions/sec of per-task ExecuteLater vs one
+// SubmitBatch call for a conflict-free 64-task group (the same shape as
+// BenchmarkSubmitBatch in bench_test.go; only the submission phase is
+// timed, each round still drains before the next).
+type submitBench struct {
+	Scheduler         string  `json:"scheduler"`
+	Par               int     `json:"par"`
+	Batch             int     `json:"batch"`
+	Rounds            int     `json:"rounds"`
+	PerTaskSubmitsSec float64 `json:"per_task_submits_per_sec"`
+	BatchSubmitsSec   float64 `json:"batch_submits_per_sec"`
+	Speedup           float64 `json:"speedup"` // batch / per-task
 }
 
 // benchFile is the BENCH_<workload>.json document.
@@ -45,6 +67,9 @@ type benchFile struct {
 	Workload      string     `json:"workload"`
 	GeneratedBy   string     `json:"generated_by"`
 	Runs          []benchRun `json:"runs"`
+	// SubmitBench is present only in BENCH_batch.json: the batched vs
+	// per-task admission comparison per scheduler.
+	SubmitBench []submitBench `json:"submit_bench,omitempty"`
 }
 
 // runJSON produces BENCH_<workload>.json for every registry workload (or
@@ -88,6 +113,13 @@ func runJSON(dir string, threads []int, reps int, apps string) error {
 					return fmt.Errorf("%s/%s@%d: %w", w.Name, sched.name, par, err)
 				}
 				doc.Runs = append(doc.Runs, r)
+			}
+			if w.Name == "batch" {
+				sb, err := measureSubmitBench(sched.name, sched.mk, threads[len(threads)-1])
+				if err != nil {
+					return fmt.Errorf("%s/%s submit bench: %w", w.Name, sched.name, err)
+				}
+				doc.SubmitBench = append(doc.SubmitBench, sb)
 			}
 		}
 		path := filepath.Join(dir, "BENCH_"+w.Name+".json")
@@ -135,9 +167,65 @@ func measureJSON(w workloads.Workload, schedName string, mk func() core.Schedule
 		ConflictHitRate: s.ConflictHitRate(),
 		Blocks:          s.Blocks / n,
 		Transfers:       s.Transfers / n,
+		BatchSubmits:    s.BatchSubmits / n,
+		BatchTasks:      s.BatchTasks / n,
+		BatchDescents:   s.BatchDescents / n,
 	}
 	if sec := med.Seconds(); sec > 0 {
 		r.TasksPerSec = float64(tasks) / sec
 	}
 	return r, nil
+}
+
+// measureSubmitBench times the admission phase of per-task ExecuteLater vs
+// SubmitBatch for a conflict-free 64-task group under a shared namespace
+// prefix, draining between rounds (untimed), exactly like
+// BenchmarkSubmitBatch in bench_test.go.
+func measureSubmitBench(schedName string, mk func() core.Scheduler, par int) (submitBench, error) {
+	const batch, rounds, warmup = 64, 300, 30
+	rt := core.NewRuntime(mk(), par)
+	defer rt.Shutdown()
+	tasks := make([]*core.Task, batch)
+	subs := make([]core.Submission, batch)
+	for i := range tasks {
+		tasks[i] = core.NewTask("t",
+			effect.NewSet(effect.WriteEff(rpl.New(rpl.N("srv"), rpl.N("data"), rpl.N("R"), rpl.Idx(i)))),
+			func(_ *core.Ctx, _ any) (any, error) { return nil, nil })
+		subs[i] = core.Submission{Task: tasks[i]}
+	}
+	futs := make([]*core.Future, batch)
+	var perTask, batched time.Duration
+	for r := 0; r < warmup+rounds; r++ {
+		start := time.Now()
+		for j, t := range tasks {
+			futs[j] = rt.ExecuteLater(t, nil)
+		}
+		if r >= warmup {
+			perTask += time.Since(start)
+		}
+		if err := rt.WaitAll(futs); err != nil {
+			return submitBench{}, err
+		}
+	}
+	for r := 0; r < warmup+rounds; r++ {
+		start := time.Now()
+		fs := rt.SubmitBatch(subs)
+		if r >= warmup {
+			batched += time.Since(start)
+		}
+		if err := rt.WaitAll(fs); err != nil {
+			return submitBench{}, err
+		}
+	}
+	sb := submitBench{Scheduler: schedName, Par: par, Batch: batch, Rounds: rounds}
+	if s := perTask.Seconds(); s > 0 {
+		sb.PerTaskSubmitsSec = float64(rounds*batch) / s
+	}
+	if s := batched.Seconds(); s > 0 {
+		sb.BatchSubmitsSec = float64(rounds*batch) / s
+	}
+	if sb.PerTaskSubmitsSec > 0 {
+		sb.Speedup = sb.BatchSubmitsSec / sb.PerTaskSubmitsSec
+	}
+	return sb, nil
 }

@@ -14,14 +14,20 @@
 // reports the right failure class, that the isolation oracle stays quiet,
 // and that the schedulers quiesce (no leaked effects on any exit path).
 //
+// Batch mode (-batch) groups each program's launches into SubmitBatch
+// calls at seed-derived boundaries (identical groups under every
+// scheduler and schedule) and runs the same differential store/isolation/
+// quiescence oracle against the batched admission path (DESIGN.md §12).
+//
 // Usage:
 //
 //	twe-fuzz [-seed N] [-n COUNT] [-schedules K] [-par P] [-timeout D]
-//	         [-schedule M] [-sched naive|tree] [-faults] [-shrink]
-//	         [-budget B] [-dump] [-v]
+//	         [-schedule M] [-sched naive|tree] [-faults] [-batch]
+//	         [-shrink] [-budget B] [-dump] [-v]
 //
 // Fuzzing a range:       twe-fuzz -seed 0 -n 1000
 // Fault injection:       twe-fuzz -faults -seed 0 -n 200
+// Batched admission:     twe-fuzz -batch -seed 0 -n 200
 // Replaying a failure:   twe-fuzz -seed 42 -schedule 3 -sched tree
 // Inspecting a program:  twe-fuzz -seed 42 -dump
 package main
@@ -48,11 +54,16 @@ func main() {
 	budget := flag.Int("budget", 200, "shrink budget: max differential re-runs while minimizing")
 	dump := flag.Bool("dump", false, "print the generated TWEL program for -seed and exit")
 	faults := flag.Bool("faults", false, "inject deterministic faults (panic/cancel/deadline) into launched tasks")
+	batch := flag.Bool("batch", false, "group launches into SubmitBatch calls at seed-derived boundaries")
 	verbose := flag.Bool("v", false, "print per-seed progress")
 	flag.Parse()
 
 	if *sched != "" && *sched != "naive" && *sched != "tree" {
 		fmt.Fprintf(os.Stderr, "twe-fuzz: unknown scheduler %q (want naive or tree)\n", *sched)
+		os.Exit(2)
+	}
+	if *faults && *batch {
+		fmt.Fprintln(os.Stderr, "twe-fuzz: -faults and -batch are separate modes; pick one")
 		os.Exit(2)
 	}
 
@@ -73,12 +84,15 @@ func main() {
 	// one schedule index.
 	if *schedule >= 0 || *sched != "" {
 		var fails []*schedfuzz.Failure
-		if *faults {
+		switch {
+		case *faults:
 			fails = schedfuzz.ReplayFaults(*seed, *sched, *schedule, cfg)
-		} else {
+		case *batch:
+			fails = schedfuzz.ReplayBatch(*seed, *sched, *schedule, cfg)
+		default:
 			fails = schedfuzz.Replay(*seed, *sched, *schedule, cfg)
 		}
-		report(fails, cfg, *shrink, *budget, *faults)
+		report(fails, cfg, *shrink, *budget, *faults, *batch)
 		if len(fails) > 0 {
 			os.Exit(1)
 		}
@@ -98,33 +112,43 @@ func main() {
 	}
 	var rep *schedfuzz.Report
 	mode := "fuzzed"
-	if *faults {
+	switch {
+	case *faults:
 		rep = schedfuzz.FuzzFaults(*seed, *n, cfg, progress)
 		mode = "fault-injected"
-	} else {
+	case *batch:
+		rep = schedfuzz.FuzzBatch(*seed, *n, cfg, progress)
+		mode = "batch-admitted"
+	default:
 		rep = schedfuzz.Fuzz(*seed, *n, cfg, progress)
 	}
 	fmt.Printf("%s %d programs (%d task instances) in %v: %d failure(s)\n",
 		mode, rep.Programs, rep.Instances, time.Since(start).Round(time.Millisecond), len(rep.Failures))
-	report(rep.Failures, cfg, *shrink, *budget, *faults)
+	if *batch {
+		fmt.Printf("flushed %d multi-task SubmitBatch group(s)\n", rep.BatchGroups)
+	}
+	report(rep.Failures, cfg, *shrink, *budget, *faults, *batch)
 	if len(rep.Failures) > 0 {
 		os.Exit(1)
 	}
 }
 
 // report prints each failure with its replay command line, shrinking the
-// first failing seed when requested (shrinking operates on the un-faulted
-// program, so it is skipped in fault mode).
-func report(fails []*schedfuzz.Failure, cfg schedfuzz.Config, shrink bool, budget int, faults bool) {
+// first failing seed when requested (shrinking operates on the un-faulted,
+// per-task-submitted program, so it is skipped in fault and batch modes).
+func report(fails []*schedfuzz.Failure, cfg schedfuzz.Config, shrink bool, budget int, faults, batch bool) {
 	mode := ""
-	if faults {
+	switch {
+	case faults:
 		mode = "-faults "
+	case batch:
+		mode = "-batch "
 	}
 	shrunkSeeds := map[int64]bool{}
 	for _, f := range fails {
 		fmt.Printf("FAIL %v\n", f)
 		fmt.Printf("     replay: twe-fuzz %s-seed %d -schedule %d -sched %s\n", mode, f.Seed, f.Schedule, f.Scheduler)
-		if !shrink || faults || shrunkSeeds[f.Seed] || f.Scheduler == "gen" || f.Scheduler == "interp" {
+		if !shrink || faults || batch || shrunkSeeds[f.Seed] || f.Scheduler == "gen" || f.Scheduler == "interp" {
 			continue
 		}
 		shrunkSeeds[f.Seed] = true

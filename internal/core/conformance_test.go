@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/naive"
+	"twe/internal/tree"
+)
+
+// Compile-time conformance assertions for the Scheduler contract
+// documented in core.go: which optional interfaces each shipped scheduler
+// implements. Both bundled schedulers provide the full capability set —
+// Descheduler (fast cancellation of waiting tasks), Quiescer (bookkeeping
+// audit), BatchScheduler (batched group admission) — plus the Bind pairing
+// hook and Pending introspection.
+var (
+	_ core.Scheduler      = (*tree.Scheduler)(nil)
+	_ core.BatchScheduler = (*tree.Scheduler)(nil)
+	_ core.Descheduler    = (*tree.Scheduler)(nil)
+	_ core.Quiescer       = (*tree.Scheduler)(nil)
+
+	_ core.Scheduler      = (*naive.Scheduler)(nil)
+	_ core.BatchScheduler = (*naive.Scheduler)(nil)
+	_ core.Descheduler    = (*naive.Scheduler)(nil)
+	_ core.Quiescer       = (*naive.Scheduler)(nil)
+
+	_ interface{ Bind(*core.Runtime) } = (*tree.Scheduler)(nil)
+	_ interface{ Bind(*core.Runtime) } = (*naive.Scheduler)(nil)
+	_ interface{ Pending() int }       = (*tree.Scheduler)(nil)
+	_ interface{ Pending() int }       = (*naive.Scheduler)(nil)
+)
+
+// TestSchedulerConformance re-states the table at runtime so a regression
+// shows up as a named failure, not just a build break, and covers both
+// tree constructors (New and NewWithOptions produce the same capability
+// set).
+func TestSchedulerConformance(t *testing.T) {
+	scheds := map[string]core.Scheduler{
+		"tree":      tree.New(),
+		"tree-noRW": tree.NewWithOptions(tree.Options{DisableRootRW: true}),
+		"naive":     naive.New(),
+	}
+	for name, s := range scheds {
+		if _, ok := s.(core.BatchScheduler); !ok {
+			t.Errorf("%s: missing BatchScheduler", name)
+		}
+		if _, ok := s.(core.Descheduler); !ok {
+			t.Errorf("%s: missing Descheduler", name)
+		}
+		if _, ok := s.(core.Quiescer); !ok {
+			t.Errorf("%s: missing Quiescer", name)
+		}
+		if _, ok := s.(interface{ Pending() int }); !ok {
+			t.Errorf("%s: missing Pending", name)
+		}
+	}
+}

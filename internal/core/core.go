@@ -130,6 +130,11 @@ type Future struct {
 	// submitted flag.
 	cancelState
 
+	// onDone, when non-nil, runs exactly once after the future completes
+	// (Submission.OnDone, submit.go). Set before submission on the
+	// submitting goroutine, never mutated afterwards.
+	onDone func(*Future)
+
 	result any
 	err    error
 	done   chan struct{}
@@ -265,6 +270,42 @@ func spawnedConflict(blocked *Future, eff effect.Set) bool {
 // guarantee task isolation: Ready may be called on a future only when its
 // effects do not interfere with those of any other future that is Ready
 // and not Done, modulo the blocked-on and spawn transfers above.
+//
+// # Scheduler contract
+//
+// The three methods below are the required surface; everything else a
+// scheduler offers is an optional interface the runtime (and tools)
+// discover by type assertion. This is the single place the contract is
+// documented; internal/core/conformance_test.go asserts at compile time
+// which optional interfaces each shipped scheduler implements.
+//
+// Construction and binding. A scheduler is built by its own package's
+// constructor — tree.New() or tree.NewWithOptions(Options{...}) for the
+// scalable tree scheduler, naive.New() for the baseline — and handed to
+// NewRuntime, which completes the pairing through the optional
+//
+//	Bind(*Runtime)
+//
+// interface: a scheduler needing the runtime (for Ready bursts, the
+// tracer, pool access) captures it there. A scheduler instance must be
+// bound to at most one runtime.
+//
+// Optional capability interfaces, all discovered via type assertion:
+//
+//	Descheduler    — Deschedule(f): remove a cancelled, possibly
+//	                 never-enabled future (fault.go). Without it,
+//	                 cancellation of waiting tasks falls back to Done.
+//	Quiescer       — Quiesced() bool: report whether all task/effect
+//	                 bookkeeping has drained; the fault suite audits it.
+//	BatchScheduler — SubmitBatch(fs): admit a group of futures in one
+//	                 call, amortizing the admission hot path (submit.go).
+//	                 Without it, Runtime.SubmitBatch degrades to per-task
+//	                 Submit with identical semantics.
+//
+// Introspection follows the same pattern: Pending() int (queue depth,
+// used by Runtime.Pending and deadlock diagnostics) and per-scheduler
+// Stats() structs (tree.Stats, naive has none) are read through type
+// assertions by tools, never by the runtime's hot path.
 type Scheduler interface {
 	// Submit introduces a future in Waiting (or Prioritized, for Execute)
 	// state. The scheduler enables it — immediately or later — by calling
@@ -349,6 +390,15 @@ type Runtime struct {
 	tracer  *obs.Tracer
 	yield   func(f *Future, p YieldPoint)
 	seq     atomic.Uint64
+
+	// inflight counts submitted futures whose scheduler notification
+	// (Done or Deschedule) has not yet completed. Cancellation finishes
+	// on the goroutine that wins the started claim — often a deadline
+	// timer goroutine the pool never joins — and a future becomes
+	// observably done (status store, done channel) before that
+	// notification by contract, so Shutdown must wait on this count or a
+	// quiescence audit can race a still-in-flight Deschedule.
+	inflight sync.WaitGroup
 }
 
 // Option configures a Runtime.
@@ -443,23 +493,36 @@ func (rt *Runtime) Pending() int {
 	return -1
 }
 
-// Shutdown waits for all submitted tasks and closes the pool.
-func (rt *Runtime) Shutdown() { rt.pool.Shutdown() }
+// Shutdown waits for all submitted tasks and closes the pool. It also
+// waits for in-flight scheduler notifications: a deadline-cancelled
+// future resolves on its timer goroutine, which the pool drain does not
+// join, so without this wait a caller could observe every future done
+// while Done/Deschedule calls are still pending — and a post-Shutdown
+// Quiesced audit would report phantom leaks.
+func (rt *Runtime) Shutdown() {
+	rt.pool.Shutdown()
+	rt.inflight.Wait()
+}
 
 func (rt *Runtime) newFuture(t *Task, arg any) *Future {
-	f := &Future{
-		task:          t,
-		rt:            rt,
-		arg:           arg,
-		eff:           t.Eff,
-		seq:           rt.seq.Add(1),
-		deterministic: t.Deterministic,
-		done:          make(chan struct{}),
-	}
+	f := new(Future)
+	rt.initFuture(f, t, arg)
+	return f
+}
+
+// initFuture populates a zero Future in place; SubmitBatch carves its
+// group's futures out of one slab and initializes them here.
+func (rt *Runtime) initFuture(f *Future, t *Task, arg any) {
+	f.task = t
+	f.rt = rt
+	f.arg = arg
+	f.eff = t.Eff
+	f.seq = rt.seq.Add(1)
+	f.deterministic = t.Deterministic
+	f.done = make(chan struct{})
 	if rt.tracer != nil {
 		f.submitNS.Store(rt.tracer.Clock())
 	}
-	return f
 }
 
 // traceSubmit records a submission event and counter; the single nil
@@ -473,19 +536,10 @@ func (rt *Runtime) traceSubmit(f *Future) {
 }
 
 // ExecuteLater queues an asynchronous execution of t (the executeLater
-// operation) and returns its future.
+// operation) and returns its future. It is Submit(t, WithArg(arg)) — a
+// thin wrapper over the one internal submit path (submit.go).
 func (rt *Runtime) ExecuteLater(t *Task, arg any) *Future {
-	f := rt.newFuture(t, arg)
-	rt.yieldAt(f, PointSubmit)
-	rt.traceSubmit(f)
-	if f.IsDone() {
-		// Cancelled by the yield hook before submission; the scheduler
-		// must never see it (fault.go).
-		return f
-	}
-	f.submitted.Store(true)
-	rt.sched.Submit(f)
-	return f
+	return rt.submit(Submission{Task: t, Arg: arg}, false)
 }
 
 // GetValue blocks until f completes and returns its result (the getValue
@@ -497,15 +551,7 @@ func (rt *Runtime) GetValue(f *Future) (any, error) {
 // Execute runs t and waits for it, prioritizing it from the start
 // (§5.5.1); from outside any task.
 func (rt *Runtime) Execute(t *Task, arg any) (any, error) {
-	f := rt.newFuture(t, arg)
-	f.status.Store(int32(Prioritized))
-	rt.yieldAt(f, PointSubmit)
-	rt.traceSubmit(f)
-	if f.IsDone() {
-		return f.result, f.err
-	}
-	f.submitted.Store(true)
-	rt.sched.Submit(f)
+	f := rt.submit(Submission{Task: t, Arg: arg}, true)
 	return rt.getValue(nil, f)
 }
 
@@ -541,15 +587,30 @@ func (c *Ctx) WaitAll(futs []*Future) error {
 
 // Ready is called by the scheduler when all of f's effects are enabled: it
 // submits the future to the execution pool. It is idempotent in effect
-// because the body-run claims f.started.
+// because the body-run claims f.started. Batch-aware schedulers enable a
+// whole group at once through ReadyBatch (submit.go) instead.
 func (f *Future) Ready() {
+	if !f.markEnabled() {
+		return
+	}
+	f.rt.pool.SubmitWorker(func(worker int) {
+		if f.started.CompareAndSwap(false, true) {
+			f.rt.runBody(f, int32(worker))
+		}
+	})
+}
+
+// markEnabled performs the status transition and admission tracing of
+// Ready without the pool handoff; it reports false when the future is
+// already Done (a cancelled future must not be resurrected).
+func (f *Future) markEnabled() bool {
 	// CAS loop so a concurrent cancellation's Done store can never be
 	// overwritten: a scheduler recheck that was already enabling this
 	// future when it was cancelled must not resurrect it (fault.go).
 	for {
 		cur := f.status.Load()
 		if Status(cur) == Done {
-			return
+			return false
 		}
 		if f.status.CompareAndSwap(cur, int32(Enabled)) {
 			break
@@ -561,11 +622,7 @@ func (f *Future) Ready() {
 		tr.Emit(obs.Event{Kind: obs.KindEnable, Task: f.seq, Name: f.task.Name,
 			Detail: fmt.Sprintf("%dµs", lat/1e3)})
 	}
-	f.rt.pool.SubmitWorker(func(worker int) {
-		if f.started.CompareAndSwap(false, true) {
-			f.rt.runBody(f, int32(worker))
-		}
-	})
+	return true
 }
 
 // runBody executes the task body on the calling goroutine, performs the
@@ -632,6 +689,12 @@ func (rt *Runtime) runBody(f *Future, worker int32) {
 	f.stopTimer()
 	if f.spawnParent == nil {
 		rt.sched.Done(f)
+	}
+	if f.onDone != nil {
+		f.onDone(f)
+	}
+	if f.submitted.Load() {
+		rt.inflight.Done()
 	}
 }
 
@@ -784,15 +847,7 @@ func (c *Ctx) Execute(t *Task, arg any) (any, error) {
 	if c.fut.deterministic {
 		return nil, ErrDeterminism
 	}
-	f := c.rt.newFuture(t, arg)
-	f.status.Store(int32(Prioritized))
-	c.rt.yieldAt(f, PointSubmit)
-	c.rt.traceSubmit(f)
-	if f.IsDone() {
-		return f.result, f.err
-	}
-	f.submitted.Store(true)
-	c.rt.sched.Submit(f)
+	f := c.rt.submit(Submission{Task: t, Arg: arg}, true)
 	return c.rt.getValue(c.fut, f)
 }
 

@@ -79,14 +79,21 @@ func (rt *Runtime) deschedule(f *Future) {
 	rt.sched.Done(f)
 }
 
+// Quiescer is implemented by schedulers that can audit their own
+// bookkeeping for emptiness; see Runtime.Quiesced and the Scheduler
+// contract in core.go.
+type Quiescer interface {
+	Quiesced() bool
+}
+
 // Quiesced reports whether the scheduler holds no task or effect
 // bookkeeping — every submitted future has been enabled, finished and
 // released (naive: empty queue; tree: empty waiting set, zero live
 // enabled count, empty effect tree). The fault-injection suite asserts it
 // after every scenario to prove no exit path leaks effects. Schedulers
-// that do not expose the audit report true.
+// that do not implement Quiescer report true.
 func (rt *Runtime) Quiesced() bool {
-	if q, ok := rt.sched.(interface{ Quiesced() bool }); ok {
+	if q, ok := rt.sched.(Quiescer); ok {
 		return q.Quiesced()
 	}
 	return true
@@ -188,6 +195,12 @@ func (rt *Runtime) finishCancelled(f *Future, enabled bool) {
 			rt.deschedule(f)
 		}
 	}
+	if f.onDone != nil {
+		f.onDone(f)
+	}
+	if f.submitted.Load() {
+		rt.inflight.Done()
+	}
 }
 
 // ExecuteLaterDeadline is ExecuteLater with a per-task deadline: if the
@@ -196,14 +209,21 @@ func (rt *Runtime) finishCancelled(f *Future, enabled bool) {
 // otherwise. The timer is armed only after submission so a firing
 // deadline always observes a fully inserted task. A timeout <= 0 expires
 // immediately (admission-time load shedding).
+//
+// Deprecated: use Submit(t, WithArg(arg), WithDeadline(timeout)) — or a
+// Submission with Deadline set — which routes through the same internal
+// path (submit.go). This wrapper remains for compatibility.
 func (rt *Runtime) ExecuteLaterDeadline(t *Task, arg any, timeout time.Duration) *Future {
-	f := rt.ExecuteLater(t, arg)
-	rt.armDeadline(f, timeout)
-	return f
+	if timeout <= 0 {
+		timeout = -1 // preserve "a timeout <= 0 expires immediately"
+	}
+	return rt.submit(Submission{Task: t, Arg: arg, Deadline: timeout}, false)
 }
 
 // ExecuteLaterDeadline is the in-task variant (not permitted inside
 // @Deterministic code, like every non-Spawn task operation).
+//
+// Deprecated: use Ctx.Submit(t, WithArg(arg), WithDeadline(timeout)).
 func (c *Ctx) ExecuteLaterDeadline(t *Task, arg any, timeout time.Duration) (*Future, error) {
 	if c.fut.deterministic {
 		return nil, ErrDeterminism

@@ -79,3 +79,48 @@ func ParallelForTask(name string, prefix rpl.RPL, lo, hi, grain int, extra effec
 		},
 	}
 }
+
+// ParallelForBatch runs fn(i) for every lo ≤ i < hi from outside any task
+// by submitting the grain-sized chunks as one admission group
+// (Runtime.SubmitBatch) and waiting for all of them. Chunk c owns the
+// subtree prefix:[c]:*, so chunks are pairwise disjoint by construction
+// and a batch-aware scheduler admits the whole loop with one
+// shared-prefix tree descent instead of one per chunk; extra is added to
+// every chunk's effect summary (shared read-only data).
+//
+// This is the flat, scheduler-admitted counterpart of the spawn/join
+// ParallelFor above: spawn-based subdivision transfers effects from a
+// running parent and needs no scheduler involvement, while the batched
+// form is the right shape when the loop is launched from outside any task
+// (where per-chunk ExecuteLater would pay one full admission each).
+func (rt *Runtime) ParallelForBatch(name string, prefix rpl.RPL, lo, hi, grain int, extra effect.Set, fn func(i int) error) error {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi <= lo {
+		return nil
+	}
+	n := (hi - lo + grain - 1) / grain
+	subs := make([]Submission, 0, n)
+	for c := 0; c < n; c++ {
+		clo := lo + c*grain
+		chi := clo + grain
+		if chi > hi {
+			chi = hi
+		}
+		chunkPrefix := prefix.Append(rpl.Idx(c))
+		subs = append(subs, Submission{Task: &Task{
+			Name: fmt.Sprintf("%s[%d,%d)", name, clo, chi),
+			Eff:  effect.NewSet(effect.WriteEff(chunkPrefix.Append(rpl.Any))).Union(extra),
+			Body: func(_ *Ctx, _ any) (any, error) {
+				for i := clo; i < chi; i++ {
+					if err := fn(i); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			},
+		}})
+	}
+	return rt.WaitAll(rt.SubmitBatch(subs))
+}

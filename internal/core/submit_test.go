@@ -1,0 +1,203 @@
+package core_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/naive"
+	"twe/internal/rpl"
+	"twe/internal/tree"
+)
+
+// TestSubmitOptions: the unified Submit entry point composes the options
+// into ExecuteLater/ExecuteLaterDeadline behaviour.
+func TestSubmitOptions(t *testing.T) {
+	rt := newRT(t)
+	defer rt.Shutdown()
+	task := core.NewTask("double", es("pure"), func(_ *core.Ctx, arg any) (any, error) {
+		return arg.(int) * 2, nil
+	})
+
+	v, err := rt.GetValue(rt.Submit(task, core.WithArg(21)))
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("Submit(WithArg): got (%v, %v), want (42, nil)", v, err)
+	}
+
+	var done atomic.Int32
+	f := rt.Submit(task, core.WithArg(1), core.WithOnDone(func(f *core.Future) {
+		if !f.IsDone() {
+			t.Error("OnDone ran before the future was done")
+		}
+		done.Add(1)
+	}))
+	if _, err := rt.GetValue(f); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return done.Load() == 1 })
+}
+
+// TestSubmitDeadlineSheds: WithDeadline(0) and ExecuteLaterDeadline with a
+// non-positive timeout both shed at admission with ErrDeadlineExceeded,
+// and OnDone fires on the cancellation path too.
+func TestSubmitDeadlineSheds(t *testing.T) {
+	rt := newRT(t)
+	defer rt.Shutdown()
+	block := make(chan struct{})
+	slow := core.NewTask("slow", es("writes R"), func(_ *core.Ctx, _ any) (any, error) {
+		<-block
+		return nil, nil
+	})
+	queued := core.NewTask("queued", es("writes R"), func(_ *core.Ctx, _ any) (any, error) {
+		return nil, nil
+	})
+
+	// Occupy R so deadline victims stay waiting in the scheduler.
+	running := rt.ExecuteLater(slow, nil)
+
+	var done atomic.Int32
+	victims := []*core.Future{
+		rt.Submit(queued, core.WithDeadline(0),
+			core.WithOnDone(func(*core.Future) { done.Add(1) })),
+		rt.ExecuteLaterDeadline(queued, nil, 0),
+		rt.ExecuteLaterDeadline(queued, nil, -time.Second),
+		rt.Submit(queued, core.WithDeadline(time.Millisecond)),
+	}
+	for i, f := range victims {
+		if _, err := rt.GetValue(f); !errors.Is(err, core.ErrDeadlineExceeded) {
+			t.Errorf("victim %d: err = %v, want ErrDeadlineExceeded", i, err)
+		}
+	}
+	waitFor(t, func() bool { return done.Load() == 1 })
+	close(block)
+	if _, err := rt.GetValue(running); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitBatchBasics: futures come back in submission order, with
+// deadlines armed only after the whole group is submitted and OnDone
+// firing per member.
+func TestSubmitBatchBasics(t *testing.T) {
+	rt := newRT(t)
+	defer rt.Shutdown()
+	var done atomic.Int32
+	subs := make([]core.Submission, 8)
+	for i := range subs {
+		i := i
+		subs[i] = core.Submission{
+			Task: core.NewTask("m",
+				effect.NewSet(effect.WriteEff(rpl.New(rpl.N("B"), rpl.Idx(i)))),
+				func(_ *core.Ctx, arg any) (any, error) { return arg, nil }),
+			Arg:    i,
+			OnDone: func(*core.Future) { done.Add(1) },
+		}
+	}
+	futs := rt.SubmitBatch(subs)
+	for i, f := range futs {
+		v, err := rt.GetValue(f)
+		if err != nil || v.(int) != i {
+			t.Fatalf("member %d: got (%v, %v), want (%d, nil)", i, v, err, i)
+		}
+	}
+	waitFor(t, func() bool { return done.Load() == int32(len(subs)) })
+}
+
+// stripped hides every optional interface of the wrapped scheduler, so
+// Runtime.SubmitBatch must take the per-task Submit fallback.
+type stripped struct{ s core.Scheduler }
+
+func (w *stripped) Submit(f *core.Future)                     { w.s.Submit(f) }
+func (w *stripped) NotifyBlocked(caller, target *core.Future) { w.s.NotifyBlocked(caller, target) }
+func (w *stripped) Done(f *core.Future)                       { w.s.Done(f) }
+
+// TestSubmitBatchFallback: a scheduler without BatchScheduler still serves
+// SubmitBatch with per-task semantics.
+func TestSubmitBatchFallback(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		s    core.Scheduler
+	}{{"tree", tree.New()}, {"naive", naive.New()}} {
+		t.Run(mk.name, func(t *testing.T) {
+			rt := core.NewRuntime(&stripped{s: mk.s}, 4)
+			defer rt.Shutdown()
+			subs := make([]core.Submission, 16)
+			for i := range subs {
+				i := i
+				subs[i] = core.Submission{
+					Task: core.NewTask("fb",
+						effect.NewSet(effect.WriteEff(rpl.New(rpl.N("F"), rpl.Idx(i%4)))),
+						func(_ *core.Ctx, _ any) (any, error) { return i, nil }),
+				}
+			}
+			futs := rt.SubmitBatch(subs)
+			for i, f := range futs {
+				v, err := rt.GetValue(f)
+				if err != nil || v.(int) != i {
+					t.Fatalf("member %d: got (%v, %v), want (%d, nil)", i, v, err, i)
+				}
+			}
+		})
+	}
+}
+
+// TestCtxSubmit: the in-task variants work and respect the determinism
+// restriction.
+func TestCtxSubmit(t *testing.T) {
+	rt := newRT(t)
+	defer rt.Shutdown()
+	inner := core.NewTask("inner", es("writes In"), func(_ *core.Ctx, _ any) (any, error) {
+		return 7, nil
+	})
+	outer := core.NewTask("outer", es("pure"), func(ctx *core.Ctx, _ any) (any, error) {
+		f, err := ctx.Submit(inner)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := ctx.SubmitBatch([]core.Submission{{Task: inner}})
+		if err != nil {
+			return nil, err
+		}
+		v1, err := ctx.GetValue(f)
+		if err != nil {
+			return nil, err
+		}
+		v2, err := ctx.GetValue(fs[0])
+		if err != nil {
+			return nil, err
+		}
+		return v1.(int) + v2.(int), nil
+	})
+	v, err := rt.Run(outer, nil)
+	if err != nil || v.(int) != 14 {
+		t.Fatalf("got (%v, %v), want (14, nil)", v, err)
+	}
+
+	det := core.NewTask("det", es("pure"), func(ctx *core.Ctx, _ any) (any, error) {
+		if _, err := ctx.Submit(inner); !errors.Is(err, core.ErrDeterminism) {
+			return nil, errors.New("Ctx.Submit allowed in deterministic task")
+		}
+		if _, err := ctx.SubmitBatch([]core.Submission{{Task: inner}}); !errors.Is(err, core.ErrDeterminism) {
+			return nil, errors.New("Ctx.SubmitBatch allowed in deterministic task")
+		}
+		return nil, nil
+	})
+	det.Deterministic = true
+	if _, err := rt.Run(det, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -89,11 +89,11 @@ func TestSetRoundTripCorners(t *testing.T) {
 
 func TestSetParseSurfaceForms(t *testing.T) {
 	cases := map[string]Set{
-		"pure":                        Pure,
-		"":                            Pure,
-		"writes Root:*":               Top,
-		"reads A writes B":            NewSet(Read(rpl.MustParse("A")), WriteEff(rpl.MustParse("B"))),
-		"writes A:[3], B:*":           NewSet(WriteEff(rpl.MustParse("A:[3]")), WriteEff(rpl.MustParse("B:*"))),
+		"pure":              Pure,
+		"":                  Pure,
+		"writes Root:*":     Top,
+		"reads A writes B":  NewSet(Read(rpl.MustParse("A")), WriteEff(rpl.MustParse("B"))),
+		"writes A:[3], B:*": NewSet(WriteEff(rpl.MustParse("A:[3]")), WriteEff(rpl.MustParse("B:*"))),
 		"reads Root:Shard:[1], writes Root:Session:[0]": NewSet(
 			Read(rpl.MustParse("Shard:[1]")), WriteEff(rpl.MustParse("Session:[0]"))),
 	}
@@ -111,10 +111,10 @@ func TestSetParseSurfaceForms(t *testing.T) {
 
 func TestSetParseRejectsMalformed(t *testing.T) {
 	for _, s := range []string{
-		"A:B",            // region before any keyword
-		"bogus Root:X",   // unknown keyword position
-		"writes A::B",    // malformed region
-		"reads [",        // malformed region
+		"A:B",          // region before any keyword
+		"bogus Root:X", // unknown keyword position
+		"writes A::B",  // malformed region
+		"reads [",      // malformed region
 	} {
 		if set, err := Parse(s); err == nil {
 			t.Errorf("Parse(%q) = %q, want error", s, set)

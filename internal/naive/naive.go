@@ -32,7 +32,12 @@ type Scheduler struct {
 // New returns an empty naive scheduler.
 func New() *Scheduler { return &Scheduler{} }
 
-var _ core.Scheduler = (*Scheduler)(nil)
+var (
+	_ core.Scheduler      = (*Scheduler)(nil)
+	_ core.BatchScheduler = (*Scheduler)(nil)
+	_ core.Descheduler    = (*Scheduler)(nil)
+	_ core.Quiescer       = (*Scheduler)(nil)
+)
 
 // Bind is called by core.NewRuntime; the scheduler picks up the
 // runtime's tracer (if any) for admission metrics and stall events.
@@ -55,6 +60,28 @@ func (s *Scheduler) Submit(f *core.Future) {
 		f.SchedState = &stallState{}
 	}
 	s.queue = append(s.queue, f)
+	s.scanLocked()
+	s.noteDepthLocked()
+	s.mu.Unlock()
+}
+
+// SubmitBatch appends a group of futures under one lock acquisition and
+// runs one enable scan for the whole group (core.BatchScheduler). Since
+// every future is enqueued before the scan, the FIFO admission decisions
+// are exactly those of submitting them one by one in slice order — this is
+// the reference semantics the tree scheduler's batched descent is checked
+// against in the parity tests.
+func (s *Scheduler) SubmitBatch(fs []*core.Future) {
+	if len(fs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, f := range fs {
+		if s.tracer != nil {
+			f.SchedState = &stallState{}
+		}
+		s.queue = append(s.queue, f)
+	}
 	s.scanLocked()
 	s.noteDepthLocked()
 	s.mu.Unlock()

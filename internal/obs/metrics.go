@@ -47,6 +47,11 @@ type Metrics struct {
 	TreeNodeVisits atomic.Uint64 // tree-scheduler node traversals
 	WorkersStarted atomic.Uint64 // pool worker goroutines launched
 
+	// Batched-admission counters (DESIGN.md §12).
+	BatchSubmits  atomic.Uint64 // SubmitBatch calls that reached the scheduler
+	BatchTasks    atomic.Uint64 // futures submitted through SubmitBatch
+	BatchDescents atomic.Uint64 // shared-prefix tree descents performed for batches
+
 	// Gauges (use the Set/Add methods, which track peaks).
 	queueDepth      atomic.Int64
 	queueDepthPeak  atomic.Int64
@@ -112,6 +117,8 @@ type Snapshot struct {
 	ConflictChecks, ConflictHits     uint64
 	AdmissionScans, TreeNodeVisits   uint64
 	WorkersStarted                   uint64
+	BatchSubmits, BatchTasks         uint64
+	BatchDescents                    uint64
 	QueueDepth, QueueDepthPeak       int64
 	PoolRunning, PoolRunningPeak     int64
 	AdmissionCount                   uint64
@@ -151,6 +158,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		AdmissionScans:     m.AdmissionScans.Load(),
 		TreeNodeVisits:     m.TreeNodeVisits.Load(),
 		WorkersStarted:     m.WorkersStarted.Load(),
+		BatchSubmits:       m.BatchSubmits.Load(),
+		BatchTasks:         m.BatchTasks.Load(),
+		BatchDescents:      m.BatchDescents.Load(),
 		QueueDepth:         m.queueDepth.Load(),
 		QueueDepthPeak:     m.queueDepthPeak.Load(),
 		PoolRunning:        m.poolRunning.Load(),
@@ -235,6 +245,15 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		},
 		func() error {
 			return counter("twe_pool_workers_started_total", "Pool worker goroutines launched.", s.WorkersStarted)
+		},
+		func() error {
+			return counter("twe_sched_batch_submits_total", "SubmitBatch calls that reached the scheduler.", s.BatchSubmits)
+		},
+		func() error {
+			return counter("twe_sched_batch_tasks_total", "Futures submitted through SubmitBatch.", s.BatchTasks)
+		},
+		func() error {
+			return counter("twe_sched_batch_descents_total", "Shared-prefix tree descents performed for batched inserts.", s.BatchDescents)
 		},
 		func() error {
 			return gauge("twe_sched_queue_depth", "Tasks submitted but not yet enabled by the scheduler.", s.QueueDepth)

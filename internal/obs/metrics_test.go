@@ -27,6 +27,9 @@ func TestPrometheusGolden(t *testing.T) {
 	m.AdmissionScans.Store(20)
 	m.TreeNodeVisits.Store(55)
 	m.WorkersStarted.Store(2)
+	m.BatchSubmits.Store(3)
+	m.BatchTasks.Store(48)
+	m.BatchDescents.Store(5)
 	m.SetQueueDepth(5)
 	m.SetQueueDepth(2) // peak stays 5
 	m.SetPoolRunning(4)
@@ -96,6 +99,15 @@ twe_tree_node_visits_total 55
 # HELP twe_pool_workers_started_total Pool worker goroutines launched.
 # TYPE twe_pool_workers_started_total counter
 twe_pool_workers_started_total 2
+# HELP twe_sched_batch_submits_total SubmitBatch calls that reached the scheduler.
+# TYPE twe_sched_batch_submits_total counter
+twe_sched_batch_submits_total 3
+# HELP twe_sched_batch_tasks_total Futures submitted through SubmitBatch.
+# TYPE twe_sched_batch_tasks_total counter
+twe_sched_batch_tasks_total 48
+# HELP twe_sched_batch_descents_total Shared-prefix tree descents performed for batched inserts.
+# TYPE twe_sched_batch_descents_total counter
+twe_sched_batch_descents_total 5
 # HELP twe_sched_queue_depth Tasks submitted but not yet enabled by the scheduler.
 # TYPE twe_sched_queue_depth gauge
 twe_sched_queue_depth 2

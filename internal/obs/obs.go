@@ -94,6 +94,10 @@ const (
 	// KindBreaker: the dyneff abort-storm circuit breaker changed state;
 	// Detail is "open" or "closed".
 	KindBreaker
+	// KindBatchSubmit: a group of futures was handed to the scheduler in
+	// one SubmitBatch call. Task holds the first future's sequence number,
+	// Other the batch size; per-future KindSubmit events still follow.
+	KindBatchSubmit
 )
 
 func (k Kind) String() string {
@@ -134,6 +138,8 @@ func (k Kind) String() string {
 		return "retry"
 	case KindBreaker:
 		return "breaker"
+	case KindBatchSubmit:
+		return "batch-submit"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

@@ -63,20 +63,26 @@ func (p *Pool) SetTracer(t *obs.Tracer) {
 	p.mu.Unlock()
 }
 
-// queued is one unit of submitted work: exactly one of f / fw is set.
-// Two fields instead of wrapping f in a closure keeps Submit — the path
-// every DPJ-like baseline and app uses — allocation-free.
+// queued is one unit of submitted work: exactly one of f / fw / fi is
+// set. Separate fields instead of wrapping in closures keep Submit — the
+// path every DPJ-like baseline and app uses — and the batched admission
+// flush allocation-free per unit.
 type queued struct {
 	f  func()
 	fw func(worker int)
+	fi func(worker, i int) // shared across a batch; i selects the unit
+	i  int
 }
 
 func (q queued) call(worker int) {
-	if q.f != nil {
+	switch {
+	case q.f != nil:
 		q.f()
-		return
+	case q.fw != nil:
+		q.fw(worker)
+	default:
+		q.fi(worker, q.i)
 	}
-	q.fw(worker)
 }
 
 // Submit enqueues f for execution. It never blocks and is safe to call
@@ -101,6 +107,29 @@ func (p *Pool) submit(q queued) {
 	}
 	p.pending++
 	p.queue = append(p.queue, q)
+	p.dispatchLocked()
+	p.mu.Unlock()
+}
+
+// SubmitWorkerIndexed enqueues n units of work sharing one function —
+// unit i runs fn(worker, i) — under a single lock acquisition and a
+// single dispatch pass. This is the flush a batched scheduler admission
+// uses: enabling N tasks pays one wakeup and one closure instead of N of
+// each. Semantically equivalent to SubmitWorker of n index-capturing
+// closures.
+func (p *Pool) SubmitWorkerIndexed(fn func(worker, i int), n int) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("pool: Submit after Shutdown")
+	}
+	p.pending += n
+	for i := 0; i < n; i++ {
+		p.queue = append(p.queue, queued{fi: fn, i: i})
+	}
 	p.dispatchLocked()
 	p.mu.Unlock()
 }

@@ -1,0 +1,211 @@
+// Batch-admission mode for the schedule fuzzer (DESIGN.md §12): the same
+// generated task DAGs, but with driver launches entering the runtime
+// through Ctx.SubmitBatch groups instead of one ExecuteLater per task.
+// Group boundaries are chosen deterministically from the seed —
+// independent of the schedule and the scheduler — so the naive and tree
+// schedulers receive byte-identical batch sequences and the differential
+// oracle applies unchanged:
+//
+//   - the final store must equal the analytic expectation (batched
+//     admission must not lose, duplicate, or reorder a conflicting task's
+//     effects);
+//   - the isolation oracle observes no violation — in particular, two
+//     interfering members of one batch must never run concurrently;
+//   - the scheduler quiesces (a batched insert leaks no bookkeeping).
+//
+// Like fault mode, batch mode executes specs directly on the core runtime
+// (TWEL has no batch construct); the store is plain unsynchronized ints,
+// so -race doubles as an isolation proof for the batched admission path.
+package schedfuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"twe/internal/core"
+	"twe/internal/isolcheck"
+)
+
+// batchFlushProb is the denominator of the per-launch flush coin: after
+// each buffered launch the buffer flushes with probability 1/batchFlushProb,
+// producing a seed-derived mix of singleton and multi-task groups.
+const batchFlushProb = 3
+
+// launchBuf accumulates one task body's buffered launches and flushes
+// them as a SubmitBatch group. It is confined to the interpreting
+// goroutine; only the flushed-groups tally crosses into the shared exec.
+type launchBuf struct {
+	e    *faultExec
+	ctx  *core.Ctx
+	rnd  *rand.Rand
+	futs map[string]*core.Future
+	ops  []*Op
+	args []int
+}
+
+func newLaunchBuf(e *faultExec, ctx *core.Ctx, ti, p int, futs map[string]*core.Future) *launchBuf {
+	// The boundary stream depends only on (seed, task, param): the same
+	// spec instance produces the same groups under every scheduler and
+	// every perturbed schedule, which is what makes the runs comparable.
+	src := e.batchSeed ^ int64(ti)*0x9e3779b9 ^ int64(p)*0x85ebca77 ^ 0xba7c4
+	return &launchBuf{e: e, ctx: ctx, rnd: rand.New(rand.NewSource(src)), futs: futs}
+}
+
+// add buffers one launch and flips the seed-derived coin for an early
+// group boundary.
+func (lb *launchBuf) add(op *Op, arg int) error {
+	lb.ops = append(lb.ops, op)
+	lb.args = append(lb.args, arg)
+	if lb.rnd.Intn(batchFlushProb) == 0 {
+		return lb.flush()
+	}
+	return nil
+}
+
+// flush submits the buffered launches as one group and registers their
+// futures under the names later waits look up.
+func (lb *launchBuf) flush() error {
+	if len(lb.ops) == 0 {
+		return nil
+	}
+	subs := make([]core.Submission, len(lb.ops))
+	for i, op := range lb.ops {
+		subs[i] = core.Submission{Task: lb.e.tasks[op.Child], Arg: lb.args[i]}
+	}
+	fs, err := lb.ctx.SubmitBatch(subs)
+	if err != nil {
+		return err
+	}
+	for i, op := range lb.ops {
+		if op.Fut != "" {
+			lb.futs[op.Fut] = fs[i]
+		}
+	}
+	if len(lb.ops) >= 2 {
+		lb.e.mu.Lock()
+		lb.e.groups++
+		lb.e.mu.Unlock()
+	}
+	lb.ops, lb.args = lb.ops[:0], lb.args[:0]
+	return nil
+}
+
+// runBatchOnRuntime executes the spec with batched launches on a fresh
+// runtime with the named scheduler and (seed, schedule) yielder. It
+// returns the final store and the number of multi-task groups flushed.
+func runBatchOnRuntime(spec *Spec, name string, seed int64, schedule int, cfg Config) (Store, int64, *Failure) {
+	sched := newScheduler(name)
+	chk := isolcheck.New()
+	opts := []core.Option{core.WithMonitor(chk)}
+	if schedule != 0 {
+		opts = append(opts, core.WithYield(Yielder(seed, schedule)))
+	}
+	rt := core.NewRuntime(sched, cfg.Parallelism, opts...)
+	e := newFaultExec(spec, rt)
+	e.batch, e.batchSeed = true, seed
+
+	fail := func(kind FailKind, format string, args ...any) *Failure {
+		return &Failure{Seed: seed, Schedule: schedule, Scheduler: name,
+			Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := rt.Execute(e.tasks[0], 0)
+		rt.Shutdown() // drain fire-and-forget launches before snapshotting
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			return Store{}, 0, fail(RuntimeError, "run: %v", err)
+		}
+	case <-time.After(cfg.Timeout):
+		detail := fmt.Sprintf("no quiescence after %v", cfg.Timeout)
+		if pc, ok := sched.(pendingCount); ok {
+			detail += fmt.Sprintf("; %d task(s) still pending in scheduler queue", pc.Pending())
+		}
+		return Store{}, 0, fail(Deadlock, "%s", detail)
+	}
+
+	if vs := chk.Violations(); len(vs) > 0 {
+		return Store{}, 0, fail(Isolation, "%d violation(s) under batched admission: %v", len(vs), vs)
+	}
+	if !rt.Quiesced() {
+		return Store{}, 0, fail(NotQuiesced, "scheduler retained bookkeeping after batched run")
+	}
+	return e.store(), e.groups, nil
+}
+
+// RunSpecBatch runs one spec with batched launches differentially across
+// both schedulers and cfg.Schedules perturbed schedules, comparing every
+// final store against the analytic expectation. It also returns the total
+// multi-task groups flushed, so campaigns can prove batching actually
+// exercised the grouped path.
+func RunSpecBatch(spec *Spec, cfg Config) ([]*Failure, int64) {
+	cfg = cfg.withDefaults()
+	expected := spec.ExpectedStore()
+	var fails []*Failure
+	var groups int64
+	for _, name := range schedulerNames {
+		if cfg.onlyScheduler != "" && name != cfg.onlyScheduler {
+			continue
+		}
+		for schedule := 0; schedule <= cfg.Schedules; schedule++ {
+			if cfg.onlySchedule >= 0 && schedule != cfg.onlySchedule {
+				continue
+			}
+			st, g, fail := runBatchOnRuntime(spec, name, spec.Seed, schedule, cfg)
+			if fail != nil {
+				fails = append(fails, fail)
+				continue
+			}
+			groups += g
+			if !st.Equal(expected) {
+				fails = append(fails, &Failure{Seed: spec.Seed, Schedule: schedule, Scheduler: name,
+					Kind: StoreMismatch, Detail: "under batched admission: " + DiffStores("expected", expected, name, st)})
+			}
+		}
+	}
+	return fails, groups
+}
+
+// FuzzOneBatch generates the program for one seed and runs it with
+// batched admission.
+func FuzzOneBatch(seed int64, cfg Config) []*Failure {
+	fails, _ := RunSpecBatch(Generate(seed), cfg)
+	return fails
+}
+
+// ReplayBatch re-runs one seed in batch mode, optionally restricted to a
+// single scheduler ("naive"/"tree", "" = both) and a single schedule index
+// (negative = 0..cfg.Schedules). This is the engine behind
+// `twe-fuzz -batch -seed N -schedule M`.
+func ReplayBatch(seed int64, scheduler string, schedule int, cfg Config) []*Failure {
+	cfg.filtered = true
+	cfg.onlyScheduler = scheduler
+	cfg.onlySchedule = schedule
+	if schedule > cfg.Schedules {
+		cfg.Schedules = schedule
+	}
+	return FuzzOneBatch(seed, cfg)
+}
+
+// FuzzBatch runs a batched-admission campaign over seeds [start, start+n).
+func FuzzBatch(start int64, n int, cfg Config, progress func(seed int64, fails []*Failure)) *Report {
+	rep := &Report{}
+	for i := 0; i < n; i++ {
+		seed := start + int64(i)
+		spec := Generate(seed)
+		rep.Programs++
+		rep.Instances += spec.Instances()
+		fails, groups := RunSpecBatch(spec, cfg)
+		rep.BatchGroups += groups
+		rep.Failures = append(rep.Failures, fails...)
+		if progress != nil {
+			progress(seed, fails)
+		}
+	}
+	return rep
+}

@@ -129,10 +129,17 @@ func (s *Spec) Faulted() []int {
 }
 
 // faultExec executes a (possibly faulted) spec directly on a core runtime.
+// Batch mode (batch.go) reuses it with batching enabled: launches buffer
+// into SubmitBatch groups instead of submitting one by one.
 type faultExec struct {
 	spec  *Spec
 	rt    *core.Runtime
 	tasks []*core.Task
+
+	// batch enables launch buffering (batch.go); batchSeed derives the
+	// deterministic, schedule-independent flush boundaries.
+	batch     bool
+	batchSeed int64
 
 	// The store: plain unsynchronized ints — the schedulers' isolation is
 	// the only thing keeping -race quiet.
@@ -141,6 +148,7 @@ type faultExec struct {
 
 	mu      sync.Mutex
 	faulted []faultedFut
+	groups  int64 // batch mode: SubmitBatch groups of size >= 2 flushed
 }
 
 type faultedFut struct {
@@ -204,10 +212,18 @@ func (e *faultExec) body(ti int) core.Body {
 }
 
 // interpret runs task ti's ops with parameter p inside ctx. OpCall
-// recurses inline (same ctx), mirroring the TWEL executor.
+// recurses inline (same ctx), mirroring the TWEL executor. In batch mode
+// plain launches buffer into lb and enter the runtime as SubmitBatch
+// groups; the buffer flushes at seed-chosen boundaries, before any wait
+// that references a still-buffered future, and at body end, so every
+// launch is submitted and waits never see a missing future.
 func (e *faultExec) interpret(ctx *core.Ctx, ti, p int) error {
 	futs := map[string]*core.Future{}
 	spawns := map[string]*core.SpawnedFuture{}
+	var lb *launchBuf
+	if e.batch {
+		lb = newLaunchBuf(e, ctx, ti, p, futs)
+	}
 	for _, op := range e.spec.Tasks[ti].Ops {
 		amount := op.Amount
 		if op.AmountFromParam {
@@ -232,6 +248,12 @@ func (e *faultExec) interpret(ctx *core.Ctx, ti, p int) error {
 			_ = e.read(op, p)
 		case OpLaunch:
 			child := e.spec.Tasks[op.Child]
+			if lb != nil && child.Fault == FaultNone {
+				if err := lb.add(op, childArg); err != nil {
+					return err
+				}
+				continue
+			}
 			var f *core.Future
 			var err error
 			if child.Fault == FaultDeadline {
@@ -254,6 +276,11 @@ func (e *faultExec) interpret(ctx *core.Ctx, ti, p int) error {
 				futs[op.Fut] = f
 			}
 		case OpWait:
+			if lb != nil && futs[op.Fut] == nil {
+				if err := lb.flush(); err != nil {
+					return err
+				}
+			}
 			f := futs[op.Fut]
 			if f == nil {
 				continue
@@ -284,6 +311,9 @@ func (e *faultExec) interpret(ctx *core.Ctx, ti, p int) error {
 		case OpRefUse:
 			// Dynamic-effect declaration: a no-op at run time, as in TWEL.
 		}
+	}
+	if lb != nil {
+		return lb.flush()
 	}
 	return nil
 }

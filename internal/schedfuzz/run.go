@@ -246,6 +246,9 @@ type Report struct {
 	Programs  int
 	Failures  []*Failure
 	Instances int // total task instances across all generated programs
+	// BatchGroups counts SubmitBatch groups of size >= 2 flushed during a
+	// batched campaign (FuzzBatch); zero in the other modes.
+	BatchGroups int64
 }
 
 // Fuzz runs seeds [start, start+n) and collects all failures. progress, if

@@ -43,6 +43,11 @@ func Run(t *testing.T, name string, mk Factory) {
 	t.Run(name+"/WildcardEffects", func(t *testing.T) { wildcardEffects(t, mk) })
 	t.Run(name+"/Pipeline", func(t *testing.T) { pipeline(t, mk) })
 	t.Run(name+"/IndexedRegions", func(t *testing.T) { indexedRegions(t, mk) })
+	t.Run(name+"/BatchDisjoint", func(t *testing.T) { batchDisjoint(t, mk) })
+	t.Run(name+"/BatchIntraConflict", func(t *testing.T) { batchIntraConflict(t, mk) })
+	t.Run(name+"/BatchWildcardOrder", func(t *testing.T) { batchWildcardOrder(t, mk) })
+	t.Run(name+"/BatchMixedPure", func(t *testing.T) { batchMixedPure(t, mk) })
+	t.Run(name+"/BatchRepeated", func(t *testing.T) { batchRepeated(t, mk) })
 	t.Run(name+"/DyneffCounterExact", func(t *testing.T) { dyneffCounterExact(t, mk) })
 	t.Run(name+"/DyneffAbortRestoresPreState", func(t *testing.T) { dyneffAbortRestoresPreState(t, mk) })
 	t.Run(name+"/DyneffTransferConservation", func(t *testing.T) { dyneffTransferConservation(t, mk) })

@@ -1,0 +1,130 @@
+package svc
+
+import (
+	"testing"
+)
+
+// TestBatchWireOp exercises the batch frame at the protocol level: one
+// frame carrying puts, a read-back get, a malformed inner op, and a
+// nested batch. Responses must come back one per inner request, in batch
+// order, and the whole group must have entered the runtime through a
+// single SubmitBatch call.
+func TestBatchWireOp(t *testing.T) {
+	s := startTestServer(t, Config{Par: 2, Shards: 4, Keys: 64})
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	put := func(id uint64, key int, val int64) Request {
+		return Request{ID: id, Op: OpPut, Key: key, Val: val, Eff: PutEffect(c.Shards, key, c.SID)}
+	}
+	batch := []Request{
+		put(1, 0, 10),
+		put(2, 1, 20),
+		put(3, 0, 11), // same key as #1: intra-batch conflict, must serialize after it
+		{ID: 4, Op: OpGet, Key: 0, Eff: GetEffect(c.Shards, 0, c.SID)},
+		{ID: 5, Op: OpPut, Key: 2, Val: 30, Eff: "reads Root"}, // declared effect does not cover
+		{ID: 6, Op: OpBatch}, // nested batch
+		{ID: 7, Op: OpStats},
+	}
+	if err := c.SendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		id     uint64
+		status string
+		val    int64
+	}{
+		{1, StatusOK, 0}, {2, StatusOK, 0}, {3, StatusOK, 0},
+		{4, StatusOK, 11}, // program order within the session: sees put #3
+		{5, StatusRejected, 0}, {6, StatusRejected, 0}, {7, StatusOK, 0},
+	}
+	for i, w := range want {
+		resp, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if resp.ID != w.id || resp.Status != w.status {
+			t.Fatalf("resp %d = id %d status %s, want id %d status %s (%s)",
+				i, resp.ID, resp.Status, w.id, w.status, resp.Err)
+		}
+		if w.status == StatusOK && w.id == 4 && resp.Val != w.val {
+			t.Fatalf("get = %d, want %d", resp.Val, w.val)
+		}
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Batches != 1 || st.BatchedOps != int64(len(batch)) {
+		t.Fatalf("batches=%d batched_ops=%d, want 1/%d", st.Batches, st.BatchedOps, len(batch))
+	}
+	// The admitted inner ops (3 puts + 1 get) must have been one
+	// SubmitBatch group.
+	if got := s.Tracer().Metrics().BatchSubmits.Load(); got != 1 {
+		t.Fatalf("runtime batch submits = %d, want 1", got)
+	}
+	if got := s.Tracer().Metrics().BatchTasks.Load(); got != 4 {
+		t.Fatalf("runtime batch tasks = %d, want 4", got)
+	}
+	drainClean(t, s)
+}
+
+// TestServeEndToEndBatched reruns the full closed-loop oracle with the
+// load generator grouping data ops into batch frames: same plans, same
+// oracle — only the framing changes, so everything must still check out.
+func TestServeEndToEndBatched(t *testing.T) {
+	for _, sched := range []string{"tree", "naive"} {
+		sched := sched
+		t.Run(sched, func(t *testing.T) {
+			s := startTestServer(t, Config{Sched: sched, Par: 4, Shards: 8, Keys: 128})
+			rep, err := RunLoad(LoadConfig{
+				Addr: s.Addr(), Conns: 8, Requests: 40, Pipeline: 4,
+				Seed: 3, Conflict: 0.3, ScanEvery: 10, Batch: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Violations) > 0 {
+				t.Fatalf("%d violation(s), first: %s", len(rep.Violations), rep.Violations[0])
+			}
+			if rep.Served == 0 || rep.Served != rep.Sent {
+				t.Fatalf("served %d of %d sent (no overload configured)", rep.Served, rep.Sent)
+			}
+			if rep.ServerStats.Batches == 0 || rep.ServerStats.BatchedOps == 0 {
+				t.Fatalf("no batch frames observed: %+v", rep.ServerStats)
+			}
+			drainClean(t, s)
+		})
+	}
+}
+
+// TestRunLoadFaultsBatched: batch framing under the fault storm — kills
+// mid-batch, wire cancels flushing the buffer — must still release every
+// effect and satisfy the final-state oracle.
+func TestRunLoadFaultsBatched(t *testing.T) {
+	s := startTestServer(t, Config{Par: 4, Shards: 8, Keys: 128})
+	rep, err := RunLoad(LoadConfig{
+		Addr: s.Addr(), Conns: 9, Requests: 40, Pipeline: 4,
+		Seed: 11, Conflict: 0.25, ScanEvery: 13, Faults: true, Batch: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("%d violation(s), first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	if rep.Killed != 3 {
+		t.Fatalf("killed = %d, want 3", rep.Killed)
+	}
+	if rep.ServerStats.Inflight != 0 {
+		t.Fatalf("in-flight gauge leaked: %d", rep.ServerStats.Inflight)
+	}
+	drainClean(t, s)
+}

@@ -19,10 +19,10 @@ import (
 // are parsed per-request without insertion. Canonical traffic fits far
 // below any reasonable bound, so this only degrades adversarial clients.
 type EffectCache struct {
-	mu    sync.RWMutex
-	m     map[string]effect.Set
-	max   int
-	hits  atomic.Int64
+	mu     sync.RWMutex
+	m      map[string]effect.Set
+	max    int
+	hits   atomic.Int64
 	misses atomic.Int64
 
 	parse func(string) (effect.Set, error) // test seam; defaults to effect.Parse

@@ -51,6 +51,13 @@ func Dial(addr string) (*Client, error) {
 // Send buffers one request frame (call Flush to push it out).
 func (c *Client) Send(req *Request) error { return WriteFrame(c.bw, req) }
 
+// SendBatch buffers one batch frame carrying reqs as a single admission
+// group. Each inner request must carry its own ID and elicits its own
+// response, in order; the outer frame has no response of its own.
+func (c *Client) SendBatch(reqs []Request) error {
+	return WriteFrame(c.bw, &Request{Op: OpBatch, Batch: reqs})
+}
+
 // Flush pushes buffered frames to the server.
 func (c *Client) Flush() error { return c.bw.Flush() }
 

@@ -14,15 +14,21 @@ import (
 // LoadConfig shapes one twe-load run. Everything is derived from Seed,
 // so a pinned seed reproduces the exact per-connection request plans.
 type LoadConfig struct {
-	Addr     string
-	Conns    int
-	Requests int // per connection
-	Pipeline int // closed-loop window (outstanding requests per connection)
-	Mode     string  // "closed" (windowed) or "open" (burst: send without waiting)
-	Seed     int64
-	Conflict float64 // probability an op targets the shared key range
-	ScanEvery int    // every n-th request is a full scan; 0 disables
+	Addr      string
+	Conns     int
+	Requests  int    // per connection
+	Pipeline  int    // closed-loop window (outstanding requests per connection)
+	Mode      string // "closed" (windowed) or "open" (burst: send without waiting)
+	Seed      int64
+	Conflict  float64 // probability an op targets the shared key range
+	ScanEvery int     // every n-th request is a full scan; 0 disables
 	AddFrac   float64 // fraction of non-scan ops that are adds; <0 disables adds
+	// Batch > 1 groups consecutive data ops into batch frames of up to
+	// Batch inner requests (capped at Pipeline in closed mode so window
+	// tokens for buffered ops cannot deadlock); cancels flush the buffer
+	// first and go out standalone. The plan and the oracle are identical
+	// to the unbatched run — batching only changes the framing.
+	Batch int
 	// Faults exercises the effect-release paths: every conn with
 	// conn%3==2 abruptly closes mid-plan, every conn with conn%3==1
 	// chases 30% of its puts with a wire cancel.
@@ -245,15 +251,51 @@ func runLoadWorker(cfg LoadConfig, conn int) (*workerResult, error) {
 		recvDone <- nil
 	}()
 
+	// Batched framing: group up to batchSize consecutive data ops into one
+	// batch frame. Window tokens are taken per inner op at buffer time, so
+	// the cap at Pipeline keeps buffered-but-unsent ops from exhausting the
+	// window (which would deadlock the closed loop).
+	batchSize := cfg.Batch
+	if useWindow && batchSize > cfg.Pipeline {
+		batchSize = cfg.Pipeline
+	}
+	var buf []Request
+	var bufIdx []int
 	var sendErr error
 	sentIdx := 0
+	flushBatch := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		now := time.Now().UnixNano()
+		for _, idx := range bufIdx {
+			atomic.StoreInt64(&sendTimes[idx], now)
+		}
+		var err error
+		if len(buf) == 1 {
+			err = c.Send(&buf[0])
+		} else {
+			err = c.SendBatch(buf)
+		}
+		if err == nil {
+			err = c.Flush()
+		}
+		if err != nil {
+			return err
+		}
+		sentIdx = bufIdx[len(bufIdx)-1] + 1
+		res.sent += len(buf)
+		res.dataSent += int64(len(buf)) // only data ops are buffered
+		buf, bufIdx = buf[:0], bufIdx[:0]
+		return nil
+	}
 	for i, op := range plan {
 		if i == killAt {
 			res.killed = true
 			c.RawConn().Close() // abrupt mid-run disconnect
 			break
 		}
-		req := &Request{ID: uint64(i + 1), Op: op.op, Key: op.key, Val: op.val}
+		req := Request{ID: uint64(i + 1), Op: op.op, Key: op.key, Val: op.val}
 		switch op.op {
 		case OpPut:
 			req.Eff = PutEffect(c.Shards, op.key, c.SID)
@@ -266,11 +308,29 @@ func runLoadWorker(cfg LoadConfig, conn int) (*workerResult, error) {
 		case OpCancel:
 			req.Target = uint64(op.target + 1)
 		}
+		if batchSize > 1 && op.op != OpCancel {
+			if useWindow {
+				window <- struct{}{}
+			}
+			buf = append(buf, req)
+			bufIdx = append(bufIdx, i)
+			if len(buf) >= batchSize {
+				if sendErr = flushBatch(); sendErr != nil {
+					break
+				}
+			}
+			continue
+		}
+		// Standalone frame; a cancel first flushes the buffer so its
+		// target is already on the wire.
+		if sendErr = flushBatch(); sendErr != nil {
+			break
+		}
 		if useWindow {
 			window <- struct{}{}
 		}
 		atomic.StoreInt64(&sendTimes[i], time.Now().UnixNano())
-		if sendErr = c.Send(req); sendErr == nil {
+		if sendErr = c.Send(&req); sendErr == nil {
 			sendErr = c.Flush()
 		}
 		if sendErr != nil {
@@ -281,6 +341,9 @@ func runLoadWorker(cfg LoadConfig, conn int) (*workerResult, error) {
 		if op.op != OpCancel {
 			res.dataSent++
 		}
+	}
+	if sendErr == nil && !res.killed {
+		sendErr = flushBatch()
 	}
 	recvErr := <-recvDone
 
@@ -649,6 +712,7 @@ func (rep *LoadReport) WriteBench(path string, cfg LoadConfig) error {
 			Conflict  float64 `json:"conflict"`
 			ScanEvery int     `json:"scan_every"`
 			Faults    bool    `json:"faults"`
+			Batch     int     `json:"batch,omitempty"`
 		} `json:"config"`
 		Results struct {
 			Sent          int64   `json:"sent"`
@@ -677,6 +741,7 @@ func (rep *LoadReport) WriteBench(path string, cfg LoadConfig) error {
 	doc.Config.Conflict = cfg.Conflict
 	doc.Config.ScanEvery = cfg.ScanEvery
 	doc.Config.Faults = cfg.Faults
+	doc.Config.Batch = cfg.Batch
 	doc.Results.Sent = rep.Sent
 	doc.Results.Served = rep.Served
 	doc.Results.Shed = rep.Shed

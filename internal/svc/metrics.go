@@ -88,6 +88,9 @@ type Metrics struct {
 	Errors     atomic.Int64
 	ControlOps atomic.Int64
 
+	Batches    atomic.Int64 // batch frames received
+	BatchedOps atomic.Int64 // inner ops delivered via batch frames
+
 	inflight     atomic.Int64
 	inflightPeak atomic.Int64
 
@@ -149,6 +152,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{counter, "twe_serve_rejected_total", "Malformed or insufficiently-declared requests.", m.Rejected.Load()},
 		{counter, "twe_serve_errors_total", "Data operations whose body failed.", m.Errors.Load()},
 		{counter, "twe_serve_control_ops_total", "Cancel and stats frames handled inline.", m.ControlOps.Load()},
+		{counter, "twe_serve_batches_total", "Batch frames received (one SubmitBatch group each).", m.Batches.Load()},
+		{counter, "twe_serve_batched_ops_total", "Inner requests delivered via batch frames.", m.BatchedOps.Load()},
 		{gauge, "twe_serve_inflight", "Admitted data ops not yet resolved.", m.inflight.Load()},
 		{gauge, "twe_serve_inflight_peak", "Peak of twe_serve_inflight.", m.inflightPeak.Load()},
 	}

@@ -96,8 +96,21 @@ func (s *session) reader() {
 
 func (s *session) handle(req *Request) {
 	switch req.Op {
-	case OpCancel:
-		s.srv.m.ControlOps.Add(1)
+	case OpBatch:
+		s.handleBatch(req)
+	case OpCancel, OpStats:
+		s.q <- pending{resp: s.controlResponse(req)}
+	default:
+		s.handleData(req)
+	}
+}
+
+// controlResponse serves a cancel or stats op and returns its response;
+// control ops never enter the runtime, whether they arrive standalone or
+// ride inside a batch frame.
+func (s *session) controlResponse(req *Request) *Response {
+	s.srv.m.ControlOps.Add(1)
+	if req.Op == OpCancel {
 		s.mu.Lock()
 		fut := s.pend[req.Target]
 		s.mu.Unlock()
@@ -105,41 +118,35 @@ func (s *session) handle(req *Request) {
 		if fut != nil && fut.Cancel(core.ErrCancelled) {
 			landed = 1 // cancelled before it started; effects released unused
 		}
-		s.q <- pending{resp: &Response{ID: req.ID, Status: StatusOK, Val: landed}}
-	case OpStats:
-		s.srv.m.ControlOps.Add(1)
-		st := s.srv.Stats()
-		s.q <- pending{resp: &Response{ID: req.ID, Status: StatusOK, Stats: &st}}
-	default:
-		s.handleData(req)
+		return &Response{ID: req.ID, Status: StatusOK, Val: landed}
 	}
+	st := s.srv.Stats()
+	return &Response{ID: req.ID, Status: StatusOK, Stats: &st}
 }
 
-// handleData is the admission state machine (DESIGN.md §11): parse the
+// admitData is the admission state machine (DESIGN.md §11): parse the
 // declared effect (memoized) → check it covers the op's required effect
-// → take an in-flight slot or refuse with busy → submit to the runtime
-// under the declared effect, with the configured deadline. No server
-// lock is held across any of it.
-func (s *session) handleData(req *Request) {
+// → take an in-flight slot or refuse with busy. It returns either the
+// submission to hand to the runtime (in-flight slot taken, configured
+// deadline attached) or the immediate refusal response. No server lock
+// is held across any of it.
+func (s *session) admitData(req *Request) (core.Submission, *Response) {
 	m := &s.srv.m
 	m.Requests.Add(1)
-	reject := func(format string, args ...any) {
+	reject := func(format string, args ...any) *Response {
 		m.Rejected.Add(1)
-		s.q <- pending{resp: &Response{ID: req.ID, Status: StatusRejected, Err: fmt.Sprintf(format, args...)}}
+		return &Response{ID: req.ID, Status: StatusRejected, Err: fmt.Sprintf(format, args...)}
 	}
 	declared, err := s.srv.cache.Lookup(req.Eff)
 	if err != nil {
-		reject("bad effect: %v", err)
-		return
+		return core.Submission{}, reject("bad effect: %v", err)
 	}
 	task, required, err := s.buildTask(req)
 	if err != nil {
-		reject("%v", err)
-		return
+		return core.Submission{}, reject("%v", err)
 	}
 	if !declared.Covers(required) {
-		reject("declared effect %q does not cover required %q", declared, required)
-		return
+		return core.Submission{}, reject("declared effect %q does not cover required %q", declared, required)
 	}
 	// The wire effect is the admission key: the task runs under what the
 	// client declared, exactly as §2.1 tasks run under their summaries.
@@ -147,19 +154,83 @@ func (s *session) handleData(req *Request) {
 	if cur := m.IncInflight(); s.srv.cfg.MaxInflight > 0 && cur > int64(s.srv.cfg.MaxInflight) {
 		m.DecInflight()
 		m.Busy.Add(1)
-		s.q <- pending{resp: &Response{ID: req.ID, Status: StatusBusy}}
+		return core.Submission{}, &Response{ID: req.ID, Status: StatusBusy}
+	}
+	return core.Submission{Task: task, Deadline: s.srv.cfg.Deadline}, nil
+}
+
+// handleData admits and submits one standalone data op.
+func (s *session) handleData(req *Request) {
+	sub, resp := s.admitData(req)
+	if resp != nil {
+		s.q <- pending{resp: resp}
 		return
 	}
 	var fut *core.Future
-	if d := s.srv.cfg.Deadline; d > 0 {
-		fut = s.srv.rt.ExecuteLaterDeadline(task, nil, d)
+	if sub.Deadline > 0 {
+		fut = s.srv.rt.Submit(sub.Task, core.WithDeadline(sub.Deadline))
 	} else {
-		fut = s.srv.rt.ExecuteLater(task, nil)
+		fut = s.srv.rt.Submit(sub.Task)
 	}
 	s.mu.Lock()
 	s.pend[req.ID] = fut
 	s.mu.Unlock()
 	s.q <- pending{id: req.ID, fut: fut, arrive: time.Now()}
+}
+
+// handleBatch admits one batch frame (DESIGN.md §12): every inner data
+// op runs the same admission state machine as a standalone frame, but
+// all admitted ops enter the runtime through a single SubmitBatch call,
+// so the scheduler sees the group at once and can amortize its descent.
+// Responses are pipelined per inner request in batch order — observable
+// semantics are exactly those of sending the inner frames back to back.
+func (s *session) handleBatch(req *Request) {
+	m := &s.srv.m
+	m.Batches.Add(1)
+	m.BatchedOps.Add(int64(len(req.Batch)))
+	// resps[i] is the immediate response for inner request i, or nil when
+	// it was admitted; subIdx[i] then indexes its submission.
+	resps := make([]*Response, len(req.Batch))
+	subIdx := make([]int, len(req.Batch))
+	subs := make([]core.Submission, 0, len(req.Batch))
+	for i := range req.Batch {
+		r := &req.Batch[i]
+		subIdx[i] = -1
+		switch r.Op {
+		case OpBatch:
+			m.Requests.Add(1)
+			m.Rejected.Add(1)
+			resps[i] = &Response{ID: r.ID, Status: StatusRejected, Err: "nested batch"}
+		case OpCancel, OpStats:
+			resps[i] = s.controlResponse(r)
+		default:
+			sub, resp := s.admitData(r)
+			if resp != nil {
+				resps[i] = resp
+				continue
+			}
+			subIdx[i] = len(subs)
+			subs = append(subs, sub)
+		}
+	}
+	futs := s.srv.rt.SubmitBatch(subs)
+	// Register every future before the writer can resolve (and delete)
+	// any of them, then enqueue responses in batch order.
+	s.mu.Lock()
+	for i := range req.Batch {
+		if j := subIdx[i]; j >= 0 {
+			s.pend[req.Batch[i].ID] = futs[j]
+		}
+	}
+	s.mu.Unlock()
+	now := time.Now()
+	for i := range req.Batch {
+		if j := subIdx[i]; j >= 0 {
+			s.q <- pending{id: req.Batch[i].ID, fut: futs[j], arrive: now}
+		} else {
+			s.q <- pending{resp: resps[i]}
+		}
+	}
 }
 
 // buildTask returns the op's task body and its required (minimal)

@@ -212,6 +212,8 @@ func (s *Server) Stats() StatsBody {
 		Rejected:      s.m.Rejected.Load(),
 		Errors:        s.m.Errors.Load(),
 		ControlOps:    s.m.ControlOps.Load(),
+		Batches:       s.m.Batches.Load(),
+		BatchedOps:    s.m.BatchedOps.Load(),
 		EffHits:       hits,
 		EffMisses:     misses,
 		Inflight:      s.m.Inflight(),

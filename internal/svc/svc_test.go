@@ -227,8 +227,8 @@ func TestCancelOp(t *testing.T) {
 	send(&Request{ID: 1, Op: OpPut, Key: 0, Val: 5, Eff: PutEffect(c.Shards, 0, c.SID)})
 	<-entered // request 1 running, holds Session:[sid]
 	send(&Request{ID: 2, Op: OpPut, Key: 1, Val: 6, Eff: PutEffect(c.Shards, 1, c.SID)})
-	send(&Request{ID: 3, Op: OpCancel, Target: 2}) // waiting: cancel lands
-	send(&Request{ID: 4, Op: OpCancel, Target: 1}) // running: cooperative only
+	send(&Request{ID: 3, Op: OpCancel, Target: 2})  // waiting: cancel lands
+	send(&Request{ID: 4, Op: OpCancel, Target: 1})  // running: cooperative only
 	send(&Request{ID: 5, Op: OpCancel, Target: 99}) // unknown id: no-op ack
 	// All three cancels must be handled (causes set) before request 1's
 	// body resumes and runs its cancellation check.

@@ -43,6 +43,7 @@ const (
 	OpAdd    = "add"    // fold Val into Key's accumulator (dynamic effects, commutative)
 	OpCancel = "cancel" // best-effort cancel of the in-flight request with id Target
 	OpStats  = "stats"  // server counters snapshot
+	OpBatch  = "batch"  // Batch carries inner requests admitted as one group
 )
 
 // Response statuses.
@@ -72,6 +73,16 @@ type Request struct {
 	Val    int64  `json:"val,omitempty"`
 	Eff    string `json:"eff,omitempty"`
 	Target uint64 `json:"target,omitempty"` // cancel: id of the request to cancel
+	// Batch holds the inner requests of an OpBatch frame. One frame
+	// carries the whole group; every inner data op runs the normal
+	// admission state machine but all admitted ops enter the runtime
+	// through a single SubmitBatch call (DESIGN.md §12). The outer frame
+	// itself elicits no response: each inner request must carry its own
+	// ID and receives its own response, in batch order (pipelining
+	// semantics are identical to sending the inner frames back to back).
+	// Nested batches are rejected; cancel/stats ride along as inline
+	// control ops. An empty batch elicits nothing.
+	Batch []Request `json:"batch,omitempty"`
 }
 
 // Response is one server frame. Responses are written in request order
@@ -106,6 +117,9 @@ type StatsBody struct {
 	Rejected   int64 `json:"rejected"`
 	Errors     int64 `json:"errors"`
 	ControlOps int64 `json:"control_ops"` // cancel + stats frames
+
+	Batches    int64 `json:"batches"`     // batch frames received
+	BatchedOps int64 `json:"batched_ops"` // inner ops delivered via batch frames
 
 	EffHits      int64 `json:"eff_hits"` // effect-cache hits/misses
 	EffMisses    int64 `json:"eff_misses"`

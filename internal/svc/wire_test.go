@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -15,6 +16,10 @@ func TestFrameRoundTrip(t *testing.T) {
 		{ID: 2, Op: OpGet, Key: 3, Eff: "reads Root:Shard:[3], writes Root:Session:[0]"},
 		{ID: 3, Op: OpCancel, Target: 1},
 		{ID: 4, Op: OpStats},
+		{Op: OpBatch, Batch: []Request{
+			{ID: 5, Op: OpPut, Key: 1, Val: 7, Eff: "writes Root:Shard:[1], writes Root:Session:[0]"},
+			{ID: 6, Op: OpGet, Key: 1, Eff: "reads Root:Shard:[1], writes Root:Session:[0]"},
+		}},
 	}
 	for i := range reqs {
 		if err := WriteFrame(&buf, &reqs[i]); err != nil {
@@ -26,7 +31,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err := ReadFrame(&buf, &got); err != nil {
 			t.Fatal(err)
 		}
-		if got != reqs[i] {
+		if !reflect.DeepEqual(got, reqs[i]) {
 			t.Fatalf("frame %d: got %+v want %+v", i, got, reqs[i])
 		}
 	}

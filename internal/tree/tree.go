@@ -355,17 +355,27 @@ func NewWithOptions(opts Options) *Scheduler {
 	}
 }
 
-var _ core.Scheduler = (*Scheduler)(nil)
+var (
+	_ core.Scheduler      = (*Scheduler)(nil)
+	_ core.BatchScheduler = (*Scheduler)(nil)
+	_ core.Descheduler    = (*Scheduler)(nil)
+	_ core.Quiescer       = (*Scheduler)(nil)
+)
 
-// Submit inserts the future's effects starting at the root (executeLater).
-func (s *Scheduler) Submit(f *core.Future) {
-	effSet := f.Effects()
+// newState builds and registers the scheduler's per-future record.
+func newState(f *core.Future) *futState {
 	st := &futState{}
-	for _, e := range effSet.Effects() {
+	for _, e := range f.Effects().Effects() {
 		st.effs = append(st.effs, &effInst{write: e.Write, r: e.Region, fut: f})
 	}
 	st.disabled.Store(int64(len(st.effs)))
 	f.SchedState = st
+	return st
+}
+
+// Submit inserts the future's effects starting at the root (executeLater).
+func (s *Scheduler) Submit(f *core.Future) {
+	st := newState(f)
 
 	if len(st.effs) == 0 {
 		// A pure task conflicts with nothing.
@@ -382,23 +392,130 @@ func (s *Scheduler) Submit(f *core.Future) {
 	s.liveMu.Unlock()
 
 	prio := f.Status() == core.Prioritized // the execute optimization, §5.5.1
-	if s.root.rw != nil && s.tryFastInsert(st.effs, prio) {
+	if s.root.rw != nil && s.tryFastInsert(st.effs, prio, nil) {
 		s.fastInserts.Add(1)
 		s.ensureLiveness()
 		return
 	}
 	s.slowInserts.Add(1)
 	s.root.lock()
-	s.insert(s.root, st.effs, 0, prio)
+	s.insert(s.root, st.effs, 0, prio, nil)
 	s.ensureLiveness()
+}
+
+// SubmitBatch admits a group of futures in one pass (core.BatchScheduler;
+// DESIGN.md §12). It amortizes the three per-task costs of Submit:
+//
+//  1. Registration. Every future's effect bookkeeping (futState, waiting
+//     set, pure-task enabled slots) is registered before any enable
+//     decision, under one liveMu acquisition, so the group's isolation
+//     semantics are those of submitting the futures one by one in Seq
+//     order — two interfering batch members can never both enable.
+//  2. Descent. The combined effect list of the whole group descends the
+//     tree together: insert partitions effects per child node and locks
+//     each child once (children in sorted-prefix order), so N tasks
+//     sharing an RPL prefix pay one hand-over-hand descent instead of N.
+//     Effects the descent enables are collected into a ready sink and
+//     flushed to the execution pool in one core.ReadyBatch burst rather
+//     than one pool wakeup per task.
+//  3. Recheck. The liveness safety net runs in its coalesced form, taking
+//     the global recheck lock at most once for the whole batch instead of
+//     once per submitted task.
+func (s *Scheduler) SubmitBatch(fs []*core.Future) {
+	if len(fs) == 0 {
+		return
+	}
+	// Phase 1: register everything before enabling anything. The group's
+	// scheduler state is carved out of three slab allocations (futStates,
+	// effect instances, and the combined pointer slice): at batch sizes
+	// the per-task allocator traffic, not the tree locks, dominates
+	// admission cost. The slabs live until the whole group retires, which
+	// is the natural lifetime of a batch anyway. effInst pointers must
+	// stay stable, so insts is sized exactly and only ever indexed.
+	total := 0
+	for _, f := range fs {
+		total += f.Effects().Len()
+	}
+	states := make([]futState, len(fs))
+	insts := make([]effInst, total)
+	refs := make([]*effInst, total) // per-future effs subslices + combined view
+	var npure int
+	work := make([]*core.Future, 0, len(fs))
+	ready := make([]*core.Future, 0, len(fs))
+	k := 0
+	for i, f := range fs {
+		st := &states[i]
+		eff := f.Effects()
+		n := eff.Len()
+		for j := 0; j < n; j++ {
+			e := eff.At(j)
+			insts[k+j] = effInst{write: e.Write, r: e.Region, fut: f}
+			refs[k+j] = &insts[k+j]
+		}
+		st.effs = refs[k : k+n : k+n]
+		k += n
+		st.disabled.Store(int64(n))
+		f.SchedState = st
+		if n == 0 {
+			npure++
+			ready = append(ready, f) // a pure task conflicts with nothing
+		} else {
+			work = append(work, f)
+		}
+	}
+	all := refs[:k] // combined, in future-Seq order
+	s.liveMu.Lock()
+	s.enabledCount += npure
+	for _, f := range work {
+		s.waiting[f] = struct{}{}
+	}
+	s.noteDepthLocked()
+	s.liveMu.Unlock()
+
+	// Phase 2: one descent for the whole group.
+	if len(all) > 0 {
+		if s.tracer != nil {
+			s.tracer.Metrics().BatchDescents.Add(uint64(prefixGroups(all)))
+		}
+		if s.root.rw != nil && s.tryFastInsert(all, false, &ready) {
+			s.fastInserts.Add(1)
+		} else {
+			s.slowInserts.Add(1)
+			s.root.lock()
+			s.insert(s.root, all, 0, false, &ready)
+		}
+	}
+	core.ReadyBatch(ready)
+	s.ensureLivenessCoalesced()
+}
+
+// prefixGroups counts the distinct first-element prefixes of a batch — the
+// number of shared-prefix descents its admission performs (effects landing
+// at the root count as one group). Metrics only.
+func prefixGroups(effs []*effInst) int {
+	groups := make(map[rpl.Elem]struct{})
+	rootGroup := false
+	for _, e := range effs {
+		if e.r.Len() == 0 || e.r.Elem(0).IsWildcard() {
+			rootGroup = true
+		} else {
+			groups[e.r.Elem(0)] = struct{}{}
+		}
+	}
+	n := len(groups)
+	if rootGroup {
+		n++
+	}
+	return n
 }
 
 // tryFastInsert is the §5.5.2 fast path: when every effect passes through
 // the root (its RPL starts with a concrete element) and the root holds no
 // enabled effects with tails that a pass-through could conflict with, the
 // insert needs only the root's read lock. Child nodes are still locked in
-// sorted order, so concurrent fast inserts cannot deadlock.
-func (s *Scheduler) tryFastInsert(effs []*effInst, prio bool) bool {
+// sorted order, so concurrent fast inserts cannot deadlock. ready is the
+// batch enable sink (nil for single-task Submit), threaded to insert.
+func (s *Scheduler) tryFastInsert(effs []*effInst, prio bool, ready *[]*core.Future) bool {
 	for _, e := range effs {
 		if e.r.Len() == 0 || e.r.Elem(0).IsWildcard() {
 			return false // lands at the root: write path
@@ -412,25 +529,13 @@ func (s *Scheduler) tryFastInsert(effs []*effInst, prio bool) bool {
 		root.rw.RUnlock()
 		return false
 	}
-	effectsBelow := make(map[*node][]*effInst)
-	for _, e := range effs {
-		child := root.getOrCreateChild(e.r.Elem(0))
-		effectsBelow[child] = append(effectsBelow[child], e)
+	routes := make([]routedEff, len(effs))
+	for i, e := range effs {
+		routes[i] = routedEff{c: root.getOrCreateChild(e.r.Elem(0)), e: e}
 	}
-	children := make([]*node, 0, len(effectsBelow))
-	for c := range effectsBelow {
-		children = append(children, c)
-	}
-	sort.Slice(children, func(i, j int) bool {
-		return compareElem(children[i].elem, children[j].elem) < 0
-	})
-	for _, c := range children {
-		c.lock()
-	}
+	lockRoutes(routes)
 	root.rw.RUnlock()
-	for _, c := range children {
-		s.insert(c, effectsBelow[c], 1, prio)
-	}
+	s.insertRoutes(routes, 1, prio, ready)
 	return true
 }
 
@@ -582,43 +687,114 @@ func (s *Scheduler) Quiesced() bool {
 // --- insertion (Fig. 5.4) ------------------------------------------------
 
 // insert processes effects at node n, which must be locked on entry and is
-// unlocked before recursing into children.
-func (s *Scheduler) insert(n *node, effs []*effInst, depth int, prio bool) {
+// unlocked before recursing into children. effs may combine the effects of
+// several futures (a SubmitBatch group) in future-Seq order; ready, when
+// non-nil, collects futures this insert fully enables instead of handing
+// each to the pool individually (the batch flush of core.ReadyBatch).
+func (s *Scheduler) insert(n *node, effs []*effInst, depth int, prio bool, ready *[]*core.Future) {
 	s.visitNode()
-	effectsBelow := make(map[*node][]*effInst)
+	// routes collects group effects headed into child subtrees; it stays
+	// nil for the common leaf-level insert, which then allocates nothing.
+	var routes []routedEff
+	// pendingBelow tracks group effects already routed to a child subtree
+	// but not yet placed there: a later effect living at n cannot see them
+	// through checkAt (they are not at n) or checkBelow (not placed yet),
+	// so it must check them here or two interfering batch members could
+	// both enable.
+	var pendingBelow []*effInst
 	for _, e := range effs {
 		if e.r.Len() == depth || e.r.Elem(depth).IsWildcard() {
 			// n is the maximal wildcard-free prefix node: the effect lives
 			// here permanently (while this placement holds).
 			n.add(e)
 			if !s.checkAt(n, e, prio) {
-				if !s.checkBelow(n, e, n, prio) {
-					s.enable(e, n)
+				if !s.waitOnPending(e, pendingBelow) && !s.checkBelow(n, e, n, prio) {
+					s.enableInto(e, n, ready)
 				}
 			}
 		} else {
 			if s.checkAt(n, e, prio) {
 				n.add(e) // wait here; recheck will move it down later
 			} else {
-				child := n.getOrCreateChild(e.r.Elem(depth))
-				effectsBelow[child] = append(effectsBelow[child], e)
+				routes = append(routes, routedEff{c: n.getOrCreateChild(e.r.Elem(depth)), e: e})
+				pendingBelow = append(pendingBelow, e)
 			}
 		}
 	}
-	children := make([]*node, 0, len(effectsBelow))
-	for c := range effectsBelow {
-		children = append(children, c)
+	if len(routes) == 0 {
+		n.unlock()
+		return
 	}
-	sort.Slice(children, func(i, j int) bool {
-		return compareElem(children[i].elem, children[j].elem) < 0
-	})
-	for _, c := range children {
-		c.lock()
-	}
+	lockRoutes(routes)
 	n.unlock()
-	for _, c := range children {
-		s.insert(c, effectsBelow[c], depth+1, prio)
+	s.insertRoutes(routes, depth+1, prio, ready)
+}
+
+// routedEff pairs a group effect with the child subtree it routes into
+// during an insert descent.
+type routedEff struct {
+	c *node
+	e *effInst
+}
+
+// lockRoutes sorts routes stably by child and locks each distinct child —
+// stable so children are locked in compareElem order (the global child
+// lock order) while each child's effects keep their Seq order. Call with
+// the parent lock held; the caller releases the parent afterwards
+// (hand-over-hand).
+func lockRoutes(routes []routedEff) {
+	sort.SliceStable(routes, func(i, j int) bool {
+		return compareElem(routes[i].c.elem, routes[j].c.elem) < 0
+	})
+	for i := range routes {
+		if i == 0 || routes[i].c != routes[i-1].c {
+			routes[i].c.lock()
+		}
 	}
+}
+
+// insertRoutes recurses into each locked child with its run of effects.
+// One scratch slice serves every run: insert stores the *effInst values
+// into node sets, never the slice itself, so the backing array is free
+// for reuse as soon as the recursive call returns.
+func (s *Scheduler) insertRoutes(routes []routedEff, depth int, prio bool, ready *[]*core.Future) {
+	group := make([]*effInst, 0, len(routes))
+	for i := 0; i < len(routes); {
+		j := i + 1
+		for j < len(routes) && routes[j].c == routes[i].c {
+			j++
+		}
+		group = group[:0]
+		for k := i; k < j; k++ {
+			group = append(group, routes[k].e)
+		}
+		s.insert(routes[i].c, group, depth, prio, ready)
+		i = j
+	}
+}
+
+// waitOnPending checks a lives-at-n effect e against the same insert
+// group's effects routed below n but not yet placed. On the first
+// conflict, e is left disabled waiting on that effect: registering in its
+// waiters set is safe while it is unplaced because placement happens later
+// on this same goroutine (after n unlocks), so the write is ordered before
+// any other goroutine can reach the set through its node lock. This is
+// conservative relative to one-by-one submission (which could let e
+// overtake a conflicting effect that ends up disabled below), but never
+// less available: a recheck of e performs the normal checkBelow against
+// the then-placed effect and resolves it the sequential way.
+func (s *Scheduler) waitOnPending(e *effInst, pending []*effInst) bool {
+	for _, ep := range pending {
+		if s.conflicts(ep, e) {
+			if ep.waiters == nil {
+				ep.waiters = make(map[*effInst]struct{})
+			}
+			ep.waiters[e] = struct{}{}
+			s.traceStall(e, ep)
+			return true
+		}
+	}
+	return false
 }
 
 // --- conflict checking (Figs. 5.6–5.8) ------------------------------------
@@ -777,7 +953,16 @@ func spawnedConflicts(blocked *core.Future, e *effInst) bool {
 
 // enable marks e enabled; if it was the task's last disabled effect the
 // task is handed to the execution pool. Caller holds n.mu (= e's node).
-func (s *Scheduler) enable(e *effInst, n *node) {
+func (s *Scheduler) enable(e *effInst, n *node) { s.enableInto(e, n, nil) }
+
+// enableInto is enable with a deferred pool handoff: when ready is
+// non-nil, a fully enabled future is appended to it for a later
+// core.ReadyBatch flush instead of Ready() under the node lock. The
+// liveness bookkeeping (waiting set, enabled count) is settled here either
+// way, so tryDisable (blocked by disabled==0), ensureLiveness (sees
+// enabledCount>0) and Deschedule all remain correct during the deferral
+// window.
+func (s *Scheduler) enableInto(e *effInst, n *node, ready *[]*core.Future) {
 	if e.enabled {
 		return
 	}
@@ -791,7 +976,11 @@ func (s *Scheduler) enable(e *effInst, n *node) {
 		s.enabledCount++
 		s.noteDepthLocked()
 		s.liveMu.Unlock()
-		e.fut.Ready()
+		if ready != nil {
+			*ready = append(*ready, e.fut)
+		} else {
+			e.fut.Ready()
+		}
 	}
 }
 
@@ -824,12 +1013,19 @@ func (s *Scheduler) recheckTask(t *core.Future, st *futState) {
 		s.tracer.Metrics().AdmissionScans.Add(1)
 	}
 	s.recheckMu.Lock()
+	s.recheckTaskLocked(t, st)
+	s.recheckMu.Unlock()
+}
+
+// recheckTaskLocked is the body of recheckTask; the caller holds
+// recheckMu. The batch path's coalesced liveness loop calls it directly so
+// one recheckMu acquisition covers a whole group of rechecks.
+func (s *Scheduler) recheckTaskLocked(t *core.Future, st *futState) {
 	if t.IsDone() {
 		// The task finished — normally, or cancelled and descheduled —
 		// between the caller's decision and this point. Deschedule removes
 		// effects under recheckMu, so touching them here could re-add an
 		// effect to the tree after its removal; stand down.
-		s.recheckMu.Unlock()
 		return
 	}
 	st.disabled.Add(recheckOffset) // set the rechecking flag
@@ -845,7 +1041,6 @@ func (s *Scheduler) recheckTask(t *core.Future, st *futState) {
 		}
 	}
 	st.disabled.Add(-recheckOffset)
-	s.recheckMu.Unlock()
 }
 
 // recheckEffect re-checks a single disabled effect, moving it down toward
@@ -928,6 +1123,52 @@ func (s *Scheduler) ensureLiveness() {
 		// A prioritized recheck while nothing is enabled always succeeds
 		// (every conflicting enabled effect belongs to a non-fully-enabled
 		// task and is disablable), so this loop terminates.
+		if oldest.Status() >= core.Enabled {
+			return
+		}
+	}
+}
+
+// ensureLivenessCoalesced is ensureLiveness for the batch path: the whole
+// prioritize-and-recheck loop runs under a single recheckMu acquisition,
+// so a SubmitBatch pays for the global recheck lock at most once instead
+// of once per submitted task. Lock order (recheckMu → node locks → liveMu)
+// is unchanged.
+func (s *Scheduler) ensureLivenessCoalesced() {
+	s.liveMu.Lock()
+	stalled := s.enabledCount == 0 && len(s.waiting) > 0
+	s.liveMu.Unlock()
+	if !stalled {
+		return
+	}
+	s.recheckMu.Lock()
+	defer s.recheckMu.Unlock()
+	for {
+		s.liveMu.Lock()
+		if s.enabledCount > 0 || len(s.waiting) == 0 {
+			s.liveMu.Unlock()
+			return
+		}
+		var oldest *core.Future
+		for f := range s.waiting {
+			if f.Status() >= core.Enabled || f.IsDone() {
+				continue
+			}
+			if oldest == nil || f.Seq() < oldest.Seq() {
+				oldest = f
+			}
+		}
+		s.liveMu.Unlock()
+		if oldest == nil {
+			return
+		}
+		oldest.CompareAndSwapStatus(core.Waiting, core.Prioritized)
+		if st := stateOf(oldest); st != nil {
+			if s.tracer != nil {
+				s.tracer.Metrics().AdmissionScans.Add(1)
+			}
+			s.recheckTaskLocked(oldest, st)
+		}
 		if oldest.Status() >= core.Enabled {
 			return
 		}

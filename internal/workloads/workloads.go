@@ -21,7 +21,9 @@ import (
 	"twe/internal/apps/ssca2"
 	"twe/internal/apps/tsp"
 	"twe/internal/core"
+	"twe/internal/effect"
 	"twe/internal/faultinject"
+	"twe/internal/rpl"
 	"twe/internal/svc"
 )
 
@@ -155,6 +157,50 @@ var registry = map[string]Workload{
 			}
 			if !out.Quiesced {
 				return fmt.Errorf("faults: runtime did not quiesce")
+			}
+			return nil
+		},
+	},
+	"batch": {
+		Name: "batch",
+		Desc: "batched group admission: SubmitBatch rounds over sharded counters + ParallelForBatch (DESIGN.md §12)",
+		Run: func(mk func() core.Scheduler, par int, opts ...core.Option) error {
+			rt := core.NewRuntime(mk(), par, opts...)
+			defer rt.Shutdown()
+			const shards, rounds, batch = 16, 24, 64
+			counters := make([]int, shards)
+			for r := 0; r < rounds; r++ {
+				subs := make([]core.Submission, batch)
+				for i := 0; i < batch; i++ {
+					sh := (r + i) % shards // 4 members per shard: intra-batch conflicts
+					subs[i] = core.Submission{
+						Task: core.NewTask("inc",
+							effect.NewSet(effect.WriteEff(rpl.New(rpl.N("C"), rpl.Idx(sh)))),
+							func(_ *core.Ctx, _ any) (any, error) {
+								counters[sh]++ // non-atomic: isolation is the only guard
+								return nil, nil
+							}),
+					}
+				}
+				if err := rt.WaitAll(rt.SubmitBatch(subs)); err != nil {
+					return err
+				}
+			}
+			for sh, c := range counters {
+				if want := rounds * batch / shards; c != want {
+					return fmt.Errorf("batch: counter[%d]=%d, want %d — batched admission lost an update", sh, c, want)
+				}
+			}
+			vec := make([]int, 512)
+			err := rt.ParallelForBatch("vec", rpl.New(rpl.N("V")), 0, len(vec), 32, effect.Set{},
+				func(i int) error { vec[i]++; return nil })
+			if err != nil {
+				return err
+			}
+			for i, v := range vec {
+				if v != 1 {
+					return fmt.Errorf("batch: vec[%d]=%d, want 1", i, v)
+				}
 			}
 			return nil
 		},

@@ -1,0 +1,82 @@
+#!/bin/sh
+# batch-smoke: end-to-end gate for batched group admission over the wire
+# (DESIGN.md §12). Two phases against real twe-serve daemons on ephemeral
+# ports, with the load generator grouping data ops into batch frames
+# (twe-load -batch 4) so every request enters the runtime through
+# SubmitBatch groups:
+#
+#   1. correctness — tree scheduler under the isolation oracle, batched
+#      pipelined traffic with scans and accumulator adds; the per-
+#      connection and final-state oracles must be clean, the server must
+#      actually have seen batch frames, and the SIGTERM drain audit clean.
+#   2. faults — mid-run disconnects and wire cancels with batch framing;
+#      every effect in a half-sent batch must be released (server back to
+#      idle, no leaked in-flight gauge).
+#
+# Run via `make batch-smoke` or directly. Exits non-zero on any failure.
+set -eu
+
+TMP="$(mktemp -d /tmp/twe-batch-smoke.XXXXXX)"
+SERVE="$TMP/twe-serve"
+LOAD="$TMP/twe-load"
+SRV_PID=""
+
+cleanup() {
+	[ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$SERVE" ./cmd/twe-serve
+go build -o "$LOAD" ./cmd/twe-load
+
+start_server() {
+	log="$TMP/$1.log"; shift
+	rm -f "$TMP/addr"
+	"$SERVE" -addr 127.0.0.1:0 -addr-file "$TMP/addr" \
+		-drain-timeout 30s "$@" >"$log" 2>&1 &
+	SRV_PID=$!
+	i=0
+	while [ ! -s "$TMP/addr" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "batch-smoke: server did not bind"; cat "$log"; exit 1; }
+		sleep 0.1
+	done
+}
+
+stop_server() {
+	kill -TERM "$SRV_PID"
+	if ! wait "$SRV_PID"; then
+		echo "batch-smoke: $1: dirty drain"
+		cat "$TMP/$1.log"
+		exit 1
+	fi
+	SRV_PID=""
+	cat "$TMP/$1.log"
+}
+
+# assert_batched <outfile>: the server must report a nonzero batch count,
+# or the run silently degenerated to per-request frames.
+assert_batched() {
+	if ! grep -Eq 'batches=[1-9][0-9]*\(' "$1"; then
+		echo "batch-smoke: server saw no batch frames"
+		cat "$1"
+		exit 1
+	fi
+}
+
+echo '== batch-smoke 1/2: batched correctness (tree + isolcheck, -batch 4) =='
+start_server correctness -sched tree -par 4 -isolcheck
+"$LOAD" -addr-file "$TMP/addr" -conns 16 -requests 40 -pipeline 4 -batch 4 \
+	-conflict 0.25 -scan-every 20 -seed 7 | tee "$TMP/load1.out"
+assert_batched "$TMP/load1.out"
+stop_server correctness
+
+echo '== batch-smoke 2/2: batched faults (disconnects + cancels release effects) =='
+start_server faults -sched tree -par 4 -isolcheck
+"$LOAD" -addr-file "$TMP/addr" -conns 16 -requests 40 -pipeline 4 -batch 4 \
+	-conflict 0.25 -seed 11 -faults | tee "$TMP/load2.out"
+assert_batched "$TMP/load2.out"
+stop_server faults
+
+echo 'batch-smoke: OK'
