@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz faults obs-smoke serve serve-smoke batch-smoke check
+.PHONY: build test race vet fuzz faults obs-smoke serve serve-smoke batch-smoke proto-smoke proto-fuzz check
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,19 @@ batch-smoke:
 		./internal/tree/ ./internal/svc/ ./internal/schedfuzz/
 	$(GO) run ./cmd/twe-fuzz -batch -seed 0 -n 150 -schedules 1 -timeout 20s
 	./scripts/batch-smoke.sh
+
+# Wire-protocol v2 gate (see DESIGN.md §13): the codec test battery
+# under -race (golden frames, effect-intern table, cross-codec parity,
+# pinned fuzz corpus replay), then live negotiation with mixed v1/v2
+# clients, then the same-seed v1-vs-v2 bench pair.
+proto-smoke:
+	./scripts/proto-smoke.sh
+
+# Open-ended coverage-guided fuzzing of the v2 frame decoders (the
+# pinned corpus replays in ordinary test runs; this explores beyond it).
+proto-fuzz:
+	$(GO) test ./internal/svc -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 60s
+	$(GO) test ./internal/svc -run '^$$' -fuzz FuzzEffectTableOps -fuzztime 30s
 
 check:
 	./ci.sh

@@ -68,6 +68,13 @@ BENCH_OUT=/tmp/BENCH_serve.json ./scripts/serve-smoke.sh
 echo '== batch smoke =='
 ./scripts/batch-smoke.sh
 
+# Wire-protocol v2 smoke (DESIGN.md §13): the codec battery under -race
+# (golden frames, intern table, cross-codec parity, pinned fuzz-corpus
+# replay), live negotiation with pure-v2 and mixed v1/v2 clients, and
+# the same-seed v1-vs-v2 bench pair (writes BENCH_serve_v2.json).
+echo '== proto smoke =='
+BENCH_V2_OUT=/tmp/BENCH_serve_v2.json ./scripts/proto-smoke.sh
+
 # Perf snapshots of the in-process workloads via the -apps filter:
 # BENCH_server.json plus BENCH_batch.json (batched vs per-task
 # submission throughput; schemas in EXPERIMENTS.md).

@@ -41,6 +41,7 @@ var (
 	addFracFlag  = flag.Float64("add-frac", 0.15, "fraction of ops that are accumulator adds (<0 disables)")
 	faultsFlag   = flag.Bool("faults", false, "mid-run disconnects + wire cancels; assert effects are released")
 	batchFlag    = flag.Int("batch", 0, "group up to N consecutive data ops into one batch frame (0/1 = per-request frames)")
+	protoFlag    = flag.String("proto", "v1", "wire protocol: v1 (JSON), v2 (binary + effect interning), or mixed")
 	jsonFlag     = flag.String("json", "", "write BENCH_serve.json here")
 	expectFlag   = flag.Bool("expect-shed", false, "fail unless shedding/backpressure was observed")
 	scrapeFlag   = flag.String("scrape", "", "GET this Prometheus URL and assert the serve metric families exist")
@@ -121,6 +122,7 @@ func main() {
 		AddFrac:   *addFracFlag,
 		Faults:    *faultsFlag,
 		Batch:     *batchFlag,
+		Proto:     *protoFlag,
 	}
 	rep, err := svc.RunLoad(cfg)
 	if err != nil {
@@ -128,8 +130,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("twe-load: %s sched=%s conns=%d reqs/conn=%d pipeline=%d batch=%d seed=%d conflict=%.2f faults=%v\n",
-		addr, rep.Sched, rep.Conns, rep.RequestsPerConn, cfg.Pipeline, cfg.Batch, cfg.Seed, cfg.Conflict, cfg.Faults)
+	fmt.Printf("twe-load: %s sched=%s proto=%s conns=%d reqs/conn=%d pipeline=%d batch=%d seed=%d conflict=%.2f faults=%v\n",
+		addr, rep.Sched, rep.Proto, rep.Conns, rep.RequestsPerConn, cfg.Pipeline, cfg.Batch, cfg.Seed, cfg.Conflict, cfg.Faults)
 	fmt.Printf("twe-load: sent=%d served=%d shed=%d busy=%d cancelled=%d acks=%d killed=%d elapsed=%v throughput=%.0f/s\n",
 		rep.Sent, rep.Served, rep.Shed, rep.Busy, rep.Cancelled, rep.CancelAcks, rep.Killed,
 		time.Duration(rep.ElapsedNS), rep.ThroughputRPS)
@@ -137,9 +139,10 @@ func main() {
 		time.Duration(rep.P50NS), time.Duration(rep.P90NS), time.Duration(rep.P99NS),
 		time.Duration(rep.MaxNS), rep.ShedRate(), rep.Checks)
 	if st := rep.ServerStats; st != nil {
-		fmt.Printf("twe-load: server requests=%d served=%d shed=%d busy=%d cancelled=%d disconnects=%d effcache=%d/%d inflight=%d batches=%d(%d ops)\n",
+		fmt.Printf("twe-load: server requests=%d served=%d shed=%d busy=%d cancelled=%d disconnects=%d effcache=%d/%d inflight=%d batches=%d(%d ops) conns=v1:%d/v2:%d effregs=%d\n",
 			st.Requests, st.Served, st.Shed, st.Busy, st.Cancelled, st.Disconnects,
-			st.EffHits, st.EffHits+st.EffMisses, st.Inflight, st.Batches, st.BatchedOps)
+			st.EffHits, st.EffHits+st.EffMisses, st.Inflight, st.Batches, st.BatchedOps,
+			st.V1Conns, st.V2Conns, st.EffRegs)
 	}
 
 	code := 0

@@ -103,9 +103,9 @@ func main() {
 		code = 1
 	}
 	st := s.Stats()
-	fmt.Printf("twe-serve: drained: conns=%d requests=%d served=%d shed=%d busy=%d cancelled=%d rejected=%d errors=%d disconnects=%d effcache=%d/%d inflight-peak=%d\n",
-		st.ConnsAccepted, st.Requests, st.Served, st.Shed, st.Busy, st.Cancelled, st.Rejected, st.Errors,
-		st.Disconnects, st.EffHits, st.EffHits+st.EffMisses, st.InflightPeak)
+	fmt.Printf("twe-serve: drained: conns=%d (v1=%d v2=%d) requests=%d served=%d shed=%d busy=%d cancelled=%d rejected=%d errors=%d disconnects=%d effcache=%d/%d effregs=%d inflight-peak=%d\n",
+		st.ConnsAccepted, st.V1Conns, st.V2Conns, st.Requests, st.Served, st.Shed, st.Busy, st.Cancelled, st.Rejected, st.Errors,
+		st.Disconnects, st.EffHits, st.EffHits+st.EffMisses, st.EffRegs, st.InflightPeak)
 
 	if *traceFlag != "" {
 		f, err := os.Create(*traceFlag)

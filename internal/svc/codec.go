@@ -1,0 +1,105 @@
+package svc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// serverCodec is the per-connection encoding layer behind the session's
+// reader/writer pair. ReadRequest is called only by the reader goroutine
+// and WriteResponse/Flush only by the writer goroutine; implementations
+// keep those two paths on disjoint state so no locking is needed.
+type serverCodec interface {
+	// ReadRequest decodes the next request frame into req (handling any
+	// codec-internal frames, e.g. v2 effect registrations, transparently).
+	// Errors are connection-fatal.
+	ReadRequest(req *Request) error
+	// WriteResponse encodes one response frame (buffered; Flush pushes).
+	WriteResponse(resp *Response) error
+	Flush() error
+	// Proto reports the negotiated protocol version.
+	Proto() int
+}
+
+// v1ServerCodec is the length-prefixed JSON compat codec (wire.go).
+type v1ServerCodec struct {
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func (c *v1ServerCodec) ReadRequest(req *Request) error {
+	*req = Request{}
+	return ReadFrame(c.br, req)
+}
+
+func (c *v1ServerCodec) WriteResponse(resp *Response) error { return WriteFrame(c.bw, resp) }
+func (c *v1ServerCodec) Flush() error                       { return c.bw.Flush() }
+func (c *v1ServerCodec) Proto() int                         { return ProtoV1 }
+
+// v2ServerCodec is the binary codec with per-connection effect
+// interning. Effect registrations parse through the server-wide
+// EffectCache, so the canonical strings of many connections share one
+// parse; resolved sets land in the connection's EffectTable and the
+// steady-state submit path is an array index.
+type v2ServerCodec struct {
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	tbl   EffectTable
+	cache *EffectCache
+	m     *Metrics
+
+	rbuf []byte // reader-side frame buffer (reader goroutine only)
+	wbuf []byte // writer-side frame buffer (writer goroutine only)
+}
+
+func newV2ServerCodec(br *bufio.Reader, bw *bufio.Writer, cache *EffectCache, m *Metrics) *v2ServerCodec {
+	return &v2ServerCodec{br: br, bw: bw, cache: cache, m: m}
+}
+
+func (c *v2ServerCodec) ReadRequest(req *Request) error {
+	for {
+		payload, err := readFrameV2(c.br, &c.rbuf)
+		if err != nil {
+			return err
+		}
+		isReg, err := decodeRequestV2(payload, &c.tbl, c.cache.Lookup, req)
+		if err != nil {
+			return err // malformed frame or bad registration: connection-fatal
+		}
+		if isReg {
+			c.m.EffRegs.Add(1)
+			continue // registration consumed; next frame
+		}
+		return nil
+	}
+}
+
+func (c *v2ServerCodec) WriteResponse(resp *Response) error {
+	var err error
+	c.wbuf, err = appendResponseV2(c.wbuf[:0], resp, MaxEffectRefs)
+	if err != nil {
+		return err
+	}
+	return writeFrameV2(c.bw, c.wbuf)
+}
+
+func (c *v2ServerCodec) Flush() error { return c.bw.Flush() }
+func (c *v2ServerCodec) Proto() int   { return ProtoV2 }
+
+// readPreamble consumes and validates the 4-byte client preamble,
+// returning the requested protocol version.
+func readPreamble(r io.Reader) (int, error) {
+	var pre [4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return 0, err
+	}
+	if pre[0] != preambleMagic[0] || pre[1] != preambleMagic[1] || pre[2] != preambleMagic[2] {
+		return 0, fmt.Errorf("svc: bad connection preamble % x (want magic %q)", pre, preambleMagic)
+	}
+	switch pre[3] {
+	case ProtoV1, ProtoV2:
+		return int(pre[3]), nil
+	}
+	return 0, fmt.Errorf("svc: unsupported protocol version %d", pre[3])
+}

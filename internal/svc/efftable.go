@@ -1,0 +1,78 @@
+package svc
+
+import (
+	"fmt"
+
+	"twe/internal/effect"
+)
+
+// EffectTable is a per-connection effect-id intern table (protocol v2,
+// DESIGN.md §13). A client registers the textual form of a declared
+// effect once into a client-chosen slot; every subsequent submit carries
+// only the slot number and resolves to the pre-parsed effect.Set with a
+// bounds check and an array index — the steady-state request path never
+// touches the textual form again.
+//
+// Lifecycle: the table lives and dies with its connection. A reconnect
+// starts from an empty table and must re-register (renegotiation); slots
+// are never shared across connections, so one client's refs can never
+// alias another's effects. Slots are bounded by MaxEffectRefs and
+// re-registering an occupied slot overwrites it, which makes eviction a
+// client-side policy: a client that needs more than MaxEffectRefs
+// distinct effects recycles slots it no longer uses.
+//
+// The table is confined to its connection's reader goroutine (register
+// and lookup both happen while decoding frames in order), so it needs no
+// locking.
+type EffectTable struct {
+	slots    []effectSlot
+	resident int   // occupied slots
+	regs     int64 // registrations, including overwrites
+}
+
+type effectSlot struct {
+	set effect.Set
+	err error // registration-time parse failure; poisons submits naming the slot
+	ok  bool
+}
+
+// Register binds ref to set, overwriting any previous binding of the
+// slot. Refs at or beyond MaxEffectRefs are refused so a hostile client
+// cannot grow server state without bound. A non-nil err records a parse
+// failure for the slot's textual form: the registration itself succeeds
+// (the frame was well formed) and every submit naming the slot is
+// rejected per-request, exactly as v1 rejects each request carrying an
+// unparseable effect string.
+func (t *EffectTable) Register(ref uint64, set effect.Set, err error) error {
+	if ref >= MaxEffectRefs {
+		return fmt.Errorf("svc: effect ref %d out of range [0,%d)", ref, MaxEffectRefs)
+	}
+	if int(ref) >= len(t.slots) {
+		grown := make([]effectSlot, ref+1)
+		copy(grown, t.slots)
+		t.slots = grown
+	}
+	if !t.slots[ref].ok {
+		t.resident++
+	}
+	t.slots[ref] = effectSlot{set: set, err: err, ok: true}
+	t.regs++
+	return nil
+}
+
+// Lookup resolves a ref. ok reports whether the slot was ever
+// registered; a non-nil err means it was registered with an unparseable
+// effect and must be rejected per-request.
+func (t *EffectTable) Lookup(ref uint64) (set effect.Set, ok bool, err error) {
+	if ref >= uint64(len(t.slots)) || !t.slots[ref].ok {
+		return effect.Set{}, false, nil
+	}
+	return t.slots[ref].set, true, t.slots[ref].err
+}
+
+// Len returns the number of occupied slots.
+func (t *EffectTable) Len() int { return t.resident }
+
+// Registrations returns the lifetime registration count, including
+// overwrites of occupied slots.
+func (t *EffectTable) Registrations() int64 { return t.regs }

@@ -1,0 +1,183 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"twe/internal/effect"
+)
+
+func mustParse(t *testing.T, s string) effect.Set {
+	t.Helper()
+	set, err := effect.Parse(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return set
+}
+
+func TestEffectTableRegisterLookup(t *testing.T) {
+	var tbl EffectTable
+	if _, ok, _ := tbl.Lookup(0); ok {
+		t.Fatal("empty table resolved ref 0")
+	}
+	put := mustParse(t, PutEffect(8, 3, 0))
+	get := mustParse(t, GetEffect(8, 3, 0))
+	if err := tbl.Register(0, put, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Register(7, get, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 || tbl.Registrations() != 2 {
+		t.Fatalf("len=%d regs=%d, want 2/2", tbl.Len(), tbl.Registrations())
+	}
+	set, ok, perr := tbl.Lookup(7)
+	if !ok || perr != nil || set.String() != get.String() {
+		t.Fatalf("lookup(7) = %v/%v/%v, want the get effect", set, ok, perr)
+	}
+	// Slots between registered ones stay unoccupied.
+	if _, ok, _ := tbl.Lookup(3); ok {
+		t.Fatal("unregistered slot 3 resolved")
+	}
+}
+
+func TestEffectTableOverwriteIsEviction(t *testing.T) {
+	var tbl EffectTable
+	a := mustParse(t, PutEffect(8, 1, 0))
+	b := mustParse(t, PutEffect(8, 2, 0))
+	if err := tbl.Register(5, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Register(5, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len=%d after overwrite, want 1", tbl.Len())
+	}
+	if tbl.Registrations() != 2 {
+		t.Fatalf("regs=%d, want 2 (overwrites count)", tbl.Registrations())
+	}
+	set, ok, _ := tbl.Lookup(5)
+	if !ok || set.String() != b.String() {
+		t.Fatalf("lookup(5) = %v, want the overwriting effect", set)
+	}
+}
+
+func TestEffectTableBound(t *testing.T) {
+	var tbl EffectTable
+	set := mustParse(t, AddEffect(0))
+	if err := tbl.Register(MaxEffectRefs-1, set, nil); err != nil {
+		t.Fatalf("ref MaxEffectRefs-1 refused: %v", err)
+	}
+	if err := tbl.Register(MaxEffectRefs, set, nil); err == nil {
+		t.Fatal("ref MaxEffectRefs accepted; table is unbounded")
+	}
+	if err := tbl.Register(1<<40, set, nil); err == nil {
+		t.Fatal("huge ref accepted")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len=%d, want 1 (refused registrations must not count)", tbl.Len())
+	}
+}
+
+func TestEffectTablePoisonedSlot(t *testing.T) {
+	var tbl EffectTable
+	parseErr := errors.New("boom")
+	if err := tbl.Register(2, effect.Set{}, parseErr); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, perr := tbl.Lookup(2)
+	if !ok || perr != parseErr {
+		t.Fatalf("lookup(2) = ok=%v err=%v, want the recorded parse error", ok, perr)
+	}
+	// Re-registering with a good effect heals the slot.
+	if err := tbl.Register(2, mustParse(t, AddEffect(1)), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, perr := tbl.Lookup(2); !ok || perr != nil {
+		t.Fatalf("healed slot still poisoned: ok=%v err=%v", ok, perr)
+	}
+}
+
+// TestV2CodecSteadyStateZeroAlloc proves the interned hot path: once a
+// connection's effects are registered and the frame buffers are warm,
+// encoding a submit, decoding it server-side, encoding its result, and
+// decoding that client-side perform zero allocations per request.
+func TestV2CodecSteadyStateZeroAlloc(t *testing.T) {
+	var tbl EffectTable
+	parse := func(s string) (effect.Set, error) { return effect.Parse(s) }
+	eff := PutEffect(8, 42, 3)
+
+	// Warm-up: register ref 0 through the real register-frame decode path.
+	reg := appendRegEffectV2(nil, 0, eff)
+	var req Request
+	if isReg, err := decodeRequestV2(reg, &tbl, parse, &req); !isReg || err != nil {
+		t.Fatalf("register: isReg=%v err=%v", isReg, err)
+	}
+
+	var submit, result []byte
+	var resp Response
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		submit, err = appendSubmitV2(submit[:0], 7, OpPut, 42, -123456, 0)
+		if err != nil {
+			panic(err)
+		}
+		if isReg, err := decodeRequestV2(submit, &tbl, parse, &req); isReg || err != nil {
+			panic(fmt.Sprintf("decode submit: isReg=%v err=%v", isReg, err))
+		}
+		if !req.hasResolved || req.wireErr != nil {
+			panic("submit did not resolve through the table")
+		}
+		result = appendResultV2(result[:0], 7, v2StatusOK, -123456, "")
+		if _, err := decodeResponseV2(result, &resp); err != nil {
+			panic(err)
+		}
+		if resp.Status != StatusOK || resp.Val != -123456 {
+			panic("result round-trip mismatch")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state v2 encode/decode allocates %.1f times per request, want 0", allocs)
+	}
+}
+
+// TestEffectTablePerConnection pins the renegotiation contract end to
+// end: a ref registered on one connection means nothing on the next —
+// the table dies with the connection and a reconnecting client must
+// re-register (which the Client does transparently; here we speak raw
+// frames to observe the boundary itself).
+func TestEffectTablePerConnection(t *testing.T) {
+	s := startTestServer(t, Config{Par: 2, Shards: 4, Keys: 64})
+
+	// Connection 1: register ref 0, use it, see OK.
+	c1 := dialRawV2(t, s.Addr())
+	defer c1.close()
+	c1.send(t, appendRegEffectV2(nil, 0, PutEffect(4, 1, c1.sid)))
+	submit, err := appendSubmitV2(nil, 1, OpPut, 1, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.send(t, submit)
+	if resp := c1.recv(t); resp.Status != StatusOK {
+		t.Fatalf("conn1 submit = %s (%s), want ok", resp.Status, resp.Err)
+	}
+	c1.close()
+
+	// Connection 2: same ref without re-registering must be rejected.
+	c2 := dialRawV2(t, s.Addr())
+	defer c2.close()
+	submit2, err := appendSubmitV2(nil, 1, OpPut, 2, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.send(t, submit2)
+	resp := c2.recv(t)
+	if resp.Status != StatusRejected {
+		t.Fatalf("conn2 inherited ref 0: %s (%s)", resp.Status, resp.Err)
+	}
+	c2.close()
+	drainClean(t, s)
+}

@@ -29,6 +29,12 @@ type LoadConfig struct {
 	// first and go out standalone. The plan and the oracle are identical
 	// to the unbatched run — batching only changes the framing.
 	Batch int
+	// Proto picks the wire protocol: "v1" (JSON, the default), "v2"
+	// (binary + effect interning), or "mixed" (even connections v1, odd
+	// connections v2 against the same server). The plan and the oracle
+	// are byte-for-byte identical across protocols — only the codec
+	// changes, which is what makes cross-codec runs differential.
+	Proto string
 	// Faults exercises the effect-release paths: every conn with
 	// conn%3==2 abruptly closes mid-plan, every conn with conn%3==1
 	// chases 30% of its puts with a wire cancel.
@@ -51,7 +57,25 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.AddFrac == 0 {
 		c.AddFrac = 0.15
 	}
+	if c.Proto == "" {
+		c.Proto = "v1"
+	}
 	return c
+}
+
+// protoFor maps a connection index to its wire protocol version.
+func (c LoadConfig) protoFor(conn int) int {
+	switch c.Proto {
+	case "v2":
+		return ProtoV2
+	case "mixed":
+		if conn%2 == 1 {
+			return ProtoV2
+		}
+		return ProtoV1
+	default:
+		return ProtoV1
+	}
 }
 
 // planOp is one deterministic plan entry.
@@ -150,7 +174,7 @@ func (r *workerResult) violate(format string, args ...any) {
 // connection is part of the protocol, so resp.ID must equal the next
 // plan index — any reordering is itself a violation.
 func runLoadWorker(cfg LoadConfig, conn int) (*workerResult, error) {
-	c, err := Dial(cfg.Addr)
+	c, err := DialProto(cfg.Addr, cfg.protoFor(conn))
 	if err != nil {
 		return nil, err
 	}
@@ -374,6 +398,7 @@ func runLoadWorker(cfg LoadConfig, conn int) (*workerResult, error) {
 type LoadReport struct {
 	Conns, RequestsPerConn int
 	Sched                  string
+	Proto                  string
 	Killed                 int
 
 	Sent, Served, Shed, Busy, Cancelled, Rejected, Errors, CancelAcks int64
@@ -412,6 +437,11 @@ func (rep *LoadReport) violate(format string, args ...any) {
 // oracle assembled from every connection's in-order response log.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
+	switch cfg.Proto {
+	case "v1", "v2", "mixed":
+	default:
+		return nil, fmt.Errorf("svc: unknown wire protocol %q (want v1, v2, or mixed)", cfg.Proto)
+	}
 	results := make([]*workerResult, cfg.Conns)
 	errs := make([]error, cfg.Conns)
 	start := time.Now()
@@ -432,7 +462,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		}
 	}
 
-	rep := &LoadReport{Conns: cfg.Conns, RequestsPerConn: cfg.Requests, ElapsedNS: elapsed.Nanoseconds()}
+	rep := &LoadReport{Conns: cfg.Conns, RequestsPerConn: cfg.Requests, Proto: cfg.Proto, ElapsedNS: elapsed.Nanoseconds()}
 	var lat []int64
 	for _, r := range results {
 		rep.Sent += int64(r.sent)
@@ -464,7 +494,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.MeanNS = float64(sum) / float64(len(lat))
 	}
 
-	vc, err := Dial(cfg.Addr)
+	vc, err := DialProto(cfg.Addr, cfg.protoFor(0))
 	if err != nil {
 		return nil, fmt.Errorf("validation dial: %w", err)
 	}
@@ -713,6 +743,7 @@ func (rep *LoadReport) WriteBench(path string, cfg LoadConfig) error {
 			ScanEvery int     `json:"scan_every"`
 			Faults    bool    `json:"faults"`
 			Batch     int     `json:"batch,omitempty"`
+			Proto     string  `json:"proto"`
 		} `json:"config"`
 		Results struct {
 			Sent          int64   `json:"sent"`
@@ -742,6 +773,7 @@ func (rep *LoadReport) WriteBench(path string, cfg LoadConfig) error {
 	doc.Config.ScanEvery = cfg.ScanEvery
 	doc.Config.Faults = cfg.Faults
 	doc.Config.Batch = cfg.Batch
+	doc.Config.Proto = rep.Proto
 	doc.Results.Sent = rep.Sent
 	doc.Results.Served = rep.Served
 	doc.Results.Shed = rep.Shed

@@ -83,3 +83,73 @@ func TestPartitionDisjoint(t *testing.T) {
 		}
 	}
 }
+
+// runParityLoad drives one seeded workload over the given protocol
+// against a fresh server and returns the report plus the post-drain
+// store state (shard values and accumulator totals). Conflict is 0 so
+// every data op hits its connection's owned keys: the final store is an
+// exact function of the plan, independent of interleaving — and
+// therefore of codec.
+func runParityLoad(t *testing.T, proto string) (*LoadReport, [][]int64, []int64) {
+	t.Helper()
+	s := startTestServer(t, Config{Par: 4, Shards: 8, Keys: 128})
+	rep, err := RunLoad(LoadConfig{
+		Addr: s.Addr(), Conns: 8, Requests: 60, Pipeline: 4,
+		Seed: 77, Conflict: 0, ScanEvery: 9, Proto: proto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("proto %s: %d violation(s), first: %s", proto, len(rep.Violations), rep.Violations[0])
+	}
+	drainClean(t, s) // also: isolation-oracle verdict is clean for this codec
+	// Post-drain the runtime is quiesced, so the store is safe to read.
+	shards := make([][]int64, len(s.st.shards))
+	for i, sh := range s.st.shards {
+		shards[i] = append([]int64(nil), sh...)
+	}
+	accums := make([]int64, len(s.st.accum))
+	for i, ref := range s.st.accum {
+		accums[i] = ref.Peek().(int64)
+	}
+	return rep, shards, accums
+}
+
+// TestCrossCodecParity is the differential gate for protocol v2: one
+// seeded workload over v1-JSON and over v2-binary must yield identical
+// store contents, identical accumulator totals, identical served
+// accounting, and the same number of oracle checks — the codecs may
+// differ only in bytes on the wire, never in observable semantics.
+func TestCrossCodecParity(t *testing.T) {
+	repV1, shardsV1, accV1 := runParityLoad(t, "v1")
+	repV2, shardsV2, accV2 := runParityLoad(t, "v2")
+
+	if repV1.Sent != repV2.Sent || repV1.Served != repV2.Served ||
+		repV1.Shed != repV2.Shed || repV1.Rejected != repV2.Rejected {
+		t.Fatalf("client accounting diverged:\n v1 %+v\n v2 %+v", repV1, repV2)
+	}
+	if repV1.Checks != repV2.Checks {
+		t.Fatalf("oracle coverage diverged: v1 ran %d checks, v2 ran %d", repV1.Checks, repV2.Checks)
+	}
+	if s1, s2 := repV1.ServerStats, repV2.ServerStats; s1.Served != s2.Served || s1.Requests != s2.Requests {
+		t.Fatalf("server accounting diverged:\n v1 %+v\n v2 %+v", s1, s2)
+	}
+	if !reflect.DeepEqual(shardsV1, shardsV2) {
+		t.Fatalf("store contents diverged between codecs:\n v1 %v\n v2 %v", shardsV1, shardsV2)
+	}
+	if !reflect.DeepEqual(accV1, accV2) {
+		t.Fatalf("accumulator totals diverged between codecs:\n v1 %v\n v2 %v", accV1, accV2)
+	}
+
+	// The run must have actually written state, or the comparison is vacuous.
+	var wrote bool
+	for _, sh := range shardsV1 {
+		for _, v := range sh {
+			wrote = wrote || v != 0
+		}
+	}
+	if !wrote {
+		t.Fatal("parity run wrote nothing; comparison is vacuous")
+	}
+}

@@ -91,6 +91,11 @@ type Metrics struct {
 	Batches    atomic.Int64 // batch frames received
 	BatchedOps atomic.Int64 // inner ops delivered via batch frames
 
+	V1Conns     atomic.Int64 // connections negotiated as protocol v1 (JSON)
+	V2Conns     atomic.Int64 // connections negotiated as protocol v2 (binary)
+	EffRegs     atomic.Int64 // v2 effect registrations (incl. overwrites)
+	ProtoErrors atomic.Int64 // connections dropped during preamble negotiation
+
 	inflight     atomic.Int64
 	inflightPeak atomic.Int64
 
@@ -154,6 +159,10 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{counter, "twe_serve_control_ops_total", "Cancel and stats frames handled inline.", m.ControlOps.Load()},
 		{counter, "twe_serve_batches_total", "Batch frames received (one SubmitBatch group each).", m.Batches.Load()},
 		{counter, "twe_serve_batched_ops_total", "Inner requests delivered via batch frames.", m.BatchedOps.Load()},
+		{counter, "twe_serve_proto_v1_conns_total", "Connections negotiated as protocol v1 (JSON).", m.V1Conns.Load()},
+		{counter, "twe_serve_proto_v2_conns_total", "Connections negotiated as protocol v2 (binary).", m.V2Conns.Load()},
+		{counter, "twe_serve_effect_registrations_total", "v2 effect-table registrations, including overwrites.", m.EffRegs.Load()},
+		{counter, "twe_serve_proto_errors_total", "Connections dropped during preamble negotiation.", m.ProtoErrors.Load()},
 		{gauge, "twe_serve_inflight", "Admitted data ops not yet resolved.", m.inflight.Load()},
 		{gauge, "twe_serve_inflight_peak", "Peak of twe_serve_inflight.", m.inflightPeak.Load()},
 	}

@@ -40,11 +40,17 @@ type pending struct {
 // schedulers admit conflicting tasks in submission order) while ops from
 // different connections interleave wherever their effects permit —
 // task isolation extends across the network boundary.
+//
+// The first 4 bytes of every connection are the protocol preamble
+// (wirev2.go); the session negotiates the codec before the hello goes
+// out, and everything after runs the same admission state machine over
+// whichever framing the client chose.
 type session struct {
-	id   int
-	srv  *Server
-	conn net.Conn
-	q    chan pending
+	id    int
+	srv   *Server
+	conn  net.Conn
+	q     chan pending
+	codec serverCodec // set during negotiation, before reader/writer start
 
 	mu   sync.Mutex
 	pend map[uint64]*core.Future // in-flight, by request id (cancel target lookup)
@@ -61,19 +67,42 @@ func newSession(srv *Server, id int, conn net.Conn) *session {
 		pend: make(map[uint64]*core.Future)}
 }
 
-func (s *session) start() {
+func (s *session) start() { go s.main() }
+
+// main negotiates the codec, then runs the reader/writer pair to
+// completion before closing the connection.
+func (s *session) main() {
+	defer s.srv.sessionDone(s)
+	defer s.conn.Close()
+	br := bufio.NewReaderSize(s.conn, 32<<10)
+	bw := bufio.NewWriterSize(s.conn, 32<<10)
+	proto, err := readPreamble(br)
+	if err != nil {
+		// No valid preamble, nothing admitted: just drop the connection.
+		s.srv.m.ProtoErrors.Add(1)
+		return
+	}
+	switch proto {
+	case ProtoV2:
+		s.srv.m.V2Conns.Add(1)
+		s.codec = newV2ServerCodec(br, bw, s.srv.cache, &s.srv.m)
+	default:
+		s.srv.m.V1Conns.Add(1)
+		s.codec = &v1ServerCodec{br: br, bw: bw}
+	}
 	geo := &StatsBody{Sched: s.srv.schedName, Shards: s.srv.cfg.Shards, Keys: s.srv.cfg.Keys}
 	s.q <- pending{resp: &Response{Status: StatusHello, Val: int64(s.id), Stats: geo}}
-	go s.writer()
-	go s.reader()
+	writerDone := make(chan struct{})
+	go func() { defer close(writerDone); s.writer() }()
+	s.reader()
+	<-writerDone
 }
 
 func (s *session) reader() {
 	defer close(s.q)
-	br := bufio.NewReaderSize(s.conn, 32<<10)
 	for {
 		var req Request
-		if err := ReadFrame(br, &req); err != nil {
+		if err := s.codec.ReadRequest(&req); err != nil {
 			var ne net.Error
 			if s.srv.draining.Load() && errors.As(err, &ne) && ne.Timeout() {
 				// Graceful drain: the server poked our read deadline.
@@ -137,9 +166,19 @@ func (s *session) admitData(req *Request) (core.Submission, *Response) {
 		m.Rejected.Add(1)
 		return &Response{ID: req.ID, Status: StatusRejected, Err: fmt.Sprintf(format, args...)}
 	}
-	declared, err := s.srv.cache.Lookup(req.Eff)
-	if err != nil {
-		return core.Submission{}, reject("bad effect: %v", err)
+	if req.wireErr != nil {
+		return core.Submission{}, reject("%v", req.wireErr)
+	}
+	// v2 requests arrive with the declared effect already resolved
+	// through the connection's intern table; only the v1 path parses the
+	// textual summary (memoized in EffectCache).
+	declared := req.resolved
+	if !req.hasResolved {
+		var err error
+		declared, err = s.srv.cache.Lookup(req.Eff)
+		if err != nil {
+			return core.Submission{}, reject("bad effect: %v", err)
+		}
 	}
 	task, required, err := s.buildTask(req)
 	if err != nil {
@@ -383,9 +422,6 @@ func (s *session) buildTask(req *Request) (*core.Task, effect.Set, error) {
 }
 
 func (s *session) writer() {
-	defer s.srv.sessionDone(s)
-	defer s.conn.Close()
-	bw := bufio.NewWriterSize(s.conn, 32<<10)
 	alive := true
 	for p := range s.q {
 		resp := p.resp
@@ -401,15 +437,15 @@ func (s *session) writer() {
 		if alive {
 			// After a write error (client gone) keep draining futures —
 			// their accounting and effect release must still happen.
-			if err := WriteFrame(bw, resp); err != nil {
+			if err := s.codec.WriteResponse(resp); err != nil {
 				alive = false
-			} else if len(s.q) == 0 && bw.Flush() != nil {
+			} else if len(s.q) == 0 && s.codec.Flush() != nil {
 				alive = false
 			}
 		}
 	}
 	if alive {
-		bw.Flush()
+		s.codec.Flush()
 	}
 }
 

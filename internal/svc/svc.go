@@ -218,6 +218,9 @@ func (s *Server) Stats() StatsBody {
 		EffMisses:     misses,
 		Inflight:      s.m.Inflight(),
 		InflightPeak:  s.m.InflightPeak(),
+		V1Conns:       s.m.V1Conns.Load(),
+		V2Conns:       s.m.V2Conns.Load(),
+		EffRegs:       s.m.EffRegs.Load(),
 	}
 }
 

@@ -1,0 +1,307 @@
+package svc
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rawV2 speaks protocol v2 frames directly (no Client interning), so
+// tests can exercise the server's decode/admission boundaries with
+// frames a well-behaved client would never send.
+type rawV2 struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	rbuf []byte
+	sid  int
+}
+
+func dialRawV2(t *testing.T, addr string) *rawV2 {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &rawV2{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	pre := Preamble(ProtoV2)
+	if _, err := c.bw.Write(pre[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	hello := c.recv(t)
+	if hello.Status != StatusHello {
+		t.Fatalf("expected hello, got %+v", hello)
+	}
+	c.sid = int(hello.Val)
+	return c
+}
+
+func (c *rawV2) send(t *testing.T, payload []byte) {
+	t.Helper()
+	if err := writeFrameV2(c.bw, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (c *rawV2) recv(t *testing.T) *Response {
+	t.Helper()
+	payload, err := readFrameV2(c.br, &c.rbuf)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	var resp Response
+	if _, err := decodeResponseV2(payload, &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return &resp
+}
+
+// recvErr reads until the connection dies and returns the error.
+func (c *rawV2) recvErr() error {
+	for {
+		if _, err := readFrameV2(c.br, &c.rbuf); err != nil {
+			return err
+		}
+	}
+}
+
+func (c *rawV2) close() { c.conn.Close() }
+
+// TestServeEndToEndV2 is the v2 twin of TestServeEndToEnd: the same
+// seeded closed-loop run over the binary codec, under both schedulers.
+// (No EffHits assertion — interned effects bypass the cache by design;
+// instead the run must have performed registrations.)
+func TestServeEndToEndV2(t *testing.T) {
+	for _, sched := range []string{"tree", "naive"} {
+		sched := sched
+		t.Run(sched, func(t *testing.T) {
+			s := startTestServer(t, Config{Sched: sched, Par: 4, Shards: 8, Keys: 128})
+			rep, err := RunLoad(LoadConfig{
+				Addr: s.Addr(), Conns: 8, Requests: 40, Pipeline: 4,
+				Seed: 3, Conflict: 0.3, ScanEvery: 10, Proto: "v2",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Violations) > 0 {
+				t.Fatalf("%d violation(s), first: %s", len(rep.Violations), rep.Violations[0])
+			}
+			if rep.Served == 0 || rep.Served != rep.Sent {
+				t.Fatalf("served %d of %d sent (no overload configured)", rep.Served, rep.Sent)
+			}
+			st := rep.ServerStats
+			if st.V2Conns == 0 || st.V1Conns != 0 {
+				t.Fatalf("conns v1=%d v2=%d, want all v2", st.V1Conns, st.V2Conns)
+			}
+			if st.EffRegs == 0 {
+				t.Fatal("no effect registrations on a pure-v2 run")
+			}
+			drainClean(t, s)
+		})
+	}
+}
+
+// TestServeEndToEndMixed runs odd connections on v2 and even on v1
+// against one server: both codecs share the session/admission machinery
+// and the run must stay oracle-clean.
+func TestServeEndToEndMixed(t *testing.T) {
+	s := startTestServer(t, Config{Par: 4, Shards: 8, Keys: 128})
+	rep, err := RunLoad(LoadConfig{
+		Addr: s.Addr(), Conns: 8, Requests: 40, Pipeline: 4,
+		Seed: 3, Conflict: 0.3, ScanEvery: 10, Proto: "mixed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("%d violation(s), first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	st := rep.ServerStats
+	if st.V1Conns == 0 || st.V2Conns == 0 {
+		t.Fatalf("conns v1=%d v2=%d, want both protocols live", st.V1Conns, st.V2Conns)
+	}
+	drainClean(t, s)
+}
+
+// TestBatchWireOpV2 is the v2 twin of TestBatchWireOp: one batch frame
+// with an intra-batch conflict, a read-back, a non-covering effect, a
+// nested batch, and a stats op — same responses, same single admission
+// group, over the binary framing.
+func TestBatchWireOpV2(t *testing.T) {
+	s := startTestServer(t, Config{Par: 2, Shards: 4, Keys: 64})
+	c, err := DialProto(s.Addr(), ProtoV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	put := func(id uint64, key int, val int64) Request {
+		return Request{ID: id, Op: OpPut, Key: key, Val: val, Eff: PutEffect(c.Shards, key, c.SID)}
+	}
+	batch := []Request{
+		put(1, 0, 10),
+		put(2, 1, 20),
+		put(3, 0, 11),
+		{ID: 4, Op: OpGet, Key: 0, Eff: GetEffect(c.Shards, 0, c.SID)},
+		{ID: 5, Op: OpPut, Key: 2, Val: 30, Eff: "reads Root"}, // parses but does not cover
+		{ID: 6, Op: OpBatch}, // nested batch
+		{ID: 7, Op: OpStats},
+	}
+	if err := c.SendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		id     uint64
+		status string
+		val    int64
+	}{
+		{1, StatusOK, 0}, {2, StatusOK, 0}, {3, StatusOK, 0},
+		{4, StatusOK, 11},
+		{5, StatusRejected, 0}, {6, StatusRejected, 0}, {7, StatusOK, 0},
+	}
+	for i, w := range want {
+		resp, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if resp.ID != w.id || resp.Status != w.status {
+			t.Fatalf("resp %d = id %d status %s, want id %d status %s (%s)",
+				i, resp.ID, resp.Status, w.id, w.status, resp.Err)
+		}
+		if w.id == 4 && resp.Val != w.val {
+			t.Fatalf("get = %d, want %d", resp.Val, w.val)
+		}
+	}
+	if got := s.Metrics().Batches.Load(); got != 1 {
+		t.Fatalf("batches = %d, want 1", got)
+	}
+	drainClean(t, s)
+}
+
+// TestRunLoadFaultsV2: the fault storm (kills, wire cancels) over the
+// binary codec — dropped v2 connections must release their effects and
+// their effect tables with them.
+func TestRunLoadFaultsV2(t *testing.T) {
+	s := startTestServer(t, Config{Par: 4, Shards: 8, Keys: 128})
+	rep, err := RunLoad(LoadConfig{
+		Addr: s.Addr(), Conns: 9, Requests: 40, Pipeline: 4,
+		Seed: 11, Conflict: 0.25, ScanEvery: 13, Faults: true, Proto: "v2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("%d violation(s), first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	if rep.Killed != 3 {
+		t.Fatalf("killed = %d, want 3", rep.Killed)
+	}
+	if rep.ServerStats.Inflight != 0 {
+		t.Fatalf("in-flight gauge leaked: %d", rep.ServerStats.Inflight)
+	}
+	drainClean(t, s)
+}
+
+// TestBadPreamble: connections that do not open with the magic, or name
+// an unsupported version, are dropped before any session state exists.
+func TestBadPreamble(t *testing.T) {
+	s := startTestServer(t, Config{Par: 2})
+	for i, pre := range [][]byte{
+		[]byte("junk"),        // wrong magic
+		{'T', 'W', 'E', 0x09}, // unsupported version
+		{'T', 'W', 'E', 0x00}, // version zero
+	} {
+		conn, err := net.DialTimeout("tcp", s.Addr(), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(pre); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+			t.Fatalf("case %d: read after bad preamble = %v, want EOF", i, err)
+		}
+		conn.Close()
+		want := int64(i + 1)
+		waitFor(t, func() bool { return s.Metrics().ProtoErrors.Load() == want })
+	}
+	drainClean(t, s)
+}
+
+// TestV2PoisonedRegistration: registering an unparseable effect string
+// does NOT kill the connection — each submit naming the slot is rejected
+// per-request (matching v1's per-request "bad effect" rejection), and
+// re-registering heals the slot on the live connection.
+func TestV2PoisonedRegistration(t *testing.T) {
+	s := startTestServer(t, Config{Par: 2, Shards: 4, Keys: 64})
+	c := dialRawV2(t, s.Addr())
+	defer c.close()
+
+	c.send(t, appendRegEffectV2(nil, 1, "@@not an effect@@"))
+	submit, err := appendSubmitV2(nil, 1, OpPut, 3, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.send(t, submit)
+	resp := c.recv(t)
+	if resp.Status != StatusRejected || !strings.Contains(resp.Err, "bad effect") {
+		t.Fatalf("poisoned submit = %s (%s), want rejected with bad effect", resp.Status, resp.Err)
+	}
+
+	// The connection must still be alive: heal the slot and succeed.
+	c.send(t, appendRegEffectV2(nil, 1, PutEffect(4, 3, c.sid)))
+	submit2, err := appendSubmitV2(nil, 2, OpPut, 3, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.send(t, submit2)
+	if resp := c.recv(t); resp.Status != StatusOK {
+		t.Fatalf("healed submit = %s (%s), want ok", resp.Status, resp.Err)
+	}
+	c.close()
+	drainClean(t, s)
+}
+
+// TestV2ProtocolFatalFrames: malformed frames and out-of-range
+// registrations are connection-fatal (the v2 analogue of a v1 JSON
+// unmarshal failure) — and only that connection dies; the server drains
+// clean afterwards.
+func TestV2ProtocolFatalFrames(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"unknown-op", []byte{0xFF}},
+		{"empty-frame", []byte{}},
+		{"truncated-submit", []byte{v2FrameSubmit, 0x07}},
+		{"trailing-bytes", append(appendStatsReqV2(nil, 1), 0x00)},
+		{"reg-out-of-range", appendRegEffectV2(nil, MaxEffectRefs, "reads Root")},
+		{"reg-inside-batch", append(appendBatchHeaderV2(nil, 1), appendRegEffectV2(nil, 0, "reads Root")...)},
+		{"batch-overdeclared", appendBatchHeaderV2(nil, 1<<20)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := startTestServer(t, Config{Par: 2})
+			c := dialRawV2(t, s.Addr())
+			defer c.close()
+			c.send(t, tc.payload)
+			if err := c.recvErr(); err == nil {
+				t.Fatal("connection survived a fatal frame")
+			}
+			drainClean(t, s)
+		})
+	}
+}

@@ -15,12 +15,18 @@
 // §10 fault layer), bounded in-flight admission with backpressure
 // signaled to clients, graceful drain, and obs wiring (DESIGN.md §7).
 //
-// Wire format: each frame is a 4-byte big-endian length followed by one
-// JSON document (Request from client, Response from server). The server
-// sends a hello Response when a connection is accepted, carrying the
-// server-assigned session id (Val) and the store geometry the client
-// needs to build effect strings. See DESIGN.md §11 for the grammar and
-// the admission state machine.
+// Wire formats: every connection opens with a 4-byte preamble (magic
+// "TWE" + version byte) that negotiates the codec. Protocol v1 — this
+// file — frames one JSON document per 4-byte big-endian length prefix
+// (Request from client, Response from server) and is the debug/compat
+// codec. Protocol v2 (wirev2.go) is the binary codec: varint-length
+// frames, numeric op codes, and per-connection effect interning so
+// steady-state requests carry a small integer effect ref instead of a
+// textual summary. After the preamble the server sends a hello in the
+// negotiated encoding, carrying the server-assigned session id and the
+// store geometry the client needs to build effect strings. Both codecs
+// drive the same session/admission state machine. See DESIGN.md §11 for
+// the grammar and the admission state machine, §13 for protocol v2.
 package svc
 
 import (
@@ -28,6 +34,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"twe/internal/effect"
 )
 
 // MaxFrame bounds a frame payload; larger length prefixes are treated as
@@ -83,6 +91,17 @@ type Request struct {
 	// Nested batches are rejected; cancel/stats ride along as inline
 	// control ops. An empty batch elicits nothing.
 	Batch []Request `json:"batch,omitempty"`
+
+	// resolved, when hasResolved is set, is the pre-parsed declared
+	// effect. The v2 codec fills it from the connection's EffectTable at
+	// decode time, so admission skips EffectCache entirely; the v1 path
+	// leaves it unset and parses Eff through the cache.
+	resolved    effect.Set
+	hasResolved bool
+	// wireErr is a per-request decode problem (e.g. an unknown v2 effect
+	// ref) that should reject this request without dropping the
+	// connection.
+	wireErr error
 }
 
 // Response is one server frame. Responses are written in request order
@@ -125,6 +144,10 @@ type StatsBody struct {
 	EffMisses    int64 `json:"eff_misses"`
 	Inflight     int64 `json:"inflight"` // admitted, response not yet resolved
 	InflightPeak int64 `json:"inflight_peak"`
+
+	V1Conns int64 `json:"v1_conns"` // connections negotiated per protocol
+	V2Conns int64 `json:"v2_conns"`
+	EffRegs int64 `json:"eff_regs"` // v2 effect registrations (incl. overwrites)
 }
 
 // WriteFrame marshals v and writes one length-prefixed frame.

@@ -140,6 +140,31 @@ var registry = map[string]Workload{
 			return s.Drain(10 * time.Second)
 		},
 	},
+	"serve2": {
+		Name: "serve2",
+		Desc: "twe-serve over the v2 binary protocol with per-connection effect interning (DESIGN.md §13)",
+		Run: func(mk func() core.Scheduler, par int, opts ...core.Option) error {
+			s, err := svc.Start(svc.Config{
+				MkSched: mk, Par: par, Shards: 8, Keys: 128, Opts: opts,
+			})
+			if err != nil {
+				return err
+			}
+			rep, err := svc.RunLoad(svc.LoadConfig{
+				Addr: s.Addr(), Conns: 8, Requests: 40, Pipeline: 4,
+				Seed: 21, Conflict: 0.25, ScanEvery: 10, Proto: "v2",
+			})
+			if err != nil {
+				s.Drain(10 * time.Second)
+				return err
+			}
+			if n := len(rep.Violations); n > 0 {
+				s.Drain(10 * time.Second)
+				return fmt.Errorf("serve2: %d oracle violation(s), first: %s", n, rep.Violations[0])
+			}
+			return s.Drain(10 * time.Second)
+		},
+	},
 	"faults": {
 		Name: "faults",
 		Desc: "deterministic fault-injection storm: panics, cancels, deadlines over sharded counters",

@@ -1,0 +1,115 @@
+#!/bin/sh
+# proto-smoke: end-to-end gate for wire protocol v2 (DESIGN.md §13).
+# Three phases:
+#
+#   1. codec battery — the v2 unit/golden/differential tests under
+#      -race: golden-frame byte fixtures, the effect-intern table, the
+#      cross-codec parity run, the zero-alloc steady-state proof, and a
+#      replay of the pinned fuzz corpus (the seed corpus under
+#      internal/svc/testdata/fuzz/ runs as ordinary tests).
+#   2. negotiation — a pure-v2 run, then a mixed run whose odd
+#      connections speak v2 and even connections v1 against one daemon
+#      (each run gets a fresh daemon: the load generator's final-state
+#      sweep assumes a virgin store); the drained audits must be clean
+#      and the mixed summary must show both protocol counters non-zero.
+#   3. bench pair — the same seeded workload against identical fresh
+#      daemons over v1 and over v2, writing BENCH_serve.json and
+#      BENCH_serve_v2.json (schemas in EXPERIMENTS.md) and printing the
+#      v2/v1 throughput and p99 ratios. The ratios are reported, not
+#      gated: loopback numbers swing with machine load, so perf claims
+#      live in EXPERIMENTS.md where they carry their environment.
+#
+# Run via `make proto-smoke` or directly. Exits non-zero on any failure.
+set -eu
+
+TMP="$(mktemp -d /tmp/twe-proto-smoke.XXXXXX)"
+BENCH_V1_OUT="${BENCH_V1_OUT:-$TMP/BENCH_serve.json}"
+BENCH_V2_OUT="${BENCH_V2_OUT:-$TMP/BENCH_serve_v2.json}"
+SERVE="$TMP/twe-serve"
+LOAD="$TMP/twe-load"
+SRV_PID=""
+
+cleanup() {
+	[ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo '== proto-smoke 1/3: v2 codec battery (-race: golden, table, parity, fuzz corpus) =='
+go test -race -run 'V2|Mixed|EffectTable|CrossCodecParity|BadPreamble|Fuzz|RegenFuzzCorpus' ./internal/svc/
+
+go build -o "$SERVE" ./cmd/twe-serve
+go build -o "$LOAD" ./cmd/twe-load
+
+start_server() {
+	log="$TMP/$1.log"; shift
+	rm -f "$TMP/addr"
+	"$SERVE" -addr 127.0.0.1:0 -addr-file "$TMP/addr" -drain-timeout 30s "$@" >"$log" 2>&1 &
+	SRV_PID=$!
+	i=0
+	while [ ! -s "$TMP/addr" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "proto-smoke: server did not bind"; cat "$log"; exit 1; }
+		sleep 0.1
+	done
+}
+
+stop_server() {
+	kill -TERM "$SRV_PID"
+	if ! wait "$SRV_PID"; then
+		echo "proto-smoke: $1: dirty drain"
+		cat "$TMP/$1.log"
+		exit 1
+	fi
+	SRV_PID=""
+	cat "$TMP/$1.log"
+}
+
+echo '== proto-smoke 2/3: negotiation (pure v2, then mixed v1+v2 on one daemon) =='
+start_server pure-v2 -sched tree -par 4 -isolcheck
+"$LOAD" -addr-file "$TMP/addr" -conns 16 -requests 40 -pipeline 4 \
+	-conflict 0.25 -scan-every 20 -seed 7 -proto v2
+stop_server pure-v2
+if ! grep -Eq 'drained: conns=[0-9]+ \(v1=0 v2=[1-9][0-9]*\)' "$TMP/pure-v2.log"; then
+	echo "proto-smoke: pure-v2 drained summary wrong:"
+	grep drained "$TMP/pure-v2.log" || true
+	exit 1
+fi
+
+start_server mixed -sched tree -par 4 -isolcheck
+"$LOAD" -addr-file "$TMP/addr" -conns 16 -requests 40 -pipeline 4 \
+	-conflict 0.25 -scan-every 20 -seed 8 -proto mixed
+stop_server mixed
+# The drained summary prints "conns=N (v1=A v2=B)": both codecs must
+# have actually been live against this one daemon.
+if ! grep -Eq 'drained: conns=[0-9]+ \(v1=[1-9][0-9]* v2=[1-9][0-9]*\)' "$TMP/mixed.log"; then
+	echo "proto-smoke: mixed drained summary does not show both protocols live:"
+	grep drained "$TMP/mixed.log" || true
+	exit 1
+fi
+
+echo '== proto-smoke 3/3: same-seed bench pair (v1 vs v2) =='
+run_bench() { # run_bench <proto> <json-out>
+	start_server "bench-$1" -sched tree -par 4
+	"$LOAD" -addr-file "$TMP/addr" -conns 32 -requests 200 -pipeline 8 \
+		-conflict 0.25 -scan-every 50 -seed 7 -proto "$1" -json "$2"
+	stop_server "bench-$1"
+	[ -s "$2" ] || { echo "proto-smoke: $2 missing"; exit 1; }
+}
+run_bench v1 "$BENCH_V1_OUT"
+run_bench v2 "$BENCH_V2_OUT"
+echo "proto-smoke: wrote $BENCH_V1_OUT and $BENCH_V2_OUT"
+
+# Report the v2/v1 ratios from the two snapshots (no hard gate; see
+# header comment). jq-free: pull the two fields with sed.
+field() { sed -n 's/.*"'"$2"'": *\([0-9.]*\).*/\1/p' "$1" | head -1; }
+RPS1="$(field "$BENCH_V1_OUT" throughput_rps)"
+RPS2="$(field "$BENCH_V2_OUT" throughput_rps)"
+P991="$(field "$BENCH_V1_OUT" p99_ns)"
+P992="$(field "$BENCH_V2_OUT" p99_ns)"
+awk -v r1="$RPS1" -v r2="$RPS2" -v p1="$P991" -v p2="$P992" 'BEGIN {
+	printf "proto-smoke: v1 %.0f rps p99 %.2fms | v2 %.0f rps p99 %.2fms | v2/v1 rps %.2fx, p99 %.2fx\n",
+		r1, p1 / 1e6, r2, p2 / 1e6, r2 / r1, p2 / p1
+}'
+
+echo 'proto-smoke: OK'

@@ -12,6 +12,10 @@
 #      with exact served+shed accounting, and the drain still clean.
 #   3. faults — mid-run disconnects and wire cancels; every effect must
 #      be released (server back to idle, no leaked in-flight gauge).
+#   4. protocol v2 — phase 1's exact seeded workload over the binary
+#      codec (-proto v2, DESIGN.md §13) against a fresh daemon: the same
+#      oracles must hold and the drained summary must show only v2
+#      connections. scripts/proto-smoke.sh is the deeper v2 gate.
 #
 # Run via `make serve-smoke` or directly. Exits non-zero on any failure.
 set -eu
@@ -60,7 +64,7 @@ stop_server() {
 	cat "$TMP/$1.log"
 }
 
-echo '== serve-smoke 1/3: correctness (tree + isolcheck, 32 conns) =='
+echo '== serve-smoke 1/4: correctness (tree + isolcheck, 32 conns) =='
 start_server correctness -sched tree -par 4 -isolcheck
 "$LOAD" -addr-file "$TMP/addr" -conns 32 -requests 40 -pipeline 4 \
 	-conflict 0.25 -scan-every 20 -seed 7 \
@@ -69,16 +73,27 @@ stop_server correctness
 [ -s "$BENCH_OUT" ] || { echo "serve-smoke: $BENCH_OUT missing"; exit 1; }
 echo "serve-smoke: wrote $BENCH_OUT"
 
-echo '== serve-smoke 2/3: forced overload (-max-inflight 2, 300us deadline) =='
+echo '== serve-smoke 2/4: forced overload (-max-inflight 2, 300us deadline) =='
 start_server overload -sched tree -par 2 -max-inflight 2 -deadline 300us
 "$LOAD" -addr-file "$TMP/addr" -conns 32 -requests 40 -pipeline 8 \
 	-conflict 0.25 -seed 9 -expect-shed
 stop_server overload
 
-echo '== serve-smoke 3/3: faults (disconnects + cancels release effects) =='
+echo '== serve-smoke 3/4: faults (disconnects + cancels release effects) =='
 start_server faults -sched tree -par 4 -isolcheck
 "$LOAD" -addr-file "$TMP/addr" -conns 16 -requests 40 -pipeline 4 \
 	-conflict 0.25 -seed 11 -faults
 stop_server faults
+
+echo '== serve-smoke 4/4: protocol v2 (phase-1 workload over the binary codec) =='
+start_server proto-v2 -sched tree -par 4 -isolcheck
+"$LOAD" -addr-file "$TMP/addr" -conns 32 -requests 40 -pipeline 4 \
+	-conflict 0.25 -scan-every 20 -seed 7 -proto v2
+stop_server proto-v2
+if ! grep -Eq 'drained: conns=[0-9]+ \(v1=0 v2=[1-9][0-9]*\)' "$TMP/proto-v2.log"; then
+	echo "serve-smoke: v2 phase did not negotiate v2:"
+	grep drained "$TMP/proto-v2.log" || true
+	exit 1
+fi
 
 echo 'serve-smoke: OK'
