@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz faults obs-smoke serve serve-smoke batch-smoke proto-smoke proto-fuzz check
+.PHONY: build test race vet fuzz faults obs-smoke serve serve-smoke batch-smoke proto-smoke prof-smoke proto-fuzz check
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,13 @@ batch-smoke:
 # clients, then the same-seed v1-vs-v2 bench pair.
 proto-smoke:
 	./scripts/proto-smoke.sh
+
+# Request-tracing + contention-attribution gate (see DESIGN.md §14):
+# the tracing battery under -race, a live traced daemon gated on
+# /debug/twe attribution, and the tracing-off-vs-on overhead pair
+# (writes BENCH_prof.json).
+prof-smoke:
+	./scripts/prof-smoke.sh
 
 # Open-ended coverage-guided fuzzing of the v2 frame decoders (the
 # pinned corpus replays in ordinary test runs; this explores beyond it).

@@ -75,6 +75,15 @@ echo '== batch smoke =='
 echo '== proto smoke =='
 BENCH_V2_OUT=/tmp/BENCH_serve_v2.json ./scripts/proto-smoke.sh
 
+# Request-tracing smoke (DESIGN.md §14): the tracing/attribution battery
+# under -race (contention tree, span goldens, options-frame negotiation,
+# zero-alloc gates), a live traced daemon whose /debug/twe must
+# attribute nonzero stall to the shared Shard subtree, pprof/expvar
+# probes, Chrome-trace req-span validation, and the same-seed
+# tracing-off-vs-on overhead pair (writes BENCH_prof.json).
+echo '== prof smoke =='
+BENCH_PROF_OUT=/tmp/BENCH_prof.json ./scripts/prof-smoke.sh
+
 # Perf snapshots of the in-process workloads via the -apps filter:
 # BENCH_server.json plus BENCH_batch.json (batched vs per-task
 # submission throughput; schemas in EXPERIMENTS.md).

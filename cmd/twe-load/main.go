@@ -13,15 +13,20 @@
 // (no leaked in-flight requests). -expect-shed makes the run fail
 // unless overload was actually observed (forced-overload smoke).
 // -scrape GETs a Prometheus endpoint and asserts the serve families are
-// present.
+// present. -trace-ids stamps every request with a trace id (DESIGN.md
+// §14); -debug-url GETs the server's /debug/twe snapshot after the run
+// and -expect-contention makes the run fail unless stall time was
+// attributed and the hottest effect subtree matches the given regexp.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"regexp"
 	"strings"
 	"time"
 
@@ -45,6 +50,9 @@ var (
 	jsonFlag     = flag.String("json", "", "write BENCH_serve.json here")
 	expectFlag   = flag.Bool("expect-shed", false, "fail unless shedding/backpressure was observed")
 	scrapeFlag   = flag.String("scrape", "", "GET this Prometheus URL and assert the serve metric families exist")
+	traceIDFlag  = flag.Bool("trace-ids", false, "stamp every request with a per-connection trace id")
+	debugFlag    = flag.String("debug-url", "", "GET this /debug/twe URL after the run and print the snapshot")
+	contendFlag  = flag.String("expect-contention", "", "with -debug-url: fail unless total stall > 0 and the top effect subtree matches this regexp")
 )
 
 func resolveAddr() (string, error) {
@@ -94,6 +102,45 @@ func scrape(url string) error {
 	return nil
 }
 
+// checkDebug GETs the /debug/twe snapshot, prints the contention
+// headline, and (when expectRE is non-empty) asserts that stall time was
+// attributed and the hottest effect subtree matches the pattern. The
+// assertion runs in-process so smoke scripts need no jq.
+func checkDebug(url, expectRE string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var snap svc.DebugSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decoding %s: %w", url, err)
+	}
+	top := "-"
+	if len(snap.Contention.Top) > 0 {
+		top = fmt.Sprintf("%s (%v over %d stalls)", snap.Contention.Top[0].Path,
+			time.Duration(snap.Contention.Top[0].StallNS), snap.Contention.Top[0].Count)
+	}
+	fmt.Printf("twe-load: debug %s: req_trace=%v conns=%d stall=%v/%d top=%s trace-events=%d\n",
+		url, snap.ReqTrace, snap.Conns.Live, time.Duration(snap.Contention.TotalStallNS),
+		snap.Contention.Observations, top, snap.TraceEvents)
+	if expectRE == "" {
+		return nil
+	}
+	re, err := regexp.Compile(expectRE)
+	if err != nil {
+		return fmt.Errorf("-expect-contention: %w", err)
+	}
+	if snap.Contention.TotalStallNS <= 0 || snap.Contention.Observations <= 0 {
+		return fmt.Errorf("expected contention but snapshot shows stall=%dns over %d observations",
+			snap.Contention.TotalStallNS, snap.Contention.Observations)
+	}
+	if len(snap.Contention.Top) == 0 || !re.MatchString(snap.Contention.Top[0].Path) {
+		return fmt.Errorf("top contended subtree %q does not match -expect-contention %q", top, expectRE)
+	}
+	return nil
+}
+
 func main() {
 	flag.Parse()
 
@@ -123,6 +170,7 @@ func main() {
 		Faults:    *faultsFlag,
 		Batch:     *batchFlag,
 		Proto:     *protoFlag,
+		TraceIDs:  *traceIDFlag,
 	}
 	rep, err := svc.RunLoad(cfg)
 	if err != nil {
@@ -169,6 +217,12 @@ func main() {
 	}
 	if *scrapeFlag != "" {
 		if err := scrape(*scrapeFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "twe-load:", err)
+			code = 1
+		}
+	}
+	if *debugFlag != "" {
+		if err := checkDebug(*debugFlag, *contendFlag); err != nil {
 			fmt.Fprintln(os.Stderr, "twe-load:", err)
 			code = 1
 		}

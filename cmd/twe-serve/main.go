@@ -11,15 +11,20 @@
 // serves everything already admitted, shuts the runtime down, and exits
 // non-zero if the drain audit fails (runtime not quiesced, leaked
 // in-flight gauge, isolation violations, or served-accounting mismatch).
-// -metrics-addr exposes Prometheus text metrics over HTTP (/metrics);
+// -metrics-addr exposes an HTTP debug mux: Prometheus text metrics
+// (/metrics), the effect-contention and request-tracing snapshot
+// (/debug/twe, DESIGN.md §14), Go profiling (/debug/pprof/) and expvar
+// (/debug/vars). -req-trace turns on per-request span tracing;
 // -trace writes a Chrome trace of the serving runtime at exit.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +43,8 @@ var (
 	maxInflightFlag = flag.Int("max-inflight", 0, "admitted-but-unresolved bound; excess gets busy (0 = unbounded)")
 	deadlineFlag    = flag.Duration("deadline", 0, "per-request deadline; late requests are shed (0 = none)")
 	isolFlag        = flag.Bool("isolcheck", false, "attach the isolation-oracle monitor")
+	reqTraceFlag    = flag.Bool("req-trace", false, "per-request span tracing + phase histograms + contention attribution")
+	traceEventsFlag = flag.Int("trace-events", 0, "tracer ring capacity per shard (0 = 4096, or 16384 with -req-trace)")
 	traceFlag       = flag.String("trace", "", "write a Chrome trace here at exit")
 	metricsFlag     = flag.String("metrics-addr", "", "HTTP listen address for /metrics (empty = disabled)")
 	metricsFileFlag = flag.String("metrics-addr-file", "", "write the bound metrics address to this file")
@@ -55,6 +62,8 @@ func main() {
 		MaxInflight: *maxInflightFlag,
 		Deadline:    *deadlineFlag,
 		Isolcheck:   *isolFlag,
+		ReqTrace:    *reqTraceFlag,
+		TraceEvents: *traceEventsFlag,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "twe-serve:", err)
@@ -88,7 +97,17 @@ func main() {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
-		fmt.Printf("twe-serve: metrics on http://%s/metrics\n", mln.Addr())
+		// Contention/tracing snapshot, profiling and expvar share the mux
+		// (the default ServeMux gets these for free; a custom mux must
+		// mount them explicitly).
+		mux.Handle("/debug/twe", s.DebugHandler(10))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+		fmt.Printf("twe-serve: metrics on http://%s/metrics (also /debug/twe, /debug/pprof/, /debug/vars)\n", mln.Addr())
 		go func() { _ = http.Serve(mln, mux) }()
 	}
 

@@ -158,6 +158,10 @@ func writeFile(path string, write func(*os.File) error) error {
 // checkTrace structurally validates a Chrome trace-event JSON file: it must
 // parse, contain events, include at least one complete ("X") task span and
 // thread-name metadata, and every event must carry the required keys.
+// Request spans (cat "req", emitted by twe-serve -req-trace; DESIGN.md §14)
+// are counted separately and each must carry a req arg; an admission-wait
+// span that claims attribution ("admission-wait ← ...") must name the
+// blocking task in blocked_on (waits that never stalled carry neither).
 func checkTrace(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -172,13 +176,14 @@ func checkTrace(path string) error {
 	if len(doc.TraceEvents) == 0 {
 		return fmt.Errorf("%s: no traceEvents", path)
 	}
-	var spans, meta int
+	var spans, meta, reqSpans, waitSpans int
 	for i, ev := range doc.TraceEvents {
 		ph, _ := ev["ph"].(string)
 		if ph == "" {
 			return fmt.Errorf("%s: event %d has no ph", path, i)
 		}
-		if _, ok := ev["name"].(string); !ok {
+		name, ok := ev["name"].(string)
+		if !ok {
 			return fmt.Errorf("%s: event %d has no name", path, i)
 		}
 		switch ph {
@@ -186,6 +191,19 @@ func checkTrace(path string) error {
 			spans++
 			if _, ok := ev["dur"]; !ok {
 				return fmt.Errorf("%s: complete event %d has no dur", path, i)
+			}
+			if cat, _ := ev["cat"].(string); cat == "req" {
+				reqSpans++
+				args, _ := ev["args"].(map[string]any)
+				if args == nil || args["req"] == nil {
+					return fmt.Errorf("%s: req span %d (%s) has no req arg", path, i, name)
+				}
+				if strings.HasPrefix(name, "admission-wait ← ") {
+					waitSpans++
+					if s, _ := args["blocked_on"].(string); s == "" {
+						return fmt.Errorf("%s: attributed admission-wait span %d has no blocked_on arg", path, i)
+					}
+				}
 			}
 			fallthrough
 		case "i":
@@ -202,7 +220,8 @@ func checkTrace(path string) error {
 	if meta == 0 {
 		return fmt.Errorf("%s: no thread metadata (ph=M)", path)
 	}
-	fmt.Printf("%s: ok (%d events, %d spans, %d metadata)\n", path, len(doc.TraceEvents), spans, meta)
+	fmt.Printf("%s: ok (%d events, %d spans, %d metadata, %d req spans, %d attributed waits)\n",
+		path, len(doc.TraceEvents), spans, meta, reqSpans, waitSpans)
 	return nil
 }
 

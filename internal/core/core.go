@@ -108,9 +108,21 @@ type Future struct {
 	// Tracing bookkeeping, used only when the runtime has a tracer:
 	// worker is the pool worker currently running the body (0 = external
 	// or inline), submitNS the tracer-clock submission time for the
-	// admission-latency histogram.
+	// admission-latency histogram; enableNS/startNS/finishNS complete the
+	// per-phase stamps consumed by request tracing (DESIGN.md §14).
 	worker   atomic.Int32
 	submitNS atomic.Int64
+	enableNS atomic.Int64
+	startNS  atomic.Int64
+	finishNS atomic.Int64
+
+	// Wait-for attribution, recorded by the schedulers' conflict checks
+	// (tracing slow path only): the last task this future was observed
+	// stalled behind, the conflicting effect's RPL path, and a
+	// preformatted human-readable description.
+	waitSeq  atomic.Uint64
+	waitPath atomic.Pointer[string]
+	waitDesc atomic.Pointer[string]
 
 	// Spawn bookkeeping.
 	spawnParent *Future
@@ -152,6 +164,38 @@ func (f *Future) Effects() effect.Set { return f.eff }
 
 // Seq returns the creation sequence number (older tasks have smaller Seq).
 func (f *Future) Seq() uint64 { return f.seq }
+
+// SetWaitFor records that this future is stalled behind other's
+// conflicting effect: path is the effect's RPL string (the contention
+// profiler aggregates by its prefixes), desc a preformatted description
+// ("T7(put) writes Root:Shard:[3]"). Called by effect-aware schedulers on
+// the conflict slow path, only when tracing; last call before admission
+// wins, matching the blocker the task actually waited out.
+func (f *Future) SetWaitFor(other uint64, path, desc string) {
+	f.waitSeq.Store(other)
+	f.waitPath.Store(&path)
+	f.waitDesc.Store(&desc)
+}
+
+// WaitFor returns the last recorded wait-for attribution; ok is false if
+// the future was never observed stalled behind another task.
+func (f *Future) WaitFor() (other uint64, path, desc string, ok bool) {
+	p := f.waitPath.Load()
+	if p == nil {
+		return 0, "", "", false
+	}
+	if d := f.waitDesc.Load(); d != nil {
+		desc = *d
+	}
+	return f.waitSeq.Load(), *p, desc, true
+}
+
+// TraceStamps returns the tracer-clock phase timestamps of this future:
+// submission, scheduler admission, body start, and body finish. A stamp
+// is zero if its phase has not happened (or the runtime is untraced).
+func (f *Future) TraceStamps() (submit, enable, start, finish int64) {
+	return f.submitNS.Load(), f.enableNS.Load(), f.startNS.Load(), f.finishNS.Load()
+}
 
 // Status returns the current lifecycle state.
 func (f *Future) Status() Status { return Status(f.status.Load()) }
@@ -617,8 +661,15 @@ func (f *Future) markEnabled() bool {
 		}
 	}
 	if tr := f.rt.tracer; tr != nil {
-		lat := tr.Clock() - f.submitNS.Load()
+		now := tr.Clock()
+		lat := now - f.submitNS.Load()
+		f.enableNS.Store(now)
 		tr.Metrics().ObserveAdmission(lat)
+		if p := f.waitPath.Load(); p != nil {
+			// The scheduler noted a conflicting effect while this future
+			// waited: charge the full admission wait to that RPL path.
+			tr.Contention().Observe(*p, lat)
+		}
 		tr.Emit(obs.Event{Kind: obs.KindEnable, Task: f.seq, Name: f.task.Name,
 			Detail: fmt.Sprintf("%dµs", lat/1e3)})
 	}
@@ -641,6 +692,7 @@ func (rt *Runtime) runBody(f *Future, worker int32) {
 		return
 	}
 	if rt.tracer != nil {
+		f.startNS.Store(rt.tracer.Clock())
 		rt.tracer.Emit(obs.Event{Kind: obs.KindStart, Task: f.seq, Name: f.task.Name, Worker: worker})
 	}
 	rt.monitor.OnRun(f)
@@ -675,6 +727,7 @@ func (rt *Runtime) runBody(f *Future, worker int32) {
 	f.result, f.err = res, err
 	rt.yieldAt(f, PointFinish)
 	if rt.tracer != nil {
+		f.finishNS.Store(rt.tracer.Clock())
 		rt.tracer.Metrics().TasksCompleted.Add(1)
 		rt.tracer.Emit(obs.Event{Kind: obs.KindFinish, Task: f.seq, Name: f.task.Name, Worker: f.worker.Load()})
 	}

@@ -1,0 +1,56 @@
+package naive_test
+
+import (
+	"strings"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/naive"
+	"twe/internal/obs"
+)
+
+// TestConflictStallAttribution is the naive-scheduler twin of the tree
+// test: the queue-scan conflict check must attribute a stalled task to
+// the first conflicting (holder effect, stalled effect) pair it finds.
+func TestConflictStallAttribution(t *testing.T) {
+	tr := obs.New()
+	rt := core.NewRuntime(naive.New(), 2, core.WithTracer(tr))
+	defer rt.Shutdown()
+
+	running := make(chan struct{})
+	gate := make(chan struct{})
+	hold := core.NewTask("hold", es("writes A:[1]"), func(_ *core.Ctx, _ any) (any, error) {
+		close(running)
+		<-gate
+		return nil, nil
+	})
+	rival := core.NewTask("rival", es("reads B, writes A:[1]"), func(_ *core.Ctx, _ any) (any, error) {
+		return nil, nil
+	})
+	fh := rt.ExecuteLater(hold, nil)
+	<-running
+	fr := rt.ExecuteLater(rival, nil)
+	close(gate)
+	rt.GetValue(fh)
+	rt.GetValue(fr)
+
+	other, path, desc, ok := fr.WaitFor()
+	if !ok {
+		t.Fatal("stalled rival carries no wait-for attribution")
+	}
+	if other != fh.Seq() {
+		t.Errorf("attributed to T%d, want holder T%d", other, fh.Seq())
+	}
+	// The naive scan attributes to the holder's conflicting effect — the
+	// write on A:[1]; the rival's non-conflicting read of B must not
+	// surface.
+	if path != "Root:A:[1]" {
+		t.Errorf("attributed path %q, want Root:A:[1]", path)
+	}
+	if !strings.Contains(desc, "hold") || !strings.Contains(desc, "Root:A:[1]") {
+		t.Errorf("attribution %q does not name the holder task and effect", desc)
+	}
+	if ns, n := tr.Contention().Total(); ns <= 0 || n != 1 {
+		t.Fatalf("contention profile = %dns over %d, want one positive stall", ns, n)
+	}
+}

@@ -14,6 +14,7 @@
 package naive
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -197,6 +198,22 @@ func (s *Scheduler) traceStall(f, q *core.Future) {
 	}
 	if st.effStr == "" {
 		st.effStr = f.Effects().String()
+	}
+	// Wait-for attribution (DESIGN.md §14): name the blocker's first
+	// effect that interferes with f, mirroring the tree scheduler, so
+	// contention profiling works under either scheduler.
+	fe, qe := f.Effects(), q.Effects()
+attr:
+	for i := 0; i < qe.Len(); i++ {
+		for j := 0; j < fe.Len(); j++ {
+			if qe.At(i).Conflicts(fe.At(j)) {
+				e := qe.At(i)
+				path := e.Region.String()
+				f.SetWaitFor(q.Seq(), path,
+					fmt.Sprintf("T%d(%s) %s", q.Seq(), q.Task().Name, e))
+				break attr
+			}
+		}
 	}
 	s.tracer.Emit(obs.Event{Kind: obs.KindConflictStall, Task: f.Seq(), Other: q.Seq(),
 		Name: f.Task().Name, Detail: st.effStr})

@@ -18,7 +18,11 @@ import (
 //     on the same row — the window in which effect transfer is licensed.
 //   - Submissions, admissions, spawns, joins, conflict stalls, oracle
 //     violations and peaks become instant ("i") events.
-//   - Worker rows get thread_name metadata ("worker N"; 0 = "external").
+//   - Request spans (KindReqRecv..KindReqRespond, emitted by the service
+//     layer when request tracing is on) become "X" slices on
+//     per-connection rows — see DESIGN.md §14.
+//   - Worker rows get thread_name metadata ("worker N"; 0 = "external";
+//     rows at ReqRowBase and above are "conn N").
 //
 // Timestamps are microseconds from the tracer epoch, as the format
 // requires. Call after the workload quiesced.
@@ -36,6 +40,29 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(doc)
+}
+
+// ReqRowBase offsets per-connection request rows in Event.Worker so they
+// never collide with pool worker ids: the service layer emits request
+// spans with Worker = ReqRowBase + session id and the export names those
+// rows "conn N".
+const ReqRowBase = 1000
+
+// reqSpanName maps a request-span kind to its display name; the wire op
+// qualifies the recv and exec phases, which otherwise all look alike.
+func reqSpanName(k Kind, op string) string {
+	switch k {
+	case KindReqRecv:
+		return "recv " + op
+	case KindReqDecode:
+		return "decode"
+	case KindReqWait:
+		return "admission-wait"
+	case KindReqExec:
+		return "exec " + op
+	default:
+		return "respond"
+	}
 }
 
 // ChromeTraceEvents converts recorded events to Chrome trace-event
@@ -141,6 +168,24 @@ func ChromeTraceEvents(events []Event) []map[string]any {
 		case KindStatus:
 			out = append(out, instant(e, fmt.Sprintf("T%d→%s", e.Task, e.Detail),
 				map[string]any{"seq": e.Task, "status": e.Detail}))
+		case KindReqRecv, KindReqDecode, KindReqWait, KindReqExec, KindReqRespond:
+			// Request spans carry their duration directly (Event.Dur) and
+			// land on per-connection rows (Worker = ReqRowBase + session id).
+			name := reqSpanName(e.Kind, e.Name)
+			args := map[string]any{"req": e.Other, "op": e.Name}
+			if e.Task != 0 {
+				args["seq"] = e.Task
+			}
+			if e.Kind == KindReqWait && e.Detail != "" {
+				name = "admission-wait ← " + e.Detail
+				args["blocked_on"] = e.Detail
+			}
+			end := e.TS + e.Dur
+			if e.Dur < 0 {
+				end = e.TS
+			}
+			out = append(out, slice(name, "req",
+				open{ts: e.TS, worker: e.Worker}, end, args))
 		case KindScan:
 			// Scans are high-volume and carry no per-task information;
 			// they are surfaced through the metrics, not the trace.
@@ -167,6 +212,8 @@ func ChromeTraceEvents(events []Event) []map[string]any {
 		name := fmt.Sprintf("worker %d", w)
 		if w == 0 {
 			name = "external"
+		} else if w >= ReqRowBase {
+			name = fmt.Sprintf("conn %d", w-ReqRowBase)
 		}
 		out = append(out, map[string]any{
 			"ph": "M", "name": "thread_name", "pid": 1, "tid": w,

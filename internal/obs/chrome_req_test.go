@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestChromeTraceReqSpansGolden pins the request-span conversion
+// (DESIGN.md §14): spans land on per-connection rows as complete events
+// with their duration taken from Event.Dur, the admission-wait span names
+// the blocking task, and — because the export goes through encoding/json —
+// quotes and backslashes inside task names survive as valid JSON. The
+// blocked_on detail here deliberately carries both.
+func TestChromeTraceReqSpansGolden(t *testing.T) {
+	evs := []Event{
+		{TS: 1000, Kind: KindReqRecv, Other: 7, Name: "put", Worker: ReqRowBase + 1, Dur: 500},
+		{TS: 2000, Kind: KindReqWait, Task: 3, Other: 7, Name: "put", Worker: ReqRowBase + 1, Dur: 1500,
+			Detail: `T2(serve "x"\y) writes Root:Shard:[3]`},
+		{TS: 4000, Kind: KindReqRespond, Other: 7, Name: "put", Worker: ReqRowBase + 1, Dur: -5},
+	}
+	got, err := json.MarshalIndent(ChromeTraceEvents(evs), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `[
+ {
+  "args": {
+   "name": "twe runtime"
+  },
+  "name": "process_name",
+  "ph": "M",
+  "pid": 1,
+  "tid": 0
+ },
+ {
+  "args": {
+   "op": "put",
+   "req": 7
+  },
+  "cat": "req",
+  "dur": 0.5,
+  "name": "recv put",
+  "ph": "X",
+  "pid": 1,
+  "tid": 1001,
+  "ts": 1
+ },
+ {
+  "args": {
+   "blocked_on": "T2(serve \"x\"\\y) writes Root:Shard:[3]",
+   "op": "put",
+   "req": 7,
+   "seq": 3
+  },
+  "cat": "req",
+  "dur": 1.5,
+  "name": "admission-wait ← T2(serve \"x\"\\y) writes Root:Shard:[3]",
+  "ph": "X",
+  "pid": 1,
+  "tid": 1001,
+  "ts": 2
+ },
+ {
+  "args": {
+   "op": "put",
+   "req": 7
+  },
+  "cat": "req",
+  "dur": 0,
+  "name": "respond",
+  "ph": "X",
+  "pid": 1,
+  "tid": 1001,
+  "ts": 4
+ },
+ {
+  "args": {
+   "name": "conn 1"
+  },
+  "name": "thread_name",
+  "ph": "M",
+  "pid": 1,
+  "tid": 1001
+ }
+]`
+	if string(got) != want {
+		t.Errorf("req-span golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestChromeTraceEscaping proves the full document writer emits valid,
+// re-parseable JSON when event names and details contain quotes and
+// backslashes (the escaping satellite: names come straight off the wire
+// via task names, so they are attacker-ish input to the exporter).
+func TestChromeTraceEscaping(t *testing.T) {
+	tr := New()
+	tr.Emit(Event{TS: 1, Kind: KindSubmit, Task: 1, Name: `q"uo\te`, Detail: `st"at\us`})
+	tr.Emit(Event{TS: 2, Kind: KindReqWait, Task: 1, Other: 9, Name: `o"p`, Worker: ReqRowBase, Dur: 3,
+		Detail: `T9(na"me\) writes Root:"Key\`})
+	var buf []byte
+	w := &appendWriter{buf: &buf}
+	if err := tr.WriteChromeTrace(w); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(*w.buf, &doc); err != nil {
+		t.Fatalf("exported trace with quotes/backslashes is not valid JSON: %v", err)
+	}
+	var found bool
+	for _, ev := range doc.TraceEvents {
+		if name, _ := ev["name"].(string); name == `admission-wait ← T9(na"me\) writes Root:"Key\` {
+			found = true
+			args := ev["args"].(map[string]any)
+			if args["blocked_on"] != `T9(na"me\) writes Root:"Key\` {
+				t.Errorf("blocked_on did not round-trip: %q", args["blocked_on"])
+			}
+		}
+	}
+	if !found {
+		t.Error("escaped admission-wait span missing after round-trip")
+	}
+}
+
+type appendWriter struct{ buf *[]byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	*w.buf = append(*w.buf, p...)
+	return len(p), nil
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Contention aggregates conflict-stall time by RPL prefix into a tree, so
+// a hot effect region ("everything under Root:Shard") is visible even
+// when the individual leaves ("Shard:[3]", "Shard:[5]", ...) spread the
+// stall time thin. Observe is called by the runtime when an admitted
+// future carries wait-for attribution (core.Future.SetWaitFor, stamped by
+// the schedulers' conflict checks): the full admission wait is charged to
+// the last conflicting effect path noted before admission — last-blocker-
+// wins, which matches what the stalled request was actually waiting out.
+//
+// Observe takes a mutex: attribution only happens on the conflict slow
+// path (a request that never stalled never calls it), so contention on
+// the profiler itself is bounded by contention in the workload.
+//
+// A nil *Contention is a valid no-op sink, mirroring Tracer and Metrics.
+type Contention struct {
+	mu      sync.Mutex
+	root    cnode
+	totalNS int64
+	obs     int64
+}
+
+// cnode is one node of the path tree; children are keyed by path segment.
+type cnode struct {
+	children map[string]*cnode
+	selfNS   int64
+	count    int64
+}
+
+// Observe charges ns of stall time to the effect path (an RPL string such
+// as "Root:Shard:[3]"; segments split on ':'). Negative durations and
+// empty paths are ignored.
+func (c *Contention) Observe(path string, ns int64) {
+	if c == nil || path == "" || ns <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.totalNS += ns
+	c.obs++
+	n := &c.root
+	for rest := path; rest != ""; {
+		var seg string
+		if i := strings.IndexByte(rest, ':'); i >= 0 {
+			seg, rest = rest[:i], rest[i+1:]
+		} else {
+			seg, rest = rest, ""
+		}
+		if seg == "" {
+			continue
+		}
+		if n.children == nil {
+			n.children = make(map[string]*cnode)
+		}
+		ch := n.children[seg]
+		if ch == nil {
+			ch = &cnode{}
+			n.children[seg] = ch
+		}
+		n = ch
+	}
+	n.selfNS += ns
+	n.count++
+}
+
+// Total returns the aggregate stall time charged and the number of
+// observations.
+func (c *Contention) Total() (ns, n int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalNS, c.obs
+}
+
+// ContentionEntry is one subtree of the contention tree: StallNS and
+// Count aggregate the subtree rooted at Path (self plus descendants).
+type ContentionEntry struct {
+	Path    string `json:"path"`
+	StallNS int64  `json:"stall_ns"`
+	Count   int64  `json:"count"`
+}
+
+// TopK returns the k hottest effect subtrees by aggregated stall time,
+// sorted by stall descending (ties broken by path for determinism). The
+// root of the RPL namespace itself (the bare "Root" prefix) is omitted —
+// it would always rank first and says nothing about *where* the
+// contention is; every other prefix, interior or leaf, competes.
+func (c *Contention) TopK(k int) []ContentionEntry {
+	if c == nil || k <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []ContentionEntry
+	var walk func(prefix string, n *cnode, depth int) (ns, cnt int64)
+	walk = func(prefix string, n *cnode, depth int) (ns, cnt int64) {
+		ns, cnt = n.selfNS, n.count
+		for seg, ch := range n.children {
+			p := seg
+			if prefix != "" {
+				p = prefix + ":" + seg
+			}
+			cns, ccnt := walk(p, ch, depth+1)
+			ns += cns
+			cnt += ccnt
+		}
+		// depth 0 is the synthetic tree root, depth 1 the RPL root.
+		if depth > 1 {
+			out = append(out, ContentionEntry{Path: prefix, StallNS: ns, Count: cnt})
+		}
+		return ns, cnt
+	}
+	walk("", &c.root, 0)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].StallNS != out[b].StallNS {
+			return out[a].StallNS > out[b].StallNS
+		}
+		return out[a].Path < out[b].Path
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -98,6 +98,24 @@ const (
 	// one SubmitBatch call. Task holds the first future's sequence number,
 	// Other the batch size; per-future KindSubmit events still follow.
 	KindBatchSubmit
+	// KindReqRecv: the service layer finished reading a request frame off
+	// a connection. Task holds the task sequence number (0 if the request
+	// was refused before submission), Other the client trace/request id,
+	// Worker the connection row, Name the wire op, Dur the read time.
+	KindReqRecv
+	// KindReqDecode: the frame was decoded into a Request (and, for v2,
+	// resolved through the connection's effect-intern table).
+	KindReqDecode
+	// KindReqWait: the admission wait — submit to enable. Detail names the
+	// last task this request was observed stalled behind and the
+	// conflicting effect (wait-for attribution, DESIGN.md §14); empty when
+	// the request was admitted without a recorded conflict.
+	KindReqWait
+	// KindReqExec: the task body run span, from the request's perspective.
+	KindReqExec
+	// KindReqRespond: the response was encoded and written back (including
+	// any flush).
+	KindReqRespond
 )
 
 func (k Kind) String() string {
@@ -140,6 +158,16 @@ func (k Kind) String() string {
 		return "breaker"
 	case KindBatchSubmit:
 		return "batch-submit"
+	case KindReqRecv:
+		return "req-recv"
+	case KindReqDecode:
+		return "req-decode"
+	case KindReqWait:
+		return "req-wait"
+	case KindReqExec:
+		return "req-exec"
+	case KindReqRespond:
+		return "req-respond"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -162,8 +190,14 @@ type Event struct {
 	// KindConflictStall, the new peak in KindPeak.
 	Other uint64
 	// Worker is the pool worker goroutine id (1-based; 0 = external or
-	// unknown).
+	// unknown). Request-span kinds repurpose it as a per-connection row id
+	// (ReqRowBase + session id) so each connection exports as its own
+	// Chrome-trace row.
 	Worker int32
+	// Dur is the span duration in nanoseconds for the request-span kinds
+	// (KindReqRecv..KindReqRespond); 0 for instantaneous kinds, whose
+	// duration — if any — is reconstructed from paired events at export.
+	Dur int64
 	// Name is the task name (static string from the Task definition).
 	Name string
 	// Detail carries kind-specific extra information (status name,
@@ -181,6 +215,9 @@ func (e Event) String() string {
 	}
 	if e.Worker != 0 {
 		s += fmt.Sprintf(" w%d", e.Worker)
+	}
+	if e.Dur != 0 {
+		s += fmt.Sprintf(" dur=%dns", e.Dur)
 	}
 	if e.Detail != "" {
 		s += " " + e.Detail
@@ -209,6 +246,7 @@ type Tracer struct {
 	shardCap uint64
 	shards   [numShards]shard
 	metrics  Metrics
+	cont     Contention
 }
 
 // Option configures a Tracer.
@@ -270,6 +308,15 @@ func (t *Tracer) Metrics() *Metrics {
 		return nil
 	}
 	return &t.metrics
+}
+
+// Contention returns the tracer's effect-contention profile, or nil for a
+// nil tracer. Like Metrics, a nil *Contention is a valid no-op sink.
+func (t *Tracer) Contention() *Contention {
+	if t == nil {
+		return nil
+	}
+	return &t.cont
 }
 
 // Len returns the number of events currently retained across all shards.

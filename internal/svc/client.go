@@ -36,6 +36,11 @@ type Client struct {
 
 	nextID uint64
 
+	// traceIDs is set by EnableTraceIDs: v1 then simply marshals
+	// Request.Trace, v2 appends the negotiated trailing trace uvarint to
+	// every submit frame.
+	traceIDs bool
+
 	// v2 effect interning state (Send path only; not goroutine-safe,
 	// matching Send's contract).
 	refs    map[string]uint32 // effect string → registered ref
@@ -113,6 +118,23 @@ func (c *Client) recvHello() (*Response, error) {
 // Proto reports the negotiated protocol version.
 func (c *Client) Proto() int { return c.proto }
 
+// EnableTraceIDs turns on per-request trace-id propagation (DESIGN.md
+// §14) for the rest of the connection. On v1 the id rides as the
+// Request.Trace JSON field; on v2 this negotiates the submit-frame
+// trailing trace field via a connection-options frame (buffered; the
+// next Flush pushes it, ordered before any subsequent submit).
+func (c *Client) EnableTraceIDs() error {
+	if c.traceIDs {
+		return nil
+	}
+	c.traceIDs = true
+	if c.proto != ProtoV2 {
+		return nil
+	}
+	c.wbuf = appendConnOptsV2(c.wbuf[:0], v2OptTraceIDs)
+	return writeFrameV2(c.bw, c.wbuf)
+}
+
 // effRef interns an effect string (v2): reuse the existing ref or pick
 // the next ring slot, emit the register frame, and return the ref. When
 // the table bound is exhausted the oldest slot is recycled — the server
@@ -157,6 +179,9 @@ func (c *Client) Send(req *Request) error {
 		if c.wbuf, err = appendSubmitV2(c.wbuf[:0], req.ID, req.Op, req.Key, req.Val, ref); err != nil {
 			return err
 		}
+		if c.traceIDs {
+			c.wbuf = binary.AppendUvarint(c.wbuf, req.Trace)
+		}
 	}
 	return writeFrameV2(c.bw, c.wbuf)
 }
@@ -199,6 +224,9 @@ func (c *Client) SendBatch(reqs []Request) error {
 		default:
 			if buf, err = appendSubmitV2(buf, req.ID, req.Op, req.Key, req.Val, refs[i]); err != nil {
 				return err
+			}
+			if c.traceIDs {
+				buf = binary.AppendUvarint(buf, req.Trace)
 			}
 		}
 	}

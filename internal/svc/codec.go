@@ -2,8 +2,11 @@ package svc
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
+
+	"twe/internal/obs"
 )
 
 // serverCodec is the per-connection encoding layer behind the session's
@@ -22,15 +25,31 @@ type serverCodec interface {
 	Proto() int
 }
 
-// v1ServerCodec is the length-prefixed JSON compat codec (wire.go).
+// v1ServerCodec is the length-prefixed JSON compat codec (wire.go). tr,
+// when non-nil, turns on request-phase stamping: the read and decode of
+// each frame are timed separately on the tracer clock (DESIGN.md §14).
 type v1ServerCodec struct {
 	br *bufio.Reader
 	bw *bufio.Writer
+	tr *obs.Tracer
 }
 
 func (c *v1ServerCodec) ReadRequest(req *Request) error {
 	*req = Request{}
-	return ReadFrame(c.br, req)
+	if c.tr == nil {
+		return ReadFrame(c.br, req)
+	}
+	t0 := c.tr.Clock()
+	payload, err := readFramePayload(c.br)
+	if err != nil {
+		return err
+	}
+	t1 := c.tr.Clock()
+	if err := json.Unmarshal(payload, req); err != nil {
+		return err
+	}
+	req.recvTS, req.recvNS, req.decNS = t0, t1-t0, c.tr.Clock()-t1
+	return nil
 }
 
 func (c *v1ServerCodec) WriteResponse(resp *Response) error { return WriteFrame(c.bw, resp) }
@@ -48,28 +67,44 @@ type v2ServerCodec struct {
 	tbl   EffectTable
 	cache *EffectCache
 	m     *Metrics
+	tr    *obs.Tracer // non-nil = request-phase stamping on
+	st    v2ConnState // negotiated options (reader goroutine only)
 
 	rbuf []byte // reader-side frame buffer (reader goroutine only)
 	wbuf []byte // writer-side frame buffer (writer goroutine only)
 }
 
-func newV2ServerCodec(br *bufio.Reader, bw *bufio.Writer, cache *EffectCache, m *Metrics) *v2ServerCodec {
-	return &v2ServerCodec{br: br, bw: bw, cache: cache, m: m}
+func newV2ServerCodec(br *bufio.Reader, bw *bufio.Writer, cache *EffectCache, m *Metrics, tr *obs.Tracer) *v2ServerCodec {
+	return &v2ServerCodec{br: br, bw: bw, cache: cache, m: m, tr: tr}
 }
 
 func (c *v2ServerCodec) ReadRequest(req *Request) error {
+	var t0 int64
+	if c.tr != nil {
+		t0 = c.tr.Clock()
+	}
 	for {
 		payload, err := readFrameV2(c.br, &c.rbuf)
 		if err != nil {
 			return err
 		}
-		isReg, err := decodeRequestV2(payload, &c.tbl, c.cache.Lookup, req)
+		var t1 int64
+		if c.tr != nil {
+			t1 = c.tr.Clock()
+		}
+		kind, err := decodeRequestV2Conn(payload, &c.tbl, c.cache.Lookup, req, &c.st)
 		if err != nil {
 			return err // malformed frame or bad registration: connection-fatal
 		}
-		if isReg {
+		switch kind {
+		case v2ConsumedReg:
 			c.m.EffRegs.Add(1)
 			continue // registration consumed; next frame
+		case v2ConsumedOpts:
+			continue // options applied; next frame
+		}
+		if c.tr != nil {
+			req.recvTS, req.recvNS, req.decNS = t0, t1-t0, c.tr.Clock()-t1
 		}
 		return nil
 	}
@@ -86,6 +121,10 @@ func (c *v2ServerCodec) WriteResponse(resp *Response) error {
 
 func (c *v2ServerCodec) Flush() error { return c.bw.Flush() }
 func (c *v2ServerCodec) Proto() int   { return ProtoV2 }
+
+// Table exposes the connection's effect-intern table for the /debug/twe
+// occupancy report (its counters are atomic; see EffectTable).
+func (c *v2ServerCodec) Table() *EffectTable { return &c.tbl }
 
 // readPreamble consumes and validates the 4-byte client preamble,
 // returning the requested protocol version.

@@ -2,6 +2,7 @@ package svc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"twe/internal/effect"
 )
@@ -23,11 +24,12 @@ import (
 //
 // The table is confined to its connection's reader goroutine (register
 // and lookup both happen while decoding frames in order), so it needs no
-// locking.
+// locking. The occupancy counters alone are atomic so the /debug/twe
+// snapshot (served from an HTTP goroutine) can read them live.
 type EffectTable struct {
 	slots    []effectSlot
-	resident int   // occupied slots
-	regs     int64 // registrations, including overwrites
+	resident atomic.Int64 // occupied slots
+	regs     atomic.Int64 // registrations, including overwrites
 }
 
 type effectSlot struct {
@@ -53,10 +55,10 @@ func (t *EffectTable) Register(ref uint64, set effect.Set, err error) error {
 		t.slots = grown
 	}
 	if !t.slots[ref].ok {
-		t.resident++
+		t.resident.Add(1)
 	}
 	t.slots[ref] = effectSlot{set: set, err: err, ok: true}
-	t.regs++
+	t.regs.Add(1)
 	return nil
 }
 
@@ -71,8 +73,8 @@ func (t *EffectTable) Lookup(ref uint64) (set effect.Set, ok bool, err error) {
 }
 
 // Len returns the number of occupied slots.
-func (t *EffectTable) Len() int { return t.resident }
+func (t *EffectTable) Len() int { return int(t.resident.Load()) }
 
 // Registrations returns the lifetime registration count, including
 // overwrites of occupied slots.
-func (t *EffectTable) Registrations() int64 { return t.regs }
+func (t *EffectTable) Registrations() int64 { return t.regs.Load() }

@@ -39,6 +39,10 @@ type LoadConfig struct {
 	// conn%3==2 abruptly closes mid-plan, every conn with conn%3==1
 	// chases 30% of its puts with a wire cancel.
 	Faults bool
+	// TraceIDs stamps every data op with a distinct trace id
+	// (conn+1)<<32 | (i+1) and negotiates trace propagation on the wire
+	// (DESIGN.md §14) — pair with a server running -req-trace.
+	TraceIDs bool
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -179,6 +183,11 @@ func runLoadWorker(cfg LoadConfig, conn int) (*workerResult, error) {
 		return nil, err
 	}
 	defer c.Close()
+	if cfg.TraceIDs {
+		if err := c.EnableTraceIDs(); err != nil {
+			return nil, err
+		}
+	}
 	res := &workerResult{
 		sid:        c.SID,
 		model:      make(map[int]int64),
@@ -320,6 +329,9 @@ func runLoadWorker(cfg LoadConfig, conn int) (*workerResult, error) {
 			break
 		}
 		req := Request{ID: uint64(i + 1), Op: op.op, Key: op.key, Val: op.val}
+		if cfg.TraceIDs && op.op != OpCancel {
+			req.Trace = uint64(conn+1)<<32 | uint64(i+1)
+		}
 		switch op.op {
 		case OpPut:
 			req.Eff = PutEffect(c.Shards, op.key, c.SID)

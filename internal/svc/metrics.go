@@ -43,29 +43,48 @@ func (h *latHist) Observe(ns int64) {
 
 func (h *latHist) writeTo(w io.Writer, name, help string) (int64, error) {
 	var total int64
+	n, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	n64, err := h.writeSeries(w, name, "")
+	return total + n64, err
+}
+
+// writeSeries renders the histogram's sample lines without the HELP/TYPE
+// header. extra is an extra label pair ('phase="recv"') merged into every
+// sample's label set, so several latHists can share one metric family.
+func (h *latHist) writeSeries(w io.Writer, name, extra string) (int64, error) {
+	var total int64
 	p := func(format string, args ...any) error {
 		n, err := fmt.Fprintf(w, format, args...)
 		total += int64(n)
 		return err
 	}
-	if err := p("# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
-		return total, err
+	sep := ""
+	if extra != "" {
+		sep = ","
 	}
 	var cum int64
 	for i, lbl := range latLabels {
 		cum += h.buckets[i].Load()
-		if err := p("%s_bucket{le=%q} %d\n", name, lbl, cum); err != nil {
+		if err := p("%s_bucket{%s%sle=%q} %d\n", name, extra, sep, lbl, cum); err != nil {
 			return total, err
 		}
 	}
 	cum += h.buckets[len(latBounds)].Load()
-	if err := p("%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	if err := p("%s_bucket{%s%sle=\"+Inf\"} %d\n", name, extra, sep, cum); err != nil {
 		return total, err
 	}
-	if err := p("%s_sum %g\n", name, float64(h.sumNS.Load())/1e9); err != nil {
+	lbl := ""
+	if extra != "" {
+		lbl = "{" + extra + "}"
+	}
+	if err := p("%s_sum%s %g\n", name, lbl, float64(h.sumNS.Load())/1e9); err != nil {
 		return total, err
 	}
-	if err := p("%s_count %d\n", name, h.count.Load()); err != nil {
+	if err := p("%s_count%s %d\n", name, lbl, h.count.Load()); err != nil {
 		return total, err
 	}
 	return total, nil
@@ -91,8 +110,10 @@ type Metrics struct {
 	Batches    atomic.Int64 // batch frames received
 	BatchedOps atomic.Int64 // inner ops delivered via batch frames
 
-	V1Conns     atomic.Int64 // connections negotiated as protocol v1 (JSON)
-	V2Conns     atomic.Int64 // connections negotiated as protocol v2 (binary)
+	V1Conns     atomic.Int64 // connections negotiated as protocol v1 (JSON), lifetime
+	V2Conns     atomic.Int64 // connections negotiated as protocol v2 (binary), lifetime
+	V1Live      atomic.Int64 // v1 connections currently open
+	V2Live      atomic.Int64 // v2 connections currently open
 	EffRegs     atomic.Int64 // v2 effect registrations (incl. overwrites)
 	ProtoErrors atomic.Int64 // connections dropped during preamble negotiation
 
@@ -101,7 +122,25 @@ type Metrics struct {
 
 	ReqLat latHist // admission → response resolved (queue + service)
 	RunLat latHist // task body service time (served ops only)
+
+	// Phase holds the per-request-phase histograms (DESIGN.md §14),
+	// observed only when request tracing is on; exported as one family,
+	// twe_serve_phase_seconds{phase=...}.
+	Phase [NumPhases]latHist
 }
+
+// Request-phase indices into Metrics.Phase; phaseLabels carries the
+// Prometheus label values in the same order.
+const (
+	PhaseRecv = iota
+	PhaseDecode
+	PhaseWait
+	PhaseExec
+	PhaseRespond
+	NumPhases
+)
+
+var phaseLabels = [NumPhases]string{"recv", "decode", "wait", "exec", "respond"}
 
 // IncInflight bumps the in-flight gauge and returns the new value; the
 // caller compares it against the admission bound.
@@ -161,7 +200,7 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{counter, "twe_serve_batched_ops_total", "Inner requests delivered via batch frames.", m.BatchedOps.Load()},
 		{counter, "twe_serve_proto_v1_conns_total", "Connections negotiated as protocol v1 (JSON).", m.V1Conns.Load()},
 		{counter, "twe_serve_proto_v2_conns_total", "Connections negotiated as protocol v2 (binary).", m.V2Conns.Load()},
-		{counter, "twe_serve_effect_registrations_total", "v2 effect-table registrations, including overwrites.", m.EffRegs.Load()},
+		{counter, "twe_serve_effect_regs_total", "v2 effect-table registrations, including overwrites.", m.EffRegs.Load()},
 		{counter, "twe_serve_proto_errors_total", "Connections dropped during preamble negotiation.", m.ProtoErrors.Load()},
 		{gauge, "twe_serve_inflight", "Admitted data ops not yet resolved.", m.inflight.Load()},
 		{gauge, "twe_serve_inflight_peak", "Peak of twe_serve_inflight.", m.inflightPeak.Load()},
@@ -171,6 +210,14 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			return total, err
 		}
 	}
+	// Live connection split by negotiated protocol, one labeled family.
+	if err := p("# HELP twe_serve_conns Currently open connections by negotiated protocol.\n# TYPE twe_serve_conns gauge\n"); err != nil {
+		return total, err
+	}
+	if err := p("twe_serve_conns{proto=\"v1\"} %d\ntwe_serve_conns{proto=\"v2\"} %d\n",
+		m.V1Live.Load(), m.V2Live.Load()); err != nil {
+		return total, err
+	}
 	n, err := m.ReqLat.writeTo(w, "twe_serve_request_latency_seconds", "Admission to response-resolved latency (queue + service).")
 	total += n
 	if err != nil {
@@ -178,5 +225,20 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	n, err = m.RunLat.writeTo(w, "twe_serve_run_latency_seconds", "Task body service time for served ops.")
 	total += n
-	return total, err
+	if err != nil {
+		return total, err
+	}
+	// Per-phase request histograms share one family, split by label
+	// (DESIGN.md §14); all-zero when request tracing is off.
+	if err := p("# HELP twe_serve_phase_seconds Request time per phase (recv/decode/wait/exec/respond); populated only with request tracing on.\n# TYPE twe_serve_phase_seconds histogram\n"); err != nil {
+		return total, err
+	}
+	for i := range m.Phase {
+		n, err = m.Phase[i].writeSeries(w, "twe_serve_phase_seconds", fmt.Sprintf("phase=%q", phaseLabels[i]))
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }

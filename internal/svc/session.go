@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"twe/internal/core"
 	"twe/internal/dyneff"
 	"twe/internal/effect"
+	"twe/internal/obs"
 	"twe/internal/rpl"
 )
 
@@ -30,6 +32,17 @@ type pending struct {
 	fut    *core.Future
 	resp   *Response
 	arrive time.Time
+
+	// Request-trace stamps (DESIGN.md §14), carried from the reader only
+	// when the server runs with Config.ReqTrace; op doubles as the "emit
+	// spans for this pending" flag (control ops and the hello leave it
+	// empty). Batch inner ops carry op/trace but no recv/decode stamps —
+	// those phases are per-frame, not per-inner-op.
+	op     string
+	trace  uint64
+	recvTS int64
+	recvNS int64
+	decNS  int64
 }
 
 // session is one client connection: a reader goroutine that decodes,
@@ -51,6 +64,11 @@ type session struct {
 	conn  net.Conn
 	q     chan pending
 	codec serverCodec // set during negotiation, before reader/writer start
+
+	// v2c mirrors codec when the connection negotiated v2; atomic so the
+	// /debug/twe snapshot can read effect-table occupancy from another
+	// goroutine while the session is live.
+	v2c atomic.Pointer[v2ServerCodec]
 
 	mu   sync.Mutex
 	pend map[uint64]*core.Future // in-flight, by request id (cancel target lookup)
@@ -85,10 +103,16 @@ func (s *session) main() {
 	switch proto {
 	case ProtoV2:
 		s.srv.m.V2Conns.Add(1)
-		s.codec = newV2ServerCodec(br, bw, s.srv.cache, &s.srv.m)
+		s.srv.m.V2Live.Add(1)
+		defer s.srv.m.V2Live.Add(-1)
+		v2c := newV2ServerCodec(br, bw, s.srv.cache, &s.srv.m, s.srv.reqTracer())
+		s.v2c.Store(v2c)
+		s.codec = v2c
 	default:
 		s.srv.m.V1Conns.Add(1)
-		s.codec = &v1ServerCodec{br: br, bw: bw}
+		s.srv.m.V1Live.Add(1)
+		defer s.srv.m.V1Live.Add(-1)
+		s.codec = &v1ServerCodec{br: br, bw: bw, tr: s.srv.reqTracer()}
 	}
 	geo := &StatsBody{Sched: s.srv.schedName, Shards: s.srv.cfg.Shards, Keys: s.srv.cfg.Keys}
 	s.q <- pending{resp: &Response{Status: StatusHello, Val: int64(s.id), Stats: geo}}
@@ -198,11 +222,27 @@ func (s *session) admitData(req *Request) (core.Submission, *Response) {
 	return core.Submission{Task: task, Deadline: s.srv.cfg.Deadline}, nil
 }
 
+// stamp copies the request's trace identity and codec phase stamps onto
+// the pending; a no-op (leaving p.op empty, so the writer emits nothing)
+// unless request tracing is on.
+func (s *session) stamp(p *pending, req *Request, frameStamps bool) {
+	if !s.srv.cfg.ReqTrace {
+		return
+	}
+	p.op = req.Op
+	p.trace = req.Trace
+	if frameStamps {
+		p.recvTS, p.recvNS, p.decNS = req.recvTS, req.recvNS, req.decNS
+	}
+}
+
 // handleData admits and submits one standalone data op.
 func (s *session) handleData(req *Request) {
 	sub, resp := s.admitData(req)
 	if resp != nil {
-		s.q <- pending{resp: resp}
+		p := pending{resp: resp}
+		s.stamp(&p, req, true)
+		s.q <- p
 		return
 	}
 	var fut *core.Future
@@ -214,7 +254,9 @@ func (s *session) handleData(req *Request) {
 	s.mu.Lock()
 	s.pend[req.ID] = fut
 	s.mu.Unlock()
-	s.q <- pending{id: req.ID, fut: fut, arrive: time.Now()}
+	p := pending{id: req.ID, fut: fut, arrive: time.Now()}
+	s.stamp(&p, req, true)
+	s.q <- p
 }
 
 // handleBatch admits one batch frame (DESIGN.md §12): every inner data
@@ -264,11 +306,16 @@ func (s *session) handleBatch(req *Request) {
 	s.mu.Unlock()
 	now := time.Now()
 	for i := range req.Batch {
+		var p pending
 		if j := subIdx[i]; j >= 0 {
-			s.q <- pending{id: req.Batch[i].ID, fut: futs[j], arrive: now}
+			p = pending{id: req.Batch[i].ID, fut: futs[j], arrive: now}
 		} else {
-			s.q <- pending{resp: resps[i]}
+			p = pending{resp: resps[i]}
 		}
+		if req.Batch[i].Op != OpCancel && req.Batch[i].Op != OpStats {
+			s.stamp(&p, &req.Batch[i], false)
+		}
+		s.q <- p
 	}
 }
 
@@ -423,6 +470,7 @@ func (s *session) buildTask(req *Request) (*core.Task, effect.Set, error) {
 
 func (s *session) writer() {
 	alive := true
+	row := int32(obs.ReqRowBase + s.id)
 	for p := range s.q {
 		resp := p.resp
 		if p.fut != nil {
@@ -434,6 +482,10 @@ func (s *session) writer() {
 			s.mu.Unlock()
 			s.srv.m.ReqLat.Observe(time.Since(p.arrive).Nanoseconds())
 		}
+		var respTS int64
+		if p.op != "" {
+			respTS = s.srv.tr.Clock()
+		}
 		if alive {
 			// After a write error (client gone) keep draining futures —
 			// their accounting and effect release must still happen.
@@ -443,10 +495,57 @@ func (s *session) writer() {
 				alive = false
 			}
 		}
+		if p.op != "" {
+			s.emitSpans(&p, respTS, row)
+		}
 	}
 	if alive {
 		s.codec.Flush()
 	}
+}
+
+// emitSpans emits the request's span chain (DESIGN.md §14) once its
+// response has been written: recv and decode from the codec stamps, the
+// admission wait and body run from the future's trace stamps — with the
+// wait span naming the blocking task and the conflicting effect when the
+// scheduler recorded one — and the respond span around the encode+flush
+// that just happened. The same durations feed the per-phase histograms.
+func (s *session) emitSpans(p *pending, respTS int64, row int32) {
+	tr := s.srv.tr
+	m := &s.srv.m
+	var seq uint64
+	if p.fut != nil {
+		seq = p.fut.Seq()
+	}
+	if p.recvTS > 0 || p.recvNS > 0 {
+		tr.Emit(obs.Event{Kind: obs.KindReqRecv, TS: p.recvTS, Dur: p.recvNS,
+			Task: seq, Other: p.trace, Worker: row, Name: p.op})
+		tr.Emit(obs.Event{Kind: obs.KindReqDecode, TS: p.recvTS + p.recvNS, Dur: p.decNS,
+			Task: seq, Other: p.trace, Worker: row, Name: p.op})
+		m.Phase[PhaseRecv].Observe(p.recvNS)
+		m.Phase[PhaseDecode].Observe(p.decNS)
+	}
+	if p.fut != nil {
+		sub, en, start, fin := p.fut.TraceStamps()
+		if sub > 0 && en >= sub {
+			ev := obs.Event{Kind: obs.KindReqWait, TS: sub, Dur: en - sub,
+				Task: seq, Other: p.trace, Worker: row, Name: p.op}
+			if _, _, desc, ok := p.fut.WaitFor(); ok {
+				ev.Detail = desc
+			}
+			tr.Emit(ev)
+			m.Phase[PhaseWait].Observe(en - sub)
+		}
+		if start > 0 && fin >= start {
+			tr.Emit(obs.Event{Kind: obs.KindReqExec, TS: start, Dur: fin - start,
+				Task: seq, Other: p.trace, Worker: row, Name: p.op})
+			m.Phase[PhaseExec].Observe(fin - start)
+		}
+	}
+	dur := tr.Clock() - respTS
+	tr.Emit(obs.Event{Kind: obs.KindReqRespond, TS: respTS, Dur: dur,
+		Task: seq, Other: p.trace, Worker: row, Name: p.op})
+	m.Phase[PhaseRespond].Observe(dur)
 }
 
 func (s *session) classify(id uint64, v any, err error) *Response {

@@ -35,6 +35,21 @@ type Config struct {
 	Isolcheck   bool // attach the isolation-oracle monitor
 	EffCacheMax int  // effect-cache bound (default 4096)
 
+	// ReqTrace turns on per-request span tracing (DESIGN.md §14): codecs
+	// stamp frame read/decode times, the writer emits the
+	// recv→decode→wait→exec→respond span chain onto the tracer, and the
+	// per-phase histograms populate. Off by default: the request hot path
+	// then carries no stamping and allocates nothing extra.
+	ReqTrace bool
+
+	// TraceEvents sizes the tracer ring (events per shard, 8 shards).
+	// The ring overwrites its oldest events when full, so a traced run
+	// that outlives the ring exports only its tail — admission-wait
+	// spans from the contended early phase would be gone by drain time.
+	// Defaults to 4096 with tracing off and 16384 with ReqTrace on
+	// (request tracing emits ~5 spans per request).
+	TraceEvents int
+
 	// MkSched overrides Sched with an explicit scheduler constructor
 	// (used by the workloads registry to plug in the harness scheduler).
 	MkSched func() core.Scheduler
@@ -115,7 +130,14 @@ func Start(cfg Config) (*Server, error) {
 		s.schedName = "custom"
 	}
 
-	opts := []core.Option{core.WithTracer(obs.New())}
+	perShard := cfg.TraceEvents
+	if perShard <= 0 {
+		perShard = 4096
+		if cfg.ReqTrace {
+			perShard = 16384
+		}
+	}
+	opts := []core.Option{core.WithTracer(obs.New(obs.WithCapacity(perShard)))}
 	if cfg.Isolcheck {
 		s.chk = isolcheck.New()
 		opts = append(opts, core.WithMonitor(s.chk))
@@ -150,6 +172,15 @@ func (s *Server) Tracer() *obs.Tracer { return s.tr }
 
 // Metrics returns the service-layer metric set.
 func (s *Server) Metrics() *Metrics { return &s.m }
+
+// reqTracer returns the tracer for request-phase stamping, or nil when
+// request tracing is off (the codecs key their stamping off nil).
+func (s *Server) reqTracer() *obs.Tracer {
+	if s.cfg.ReqTrace {
+		return s.tr
+	}
+	return nil
+}
 
 // Violations returns the isolation oracle's findings (nil when the
 // checker is disabled — or when isolation held, which is the theorem).

@@ -1,0 +1,266 @@
+package svc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"twe/internal/effect"
+	"twe/internal/obs"
+)
+
+// TestConnOptsFrameNegotiation pins the v2 connection-options frame
+// (DESIGN.md §14): a trace-ids options frame flips the per-connection
+// state, submit frames then carry a trailing trace uvarint, and the same
+// submit bytes decode trace-free on a connection that never negotiated.
+func TestConnOptsFrameNegotiation(t *testing.T) {
+	var tbl EffectTable
+	parse := func(s string) (effect.Set, error) { return effect.Parse(s) }
+	reg := appendRegEffectV2(nil, 0, PutEffect(8, 1, 0))
+	var req Request
+	var st v2ConnState
+	if kind, err := decodeRequestV2Conn(reg, &tbl, parse, &req, &st); kind != v2ConsumedReg || err != nil {
+		t.Fatalf("register: kind=%v err=%v", kind, err)
+	}
+
+	opts := appendConnOptsV2(nil, v2OptTraceIDs)
+	kind, err := decodeRequestV2Conn(opts, &tbl, parse, &req, &st)
+	if kind != v2ConsumedOpts || err != nil {
+		t.Fatalf("options frame: kind=%v err=%v", kind, err)
+	}
+	if !st.traceIDs {
+		t.Fatal("options frame did not negotiate trace ids")
+	}
+
+	// Negotiated connection: submit carries the trailing trace uvarint.
+	submit, err := appendSubmitV2(nil, 9, OpPut, 1, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := appendUvarintForTest(submit, 0xCAFE)
+	if kind, err := decodeRequestV2Conn(traced, &tbl, parse, &req, &st); kind != v2ConsumedNone || err != nil {
+		t.Fatalf("traced submit: kind=%v err=%v", kind, err)
+	}
+	if req.Trace != 0xCAFE || req.ID != 9 {
+		t.Fatalf("traced submit decoded trace=%#x id=%d, want 0xcafe/9", req.Trace, req.ID)
+	}
+	// Bare submit on a negotiated connection is now short one field.
+	if _, err := decodeRequestV2Conn(submit, &tbl, parse, &req, &st); err == nil {
+		t.Fatal("negotiated connection accepted a submit without the trace field")
+	}
+
+	// Fresh connection (no negotiation): the same traced bytes must be
+	// rejected as trailing garbage, and the bare submit decodes clean.
+	var fresh v2ConnState
+	req = Request{}
+	if _, err := decodeRequestV2Conn(traced, &tbl, parse, &req, &fresh); err == nil {
+		t.Fatal("unnegotiated connection accepted a trailing trace field")
+	}
+	if kind, err := decodeRequestV2Conn(submit, &tbl, parse, &req, &fresh); kind != v2ConsumedNone || err != nil {
+		t.Fatalf("bare submit: kind=%v err=%v", kind, err)
+	}
+	if req.Trace != 0 {
+		t.Fatalf("bare submit grew a trace id: %#x", req.Trace)
+	}
+}
+
+func TestConnOptsUnknownFlagsFatal(t *testing.T) {
+	var tbl EffectTable
+	parse := func(s string) (effect.Set, error) { return effect.Parse(s) }
+	var req Request
+	var st v2ConnState
+	bad := appendConnOptsV2(nil, v2OptTraceIDs|1<<7)
+	if _, err := decodeRequestV2Conn(bad, &tbl, parse, &req, &st); err == nil {
+		t.Fatal("unknown option flag accepted; future options could not be fatal-on-ignore")
+	}
+	if st.traceIDs {
+		t.Fatal("failed options frame partially applied")
+	}
+}
+
+// TestTracedSubmitSteadyStateZeroAlloc extends the v2 zero-alloc gate to
+// the tracing-ON decode path: a negotiated connection decoding traced
+// submits still allocates nothing per request, so the per-request cost of
+// tracing is bounded by the span emission, not the wire.
+func TestTracedSubmitSteadyStateZeroAlloc(t *testing.T) {
+	var tbl EffectTable
+	parse := func(s string) (effect.Set, error) { return effect.Parse(s) }
+	reg := appendRegEffectV2(nil, 0, PutEffect(8, 42, 3))
+	var req Request
+	st := v2ConnState{traceIDs: true}
+	if kind, err := decodeRequestV2Conn(reg, &tbl, parse, &req, &st); kind != v2ConsumedReg || err != nil {
+		t.Fatalf("register: kind=%v err=%v", kind, err)
+	}
+	var submit []byte
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		submit, err = appendSubmitV2(submit[:0], 7, OpPut, 42, -1, 0)
+		if err != nil {
+			panic(err)
+		}
+		submit = appendUvarintForTest(submit, 1<<40|77)
+		kind, err := decodeRequestV2Conn(submit, &tbl, parse, &req, &st)
+		if kind != v2ConsumedNone || err != nil {
+			panic(fmt.Sprintf("decode: kind=%v err=%v", kind, err))
+		}
+		if req.Trace != 1<<40|77 {
+			panic("trace id mismatch")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("traced v2 decode allocates %.1f times per request, want 0", allocs)
+	}
+}
+
+// TestRequestTracingEndToEnd drives a pipelined same-key workload against
+// a server with request tracing on and asserts the whole §14 chain: the
+// client negotiates trace ids, the tracer records request spans with
+// wait-for attribution, the contention profile charges the stalls to the
+// shared effect subtree, the phase histograms fill, and the debug
+// snapshot surfaces all of it.
+func TestRequestTracingEndToEnd(t *testing.T) {
+	s := startTestServer(t, Config{Sched: "tree", Par: 4, Shards: 8, Keys: 64, ReqTrace: true})
+
+	c, err := DialProto(s.Addr(), ProtoV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.EnableTraceIDs(); err != nil {
+		t.Fatal(err)
+	}
+	// Pipelined writes to one key interleaved with scans: every scan
+	// excludes every put, so admission stalls are effectively guaranteed
+	// once the reader runs ahead of execution.
+	const n = 200
+	for i := 0; i < n; i++ {
+		req := Request{ID: uint64(i + 1), Trace: uint64(i + 1)}
+		if i%2 == 0 {
+			req.Op, req.Key, req.Val, req.Eff = OpPut, 3, int64(i), PutEffect(8, 3, c.SID)
+		} else {
+			req.Op, req.Eff = OpScan, ScanEffect(c.SID)
+		}
+		if err := c.Send(&req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		resp, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if resp.Status != StatusOK {
+			t.Fatalf("response %d: %s (%s)", i, resp.Status, resp.Err)
+		}
+	}
+	c.Close()
+
+	// Give the writer goroutines a beat to emit the final respond spans.
+	deadline := time.Now().Add(5 * time.Second)
+	var snap DebugSnapshot
+	for {
+		snap = s.DebugSnapshot(10)
+		if snap.Contention.TotalStallNS > 0 && snap.TraceEvents > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no contention attributed: %+v", snap.Contention)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !snap.ReqTrace {
+		t.Fatal("snapshot does not report request tracing on")
+	}
+	if snap.Contention.Observations == 0 || len(snap.Contention.Top) == 0 {
+		t.Fatalf("contention profile empty: %+v", snap.Contention)
+	}
+	if !strings.HasPrefix(snap.Contention.Top[0].Path, "Root") {
+		t.Fatalf("top contended path %q is not an RPL prefix", snap.Contention.Top[0].Path)
+	}
+
+	// The span chain made it into the tracer: recv/exec/respond for the
+	// data ops, and at least one admission-wait span naming its blocker.
+	kinds := map[obs.Kind]int{}
+	var waitDetail string
+	var traced bool
+	for _, e := range s.Tracer().Events() {
+		switch e.Kind {
+		case obs.KindReqRecv, obs.KindReqDecode, obs.KindReqWait, obs.KindReqExec, obs.KindReqRespond:
+			kinds[e.Kind]++
+			if e.Worker < obs.ReqRowBase {
+				t.Fatalf("req span on worker row %d (< ReqRowBase)", e.Worker)
+			}
+			if e.Other != 0 {
+				traced = true
+			}
+			if e.Kind == obs.KindReqWait && e.Detail != "" && waitDetail == "" {
+				waitDetail = e.Detail
+			}
+		}
+	}
+	for _, k := range []obs.Kind{obs.KindReqRecv, obs.KindReqExec, obs.KindReqRespond} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s spans recorded", k)
+		}
+	}
+	if !traced {
+		t.Error("no span carried a client trace id")
+	}
+	if kinds[obs.KindReqWait] == 0 || waitDetail == "" {
+		t.Fatalf("no attributed admission-wait span (waits=%d)", kinds[obs.KindReqWait])
+	}
+	if !strings.Contains(waitDetail, "Root") || !strings.Contains(waitDetail, "T") {
+		t.Errorf("wait attribution %q does not name a task and effect", waitDetail)
+	}
+
+	// Phase histograms observed every emitted phase.
+	if m := &s.m; m.Phase[PhaseExec].count.Load() == 0 || m.Phase[PhaseRespond].count.Load() == 0 ||
+		m.Phase[PhaseRecv].count.Load() == 0 {
+		t.Error("phase histograms not populated with tracing on")
+	}
+	drainClean(t, s)
+}
+
+// TestReqTraceOffNoSpans: with tracing off (the default) the same traffic
+// must leave the request-span machinery completely untouched.
+func TestReqTraceOffNoSpans(t *testing.T) {
+	s := startTestServer(t, Config{Sched: "tree", Par: 2, Shards: 4, Keys: 32})
+	c, err := DialProto(s.Addr(), ProtoV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.EnableTraceIDs(); err != nil { // negotiating is fine; server just won't stamp
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := c.Put(i%4, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	for _, e := range s.Tracer().Events() {
+		switch e.Kind {
+		case obs.KindReqRecv, obs.KindReqDecode, obs.KindReqWait, obs.KindReqExec, obs.KindReqRespond:
+			t.Fatalf("request span %s emitted with tracing off", e.Kind)
+		}
+	}
+	if m := &s.m; m.Phase[PhaseExec].count.Load() != 0 {
+		t.Error("phase histogram observed with tracing off")
+	}
+	drainClean(t, s)
+}
+
+// appendUvarintForTest mirrors the client's trailing-trace append without
+// importing encoding/binary into every test.
+func appendUvarintForTest(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}

@@ -92,6 +92,12 @@ type Request struct {
 	// control ops. An empty batch elicits nothing.
 	Batch []Request `json:"batch,omitempty"`
 
+	// Trace is an optional client-chosen trace/request id, propagated
+	// into the server's request spans (DESIGN.md §14). Zero means
+	// untraced and costs zero bytes on the wire in both codecs (omitted
+	// here; v2 carries it only on connections that negotiated it).
+	Trace uint64 `json:"trace,omitempty"`
+
 	// resolved, when hasResolved is set, is the pre-parsed declared
 	// effect. The v2 codec fills it from the connection's EffectTable at
 	// decode time, so admission skips EffectCache entirely; the v1 path
@@ -102,6 +108,13 @@ type Request struct {
 	// ref) that should reject this request without dropping the
 	// connection.
 	wireErr error
+
+	// Request-trace stamps, filled by the server codecs only when request
+	// tracing is on (tracer-clock ns): when the frame read began, how long
+	// the read took, and how long decoding took.
+	recvTS int64
+	recvNS int64
+	decNS  int64
 }
 
 // Response is one server frame. Responses are written in request order
@@ -170,17 +183,28 @@ func WriteFrame(w io.Writer, v any) error {
 
 // ReadFrame reads one length-prefixed frame and unmarshals it into v.
 func ReadFrame(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return fmt.Errorf("svc: frame too large (%d > %d)", n, MaxFrame)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err := readFramePayload(r)
+	if err != nil {
 		return err
 	}
 	return json.Unmarshal(payload, v)
+}
+
+// readFramePayload reads one length-prefixed frame body; split from
+// ReadFrame so the traced server codec can time the read and the decode
+// separately.
+func readFramePayload(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("svc: frame too large (%d > %d)", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
 }

@@ -59,12 +59,31 @@ const MaxEffectRefs = 1024
 
 // v2 frame ops, client → server.
 const (
-	v2FrameSubmit    = 0x01 // id, dataOp, key, val, effRef
+	v2FrameSubmit    = 0x01 // id, dataOp, key, val, effRef [, trace if negotiated]
 	v2FrameBatch     = 0x02 // count, then count inner client frames (no outer id)
 	v2FrameCancel    = 0x03 // id, target
 	v2FrameStats     = 0x04 // id
 	v2FrameRegEffect = 0x05 // ref, effect string; fire-and-forget (errors are connection-fatal)
+	v2FrameConnOpts  = 0x06 // flags uvarint; fire-and-forget (unknown flags are connection-fatal)
 )
+
+// Connection-option flags carried by a v2FrameConnOpts frame. Options are
+// sticky for the rest of the connection; a connection that never sends
+// the frame pays zero wire bytes for any of them.
+const (
+	// v2OptTraceIDs: every subsequent submit frame (including batch inner
+	// submits) carries one trailing trace-id uvarint after the effect ref
+	// (DESIGN.md §14).
+	v2OptTraceIDs = 1 << 0
+
+	v2OptKnown = v2OptTraceIDs // mask of flags this server understands
+)
+
+// v2ConnState is the per-connection negotiated decode state, owned by the
+// reader goroutine.
+type v2ConnState struct {
+	traceIDs bool
+}
 
 // v2 frame ops, server → client.
 const (
@@ -318,6 +337,13 @@ func appendBatchHeaderV2(dst []byte, count int) []byte {
 	return dst
 }
 
+// appendConnOptsV2 encodes a connection-options frame.
+func appendConnOptsV2(dst []byte, flags uint64) []byte {
+	dst = append(dst, v2FrameConnOpts)
+	dst = binary.AppendUvarint(dst, flags)
+	return dst
+}
+
 // --- client-frame decoding (server side) -----------------------------------
 
 // errUnknownEffectRef marks a submit naming an unregistered table slot.
@@ -338,34 +364,70 @@ func (e unknownRefError) Error() string {
 // resolved declared effect (req.hasResolved) so the session bypasses
 // EffectCache entirely.
 func decodeRequestV2(payload []byte, tbl *EffectTable, parse func(string) (effect.Set, error), req *Request) (isReg bool, err error) {
+	var st v2ConnState
+	kind, err := decodeRequestV2Conn(payload, tbl, parse, req, &st)
+	return kind == v2ConsumedReg, err
+}
+
+// v2Consumed classifies frames the codec consumes without producing a
+// request: effect registrations and connection options.
+type v2Consumed int
+
+const (
+	v2ConsumedNone v2Consumed = iota // req holds a decoded request
+	v2ConsumedReg                    // register-effect frame, applied to tbl
+	v2ConsumedOpts                   // connection-options frame, applied to st
+)
+
+// decodeRequestV2Conn is decodeRequestV2 with explicit per-connection
+// negotiated state: a connection-options frame mutates st, and submit
+// frames are decoded under st's options (trailing trace id when
+// negotiated).
+func decodeRequestV2Conn(payload []byte, tbl *EffectTable, parse func(string) (effect.Set, error), req *Request, st *v2ConnState) (v2Consumed, error) {
 	cur := v2cur{b: payload}
 	op := cur.u8()
 	if op == v2FrameRegEffect {
 		ref := cur.uvarint()
 		eff := cur.bytes()
 		if !cur.done() {
-			return false, fmt.Errorf("svc: malformed v2 register-effect frame")
+			return v2ConsumedNone, fmt.Errorf("svc: malformed v2 register-effect frame")
 		}
 		// A parse failure poisons the slot instead of killing the
 		// connection: v1 rejects each request carrying an unparseable
 		// effect string per-request, and the interned path must observe
 		// the same boundary.
 		set, perr := parse(string(eff))
-		return true, tbl.Register(ref, set, perr)
+		return v2ConsumedReg, tbl.Register(ref, set, perr)
 	}
-	if err := decodeClientFrameV2(&cur, op, tbl, req, false); err != nil {
-		return false, err
+	if op == v2FrameConnOpts {
+		flags := cur.uvarint()
+		if !cur.done() {
+			return v2ConsumedNone, fmt.Errorf("svc: malformed v2 connection-options frame")
+		}
+		if flags&^uint64(v2OptKnown) != 0 {
+			// Unknown options are connection-fatal, not silently ignored: a
+			// client that negotiated an option the server drops would send
+			// frames the server misparses.
+			return v2ConsumedNone, fmt.Errorf("svc: unknown v2 connection-option flags %#x", flags&^uint64(v2OptKnown))
+		}
+		st.traceIDs = flags&v2OptTraceIDs != 0
+		return v2ConsumedOpts, nil
+	}
+	if err := decodeClientFrameV2(&cur, op, tbl, req, false, st); err != nil {
+		return v2ConsumedNone, err
 	}
 	if !cur.done() {
-		return false, fmt.Errorf("svc: trailing bytes in v2 frame op 0x%02x", op)
+		return v2ConsumedNone, fmt.Errorf("svc: trailing bytes in v2 frame op 0x%02x", op)
 	}
-	return false, nil
+	return v2ConsumedNone, nil
 }
 
 // decodeClientFrameV2 decodes the body of one submit/batch/cancel/stats
 // frame into req. inner marks batch entries, where a nested batch is
-// decoded only far enough (its id) for the session to reject it.
-func decodeClientFrameV2(cur *v2cur, op byte, tbl *EffectTable, req *Request, inner bool) error {
+// decoded only far enough (its id) for the session to reject it. st
+// carries the connection's negotiated options (trailing trace id on
+// submits).
+func decodeClientFrameV2(cur *v2cur, op byte, tbl *EffectTable, req *Request, inner bool, st *v2ConnState) error {
 	*req = Request{}
 	switch op {
 	case v2FrameSubmit:
@@ -374,6 +436,9 @@ func decodeClientFrameV2(cur *v2cur, op byte, tbl *EffectTable, req *Request, in
 		req.Key = cur.key()
 		req.Val = cur.varint()
 		ref := cur.uvarint()
+		if st.traceIDs {
+			req.Trace = cur.uvarint()
+		}
 		if cur.bad {
 			return fmt.Errorf("svc: malformed v2 submit frame")
 		}
@@ -440,10 +505,10 @@ func decodeClientFrameV2(cur *v2cur, op byte, tbl *EffectTable, req *Request, in
 			if cur.bad {
 				return fmt.Errorf("svc: truncated v2 batch frame")
 			}
-			if innerOp == v2FrameRegEffect {
-				return fmt.Errorf("svc: register-effect not allowed inside a v2 batch frame")
+			if innerOp == v2FrameRegEffect || innerOp == v2FrameConnOpts {
+				return fmt.Errorf("svc: frame op 0x%02x not allowed inside a v2 batch frame", innerOp)
 			}
-			if err := decodeClientFrameV2(cur, innerOp, tbl, &req.Batch[i], true); err != nil {
+			if err := decodeClientFrameV2(cur, innerOp, tbl, &req.Batch[i], true, st); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,71 @@
+package tree_test
+
+import (
+	"strings"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/obs"
+	"twe/internal/tree"
+)
+
+// TestConflictStallAttribution pins the wait-for chain end to end and
+// deterministically: a rival submitted while a conflicting task holds its
+// effects must (a) carry wait-for attribution naming the holder and the
+// conflicting RPL path, and (b) have its full admission wait charged to
+// that path in the tracer's contention profile.
+func TestConflictStallAttribution(t *testing.T) {
+	tr := obs.New()
+	rt := core.NewRuntime(tree.New(), 2, core.WithTracer(tr))
+	defer rt.Shutdown()
+
+	running := make(chan struct{})
+	gate := make(chan struct{})
+	hold := core.NewTask("hold", es("writes A:[1]"), func(_ *core.Ctx, _ any) (any, error) {
+		close(running)
+		<-gate
+		return nil, nil
+	})
+	rival := core.NewTask("rival", es("writes A:[1]"), func(_ *core.Ctx, _ any) (any, error) {
+		return nil, nil
+	})
+	fh := rt.ExecuteLater(hold, nil)
+	<-running
+	fr := rt.ExecuteLater(rival, nil) // conflicts with hold → stalls, attributed
+	close(gate)
+	rt.GetValue(fh)
+	rt.GetValue(fr)
+
+	other, path, desc, ok := fr.WaitFor()
+	if !ok {
+		t.Fatal("stalled rival carries no wait-for attribution")
+	}
+	if other != fh.Seq() {
+		t.Errorf("attributed to T%d, want holder T%d", other, fh.Seq())
+	}
+	if path != "Root:A:[1]" {
+		t.Errorf("attributed path %q, want Root:A:[1]", path)
+	}
+	if !strings.Contains(desc, "hold") || !strings.Contains(desc, "writes Root:A:[1]") {
+		t.Errorf("attribution %q does not name the holder task and effect", desc)
+	}
+
+	ns, n := tr.Contention().Total()
+	if ns <= 0 || n != 1 {
+		t.Fatalf("contention profile = %dns over %d, want one positive stall", ns, n)
+	}
+	var found bool
+	for _, e := range tr.Contention().TopK(10) {
+		if e.Path == "Root:A:[1]" && e.StallNS == ns && e.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("contention TopK missing the stalled leaf: %+v", tr.Contention().TopK(10))
+	}
+
+	// The never-stalled holder must stay unattributed.
+	if _, _, _, ok := fh.WaitFor(); ok {
+		t.Error("holder grew wait-for attribution without ever stalling")
+	}
+}

@@ -25,6 +25,7 @@
 package tree
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -308,6 +309,17 @@ func (s *Scheduler) traceStall(e, ep *effInst) {
 		eff = &str
 		st.effStr.Store(eff)
 	}
+	// Wait-for attribution (DESIGN.md §14): record the blocking task and
+	// its conflicting effect on the stalled future, so request tracing can
+	// name the blocker and the contention profiler can charge the
+	// admission wait to this RPL subtree.
+	rw := "reads"
+	if ep.write {
+		rw = "writes"
+	}
+	path := ep.r.String()
+	e.fut.SetWaitFor(ep.fut.Seq(), path,
+		fmt.Sprintf("T%d(%s) %s %s", ep.fut.Seq(), ep.fut.Task().Name, rw, path))
 	s.tracer.Emit(obs.Event{Kind: obs.KindConflictStall, Task: e.fut.Seq(), Other: ep.fut.Seq(),
 		Name: e.fut.Task().Name, Detail: *eff})
 }
