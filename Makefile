@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz faults obs-smoke serve serve-smoke batch-smoke proto-smoke prof-smoke proto-fuzz check
+.PHONY: build test race vet fuzz faults obs-smoke serve serve-smoke batch-smoke proto-smoke prof-smoke spec-smoke proto-fuzz check
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,14 @@ proto-smoke:
 # (writes BENCH_prof.json).
 prof-smoke:
 	./scripts/prof-smoke.sh
+
+# Executable admission-spec gate (see DESIGN.md §15): the model
+# checker + refinement-oracle battery under -race, exhaustive
+# exploration of every preset (plus mutation catching), the
+# refinement-checked differential fuzz, and an event-log dump round
+# trip through twe-spec -refine.
+spec-smoke:
+	./scripts/spec-smoke.sh
 
 # Open-ended coverage-guided fuzzing of the v2 frame decoders (the
 # pinned corpus replays in ordinary test runs; this explores beyond it).

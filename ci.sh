@@ -84,6 +84,14 @@ BENCH_V2_OUT=/tmp/BENCH_serve_v2.json ./scripts/proto-smoke.sh
 echo '== prof smoke =='
 BENCH_PROF_OUT=/tmp/BENCH_prof.json ./scripts/prof-smoke.sh
 
+# Executable admission-spec smoke (DESIGN.md §15): exhaustively
+# model-check every preset configuration, prove the seeded mutations
+# are caught with counterexamples, run the pinned-seed differential
+# fuzz with the trace-refinement oracle attached, and round-trip a
+# real workload's event-log dump through twe-spec -refine.
+echo '== spec smoke =='
+./scripts/spec-smoke.sh
+
 # Perf snapshots of the in-process workloads via the -apps filter:
 # BENCH_server.json plus BENCH_batch.json (batched vs per-task
 # submission throughput; schemas in EXPERIMENTS.md).

@@ -19,15 +19,21 @@
 // scheduler and schedule) and runs the same differential store/isolation/
 // quiescence oracle against the batched admission path (DESIGN.md §12).
 //
+// Refinement mode (-refine) additionally records an obs event log on
+// every runtime execution and replays it against the executable admission
+// model (internal/spec): a history the model rejects fails the run even
+// when stores match and the isolation oracle stayed quiet.
+//
 // Usage:
 //
 //	twe-fuzz [-seed N] [-n COUNT] [-schedules K] [-par P] [-timeout D]
-//	         [-schedule M] [-sched naive|tree] [-faults] [-batch]
+//	         [-schedule M] [-sched naive|tree] [-faults] [-batch] [-refine]
 //	         [-shrink] [-budget B] [-dump] [-v]
 //
 // Fuzzing a range:       twe-fuzz -seed 0 -n 1000
 // Fault injection:       twe-fuzz -faults -seed 0 -n 200
 // Batched admission:     twe-fuzz -batch -seed 0 -n 200
+// Refinement check:      twe-fuzz -refine -seed 0 -n 200
 // Replaying a failure:   twe-fuzz -seed 42 -schedule 3 -sched tree
 // Inspecting a program:  twe-fuzz -seed 42 -dump
 package main
@@ -55,6 +61,7 @@ func main() {
 	dump := flag.Bool("dump", false, "print the generated TWEL program for -seed and exit")
 	faults := flag.Bool("faults", false, "inject deterministic faults (panic/cancel/deadline) into launched tasks")
 	batch := flag.Bool("batch", false, "group launches into SubmitBatch calls at seed-derived boundaries")
+	refine := flag.Bool("refine", false, "record an event log per execution and replay it against the admission model (internal/spec)")
 	verbose := flag.Bool("v", false, "print per-seed progress")
 	flag.Parse()
 
@@ -67,7 +74,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := schedfuzz.Config{Schedules: *schedules, Parallelism: *par, Timeout: *timeout}
+	cfg := schedfuzz.Config{Schedules: *schedules, Parallelism: *par, Timeout: *timeout, Refine: *refine}
 
 	if *dump {
 		spec := schedfuzz.Generate(*seed)

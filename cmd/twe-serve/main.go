@@ -46,6 +46,7 @@ var (
 	reqTraceFlag    = flag.Bool("req-trace", false, "per-request span tracing + phase histograms + contention attribution")
 	traceEventsFlag = flag.Int("trace-events", 0, "tracer ring capacity per shard (0 = 4096, or 16384 with -req-trace)")
 	traceFlag       = flag.String("trace", "", "write a Chrome trace here at exit")
+	elogFlag        = flag.String("eventlog", "", "write the JSONL event log here at exit, for twe-spec -refine")
 	metricsFlag     = flag.String("metrics-addr", "", "HTTP listen address for /metrics (empty = disabled)")
 	metricsFileFlag = flag.String("metrics-addr-file", "", "write the bound metrics address to this file")
 	drainFlag       = flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound")
@@ -64,6 +65,7 @@ func main() {
 		Isolcheck:   *isolFlag,
 		ReqTrace:    *reqTraceFlag,
 		TraceEvents: *traceEventsFlag,
+		TaskLog:     *elogFlag != "",
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "twe-serve:", err)
@@ -139,6 +141,21 @@ func main() {
 			code = 1
 		} else {
 			fmt.Printf("twe-serve: wrote trace to %s\n", *traceFlag)
+		}
+	}
+	if *elogFlag != "" {
+		f, err := os.Create(*elogFlag)
+		if err == nil {
+			err = s.Tracer().WriteEventLog(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twe-serve: eventlog:", err)
+			code = 1
+		} else {
+			fmt.Printf("twe-serve: wrote event log to %s (validate with twe-spec -refine)\n", *elogFlag)
 		}
 	}
 	os.Exit(code)

@@ -13,6 +13,10 @@
 // (internal/isolcheck); its violations (there should be none) and
 // peak-concurrency high-water marks appear as trace instants.
 //
+// With -eventlog FILE the run records the task registry alongside the
+// event ring and dumps the JSONL event log on exit; `twe-spec -refine
+// FILE` then replays it against the executable admission model.
+//
 // Validation modes for CI (no external tools needed):
 //
 //	twe-trace -check trace.json        # structurally validate a trace file
@@ -43,6 +47,7 @@ var (
 	traceFlag   = flag.String("trace", "", "write Chrome trace-event JSON to this file")
 	metricsFlag = flag.String("metrics", "", "write Prometheus text metrics to this file")
 	eventsFlag  = flag.Int("events", 1<<14, "tracer ring capacity per shard (events)")
+	elogFlag    = flag.String("eventlog", "", "write the JSONL event log (tasks + events) to this file, for twe-spec -refine")
 	isoFlag     = flag.Bool("isolcheck", false, "run the isolation oracle and mirror its findings into the trace")
 	faultsFlag  = flag.Bool("faults", false, "shorthand for -app faults -isolcheck: run the fault-injection storm under the oracle")
 	listFlag    = flag.Bool("list", false, "list available workloads and exit")
@@ -92,7 +97,13 @@ func run() error {
 		return fmt.Errorf("unknown scheduler %q (want tree or naive)", *schedFlag)
 	}
 
-	tr := obs.New(obs.WithCapacity(*eventsFlag))
+	tracerOpts := []obs.Option{obs.WithCapacity(*eventsFlag)}
+	if *elogFlag != "" {
+		// The task log adds one formatted effect string per task; only the
+		// event-log export needs it.
+		tracerOpts = append(tracerOpts, obs.WithTaskLog())
+	}
+	tr := obs.New(tracerOpts...)
 	opts := []core.Option{core.WithTracer(tr)}
 	var checker *isolcheck.Checker
 	if *isoFlag {
@@ -139,6 +150,12 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "  metrics written to %s\n", *metricsFlag)
+	}
+	if *elogFlag != "" {
+		if err := writeFile(*elogFlag, func(f *os.File) error { return tr.WriteEventLog(f) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  event log written to %s (validate with twe-spec -refine)\n", *elogFlag)
 	}
 	return nil
 }

@@ -566,17 +566,29 @@ func (rt *Runtime) initFuture(f *Future, t *Task, arg any) {
 	f.done = make(chan struct{})
 	if rt.tracer != nil {
 		f.submitNS.Store(rt.tracer.Clock())
+		if rt.tracer.TaskLogEnabled() {
+			// The declared-effect string costs a formatting allocation, so
+			// it sits behind the predicate: event-log export (obs.WithTaskLog)
+			// pays it, every other traced run does not.
+			rt.tracer.RecordTask(f.seq, t.Name, f.eff.String())
+		}
 	}
 }
 
 // traceSubmit records a submission event and counter; the single nil
 // check is the entire cost when tracing is off.
-func (rt *Runtime) traceSubmit(f *Future) {
+func (rt *Runtime) traceSubmit(f *Future) { rt.traceSubmitGroup(f, 0) }
+
+// traceSubmitGroup is traceSubmit for a SubmitBatch member: group is the
+// batch's group id (the first-created member's seq), carried in Other so
+// log consumers can reassemble admission groups — member seqs are not
+// contiguous under concurrent submitters.
+func (rt *Runtime) traceSubmitGroup(f *Future, group uint64) {
 	if rt.tracer == nil {
 		return
 	}
 	rt.tracer.Metrics().TasksSubmitted.Add(1)
-	rt.tracer.Emit(obs.Event{Kind: obs.KindSubmit, Task: f.seq, Name: f.task.Name, Detail: f.Status().String()})
+	rt.tracer.Emit(obs.Event{Kind: obs.KindSubmit, Task: f.seq, Other: group, Name: f.task.Name, Detail: f.Status().String()})
 }
 
 // ExecuteLater queues an asynchronous execution of t (the executeLater

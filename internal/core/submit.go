@@ -145,7 +145,7 @@ func (rt *Runtime) SubmitBatch(subs []Submission) []*Future {
 		rt.initFuture(f, sub.Task, sub.Arg)
 		f.onDone = sub.OnDone
 		rt.yieldAt(f, PointSubmit)
-		rt.traceSubmit(f)
+		rt.traceSubmitGroup(f, slab[0].seq)
 		futs[i] = f
 		if f.IsDone() {
 			continue // cancelled by the yield hook before submission

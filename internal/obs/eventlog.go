@@ -1,0 +1,183 @@
+// Event-log export: a line-oriented JSON dump of everything the tracer
+// retained, designed as the interchange format between a traced run and
+// the admission-spec refinement oracle (internal/spec, DESIGN.md §15).
+//
+// The format is JSONL: one header line, then one line per registered
+// task, then one line per event in the deterministic Events() order.
+// The header carries the drop counters so a consumer can tell a
+// complete log from a ring-wrapped tail (refinement refuses wrapped
+// logs — a missing prefix makes any verdict meaningless).
+//
+// The task lines come from the opt-in task log (WithTaskLog): a bounded
+// seq→(name, declared effect) registry the runtime populates at
+// submission. It is opt-in because recording the declared-effect string
+// costs a formatting allocation per task; with the log disabled the
+// runtime-side hook is a single predicate call and allocates nothing.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// TaskRecord is one task-log entry: the task's creation sequence number,
+// static name, and declared effect summary (effect.Set.String form, so
+// the spec layer can re-parse it).
+type TaskRecord struct {
+	Seq  uint64 `json:"task"`
+	Name string `json:"name,omitempty"`
+	Eff  string `json:"eff"`
+}
+
+// taskLogShards spreads concurrent submitters across locks; per-shard
+// capacity bounds total memory like the event rings do.
+const (
+	taskLogShards   = 8
+	taskLogShardCap = 1 << 13 // 64k tasks across the 8 shards
+)
+
+type taskLogShard struct {
+	mu sync.Mutex
+	m  map[uint64]TaskRecord
+}
+
+type taskLog struct {
+	shards  [taskLogShards]taskLogShard
+	dropped atomic.Uint64
+}
+
+// WithTaskLog enables the task registry: RecordTask stores entries and
+// WriteEventLog emits task lines. Off by default — the runtime-side
+// hook then short-circuits on TaskLogEnabled and costs nothing.
+func WithTaskLog() Option {
+	return func(t *Tracer) { t.tasks = new(taskLog) }
+}
+
+// TaskLogEnabled reports whether the task registry is on. Emitters must
+// gate any formatting work for RecordTask behind this predicate; that
+// gate is what makes the export hook free when disabled.
+func (t *Tracer) TaskLogEnabled() bool { return t != nil && t.tasks != nil }
+
+// RecordTask registers a task's name and declared effect summary under
+// its sequence number. Safe for concurrent use; a no-op unless
+// WithTaskLog was set. A full shard drops the record and counts it.
+func (t *Tracer) RecordTask(seq uint64, name, eff string) {
+	if t == nil || t.tasks == nil {
+		return
+	}
+	s := &t.tasks.shards[seq%taskLogShards]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[uint64]TaskRecord, 64)
+	}
+	if len(s.m) >= taskLogShardCap {
+		if _, ok := s.m[seq]; !ok {
+			s.mu.Unlock()
+			t.tasks.dropped.Add(1)
+			return
+		}
+	}
+	s.m[seq] = TaskRecord{Seq: seq, Name: name, Eff: eff}
+	s.mu.Unlock()
+}
+
+// Tasks returns the task-log entries sorted by sequence number (nil when
+// the log is disabled).
+func (t *Tracer) Tasks() []TaskRecord {
+	if t == nil || t.tasks == nil {
+		return nil
+	}
+	var out []TaskRecord
+	for i := range t.tasks.shards {
+		s := &t.tasks.shards[i]
+		s.mu.Lock()
+		for _, r := range s.m {
+			out = append(out, r)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// TaskLogDropped returns how many task records were lost to the shard
+// capacity bound.
+func (t *Tracer) TaskLogDropped() uint64 {
+	if t == nil || t.tasks == nil {
+		return 0
+	}
+	return t.tasks.dropped.Load()
+}
+
+// logHeader is the first line of an event-log dump.
+type logHeader struct {
+	V           int    `json:"v"`
+	Events      int    `json:"events"`
+	Tasks       int    `json:"tasks"`
+	Dropped     uint64 `json:"dropped"`
+	TaskDropped uint64 `json:"taskDropped"`
+}
+
+// logEvent is the wire form of one event: Kind travels as its string
+// name so dumps stay readable and stable across Kind renumbering.
+type logEvent struct {
+	TS     int64  `json:"ts"`
+	Kind   string `json:"kind"`
+	Task   uint64 `json:"task,omitempty"`
+	Other  uint64 `json:"other,omitempty"`
+	Worker int32  `json:"worker,omitempty"`
+	Dur    int64  `json:"dur,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// WriteEventLog writes the JSONL event log: header, task lines (sorted
+// by seq), event lines (Events() order). Intended after quiescence,
+// like every export.
+func (t *Tracer) WriteEventLog(w io.Writer) error {
+	events := t.Events()
+	tasks := t.Tasks()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(logHeader{
+		V: 1, Events: len(events), Tasks: len(tasks),
+		Dropped: t.Dropped(), TaskDropped: t.TaskLogDropped(),
+	}); err != nil {
+		return err
+	}
+	for _, r := range tasks {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	for i := range events {
+		e := &events[i]
+		if err := enc.Encode(logEvent{
+			TS: e.TS, Kind: e.Kind.String(), Task: e.Task, Other: e.Other,
+			Worker: e.Worker, Dur: e.Dur, Name: e.Name, Detail: e.Detail,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kindNames maps Kind.String() back to the Kind, for event-log readers.
+var kindNames = func() map[string]Kind {
+	m := make(map[string]Kind, int(KindReqRespond)+1)
+	for k := KindSubmit; k <= KindReqRespond; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// KindFromString inverts Kind.String.
+func KindFromString(s string) (Kind, error) {
+	if k, ok := kindNames[s]; ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("obs: unknown event kind %q", s)
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEventLogGolden pins the JSONL export format byte-for-byte: header
+// line, task lines sorted by seq, event lines in Events() order with
+// zero-valued fields omitted. The spec-layer reader and any external
+// tooling parse this; changing it is a format break and must update
+// this golden plus internal/spec/eventlog.go together.
+func TestEventLogGolden(t *testing.T) {
+	tr := New(WithCapacity(16), WithTaskLog())
+	tr.RecordTask(2, "writer", "writes Root:A")
+	tr.RecordTask(1, "reader", "reads Root:A")
+	tr.Emit(Event{TS: 10, Kind: KindSubmit, Task: 1, Name: "reader", Detail: "WAITING"})
+	tr.Emit(Event{TS: 20, Kind: KindSubmit, Task: 2, Other: 2, Name: "writer", Detail: "WAITING"})
+	tr.Emit(Event{TS: 30, Kind: KindEnable, Task: 1, Detail: "20ns"})
+	tr.Emit(Event{TS: 40, Kind: KindStart, Task: 1, Worker: 3})
+	tr.Emit(Event{TS: 50, Kind: KindFinish, Task: 1, Dur: 10})
+
+	var buf bytes.Buffer
+	if err := tr.WriteEventLog(&buf); err != nil {
+		t.Fatalf("WriteEventLog: %v", err)
+	}
+	want := strings.Join([]string{
+		`{"v":1,"events":5,"tasks":2,"dropped":0,"taskDropped":0}`,
+		`{"task":1,"name":"reader","eff":"reads Root:A"}`,
+		`{"task":2,"name":"writer","eff":"writes Root:A"}`,
+		`{"ts":10,"kind":"submit","task":1,"name":"reader","detail":"WAITING"}`,
+		`{"ts":20,"kind":"submit","task":2,"other":2,"name":"writer","detail":"WAITING"}`,
+		`{"ts":30,"kind":"enable","task":1,"detail":"20ns"}`,
+		`{"ts":40,"kind":"start","task":1,"worker":3}`,
+		`{"ts":50,"kind":"finish","task":1,"dur":10}`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("event log mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestKindFromStringRoundTrip(t *testing.T) {
+	for k := KindSubmit; k <= KindReqRespond; k++ {
+		got, err := KindFromString(k.String())
+		if err != nil || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := KindFromString("no-such-kind"); err == nil {
+		t.Error("KindFromString accepted an unknown name")
+	}
+}
+
+// TestTaskLogDisabledZeroAlloc proves the runtime-side export hook is
+// free when the task log is off: the guard the runtime uses (predicate,
+// then RecordTask only when it holds) must not allocate, on both a
+// log-less tracer and a nil tracer. The expensive part — formatting the
+// declared effect string — sits behind the predicate in core, so this
+// also pins that no record path runs at all.
+func TestTaskLogDisabledZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   *Tracer
+	}{
+		{"plain tracer", New(WithCapacity(16))},
+		{"nil tracer", nil},
+	} {
+		allocs := testing.AllocsPerRun(1000, func() {
+			if tc.tr.TaskLogEnabled() {
+				tc.tr.RecordTask(1, "t", "pure")
+			}
+			tc.tr.RecordTask(2, "t", "pure") // unguarded call must be free too
+		})
+		if allocs != 0 {
+			t.Errorf("%s: task-log hook allocated %.1f times per op; want 0", tc.name, allocs)
+		}
+		if got := tc.tr.Tasks(); got != nil {
+			t.Errorf("%s: Tasks() = %v on disabled log; want nil", tc.name, got)
+		}
+	}
+}
+
+func TestTaskLogRecordAndBound(t *testing.T) {
+	tr := New(WithTaskLog())
+	if !tr.TaskLogEnabled() {
+		t.Fatal("TaskLogEnabled() = false with WithTaskLog")
+	}
+	tr.RecordTask(7, "a", "pure")
+	tr.RecordTask(7, "a", "writes Root") // overwrite, not a duplicate
+	tr.RecordTask(3, "b", "reads Root")
+	got := tr.Tasks()
+	if len(got) != 2 || got[0].Seq != 3 || got[1].Seq != 7 || got[1].Eff != "writes Root" {
+		t.Fatalf("Tasks() = %+v; want [{3 b reads Root} {7 a writes Root}]", got)
+	}
+
+	// Fill one shard past its bound: seqs congruent mod taskLogShards land
+	// in the same shard, so taskLogShardCap+1 of them forces one drop.
+	for i := 0; i <= taskLogShardCap; i++ {
+		tr.RecordTask(uint64(8*i), "fill", "pure")
+	}
+	if d := tr.TaskLogDropped(); d != 1 {
+		t.Errorf("TaskLogDropped() = %d; want 1", d)
+	}
+}

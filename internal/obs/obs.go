@@ -40,7 +40,9 @@ type Kind uint8
 
 const (
 	// KindSubmit: a future was handed to the scheduler (executeLater /
-	// execute). Detail holds the initial status.
+	// execute). Detail holds the initial status. For a member of a
+	// SubmitBatch group, Other holds the group id (the first-created
+	// member's sequence number); 0 for individually submitted tasks.
 	KindSubmit Kind = iota
 	// KindStatus: a status transition performed via CompareAndSwapStatus
 	// (e.g. WAITING→PRIORITIZED by a scheduler). Detail = new status.
@@ -247,6 +249,10 @@ type Tracer struct {
 	shards   [numShards]shard
 	metrics  Metrics
 	cont     Contention
+
+	// tasks is the opt-in seq→(name, effect) registry behind the event-log
+	// export (eventlog.go); nil unless WithTaskLog was given.
+	tasks *taskLog
 }
 
 // Option configures a Tracer.

@@ -101,6 +101,8 @@ func runBatchOnRuntime(spec *Spec, name string, seed int64, schedule int, cfg Co
 	if schedule != 0 {
 		opts = append(opts, core.WithYield(Yielder(seed, schedule)))
 	}
+	tr := refineTracer(cfg)
+	opts = withRefineTracer(opts, tr)
 	rt := core.NewRuntime(sched, cfg.Parallelism, opts...)
 	e := newFaultExec(spec, rt)
 	e.batch, e.batchSeed = true, seed
@@ -134,6 +136,9 @@ func runBatchOnRuntime(spec *Spec, name string, seed int64, schedule int, cfg Co
 	}
 	if !rt.Quiesced() {
 		return Store{}, 0, fail(NotQuiesced, "scheduler retained bookkeeping after batched run")
+	}
+	if f := refineCheck(tr, seed, schedule, name); f != nil {
+		return Store{}, 0, f
 	}
 	return e.store(), e.groups, nil
 }

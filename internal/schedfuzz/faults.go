@@ -395,6 +395,8 @@ func runFaultsOnRuntime(spec *Spec, name string, seed int64, schedule int, cfg C
 	if schedule != 0 {
 		opts = append(opts, core.WithYield(Yielder(seed, schedule)))
 	}
+	tr := refineTracer(cfg)
+	opts = withRefineTracer(opts, tr)
 	rt := core.NewRuntime(sched, cfg.Parallelism, opts...)
 	e := newFaultExec(spec, rt)
 
@@ -441,6 +443,9 @@ func runFaultsOnRuntime(spec *Spec, name string, seed int64, schedule int, cfg C
 	}
 	if !rt.Quiesced() {
 		return Store{}, fail(NotQuiesced, "scheduler retained bookkeeping after faulted run")
+	}
+	if f := refineCheck(tr, seed, schedule, name); f != nil {
+		return Store{}, f
 	}
 	return e.store(), nil
 }

@@ -1,0 +1,68 @@
+// Refinement wiring: with Config.Refine set, every runtime execution in
+// the fuzz sweep also records an event log (obs tracer + task log) and
+// replays it against the executable admission model (internal/spec).
+// A run can then fail three independent oracles: the isolation monitor
+// (live overlap), the differential store comparison (wrong answer), and
+// the refinement check (an admission-order history the model rejects).
+package schedfuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"twe/internal/core"
+	"twe/internal/obs"
+	"twe/internal/spec"
+)
+
+// refineRing sizes the per-run event ring: generated programs emit a few
+// hundred events, so 8k per shard never wraps (a wrapped ring would turn
+// the refinement check into a hard failure, not a silent skip).
+const refineRing = 1 << 13
+
+// refineTracer returns the tracer a refinement-checked run attaches, or
+// nil when cfg.Refine is off.
+func refineTracer(cfg Config) *obs.Tracer {
+	if !cfg.Refine {
+		return nil
+	}
+	return obs.New(obs.WithCapacity(refineRing), obs.WithTaskLog())
+}
+
+// withRefineTracer appends the tracer option when refinement is on.
+func withRefineTracer(opts []core.Option, tr *obs.Tracer) []core.Option {
+	if tr != nil {
+		opts = append(opts, core.WithTracer(tr))
+	}
+	return opts
+}
+
+// refineCheck replays the run's event log against the admission model;
+// call it only after the runtime has shut down cleanly (the oracle is
+// strict: a drained run must have quiesced).
+func refineCheck(tr *obs.Tracer, seed int64, schedule int, scheduler string) *Failure {
+	if tr == nil {
+		return nil
+	}
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Seed: seed, Schedule: schedule, Scheduler: scheduler,
+			Kind: Refinement, Detail: fmt.Sprintf(format, args...)}
+	}
+	errs, err := spec.RefineTracer(tr, spec.RefineOpts{Strict: true})
+	if err != nil {
+		return fail("unusable event log: %v", err)
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	const show = 5
+	msgs := make([]string, 0, show+1)
+	for i, e := range errs {
+		if i == show {
+			msgs = append(msgs, fmt.Sprintf("… %d more", len(errs)-show))
+			break
+		}
+		msgs = append(msgs, e.String())
+	}
+	return fail("%d refinement violation(s): %s", len(errs), strings.Join(msgs, "; "))
+}

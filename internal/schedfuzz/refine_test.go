@@ -1,0 +1,139 @@
+package schedfuzz
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/spec"
+	"twe/internal/tree"
+)
+
+// TestRefineCatchesBrokenTreeScheduler: the seeded mutation (admission
+// without conflict checking) lets two write-conflicting tasks rendezvous
+// on a barrier — something only concurrent bodies can do — and the run's
+// event log must be rejected by the refinement oracle. This is the
+// trace-side half of the ISSUE 8 acceptance case (Explore catches the
+// same mutation as a model counterexample).
+//
+// The bodies share nothing but a WaitGroup, so the deliberately broken
+// scheduler cannot trip the race detector.
+func TestRefineCatchesBrokenTreeScheduler(t *testing.T) {
+	tr := refineTracer(Config{Refine: true})
+	sched := tree.NewWithOptions(tree.Options{UnsafeSkipConflictCheck: true})
+	rt := core.NewRuntime(sched, 4, core.WithTracer(tr))
+	wA := effect.MustParse("writes Root:A")
+
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	meet := func(*core.Ctx, any) (any, error) {
+		// Arrive, then wait for the sibling: completes only if the
+		// scheduler ran both interfering bodies at once.
+		barrier.Done()
+		barrier.Wait()
+		return nil, nil
+	}
+	m0 := rt.Submit(core.NewTask("m0", wA, meet))
+	m1 := rt.Submit(core.NewTask("m1", wA, meet))
+	if _, err := rt.GetValue(m0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.GetValue(m1); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+
+	errs, err := spec.RefineTracer(tr, spec.RefineOpts{Strict: true})
+	if err != nil {
+		t.Fatalf("refine: %v", err)
+	}
+	if len(errs) == 0 {
+		t.Fatal("broken scheduler's event log was accepted by the refinement oracle")
+	}
+	found := false
+	for _, e := range errs {
+		if strings.HasPrefix(e.Rule, "R1") || strings.HasPrefix(e.Rule, "R2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want an isolation-rule (R1/R2) violation, got %v", errs)
+	}
+	t.Logf("oracle rejected the mutated scheduler: %v", errs[0])
+}
+
+// TestRefineGeneratedSweep: a pinned slice of the generated-program space
+// under both schedulers, every run refinement-checked — the same sweep
+// ci.sh pins via `twe-fuzz -refine -seed 0`. Also covers the faulted
+// (cancel/deadline release) and batched (group admission) run paths.
+func TestRefineGeneratedSweep(t *testing.T) {
+	cfg := Config{Schedules: 2, Refine: true}
+	for seed := int64(0); seed < 8; seed++ {
+		if fails := FuzzOne(seed, cfg); len(fails) != 0 {
+			t.Errorf("seed %d: %v", seed, fails[0])
+		}
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		if fails := FuzzOneFaults(seed, cfg); len(fails) != 0 {
+			t.Errorf("faults seed %d: %v", seed, fails[0])
+		}
+		if fails := FuzzOneBatch(seed, cfg); len(fails) != 0 {
+			t.Errorf("batch seed %d: %v", seed, fails[0])
+		}
+	}
+}
+
+// TestRefineSweepCatchesBrokenScheduler: the oracle also rejects the
+// mutated scheduler on generated-spec effect workloads, not just the
+// handcrafted rendezvous. The bodies hold a start gate open across all
+// submissions (and touch no shared memory — the mutant would genuinely
+// race a real program's store), so under the mutation every conflicting
+// task is admitted while its rival still holds effects: a deterministic
+// R2 history, independent of body timing.
+func TestRefineSweepCatchesBrokenScheduler(t *testing.T) {
+	caught, eligible := 0, 0
+	for seed := int64(0); seed < 10; seed++ {
+		effs := Generate(seed).ConsEffects()
+		conflicting := false
+		for i := range effs {
+			for j := i + 1; j < len(effs); j++ {
+				conflicting = conflicting || effs[i].Conflicts(effs[j])
+			}
+		}
+		if !conflicting {
+			continue
+		}
+		eligible++
+
+		tr := refineTracer(Config{Refine: true})
+		sched := tree.NewWithOptions(tree.Options{UnsafeSkipConflictCheck: true})
+		rt := core.NewRuntime(sched, 4, core.WithTracer(tr))
+		gate := make(chan struct{})
+		var futs []*core.Future
+		for _, e := range effs {
+			futs = append(futs, rt.Submit(core.NewTask("t", e,
+				func(*core.Ctx, any) (any, error) { <-gate; return nil, nil })))
+		}
+		close(gate)
+		for _, f := range futs {
+			rt.GetValue(f)
+		}
+		rt.Shutdown()
+
+		errs, err := spec.RefineTracer(tr, spec.RefineOpts{Strict: true})
+		if err != nil {
+			t.Fatalf("seed %d: refine: %v", seed, err)
+		}
+		if len(errs) > 0 {
+			caught++
+		} else {
+			t.Errorf("seed %d: mutant admitted %d conflicting tasks concurrently, oracle accepted the log", seed, len(effs))
+		}
+	}
+	if eligible == 0 {
+		t.Fatal("no generated spec in the sweep had conflicting effects — widen the seed range")
+	}
+	t.Logf("oracle rejected the mutant on %d/%d eligible generated specs", caught, eligible)
+}

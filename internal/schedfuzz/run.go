@@ -26,6 +26,10 @@ type Config struct {
 	Timeout time.Duration
 	// MaxSteps bounds the semantics interpreter (default 2_000_000).
 	MaxSteps int
+	// Refine additionally records an event log on every runtime execution
+	// and replays it against the executable admission model
+	// (spec.Refine); a history the model rejects is a Refinement failure.
+	Refine bool
 
 	// Replay filters, set via Replay: restrict the sweep to one scheduler
 	// ("" = all) and one schedule index (-1 = all).
@@ -77,6 +81,9 @@ const (
 	Isolation FailKind = "isolation"
 	// StoreMismatch: a real scheduler produced a different final store.
 	StoreMismatch FailKind = "store-mismatch"
+	// Refinement: the run's event log is not a behavior of the executable
+	// admission model (Config.Refine runs only).
+	Refinement FailKind = "refinement"
 )
 
 // Failure is one divergence, replayable from (Seed, Schedule, Scheduler).
@@ -123,6 +130,8 @@ func runOnRuntime(prog *lang.Program, name string, seed int64, schedule int, cfg
 	if schedule != 0 {
 		opts = append(opts, core.WithYield(Yielder(seed, schedule)))
 	}
+	tr := refineTracer(cfg)
+	opts = withRefineTracer(opts, tr)
 	rt := core.NewRuntime(sched, cfg.Parallelism, opts...)
 
 	fail := func(kind FailKind, format string, args ...any) *Failure {
@@ -160,6 +169,9 @@ func runOnRuntime(prog *lang.Program, name string, seed int64, schedule int, cfg
 			msgs = append(msgs, v.String())
 		}
 		return Store{}, fail(Isolation, "%d violation(s): %s", len(vs), strings.Join(msgs, "; "))
+	}
+	if f := refineCheck(tr, seed, schedule, name); f != nil {
+		return Store{}, f
 	}
 	return Store{Globals: c.Globals(), Arrays: c.Arrays()}, nil
 }

@@ -1,0 +1,83 @@
+// Event-log ingestion: parses the JSONL dump format written by
+// obs.(*Tracer).WriteEventLog into a replayable Log, so `twe-spec
+// -refine` can validate dumps from live twe-serve / twe-trace runs.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"twe/internal/effect"
+	"twe/internal/obs"
+)
+
+// wireHeader mirrors the dump's first line (obs.logHeader).
+type wireHeader struct {
+	V           int    `json:"v"`
+	Events      int    `json:"events"`
+	Tasks       int    `json:"tasks"`
+	Dropped     uint64 `json:"dropped"`
+	TaskDropped uint64 `json:"taskDropped"`
+}
+
+// wireEvent mirrors an event line (obs.logEvent); Kind travels by name.
+type wireEvent struct {
+	TS     int64  `json:"ts"`
+	Kind   string `json:"kind"`
+	Task   uint64 `json:"task"`
+	Other  uint64 `json:"other"`
+	Worker int32  `json:"worker"`
+	Dur    int64  `json:"dur"`
+	Name   string `json:"name"`
+	Detail string `json:"detail"`
+}
+
+// ReadLog parses a WriteEventLog dump. The header's declared counts are
+// trusted for sectioning (tasks before events) and verified against what
+// the stream actually holds.
+func ReadLog(r io.Reader) (*Log, error) {
+	dec := json.NewDecoder(r)
+	var h wireHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("spec: event log header: %w", err)
+	}
+	if h.V != 1 {
+		return nil, fmt.Errorf("spec: unsupported event log version %d", h.V)
+	}
+	log := &Log{
+		Tasks:       make(map[uint64]TaskInfo, h.Tasks),
+		Events:      make([]obs.Event, 0, h.Events),
+		Dropped:     h.Dropped,
+		TaskDropped: h.TaskDropped,
+	}
+	for i := 0; i < h.Tasks; i++ {
+		var tr obs.TaskRecord
+		if err := dec.Decode(&tr); err != nil {
+			return nil, fmt.Errorf("spec: task line %d/%d: %w", i+1, h.Tasks, err)
+		}
+		ti := TaskInfo{Name: tr.Name}
+		if set, err := effect.Parse(tr.Eff); err == nil {
+			ti.Eff, ti.EffKnown = set, true
+		}
+		log.Tasks[tr.Seq] = ti
+	}
+	for i := 0; i < h.Events; i++ {
+		var we wireEvent
+		if err := dec.Decode(&we); err != nil {
+			return nil, fmt.Errorf("spec: event line %d/%d: %w", i+1, h.Events, err)
+		}
+		kind, err := obs.KindFromString(we.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("spec: event line %d: %w", i+1, err)
+		}
+		log.Events = append(log.Events, obs.Event{
+			TS: we.TS, Kind: kind, Task: we.Task, Other: we.Other,
+			Worker: we.Worker, Dur: we.Dur, Name: we.Name, Detail: we.Detail,
+		})
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("spec: trailing data after %d declared events", h.Events)
+	}
+	return log, nil
+}

@@ -1,0 +1,399 @@
+// The explicit-state model checker: breadth-first exhaustive
+// enumeration of every interleaving of a Config, with invariant checks
+// at every reachable state. BFS means the first violation found comes
+// with a shortest — already shrunk — counterexample trace.
+package spec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// state packs the whole model state into a uint64: one byte per task,
+// bits 0-2 the Phase, bits 3-5 the wait pointer (how many WaitsOn
+// entries are already satisfied), bit 6 the holds flag (effects
+// registered as held by the scheduler). Eight tasks × eight bits fit
+// exactly; the initial state is all-zero (every task Unsubmitted).
+type state uint64
+
+func (s state) phase(i int) Phase    { return Phase((s >> (8 * i)) & 0x7) }
+func (s state) wp(i int) int         { return int((s >> (8*i + 3)) & 0x7) }
+func (s state) holds(i int) bool     { return (s>>(8*i+6))&1 == 1 }
+func (s state) withPhase(i int, p Phase) state {
+	return (s &^ (0x7 << (8 * i))) | state(p)<<(8*i)
+}
+func (s state) withWP(i, wp int) state {
+	return (s &^ (0x7 << (8*i + 3))) | state(wp)<<(8*i+3)
+}
+func (s state) withHolds(i int, h bool) state {
+	if h {
+		return s | 1<<(8*i+6)
+	}
+	return s &^ (1 << (8*i + 6))
+}
+
+// Step is one transition of a counterexample trace.
+type Step struct {
+	// Action names the transition: submit, submit-batch, enable, start,
+	// block, join, unblock, finish, cancel.
+	Action string
+	// Task is the acting task's index (for submit-batch, the group's
+	// first member).
+	Task int
+}
+
+// CounterExample is an invariant violation with its shortest trace from
+// the initial state.
+type CounterExample struct {
+	// Invariant identifies the violated property (I1..I6, deadlock).
+	Invariant string
+	// Detail is a human-readable account of the violation.
+	Detail string
+	// Trace is the shortest action sequence reaching the violating state.
+	Trace []Step
+}
+
+func (c *CounterExample) String() string {
+	steps := make([]string, len(c.Steps()))
+	for i, st := range c.Steps() {
+		steps[i] = fmt.Sprintf("%s(T%d)", st.Action, st.Task)
+	}
+	return fmt.Sprintf("%s: %s\n  trace (%d steps): %s",
+		c.Invariant, c.Detail, len(c.Trace), strings.Join(steps, " → "))
+}
+
+// Steps returns the trace.
+func (c *CounterExample) Steps() []Step { return c.Trace }
+
+// Result summarizes one exploration.
+type Result struct {
+	// Config is the explored configuration's name.
+	Config string
+	// States and Transitions count distinct reachable states and explored
+	// edges.
+	States, Transitions int
+	// Violation is the first invariant violation found (nil = the model
+	// satisfies every invariant on every reachable state).
+	Violation *CounterExample
+	// Complete is true when the full reachable space was enumerated
+	// (false when MaxStates was hit or a violation stopped the search).
+	Complete bool
+	// Elapsed is the wall-clock exploration time.
+	Elapsed time.Duration
+}
+
+// ExploreOpts bounds an exploration.
+type ExploreOpts struct {
+	// MaxStates aborts runaway configurations (default 5_000_000).
+	MaxStates int
+}
+
+// Explore exhaustively enumerates the configuration's interleavings by
+// breadth-first search, checking every invariant at every new state.
+// It stops at the first violation (BFS order makes its trace shortest)
+// or when the reachable space is exhausted.
+func Explore(cfg *Config, opts ExploreOpts) (*Result, error) {
+	cc, err := compileConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 5_000_000
+	}
+	start := time.Now()
+
+	type edge struct {
+		parent state
+		step   Step
+	}
+	parent := map[state]edge{0: {}}
+	queue := []state{0}
+	res := &Result{Config: cfg.Name, States: 1}
+
+	trace := func(s state) []Step {
+		var steps []Step
+		for s != 0 {
+			e := parent[s]
+			steps = append(steps, e.step)
+			s = e.parent
+		}
+		for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+			steps[i], steps[j] = steps[j], steps[i]
+		}
+		return steps
+	}
+
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+
+		if inv, detail := cc.checkInvariants(s); inv != "" {
+			res.Violation = &CounterExample{Invariant: inv, Detail: detail, Trace: trace(s)}
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+
+		succ := cc.successors(s)
+		if len(succ) == 0 {
+			// Quiescent or stuck: with no action available every task must
+			// be terminal, otherwise the model deadlocked (e.g. a leaked
+			// effect keeps a waiter unadmittable forever).
+			if i := cc.nonTerminal(s); i >= 0 {
+				res.Violation = &CounterExample{
+					Invariant: "deadlock",
+					Detail: fmt.Sprintf("stuck state: %s is %s with no enabled action (%s)",
+						cc.cfg.taskName(i), s.phase(i), cc.describe(s)),
+					Trace: trace(s),
+				}
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+			continue
+		}
+		for _, e := range succ {
+			res.Transitions++
+			if _, seen := parent[e.next]; seen {
+				continue
+			}
+			parent[e.next] = edge{parent: s, step: e.step}
+			queue = append(queue, e.next)
+			res.States++
+			if res.States > opts.MaxStates {
+				res.Elapsed = time.Since(start)
+				return res, fmt.Errorf("spec: %q exceeded %d states; shrink the configuration", cfg.Name, opts.MaxStates)
+			}
+		}
+	}
+	res.Complete = true
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// succEdge is one enabled transition out of a state.
+type succEdge struct {
+	step Step
+	next state
+}
+
+// nonTerminal returns the index of a non-terminal task, or -1.
+func (cc *compiled) nonTerminal(s state) int {
+	for i := 0; i < cc.n; i++ {
+		if !s.phase(i).terminal() {
+			return i
+		}
+	}
+	return -1
+}
+
+// inflight counts tasks submitted and not yet terminal (the svc
+// MaxInflight gauge: admitted-but-unresolved).
+func (cc *compiled) inflight(s state) int {
+	n := 0
+	for i := 0; i < cc.n; i++ {
+		if p := s.phase(i); p != Unsubmitted && !p.terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// chainReaches reports whether `from` is blocked with a blocker chain
+// transitively reaching `to` — the license for admitting `to` despite a
+// conflict with `from`'s held effects (effect transfer, §3.1.4).
+func (cc *compiled) chainReaches(s state, from, to int) bool {
+	cur := from
+	for hops := 0; hops <= cc.n; hops++ {
+		if s.phase(cur) != PhaseBlocked {
+			return false
+		}
+		next := cc.cfg.Tasks[cur].WaitsOn[s.wp(cur)]
+		if next == to {
+			return true
+		}
+		cur = next
+	}
+	return false
+}
+
+// submitOne moves task i from Unsubmitted to its post-submission phase:
+// Rejected when the declared summary does not cover the required one,
+// Waiting otherwise (effects registered).
+func (cc *compiled) submitOne(s state, i int) state {
+	if !cc.covered[i] {
+		return s.withPhase(i, PhaseRejected)
+	}
+	return s.withPhase(i, PhaseWaiting)
+}
+
+// successors enumerates every enabled action of every task.
+func (cc *compiled) successors(s state) []succEdge {
+	var out []succEdge
+	mut := cc.cfg.Mutations
+	bound := cc.cfg.MaxInflight
+	submittedBatches := map[int]bool{}
+
+	for i := 0; i < cc.n; i++ {
+		t := &cc.cfg.Tasks[i]
+		switch s.phase(i) {
+		case Unsubmitted:
+			if g := cc.batchOf[i]; g >= 0 && !mut.SkipRegisterBeforeEnable {
+				// Atomic group submission: all members register before any
+				// admission decision (core.BatchScheduler contract). One
+				// action per group, keyed off its first unsubmitted member.
+				if submittedBatches[g] {
+					continue
+				}
+				submittedBatches[g] = true
+				members := cc.batch[g]
+				if bound > 0 && cc.inflight(s)+len(members) > bound {
+					continue
+				}
+				ns := s
+				for _, m := range members {
+					ns = cc.submitOne(ns, m)
+				}
+				out = append(out, succEdge{Step{"submit-batch", i}, ns})
+				continue
+			}
+			if bound > 0 && cc.inflight(s) >= bound {
+				continue
+			}
+			out = append(out, succEdge{Step{"submit", i}, cc.submitOne(s, i)})
+
+		case PhaseWaiting:
+			admit := true
+			if !mut.SkipConflictCheck {
+				for j := 0; j < cc.n && admit; j++ {
+					if j != i && s.holds(j) && cc.conflict[i][j] && !cc.chainReaches(s, j, i) {
+						admit = false
+					}
+				}
+			}
+			if admit {
+				out = append(out, succEdge{Step{"enable", i}, s.withPhase(i, PhaseEnabled).withHolds(i, true)})
+			}
+			if cc.cfg.AllowCancel {
+				out = append(out, succEdge{Step{"cancel", i}, s.withPhase(i, PhaseCancelled)})
+			}
+
+		case PhaseEnabled:
+			out = append(out, succEdge{Step{"start", i}, s.withPhase(i, PhaseRunning)})
+			if cc.cfg.AllowCancel {
+				ns := s.withPhase(i, PhaseCancelled)
+				if !mut.LeakOnCancel {
+					ns = ns.withHolds(i, false)
+				}
+				out = append(out, succEdge{Step{"cancel", i}, ns})
+			}
+
+		case PhaseRunning:
+			if wp := s.wp(i); wp < len(t.WaitsOn) {
+				target := t.WaitsOn[wp]
+				if s.phase(target).terminal() {
+					// getValue on a finished task: join without blocking.
+					out = append(out, succEdge{Step{"join", i}, s.withWP(i, wp+1)})
+				} else if s.phase(target) != Unsubmitted {
+					out = append(out, succEdge{Step{"block", i}, s.withPhase(i, PhaseBlocked)})
+				}
+				// Target unsubmitted: the body has not created the future
+				// yet; the wait is not reachable, so neither action fires.
+			} else {
+				out = append(out, succEdge{Step{"finish", i}, s.withPhase(i, PhaseDone).withHolds(i, false)})
+			}
+
+		case PhaseBlocked:
+			if target := t.WaitsOn[s.wp(i)]; s.phase(target).terminal() {
+				out = append(out, succEdge{Step{"unblock", i}, s.withPhase(i, PhaseRunning).withWP(i, s.wp(i)+1)})
+			}
+		}
+	}
+	return out
+}
+
+// checkInvariants evaluates the invariant catalog (DESIGN.md §15) on
+// one state; it returns the first violated invariant's name and detail,
+// or "".
+func (cc *compiled) checkInvariants(s state) (string, string) {
+	// I1 — running isolation: no two tasks with interfering declared
+	// effects execute concurrently (the paper's core theorem; what
+	// internal/isolcheck observes on the real runtime).
+	for i := 0; i < cc.n; i++ {
+		if s.phase(i) != PhaseRunning {
+			continue
+		}
+		for j := i + 1; j < cc.n; j++ {
+			if s.phase(j) == PhaseRunning && cc.conflict[i][j] {
+				return "I1-running-isolation", fmt.Sprintf("%s and %s run concurrently with interfering effects (%s)",
+					cc.cfg.taskName(i), cc.cfg.taskName(j), cc.describe(s))
+			}
+		}
+	}
+	// I2 — admission isolation: two admitted holders of interfering
+	// effects are only legal when one is blocked with a chain reaching
+	// the other (effect transfer).
+	for i := 0; i < cc.n; i++ {
+		if !s.holds(i) {
+			continue
+		}
+		for j := i + 1; j < cc.n; j++ {
+			if s.holds(j) && cc.conflict[i][j] &&
+				!cc.chainReaches(s, i, j) && !cc.chainReaches(s, j, i) {
+				return "I2-admitted-isolation", fmt.Sprintf("%s and %s both hold interfering effects with no blocked-transfer chain (%s)",
+					cc.cfg.taskName(i), cc.cfg.taskName(j), cc.describe(s))
+			}
+		}
+	}
+	// I3 — in-flight bound.
+	if cc.cfg.MaxInflight > 0 {
+		if n := cc.inflight(s); n > cc.cfg.MaxInflight {
+			return "I3-inflight-bound", fmt.Sprintf("%d tasks in flight; bound %d", n, cc.cfg.MaxInflight)
+		}
+	}
+	// I4 — release on exit: terminal tasks hold nothing (finish, cancel,
+	// panic, deadline all release).
+	for i := 0; i < cc.n; i++ {
+		if s.phase(i).terminal() && s.holds(i) {
+			return "I4-release-on-exit", fmt.Sprintf("%s is %s but still holds its effects",
+				cc.cfg.taskName(i), s.phase(i))
+		}
+	}
+	// I5 — covers: no task past submission without declared ⊇ required.
+	for i := 0; i < cc.n; i++ {
+		if p := s.phase(i); p != Unsubmitted && p != PhaseRejected && !cc.covered[i] {
+			return "I5-declared-covers-required", fmt.Sprintf("%s was admitted but its declared summary does not cover its required one",
+				cc.cfg.taskName(i))
+		}
+	}
+	// I6 — register-before-enable: no batch member is admitted while a
+	// co-member's effects are unregistered.
+	for i := 0; i < cc.n; i++ {
+		g := cc.batchOf[i]
+		if g < 0 {
+			continue
+		}
+		if p := s.phase(i); p == Unsubmitted || p == PhaseWaiting || p.terminal() {
+			continue
+		}
+		for _, j := range cc.batch[g] {
+			if s.phase(j) == Unsubmitted {
+				return "I6-register-before-enable", fmt.Sprintf("batch member %s is %s while co-member %s is unregistered",
+					cc.cfg.taskName(i), s.phase(i), cc.cfg.taskName(j))
+			}
+		}
+	}
+	return "", ""
+}
+
+// describe renders a state for counterexample details.
+func (cc *compiled) describe(s state) string {
+	parts := make([]string, cc.n)
+	for i := 0; i < cc.n; i++ {
+		p := fmt.Sprintf("%s=%s", cc.cfg.taskName(i), s.phase(i))
+		if s.holds(i) {
+			p += "+holds"
+		}
+		parts[i] = p
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,159 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStateEncoding(t *testing.T) {
+	var s state
+	s = s.withPhase(0, PhaseBlocked).withWP(0, 5).withHolds(0, true)
+	s = s.withPhase(3, PhaseDone).withWP(3, 7)
+	s = s.withPhase(7, PhaseRejected)
+	if s.phase(0) != PhaseBlocked || s.wp(0) != 5 || !s.holds(0) {
+		t.Errorf("task 0 round trip: phase=%v wp=%d holds=%v", s.phase(0), s.wp(0), s.holds(0))
+	}
+	if s.phase(3) != PhaseDone || s.wp(3) != 7 || s.holds(3) {
+		t.Errorf("task 3 round trip: phase=%v wp=%d holds=%v", s.phase(3), s.wp(3), s.holds(3))
+	}
+	if s.phase(7) != PhaseRejected || s.phase(1) != Unsubmitted || s.holds(1) {
+		t.Errorf("task 7/1 round trip: %v %v", s.phase(7), s.phase(1))
+	}
+	if s2 := s.withHolds(0, false); s2.holds(0) || s2.phase(0) != PhaseBlocked {
+		t.Errorf("clearing holds disturbed the phase: %v", s2.phase(0))
+	}
+}
+
+// TestPresetsClean: every preset configuration satisfies the full
+// invariant catalog on every reachable interleaving. This is the spec
+// analog of the differential fuzz gate — and the acceptance bound: the
+// 4-task "full" preset must enumerate exhaustively well inside 30s.
+func TestPresetsClean(t *testing.T) {
+	for _, cfg := range Presets() {
+		res, err := Explore(cfg, ExploreOpts{})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if res.Violation != nil {
+			t.Errorf("%s: unexpected violation:\n%s", cfg.Name, res.Violation)
+		}
+		if !res.Complete {
+			t.Errorf("%s: exploration did not complete", cfg.Name)
+		}
+		if res.States < 10 {
+			t.Errorf("%s: only %d states — configuration too trivial to mean anything", cfg.Name, res.States)
+		}
+		if res.Elapsed > 30*time.Second {
+			t.Errorf("%s: exploration took %v; acceptance bound is 30s", cfg.Name, res.Elapsed)
+		}
+		t.Logf("%s: %d states, %d transitions in %v", cfg.Name, res.States, res.Transitions, res.Elapsed)
+	}
+}
+
+// TestMutationsCaught: each seeded contract break is caught by the
+// advertised invariant, with a non-empty shortest counterexample trace.
+func TestMutationsCaught(t *testing.T) {
+	cases := []struct {
+		preset    string
+		mut       Mutations
+		wantInv   []string // acceptable invariant names (BFS picks the shallowest)
+	}{
+		{"pair", Mutations{SkipConflictCheck: true}, []string{"I2-admitted-isolation", "I1-running-isolation"}},
+		{"transfer", Mutations{SkipConflictCheck: true}, []string{"I2-admitted-isolation", "I1-running-isolation"}},
+		{"batch", Mutations{SkipRegisterBeforeEnable: true}, []string{"I6-register-before-enable"}},
+		{"cancel", Mutations{LeakOnCancel: true}, []string{"I4-release-on-exit", "deadlock"}},
+	}
+	for _, tc := range cases {
+		cfg := Preset(tc.preset)
+		if cfg == nil {
+			t.Fatalf("no preset %q", tc.preset)
+		}
+		cfg.Mutations = tc.mut
+		res, err := Explore(cfg, ExploreOpts{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.preset, err)
+		}
+		if res.Violation == nil {
+			t.Errorf("%s with %+v: mutation not caught", tc.preset, tc.mut)
+			continue
+		}
+		ok := false
+		for _, inv := range tc.wantInv {
+			ok = ok || res.Violation.Invariant == inv
+		}
+		if !ok {
+			t.Errorf("%s with %+v: caught as %q, want one of %v\n%s",
+				tc.preset, tc.mut, res.Violation.Invariant, tc.wantInv, res.Violation)
+		}
+		if len(res.Violation.Trace) == 0 {
+			t.Errorf("%s: counterexample has an empty trace", tc.preset)
+		} else if a := res.Violation.Trace[0].Action; !strings.HasPrefix(a, "submit") {
+			t.Errorf("%s: counterexample starts with %q, not a submission", tc.preset, a)
+		}
+		t.Logf("%s + %+v:\n%s", tc.preset, tc.mut, res.Violation)
+	}
+}
+
+// TestCounterexampleIsShortest: BFS must find the 3-step minimal trace
+// for the leak-on-cancel break (submit → enable → cancel), not some
+// longer interleaving.
+func TestCounterexampleIsShortest(t *testing.T) {
+	cfg := Preset("cancel")
+	cfg.Mutations.LeakOnCancel = true
+	res, err := Explore(cfg, ExploreOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("mutation not caught")
+	}
+	if got := len(res.Violation.Trace); got != 3 {
+		t.Errorf("counterexample has %d steps, want the minimal 3:\n%s", got, res.Violation)
+	}
+}
+
+// TestDeadlockDetection: a wait cycle is reported as a stuck state with
+// a trace, even with no effect conflicts anywhere.
+func TestDeadlockDetection(t *testing.T) {
+	cfg := &Config{
+		Name: "cycle",
+		Tasks: []TaskSpec{
+			{Name: "a", WaitsOn: []int{1}},
+			{Name: "b", WaitsOn: []int{0}},
+		},
+	}
+	res, err := Explore(cfg, ExploreOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil || res.Violation.Invariant != "deadlock" {
+		t.Fatalf("wait cycle not reported as deadlock: %+v", res.Violation)
+	}
+}
+
+// TestRejectedPath: an under-declaring task is refused at submission and
+// terminal; the rest of the configuration still quiesces cleanly.
+func TestRejectedPath(t *testing.T) {
+	cfg := Preset("pair") // includes the "liar" task
+	res, err := Explore(cfg, ExploreOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation:\n%s", res.Violation)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []*Config{
+		{Name: "empty"},
+		{Name: "self-wait", Tasks: []TaskSpec{{WaitsOn: []int{0}}}},
+		{Name: "oob-wait", Tasks: []TaskSpec{{WaitsOn: []int{5}}}},
+	}
+	for _, cfg := range bad {
+		if _, err := Explore(cfg, ExploreOpts{}); err == nil {
+			t.Errorf("%s: Explore accepted an invalid config", cfg.Name)
+		}
+	}
+}

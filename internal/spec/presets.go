@@ -1,0 +1,112 @@
+// Preset configurations: the small worlds Explore checks in CI. Each
+// exercises one clause of the admission contract; "full" is the
+// acceptance configuration (4 tasks × 3 effect regions) covering them
+// together.
+package spec
+
+import "twe/internal/effect"
+
+func mp(s string) effect.Set { return effect.MustParse(s) }
+
+// Presets returns the named model configurations, in checking order.
+func Presets() []*Config {
+	return []*Config{
+		{
+			// Two writers of one region plus an under-declaring task: the
+			// bare covers + mutual-exclusion contract.
+			Name: "pair",
+			Tasks: []TaskSpec{
+				{Name: "w0", Declared: mp("writes Root:A"), Required: mp("writes Root:A")},
+				{Name: "w1", Declared: mp("writes Root:A"), Required: mp("writes Root:A")},
+				{Name: "liar", Declared: mp("reads Root:A"), Required: mp("writes Root:A")},
+			},
+		},
+		{
+			// Effect transfer when blocked (§3.1.4): w0 getValues w1 while
+			// both write A; admitting w1 is only legal through w0's block.
+			Name: "transfer",
+			Tasks: []TaskSpec{
+				{Name: "w0", Declared: mp("writes Root:A"), Required: mp("writes Root:A"), WaitsOn: []int{1}},
+				{Name: "w1", Declared: mp("writes Root:A"), Required: mp("writes Root:A")},
+				{Name: "r2", Declared: mp("reads Root:B"), Required: mp("reads Root:B")},
+			},
+		},
+		{
+			// A SubmitBatch group of interfering members plus an outside
+			// reader: register-before-enable and in-group isolation.
+			Name: "batch",
+			Tasks: []TaskSpec{
+				{Name: "b0", Declared: mp("writes Root:A"), Required: mp("writes Root:A"), Batch: 1},
+				{Name: "b1", Declared: mp("writes Root:A, reads Root:B"), Required: mp("writes Root:A"), Batch: 1},
+				{Name: "r2", Declared: mp("reads Root:A"), Required: mp("reads Root:A")},
+			},
+		},
+		{
+			// Cancellation on every pre-run phase: effects must be released
+			// (or never acquired) on each cancel path.
+			Name:        "cancel",
+			AllowCancel: true,
+			Tasks: []TaskSpec{
+				{Name: "w0", Declared: mp("writes Root:A"), Required: mp("writes Root:A")},
+				{Name: "w1", Declared: mp("writes Root:A"), Required: mp("writes Root:A")},
+				{Name: "w2", Declared: mp("writes Root:B"), Required: mp("writes Root:B")},
+			},
+		},
+		{
+			// Admission bound: four independent tasks through a 2-slot
+			// window (svc MaxInflight backpressure).
+			Name:        "inflight",
+			MaxInflight: 2,
+			Tasks: []TaskSpec{
+				{Name: "t0", Declared: mp("writes Root:A"), Required: mp("writes Root:A")},
+				{Name: "t1", Declared: mp("writes Root:B"), Required: mp("writes Root:B")},
+				{Name: "t2", Declared: mp("reads Root:A"), Required: mp("reads Root:A")},
+				{Name: "t3", Declared: mp("reads Root:B"), Required: mp("reads Root:B")},
+			},
+		},
+		{
+			// Drain: cancels racing a dependency chain — quiescence must be
+			// reachable on every path and no exit path may leak effects.
+			Name:        "drain",
+			AllowCancel: true,
+			Tasks: []TaskSpec{
+				{Name: "w0", Declared: mp("writes Root:A"), Required: mp("writes Root:A"), WaitsOn: []int{1}},
+				{Name: "w1", Declared: mp("writes Root:A"), Required: mp("writes Root:A")},
+				{Name: "r2", Declared: mp("reads Root:A"), Required: mp("reads Root:A")},
+			},
+		},
+		{
+			// The acceptance configuration: 4 tasks over 3 regions mixing a
+			// batch group, a getValue dependency, cancellation and a
+			// star-covered declaration.
+			Name:        "full",
+			AllowCancel: true,
+			Tasks: []TaskSpec{
+				{Name: "t0", Declared: mp("writes Root:A, reads Root:B"), Required: mp("writes Root:A"), WaitsOn: []int{2}},
+				{Name: "t1", Declared: mp("writes Root:B, reads Root:C"), Required: mp("writes Root:B, reads Root:C"), Batch: 1},
+				{Name: "t2", Declared: mp("writes Root:*"), Required: mp("writes Root:A, writes Root:C"), Batch: 1},
+				{Name: "t3", Declared: mp("reads Root:A, reads Root:B"), Required: mp("reads Root:A")},
+			},
+		},
+	}
+}
+
+// Preset returns the named preset, or nil.
+func Preset(name string) *Config {
+	for _, c := range Presets() {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// PresetNames lists the preset names in order.
+func PresetNames() []string {
+	ps := Presets()
+	names := make([]string, len(ps))
+	for i, c := range ps {
+		names[i] = c.Name
+	}
+	return names
+}

@@ -1,0 +1,229 @@
+// Package spec is the executable admission specification of the TWE
+// runtime (DESIGN.md §15): a compact state-machine model of the
+// admission contract every scheduler implements — declared-covers-
+// required, no interfering concurrency without a blocked-transfer
+// chain, register-before-enable for batches, in-flight bounds, effect
+// release on every exit path, quiescence — together with
+//
+//   - Explore (explore.go): a Go-native explicit-state model checker
+//     that exhaustively enumerates every interleaving of a small
+//     configuration and reports invariant violations with shortest
+//     counterexample traces;
+//   - Refine (refine.go): a trace-refinement oracle that replays
+//     internal/obs event logs as candidate behaviors the model must
+//     accept, so every traced run of the real schedulers doubles as a
+//     conformance check;
+//   - WriteTLA (tla.go): a TLA+ rendering of the same model for
+//     offline TLC runs.
+//
+// The model is deliberately smaller than the implementation: no
+// spawn/join tree (refinement treats spawned tasks leniently), no
+// worker pool, no wire protocol. What it does model is exactly the
+// part all three admission implementations (naive, tree, batched tree)
+// must agree on, which is what the seeded-mutation tests break.
+package spec
+
+import (
+	"fmt"
+
+	"twe/internal/effect"
+)
+
+// Phase is a model task's lifecycle state. Phases only move forward
+// (Blocked returns to Running, but with the wait pointer advanced), so
+// the reachable state space is finite and acyclic.
+type Phase uint8
+
+const (
+	// Unsubmitted: the task exists in the configuration but has not been
+	// handed to the scheduler.
+	Unsubmitted Phase = iota
+	// PhaseWaiting: submitted; effects registered; not yet admitted.
+	PhaseWaiting
+	// PhaseEnabled: admitted — the task holds its declared effects — but
+	// no worker has picked it up yet.
+	PhaseEnabled
+	// PhaseRunning: the body is executing.
+	PhaseRunning
+	// PhaseBlocked: the body performed getValue on an unfinished task and
+	// blocked, licensing effect transfer (§3.1.4).
+	PhaseBlocked
+	// PhaseDone: the body returned; effects released.
+	PhaseDone
+	// PhaseCancelled: cancelled before the body ran (descheduled while
+	// waiting, or enabled-but-unstarted); effects released unless the
+	// LeakOnCancel mutation is active.
+	PhaseCancelled
+	// PhaseRejected: refused at submission because the declared summary
+	// does not cover the required one.
+	PhaseRejected
+)
+
+func (p Phase) String() string {
+	switch p {
+	case Unsubmitted:
+		return "unsubmitted"
+	case PhaseWaiting:
+		return "waiting"
+	case PhaseEnabled:
+		return "enabled"
+	case PhaseRunning:
+		return "running"
+	case PhaseBlocked:
+		return "blocked"
+	case PhaseDone:
+		return "done"
+	case PhaseCancelled:
+		return "cancelled"
+	case PhaseRejected:
+		return "rejected"
+	}
+	return fmt.Sprintf("Phase(%d)", uint8(p))
+}
+
+// terminal reports whether a phase is final (effects must be released).
+func (p Phase) terminal() bool {
+	return p == PhaseDone || p == PhaseCancelled || p == PhaseRejected
+}
+
+// TaskSpec is one task of a model configuration.
+type TaskSpec struct {
+	// Name labels the task in counterexamples ("T0" etc. when empty).
+	Name string
+	// Declared is the effect summary the task declares at submission —
+	// what the scheduler registers and serializes on.
+	Declared effect.Set
+	// Required is what the body actually touches; admission must verify
+	// Declared.Covers(Required) (the §3.1.2 contract). Zero value (pure)
+	// is always covered.
+	Required effect.Set
+	// WaitsOn lists task indexes this task getValues, in program order.
+	// Each entry the body reaches on an unfinished target becomes a
+	// Block/Unblock pair; finished targets are joined without blocking.
+	WaitsOn []int
+	// Batch, when positive, assigns the task to a SubmitBatch group: all
+	// tasks sharing the id are submitted in one atomic action, modeling
+	// the register-before-enable contract of core.BatchScheduler.
+	Batch int
+}
+
+// Mutations deliberately breaks one contract clause so Explore can
+// demonstrate the corresponding invariant catches it (and so the
+// refinement tests can cross-check against real mutated schedulers).
+type Mutations struct {
+	// SkipConflictCheck admits a task without looking at held conflicting
+	// effects — the model twin of tree.Options.UnsafeSkipConflictCheck.
+	// Caught by I1 (two interfering tasks running) and I2.
+	SkipConflictCheck bool
+	// SkipRegisterBeforeEnable submits batch members one by one,
+	// interleaved with admissions, instead of atomically registering the
+	// whole group first. Caught by I6.
+	SkipRegisterBeforeEnable bool
+	// LeakOnCancel cancels an enabled task without releasing its held
+	// effects. Caught by I4 and, transitively, as a deadlock.
+	LeakOnCancel bool
+}
+
+// Config is one model configuration: the closed world Explore
+// exhaustively interleaves.
+type Config struct {
+	// Name labels the configuration (presets, TLA module name).
+	Name  string
+	Tasks []TaskSpec
+	// MaxInflight bounds tasks simultaneously past submission and not yet
+	// terminal; submission is refused (the action is disabled) at the
+	// bound. 0 = unbounded.
+	MaxInflight int
+	// AllowCancel adds cancel actions for waiting and enabled tasks
+	// (modeling Future.Cancel, deadlines, and disconnect aborts).
+	AllowCancel bool
+	// Mutations, when any field is set, breaks the corresponding guard.
+	Mutations Mutations
+}
+
+// maxTasks bounds a configuration: state packing uses one byte per task
+// and the checker is meant for small exhaustive worlds (the acceptance
+// configuration is 4 tasks × 3 effects).
+const maxTasks = 8
+
+// Validate rejects configurations the checker cannot represent.
+func (c *Config) Validate() error {
+	if len(c.Tasks) == 0 {
+		return fmt.Errorf("spec: config %q has no tasks", c.Name)
+	}
+	if len(c.Tasks) > maxTasks {
+		return fmt.Errorf("spec: config %q has %d tasks; max %d", c.Name, len(c.Tasks), maxTasks)
+	}
+	for i, t := range c.Tasks {
+		if len(t.WaitsOn) > 7 {
+			return fmt.Errorf("spec: task %d waits on %d tasks; max 7", i, len(t.WaitsOn))
+		}
+		for _, w := range t.WaitsOn {
+			if w < 0 || w >= len(c.Tasks) {
+				return fmt.Errorf("spec: task %d waits on out-of-range task %d", i, w)
+			}
+			if w == i {
+				return fmt.Errorf("spec: task %d waits on itself", i)
+			}
+		}
+		if t.Batch < 0 {
+			return fmt.Errorf("spec: task %d has negative batch id", i)
+		}
+	}
+	return nil
+}
+
+// taskName labels task i in counterexamples.
+func (c *Config) taskName(i int) string {
+	if n := c.Tasks[i].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("T%d", i)
+}
+
+// compiled precomputes the relations the checker consults per state:
+// the pairwise conflict matrix and per-task covered bits, so exploring
+// never re-runs RPL comparisons.
+type compiled struct {
+	cfg      *Config
+	n        int
+	conflict [][]bool // conflict[i][j]: Declared_i interferes with Declared_j
+	covered  []bool   // covered[i]: Declared_i covers Required_i
+	batch    [][]int  // group id → member indexes (ids compacted)
+	batchOf  []int    // task → compacted group id, -1 for individual
+}
+
+func compileConfig(cfg *Config) (*compiled, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(cfg.Tasks)
+	cc := &compiled{cfg: cfg, n: n,
+		conflict: make([][]bool, n), covered: make([]bool, n),
+		batchOf: make([]int, n)}
+	for i := range cfg.Tasks {
+		cc.conflict[i] = make([]bool, n)
+		cc.covered[i] = cfg.Tasks[i].Declared.Covers(cfg.Tasks[i].Required)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := cfg.Tasks[i].Declared.Conflicts(cfg.Tasks[j].Declared)
+			cc.conflict[i][j], cc.conflict[j][i] = c, c
+		}
+	}
+	ids := map[int]int{}
+	for i := range cfg.Tasks {
+		cc.batchOf[i] = -1
+		if g := cfg.Tasks[i].Batch; g > 0 {
+			id, ok := ids[g]
+			if !ok {
+				id = len(cc.batch)
+				ids[g] = id
+				cc.batch = append(cc.batch, nil)
+			}
+			cc.batch[id] = append(cc.batch[id], i)
+			cc.batchOf[i] = id
+		}
+	}
+	return cc, nil
+}

@@ -1,0 +1,125 @@
+package svc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"twe/internal/spec"
+)
+
+// TestDrainAuditMidBatchDisconnect pins the drain/quiesce audit under
+// the nastiest client behavior the batch path admits: a batch is
+// admitted as one group, its first op is mid-body, a conflicting
+// sibling is still waiting on the effect, and the connection drops
+// before any inner response can be delivered. The reader's abort must
+// cancel every pending future, released effects must let the runtime
+// quiesce, and the served-accounting audit must still balance (nothing
+// a cancelled task held may have reached the store). Runs on both wire
+// codecs — v1 carries the batch as one JSON frame, v2 as a binary
+// batch frame preceded by effect-register frames — because the abort
+// path is codec-independent but the framing that got us there is not.
+//
+// The drained server's event log must also refine against the
+// admission model (internal/spec): a disconnect storm is exactly the
+// kind of run where emission-order races around cancellation show up.
+func TestDrainAuditMidBatchDisconnect(t *testing.T) {
+	for _, proto := range []int{ProtoV1, ProtoV2} {
+		name := "v1"
+		if proto == ProtoV2 {
+			name = "v2"
+		}
+		t.Run(name, func(t *testing.T) {
+			entered := make(chan struct{}, 8)
+			gate := make(chan struct{})
+			s := startTestServer(t, Config{
+				Par:     2,
+				TaskLog: true,
+				Hold: func(op string, key int) {
+					if op == OpPut && key == 0 {
+						entered <- struct{}{}
+						<-gate
+					}
+				},
+			})
+
+			c, err := DialProto(s.Addr(), proto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch := []Request{
+				{ID: 1, Op: OpPut, Key: 0, Val: 10, Eff: PutEffect(c.Shards, 0, c.SID)},
+				{ID: 2, Op: OpGet, Key: 0, Eff: GetEffect(c.Shards, 0, c.SID)},
+				{ID: 3, Op: OpPut, Key: 1, Val: 11, Eff: PutEffect(c.Shards, 1, c.SID)},
+				{ID: 4, Op: OpPut, Key: 2, Val: 12, Eff: PutEffect(c.Shards, 2, c.SID)},
+			}
+			if err := c.SendBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Request 1 is mid-body holding its write effect; request 2
+			// conflicts, so its future cannot resolve. Drop the
+			// connection now — no inner response has been read.
+			<-entered
+			c.Close()
+
+			// The gate must stay shut until the reader's abort has run:
+			// request 1's future is unresolvable while its body is gated,
+			// so abort is guaranteed to find pending futures and count
+			// the disconnect. Only then may the body finish (and see the
+			// cancellation at its post-Hold check).
+			deadline := time.Now().Add(5 * time.Second)
+			for s.Stats().Disconnects == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("disconnect never observed")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			close(gate)
+
+			drainClean(t, s)
+
+			st := s.Stats()
+			if st.Disconnects != 1 {
+				t.Fatalf("disconnects = %d, want 1", st.Disconnects)
+			}
+			if st.Batches != 1 || st.BatchedOps != int64(len(batch)) {
+				t.Fatalf("batches=%d batched_ops=%d, want 1/%d", st.Batches, st.BatchedOps, len(batch))
+			}
+			// The gated put and its conflicting get can never be served:
+			// both futures were pending at abort time.
+			if st.Cancelled < 2 {
+				t.Fatalf("cancelled = %d, want >= 2 (gated put + conflicting get)", st.Cancelled)
+			}
+			if st.Served+st.Cancelled != int64(len(batch)) {
+				t.Fatalf("served=%d cancelled=%d, want them to partition the batch of %d", st.Served, st.Cancelled, len(batch))
+			}
+			if got := s.Tracer().Metrics().BatchSubmits.Load(); got != 1 {
+				t.Fatalf("BatchSubmits = %d, want 1 (one admission group)", got)
+			}
+			if got := s.Tracer().Metrics().BatchTasks.Load(); got != uint64(len(batch)) {
+				t.Fatalf("BatchTasks = %d, want %d", got, len(batch))
+			}
+
+			// The run must be a behavior of the admission model.
+			var buf bytes.Buffer
+			if err := s.Tracer().WriteEventLog(&buf); err != nil {
+				t.Fatal(err)
+			}
+			log, err := spec.ReadLog(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs, err := spec.Refine(log, spec.RefineOpts{Strict: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(errs) > 0 {
+				t.Fatalf("%d refinement violation(s), first: %s", len(errs), errs[0])
+			}
+		})
+	}
+}

@@ -50,6 +50,13 @@ type Config struct {
 	// (request tracing emits ~5 spans per request).
 	TraceEvents int
 
+	// TaskLog additionally records every task's name and declared-effect
+	// string in the tracer (obs.WithTaskLog), so the drained server can
+	// export a JSONL event log for the admission-spec refinement oracle
+	// (twe-serve -eventlog → twe-spec -refine). Costs one formatted
+	// effect string per submitted task; off by default.
+	TaskLog bool
+
 	// MkSched overrides Sched with an explicit scheduler constructor
 	// (used by the workloads registry to plug in the harness scheduler).
 	MkSched func() core.Scheduler
@@ -137,7 +144,11 @@ func Start(cfg Config) (*Server, error) {
 			perShard = 16384
 		}
 	}
-	opts := []core.Option{core.WithTracer(obs.New(obs.WithCapacity(perShard)))}
+	tracerOpts := []obs.Option{obs.WithCapacity(perShard)}
+	if cfg.TaskLog {
+		tracerOpts = append(tracerOpts, obs.WithTaskLog())
+	}
+	opts := []core.Option{core.WithTracer(obs.New(tracerOpts...))}
 	if cfg.Isolcheck {
 		s.chk = isolcheck.New()
 		opts = append(opts, core.WithMonitor(s.chk))

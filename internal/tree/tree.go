@@ -273,6 +273,10 @@ type Scheduler struct {
 	// untraced). The scheduler feeds it conflict-check/hit counters,
 	// node-visit counts, queue depth, and conflict-stall events.
 	tracer *obs.Tracer
+
+	// unsafeSkipConflictCheck is the Options seeded-mutation switch: every
+	// conflict check answers "no conflict" (spec-oracle testing only).
+	unsafeSkipConflictCheck bool
 }
 
 // Bind is called by core.NewRuntime; the scheduler picks up the
@@ -349,6 +353,13 @@ type Options struct {
 	// DisableRootRW turns off the §5.5.2 root read-write-lock fast path
 	// (used by the ablation benchmarks).
 	DisableRootRW bool
+	// UnsafeSkipConflictCheck makes admission ignore held conflicting
+	// effects — a deliberately broken scheduler that enables every waiting
+	// task unconditionally. It exists solely as the seeded mutation for
+	// the admission-spec oracles (internal/spec): both the model checker
+	// and the trace-refinement check must catch it. Never use it to run
+	// real work.
+	UnsafeSkipConflictCheck bool
 }
 
 // New returns an empty tree scheduler with all optimizations enabled.
@@ -362,8 +373,9 @@ func NewWithOptions(opts Options) *Scheduler {
 		root.childSync = new(sync.Map)
 	}
 	return &Scheduler{
-		root:    root,
-		waiting: make(map[*core.Future]struct{}),
+		root:                    root,
+		waiting:                 make(map[*core.Future]struct{}),
+		unsafeSkipConflictCheck: opts.UnsafeSkipConflictCheck,
 	}
 }
 
@@ -920,6 +932,9 @@ func (s *Scheduler) checkBelow(n *node, e *effInst, ne *node, prio bool) bool {
 // the new effect's task are forgiven — unless a spawned child of the
 // blocked task still holds a conflicting effect.
 func (s *Scheduler) conflicts(ep, e *effInst) bool {
+	if s.unsafeSkipConflictCheck {
+		return false
+	}
 	s.conflictChecks.Add(1)
 	c := s.conflictsInner(ep, e)
 	if s.tracer != nil {

@@ -1,0 +1,60 @@
+#!/bin/sh
+# spec-smoke: gate for the executable admission spec (DESIGN.md §15).
+# Four phases, all bounded and deterministic:
+#
+#   1. unit — the spec/effect/schedfuzz spec-adjacent test batteries
+#      under -race (model checker, refinement oracle, event-log codec,
+#      Covers conformance, broken-scheduler rejection).
+#   2. explore — exhaustively model-check every preset configuration
+#      (must be violation-free), then prove each seeded mutation is
+#      caught with a counterexample (-expect-violation): the checker
+#      must be able to fail, or a clean pass means nothing.
+#   3. refine fuzz — pinned-seed differential fuzz with the refinement
+#      oracle attached (twe-fuzz -refine): every run under both
+#      schedulers doubles as a trace-refinement check, including fault
+#      and batch modes.
+#   4. dump round trip — run a real workload with the event-log export
+#      (twe-trace -eventlog), then validate the dump with twe-spec
+#      -refine: the CLI path a live twe-serve investigation would use.
+#
+# Run via `make spec-smoke` or directly. Exits non-zero on any failure.
+set -eu
+
+TMP="$(mktemp -d /tmp/twe-spec-smoke.XXXXXX)"
+SPEC="$TMP/twe-spec"
+TRACE="$TMP/twe-trace"
+
+cleanup() { rm -rf "$TMP"; }
+trap cleanup EXIT INT TERM
+
+echo '-- spec unit tests (-race) --'
+go test -race ./internal/spec/
+go test -race -run 'TestCovers' ./internal/effect/
+go test -race -run 'TestRefine' ./internal/schedfuzz/ ./internal/svc/ -count=1
+
+echo '-- explore: all presets must hold --'
+go build -o "$SPEC" ./cmd/twe-spec
+"$SPEC" -explore
+
+echo '-- explore: every mutation must be caught --'
+"$SPEC" -explore -preset pair -mutate skip-conflict -expect-violation
+"$SPEC" -explore -preset batch -mutate skip-register -expect-violation
+"$SPEC" -explore -preset cancel -mutate leak-cancel -expect-violation
+
+echo '-- TLA+ export must render --'
+"$SPEC" -tla -preset pair -o "$TMP/pair.tla"
+test -s "$TMP/pair.tla"
+
+echo '-- refinement-checked differential fuzz --'
+go run ./cmd/twe-fuzz -refine -seed 0 -n 150 -schedules 2 -timeout 20s
+go run ./cmd/twe-fuzz -refine -faults -seed 0 -n 60 -schedules 1 -timeout 20s
+go run ./cmd/twe-fuzz -refine -batch -seed 0 -n 60 -schedules 1 -timeout 20s
+
+echo '-- event-log dump round trip --'
+go build -o "$TRACE" ./cmd/twe-trace
+"$TRACE" -app kmeans -sched tree -par 4 -isolcheck -eventlog "$TMP/kmeans.jsonl"
+"$TRACE" -faults -eventlog "$TMP/faults.jsonl"
+"$SPEC" -refine "$TMP/kmeans.jsonl"
+"$SPEC" -refine "$TMP/faults.jsonl"
+
+echo 'spec-smoke: OK'
