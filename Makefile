@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz faults obs-smoke serve serve-smoke batch-smoke proto-smoke prof-smoke spec-smoke proto-fuzz check
+.PHONY: build test race vet fuzz faults obs-smoke serve serve-smoke batch-smoke proto-smoke prof-smoke spec-smoke cluster-smoke proto-fuzz check
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,16 @@ prof-smoke:
 # trip through twe-spec -refine.
 spec-smoke:
 	./scripts/spec-smoke.sh
+
+# Effect-sharded cluster gate (see DESIGN.md §16): the routing property
+# tests + router integration battery under -race, then the end-to-end
+# smoke (cross-shard spec exploration, a router fronting two shard
+# daemons on both cross lanes, fault-mode release, SIGTERM drain audits
+# fleet-wide, and the single-vs-two-shard scale-out bench pair that
+# writes BENCH_cluster.json).
+cluster-smoke:
+	$(GO) test -race ./internal/cluster/ ./internal/spec/
+	./scripts/cluster-smoke.sh
 
 # Open-ended coverage-guided fuzzing of the v2 frame decoders (the
 # pinned corpus replays in ordinary test runs; this explores beyond it).

@@ -92,6 +92,14 @@ BENCH_PROF_OUT=/tmp/BENCH_prof.json ./scripts/prof-smoke.sh
 echo '== spec smoke =='
 ./scripts/spec-smoke.sh
 
+# Effect-sharded cluster smoke (DESIGN.md §16): exhaustive cross-shard
+# two-phase model checking, a router fronting two shard daemons (2pc and
+# serial cross lanes, fault-mode release, fleet accounting identities,
+# SIGTERM drain audits fleet-wide), and the single-vs-two-shard
+# scale-out bench pair (writes BENCH_cluster.json, ratio gated >= 1.7).
+echo '== cluster smoke =='
+BENCH_CLUSTER_OUT=/tmp/BENCH_cluster.json ./scripts/cluster-smoke.sh
+
 # Perf snapshots of the in-process workloads via the -apps filter:
 # BENCH_server.json plus BENCH_batch.json (batched vs per-task
 # submission throughput; schemas in EXPERIMENTS.md).

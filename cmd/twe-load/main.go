@@ -17,6 +17,14 @@
 // §14); -debug-url GETs the server's /debug/twe snapshot after the run
 // and -expect-contention makes the run fail unless stall time was
 // attributed and the hottest effect subtree matches the given regexp.
+//
+// Cluster mode: point -addr at a twe-router and -cluster-url at its
+// control plane. The same per-connection oracles and the exact sweep
+// apply unchanged (the router answers stats from its own client-facing
+// counters), and after the run the fleet snapshot is checked against
+// the routing accounting identities (DESIGN.md §16). With -json the
+// report is written as BENCH_cluster.json instead, including per-member
+// rps/p99 and — when -baseline-rps is given — the scale-out ratio.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"twe/internal/cluster"
 	"twe/internal/svc"
 )
 
@@ -53,6 +62,8 @@ var (
 	traceIDFlag  = flag.Bool("trace-ids", false, "stamp every request with a per-connection trace id")
 	debugFlag    = flag.String("debug-url", "", "GET this /debug/twe URL after the run and print the snapshot")
 	contendFlag  = flag.String("expect-contention", "", "with -debug-url: fail unless total stall > 0 and the top effect subtree matches this regexp")
+	clusterFlag  = flag.String("cluster-url", "", "twe-router control-plane base URL; fetch the fleet snapshot after the run and check the accounting identities")
+	baseRPSFlag  = flag.Float64("baseline-rps", 0, "single-node baseline throughput; with -cluster-url -json, records the scale-out ratio in BENCH_cluster.json")
 )
 
 func resolveAddr() (string, error) {
@@ -207,8 +218,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "twe-load: -expect-shed: no shedding or backpressure observed")
 		code = 1
 	}
+	var fleet *cluster.Snapshot
+	if *clusterFlag != "" {
+		snap, err := cluster.FetchSnapshot(*clusterFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twe-load: cluster:", err)
+			code = 1
+		} else {
+			fleet = snap
+			var fwd, prep, srv int64
+			for _, m := range snap.Members {
+				fwd += m.Fwd
+				prep += m.Prep
+				srv += m.Srv
+			}
+			fmt.Printf("twe-load: fleet %s: members=%d cross-lane=%s fwd=%d prep=%d member-served=%d\n",
+				*clusterFlag, len(snap.Members), snap.CrossLane, fwd, prep, srv)
+			if probs := cluster.FleetCheck(snap); len(probs) > 0 {
+				fmt.Fprintf(os.Stderr, "twe-load: %d FLEET ACCOUNTING VIOLATION(S):\n", len(probs))
+				for _, p := range probs {
+					fmt.Fprintln(os.Stderr, "  ", p)
+				}
+				code = 1
+			} else {
+				fmt.Println("twe-load: fleet accounting clean")
+			}
+		}
+	}
 	if *jsonFlag != "" {
-		if err := rep.WriteBench(*jsonFlag, cfg); err != nil {
+		var err error
+		if fleet != nil {
+			err = cluster.BuildBench(rep, fleet, cfg, *baseRPSFlag).WriteBench(*jsonFlag)
+		} else {
+			err = rep.WriteBench(*jsonFlag, cfg)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "twe-load: bench:", err)
 			code = 1
 		} else {

@@ -50,11 +50,15 @@ var (
 	metricsFlag     = flag.String("metrics-addr", "", "HTTP listen address for /metrics (empty = disabled)")
 	metricsFileFlag = flag.String("metrics-addr-file", "", "write the bound metrics address to this file")
 	drainFlag       = flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound")
+	shardIDFlag     = flag.Int("shard-id", -1, "stable shard id inside a twe-cluster fleet (-1 = standalone)")
+	advertiseFlag   = flag.String("advertise", "", "address published to the cluster control plane (empty = listen address)")
+	prepareFlag     = flag.Duration("prepare-timeout", 0, "cross-shard prepared-hold bound before self-abort (0 = 5s default)")
+	holdFlag        = flag.Duration("hold", 0, "artificial per-op service time (sleep at body start); makes cluster benches latency-bound on small machines")
 )
 
 func main() {
 	flag.Parse()
-	s, err := svc.Start(svc.Config{
+	cfg := svc.Config{
 		Addr:        *addrFlag,
 		Sched:       *schedFlag,
 		Par:         *parFlag,
@@ -66,13 +70,20 @@ func main() {
 		ReqTrace:    *reqTraceFlag,
 		TraceEvents: *traceEventsFlag,
 		TaskLog:     *elogFlag != "",
-	})
+		ShardID:     *shardIDFlag,
+		Advertise:   *advertiseFlag,
+		PrepareHold: *prepareFlag,
+	}
+	if d := *holdFlag; d > 0 {
+		cfg.Hold = func(string, int) { time.Sleep(d) }
+	}
+	s, err := svc.Start(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "twe-serve:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("twe-serve: listening on %s (sched=%s par=%d shards=%d keys=%d max-inflight=%d deadline=%v)\n",
-		s.Addr(), *schedFlag, *parFlag, *shardsFlag, *keysFlag, *maxInflightFlag, *deadlineFlag)
+	fmt.Printf("twe-serve: listening on %s (sched=%s par=%d shards=%d keys=%d max-inflight=%d deadline=%v shard-id=%d)\n",
+		s.Addr(), *schedFlag, *parFlag, *shardsFlag, *keysFlag, *maxInflightFlag, *deadlineFlag, s.ShardID())
 	if *addrFileFlag != "" {
 		if err := os.WriteFile(*addrFileFlag, []byte(s.Addr()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "twe-serve:", err)
@@ -80,8 +91,10 @@ func main() {
 		}
 	}
 
+	var mln net.Listener
 	if *metricsFlag != "" {
-		mln, err := net.Listen("tcp", *metricsFlag)
+		var err error
+		mln, err = net.Listen("tcp", *metricsFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "twe-serve: metrics listen:", err)
 			os.Exit(2)
@@ -122,6 +135,11 @@ func main() {
 	if err := s.Drain(*drainFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "twe-serve:", err)
 		code = 1
+	}
+	// The debug mux outlives the drain on purpose (orchestrators scrape
+	// final metrics); close its listener only once the audit is done.
+	if mln != nil {
+		mln.Close()
 	}
 	st := s.Stats()
 	fmt.Printf("twe-serve: drained: conns=%d (v1=%d v2=%d) requests=%d served=%d shed=%d busy=%d cancelled=%d rejected=%d errors=%d disconnects=%d effcache=%d/%d effregs=%d inflight-peak=%d\n",

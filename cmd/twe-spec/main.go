@@ -14,17 +14,26 @@
 // -eventlog`, `twe-serve -eventlog`, or obs.WriteEventLog — as a
 // candidate behavior the model must accept.
 //
+// Cluster mode (-cluster) switches to the cross-shard two-phase model
+// (DESIGN.md §16): coordinator rounds acquiring prepared holds member
+// by member, with its own invariant catalog (C1..C4 plus deadlock) and
+// its own mutation set.
+//
 // Usage:
 //
 //	twe-spec -list
 //	twe-spec -explore [-preset NAME] [-mutate M] [-expect-violation] [-max-states N]
+//	twe-spec -explore -cluster [-preset NAME] [-mutate M] [-expect-violation]
 //	twe-spec -tla [-preset NAME] [-mutate M] [-o FILE]
 //	twe-spec -refine FILE [-partial]
 //
-// Mutations: skip-conflict, skip-register, leak-cancel.
+// Mutations: skip-conflict, skip-register, leak-cancel; with -cluster:
+// concurrent-rounds, unordered-prepare, early-commit, leak-abort.
 //
 // Exhaustive check of every preset:   twe-spec -explore
 // Prove a mutation is caught:         twe-spec -explore -preset pair -mutate skip-conflict -expect-violation
+// Check the cross-shard lane:         twe-spec -explore -cluster
+// Prove prepare ordering matters:     twe-spec -explore -cluster -preset cross-conflict -mutate unordered-prepare -expect-violation
 // Export TLA+ for TLC:                twe-spec -tla -preset full -o full.tla
 // Validate a live event dump:         twe-spec -refine events.jsonl
 package main
@@ -43,8 +52,9 @@ func main() {
 	explore := flag.Bool("explore", false, "exhaustively model-check preset configuration(s)")
 	tla := flag.Bool("tla", false, "export the configuration as a TLA+ module")
 	refine := flag.String("refine", "", "replay the JSONL event-log FILE against the admission model")
+	cluster := flag.Bool("cluster", false, "model-check the cross-shard two-phase lane instead of single-node admission")
 	preset := flag.String("preset", "", "preset name (empty = all presets, for -explore)")
-	mutate := flag.String("mutate", "", "seed a contract break: skip-conflict, skip-register, or leak-cancel")
+	mutate := flag.String("mutate", "", "seed a contract break: skip-conflict, skip-register, or leak-cancel (with -cluster: concurrent-rounds, unordered-prepare, early-commit, leak-abort)")
 	expectViolation := flag.Bool("expect-violation", false, "exit 0 only if exploration finds a violation (mutation testing)")
 	maxStates := flag.Int("max-states", 0, "abort exploration beyond this many states (0 = default bound)")
 	partial := flag.Bool("partial", false, "refine a non-quiescent (partial) dump: skip the end-of-log quiescence rule")
@@ -54,18 +64,86 @@ func main() {
 	switch {
 	case *list:
 		for _, c := range spec.Presets() {
-			fmt.Printf("%-10s %d tasks  (cancel=%v, maxInflight=%d)\n",
+			fmt.Printf("%-14s %d tasks  (cancel=%v, maxInflight=%d)\n",
 				c.Name, len(c.Tasks), c.AllowCancel, c.MaxInflight)
+		}
+		for _, c := range spec.ClusterPresets() {
+			fmt.Printf("%-14s %d ops over %d members  (abort=%v, cluster)\n",
+				c.Name, len(c.Ops), c.Members, c.AllowAbort)
 		}
 	case *refine != "":
 		runRefine(*refine, *partial)
 	case *tla:
 		runTLA(*preset, *mutate, *out)
+	case *explore && *cluster:
+		runClusterExplore(*preset, *mutate, *expectViolation, *maxStates)
 	case *explore:
 		runExplore(*preset, *mutate, *expectViolation, *maxStates)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// clusterConfigs resolves -preset (empty = all) and applies -mutate for
+// cluster mode.
+func clusterConfigs(preset, mutate string) []*spec.ClusterConfig {
+	var cfgs []*spec.ClusterConfig
+	if preset == "" {
+		cfgs = spec.ClusterPresets()
+	} else {
+		c := spec.ClusterPreset(preset)
+		if c == nil {
+			fmt.Fprintf(os.Stderr, "twe-spec: no cluster preset %q (have: %s)\n",
+				preset, strings.Join(spec.ClusterPresetNames(), ", "))
+			os.Exit(2)
+		}
+		cfgs = []*spec.ClusterConfig{c}
+	}
+	for _, c := range cfgs {
+		switch mutate {
+		case "":
+		case "concurrent-rounds":
+			c.Mutations.ConcurrentRounds = true
+		case "unordered-prepare":
+			c.Mutations.UnorderedPrepare = true
+		case "early-commit":
+			c.Mutations.EarlyCommit = true
+		case "leak-abort":
+			c.Mutations.LeakOnAbort = true
+		default:
+			fmt.Fprintf(os.Stderr, "twe-spec: unknown cluster mutation %q (want concurrent-rounds, unordered-prepare, early-commit, or leak-abort)\n", mutate)
+			os.Exit(2)
+		}
+	}
+	return cfgs
+}
+
+func runClusterExplore(preset, mutate string, expectViolation bool, maxStates int) {
+	violations := 0
+	for _, cfg := range clusterConfigs(preset, mutate) {
+		res, err := spec.ClusterExplore(cfg, spec.ExploreOpts{MaxStates: maxStates})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "twe-spec: %s: %v\n", cfg.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-14s %7d states %8d transitions  %v\n",
+			cfg.Name, res.States, res.Transitions, res.Elapsed)
+		if res.Violation != nil {
+			violations++
+			fmt.Printf("%s\n", res.Violation)
+		}
+	}
+	if expectViolation {
+		if violations == 0 {
+			fmt.Fprintln(os.Stderr, "twe-spec: expected a violation, found none — the mutation went uncaught")
+			os.Exit(1)
+		}
+		fmt.Printf("mutation caught (%d violation(s))\n", violations)
+		return
+	}
+	if violations > 0 {
+		os.Exit(1)
 	}
 }
 

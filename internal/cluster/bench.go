@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"twe/internal/svc"
+)
+
+// FetchSnapshot pulls the /cluster snapshot from a router control-plane
+// base URL ("http://host:port").
+func FetchSnapshot(controlURL string) (*Snapshot, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(controlURL + "/cluster")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s/cluster: %s", controlURL, resp.Status)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// FleetCheck verifies the cluster-wide accounting identities against a
+// snapshot taken at idle after a fault-free run:
+//
+//   - member.Requests == Fwd + Prep — every data op a member accounted
+//     for entered through this router, exactly once (no lost or
+//     duplicated forwards, no stray writers)
+//   - member.Served == Srv — every served outcome the member counted was
+//     relayed (or committed) by the router, exactly once
+//   - member.Inflight == 0 and no held prepares — the fleet quiesced:
+//     every hold was committed, aborted, or reaped
+//
+// It returns one violation string per broken identity.
+func FleetCheck(snap *Snapshot) []string {
+	var violations []string
+	v := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+	for _, m := range snap.Members {
+		if m.Stats == nil {
+			v("member %d: no stats in snapshot (%s)", m.ID, m.ProbeErr)
+			continue
+		}
+		if want := m.Fwd + m.Prep; m.Stats.Requests != want {
+			v("member %d: requests %d != router fwd %d + prep %d", m.ID, m.Stats.Requests, m.Fwd, m.Prep)
+		}
+		if m.Stats.Served != m.Srv {
+			v("member %d: served %d != router-observed %d", m.ID, m.Stats.Served, m.Srv)
+		}
+		if m.Stats.Inflight != 0 {
+			v("member %d: inflight gauge leaked: %d", m.ID, m.Stats.Inflight)
+		}
+	}
+	return violations
+}
+
+// MemberBench is one member's row in BENCH_cluster.json.
+type MemberBench struct {
+	ID        int     `json:"id"`
+	Addr      string  `json:"addr"`
+	Served    int64   `json:"served"`
+	RPS       float64 `json:"rps"` // member served ops / drive-phase seconds
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	Fwd       int64   `json:"fwd"`
+	Prep      int64   `json:"prep"`
+	Inflight  int64   `json:"inflight"`
+	HeldPreps int64   `json:"held_prepares"`
+}
+
+// BenchReport is the BENCH_cluster.json schema (EXPERIMENTS.md): the
+// fleet-wide twe-load result plus the per-member split, alongside the
+// single-node baseline the scale-out ratio is judged against.
+type BenchReport struct {
+	Members   int     `json:"members"`
+	CrossLane string  `json:"cross_lane"`
+	Sched     string  `json:"sched"`
+	Conns     int     `json:"conns"`
+	Requests  int     `json:"requests_per_conn"`
+	Conflict  float64 `json:"conflict"`
+
+	ClusterRPS    float64 `json:"cluster_rps"`
+	BaselineRPS   float64 `json:"baseline_rps"` // same config, one node, 0 when not measured
+	ScaleoutRatio float64 `json:"scaleout_ratio"`
+
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+
+	PerMember []MemberBench `json:"per_member"`
+
+	Checks     int64    `json:"checks"`
+	Violations []string `json:"violations"`
+}
+
+// BuildBench folds a twe-load report and a post-run snapshot into the
+// cluster bench row. elapsed is the drive-phase duration the per-member
+// rps is computed over.
+func BuildBench(rep *svc.LoadReport, snap *Snapshot, cfg svc.LoadConfig, baselineRPS float64) *BenchReport {
+	b := &BenchReport{
+		Members:    len(snap.Members),
+		CrossLane:  snap.CrossLane,
+		Sched:      rep.Sched,
+		Conns:      rep.Conns,
+		Requests:   rep.RequestsPerConn,
+		Conflict:   cfg.Conflict,
+		ClusterRPS: rep.ThroughputRPS,
+		P50MS:      float64(rep.P50NS) / 1e6,
+		P99MS:      float64(rep.P99NS) / 1e6,
+		Checks:     rep.Checks,
+		Violations: rep.Violations,
+	}
+	b.BaselineRPS = baselineRPS
+	if baselineRPS > 0 {
+		b.ScaleoutRatio = b.ClusterRPS / baselineRPS
+	}
+	sec := float64(rep.ElapsedNS) / 1e9
+	for _, m := range snap.Members {
+		mb := MemberBench{ID: m.ID, Addr: m.Addr, Fwd: m.Fwd, Prep: m.Prep,
+			Inflight: m.Inflight, HeldPreps: m.HeldPrepares,
+			P50MS: float64(m.P50NS) / 1e6, P99MS: float64(m.P99NS) / 1e6}
+		if m.Stats != nil {
+			mb.Served = m.Stats.Served
+			if sec > 0 {
+				mb.RPS = float64(m.Stats.Served) / sec
+			}
+		}
+		b.PerMember = append(b.PerMember, mb)
+	}
+	return b
+}
+
+// WriteBench renders the report as indented JSON to path.
+func (b *BenchReport) WriteBench(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

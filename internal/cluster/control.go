@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"twe/internal/svc"
+)
+
+// MemberStatus is one member's row in the control-plane snapshot:
+// identity and health from the prober, the router's ledger for the
+// member, and the member's own wire stats fetched at snapshot time.
+type MemberStatus struct {
+	ID    int    `json:"id"`
+	Addr  string `json:"addr"`
+	Debug string `json:"debug,omitempty"`
+
+	Healthy         bool   `json:"healthy"`
+	ProbeErr        string `json:"probe_err,omitempty"`
+	ReportedShardID int64  `json:"reported_shard_id"` // -2 = never probed
+	HeldPrepares    int64  `json:"held_prepares"`
+	Inflight        int64  `json:"inflight"`
+
+	// Router-side ledger (see shardCounters) and latency digests.
+	Fwd   int64 `json:"fwd"`
+	Prep  int64 `json:"prep"`
+	Srv   int64 `json:"srv"`
+	P50NS int64 `json:"p50_ns"`
+	P99NS int64 `json:"p99_ns"`
+
+	// The member's own counters, fetched over the wire at snapshot time
+	// (nil if the member was unreachable).
+	Stats *svc.StatsBody `json:"stats,omitempty"`
+}
+
+// Snapshot is the /cluster payload: the full fleet view the oracles
+// check (bench.go FleetCheck) and operators read.
+type Snapshot struct {
+	CrossLane string         `json:"cross_lane"`
+	Members   []MemberStatus `json:"members"`
+	Router    svc.StatsBody  `json:"router"`
+}
+
+// Snapshot assembles the fleet view, dialing each member for its live
+// stats (stats ops are inline control ops member-side, so snapshots
+// never perturb the data-op accounting).
+func (r *Router) Snapshot() Snapshot {
+	snap := Snapshot{CrossLane: r.cfg.CrossLane, Router: r.Stats()}
+	for i := 0; i < r.n; i++ {
+		ms := MemberStatus{
+			ID:              i,
+			Addr:            r.cfg.Shards[i],
+			Healthy:         r.health[i].healthy.Load(),
+			ReportedShardID: r.health[i].shardID.Load(),
+			HeldPrepares:    r.health[i].heldPrepares.Load(),
+			Inflight:        r.health[i].inflight.Load(),
+			Fwd:             r.perShard[i].Fwd.Load(),
+			Prep:            r.perShard[i].Prep.Load(),
+			Srv:             r.perShard[i].Srv.Load(),
+			P50NS:           r.lat[i].Quantile(0.50),
+			P99NS:           r.lat[i].Quantile(0.99),
+		}
+		if len(r.cfg.ShardDebug) > 0 {
+			ms.Debug = r.cfg.ShardDebug[i]
+		}
+		if e := r.health[i].lastErr.Load(); e != nil {
+			ms.ProbeErr = *e
+		}
+		if st, err := r.memberStats(i); err == nil {
+			ms.Stats = st
+		} else {
+			ms.ProbeErr = err.Error()
+		}
+		snap.Members = append(snap.Members, ms)
+	}
+	return snap
+}
+
+// memberStats fetches member i's wire stats over a short-lived v1
+// connection (snapshots are rare; keeping no idle conns means drain
+// audits never see a phantom session beyond the snapshot instant).
+func (r *Router) memberStats(i int) (*svc.StatsBody, error) {
+	c, err := svc.Dial(r.cfg.Shards[i])
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Stats()
+}
+
+// Handler serves the control plane:
+//
+//	GET /cluster  — JSON Snapshot
+//	GET /healthz  — 200 when every member's last probe succeeded (503
+//	                otherwise; always 200 when no debug URLs are
+//	                configured, since there is nothing to probe)
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if len(r.cfg.ShardDebug) == 0 {
+			fmt.Fprintln(w, "ok (unprobed)")
+			return
+		}
+		for i := 0; i < r.n; i++ {
+			if !r.health[i].healthy.Load() {
+				msg := "probe pending"
+				if e := r.health[i].lastErr.Load(); e != nil {
+					msg = *e
+				}
+				http.Error(w, fmt.Sprintf("member %d unhealthy: %s", i, msg), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// probeLoop polls each member's /debug/twe every ProbeEvery, verifying
+// the member's stable shard id matches its fleet index (a swapped or
+// stale address is a routing hazard, not a liveness blip) and recording
+// the held-prepare and in-flight gauges for /cluster.
+func (r *Router) probeLoop() {
+	defer close(r.probeDone)
+	if len(r.cfg.ShardDebug) == 0 {
+		return
+	}
+	client := &http.Client{Timeout: 2 * time.Second}
+	tick := time.NewTicker(r.cfg.ProbeEvery)
+	defer tick.Stop()
+	probe := func() {
+		for i := 0; i < r.n; i++ {
+			snap, err := fetchDebug(client, r.cfg.ShardDebug[i])
+			h := &r.health[i]
+			if err != nil {
+				msg := err.Error()
+				h.lastErr.Store(&msg)
+				h.healthy.Store(false)
+				continue
+			}
+			h.shardID.Store(int64(snap.ShardID))
+			h.heldPrepares.Store(int64(snap.HeldPrepares))
+			h.inflight.Store(snap.Inflight)
+			if snap.ShardID != i {
+				msg := fmt.Sprintf("reports shard id %d, want %d", snap.ShardID, i)
+				h.lastErr.Store(&msg)
+				h.healthy.Store(false)
+				continue
+			}
+			h.lastErr.Store(nil)
+			h.healthy.Store(true)
+		}
+	}
+	probe()
+	for {
+		select {
+		case <-r.probeStop:
+			return
+		case <-tick.C:
+			probe()
+		}
+	}
+}
+
+func fetchDebug(client *http.Client, base string) (*svc.DebugSnapshot, error) {
+	resp, err := client.Get(base + "/debug/twe")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s/debug/twe: %s", base, resp.Status)
+	}
+	var snap svc.DebugSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"twe/internal/effect"
+	"twe/internal/svc"
+)
+
+// coordinator runs the cross-shard lanes (DESIGN.md §16). Both lanes are
+// fully serialized behind mu — one cross-shard op in the system at a
+// time — which is what makes the two-phase lane trivially deadlock-free:
+// holds from two concurrent coordinator rounds can never wait on each
+// other because there is never more than one round. Single-shard traffic
+// keeps flowing throughout (2pc lane); the holds themselves provide the
+// atomicity:
+//
+//	prepare (ascending member order) → ack'd StatusPrepared per member
+//	→ commit all → combine outcomes
+//
+// A prepared ack means the hold's body started, i.e. its effects are
+// held on that member: every conflicting single-shard op admitted before
+// the hold has finished, every one admitted after waits for release. By
+// the time any commit executes, holds exist on *all* touched members, so
+// the committed bodies read/write a consistent cut. On any prepare
+// failure every already-prepared hold is aborted — release on abort is
+// the shard-side guarantee (svc prepare holds resolve on abort, expiry,
+// or disconnect).
+//
+// The serial lane instead quiesces the router (flow write-lock): no
+// forwarded op is outstanding anywhere while the pieces run one by one,
+// trading all concurrency for protocol simplicity.
+type coordinator struct {
+	r  *Router
+	mu sync.Mutex
+
+	conns  []*svc.Client // per member, protocol v1, lazily dialed
+	nextID uint64
+}
+
+func newCoordinator(r *Router) *coordinator {
+	return &coordinator{r: r, conns: make([]*svc.Client, r.n)}
+}
+
+func (co *coordinator) conn(k int) (*svc.Client, error) {
+	if c := co.conns[k]; c != nil {
+		return c, nil
+	}
+	// The two-phase ops are v1-only wire ops; the coordinator keeps one
+	// dedicated JSON connection per member.
+	c, err := svc.DialProto(co.r.cfg.Shards[k], svc.ProtoV1)
+	if err != nil {
+		return nil, err
+	}
+	co.conns[k] = c
+	return c, nil
+}
+
+// dropConn discards member k's coordinator connection after a transport
+// error; the next round re-dials.
+func (co *coordinator) dropConn(k int) {
+	if c := co.conns[k]; c != nil {
+		c.Close()
+		co.conns[k] = nil
+	}
+}
+
+func (co *coordinator) close() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for k, c := range co.conns {
+		if c != nil {
+			c.Close()
+			co.conns[k] = nil
+		}
+	}
+}
+
+// crossOp admits one cross-shard or global data op over every member in
+// the decision's mask. The response carries the combined outcome: a
+// scan's value is the sum of every member's piece; other ops take the
+// owner member's value. The caller (the session reader) has already
+// barriered its own outstanding single-shard ops, so program order per
+// client holds.
+func (r *Router) crossOp(clientSid int, req *svc.Request, declared effect.Set, dec Decision) *svc.Response {
+	owner := OwnerOfKey(req.Key, r.storeShards, r.n)
+	scanAll := req.Op == svc.OpScan
+	if r.cfg.CrossLane == "serial" {
+		return r.coord.runSerial(clientSid, req, declared, dec.Mask, owner, scanAll)
+	}
+	return r.coord.runTwoPhase(clientSid, req, declared, dec.Mask, owner, scanAll)
+}
+
+// rewriteFor maps the client's declared effect into one coordinator
+// connection's session namespace.
+func rewriteFor(declared effect.Set, clientSid int, c *svc.Client) (string, error) {
+	rw, err := RewriteSession(declared, clientSid, c.SID)
+	if err != nil {
+		return "", err
+	}
+	return rw.String(), nil
+}
+
+type leg struct {
+	shard  int
+	prepID uint64
+	c      *svc.Client
+}
+
+func (co *coordinator) runTwoPhase(clientSid int, req *svc.Request, declared effect.Set, mask uint64, owner int, scanAll bool) *svc.Response {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	fail := func(status, format string, args ...any) *svc.Response {
+		return &svc.Response{Status: status, Err: fmt.Sprintf(format, args...)}
+	}
+	var legs []leg
+	abortAll := func() {
+		for _, l := range legs {
+			co.nextID++
+			if _, err := l.c.Do(&svc.Request{ID: co.nextID, Op: svc.OpAbort, Target: l.prepID}); err != nil {
+				co.dropConn(l.shard)
+			}
+		}
+	}
+	// Phase 1: prepare a hold on every touched member, ascending member
+	// order, each ack'd before the next goes out. The sub op (the body a
+	// commit will run) goes to the owner — or to every member for a scan,
+	// whose pieces sum; the rest hold pure.
+	for k := 0; k < co.r.n; k++ {
+		if mask&(1<<uint(k)) == 0 {
+			continue
+		}
+		c, err := co.conn(k)
+		if err != nil {
+			abortAll()
+			return fail(svc.StatusError, "member %d unavailable: %v", k, err)
+		}
+		eff, err := rewriteFor(declared, clientSid, c)
+		if err != nil {
+			abortAll()
+			return fail(svc.StatusRejected, "%v", err)
+		}
+		sub := ""
+		if scanAll || k == owner {
+			sub = req.Op
+		}
+		co.nextID++
+		prepID := co.nextID
+		co.r.perShard[k].Prep.Add(1)
+		resp, err := c.Do(&svc.Request{ID: prepID, Op: svc.OpPrepare, Sub: sub,
+			Key: req.Key, Val: req.Val, Eff: eff})
+		if err != nil {
+			co.dropConn(k)
+			abortAll()
+			return fail(svc.StatusError, "member %d prepare failed: %v", k, err)
+		}
+		if resp.Status != svc.StatusPrepared {
+			// The member refused (busy/rejected) or the hold resolved
+			// before starting; relay its verdict after releasing the rest.
+			abortAll()
+			return &svc.Response{Status: resp.Status, Err: resp.Err}
+		}
+		legs = append(legs, leg{shard: k, prepID: prepID, c: c})
+	}
+	if len(legs) == 0 {
+		return fail(svc.StatusRejected, "cross-shard op touches no member")
+	}
+	// Phase 2: every member holds; commit them all and combine outcomes.
+	out := &svc.Response{Status: svc.StatusOK}
+	var sum, ownerVal int64
+	for _, l := range legs {
+		co.nextID++
+		resp, err := l.c.Do(&svc.Request{ID: co.nextID, Op: svc.OpCommit, Target: l.prepID})
+		if err != nil {
+			co.dropConn(l.shard)
+			out = fail(svc.StatusError, "member %d commit failed: %v", l.shard, err)
+			continue
+		}
+		if resp.Status == svc.StatusOK {
+			co.r.perShard[l.shard].Srv.Add(1)
+			sum += resp.Val
+			if l.shard == owner {
+				ownerVal = resp.Val
+			}
+			continue
+		}
+		// A hold's body failed (shed on deadline, dyneff error, ...):
+		// the combined op reports the first failure.
+		if out.Status == svc.StatusOK {
+			out = &svc.Response{Status: resp.Status, Err: resp.Err}
+		}
+	}
+	if out.Status == svc.StatusOK {
+		if scanAll {
+			out.Val = sum
+		} else {
+			out.Val = ownerVal
+		}
+	}
+	return out
+}
+
+// runSerial is the stop-the-world fallback lane: quiesce every forwarded
+// op (flow write-lock), then run the pieces one by one as plain data ops
+// on the coordinator connections. Nothing else is in flight anywhere in
+// the fleet while it runs, which is the whole atomicity argument.
+func (co *coordinator) runSerial(clientSid int, req *svc.Request, declared effect.Set, mask uint64, owner int, scanAll bool) *svc.Response {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.r.flow.Lock()
+	defer co.r.flow.Unlock()
+	out := &svc.Response{Status: svc.StatusOK}
+	var sum, ownerVal int64
+	for k := 0; k < co.r.n; k++ {
+		if mask&(1<<uint(k)) == 0 {
+			continue
+		}
+		if !scanAll && k != owner {
+			continue // nothing to run here, and nothing to hold: the world is stopped
+		}
+		c, err := co.conn(k)
+		if err != nil {
+			return &svc.Response{Status: svc.StatusError, Err: fmt.Sprintf("member %d unavailable: %v", k, err)}
+		}
+		eff, err := rewriteFor(declared, clientSid, c)
+		if err != nil {
+			return &svc.Response{Status: svc.StatusRejected, Err: err.Error()}
+		}
+		co.nextID++
+		co.r.perShard[k].Fwd.Add(1)
+		resp, err := c.Do(&svc.Request{ID: co.nextID, Op: req.Op, Key: req.Key, Val: req.Val, Eff: eff})
+		if err != nil {
+			co.dropConn(k)
+			return &svc.Response{Status: svc.StatusError, Err: fmt.Sprintf("member %d: %v", k, err)}
+		}
+		if resp.Status != svc.StatusOK {
+			if out.Status == svc.StatusOK {
+				out = &svc.Response{Status: resp.Status, Err: resp.Err}
+			}
+			continue
+		}
+		co.r.perShard[k].Srv.Add(1)
+		sum += resp.Val
+		if k == owner {
+			ownerVal = resp.Val
+		}
+	}
+	if out.Status == svc.StatusOK {
+		if scanAll {
+			out.Val = sum
+		} else {
+			out.Val = ownerVal
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"fmt"
+
+	"twe/internal/effect"
+	"twe/internal/rpl"
+)
+
+// RewriteSession maps a client's declared effect onto one upstream
+// connection's session namespace: every Session:[clientSid]... region
+// becomes Session:[upstreamSid]... with its tail intact, and any region
+// naming a *different* session id is rejected — a client may only
+// declare its own scratch subtree, clustered or not (the single-node
+// server enforces the same thing through Covers, since its required
+// sets name the connection's own sid).
+//
+// All other regions pass through untouched: Shard:[k] means the same
+// store region on whichever member owns it.
+func RewriteSession(set effect.Set, clientSid, upstreamSid int) (effect.Set, error) {
+	effs := make([]effect.Effect, 0, set.Len())
+	for i := 0; i < set.Len(); i++ {
+		e := set.At(i)
+		r := e.Region
+		if r.Len() >= 1 && r.Elem(0).Kind == rpl.Name && r.Elem(0).Name == "Session" {
+			if r.Len() < 2 {
+				return effect.Set{}, fmt.Errorf("cluster: bare Session region %q spans all sessions", r)
+			}
+			second := r.Elem(1)
+			if second.Kind != rpl.Index {
+				return effect.Set{}, fmt.Errorf("cluster: session region %q does not name a concrete session", r)
+			}
+			if second.Index != clientSid {
+				return effect.Set{}, fmt.Errorf("cluster: session region %q is not yours (session %d)", r, clientSid)
+			}
+			elems := append([]rpl.Elem{rpl.N("Session"), rpl.Idx(upstreamSid)}, r.Elems()[2:]...)
+			r = rpl.New(elems...)
+			if e.Write {
+				e = effect.WriteEff(r)
+			} else {
+				e = effect.Read(r)
+			}
+		}
+		effs = append(effs, e)
+	}
+	return effect.NewSet(effs...), nil
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"twe/internal/effect"
+	"twe/internal/rpl"
+	"twe/internal/svc"
+)
+
+func TestRewriteSessionMapsNamespace(t *testing.T) {
+	set, err := effect.Parse(svc.PutEffect(8, 5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RewriteSession(set, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := effect.Parse(svc.PutEffect(8, 5, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(want) {
+		t.Fatalf("rewrite: got %q, want %q", out, want)
+	}
+}
+
+func TestRewriteSessionPreservesTailAndMode(t *testing.T) {
+	set, err := effect.Parse("reads Root:Session:[2]:*, writes Root:Shard:[1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RewriteSession(set, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := effect.Parse("reads Root:Session:[9]:*, writes Root:Shard:[1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(want) {
+		t.Fatalf("rewrite: got %q, want %q", out, want)
+	}
+}
+
+func TestRewriteSessionRejectsForeign(t *testing.T) {
+	cases := []struct {
+		eff  string
+		frag string
+	}{
+		{"writes Root:Session:[4]", "not yours"}, // someone else's session
+		{"writes Root:Session", "spans"},         // bare Session subtree
+		{"writes Root:Session:*", "concrete"},    // wildcard session id
+		{"writes Root:Session:[?]", "concrete"},  // any-index session id
+	}
+	for _, tc := range cases {
+		set, err := effect.Parse(tc.eff)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.eff, err)
+		}
+		if _, err := RewriteSession(set, 3, 17); err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Fatalf("%q: err %v, want containing %q", tc.eff, err, tc.frag)
+		}
+	}
+}
+
+func TestRewriteSessionLeavesOthersAlone(t *testing.T) {
+	set := effect.NewSet(
+		effect.WriteEff(rpl.New(rpl.N("Shard"), rpl.Idx(2))),
+		effect.Read(rpl.New(rpl.N("Shard"), rpl.Any)),
+	)
+	out, err := RewriteSession(set, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(set) {
+		t.Fatalf("session-free set changed: got %q, want %q", out, set)
+	}
+}

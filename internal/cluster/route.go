@@ -1,0 +1,175 @@
+// Package cluster shards the TWE service across processes (DESIGN.md
+// §16): N twe-serve shard processes each run the full runtime and store
+// geometry, and a thin router terminates client connections, parses each
+// request's *declared effect*, and forwards it to the owner shard — the
+// effect is the routing key, just as it is the admission key inside one
+// process. Store shard k (region Shard:[k]) is owned by cluster member
+// k mod N, so any two effects routed to different members are disjoint
+// on the store subtree by construction; effects touching several
+// members' regions go through a serialized cross-shard lane (coord.go)
+// that admits a hold on every touched member via two-phase
+// prepare/commit before any body runs.
+package cluster
+
+import (
+	"twe/internal/effect"
+	"twe/internal/rpl"
+)
+
+// Kind classifies where an effect can be admitted.
+type Kind int
+
+const (
+	// KindNone: the effect names no store region at all (e.g. an add's
+	// pure session effect). The op can run anywhere; the router places it
+	// by key ownership so commutative per-key state stays on one member.
+	KindNone Kind = iota
+	// KindShard: every store region resolves to the single member Shard.
+	KindShard
+	// KindCross: store regions resolve to several members (Mask); the op
+	// needs the cross-shard lane.
+	KindCross
+	// KindGlobal: some region is not attributable to any member set
+	// (Root-level, unknown name, bare or parameterized Shard path) — only
+	// the full-fleet lane is safe.
+	KindGlobal
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindShard:
+		return "shard"
+	case KindCross:
+		return "cross"
+	default:
+		return "global"
+	}
+}
+
+// MaxMembers bounds the fleet size so a member set fits one uint64 mask.
+const MaxMembers = 64
+
+// Decision is Route's verdict for one declared effect.
+type Decision struct {
+	Kind  Kind
+	Shard int    // owner member, when Kind == KindShard
+	Mask  uint64 // touched members, when Kind == KindCross (bit i = member i)
+}
+
+// Route maps a declared effect to the cluster member(s) whose store
+// regions it touches, over a fleet of n members. The partition function
+// is owner(storeShard k) = k mod n; every region is classified as
+//
+//	Session:...            — placement-free (per-connection scratch; the
+//	                         router rewrites the sid per upstream anyway)
+//	Shard:[k]...           — owned by member k mod n
+//	Shard:<wildcard>...    — touches every member (mask = all)
+//	anything else          — global (Root writes, unknown subtrees, bare
+//	                         Shard, parameterized paths)
+//
+// The union of the members touched decides the Kind. Route is a pure
+// function of (effect, n): the property tests check that two effects
+// routed to different single members are Disjoint on the store subtree
+// for every concrete region pair.
+func Route(set effect.Set, n int) Decision {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxMembers {
+		n = MaxMembers
+	}
+	full := fullMask(n)
+	var mask uint64
+	global := false
+	for i := 0; i < set.Len(); i++ {
+		r := set.At(i).Region
+		switch regionClass(r) {
+		case regSession:
+			// placement-free
+		case regGlobal:
+			global = true
+		case regAllShards:
+			mask |= full
+		default:
+			k := r.Elem(1).Index
+			mask |= 1 << uint(k%n)
+		}
+	}
+	switch {
+	case global:
+		return Decision{Kind: KindGlobal, Mask: full}
+	case mask == 0:
+		return Decision{Kind: KindNone}
+	case mask&(mask-1) == 0:
+		return Decision{Kind: KindShard, Shard: bitIndex(mask)}
+	default:
+		return Decision{Kind: KindCross, Mask: mask}
+	}
+}
+
+// OwnerOfKey places a store-region-free op (KindNone) by key ownership:
+// the member owning the key's store shard, for a store of storeShards.
+func OwnerOfKey(key, storeShards, n int) int {
+	if storeShards < 1 {
+		storeShards = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	return (key % storeShards) % n
+}
+
+// fullMask is the all-members mask for a fleet of n.
+func fullMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+func bitIndex(mask uint64) int {
+	i := 0
+	for mask>>1 != 0 {
+		mask >>= 1
+		i++
+	}
+	return i
+}
+
+// region classes for Route.
+const (
+	regSession = iota
+	regShardIdx
+	regAllShards
+	regGlobal
+)
+
+func regionClass(r rpl.RPL) int {
+	if r.Len() == 0 {
+		return regGlobal // a Root effect covers everything
+	}
+	head := r.Elem(0)
+	if head.Kind != rpl.Name {
+		return regGlobal // wildcard or param at the top covers Shard too
+	}
+	switch head.Name {
+	case "Session":
+		return regSession
+	case "Shard":
+		if r.Len() < 2 {
+			return regGlobal // bare Shard region covers every shard index
+		}
+		switch second := r.Elem(1); second.Kind {
+		case rpl.Index:
+			return regShardIdx
+		case rpl.Star, rpl.AnyIndex:
+			return regAllShards
+		default:
+			return regGlobal // parameterized index: not statically placeable
+		}
+	default:
+		return regGlobal // unknown subtree: route conservatively
+	}
+}

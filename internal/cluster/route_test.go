@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"twe/internal/effect"
+	"twe/internal/rpl"
+	"twe/internal/svc"
+)
+
+// --- brute-force oracle -------------------------------------------------
+//
+// A region denotes a set of fully specified RPLs (wildcards as
+// patterns). The oracle enumerates every concrete path over a small
+// finite alphabet and bounded depth and asks rpl.Included — no reuse of
+// the symbolic Disjoint the properties are judging.
+
+const (
+	bruteShards = 6 // concrete store shards in the enumeration
+	bruteDepth  = 3
+)
+
+func brutePaths() []rpl.RPL {
+	elems := []rpl.Elem{rpl.N("Shard"), rpl.N("Session"), rpl.N("Data")}
+	for i := 0; i < bruteShards; i++ {
+		elems = append(elems, rpl.Idx(i))
+	}
+	var paths []rpl.RPL
+	var walk func(prefix []rpl.Elem)
+	walk = func(prefix []rpl.Elem) {
+		paths = append(paths, rpl.New(prefix...))
+		if len(prefix) == bruteDepth {
+			return
+		}
+		for _, e := range elems {
+			walk(append(append([]rpl.Elem{}, prefix...), e))
+		}
+	}
+	walk(nil)
+	return paths
+}
+
+// bruteOverlap: do two regions denote a common concrete path?
+func bruteOverlap(paths []rpl.RPL, a, b rpl.RPL) bool {
+	for _, p := range paths {
+		if p.Included(a) && p.Included(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// bruteMembers: which cluster members' store subtrees does the effect
+// set reach? A member j is touched when some region shares a concrete
+// path with the subtree of some store shard it owns (Shard:[k]:* for
+// k ≡ j mod n), or with the Shard:[k] node itself.
+func bruteMembers(paths []rpl.RPL, set effect.Set, n int) map[int]bool {
+	touched := map[int]bool{}
+	for i := 0; i < set.Len(); i++ {
+		r := set.At(i).Region
+		for k := 0; k < bruteShards; k++ {
+			node := rpl.New(rpl.N("Shard"), rpl.Idx(k))
+			sub := rpl.New(rpl.N("Shard"), rpl.Idx(k), rpl.Any)
+			if bruteOverlap(paths, r, node) || bruteOverlap(paths, r, sub) {
+				touched[k%n] = true
+			}
+		}
+	}
+	return touched
+}
+
+// stripSessions drops Session-headed regions (the router rewrites those
+// into per-upstream namespaces; they carry no placement meaning).
+func stripSessions(set effect.Set) []rpl.RPL {
+	var out []rpl.RPL
+	for i := 0; i < set.Len(); i++ {
+		r := set.At(i).Region
+		if r.Len() > 0 && r.Elem(0).Kind == rpl.Name && r.Elem(0).Name == "Session" {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// randomSet draws a declared-effect set from a grammar covering the
+// canonical op shapes plus the adversarial corners Route must be
+// conservative about (bare Shard, Root, wildcard heads, foreign names).
+func randomSet(rnd *rand.Rand) effect.Set {
+	regions := []func() rpl.RPL{
+		func() rpl.RPL { return rpl.New(rpl.N("Shard"), rpl.Idx(rnd.Intn(bruteShards))) },
+		func() rpl.RPL {
+			return rpl.New(rpl.N("Shard"), rpl.Idx(rnd.Intn(bruteShards)), rpl.Idx(rnd.Intn(3)))
+		},
+		func() rpl.RPL { return rpl.New(rpl.N("Shard"), rpl.Any) },
+		func() rpl.RPL { return rpl.New(rpl.N("Shard"), rpl.AnyIdx) },
+		func() rpl.RPL { return rpl.New(rpl.N("Session"), rpl.Idx(rnd.Intn(4))) },
+		func() rpl.RPL { return rpl.New(rpl.N("Session"), rpl.Idx(rnd.Intn(4)), rpl.Any) },
+		func() rpl.RPL { return rpl.New(rpl.N("Shard")) },
+		func() rpl.RPL { return rpl.Root },
+		func() rpl.RPL { return rpl.New(rpl.N("Data"), rpl.Idx(rnd.Intn(3))) },
+		func() rpl.RPL { return rpl.New(rpl.Any) },
+	}
+	k := 1 + rnd.Intn(3)
+	effs := make([]effect.Effect, 0, k)
+	for i := 0; i < k; i++ {
+		r := regions[rnd.Intn(len(regions))]()
+		if rnd.Intn(2) == 0 {
+			effs = append(effs, effect.Read(r))
+		} else {
+			effs = append(effs, effect.WriteEff(r))
+		}
+	}
+	return effect.NewSet(effs...)
+}
+
+// TestRouteSeparation: the load-bearing property of the partition —
+// two effects routed to *different single members* are disjoint on the
+// non-session subtree, checked symbolically (rpl.Disjoint) and against
+// the brute-force concrete-path oracle.
+func TestRouteSeparation(t *testing.T) {
+	paths := brutePaths()
+	rnd := rand.New(rand.NewSource(7))
+	for n := 1; n <= 4; n++ {
+		for trial := 0; trial < 400; trial++ {
+			a, b := randomSet(rnd), randomSet(rnd)
+			da, db := Route(a, n), Route(b, n)
+			if da.Kind != KindShard || db.Kind != KindShard || da.Shard == db.Shard {
+				continue
+			}
+			for _, ra := range stripSessions(a) {
+				for _, rb := range stripSessions(b) {
+					if !ra.Disjoint(rb) {
+						t.Fatalf("n=%d: %q→%d and %q→%d but regions %q / %q not Disjoint",
+							n, a, da.Shard, b, db.Shard, ra, rb)
+					}
+					if bruteOverlap(paths, ra, rb) {
+						t.Fatalf("n=%d: %q→%d and %q→%d but regions %q / %q share a concrete path",
+							n, a, da.Shard, b, db.Shard, ra, rb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouteConservative: Route never under-routes — the brute-force
+// touched-member set is always contained in what the decision admits.
+// Effects reaching several members must land in the cross or global
+// lane, never on a single member.
+func TestRouteConservative(t *testing.T) {
+	paths := brutePaths()
+	rnd := rand.New(rand.NewSource(11))
+	for n := 1; n <= 4; n++ {
+		for trial := 0; trial < 400; trial++ {
+			set := randomSet(rnd)
+			dec := Route(set, n)
+			touched := bruteMembers(paths, set, n)
+			switch dec.Kind {
+			case KindNone:
+				if len(touched) != 0 {
+					t.Fatalf("n=%d: %q routed none but touches members %v", n, set, touched)
+				}
+			case KindShard:
+				for j := range touched {
+					if j != dec.Shard {
+						t.Fatalf("n=%d: %q routed to member %d but touches member %d", n, set, dec.Shard, j)
+					}
+				}
+			default: // Cross or Global: mask must cover every touched member
+				for j := range touched {
+					if dec.Mask&(1<<uint(j)) == 0 {
+						t.Fatalf("n=%d: %q mask %b misses touched member %d", n, set, dec.Mask, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouteCanonicalOps pins the canonical client effects to their
+// lanes: puts/gets go to the key's owner, adds are placement-free,
+// scans are cross-shard on any fleet bigger than one member.
+func TestRouteCanonicalOps(t *testing.T) {
+	const storeShards, sid = 8, 3
+	parse := func(s string) effect.Set {
+		set, err := effect.Parse(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return set
+	}
+	for n := 1; n <= 4; n++ {
+		for key := 0; key < 16; key++ {
+			owner := (key % storeShards) % n
+			for _, eff := range []string{
+				svc.PutEffect(storeShards, key, sid),
+				svc.GetEffect(storeShards, key, sid),
+			} {
+				dec := Route(parse(eff), n)
+				if dec.Kind != KindShard || dec.Shard != owner {
+					t.Fatalf("n=%d key=%d: %q routed %v/%d, want shard %d", n, key, eff, dec.Kind, dec.Shard, owner)
+				}
+			}
+		}
+		if dec := Route(parse(svc.AddEffect(sid)), n); dec.Kind != KindNone {
+			t.Fatalf("n=%d: add effect routed %v, want none", n, dec.Kind)
+		}
+		dec := Route(parse(svc.ScanEffect(sid)), n)
+		if n == 1 {
+			if dec.Kind != KindShard || dec.Shard != 0 {
+				t.Fatalf("n=1: scan routed %v/%d, want shard 0", dec.Kind, dec.Shard)
+			}
+		} else if dec.Kind != KindCross || dec.Mask != fullMask(n) {
+			t.Fatalf("n=%d: scan routed %v mask %b, want cross full mask", n, dec.Kind, dec.Mask)
+		}
+	}
+}
+
+// TestRouteGlobalCorners pins the conservative corners to the global lane.
+func TestRouteGlobalCorners(t *testing.T) {
+	cases := []effect.Set{
+		effect.NewSet(effect.WriteEff(rpl.Root)),
+		effect.NewSet(effect.WriteEff(rpl.New(rpl.N("Shard")))),
+		effect.NewSet(effect.WriteEff(rpl.New(rpl.Any))),
+		effect.NewSet(effect.WriteEff(rpl.New(rpl.N("Shard"), rpl.P("k")))),
+		effect.NewSet(effect.Read(rpl.New(rpl.N("Other"), rpl.Idx(1)))),
+		effect.Top,
+	}
+	for _, set := range cases {
+		if dec := Route(set, 3); dec.Kind != KindGlobal {
+			t.Fatalf("%q routed %v, want global", set, dec.Kind)
+		}
+	}
+}

@@ -1,0 +1,727 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twe/internal/effect"
+	"twe/internal/svc"
+)
+
+// Config shapes a Router.
+type Config struct {
+	// Shards lists the member wire addresses; index == member id. The
+	// fleet size is len(Shards), at most MaxMembers.
+	Shards []string
+	// ShardDebug optionally lists the members' debug/metrics HTTP base
+	// URLs ("http://host:port"), index-aligned with Shards; when set, the
+	// health prober verifies each member's reported shard_id against its
+	// index and tracks liveness for /healthz.
+	ShardDebug []string
+	// CrossLane picks the cross-shard admission lane: "2pc" (default —
+	// two-phase prepare/commit holds on every touched member) or "serial"
+	// (stop-the-world: quiesce all forwarding, run the pieces serially).
+	CrossLane string
+	// ProbeEvery is the health-probe period (default 500ms; needs
+	// ShardDebug).
+	ProbeEvery time.Duration
+	// EffCacheSize bounds the router's effect-parse memo (default 4096).
+	EffCacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CrossLane == "" {
+		c.CrossLane = "2pc"
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 500 * time.Millisecond
+	}
+	if c.EffCacheSize <= 0 {
+		c.EffCacheSize = 4096
+	}
+	return c
+}
+
+// shardCounters is the router's per-member ledger, the left-hand side of
+// the fleet accounting identity the oracle checks (bench.go): at idle
+// with no faults, member i's own Requests counter equals Fwd+Prep and
+// its Served equals Srv — every op the shard accounted for was put there
+// by this router, exactly once.
+type shardCounters struct {
+	Fwd  atomic.Int64 // data ops forwarded directly (owner lane + serial lane)
+	Prep atomic.Int64 // prepare ops issued by the coordinator
+	Srv  atomic.Int64 // served outcomes observed from this member
+}
+
+// shardLat collects per-member request latencies router-side (forward →
+// response matched) for the per-shard p99 in BENCH_cluster.json.
+type shardLat struct {
+	mu      sync.Mutex
+	samples []int64
+}
+
+const maxLatSamples = 1 << 20
+
+func (l *shardLat) observe(ns int64) {
+	l.mu.Lock()
+	if len(l.samples) < maxLatSamples {
+		l.samples = append(l.samples, ns)
+	}
+	l.mu.Unlock()
+}
+
+// Quantile returns the q-quantile of the collected samples (0 when none).
+func (l *shardLat) Quantile(q float64) int64 {
+	l.mu.Lock()
+	s := append([]int64(nil), l.samples...)
+	l.mu.Unlock()
+	if len(s) == 0 {
+		return 0
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(q*float64(len(s)-1))]
+}
+
+// Router terminates client connections speaking both wire protocols and
+// forwards each request to the member its declared effect routes to.
+// It keeps the single-node service contract client-side: per-connection
+// pipelined in-order responses, the same status vocabulary, a stats op
+// answered from the router's own client-facing accounting (so the
+// twe-load oracles run against a cluster unchanged), and effect-checked
+// admission — on the members, by the same runtime as ever.
+type Router struct {
+	cfg   Config
+	n     int
+	cache *svc.EffectCache
+	coord *coordinator
+
+	// Geometry learned from the members' hellos (all must agree).
+	sched       string
+	storeShards int
+	keys        int
+
+	m        svc.Metrics // client-facing accounting (stats-op answer)
+	perShard []shardCounters
+	lat      []shardLat
+
+	// flow is the serial-lane gate: every forwarded op holds it for
+	// reading from send to response-matched; the stop-the-world lane
+	// takes it for writing, which both quiesces outstanding work and
+	// pauses new forwards.
+	flow sync.RWMutex
+
+	ln       net.Listener
+	draining atomic.Bool
+	acceptWg sync.WaitGroup
+	sessWg   sync.WaitGroup
+
+	mu      sync.Mutex
+	live    map[*rsession]struct{}
+	nextSid int
+
+	health    []memberHealth
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+type memberHealth struct {
+	healthy      atomic.Bool
+	lastErr      atomic.Pointer[string]
+	shardID      atomic.Int64 // as reported by /debug/twe; -2 = never probed
+	heldPrepares atomic.Int64
+	inflight     atomic.Int64
+}
+
+// New builds a Router over the given member fleet, dialing every member
+// once to learn (and cross-check) the store geometry.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: no shard addresses")
+	}
+	if len(cfg.Shards) > MaxMembers {
+		return nil, fmt.Errorf("cluster: %d members exceeds the %d-member bound", len(cfg.Shards), MaxMembers)
+	}
+	if cfg.CrossLane != "2pc" && cfg.CrossLane != "serial" {
+		return nil, fmt.Errorf("cluster: unknown cross lane %q (want 2pc or serial)", cfg.CrossLane)
+	}
+	if len(cfg.ShardDebug) != 0 && len(cfg.ShardDebug) != len(cfg.Shards) {
+		return nil, fmt.Errorf("cluster: %d debug URLs for %d shards", len(cfg.ShardDebug), len(cfg.Shards))
+	}
+	r := &Router{
+		cfg:       cfg,
+		n:         len(cfg.Shards),
+		cache:     svc.NewEffectCache(cfg.EffCacheSize),
+		perShard:  make([]shardCounters, len(cfg.Shards)),
+		lat:       make([]shardLat, len(cfg.Shards)),
+		live:      make(map[*rsession]struct{}),
+		health:    make([]memberHealth, len(cfg.Shards)),
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	for i := range r.health {
+		r.health[i].shardID.Store(-2)
+	}
+	for i, addr := range cfg.Shards {
+		c, err := svc.Dial(addr)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: member %d (%s): %w", i, addr, err)
+		}
+		sched, shards, keys := c.Sched, c.Shards, c.Keys
+		c.Close()
+		if i == 0 {
+			r.sched, r.storeShards, r.keys = sched, shards, keys
+			continue
+		}
+		if shards != r.storeShards || keys != r.keys {
+			return nil, fmt.Errorf("cluster: member %d geometry %d/%d != member 0 geometry %d/%d",
+				i, shards, keys, r.storeShards, r.keys)
+		}
+	}
+	r.coord = newCoordinator(r)
+	go r.probeLoop()
+	return r, nil
+}
+
+// Members reports the fleet size.
+func (r *Router) Members() int { return r.n }
+
+// Metrics exposes the router's client-facing counters.
+func (r *Router) Metrics() *svc.Metrics { return &r.m }
+
+// Serve accepts client connections on ln until Drain closes it.
+func (r *Router) Serve(ln net.Listener) {
+	r.ln = ln
+	r.acceptWg.Add(1)
+	defer r.acceptWg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		r.m.ConnsAccepted.Add(1)
+		r.mu.Lock()
+		sid := r.nextSid
+		r.nextSid++
+		sess := newRSession(r, sid, conn)
+		r.live[sess] = struct{}{}
+		r.mu.Unlock()
+		r.sessWg.Add(1)
+		go func() {
+			defer r.sessWg.Done()
+			sess.main()
+			r.mu.Lock()
+			delete(r.live, sess)
+			r.mu.Unlock()
+			r.m.ConnsClosed.Add(1)
+		}()
+	}
+}
+
+// Stats assembles the stats-op answer from the router's own accounting;
+// field meanings match the single-node StatsBody so the load generator's
+// cross-check runs unchanged against a cluster.
+func (r *Router) Stats() svc.StatsBody {
+	r.mu.Lock()
+	sessions := int64(len(r.live))
+	r.mu.Unlock()
+	hits, misses := r.cache.Stats()
+	return svc.StatsBody{
+		Sched:         r.sched,
+		Shards:        r.storeShards,
+		Keys:          r.keys,
+		Sessions:      sessions,
+		ConnsAccepted: r.m.ConnsAccepted.Load(),
+		Disconnects:   r.m.Disconnects.Load(),
+		Requests:      r.m.Requests.Load(),
+		Served:        r.m.Served.Load(),
+		Shed:          r.m.Shed.Load(),
+		Busy:          r.m.Busy.Load(),
+		Cancelled:     r.m.Cancelled.Load(),
+		Rejected:      r.m.Rejected.Load(),
+		Errors:        r.m.Errors.Load(),
+		ControlOps:    r.m.ControlOps.Load(),
+		Batches:       r.m.Batches.Load(),
+		BatchedOps:    r.m.BatchedOps.Load(),
+		EffHits:       hits,
+		EffMisses:     misses,
+		Inflight:      r.m.Inflight(),
+		InflightPeak:  r.m.InflightPeak(),
+		V1Conns:       r.m.V1Conns.Load(),
+		V2Conns:       r.m.V2Conns.Load(),
+		EffRegs:       r.m.EffRegs.Load(),
+	}
+}
+
+// Drain stops accepting, wakes every live session's reader (the same
+// read-deadline poke twe-serve uses), and waits for sessions to finish
+// flushing. The coordinator and probe loops shut down after.
+func (r *Router) Drain(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	r.draining.Store(true)
+	if r.ln != nil {
+		r.ln.Close()
+	}
+	r.acceptWg.Wait()
+	r.mu.Lock()
+	for sess := range r.live {
+		sess.conn.SetReadDeadline(time.Now())
+	}
+	r.mu.Unlock()
+	done := make(chan struct{})
+	go func() { r.sessWg.Wait(); close(done) }()
+	var drainErr error
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		r.mu.Lock()
+		n := len(r.live)
+		r.mu.Unlock()
+		drainErr = fmt.Errorf("cluster: drain timed out after %v (%d session(s) still live)", timeout, n)
+	}
+	close(r.probeStop)
+	<-r.probeDone
+	r.coord.close()
+	return drainErr
+}
+
+// routeMemo caches one declared effect's routing work: the decision and
+// the rewritten effect string per member (filled lazily as upstreams
+// dial). v1 keys the memo by the effect string, v2 by the connection's
+// effect ref (validated against the resolved set, since refs may be
+// re-registered).
+type routeMemo struct {
+	set       effect.Set
+	dec       Decision
+	rewritten []string // per member; "" = not yet computed
+}
+
+// proxyEntry is one response owed to the client: either forwarded (resp
+// arrives when the upstream recv goroutine matches the id) or local
+// (resp pre-filled, done already closed).
+type proxyEntry struct {
+	id      uint64
+	shard   int // forwarded member; -1 for local entries
+	counted bool
+	isData  bool
+	sent    time.Time
+	resp    *svc.Response
+	done    chan struct{}
+}
+
+type rsession struct {
+	r    *Router
+	sid  int
+	conn net.Conn
+	sc   *svc.ServerConn
+	q    chan *proxyEntry
+
+	mu   sync.Mutex
+	byID map[uint64]*proxyEntry
+
+	ups []*svc.Client  // per member, lazily dialed; nil slot = not yet
+	wg  sync.WaitGroup // outstanding counted entries (cross-op barrier)
+
+	memoV1 map[string]*routeMemo
+	memoV2 []*routeMemo
+}
+
+func newRSession(r *Router, sid int, conn net.Conn) *rsession {
+	return &rsession{r: r, sid: sid, conn: conn,
+		q:      make(chan *proxyEntry, 256),
+		byID:   make(map[uint64]*proxyEntry),
+		ups:    make([]*svc.Client, r.n),
+		memoV1: make(map[string]*routeMemo),
+	}
+}
+
+func (s *rsession) main() {
+	defer s.conn.Close()
+	br := bufio.NewReaderSize(s.conn, 32<<10)
+	bw := bufio.NewWriterSize(s.conn, 32<<10)
+	sc, err := svc.NewServerConn(br, bw, s.r.cache, &s.r.m)
+	if err != nil {
+		s.r.m.ProtoErrors.Add(1)
+		return
+	}
+	s.sc = sc
+	if sc.Proto() == svc.ProtoV2 {
+		s.r.m.V2Conns.Add(1)
+		s.r.m.V2Live.Add(1)
+		defer s.r.m.V2Live.Add(-1)
+		s.memoV2 = make([]*routeMemo, svc.MaxEffectRefs)
+	} else {
+		s.r.m.V1Conns.Add(1)
+		s.r.m.V1Live.Add(1)
+		defer s.r.m.V1Live.Add(-1)
+	}
+	geo := &svc.StatsBody{Sched: s.r.sched, Shards: s.r.storeShards, Keys: s.r.keys}
+	s.local(&svc.Response{Status: svc.StatusHello, Val: int64(s.sid), Stats: geo})
+	writerDone := make(chan struct{})
+	go func() { defer close(writerDone); s.writer() }()
+	s.reader()
+	close(s.q)
+	<-writerDone
+	for _, up := range s.ups {
+		if up != nil {
+			up.Close()
+		}
+	}
+}
+
+func (s *rsession) reader() {
+	for {
+		var req svc.Request
+		if err := s.sc.ReadRequest(&req); err != nil {
+			var ne net.Error
+			if s.r.draining.Load() && errors.As(err, &ne) && ne.Timeout() {
+				return // graceful drain: stop reading, let pendings flush
+			}
+			// Disconnect: best-effort cancel of everything still
+			// outstanding on the members, mirroring the single-node
+			// server's effect release on disconnect.
+			if n := s.cancelOutstanding(); n > 0 {
+				s.r.m.Disconnects.Add(1)
+			}
+			return
+		}
+		s.handle(&req, false)
+	}
+}
+
+func (s *rsession) handle(req *svc.Request, inBatch bool) {
+	switch req.Op {
+	case svc.OpBatch:
+		if inBatch {
+			s.r.m.Requests.Add(1)
+			s.r.m.Rejected.Add(1)
+			s.local(&svc.Response{ID: req.ID, Status: svc.StatusRejected, Err: "nested batch"})
+			return
+		}
+		// The router decomposes batch frames and forwards the inner ops
+		// individually — the wire contract (DESIGN.md §12) makes that
+		// observationally identical to back-to-back frames; only the
+		// members' SubmitBatch amortization is lost.
+		s.r.m.Batches.Add(1)
+		s.r.m.BatchedOps.Add(int64(len(req.Batch)))
+		for i := range req.Batch {
+			s.handle(&req.Batch[i], true)
+		}
+	case svc.OpStats:
+		s.r.m.ControlOps.Add(1)
+		st := s.r.Stats()
+		s.local(&svc.Response{ID: req.ID, Status: svc.StatusOK, Stats: &st})
+	case svc.OpCancel:
+		s.handleCancel(req)
+	case svc.OpPrepare, svc.OpCommit, svc.OpAbort:
+		// The two-phase lane is coordinator-internal; clients do not
+		// drive it through the router.
+		s.r.m.Requests.Add(1)
+		s.r.m.Rejected.Add(1)
+		s.local(&svc.Response{ID: req.ID, Status: svc.StatusRejected, Err: fmt.Sprintf("op %q is not routable", req.Op)})
+	default:
+		s.handleData(req)
+	}
+}
+
+// handleCancel forwards a cancel to the member its target was routed to,
+// or acks landed=0 locally when the target is unknown (already resolved,
+// or a cross-lane op the coordinator owns).
+func (s *rsession) handleCancel(req *svc.Request) {
+	s.r.m.ControlOps.Add(1)
+	s.mu.Lock()
+	target := s.byID[req.Target]
+	s.mu.Unlock()
+	if target == nil || target.shard < 0 {
+		s.local(&svc.Response{ID: req.ID, Status: svc.StatusOK, Val: 0})
+		return
+	}
+	up := s.ups[target.shard]
+	if up == nil {
+		s.local(&svc.Response{ID: req.ID, Status: svc.StatusOK, Val: 0})
+		return
+	}
+	e := &proxyEntry{id: req.ID, shard: target.shard, done: make(chan struct{})}
+	s.mu.Lock()
+	s.byID[req.ID] = e
+	s.mu.Unlock()
+	fwd := svc.Request{ID: req.ID, Op: svc.OpCancel, Target: req.Target}
+	if err := up.Send(&fwd); err == nil {
+		err = up.Flush()
+		if err == nil {
+			s.q <- e
+			return
+		}
+	}
+	s.failEntry(e, fmt.Errorf("member %d unreachable", target.shard))
+	s.q <- e
+}
+
+// handleData routes one data op by its declared effect and forwards it.
+func (s *rsession) handleData(req *svc.Request) {
+	m := &s.r.m
+	m.Requests.Add(1)
+	reject := func(format string, args ...any) {
+		m.Rejected.Add(1)
+		s.local(&svc.Response{ID: req.ID, Status: svc.StatusRejected, Err: fmt.Sprintf(format, args...)})
+	}
+	if err := req.WireErr(); err != nil {
+		reject("%v", err)
+		return
+	}
+	memo, err := s.routeFor(req)
+	if err != nil {
+		reject("bad effect: %v", err)
+		return
+	}
+	switch memo.dec.Kind {
+	case KindShard:
+		s.forward(memo.dec.Shard, req, memo)
+	case KindNone:
+		s.forward(OwnerOfKey(req.Key, s.r.storeShards, s.r.n), req, memo)
+	default:
+		// Cross-shard or global: barrier on this session's own
+		// outstanding ops (admission order across different upstream
+		// connections is otherwise unordered), then run the lane
+		// synchronously. Later ops are not even read until it finishes,
+		// so program order holds on both sides.
+		s.wg.Wait()
+		resp := s.r.crossOp(s.sid, req, memo.set, memo.dec)
+		resp.ID = req.ID
+		s.r.classify(resp.Status)
+		s.local(resp)
+	}
+}
+
+// routeFor resolves the request's declared effect and returns the memo
+// carrying its routing decision, keyed by v2 effect ref or v1 string.
+func (s *rsession) routeFor(req *svc.Request) (*routeMemo, error) {
+	set, resolved := req.ResolvedEffect()
+	if ref, ok := req.EffRef(); ok && s.memoV2 != nil && int(ref) < len(s.memoV2) {
+		if m := s.memoV2[ref]; m != nil && m.set.Equal(set) {
+			return m, nil
+		}
+		m := &routeMemo{set: set, dec: Route(set, s.r.n), rewritten: make([]string, s.r.n)}
+		s.memoV2[ref] = m
+		return m, nil
+	}
+	if !resolved {
+		if m := s.memoV1[req.Eff]; m != nil {
+			return m, nil
+		}
+		var err error
+		set, err = s.r.cache.Lookup(req.Eff)
+		if err != nil {
+			return nil, err
+		}
+		m := &routeMemo{set: set, dec: Route(set, s.r.n), rewritten: make([]string, s.r.n)}
+		s.memoV1[req.Eff] = m
+		return m, nil
+	}
+	return &routeMemo{set: set, dec: Route(set, s.r.n), rewritten: make([]string, s.r.n)}, nil
+}
+
+// upstream returns (dialing on first use) this session's connection to
+// member k. Each client session gets its own upstream per member, so the
+// member assigns it a dedicated session id — program order per
+// (client, member) rides on the upstream's session effect exactly as it
+// does for a directly-connected client.
+func (s *rsession) upstream(k int) (*svc.Client, error) {
+	if up := s.ups[k]; up != nil {
+		return up, nil
+	}
+	up, err := svc.DialProto(s.r.cfg.Shards[k], svc.ProtoV2)
+	if err != nil {
+		return nil, err
+	}
+	s.ups[k] = up
+	go s.recvLoop(k, up)
+	return up, nil
+}
+
+// forward sends req to member k with its session effect rewritten into
+// the upstream connection's namespace.
+func (s *rsession) forward(k int, req *svc.Request, memo *routeMemo) {
+	up, err := s.upstream(k)
+	if err != nil {
+		s.r.m.Errors.Add(1)
+		s.local(&svc.Response{ID: req.ID, Status: svc.StatusError,
+			Err: fmt.Sprintf("member %d unavailable: %v", k, err)})
+		return
+	}
+	if memo.rewritten[k] == "" {
+		rw, err := RewriteSession(memo.set, s.sid, up.SID)
+		if err != nil {
+			s.r.m.Rejected.Add(1)
+			s.local(&svc.Response{ID: req.ID, Status: svc.StatusRejected, Err: err.Error()})
+			return
+		}
+		memo.rewritten[k] = rw.String()
+	}
+	e := &proxyEntry{id: req.ID, shard: k, counted: true, isData: true,
+		sent: time.Now(), done: make(chan struct{})}
+	s.r.flow.RLock()
+	s.r.m.IncInflight()
+	s.r.perShard[k].Fwd.Add(1)
+	s.wg.Add(1)
+	s.mu.Lock()
+	s.byID[req.ID] = e
+	s.mu.Unlock()
+	fwd := svc.Request{ID: req.ID, Op: req.Op, Key: req.Key, Val: req.Val,
+		Eff: memo.rewritten[k], Trace: req.Trace}
+	if err := up.Send(&fwd); err == nil {
+		err = up.Flush()
+		if err == nil {
+			s.q <- e
+			return
+		}
+	}
+	s.failEntry(e, fmt.Errorf("member %d send failed", k))
+	s.q <- e
+}
+
+// recvLoop matches member k's responses to their entries. On upstream
+// failure every entry still owed by that member fails with an error
+// status so the writer (and the barrier) never hang.
+func (s *rsession) recvLoop(k int, up *svc.Client) {
+	for {
+		resp, err := up.Recv()
+		if err != nil {
+			s.mu.Lock()
+			var orphans []*proxyEntry
+			for id, e := range s.byID {
+				if e.shard == k {
+					delete(s.byID, id)
+					orphans = append(orphans, e)
+				}
+			}
+			s.mu.Unlock()
+			for _, e := range orphans {
+				s.settle(e, &svc.Response{ID: e.id, Status: svc.StatusError,
+					Err: fmt.Sprintf("member %d connection lost", k)})
+			}
+			return
+		}
+		s.mu.Lock()
+		e := s.byID[resp.ID]
+		if e != nil {
+			delete(s.byID, resp.ID)
+		}
+		s.mu.Unlock()
+		if e == nil {
+			continue // response to a best-effort disconnect cancel
+		}
+		s.settle(e, resp)
+	}
+}
+
+// settle resolves a forwarded entry exactly once: record the outcome,
+// release the accounting the forward took, and wake the writer.
+func (s *rsession) settle(e *proxyEntry, resp *svc.Response) {
+	e.resp = resp
+	if e.isData {
+		s.r.classify(resp.Status)
+		if resp.Status == svc.StatusOK && e.shard >= 0 {
+			s.r.perShard[e.shard].Srv.Add(1)
+		}
+		if e.shard >= 0 {
+			s.r.lat[e.shard].observe(time.Since(e.sent).Nanoseconds())
+		}
+	}
+	if e.counted {
+		s.r.m.DecInflight()
+		s.r.flow.RUnlock()
+		s.wg.Done()
+	}
+	close(e.done)
+}
+
+// failEntry settles a forwarded entry with a local error after a send
+// failure, removing its id registration first.
+func (s *rsession) failEntry(e *proxyEntry, err error) {
+	s.mu.Lock()
+	delete(s.byID, e.id)
+	s.mu.Unlock()
+	s.settle(e, &svc.Response{ID: e.id, Status: svc.StatusError, Err: err.Error()})
+}
+
+// local enqueues an already-decided response whose accounting (if any)
+// the caller has already done.
+func (s *rsession) local(resp *svc.Response) {
+	e := &proxyEntry{id: resp.ID, shard: -1, resp: resp, done: make(chan struct{})}
+	close(e.done)
+	s.q <- e
+}
+
+// cancelOutstanding fires best-effort cancels for every op still in
+// flight after a client disconnect and returns how many there were. The
+// responses to the cancels themselves are discarded by recvLoop (their
+// ids are never registered).
+func (s *rsession) cancelOutstanding() int {
+	s.mu.Lock()
+	type tgt struct {
+		shard int
+		id    uint64
+	}
+	var tgts []tgt
+	for id, e := range s.byID {
+		if e.shard >= 0 && e.counted {
+			tgts = append(tgts, tgt{e.shard, id})
+		}
+	}
+	s.mu.Unlock()
+	for _, t := range tgts {
+		if up := s.ups[t.shard]; up != nil {
+			up.Send(&svc.Request{ID: 0, Op: svc.OpCancel, Target: t.id})
+			up.Flush()
+		}
+	}
+	return len(tgts)
+}
+
+func (s *rsession) writer() {
+	alive := true
+	for e := range s.q {
+		<-e.done
+		if !alive {
+			continue // keep draining so accounting still resolves
+		}
+		if err := s.sc.WriteResponse(e.resp); err != nil {
+			alive = false
+			continue
+		}
+		if len(s.q) == 0 && s.sc.Flush() != nil {
+			alive = false
+		}
+	}
+	if alive {
+		s.sc.Flush()
+	}
+}
+
+// classify accounts one relayed terminal status into the router's
+// client-facing split (mirrors the single-node session's classify).
+func (r *Router) classify(status string) {
+	switch status {
+	case svc.StatusOK:
+		r.m.Served.Add(1)
+	case svc.StatusShed:
+		r.m.Shed.Add(1)
+	case svc.StatusBusy:
+		r.m.Busy.Add(1)
+	case svc.StatusCancelled:
+		r.m.Cancelled.Add(1)
+	case svc.StatusRejected:
+		r.m.Rejected.Add(1)
+	default:
+		r.m.Errors.Add(1)
+	}
+}

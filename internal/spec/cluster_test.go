@@ -1,0 +1,119 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func clusterExplore(t *testing.T, cfg *ClusterConfig) *Result {
+	t.Helper()
+	res, err := ClusterExplore(cfg, ExploreOpts{})
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Name, err)
+	}
+	return res
+}
+
+// TestClusterPresetsClean: every cluster preset explores its full
+// reachable space with no invariant violation and no deadlock.
+func TestClusterPresetsClean(t *testing.T) {
+	for _, cfg := range ClusterPresets() {
+		res := clusterExplore(t, cfg)
+		if res.Violation != nil {
+			t.Errorf("%s: unexpected violation:\n%s", cfg.Name, res.Violation)
+		}
+		if !res.Complete {
+			t.Errorf("%s: exploration incomplete", cfg.Name)
+		}
+		if res.States < 10 {
+			t.Errorf("%s: only %d states — configuration too trivial to mean anything", cfg.Name, res.States)
+		}
+	}
+}
+
+// TestClusterConcurrentRoundsSafe: removing the coordinator mutex alone
+// is safe — ascending acquisition is deadlock-free and
+// hold-all-before-run keeps rounds serializable. The mutex buys
+// simplicity, not safety, and the model proves it.
+func TestClusterConcurrentRoundsSafe(t *testing.T) {
+	for _, cfg := range ClusterPresets() {
+		cfg.Mutations.ConcurrentRounds = true
+		res := clusterExplore(t, cfg)
+		if res.Violation != nil {
+			t.Errorf("%s + concurrent rounds: unexpected violation:\n%s", cfg.Name, res.Violation)
+		}
+		if !res.Complete {
+			t.Errorf("%s + concurrent rounds: exploration incomplete", cfg.Name)
+		}
+	}
+}
+
+// mutation → (preset, invariant expected to catch it). Each seeded
+// protocol break must be caught, with a shortest counterexample trace.
+func TestClusterMutationsCaught(t *testing.T) {
+	cases := []struct {
+		name      string
+		preset    string
+		mutate    func(*ClusterMutations)
+		invariant string
+	}{
+		{"unordered-prepare-deadlocks", "cross-conflict",
+			func(m *ClusterMutations) { m.UnorderedPrepare = true }, "deadlock"},
+		{"early-commit-breaks-atomicity", "cross-full",
+			func(m *ClusterMutations) { m.EarlyCommit = true }, "C2-all-or-nothing"},
+		{"early-commit-concurrent-crosses", "cross-conflict",
+			func(m *ClusterMutations) { m.EarlyCommit = true; m.ConcurrentRounds = true }, "C3-serializability"},
+		{"leak-on-abort", "scan-vs-puts",
+			func(m *ClusterMutations) { m.LeakOnAbort = true }, "C4-release-on-terminal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ClusterPreset(tc.preset)
+			if cfg == nil {
+				t.Fatalf("no preset %q", tc.preset)
+			}
+			tc.mutate(&cfg.Mutations)
+			res := clusterExplore(t, cfg)
+			if res.Violation == nil {
+				t.Fatalf("mutation went uncaught (%d states explored)", res.States)
+			}
+			if tc.invariant != "" && res.Violation.Invariant != tc.invariant {
+				t.Fatalf("caught by %s, expected %s:\n%s", res.Violation.Invariant, tc.invariant, res.Violation)
+			}
+			if len(res.Violation.Trace) == 0 {
+				t.Fatal("violation has an empty trace")
+			}
+		})
+	}
+}
+
+// TestClusterCounterexampleReadable: the deadlock trace for the classic
+// lock-ordering cycle names the acquisition steps.
+func TestClusterCounterexampleReadable(t *testing.T) {
+	cfg := ClusterPreset("cross-conflict")
+	cfg.Mutations.UnorderedPrepare = true
+	res := clusterExplore(t, cfg)
+	if res.Violation == nil {
+		t.Fatal("expected a deadlock")
+	}
+	s := res.Violation.String()
+	if !strings.Contains(s, "prepare") || !strings.Contains(s, "deadlock") {
+		t.Fatalf("counterexample does not read as a prepare deadlock:\n%s", s)
+	}
+}
+
+// TestClusterValidate rejects malformed configurations.
+func TestClusterValidate(t *testing.T) {
+	bad := []*ClusterConfig{
+		{Name: "no-members", Members: 0, Ops: []ClusterOp{{Touch: []int{0}, Res: []int{1}}}},
+		{Name: "no-ops", Members: 2},
+		{Name: "range", Members: 2, Ops: []ClusterOp{{Touch: []int{5}, Res: []int{1}}}},
+		{Name: "dup", Members: 2, Ops: []ClusterOp{{Touch: []int{0, 0}, Res: []int{1, 1}}}},
+		{Name: "arity", Members: 2, Ops: []ClusterOp{{Touch: []int{0, 1}, Res: []int{1}}}},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: validated, want error", cfg.Name)
+		}
+	}
+}

@@ -17,9 +17,9 @@ import (
 // exactly; the initial state is all-zero (every task Unsubmitted).
 type state uint64
 
-func (s state) phase(i int) Phase    { return Phase((s >> (8 * i)) & 0x7) }
-func (s state) wp(i int) int         { return int((s >> (8*i + 3)) & 0x7) }
-func (s state) holds(i int) bool     { return (s>>(8*i+6))&1 == 1 }
+func (s state) phase(i int) Phase { return Phase((s >> (8 * i)) & 0x7) }
+func (s state) wp(i int) int      { return int((s >> (8*i + 3)) & 0x7) }
+func (s state) holds(i int) bool  { return (s>>(8*i+6))&1 == 1 }
 func (s state) withPhase(i int, p Phase) state {
 	return (s &^ (0x7 << (8 * i))) | state(p)<<(8*i)
 }

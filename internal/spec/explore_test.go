@@ -55,9 +55,9 @@ func TestPresetsClean(t *testing.T) {
 // advertised invariant, with a non-empty shortest counterexample trace.
 func TestMutationsCaught(t *testing.T) {
 	cases := []struct {
-		preset    string
-		mut       Mutations
-		wantInv   []string // acceptable invariant names (BFS picks the shallowest)
+		preset  string
+		mut     Mutations
+		wantInv []string // acceptable invariant names (BFS picks the shallowest)
 	}{
 		{"pair", Mutations{SkipConflictCheck: true}, []string{"I2-admitted-isolation", "I1-running-isolation"}},
 		{"transfer", Mutations{SkipConflictCheck: true}, []string{"I2-admitted-isolation", "I1-running-isolation"}},

@@ -16,6 +16,17 @@ type DebugSnapshot struct {
 	Sched    string `json:"sched"`
 	ReqTrace bool   `json:"req_trace"`
 
+	// Cluster identity (DESIGN.md §16): the stable shard id (-1 when
+	// standalone) and the advertised listen address. The router's health
+	// prober keys on these to verify it is talking to the member it
+	// thinks it is.
+	ShardID int    `json:"shard_id"`
+	Addr    string `json:"addr"`
+
+	// HeldPrepares counts cross-shard holds currently parked between
+	// prepare and commit/abort, summed over live sessions.
+	HeldPrepares int `json:"held_prepares"`
+
 	Conns struct {
 		Live    int64 `json:"live"`
 		V1Live  int64 `json:"v1_live"`
@@ -26,7 +37,7 @@ type DebugSnapshot struct {
 
 	Inflight       int64 `json:"inflight"`
 	InflightPeak   int64 `json:"inflight_peak"`
-	QueueDepth     int64 `json:"queue_depth"`      // scheduler: submitted, not yet enabled
+	QueueDepth     int64 `json:"queue_depth"` // scheduler: submitted, not yet enabled
 	QueueDepthPeak int64 `json:"queue_depth_peak"`
 	RespQueued     int   `json:"resp_queued"` // responses owed, summed over live sessions
 
@@ -52,6 +63,8 @@ func (s *Server) DebugSnapshot(topK int) DebugSnapshot {
 	var d DebugSnapshot
 	d.Sched = s.schedName
 	d.ReqTrace = s.cfg.ReqTrace
+	d.ShardID = s.cfg.ShardID
+	d.Addr = s.AdvertiseAddr()
 	d.Conns.V1Live = s.m.V1Live.Load()
 	d.Conns.V2Live = s.m.V2Live.Load()
 	d.Conns.Live = d.Conns.V1Live + d.Conns.V2Live
@@ -67,6 +80,7 @@ func (s *Server) DebugSnapshot(topK int) DebugSnapshot {
 	s.mu.Lock()
 	for sess := range s.live {
 		d.RespQueued += len(sess.q)
+		d.HeldPrepares += sess.heldPrepares()
 		if v2c := sess.v2c.Load(); v2c != nil {
 			tbl := v2c.Table()
 			d.EffectTables.Conns++

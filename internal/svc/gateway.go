@@ -1,0 +1,72 @@
+package svc
+
+import (
+	"bufio"
+	"net"
+)
+
+// ServerConn is the server side of one wire connection, detached from
+// the in-process session machinery: preamble negotiation plus the
+// negotiated codec, nothing else. The cluster router (internal/cluster)
+// terminates client connections with it — same framing, same per-
+// connection effect interning — and forwards admitted requests to the
+// owning shard instead of a local runtime.
+//
+// Like serverCodec underneath, ReadRequest belongs to one goroutine and
+// WriteResponse/Flush to another; the two paths share no mutable state.
+type ServerConn struct {
+	codec serverCodec
+	v2    *v2ServerCodec // nil on v1 connections
+}
+
+// NewServerConn consumes the connection preamble from br and returns
+// the negotiated codec wrapper. cache memoizes effect parses across
+// connections (required); m, when non-nil, receives the v2 effect-
+// registration count. The caller owns the bufio pair and the
+// underlying conn.
+func NewServerConn(br *bufio.Reader, bw *bufio.Writer, cache *EffectCache, m *Metrics) (*ServerConn, error) {
+	proto, err := readPreamble(br)
+	if err != nil {
+		return nil, err
+	}
+	sc := &ServerConn{}
+	if proto == ProtoV2 {
+		if m == nil {
+			m = &Metrics{}
+		}
+		v2c := newV2ServerCodec(br, bw, cache, m, nil)
+		sc.v2 = v2c
+		sc.codec = v2c
+	} else {
+		sc.codec = &v1ServerCodec{br: br, bw: bw}
+	}
+	return sc, nil
+}
+
+// ReadRequest decodes the next request frame (reader goroutine only).
+func (c *ServerConn) ReadRequest(req *Request) error { return c.codec.ReadRequest(req) }
+
+// WriteResponse encodes one buffered response frame (writer goroutine
+// only; Flush pushes).
+func (c *ServerConn) WriteResponse(resp *Response) error { return c.codec.WriteResponse(resp) }
+
+// Flush pushes buffered responses to the wire.
+func (c *ServerConn) Flush() error { return c.codec.Flush() }
+
+// Proto reports the negotiated protocol version (ProtoV1 or ProtoV2).
+func (c *ServerConn) Proto() int { return c.codec.Proto() }
+
+// Table returns the connection's v2 effect-intern table, or nil on v1
+// connections.
+func (c *ServerConn) Table() *EffectTable {
+	if c.v2 == nil {
+		return nil
+	}
+	return c.v2.Table()
+}
+
+// NewConnBuffers wraps conn in the bufio pair the codecs expect, sized
+// like the in-process session's.
+func NewConnBuffers(conn net.Conn) (*bufio.Reader, *bufio.Writer) {
+	return bufio.NewReaderSize(conn, 32<<10), bufio.NewWriterSize(conn, 32<<10)
+}

@@ -110,6 +110,17 @@ type Metrics struct {
 	Batches    atomic.Int64 // batch frames received
 	BatchedOps atomic.Int64 // inner ops delivered via batch frames
 
+	// Two-phase cross-shard admission ops (DESIGN.md §16). A prepare is a
+	// data op (it lands in Requests and resolves into the Served/... split
+	// via its commit/abort); commits and aborts are control ops.
+	Prepares atomic.Int64
+	Commits  atomic.Int64
+	Aborts   atomic.Int64
+	// PureHolds counts committed holds with no inner op — served ops
+	// that deliberately touch no store state; the drain audit adds them
+	// to the store-op side of the served-accounting identity.
+	PureHolds atomic.Int64
+
 	V1Conns     atomic.Int64 // connections negotiated as protocol v1 (JSON), lifetime
 	V2Conns     atomic.Int64 // connections negotiated as protocol v2 (binary), lifetime
 	V1Live      atomic.Int64 // v1 connections currently open
@@ -198,6 +209,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{counter, "twe_serve_control_ops_total", "Cancel and stats frames handled inline.", m.ControlOps.Load()},
 		{counter, "twe_serve_batches_total", "Batch frames received (one SubmitBatch group each).", m.Batches.Load()},
 		{counter, "twe_serve_batched_ops_total", "Inner requests delivered via batch frames.", m.BatchedOps.Load()},
+		{counter, "twe_serve_prepares_total", "Cross-shard prepare ops admitted as holds (two-phase admission).", m.Prepares.Load()},
+		{counter, "twe_serve_commits_total", "Cross-shard commit ops releasing a prepared hold into execution.", m.Commits.Load()},
+		{counter, "twe_serve_aborts_total", "Cross-shard abort ops (explicit, disconnect, or hold expiry).", m.Aborts.Load()},
 		{counter, "twe_serve_proto_v1_conns_total", "Connections negotiated as protocol v1 (JSON).", m.V1Conns.Load()},
 		{counter, "twe_serve_proto_v2_conns_total", "Connections negotiated as protocol v2 (binary).", m.V2Conns.Load()},
 		{counter, "twe_serve_effect_regs_total", "v2 effect-table registrations, including overwrites.", m.EffRegs.Load()},

@@ -1,0 +1,264 @@
+package svc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestPrepareCommit drives the two-phase hold ops end to end on one
+// server: prepare a put, verify the hold blocks a conflicting op from a
+// second connection, commit, and check both the hold's outcome and the
+// accounting (a prepare is a data op resolving into the served split;
+// commit/abort are control ops).
+func TestPrepareCommit(t *testing.T) {
+	s := startTestServer(t, Config{})
+	defer drainClean(t, s)
+
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	key := 3
+	eff := PutEffect(c.Shards, key, c.SID)
+	resp, err := c.Do(&Request{Op: OpPrepare, Sub: OpPut, Key: key, Val: 42, Eff: eff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusPrepared {
+		t.Fatalf("prepare: status %q (%s), want prepared", resp.Status, resp.Err)
+	}
+	prepID := resp.ID
+
+	// A conflicting op from another connection must queue behind the
+	// hold: fire it pipelined and verify it has not resolved while the
+	// hold is parked.
+	c2, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	blocked := make(chan *Response, 1)
+	go func() {
+		r, err := c2.Do(&Request{Op: OpGet, Key: key, Eff: GetEffect(c2.Shards, key, c2.SID)})
+		if err != nil {
+			blocked <- &Response{Status: StatusError, Err: err.Error()}
+			return
+		}
+		blocked <- r
+	}()
+	select {
+	case r := <-blocked:
+		t.Fatalf("conflicting get resolved to %q while the hold was parked", r.Status)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	resp, err = c.Do(&Request{Op: OpCommit, Target: prepID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK {
+		t.Fatalf("commit: status %q (%s), want ok", resp.Status, resp.Err)
+	}
+	select {
+	case r := <-blocked:
+		if r.Status != StatusOK || r.Val != 42 {
+			t.Fatalf("post-commit get: status %q val %d, want ok/42", r.Status, r.Val)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("conflicting get still blocked after commit")
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Served + st.Shed + st.Busy + st.Cancelled + st.Rejected + st.Errors; got != st.Requests {
+		t.Fatalf("accounting does not partition: %d classified vs %d requests", got, st.Requests)
+	}
+	if s.Metrics().Prepares.Load() != 1 || s.Metrics().Commits.Load() != 1 {
+		t.Fatalf("prepare/commit counters: %d/%d, want 1/1",
+			s.Metrics().Prepares.Load(), s.Metrics().Commits.Load())
+	}
+}
+
+// TestPrepareAbort verifies release-on-abort: the hold's effects free
+// without the inner op running, the prepare resolves cancelled, and the
+// store is untouched.
+func TestPrepareAbort(t *testing.T) {
+	s := startTestServer(t, Config{})
+	defer drainClean(t, s)
+
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	key := 5
+	resp, err := c.Do(&Request{Op: OpPrepare, Sub: OpPut, Key: key, Val: 99, Eff: PutEffect(c.Shards, key, c.SID)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusPrepared {
+		t.Fatalf("prepare: status %q (%s)", resp.Status, resp.Err)
+	}
+	abortResp, err := c.Do(&Request{Op: OpAbort, Target: resp.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abortResp.Status != StatusCancelled {
+		t.Fatalf("abort outcome: status %q, want cancelled", abortResp.Status)
+	}
+	got, err := c.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusOK || got.Val != 0 {
+		t.Fatalf("post-abort get: status %q val %d, want ok/0 (aborted put must not run)", got.Status, got.Val)
+	}
+	if n := s.Metrics().Aborts.Load(); n != 1 {
+		t.Fatalf("aborts counter %d, want 1", n)
+	}
+}
+
+// TestPrepareDisconnectReaps verifies the reaper: a client that prepares
+// a hold and vanishes must not leak the hold — its effects release, the
+// in-flight gauge returns to zero, and a conflicting op proceeds.
+func TestPrepareDisconnectReaps(t *testing.T) {
+	s := startTestServer(t, Config{})
+	defer drainClean(t, s)
+
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := 7
+	resp, err := c.Do(&Request{Op: OpPrepare, Sub: OpPut, Key: key, Val: 11, Eff: PutEffect(c.Shards, key, c.SID)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusPrepared {
+		t.Fatalf("prepare: status %q (%s)", resp.Status, resp.Err)
+	}
+	c.RawConn().Close() // vanish with the hold parked
+
+	c2, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := c2.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Inflight == 0 && st.Sessions == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hold not reaped: inflight=%d sessions=%d", st.Inflight, st.Sessions)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got, err := c2.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusOK {
+		t.Fatalf("post-reap get: status %q (%s)", got.Status, got.Err)
+	}
+	if d := s.DebugSnapshot(1); d.HeldPrepares != 0 {
+		t.Fatalf("held_prepares gauge %d, want 0", d.HeldPrepares)
+	}
+}
+
+// TestPrepareExpiry verifies the PrepareHold bound: a hold nobody ever
+// commits self-aborts, releasing its effects, and the eventual commit is
+// answered with the expired outcome.
+func TestPrepareExpiry(t *testing.T) {
+	s := startTestServer(t, Config{PrepareHold: 50 * time.Millisecond})
+	defer drainClean(t, s)
+
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	key := 2
+	resp, err := c.Do(&Request{Op: OpPrepare, Sub: OpPut, Key: key, Val: 7, Eff: PutEffect(c.Shards, key, c.SID)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusPrepared {
+		t.Fatalf("prepare: status %q (%s)", resp.Status, resp.Err)
+	}
+	time.Sleep(150 * time.Millisecond) // let the hold expire
+
+	// The expired hold released its effects: a conflicting op proceeds.
+	got, err := c.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusOK || got.Val != 0 {
+		t.Fatalf("post-expiry get: status %q val %d, want ok/0", got.Status, got.Val)
+	}
+	commit, err := c.Do(&Request{Op: OpCommit, Target: resp.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commit.Status != StatusShed {
+		t.Fatalf("commit after expiry: status %q (%s), want shed", commit.Status, commit.Err)
+	}
+}
+
+// TestPreparePureHold checks the coordinator's non-owner leg shape: a
+// prepare with no sub op holds its declared effects and commits to a
+// zero-value ok without touching anything.
+func TestPreparePureHold(t *testing.T) {
+	s := startTestServer(t, Config{})
+	defer drainClean(t, s)
+
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	eff := fmt.Sprintf("writes Root:Shard:[1], writes Root:Session:[%d]", c.SID)
+	resp, err := c.Do(&Request{Op: OpPrepare, Eff: eff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusPrepared {
+		t.Fatalf("pure prepare: status %q (%s)", resp.Status, resp.Err)
+	}
+	commit, err := c.Do(&Request{Op: OpCommit, Target: resp.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commit.Status != StatusOK || commit.Val != 0 {
+		t.Fatalf("pure commit: status %q val %d, want ok/0", commit.Status, commit.Val)
+	}
+}
+
+// TestCommitUnknownHold: commit/abort for an unknown prepare id is a
+// rejected control op, not a connection error.
+func TestCommitUnknownHold(t *testing.T) {
+	s := startTestServer(t, Config{})
+	defer drainClean(t, s)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Do(&Request{Op: OpCommit, Target: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusRejected {
+		t.Fatalf("unknown commit: status %q, want rejected", resp.Status)
+	}
+}

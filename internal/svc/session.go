@@ -33,6 +33,17 @@ type pending struct {
 	resp   *Response
 	arrive time.Time
 
+	// prepE is set on a prepare op's pending: the writer answers
+	// StatusPrepared the moment the hold body starts (its effects are
+	// held), or the hold's terminal status if it resolved without ever
+	// starting. holdE is set on the commit/abort (or reader-exit reaper)
+	// pending that resolves the hold itself; silent suppresses the
+	// response write for reaper pendings, whose accounting must still
+	// happen after a disconnect.
+	prepE  *prepEntry
+	holdE  *prepEntry
+	silent bool
+
 	// Request-trace stamps (DESIGN.md §14), carried from the reader only
 	// when the server runs with Config.ReqTrace; op doubles as the "emit
 	// spans for this pending" flag (control ops and the hello leave it
@@ -72,6 +83,7 @@ type session struct {
 
 	mu   sync.Mutex
 	pend map[uint64]*core.Future // in-flight, by request id (cancel target lookup)
+	prep map[uint64]*prepEntry   // prepared holds awaiting commit/abort, by prepare id
 
 	// ops counts store-visible served ops. It is written only inside
 	// this session's task bodies — serialized by the Session:[sid]
@@ -82,7 +94,29 @@ type session struct {
 
 func newSession(srv *Server, id int, conn net.Conn) *session {
 	return &session{id: id, srv: srv, conn: conn, q: make(chan pending, respQueueCap),
-		pend: make(map[uint64]*core.Future)}
+		pend: make(map[uint64]*core.Future), prep: make(map[uint64]*prepEntry)}
+}
+
+// prepEntry is one two-phase cross-shard hold (DESIGN.md §16): admitted
+// like any data op under its declared effect, its body closes started
+// once the effects are held, then parks on gate until the reader relays
+// a commit (true) or abort (false), bounded by Config.PrepareHold.
+// gate has capacity 1 and a single sender — the reader goroutine, which
+// removes the entry from s.prep in the same step, so exactly one signal
+// is ever sent. The resolution cache (accounted/v/err) belongs to the
+// writer goroutine alone: queue FIFO order serializes every pending
+// that touches the entry.
+type prepEntry struct {
+	id      uint64 // prepare request id (s.pend/s.prep key)
+	gate    chan bool
+	started chan struct{}
+	done    chan struct{} // closed by OnDone when the future completes
+	fut     *core.Future
+	arrive  time.Time
+
+	accounted bool
+	v         any
+	err       error
 }
 
 func (s *session) start() { go s.main() }
@@ -124,6 +158,7 @@ func (s *session) main() {
 
 func (s *session) reader() {
 	defer close(s.q)
+	defer s.reapPrepares()
 	for {
 		var req Request
 		if err := s.codec.ReadRequest(&req); err != nil {
@@ -153,6 +188,10 @@ func (s *session) handle(req *Request) {
 		s.handleBatch(req)
 	case OpCancel, OpStats:
 		s.q <- pending{resp: s.controlResponse(req)}
+	case OpPrepare:
+		s.handlePrepare(req)
+	case OpCommit, OpAbort:
+		s.finishPrepare(req)
 	default:
 		s.handleData(req)
 	}
@@ -319,6 +358,171 @@ func (s *session) handleBatch(req *Request) {
 	}
 }
 
+// handlePrepare admits a two-phase hold (DESIGN.md §16): the same
+// admission state machine as a data op — declared effect parsed and
+// checked, in-flight slot taken — but the task body, once started,
+// signals StatusPrepared and parks on the entry's gate until commit,
+// abort, or the PrepareHold bound. The declared effects stay held for
+// the whole park, which is the entire point: every conflicting op on
+// this shard queues behind the hold until the coordinator decides.
+func (s *session) handlePrepare(req *Request) {
+	m := &s.srv.m
+	m.Requests.Add(1)
+	m.Prepares.Add(1)
+	reject := func(format string, args ...any) {
+		m.Rejected.Add(1)
+		s.q <- pending{resp: &Response{ID: req.ID, Status: StatusRejected, Err: fmt.Sprintf(format, args...)}}
+	}
+	if req.wireErr != nil {
+		reject("%v", req.wireErr)
+		return
+	}
+	declared := req.resolved
+	if !req.hasResolved {
+		var err error
+		declared, err = s.srv.cache.Lookup(req.Eff)
+		if err != nil {
+			reject("bad effect: %v", err)
+			return
+		}
+	}
+	// Sub names the inner op a commit executes; empty is a pure hold
+	// (nothing but the effects themselves — the coordinator uses it on
+	// shards a cross-shard write must exclude but not touch).
+	var innerTask *core.Task
+	required := effect.Set{}
+	if req.Sub != "" {
+		inner := Request{ID: req.ID, Op: req.Sub, Key: req.Key, Val: req.Val}
+		var err error
+		innerTask, required, err = s.buildTask(&inner)
+		if err != nil {
+			reject("%v", err)
+			return
+		}
+	}
+	if !declared.Covers(required) {
+		reject("declared effect %q does not cover required %q", declared, required)
+		return
+	}
+	e := &prepEntry{id: req.ID, gate: make(chan bool, 1),
+		started: make(chan struct{}), done: make(chan struct{}), arrive: time.Now()}
+	holdFor := s.srv.cfg.PrepareHold
+	task := &core.Task{
+		Name: "prepare",
+		Eff:  declared,
+		Body: func(ctx *core.Ctx, arg any) (any, error) {
+			close(e.started)
+			select {
+			case commit := <-e.gate:
+				if !commit {
+					return nil, core.ErrCancelled
+				}
+			case <-time.After(holdFor):
+				return nil, fmt.Errorf("prepared hold expired after %v: %w", holdFor, core.ErrDeadlineExceeded)
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err // disconnect raced the commit; nothing ran
+			}
+			if innerTask == nil {
+				m.PureHolds.Add(1)
+				return int64(0), nil
+			}
+			return innerTask.Body(ctx, arg)
+		},
+	}
+	if cur := m.IncInflight(); s.srv.cfg.MaxInflight > 0 && cur > int64(s.srv.cfg.MaxInflight) {
+		m.DecInflight()
+		m.Busy.Add(1)
+		s.q <- pending{resp: &Response{ID: req.ID, Status: StatusBusy}}
+		return
+	}
+	opts := []core.SubmitOption{core.WithOnDone(func(*core.Future) { close(e.done) })}
+	if d := s.srv.cfg.Deadline; d > 0 {
+		opts = append(opts, core.WithDeadline(d))
+	}
+	e.fut = s.srv.rt.Submit(task, opts...)
+	s.mu.Lock()
+	s.pend[req.ID] = e.fut
+	s.prep[req.ID] = e
+	s.mu.Unlock()
+	s.q <- pending{id: req.ID, prepE: e}
+}
+
+// finishPrepare relays a commit or abort to its parked hold. These are
+// inline control ops — they never enter the runtime, so they cannot
+// queue behind the very hold they are supposed to release — and their
+// response carries the hold's terminal outcome (the inner op's value on
+// a served commit).
+func (s *session) finishPrepare(req *Request) {
+	m := &s.srv.m
+	m.ControlOps.Add(1)
+	commit := req.Op == OpCommit
+	if commit {
+		m.Commits.Add(1)
+	} else {
+		m.Aborts.Add(1)
+	}
+	s.mu.Lock()
+	e := s.prep[req.Target]
+	delete(s.prep, req.Target)
+	s.mu.Unlock()
+	if e == nil {
+		s.q <- pending{resp: &Response{ID: req.ID, Status: StatusRejected,
+			Err: fmt.Sprintf("no prepared hold with id %d", req.Target)}}
+		return
+	}
+	e.gate <- commit
+	s.q <- pending{id: req.ID, holdE: e}
+}
+
+// reapPrepares aborts every hold still registered when the reader exits
+// (disconnect, protocol error, or graceful drain — in all three cases no
+// commit can ever arrive again) and enqueues a silent pending per hold
+// so the writer still resolves its accounting and in-flight slot. It
+// runs on the reader goroutine, before the queue closes.
+func (s *session) reapPrepares() {
+	s.mu.Lock()
+	entries := make([]*prepEntry, 0, len(s.prep))
+	for id, e := range s.prep {
+		delete(s.prep, id)
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		s.srv.m.Aborts.Add(1)
+		e.gate <- false
+		e.fut.Cancel(core.ErrCancelled) // pre-start holds resolve immediately
+		s.q <- pending{holdE: e, silent: true}
+	}
+}
+
+// heldPrepares reports how many holds are parked between prepare and
+// commit/abort (the /debug/twe held_prepares gauge).
+func (s *session) heldPrepares() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.prep)
+}
+
+// resolveHold resolves a hold's future exactly once (writer goroutine
+// only; queue order serializes every pending that references the entry)
+// and returns the outcome as a response with the given id. The first
+// resolution does the accounting — status counters, in-flight slot,
+// request latency — later callers replay the cached outcome.
+func (s *session) resolveHold(e *prepEntry, id uint64) *Response {
+	if !e.accounted {
+		e.accounted = true
+		e.v, e.err = s.srv.rt.GetValue(e.fut)
+		s.srv.m.DecInflight()
+		s.mu.Lock()
+		delete(s.pend, e.id)
+		s.mu.Unlock()
+		s.srv.m.ReqLat.Observe(time.Since(e.arrive).Nanoseconds())
+		return s.classify(id, e.v, e.err)
+	}
+	return respFor(id, e.v, e.err)
+}
+
 // buildTask returns the op's task body and its required (minimal)
 // effect. Bodies touch shard state with no synchronization — the
 // scheduler's isolation guarantee is load-bearing here, and the
@@ -473,7 +677,28 @@ func (s *session) writer() {
 	row := int32(obs.ReqRowBase + s.id)
 	for p := range s.q {
 		resp := p.resp
-		if p.fut != nil {
+		switch {
+		case p.prepE != nil:
+			e := p.prepE
+			select {
+			case <-e.started:
+				// Effects held, body parked: the coordinator may commit.
+				resp = &Response{ID: p.id, Status: StatusPrepared}
+			case <-e.done:
+				// Resolved without ever starting (cancelled, shed, or the
+				// connection died first): the prepare answers the terminal
+				// status and the hold is forgotten.
+				resp = s.resolveHold(e, p.id)
+				s.mu.Lock()
+				delete(s.prep, e.id)
+				s.mu.Unlock()
+			}
+		case p.holdE != nil:
+			resp = s.resolveHold(p.holdE, p.id)
+			if p.silent {
+				continue // reaper pending: accounting only, client is gone
+			}
+		case p.fut != nil:
 			v, err := s.srv.rt.GetValue(p.fut)
 			resp = s.classify(p.id, v, err)
 			s.srv.m.DecInflight()
@@ -548,24 +773,39 @@ func (s *session) emitSpans(p *pending, respTS int64, row int32) {
 	m.Phase[PhaseRespond].Observe(dur)
 }
 
+// classify accounts a resolved outcome into the Served/Shed/Cancelled/
+// Errors split and returns its wire response. Exactly one classify per
+// admitted op — replays of an already-accounted hold use respFor.
 func (s *session) classify(id uint64, v any, err error) *Response {
 	m := &s.srv.m
 	switch {
 	case err == nil:
 		m.Served.Add(1)
+	case errors.Is(err, core.ErrDeadlineExceeded):
+		m.Shed.Add(1)
+	case errors.Is(err, core.ErrCancelled):
+		m.Cancelled.Add(1)
+	default:
+		m.Errors.Add(1)
+	}
+	return respFor(id, v, err)
+}
+
+// respFor maps a resolved outcome to its wire response without touching
+// any counter.
+func respFor(id uint64, v any, err error) *Response {
+	switch {
+	case err == nil:
 		resp := &Response{ID: id, Status: StatusOK}
 		if val, ok := v.(int64); ok {
 			resp.Val = val
 		}
 		return resp
 	case errors.Is(err, core.ErrDeadlineExceeded):
-		m.Shed.Add(1)
 		return &Response{ID: id, Status: StatusShed, Err: err.Error()}
 	case errors.Is(err, core.ErrCancelled):
-		m.Cancelled.Add(1)
 		return &Response{ID: id, Status: StatusCancelled}
 	default:
-		m.Errors.Add(1)
 		return &Response{ID: id, Status: StatusError, Err: err.Error()}
 	}
 }

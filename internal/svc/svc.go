@@ -35,6 +35,23 @@ type Config struct {
 	Isolcheck   bool // attach the isolation-oracle monitor
 	EffCacheMax int  // effect-cache bound (default 4096)
 
+	// ShardID is this server's stable identity inside a twe-cluster fleet
+	// (0-based; DESIGN.md §16). It is surfaced in DebugSnapshot//debug/twe
+	// and the Prometheus exposition so the router's health probes and
+	// drain orchestration have something to key on. A server with ShardID
+	// 0 must also set Advertise; otherwise the zero Config value is
+	// normalized to -1, meaning standalone.
+	ShardID int
+	// Advertise is the address the server publishes to the control plane
+	// (DebugSnapshot, Prometheus). Empty means the actual listen address.
+	Advertise string
+
+	// PrepareHold bounds how long a prepared cross-shard hold (OpPrepare)
+	// may park waiting for its commit/abort before it self-aborts and
+	// releases its effects (default 5s). The guarantee that a dead
+	// coordinator cannot wedge a shard forever rests on this.
+	PrepareHold time.Duration
+
 	// ReqTrace turns on per-request span tracing (DESIGN.md §14): codecs
 	// stamp frame read/decode times, the writer emits the
 	// recv→decode→wait→exec→respond span chain onto the tracer, and the
@@ -84,6 +101,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Keys <= 0 {
 		c.Keys = 256
+	}
+	if c.ShardID == 0 && c.Advertise == "" {
+		c.ShardID = -1 // standalone (see the ShardID doc comment)
+	}
+	if c.PrepareHold <= 0 {
+		c.PrepareHold = 5 * time.Second
 	}
 	return c
 }
@@ -177,6 +200,18 @@ func Start(cfg Config) (*Server, error) {
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ShardID returns the configured cluster shard id, -1 when standalone.
+func (s *Server) ShardID() int { return s.cfg.ShardID }
+
+// AdvertiseAddr returns the address the server publishes to the control
+// plane: Config.Advertise, or the bound listen address when unset.
+func (s *Server) AdvertiseAddr() string {
+	if s.cfg.Advertise != "" {
+		return s.cfg.Advertise
+	}
+	return s.Addr()
+}
 
 // Tracer returns the runtime's (effective) tracer.
 func (s *Server) Tracer() *obs.Tracer { return s.tr }
@@ -272,7 +307,17 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	if _, err := s.tr.Metrics().WriteTo(w); err != nil {
 		return err
 	}
-	_, err := s.m.WriteTo(w)
+	if _, err := s.m.WriteTo(w); err != nil {
+		return err
+	}
+	// Shard identity for the cluster control plane (DESIGN.md §16): the
+	// stable shard id as the gauge value (-1 = standalone) and the
+	// advertised address as a label, so a scrape alone identifies the
+	// fleet member.
+	_, err := fmt.Fprintf(w,
+		"# HELP twe_serve_shard_id Cluster shard identity (-1 = standalone); the addr label is the advertised address.\n"+
+			"# TYPE twe_serve_shard_id gauge\ntwe_serve_shard_id{addr=%q} %d\n",
+		s.AdvertiseAddr(), s.cfg.ShardID)
 	return err
 }
 
@@ -328,7 +373,7 @@ func (s *Server) Drain(timeout time.Duration) error {
 		ops += sess.ops
 	}
 	s.mu.Unlock()
-	if served := s.m.Served.Load(); ops != served {
+	if served := s.m.Served.Load(); ops+s.m.PureHolds.Load() != served {
 		probs = append(probs, fmt.Sprintf("served accounting mismatch: store ops %d != served %d", ops, served))
 	}
 	if len(probs) > 0 {

@@ -52,6 +52,19 @@ const (
 	OpCancel = "cancel" // best-effort cancel of the in-flight request with id Target
 	OpStats  = "stats"  // server counters snapshot
 	OpBatch  = "batch"  // Batch carries inner requests admitted as one group
+
+	// Two-phase cross-shard admission ops (DESIGN.md §16), v1-only: the
+	// cluster coordinator lane speaks JSON to the shards it prepares on.
+	// A prepare admits a *hold* task under the declared effect whose body
+	// answers StatusPrepared the moment it starts (the effects are now
+	// held), then parks until a commit or abort targeting the prepare's
+	// id arrives; Sub names the inner data op the commit should execute
+	// (empty = pure hold). Commit/abort are inline control ops — they
+	// never enter the runtime, so they cannot queue behind the very hold
+	// they release — and their response carries the hold's outcome.
+	OpPrepare = "prepare"
+	OpCommit  = "commit"
+	OpAbort   = "abort"
 )
 
 // Response statuses.
@@ -63,6 +76,7 @@ const (
 	StatusCancelled = "cancelled" // cancelled before it performed any access
 	StatusRejected  = "rejected"  // malformed request, bad effect, or insufficient declared effect
 	StatusError     = "error"     // body failed (panic, dyneff retry budget, ...)
+	StatusPrepared  = "prepared"  // prepare op: the hold started; its declared effects are held
 )
 
 // Request is one client frame. Eff is the declared effect summary in the
@@ -80,7 +94,10 @@ type Request struct {
 	Key    int    `json:"key,omitempty"`
 	Val    int64  `json:"val,omitempty"`
 	Eff    string `json:"eff,omitempty"`
-	Target uint64 `json:"target,omitempty"` // cancel: id of the request to cancel
+	Target uint64 `json:"target,omitempty"` // cancel: id of the request to cancel; commit/abort: the prepare id
+	// Sub is the inner data op of an OpPrepare frame (put/get/scan/add, or
+	// empty for a pure hold that performs no access when committed).
+	Sub string `json:"sub,omitempty"`
 	// Batch holds the inner requests of an OpBatch frame. One frame
 	// carries the whole group; every inner data op runs the normal
 	// admission state machine but all admitted ops enter the runtime
@@ -109,6 +126,12 @@ type Request struct {
 	// connection.
 	wireErr error
 
+	// effRef/hasEffRef record the v2 effect-table ref the declared effect
+	// resolved through, so a proxy (internal/cluster) can memoize
+	// per-request work keyed on the small integer instead of the set.
+	effRef    uint32
+	hasEffRef bool
+
 	// Request-trace stamps, filled by the server codecs only when request
 	// tracing is on (tracer-clock ns): when the frame read began, how long
 	// the read took, and how long decoding took.
@@ -116,6 +139,21 @@ type Request struct {
 	recvNS int64
 	decNS  int64
 }
+
+// ResolvedEffect returns the pre-parsed declared effect when the codec
+// resolved one (v2 interned submits); the second result is false on the
+// v1 path, where Eff carries the textual summary instead.
+func (r *Request) ResolvedEffect() (effect.Set, bool) { return r.resolved, r.hasResolved }
+
+// WireErr returns the per-request decode problem recorded by the codec
+// (e.g. an unknown v2 effect ref), nil if the request decoded cleanly.
+func (r *Request) WireErr() error { return r.wireErr }
+
+// EffRef returns the v2 effect-table ref this request's declared effect
+// resolved through, when there was one. Refs are connection-scoped and
+// may be re-registered; callers memoizing on the ref must validate the
+// resolved set still matches.
+func (r *Request) EffRef() (uint32, bool) { return r.effRef, r.hasEffRef }
 
 // Response is one server frame. Responses are written in request order
 // per connection (pipelining preserves FIFO).

@@ -456,6 +456,8 @@ func decodeClientFrameV2(cur *v2cur, op byte, tbl *EffectTable, req *Request, in
 		default:
 			req.resolved = set
 			req.hasResolved = true
+			req.effRef = uint32(ref)
+			req.hasEffRef = true
 		}
 		return nil
 
