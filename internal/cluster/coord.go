@@ -86,6 +86,17 @@ func (co *coordinator) close() {
 func (r *Router) crossOp(clientSid int, req *svc.Request, declared effect.Set, dec Decision) *svc.Response {
 	owner := OwnerOfKey(req.Key, r.storeShards, r.n)
 	scanAll := req.Op == svc.OpScan
+	if !scanAll && dec.Mask&(1<<uint(owner)) == 0 {
+		// A non-scan op's body runs only on its key's owner member. If the
+		// declared effect touches several members but none of them is the
+		// owner, every leg would be a pure hold: the op would execute
+		// nowhere yet report StatusOK — and no member's coverage check
+		// would fire, because the owner (the one whose Covers would
+		// reject) never sees the request. A single node rejects exactly
+		// this shape via Covers; reject it here for the same reason.
+		return &svc.Response{Status: svc.StatusRejected,
+			Err: fmt.Sprintf("declared effect does not cover key %d's member %d", req.Key, owner)}
+	}
 	if r.cfg.CrossLane == "serial" {
 		return r.coord.runSerial(clientSid, req, declared, dec.Mask, owner, scanAll)
 	}

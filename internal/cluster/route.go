@@ -111,6 +111,10 @@ func Route(set effect.Set, n int) Decision {
 
 // OwnerOfKey places a store-region-free op (KindNone) by key ownership:
 // the member owning the key's store shard, for a store of storeShards.
+// The result is always a valid member index, even for out-of-range keys
+// (Go's % preserves sign) — the router rejects those before forwarding,
+// but a routing function that can return an out-of-range index is a
+// panic waiting for the next caller.
 func OwnerOfKey(key, storeShards, n int) int {
 	if storeShards < 1 {
 		storeShards = 1
@@ -118,7 +122,11 @@ func OwnerOfKey(key, storeShards, n int) int {
 	if n < 1 {
 		n = 1
 	}
-	return (key % storeShards) % n
+	shard := key % storeShards
+	if shard < 0 {
+		shard += storeShards
+	}
+	return shard % n
 }
 
 // fullMask is the all-members mask for a fleet of n.

@@ -234,3 +234,24 @@ func TestRouteGlobalCorners(t *testing.T) {
 		}
 	}
 }
+
+// TestOwnerOfKeyAlwaysValid: OwnerOfKey must return a valid member index
+// for every key, including negative and oversized ones (Go's % preserves
+// sign; the router rejects bad keys before forwarding, but the routing
+// function itself must never hand back an out-of-range index).
+func TestOwnerOfKeyAlwaysValid(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 64} {
+		for _, shards := range []int{1, 4, 8, 13} {
+			for _, key := range []int{-1 << 30, -257, -8, -1, 0, 1, 7, 255, 1 << 30} {
+				got := OwnerOfKey(key, shards, n)
+				if got < 0 || got >= n {
+					t.Fatalf("OwnerOfKey(%d, %d, %d) = %d, out of [0,%d)", key, shards, n, got, n)
+				}
+			}
+		}
+	}
+	// In-range keys keep the documented placement.
+	if got := OwnerOfKey(5, 8, 3); got != (5%8)%3 {
+		t.Fatalf("OwnerOfKey(5,8,3) = %d, want %d", got, (5%8)%3)
+	}
+}

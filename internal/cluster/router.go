@@ -297,11 +297,28 @@ func (r *Router) Drain(timeout time.Duration) error {
 // the rewritten effect string per member (filled lazily as upstreams
 // dial). v1 keys the memo by the effect string, v2 by the connection's
 // effect ref (validated against the resolved set, since refs may be
-// re-registered).
+// re-registered). Each rewritten string remembers the upstream session
+// id it was computed for: a member re-dial gets a fresh sid, and
+// forwarding a stale Session:[oldSid] rewrite would land the op in
+// another session's namespace.
 type routeMemo struct {
 	set       effect.Set
 	dec       Decision
 	rewritten []string // per member; "" = not yet computed
+	rewSID    []int    // upstream sid rewritten[k] was computed against
+}
+
+func newRouteMemo(set effect.Set, n int) *routeMemo {
+	return &routeMemo{set: set, dec: Route(set, n),
+		rewritten: make([]string, n), rewSID: make([]int, n)}
+}
+
+// upConn is one session's connection to one member. dead is closed by
+// its recvLoop on exit; forwards check it after registering an entry so
+// an op can never be parked on a connection nobody is reading from.
+type upConn struct {
+	c    *svc.Client
+	dead chan struct{}
 }
 
 // proxyEntry is one response owed to the client: either forwarded (resp
@@ -327,10 +344,13 @@ type rsession struct {
 	mu   sync.Mutex
 	byID map[uint64]*proxyEntry
 
-	ups []*svc.Client  // per member, lazily dialed; nil slot = not yet
+	// ups is guarded by mu: the reader goroutine dials slots lazily and
+	// each member's recvLoop clears its own slot on connection loss, so
+	// the next forward re-dials instead of writing into a dead socket.
+	ups []*upConn
 	wg  sync.WaitGroup // outstanding counted entries (cross-op barrier)
 
-	memoV1 map[string]*routeMemo
+	memoV1 map[string]*routeMemo // bounded by cfg.EffCacheSize
 	memoV2 []*routeMemo
 }
 
@@ -338,7 +358,7 @@ func newRSession(r *Router, sid int, conn net.Conn) *rsession {
 	return &rsession{r: r, sid: sid, conn: conn,
 		q:      make(chan *proxyEntry, 256),
 		byID:   make(map[uint64]*proxyEntry),
-		ups:    make([]*svc.Client, r.n),
+		ups:    make([]*upConn, r.n),
 		memoV1: make(map[string]*routeMemo),
 	}
 }
@@ -370,9 +390,12 @@ func (s *rsession) main() {
 	s.reader()
 	close(s.q)
 	<-writerDone
-	for _, up := range s.ups {
-		if up != nil {
-			up.Close()
+	s.mu.Lock()
+	ups := append([]*upConn(nil), s.ups...)
+	s.mu.Unlock()
+	for _, u := range ups {
+		if u != nil {
+			u.c.Close()
 		}
 	}
 }
@@ -439,13 +462,12 @@ func (s *rsession) handleCancel(req *svc.Request) {
 	s.r.m.ControlOps.Add(1)
 	s.mu.Lock()
 	target := s.byID[req.Target]
-	s.mu.Unlock()
-	if target == nil || target.shard < 0 {
-		s.local(&svc.Response{ID: req.ID, Status: svc.StatusOK, Val: 0})
-		return
+	var u *upConn
+	if target != nil && target.shard >= 0 {
+		u = s.ups[target.shard]
 	}
-	up := s.ups[target.shard]
-	if up == nil {
+	s.mu.Unlock()
+	if target == nil || target.shard < 0 || u == nil {
 		s.local(&svc.Response{ID: req.ID, Status: svc.StatusOK, Val: 0})
 		return
 	}
@@ -454,15 +476,7 @@ func (s *rsession) handleCancel(req *svc.Request) {
 	s.byID[req.ID] = e
 	s.mu.Unlock()
 	fwd := svc.Request{ID: req.ID, Op: svc.OpCancel, Target: req.Target}
-	if err := up.Send(&fwd); err == nil {
-		err = up.Flush()
-		if err == nil {
-			s.q <- e
-			return
-		}
-	}
-	s.failEntry(e, fmt.Errorf("member %d unreachable", target.shard))
-	s.q <- e
+	s.dispatch(u, e, &fwd, fmt.Sprintf("member %d unreachable", target.shard))
 }
 
 // handleData routes one data op by its declared effect and forwards it.
@@ -476,6 +490,16 @@ func (s *rsession) handleData(req *svc.Request) {
 	if err := req.WireErr(); err != nil {
 		reject("%v", err)
 		return
+	}
+	// Key-range validation mirrors the member-side buildTask check, but
+	// must happen here too: routing (OwnerOfKey, perShard ledgers) indexes
+	// by the key's owner before any member ever sees the request.
+	switch req.Op {
+	case svc.OpPut, svc.OpGet, svc.OpAdd:
+		if req.Key < 0 || req.Key >= s.r.keys {
+			reject("key %d out of range [0,%d)", req.Key, s.r.keys)
+			return
+		}
 	}
 	memo, err := s.routeFor(req)
 	if err != nil {
@@ -509,7 +533,7 @@ func (s *rsession) routeFor(req *svc.Request) (*routeMemo, error) {
 		if m := s.memoV2[ref]; m != nil && m.set.Equal(set) {
 			return m, nil
 		}
-		m := &routeMemo{set: set, dec: Route(set, s.r.n), rewritten: make([]string, s.r.n)}
+		m := newRouteMemo(set, s.r.n)
 		s.memoV2[ref] = m
 		return m, nil
 	}
@@ -522,49 +546,67 @@ func (s *rsession) routeFor(req *svc.Request) (*routeMemo, error) {
 		if err != nil {
 			return nil, err
 		}
-		m := &routeMemo{set: set, dec: Route(set, s.r.n), rewritten: make([]string, s.r.n)}
+		m := newRouteMemo(set, s.r.n)
+		if len(s.memoV1) >= s.r.cfg.EffCacheSize {
+			// Keep the memo bounded like the shared EffectCache: a client
+			// cycling distinct effect strings must not grow router memory
+			// without bound. Map iteration order gives a cheap arbitrary
+			// eviction victim.
+			for k := range s.memoV1 {
+				delete(s.memoV1, k)
+				break
+			}
+		}
 		s.memoV1[req.Eff] = m
 		return m, nil
 	}
-	return &routeMemo{set: set, dec: Route(set, s.r.n), rewritten: make([]string, s.r.n)}, nil
+	return newRouteMemo(set, s.r.n), nil
 }
 
-// upstream returns (dialing on first use) this session's connection to
-// member k. Each client session gets its own upstream per member, so the
-// member assigns it a dedicated session id — program order per
-// (client, member) rides on the upstream's session effect exactly as it
-// does for a directly-connected client.
-func (s *rsession) upstream(k int) (*svc.Client, error) {
-	if up := s.ups[k]; up != nil {
-		return up, nil
+// upstream returns (dialing on first use, or re-dialing after its
+// recvLoop cleared the slot on connection loss) this session's
+// connection to member k. Each client session gets its own upstream per
+// member, so the member assigns it a dedicated session id — program
+// order per (client, member) rides on the upstream's session effect
+// exactly as it does for a directly-connected client.
+func (s *rsession) upstream(k int) (*upConn, error) {
+	s.mu.Lock()
+	u := s.ups[k]
+	s.mu.Unlock()
+	if u != nil {
+		return u, nil
 	}
-	up, err := svc.DialProto(s.r.cfg.Shards[k], svc.ProtoV2)
+	c, err := svc.DialProto(s.r.cfg.Shards[k], svc.ProtoV2)
 	if err != nil {
 		return nil, err
 	}
-	s.ups[k] = up
-	go s.recvLoop(k, up)
-	return up, nil
+	u = &upConn{c: c, dead: make(chan struct{})}
+	s.mu.Lock()
+	s.ups[k] = u
+	s.mu.Unlock()
+	go s.recvLoop(k, u)
+	return u, nil
 }
 
 // forward sends req to member k with its session effect rewritten into
 // the upstream connection's namespace.
 func (s *rsession) forward(k int, req *svc.Request, memo *routeMemo) {
-	up, err := s.upstream(k)
+	u, err := s.upstream(k)
 	if err != nil {
 		s.r.m.Errors.Add(1)
 		s.local(&svc.Response{ID: req.ID, Status: svc.StatusError,
 			Err: fmt.Sprintf("member %d unavailable: %v", k, err)})
 		return
 	}
-	if memo.rewritten[k] == "" {
-		rw, err := RewriteSession(memo.set, s.sid, up.SID)
+	if memo.rewritten[k] == "" || memo.rewSID[k] != u.c.SID {
+		rw, err := RewriteSession(memo.set, s.sid, u.c.SID)
 		if err != nil {
 			s.r.m.Rejected.Add(1)
 			s.local(&svc.Response{ID: req.ID, Status: svc.StatusRejected, Err: err.Error()})
 			return
 		}
 		memo.rewritten[k] = rw.String()
+		memo.rewSID[k] = u.c.SID
 	}
 	e := &proxyEntry{id: req.ID, shard: k, counted: true, isData: true,
 		sent: time.Now(), done: make(chan struct{})}
@@ -577,25 +619,51 @@ func (s *rsession) forward(k int, req *svc.Request, memo *routeMemo) {
 	s.mu.Unlock()
 	fwd := svc.Request{ID: req.ID, Op: req.Op, Key: req.Key, Val: req.Val,
 		Eff: memo.rewritten[k], Trace: req.Trace}
-	if err := up.Send(&fwd); err == nil {
-		err = up.Flush()
-		if err == nil {
-			s.q <- e
-			return
-		}
+	s.dispatch(u, e, &fwd, fmt.Sprintf("member %d send failed", k))
+}
+
+// dispatch writes an already-registered entry's request to its upstream
+// and hands the entry to the writer. If the send fails — or the
+// upstream's recvLoop has already exited, in which case a send can
+// still "succeed" into the kernel buffer of a half-dead socket with
+// nobody left to match the response — the entry is failed locally.
+// Settlement stays single-shot either way: failEntry only settles if
+// the entry is still registered, and the dead-channel check is ordered
+// against recvLoop's orphan sweep (dead is closed before the sweep;
+// the entry was registered before this check), so an entry registered
+// after the sweep is always caught here.
+func (s *rsession) dispatch(u *upConn, e *proxyEntry, fwd *svc.Request, failMsg string) {
+	err := u.c.Send(fwd)
+	if err == nil {
+		err = u.c.Flush()
 	}
-	s.failEntry(e, fmt.Errorf("member %d send failed", k))
+	if err == nil {
+		select {
+		case <-u.dead:
+			s.failEntry(e, errors.New(failMsg))
+		default:
+		}
+		s.q <- e
+		return
+	}
+	s.failEntry(e, errors.New(failMsg))
 	s.q <- e
 }
 
 // recvLoop matches member k's responses to their entries. On upstream
-// failure every entry still owed by that member fails with an error
-// status so the writer (and the barrier) never hang.
-func (s *rsession) recvLoop(k int, up *svc.Client) {
+// failure it marks the connection dead, clears the member's slot (so
+// the next forward re-dials instead of writing into a dead socket), and
+// fails every entry still owed by that member so the writer (and the
+// barrier) never hang.
+func (s *rsession) recvLoop(k int, u *upConn) {
 	for {
-		resp, err := up.Recv()
+		resp, err := u.c.Recv()
 		if err != nil {
+			close(u.dead) // before the sweep: dispatch checks dead after registering
 			s.mu.Lock()
+			if s.ups[k] == u {
+				s.ups[k] = nil
+			}
 			var orphans []*proxyEntry
 			for id, e := range s.byID {
 				if e.shard == k {
@@ -604,6 +672,7 @@ func (s *rsession) recvLoop(k int, up *svc.Client) {
 				}
 			}
 			s.mu.Unlock()
+			u.c.Close()
 			for _, e := range orphans {
 				s.settle(e, &svc.Response{ID: e.id, Status: svc.StatusError,
 					Err: fmt.Sprintf("member %d connection lost", k)})
@@ -624,7 +693,9 @@ func (s *rsession) recvLoop(k int, up *svc.Client) {
 }
 
 // settle resolves a forwarded entry exactly once: record the outcome,
-// release the accounting the forward took, and wake the writer.
+// release the accounting the forward took, and wake the writer. The
+// exactly-once contract rides on byID: only the path that removed the
+// entry's registration calls settle.
 func (s *rsession) settle(e *proxyEntry, resp *svc.Response) {
 	e.resp = resp
 	if e.isData {
@@ -645,11 +716,20 @@ func (s *rsession) settle(e *proxyEntry, resp *svc.Response) {
 }
 
 // failEntry settles a forwarded entry with a local error after a send
-// failure, removing its id registration first.
+// failure, but only if it is still registered: if recvLoop's orphan
+// sweep (or a response) already claimed the id, that path owns the
+// settle and doing it again would double-release flow/wg and close a
+// closed channel.
 func (s *rsession) failEntry(e *proxyEntry, err error) {
 	s.mu.Lock()
-	delete(s.byID, e.id)
+	owned := s.byID[e.id] == e
+	if owned {
+		delete(s.byID, e.id)
+	}
 	s.mu.Unlock()
+	if !owned {
+		return
+	}
 	s.settle(e, &svc.Response{ID: e.id, Status: svc.StatusError, Err: err.Error()})
 }
 
@@ -668,20 +748,20 @@ func (s *rsession) local(resp *svc.Response) {
 func (s *rsession) cancelOutstanding() int {
 	s.mu.Lock()
 	type tgt struct {
-		shard int
-		id    uint64
+		u  *upConn
+		id uint64
 	}
 	var tgts []tgt
 	for id, e := range s.byID {
 		if e.shard >= 0 && e.counted {
-			tgts = append(tgts, tgt{e.shard, id})
+			tgts = append(tgts, tgt{s.ups[e.shard], id})
 		}
 	}
 	s.mu.Unlock()
 	for _, t := range tgts {
-		if up := s.ups[t.shard]; up != nil {
-			up.Send(&svc.Request{ID: 0, Op: svc.OpCancel, Target: t.id})
-			up.Flush()
+		if t.u != nil {
+			t.u.c.Send(&svc.Request{ID: 0, Op: svc.OpCancel, Target: t.id})
+			t.u.c.Flush()
 		}
 	}
 	return len(tgts)

@@ -263,3 +263,203 @@ func TestClusterCrossShardConflict(t *testing.T) {
 	awaitFleetClean(t, f.router)
 	f.drainClean(t)
 }
+
+// TestRouterRejectsOutOfRangeKeys: a malformed key must be rejected at
+// the router, never routed — a negative key on a session-only (KindNone)
+// effect used to drive OwnerOfKey to a negative member index and panic
+// the whole router process.
+func TestRouterRejectsOutOfRangeKeys(t *testing.T) {
+	f := startFleet(t, 2, "2pc")
+	c, err := svc.Dial(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		op  string
+		key int
+		eff string
+	}{
+		{svc.OpAdd, -1, svc.AddEffect(c.SID)},
+		{svc.OpAdd, c.Keys, svc.AddEffect(c.SID)},
+		{svc.OpPut, -7, svc.PutEffect(c.Shards, 0, c.SID)},
+		{svc.OpGet, c.Keys + 100, svc.GetEffect(c.Shards, 0, c.SID)},
+	}
+	for _, tc := range cases {
+		resp, err := c.Do(&svc.Request{Op: tc.op, Key: tc.key, Val: 1, Eff: tc.eff})
+		if err != nil {
+			t.Fatalf("%s key %d: %v", tc.op, tc.key, err)
+		}
+		if resp.Status != svc.StatusRejected {
+			t.Fatalf("%s key %d: status %q (%s), want rejected", tc.op, tc.key, resp.Status, resp.Err)
+		}
+	}
+	// The router (and this session) must still be fully alive.
+	resp, err := c.Do(&svc.Request{Op: svc.OpPut, Key: 1, Val: 9, Eff: svc.PutEffect(c.Shards, 1, c.SID)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != svc.StatusOK {
+		t.Fatalf("follow-up put: status %q (%s), want ok", resp.Status, resp.Err)
+	}
+	c.Close()
+	f.drainClean(t)
+}
+
+// TestCrossOpMustCoverOwner: a cross-shard non-scan op whose declared
+// effect does not reach its key's owner member must be rejected. Before
+// this check every leg was a pure hold — the op executed nowhere, no
+// member's Covers fired, and the router answered StatusOK for a silent
+// no-op, breaking the observationally-single-node contract.
+func TestCrossOpMustCoverOwner(t *testing.T) {
+	for _, lane := range []string{"2pc", "serial"} {
+		t.Run(lane, func(t *testing.T) {
+			f := startFleet(t, 3, lane)
+			c, err := svc.Dial(f.addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Key 0 lives on store shard 0 → member 0; the declared effect
+			// touches members 1 and 2 only.
+			eff := fmt.Sprintf("writes Root:Shard:[1], writes Root:Shard:[2], writes Root:Session:[%d]", c.SID)
+			resp, err := c.Do(&svc.Request{Op: svc.OpPut, Key: 0, Val: 5, Eff: eff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Status != svc.StatusRejected {
+				t.Fatalf("uncovered cross put: status %q (%s), want rejected", resp.Status, resp.Err)
+			}
+			// The same shape covering the owner is admitted normally.
+			eff = fmt.Sprintf("writes Root:Shard:[0], writes Root:Shard:[1], writes Root:Session:[%d]", c.SID)
+			resp, err = c.Do(&svc.Request{Op: svc.OpPut, Key: 0, Val: 5, Eff: eff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Status != svc.StatusOK {
+				t.Fatalf("covered cross put: status %q (%s), want ok", resp.Status, resp.Err)
+			}
+			c.Close()
+			f.drainClean(t)
+		})
+	}
+}
+
+// TestMemberLossFailsFastAndRecovers: when a member dies mid-session the
+// ops it owes must fail with an error status (never wedge the session),
+// later forwards to it must fail fast through a re-dial attempt, and
+// traffic to surviving members — plus a clean router drain — must keep
+// working. Before the recvLoop slot-clearing fix, the first forward
+// after the loss parked an entry on the dead connection forever and a
+// drain could never finish.
+func TestMemberLossFailsFastAndRecovers(t *testing.T) {
+	f := startFleet(t, 2, "2pc")
+	c, err := svc.Dial(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(&svc.Request{Op: svc.OpPut, Key: 1, Val: 1, Eff: svc.PutEffect(c.Shards, 1, c.SID)})
+	if err != nil || resp.Status != svc.StatusOK {
+		t.Fatalf("warm-up put to member 1: %v / %+v", err, resp)
+	}
+	// Kill member 1 (key 1's owner).
+	if err := f.shards[1].Drain(5 * time.Second); err != nil {
+		t.Fatalf("drain shard 1: %v", err)
+	}
+	// Every subsequent op owned by member 1 must resolve with an error
+	// status — whether it races the connection-loss sweep or hits the
+	// cleared slot's failed re-dial.
+	for i := 0; i < 3; i++ {
+		resp, err = c.Do(&svc.Request{Op: svc.OpPut, Key: 1, Val: 2, Eff: svc.PutEffect(c.Shards, 1, c.SID)})
+		if err != nil {
+			t.Fatalf("put %d after member loss: transport error %v (session wedged?)", i, err)
+		}
+		if resp.Status != svc.StatusError {
+			t.Fatalf("put %d after member loss: status %q (%s), want error", i, resp.Status, resp.Err)
+		}
+	}
+	// The surviving member still serves.
+	resp, err = c.Do(&svc.Request{Op: svc.OpPut, Key: 0, Val: 3, Eff: svc.PutEffect(c.Shards, 0, c.SID)})
+	if err != nil || resp.Status != svc.StatusOK {
+		t.Fatalf("put to surviving member 0: %v / %+v", err, resp)
+	}
+	c.Close()
+	if err := f.router.Drain(10 * time.Second); err != nil {
+		t.Errorf("router drain after member loss: %v", err)
+	}
+	if err := f.shards[0].Drain(5 * time.Second); err != nil {
+		t.Errorf("drain shard 0: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if v := f.shards[i].Violations(); len(v) != 0 {
+			t.Errorf("shard %d isolation violations: %v", i, v)
+		}
+	}
+}
+
+// TestMemoV1Bounded: the per-session v1 route memo must stay bounded by
+// EffCacheSize no matter how many distinct effect strings a client
+// cycles through.
+func TestMemoV1Bounded(t *testing.T) {
+	const cap = 8
+	s, err := svc.Start(svc.Config{Isolcheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{Shards: []string{s.Addr()}, EffCacheSize: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go r.Serve(ln)
+	c, err := svc.DialProto(ln.Addr().String(), svc.ProtoV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	if len(r.live) != 1 {
+		r.mu.Unlock()
+		t.Fatalf("want 1 live session, have %d", len(r.live))
+	}
+	var sess *rsession
+	for s := range r.live {
+		sess = s
+	}
+	r.mu.Unlock()
+	for i := 0; i < 4*cap; i++ {
+		// Distinct strings, all covering the put's required set (the extra
+		// session-subtree write is subsumed by the session write).
+		eff := fmt.Sprintf("writes Root:Shard:[1], writes Root:Session:[%d], writes Root:Session:[%d]:[%d]", c.SID, c.SID, i)
+		resp, err := c.Do(&svc.Request{Op: svc.OpPut, Key: 1, Val: int64(i), Eff: eff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != svc.StatusOK {
+			t.Fatalf("put %d: status %q (%s)", i, resp.Status, resp.Err)
+		}
+	}
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r.mu.Lock()
+		n := len(r.live)
+		r.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never closed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := len(sess.memoV1); got > cap {
+		t.Fatalf("memoV1 grew to %d entries, want <= %d", got, cap)
+	}
+	if err := r.Drain(5 * time.Second); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+	if err := s.Drain(5 * time.Second); err != nil {
+		t.Errorf("shard drain: %v", err)
+	}
+}
