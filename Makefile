@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz faults obs-smoke serve serve-smoke batch-smoke proto-smoke prof-smoke spec-smoke cluster-smoke proto-fuzz check
+.PHONY: build test race vet fuzz faults obs-smoke serve serve-smoke batch-smoke proto-smoke prof-smoke spec-smoke cluster-smoke lockfree-smoke proto-fuzz check
 
 build:
 	$(GO) build ./...
@@ -98,6 +98,14 @@ spec-smoke:
 cluster-smoke:
 	$(GO) test -race ./internal/cluster/ ./internal/spec/
 	./scripts/cluster-smoke.sh
+
+# Lock-free admission gate (see DESIGN.md §17): the fast-path stress
+# batteries under -race, exhaustive exploration of the epoch-snapshot
+# admission model (plus protocol-break catching), race-built three-way
+# differential fuzz across the fast/slow boundary, and the >= 1.2x
+# BenchmarkSubmitBatch perf gate.
+lockfree-smoke:
+	./scripts/lockfree-smoke.sh
 
 # Open-ended coverage-guided fuzzing of the v2 frame decoders (the
 # pinned corpus replays in ordinary test runs; this explores beyond it).

@@ -19,13 +19,26 @@ import (
 	"twe/internal/apps/tsp"
 	"twe/internal/core"
 	"twe/internal/effect"
-	"twe/internal/naive"
 	"twe/internal/rpl"
-	"twe/internal/tree"
+	"twe/internal/sched"
 )
 
-func mkNaive() core.Scheduler { return naive.New() }
-func mkTree() core.Scheduler  { return tree.New() }
+// mkSched resolves a scheduler constructor through the unified factory
+// (internal/sched) so the benchmarks exercise exactly what the binaries
+// run.
+func mkSched(name string) func() core.Scheduler {
+	mk, err := sched.Maker(sched.Config{Name: name})
+	if err != nil {
+		panic(err)
+	}
+	return mk
+}
+
+var (
+	mkNaive    = mkSched("naive")
+	mkTree     = mkSched("tree")
+	mkLockFree = mkSched("tree-lockfree")
+)
 
 func par() int { return runtime.GOMAXPROCS(0) }
 
@@ -326,7 +339,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	for _, tc := range []struct {
 		name string
 		mk   func() core.Scheduler
-	}{{"SingleQueue", mkNaive}, {"Tree", mkTree}} {
+	}{{"SingleQueue", mkNaive}, {"Tree", mkTree}, {"TreeLockFree", mkLockFree}} {
 		b.Run(tc.name+"/Disjoint", func(b *testing.B) {
 			rt := core.NewRuntime(tc.mk(), par())
 			defer rt.Shutdown()
@@ -367,7 +380,11 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 // tasks to the pool — because that is what batching amortizes; each
 // iteration still drains the group (untimed) so queue depth stays
 // bounded. submits/s is the acceptance metric recorded in
-// BENCH_batch.json: Tree/Batch must clear ≥1.5× Tree/PerTask.
+// BENCH_batch.json: Tree/Batch must clear ≥1.5× Tree/PerTask, and the
+// §17 lock-free fast path (TreeLockFree/PerTask vs Tree/PerTask) must
+// clear ≥1.2× — the effects here are fully specified and disjoint, so
+// every admission should take the epoch-validated fast path
+// (scripts/lockfree-smoke.sh gates on this pair).
 func BenchmarkSubmitBatch(b *testing.B) {
 	const batch = 64
 	// Disjoint regions under a shared namespace prefix (the shape a
@@ -395,7 +412,7 @@ func BenchmarkSubmitBatch(b *testing.B) {
 	for _, tc := range []struct {
 		name string
 		mk   func() core.Scheduler
-	}{{"SingleQueue", mkNaive}, {"Tree", mkTree}} {
+	}{{"SingleQueue", mkNaive}, {"Tree", mkTree}, {"TreeLockFree", mkLockFree}} {
 		b.Run(tc.name+"/PerTask", func(b *testing.B) {
 			rt := core.NewRuntime(tc.mk(), par())
 			defer rt.Shutdown()
@@ -431,8 +448,9 @@ func BenchmarkRootRWAblation(b *testing.B) {
 		name string
 		mk   func() core.Scheduler
 	}{
-		{"RootRW", func() core.Scheduler { return tree.New() }},
-		{"RootMutex", func() core.Scheduler { return tree.NewWithOptions(tree.Options{DisableRootRW: true}) }},
+		{"RootRW", mkTree},
+		{"RootMutex", mkSched("tree-rootmutex")},
+		{"LockFree", mkLockFree},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			rt := core.NewRuntime(tc.mk(), par())

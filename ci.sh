@@ -100,6 +100,14 @@ echo '== spec smoke =='
 echo '== cluster smoke =='
 BENCH_CLUSTER_OUT=/tmp/BENCH_cluster.json ./scripts/cluster-smoke.sh
 
+# Lock-free admission smoke (DESIGN.md §17): fast-path stress batteries
+# under -race, exhaustive epoch-snapshot model exploration with every
+# seeded protocol break caught, race-built naive/tree/tree-lockfree
+# differential fuzz over the fast/slow boundary, and the >= 1.2x
+# fast-path submission perf gate.
+echo '== lockfree smoke =='
+./scripts/lockfree-smoke.sh
+
 # Perf snapshots of the in-process workloads via the -apps filter:
 # BENCH_server.json plus BENCH_batch.json (batched vs per-task
 # submission throughput; schemas in EXPERIMENTS.md).

@@ -39,9 +39,8 @@ import (
 	"twe/internal/bench"
 	"twe/internal/core"
 	"twe/internal/effect"
-	"twe/internal/naive"
 	"twe/internal/rpl"
-	"twe/internal/tree"
+	"twe/internal/sched"
 )
 
 var (
@@ -53,8 +52,21 @@ var (
 	appsFlag    = flag.String("apps", "", "with -json: comma-separated registry workloads to run (empty = all)")
 )
 
-func mkNaive() core.Scheduler { return naive.New() }
-func mkTree() core.Scheduler  { return tree.New() }
+// mkSched resolves a scheduler name through the internal/sched registry;
+// every scheduler this binary constructs goes through it.
+func mkSched(name string) func() core.Scheduler {
+	mk, err := sched.Maker(sched.Config{Name: name})
+	if err != nil {
+		panic(err)
+	}
+	return mk
+}
+
+var (
+	mkNaive    = mkSched("naive")
+	mkTree     = mkSched("tree")
+	mkLockFree = mkSched("tree-lockfree")
+)
 
 type sizes struct {
 	kmPoints, kmAttrs, kmIters, kmChunk int
@@ -401,7 +413,8 @@ func figAblation(sz sizes, threads []int, reps int) []*bench.Figure {
 			mk   func() core.Scheduler
 		}{
 			{"RootRW", mkTree},
-			{"RootMutex", func() core.Scheduler { return tree.NewWithOptions(tree.Options{DisableRootRW: true}) }},
+			{"RootMutex", mkSched("tree-rootmutex")},
+			{"LockFree", mkLockFree},
 		} {
 			tc := tc
 			fig.Series = append(fig.Series, bench.Measure(tc.name, threads, reps, func(par int) error {
@@ -441,6 +454,8 @@ func figAblation(sz sizes, threads []int, reps int) []*bench.Figure {
 			{"Queue-C", mkNaive, true},
 			{"Tree-D", mkTree, false},
 			{"Tree-C", mkTree, true},
+			{"LockFree-D", mkLockFree, false},
+			{"LockFree-C", mkLockFree, true},
 		} {
 			tc := tc
 			fig.Series = append(fig.Series, bench.Measure(tc.name, threads, reps, func(par int) error {

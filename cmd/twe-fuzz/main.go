@@ -27,7 +27,7 @@
 // Usage:
 //
 //	twe-fuzz [-seed N] [-n COUNT] [-schedules K] [-par P] [-timeout D]
-//	         [-schedule M] [-sched naive|tree] [-faults] [-batch] [-refine]
+//	         [-schedule M] [-sched naive|tree|tree-lockfree] [-faults] [-batch] [-refine]
 //	         [-shrink] [-budget B] [-dump] [-v]
 //
 // Fuzzing a range:       twe-fuzz -seed 0 -n 1000
@@ -42,6 +42,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
 	"twe/internal/lang"
@@ -55,7 +57,7 @@ func main() {
 	par := flag.Int("par", 4, "runtime worker parallelism")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-execution timeout before reporting a suspected deadlock")
 	schedule := flag.Int("schedule", -1, "replay only this schedule index for -seed (-1 = sweep all)")
-	sched := flag.String("sched", "", "replay only this scheduler: naive or tree (empty = both)")
+	sched := flag.String("sched", "", "replay only this scheduler: "+strings.Join(schedfuzz.Schedulers(), ", ")+" (empty = all)")
 	shrink := flag.Bool("shrink", false, "on failure, greedily shrink the failing program and print the minimized source")
 	budget := flag.Int("budget", 200, "shrink budget: max differential re-runs while minimizing")
 	dump := flag.Bool("dump", false, "print the generated TWEL program for -seed and exit")
@@ -65,8 +67,9 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-seed progress")
 	flag.Parse()
 
-	if *sched != "" && *sched != "naive" && *sched != "tree" {
-		fmt.Fprintf(os.Stderr, "twe-fuzz: unknown scheduler %q (want naive or tree)\n", *sched)
+	if *sched != "" && !slices.Contains(schedfuzz.Schedulers(), *sched) {
+		fmt.Fprintf(os.Stderr, "twe-fuzz: unknown scheduler %q (want %s)\n",
+			*sched, strings.Join(schedfuzz.Schedulers(), ", "))
 		os.Exit(2)
 	}
 	if *faults && *batch {

@@ -30,13 +30,14 @@ import (
 	"syscall"
 	"time"
 
+	"twe/internal/sched"
 	"twe/internal/svc"
 )
 
 var (
 	addrFlag        = flag.String("addr", "127.0.0.1:0", "TCP listen address (port 0 = ephemeral)")
 	addrFileFlag    = flag.String("addr-file", "", "write the bound address to this file (for scripts using port 0)")
-	schedFlag       = flag.String("sched", "tree", "scheduler: tree or naive")
+	schedFlag       = flag.String("sched", "tree", "scheduler: "+sched.Usage())
 	parFlag         = flag.Int("par", 4, "pool parallelism")
 	shardsFlag      = flag.Int("shards", 8, "store shard count")
 	keysFlag        = flag.Int("keys", 256, "store key count")

@@ -20,8 +20,8 @@ import (
 	"twe/internal/core"
 	"twe/internal/isolcheck"
 	"twe/internal/lang"
+	"twe/internal/sched"
 	"twe/internal/semantics"
-	"twe/internal/tree"
 )
 
 const demo = `
@@ -45,7 +45,8 @@ func main() {
 	seeds := flag.Int("seeds", 50, "number of random schedules to explore")
 	steps := flag.Int("steps", 200000, "step bound per schedule")
 	argsFlag := flag.String("args", "", "comma-separated integer arguments for the main task")
-	runtimeRuns := flag.Int("runtime", 0, "additionally compile and run the program N times on the real tree scheduler (with isolation monitor)")
+	runtimeRuns := flag.Int("runtime", 0, "additionally compile and run the program N times on a real scheduler (with isolation monitor)")
+	schedFlag := flag.String("sched", "tree", "scheduler for -runtime runs: "+sched.Usage())
 	flag.Parse()
 
 	src := demo
@@ -129,12 +130,16 @@ func main() {
 	} else {
 		fmt.Println("schedules produced differing stores (program is nondeterministic)")
 	}
-	// Optionally run the same program on the real runtime (tree scheduler,
-	// 4-way pool, isolation monitor), closing the loop between the formal
-	// semantics and the production scheduler.
+	// Optionally run the same program on the real runtime (-sched
+	// scheduler, 4-way pool, isolation monitor), closing the loop between
+	// the formal semantics and the production scheduler.
 	for r := 0; r < *runtimeRuns; r++ {
 		chk := isolcheck.New()
-		rt := core.NewRuntime(tree.New(), 4, core.WithMonitor(chk))
+		rt, err := sched.NewRuntime(sched.Config{Name: *schedFlag, PoolSize: 4}, core.WithMonitor(chk))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twe-sim:", err)
+			os.Exit(2)
+		}
 		c, err := lang.Compile(prog, rt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -151,7 +156,7 @@ func main() {
 		}
 	}
 	if *runtimeRuns > 0 {
-		fmt.Printf("real-runtime runs: %d completed on the tree scheduler\n", *runtimeRuns)
+		fmt.Printf("real-runtime runs: %d completed on the %s scheduler\n", *runtimeRuns, *schedFlag)
 	}
 
 	if violations > 0 || stuck > 0 {

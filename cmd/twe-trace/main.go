@@ -34,15 +34,14 @@ import (
 
 	"twe/internal/core"
 	"twe/internal/isolcheck"
-	"twe/internal/naive"
 	"twe/internal/obs"
-	"twe/internal/tree"
+	"twe/internal/sched"
 	"twe/internal/workloads"
 )
 
 var (
 	appFlag     = flag.String("app", "", "workload to run (see -list)")
-	schedFlag   = flag.String("sched", "tree", "scheduler: tree or naive")
+	schedFlag   = flag.String("sched", "tree", "scheduler: "+sched.Usage())
 	parFlag     = flag.Int("par", 4, "pool parallelism")
 	traceFlag   = flag.String("trace", "", "write Chrome trace-event JSON to this file")
 	metricsFlag = flag.String("metrics", "", "write Prometheus text metrics to this file")
@@ -87,14 +86,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	var mk func() core.Scheduler
-	switch *schedFlag {
-	case "tree":
-		mk = func() core.Scheduler { return tree.New() }
-	case "naive":
-		mk = func() core.Scheduler { return naive.New() }
-	default:
-		return fmt.Errorf("unknown scheduler %q (want tree or naive)", *schedFlag)
+	mk, err := sched.Maker(sched.Config{Name: *schedFlag})
+	if err != nil {
+		return err
 	}
 
 	tracerOpts := []obs.Option{obs.WithCapacity(*eventsFlag)}

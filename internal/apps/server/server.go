@@ -122,7 +122,7 @@ func sessionRegion(id int) rpl.RPL { return rpl.New(rpl.N("Session"), rpl.Idx(id
 // deadline when load shedding is enabled.
 func (s *Server) dispatch(t *core.Task) *core.Future {
 	if s.cfg.Deadline > 0 {
-		return s.rt.ExecuteLaterDeadline(t, nil, s.cfg.Deadline)
+		return s.rt.Submit(t, core.WithDeadline(s.cfg.Deadline))
 	}
 	return s.rt.ExecuteLater(t, nil)
 }

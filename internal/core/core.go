@@ -428,12 +428,13 @@ func (p YieldPoint) String() string {
 
 // Runtime ties a scheduler to an execution pool (§3.4.2).
 type Runtime struct {
-	pool    *pool.Pool
-	sched   Scheduler
-	monitor Monitor
-	tracer  *obs.Tracer
-	yield   func(f *Future, p YieldPoint)
-	seq     atomic.Uint64
+	pool     *pool.Pool
+	sched    Scheduler
+	monitor  Monitor
+	tracer   *obs.Tracer
+	interner *effect.Interner
+	yield    func(f *Future, p YieldPoint)
+	seq      atomic.Uint64
 
 	// inflight counts submitted futures whose scheduler notification
 	// (Done or Deschedule) has not yet completed. Cancellation finishes
@@ -500,9 +501,10 @@ func (rt *Runtime) yieldAt(f *Future, p YieldPoint) {
 // for this runtime via its package's New function.
 func NewRuntime(sched Scheduler, parallelism int, opts ...Option) *Runtime {
 	rt := &Runtime{
-		pool:    pool.New(parallelism),
-		sched:   sched,
-		monitor: nopMonitor{},
+		pool:     pool.New(parallelism),
+		sched:    sched,
+		monitor:  nopMonitor{},
+		interner: effect.NewInterner(0),
 	}
 	for _, o := range opts {
 		o(rt)
@@ -525,6 +527,13 @@ func (rt *Runtime) Scheduler() Scheduler { return rt.sched }
 // Tracer returns the installed observability tracer, or nil. Schedulers
 // read it in Bind; a nil result means "do not instrument".
 func (rt *Runtime) Tracer() *obs.Tracer { return rt.tracer }
+
+// Interner returns the runtime's effect interner (DESIGN.md §17). Hot
+// submission paths — the svc EffectTable/EffectCache, benchmarks — intern
+// their effect sets through it so steady-state Covers/Disjoint checks on
+// admission are integer compares. Interning is optional and always sound
+// to skip.
+func (rt *Runtime) Interner() *effect.Interner { return rt.interner }
 
 // Pending returns the number of submitted tasks the scheduler has not yet
 // enabled, or -1 if the scheduler does not expose it. Both bundled

@@ -14,8 +14,9 @@
 //     is cancelled cooperatively: the body observes the cause via Ctx.Err
 //     and decides how to wind down; its own return value wins if it
 //     completes normally.
-//   - ExecuteLaterDeadline arms a deadline timer after submission; expiry
-//     cancels the future with ErrDeadlineExceeded (same two paths).
+//   - Submit's WithDeadline option (or Submission.Deadline) arms a
+//     deadline timer after submission; expiry cancels the future with
+//     ErrDeadlineExceeded (same two paths).
 //   - A panicking body is contained as a task failure carrying the panic
 //     value and captured stack (*PanicError); the pool worker survives and
 //     the effects are released through the normal finish path.
@@ -201,34 +202,6 @@ func (rt *Runtime) finishCancelled(f *Future, enabled bool) {
 	if f.submitted.Load() {
 		rt.inflight.Done()
 	}
-}
-
-// ExecuteLaterDeadline is ExecuteLater with a per-task deadline: if the
-// future has not finished within timeout, it is cancelled with
-// ErrDeadlineExceeded — descheduled if still waiting, cooperatively
-// otherwise. The timer is armed only after submission so a firing
-// deadline always observes a fully inserted task. A timeout <= 0 expires
-// immediately (admission-time load shedding).
-//
-// Deprecated: use Submit(t, WithArg(arg), WithDeadline(timeout)) — or a
-// Submission with Deadline set — which routes through the same internal
-// path (submit.go). This wrapper remains for compatibility.
-func (rt *Runtime) ExecuteLaterDeadline(t *Task, arg any, timeout time.Duration) *Future {
-	if timeout <= 0 {
-		timeout = -1 // preserve "a timeout <= 0 expires immediately"
-	}
-	return rt.submit(Submission{Task: t, Arg: arg, Deadline: timeout}, false)
-}
-
-// ExecuteLaterDeadline is the in-task variant (not permitted inside
-// @Deterministic code, like every non-Spawn task operation).
-//
-// Deprecated: use Ctx.Submit(t, WithArg(arg), WithDeadline(timeout)).
-func (c *Ctx) ExecuteLaterDeadline(t *Task, arg any, timeout time.Duration) (*Future, error) {
-	if c.fut.deterministic {
-		return nil, ErrDeterminism
-	}
-	return c.rt.ExecuteLaterDeadline(t, arg, timeout), nil
 }
 
 func (rt *Runtime) armDeadline(f *Future, timeout time.Duration) {

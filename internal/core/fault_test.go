@@ -164,8 +164,8 @@ func TestDeadlineDeschedulesWaitingTask(t *testing.T) {
 		release := make(chan struct{})
 		blocker := rt.ExecuteLater(gateTask("blocker", running, release), nil)
 		<-running
-		late := rt.ExecuteLaterDeadline(core.NewTask("late", es("writes X"),
-			func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), nil, 10*time.Millisecond)
+		late := rt.Submit(core.NewTask("late", es("writes X"),
+			func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), core.WithDeadline(10*time.Millisecond))
 		if _, err := rt.GetValue(late); !errors.Is(err, core.ErrDeadlineExceeded) {
 			t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
 		}
@@ -178,13 +178,13 @@ func TestDeadlineDeschedulesWaitingTask(t *testing.T) {
 
 func TestDeadlineCooperativeWhileRunning(t *testing.T) {
 	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
-		f := rt.ExecuteLaterDeadline(core.NewTask("slow", es("writes X"),
+		f := rt.Submit(core.NewTask("slow", es("writes X"),
 			func(ctx *core.Ctx, _ any) (any, error) {
 				for ctx.Err() == nil {
 					runtime.Gosched()
 				}
 				return nil, ctx.Err()
-			}), nil, 5*time.Millisecond)
+			}), core.WithDeadline(5*time.Millisecond))
 		if _, err := rt.GetValue(f); !errors.Is(err, core.ErrDeadlineExceeded) {
 			t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
 		}
@@ -193,8 +193,8 @@ func TestDeadlineCooperativeWhileRunning(t *testing.T) {
 
 func TestDeadlineMetInTime(t *testing.T) {
 	forEachSched(t, func(t *testing.T, rt *core.Runtime) {
-		f := rt.ExecuteLaterDeadline(core.NewTask("fast", es("writes X"),
-			func(_ *core.Ctx, _ any) (any, error) { return "ok", nil }), nil, 10*time.Second)
+		f := rt.Submit(core.NewTask("fast", es("writes X"),
+			func(_ *core.Ctx, _ any) (any, error) { return "ok", nil }), core.WithDeadline(10*time.Second))
 		v, err := rt.GetValue(f)
 		if err != nil || v.(string) != "ok" {
 			t.Fatalf("(%v, %v), want (ok, nil)", v, err)
@@ -375,8 +375,8 @@ func TestFaultEventsAndMetrics(t *testing.T) {
 		func(*core.Ctx, any) (any, error) { return nil, nil }), nil)
 	cancelled.Cancel(nil)
 
-	late := rt.ExecuteLaterDeadline(core.NewTask("late", es("writes X"),
-		func(*core.Ctx, any) (any, error) { return nil, nil }), nil, 5*time.Millisecond)
+	late := rt.Submit(core.NewTask("late", es("writes X"),
+		func(*core.Ctx, any) (any, error) { return nil, nil }), core.WithDeadline(5*time.Millisecond))
 	if _, err := rt.GetValue(late); !errors.Is(err, core.ErrDeadlineExceeded) {
 		t.Fatalf("deadline err = %v", err)
 	}

@@ -1,8 +1,8 @@
 // The unified task-submission surface and batched group admission
 // (DESIGN.md §12). Every way a task enters the runtime — ExecuteLater,
-// Execute, ExecuteLaterDeadline, Submit, SubmitBatch, and their Ctx
-// variants — funnels through the one internal submit path below, so the
-// yield-hook, tracing, cancellation and deadline contracts hold uniformly.
+// Execute, Submit, SubmitBatch, and their Ctx variants — funnels through
+// the one internal submit path below, so the yield-hook, tracing,
+// cancellation and deadline contracts hold uniformly.
 //
 // SubmitBatch admits a group of tasks in one scheduler call: schedulers
 // implementing the optional BatchScheduler interface receive the whole
@@ -26,9 +26,9 @@ type Submission struct {
 	Task *Task
 	// Arg is passed to the task body.
 	Arg any
-	// Deadline, when nonzero, arms a per-task deadline after submission
-	// (the ExecuteLaterDeadline contract): if the future has not finished
-	// within the duration it is cancelled with ErrDeadlineExceeded —
+	// Deadline, when nonzero, arms a per-task deadline after submission:
+	// if the future has not finished within the duration it is cancelled
+	// with ErrDeadlineExceeded —
 	// descheduled if still waiting, cooperatively otherwise. A negative
 	// Deadline expires immediately (admission-time load shedding).
 	Deadline time.Duration
@@ -74,8 +74,8 @@ type BatchScheduler interface {
 }
 
 // submit is the one internal submission path. Every public entry point —
-// ExecuteLater, Execute, ExecuteLaterDeadline, Submit, SubmitBatch and the
-// Ctx variants — is a thin wrapper over it (or over its batched phases).
+// ExecuteLater, Execute, Submit, SubmitBatch and the Ctx variants — is a
+// thin wrapper over it (or over its batched phases).
 // The sequence is contractual: yield hook at PointSubmit, trace, bail out
 // if the hook cancelled the future, mark submitted, hand to the scheduler,
 // and only then arm the deadline so a firing timer always observes a fully
@@ -106,7 +106,7 @@ func (rt *Runtime) submit(sub Submission, prioritized bool) *Future {
 
 // Submit queues an asynchronous execution of t configured by the given
 // options and returns its future. Submit(t) is ExecuteLater(t, nil);
-// Submit(t, WithArg(a), WithDeadline(d)) is ExecuteLaterDeadline(t, a, d).
+// WithDeadline adds admission-to-completion load shedding.
 func (rt *Runtime) Submit(t *Task, opts ...SubmitOption) *Future {
 	sub := Submission{Task: t}
 	for _, o := range opts {

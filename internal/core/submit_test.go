@@ -14,7 +14,7 @@ import (
 )
 
 // TestSubmitOptions: the unified Submit entry point composes the options
-// into ExecuteLater/ExecuteLaterDeadline behaviour.
+// into ExecuteLater behaviour.
 func TestSubmitOptions(t *testing.T) {
 	rt := newRT(t)
 	defer rt.Shutdown()
@@ -40,9 +40,9 @@ func TestSubmitOptions(t *testing.T) {
 	waitFor(t, func() bool { return done.Load() == 1 })
 }
 
-// TestSubmitDeadlineSheds: WithDeadline(0) and ExecuteLaterDeadline with a
-// non-positive timeout both shed at admission with ErrDeadlineExceeded,
-// and OnDone fires on the cancellation path too.
+// TestSubmitDeadlineSheds: WithDeadline with a non-positive duration sheds
+// at admission with ErrDeadlineExceeded, and OnDone fires on the
+// cancellation path too.
 func TestSubmitDeadlineSheds(t *testing.T) {
 	rt := newRT(t)
 	defer rt.Shutdown()
@@ -62,8 +62,8 @@ func TestSubmitDeadlineSheds(t *testing.T) {
 	victims := []*core.Future{
 		rt.Submit(queued, core.WithDeadline(0),
 			core.WithOnDone(func(*core.Future) { done.Add(1) })),
-		rt.ExecuteLaterDeadline(queued, nil, 0),
-		rt.ExecuteLaterDeadline(queued, nil, -time.Second),
+		rt.Submit(queued, core.WithDeadline(0)),
+		rt.Submit(queued, core.WithDeadline(-time.Second)),
 		rt.Submit(queued, core.WithDeadline(time.Millisecond)),
 	}
 	for i, f := range victims {

@@ -203,7 +203,7 @@ func RunScenario(plan Plan, mkSched func() core.Scheduler, opts ...core.Option) 
 		}
 		t := core.NewTask(fmt.Sprintf("storm-%d-%s", i, a.kind), eff, body)
 		if a.kind == Deadline {
-			futs[i] = rt.ExecuteLaterDeadline(t, nil, plan.Deadline)
+			futs[i] = rt.Submit(t, core.WithDeadline(plan.Deadline))
 		} else {
 			futs[i] = rt.ExecuteLater(t, nil)
 			if a.kind == Cancel {
@@ -241,7 +241,7 @@ func RunScenario(plan Plan, mkSched func() core.Scheduler, opts ...core.Option) 
 				counters[s]++
 				return nil, nil
 			})
-		if _, err := rt.GetValue(rt.ExecuteLaterDeadline(t, nil, 5*time.Second)); err != nil {
+		if _, err := rt.GetValue(rt.Submit(t, core.WithDeadline(5*time.Second))); err != nil {
 			rt.Shutdown()
 			return out, fmt.Errorf("post-storm task on shard %d blocked or failed: %w (leaked effects?)", s, err)
 		}

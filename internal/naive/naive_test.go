@@ -241,8 +241,8 @@ func TestDeadlineExitPath(t *testing.T) {
 			return nil, nil
 		}), nil)
 	<-running
-	late := rt.ExecuteLaterDeadline(core.NewTask("late", es("writes R"),
-		func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), nil, 5*time.Millisecond)
+	late := rt.Submit(core.NewTask("late", es("writes R"),
+		func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), core.WithDeadline(5*time.Millisecond))
 	if _, err := rt.GetValue(late); !errors.Is(err, core.ErrDeadlineExceeded) {
 		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
 	}

@@ -46,6 +46,12 @@ type Metrics struct {
 	AdmissionScans atomic.Uint64 // naive queue scans / tree rechecks
 	TreeNodeVisits atomic.Uint64 // tree-scheduler node traversals
 	WorkersStarted atomic.Uint64 // pool worker goroutines launched
+	PoolSteals     atomic.Uint64 // tasks a pool worker stole from another deque
+
+	// Lock-free admission counters (DESIGN.md §17): effectful submissions
+	// admitted by the zero-lock epoch-snapshot walk vs the locked descent.
+	AdmitFastpath atomic.Uint64 // lock-free fast-path admissions
+	AdmitSlowpath atomic.Uint64 // locked (slow-path) admissions
 
 	// Batched-admission counters (DESIGN.md §12).
 	BatchSubmits  atomic.Uint64 // SubmitBatch calls that reached the scheduler
@@ -53,10 +59,11 @@ type Metrics struct {
 	BatchDescents atomic.Uint64 // shared-prefix tree descents performed for batches
 
 	// Gauges (use the Set/Add methods, which track peaks).
-	queueDepth      atomic.Int64
-	queueDepthPeak  atomic.Int64
-	poolRunning     atomic.Int64
-	poolRunningPeak atomic.Int64
+	queueDepth       atomic.Int64
+	queueDepthPeak   atomic.Int64
+	poolRunning      atomic.Int64
+	poolRunningPeak  atomic.Int64
+	internerResident atomic.Int64
 
 	// Admission-latency histogram (submit → all effects enabled).
 	admCount   atomic.Uint64
@@ -76,6 +83,12 @@ func (m *Metrics) SetQueueDepth(n int64) {
 func (m *Metrics) SetPoolRunning(n int64) {
 	m.poolRunning.Store(n)
 	updatePeak(&m.poolRunningPeak, n)
+}
+
+// SetInternerResident records the effect interner's occupied-slot count
+// (DESIGN.md §17).
+func (m *Metrics) SetInternerResident(n int64) {
+	m.internerResident.Store(n)
 }
 
 func updatePeak(peak *atomic.Int64, n int64) {
@@ -116,11 +129,13 @@ type Snapshot struct {
 	PoolPanics                       uint64
 	ConflictChecks, ConflictHits     uint64
 	AdmissionScans, TreeNodeVisits   uint64
-	WorkersStarted                   uint64
+	WorkersStarted, PoolSteals       uint64
+	AdmitFastpath, AdmitSlowpath     uint64
 	BatchSubmits, BatchTasks         uint64
 	BatchDescents                    uint64
 	QueueDepth, QueueDepthPeak       int64
 	PoolRunning, PoolRunningPeak     int64
+	InternerResident                 int64
 	AdmissionCount                   uint64
 	AdmissionSumNS                   int64
 	AdmissionBuckets                 [NumAdmissionBuckets]uint64
@@ -158,6 +173,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		AdmissionScans:     m.AdmissionScans.Load(),
 		TreeNodeVisits:     m.TreeNodeVisits.Load(),
 		WorkersStarted:     m.WorkersStarted.Load(),
+		PoolSteals:         m.PoolSteals.Load(),
+		AdmitFastpath:      m.AdmitFastpath.Load(),
+		AdmitSlowpath:      m.AdmitSlowpath.Load(),
 		BatchSubmits:       m.BatchSubmits.Load(),
 		BatchTasks:         m.BatchTasks.Load(),
 		BatchDescents:      m.BatchDescents.Load(),
@@ -165,6 +183,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		QueueDepthPeak:     m.queueDepthPeak.Load(),
 		PoolRunning:        m.poolRunning.Load(),
 		PoolRunningPeak:    m.poolRunningPeak.Load(),
+		InternerResident:   m.internerResident.Load(),
 		AdmissionCount:     m.admCount.Load(),
 		AdmissionSumNS:     m.admSumNS.Load(),
 	}
@@ -247,6 +266,15 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			return counter("twe_pool_workers_started_total", "Pool worker goroutines launched.", s.WorkersStarted)
 		},
 		func() error {
+			return counter("twe_pool_steals_total", "Tasks a pool worker stole from another worker's deque.", s.PoolSteals)
+		},
+		func() error {
+			return counter("twe_admit_fastpath_total", "Effectful submissions admitted by the lock-free fast path.", s.AdmitFastpath)
+		},
+		func() error {
+			return counter("twe_admit_slowpath_total", "Effectful submissions admitted by the locked slow path.", s.AdmitSlowpath)
+		},
+		func() error {
 			return counter("twe_sched_batch_submits_total", "SubmitBatch calls that reached the scheduler.", s.BatchSubmits)
 		},
 		func() error {
@@ -266,6 +294,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		},
 		func() error {
 			return gauge("twe_pool_running_peak", "Peak of twe_pool_running.", s.PoolRunningPeak)
+		},
+		func() error {
+			return gauge("twe_interner_resident", "Effect-interner slots currently occupied.", s.InternerResident)
 		},
 	}
 	for _, step := range steps {

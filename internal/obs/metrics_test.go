@@ -27,13 +27,17 @@ func TestPrometheusGolden(t *testing.T) {
 	m.AdmissionScans.Store(20)
 	m.TreeNodeVisits.Store(55)
 	m.WorkersStarted.Store(2)
+	m.PoolSteals.Store(11)
+	m.AdmitFastpath.Store(40)
+	m.AdmitSlowpath.Store(8)
 	m.BatchSubmits.Store(3)
 	m.BatchTasks.Store(48)
 	m.BatchDescents.Store(5)
 	m.SetQueueDepth(5)
 	m.SetQueueDepth(2) // peak stays 5
 	m.SetPoolRunning(4)
-	m.SetPoolRunning(1)     // peak stays 4
+	m.SetPoolRunning(1) // peak stays 4
+	m.SetInternerResident(17)
 	m.ObserveAdmission(500) // ≤1µs bucket
 	m.ObserveAdmission(2e4) // ≤0.0001 bucket
 	m.ObserveAdmission(5e9) // +Inf bucket
@@ -99,6 +103,15 @@ twe_tree_node_visits_total 55
 # HELP twe_pool_workers_started_total Pool worker goroutines launched.
 # TYPE twe_pool_workers_started_total counter
 twe_pool_workers_started_total 2
+# HELP twe_pool_steals_total Tasks a pool worker stole from another worker's deque.
+# TYPE twe_pool_steals_total counter
+twe_pool_steals_total 11
+# HELP twe_admit_fastpath_total Effectful submissions admitted by the lock-free fast path.
+# TYPE twe_admit_fastpath_total counter
+twe_admit_fastpath_total 40
+# HELP twe_admit_slowpath_total Effectful submissions admitted by the locked slow path.
+# TYPE twe_admit_slowpath_total counter
+twe_admit_slowpath_total 8
 # HELP twe_sched_batch_submits_total SubmitBatch calls that reached the scheduler.
 # TYPE twe_sched_batch_submits_total counter
 twe_sched_batch_submits_total 3
@@ -120,6 +133,9 @@ twe_pool_running 1
 # HELP twe_pool_running_peak Peak of twe_pool_running.
 # TYPE twe_pool_running_peak gauge
 twe_pool_running_peak 4
+# HELP twe_interner_resident Effect-interner slots currently occupied.
+# TYPE twe_interner_resident gauge
+twe_interner_resident 17
 # HELP twe_admission_latency_seconds Latency from task submission to scheduler admission.
 # TYPE twe_admission_latency_seconds histogram
 twe_admission_latency_seconds_bucket{le="1e-06"} 2

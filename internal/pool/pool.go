@@ -9,10 +9,16 @@
 //     token, so tasks blocked in getValue/join cannot starve the pool
 //     (ForkJoinPool's compensation-thread behaviour).
 //
-// Goroutines are cheap, so the pool does not multiplex work onto a fixed
-// worker set; it gates goroutines on a token count instead. This preserves
-// the two properties the TWE schedulers rely on: bounded parallelism and
-// deadlock-freedom under blocking.
+// Execution uses a work-stealing structure (DESIGN.md §17): a fixed set of
+// `par` long-lived workers, each owning a bounded lock-free ring of queued
+// work. Submissions are distributed round-robin across the rings; a worker
+// drains its own ring first, then the shared overflow list, then performs a
+// randomized steal sweep over its siblings' rings. A task that calls Block
+// parks its worker goroutine; if queued work remains and every other worker
+// is busy, a transient compensation worker is spawned (and retires as soon
+// as the rings run dry or a blocked worker wants its token back), so
+// blocked tasks never strand queued work while the parallelism bound keeps
+// holding.
 package pool
 
 import (
@@ -21,6 +27,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"twe/internal/obs"
 )
@@ -28,14 +35,22 @@ import (
 // Pool is a bounded-parallelism executor. The zero value is not usable;
 // create with New.
 type Pool struct {
+	par    int
+	deques []*ring // one bounded ring per permanent worker slot
+	rr     atomic.Uint64
+	steals atomic.Uint64
+
 	mu         sync.Mutex
 	cond       *sync.Cond
-	queue      []queued
-	running    int // tasks currently holding a token
-	par        int // maximum tokens
-	pending    int // submitted but not finished (for Quiesce)
-	nextWorker int // worker goroutine id allocator (1-based)
+	overflow   []queued // spill list for full rings; guarded by mu
+	running    int      // tasks currently executing (holding a token)
+	active     int      // worker goroutines entitled to execute (≤ par)
+	pending    int      // submitted but not finished (for Quiesce)
+	sleepers   int      // permanent workers parked waiting for work
+	reacq      int      // Block callers waiting to re-acquire a token
+	started    bool
 	closed     bool
+	nextWorker int // compensation-worker id allocator (> par)
 	tracer     *obs.Tracer
 	onPanic    func(worker int, recovered any, stack []byte)
 }
@@ -46,13 +61,20 @@ func New(par int) *Pool {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{par: par}
+	p := &Pool{par: par, deques: make([]*ring, par), nextWorker: par}
+	for i := range p.deques {
+		p.deques[i] = newRing()
+	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
 
 // Parallelism returns the pool's token count.
 func (p *Pool) Parallelism() int { return p.par }
+
+// Steals returns the number of tasks dequeued from a ring by a worker other
+// than its owner (including compensation workers, which own no ring).
+func (p *Pool) Steals() uint64 { return p.steals.Load() }
 
 // SetTracer installs the observability tracer whose pool-utilization
 // gauge and worker counters this pool updates. Must be called before the
@@ -92,9 +114,9 @@ func (p *Pool) Submit(f func()) {
 }
 
 // SubmitWorker is Submit for work that wants to know which pool worker
-// goroutine runs it (1-based id; a worker keeps its id while draining the
-// queue). The TWE runtime uses it to attribute task run spans to worker
-// rows in the Chrome trace.
+// goroutine runs it (1-based id; permanent workers keep stable ids 1..par,
+// compensation workers get fresh higher ids). The TWE runtime uses it to
+// attribute task run spans to worker rows in the Chrome trace.
 func (p *Pool) SubmitWorker(f func(worker int)) {
 	p.submit(queued{fw: f})
 }
@@ -105,17 +127,19 @@ func (p *Pool) submit(q queued) {
 		p.mu.Unlock()
 		panic("pool: Submit after Shutdown")
 	}
+	p.startLocked()
 	p.pending++
-	p.queue = append(p.queue, q)
-	p.dispatchLocked()
 	p.mu.Unlock()
+	p.push(q)
+	p.wake()
 }
 
 // SubmitWorkerIndexed enqueues n units of work sharing one function —
-// unit i runs fn(worker, i) — under a single lock acquisition and a
-// single dispatch pass. This is the flush a batched scheduler admission
-// uses: enabling N tasks pays one wakeup and one closure instead of N of
-// each. Semantically equivalent to SubmitWorker of n index-capturing
+// unit i runs fn(worker, i) — under a single accounting pass. This is the
+// flush a batched scheduler admission uses: enabling N tasks pays one
+// wakeup pass and one closure instead of N of each. Units are spread
+// round-robin across the worker rings so a batch fans out without
+// stealing. Semantically equivalent to SubmitWorker of n index-capturing
 // closures.
 func (p *Pool) SubmitWorkerIndexed(fn func(worker, i int), n int) {
 	if n <= 0 {
@@ -126,52 +150,224 @@ func (p *Pool) SubmitWorkerIndexed(fn func(worker, i int), n int) {
 		p.mu.Unlock()
 		panic("pool: Submit after Shutdown")
 	}
+	p.startLocked()
 	p.pending += n
+	p.mu.Unlock()
 	for i := 0; i < n; i++ {
-		p.queue = append(p.queue, queued{fi: fn, i: i})
+		p.push(queued{fi: fn, i: i})
 	}
-	p.dispatchLocked()
+	p.wake()
+}
+
+// startLocked lazily launches the permanent workers on first use.
+func (p *Pool) startLocked() {
+	if p.started {
+		return
+	}
+	p.started = true
+	if p.tracer != nil {
+		p.tracer.Metrics().WorkersStarted.Add(uint64(p.par))
+	}
+	p.active = p.par
+	for slot := 0; slot < p.par; slot++ {
+		go p.workerLoop(slot)
+	}
+}
+
+// push places q on a ring (round-robin), spilling to the overflow list
+// when the ring is full.
+func (p *Pool) push(q queued) {
+	slot := int(p.rr.Add(1)) % len(p.deques)
+	if p.deques[slot].push(q) {
+		return
+	}
+	p.mu.Lock()
+	p.overflow = append(p.overflow, q)
 	p.mu.Unlock()
 }
 
-// dispatchLocked starts queued work while tokens are available.
-func (p *Pool) dispatchLocked() {
-	for p.running < p.par && len(p.queue) > 0 {
-		f := p.queue[0]
-		p.queue = p.queue[1:]
-		p.running++
-		p.nextWorker++
-		if p.tracer != nil {
-			p.tracer.Metrics().WorkersStarted.Add(1)
-		}
-		go p.runLoop(p.nextWorker, f)
+// wake gets the new work picked up: a sleeping permanent worker if there
+// is one, otherwise — when some workers are parked in Block and a token is
+// free — a compensation worker.
+func (p *Pool) wake() {
+	p.mu.Lock()
+	if p.sleepers > 0 {
+		p.cond.Broadcast()
+	} else if p.active < p.par && p.queuedLocked() > 0 {
+		p.spawnCompLocked()
 	}
+	p.mu.Unlock()
+}
+
+// queuedLocked estimates the amount of queued-but-unclaimed work. Ring
+// sizes are read from their atomic cursors; a concurrent dequeue can make
+// the estimate stale by one, which at worst causes one spurious retry.
+func (p *Pool) queuedLocked() int {
+	n := len(p.overflow)
+	for _, d := range p.deques {
+		n += d.size()
+	}
+	return n
+}
+
+// findWork returns one unit of work for a worker: its own ring first (slot
+// is -1 for compensation workers, which own none), then the overflow list,
+// then a randomized steal sweep over the other rings.
+func (p *Pool) findWork(slot int, rng *uint32) (queued, bool) {
+	if slot >= 0 {
+		if q, ok := p.deques[slot].pop(); ok {
+			return q, true
+		}
+	}
+	p.mu.Lock()
+	if len(p.overflow) > 0 {
+		q := p.overflow[0]
+		p.overflow = p.overflow[1:]
+		p.mu.Unlock()
+		return q, true
+	}
+	tr := p.tracer
+	p.mu.Unlock()
+	n := len(p.deques)
+	start := int(xorshift(rng)) % n
+	for k := 0; k < n; k++ {
+		v := (start + k) % n
+		if v == slot {
+			continue
+		}
+		if q, ok := p.deques[v].pop(); ok {
+			p.steals.Add(1)
+			if tr != nil {
+				tr.Metrics().PoolSteals.Add(1)
+			}
+			return q, true
+		}
+	}
+	return queued{}, false
+}
+
+// workerLoop is a permanent worker: drain, steal, then sleep until new
+// work arrives or the pool shuts down.
+func (p *Pool) workerLoop(slot int) {
+	id := slot + 1
+	rng := uint32(2463534242 + id)
+	for {
+		if q, ok := p.findWork(slot, &rng); ok {
+			p.execute(id, q)
+			continue
+		}
+		// Brief spin before parking: submissions arrive in bursts.
+		spun := false
+		for i := 0; i < 2 && !spun; i++ {
+			runtime.Gosched()
+			if q, ok := p.findWork(slot, &rng); ok {
+				p.execute(id, q)
+				spun = true
+			}
+		}
+		if spun {
+			continue
+		}
+		p.mu.Lock()
+		if p.queuedLocked() > 0 {
+			// Work arrived between the sweep and the lock (every push is
+			// ordered before the submitter's wake() lock section, so
+			// re-checking under mu closes the lost-wakeup window).
+			p.mu.Unlock()
+			continue
+		}
+		if p.closed {
+			p.active--
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		// Park, releasing the run token: an idle worker must not hold a
+		// token hostage while a task blocked in Block waits to re-acquire
+		// one (all the executing goroutines may be compensation workers).
+		p.active--
+		p.sleepers++
+		p.cond.Broadcast()
+		p.cond.Wait()
+		p.sleepers--
+		for p.active >= p.par && !p.closed {
+			p.cond.Wait()
+		}
+		p.active++
+		if p.closed && p.queuedLocked() == 0 {
+			p.active--
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+	}
+}
+
+// spawnCompLocked launches a transient compensation worker; caller holds
+// mu and has checked active < par.
+func (p *Pool) spawnCompLocked() {
+	p.active++
+	p.nextWorker++
+	id := p.nextWorker
+	if p.tracer != nil {
+		p.tracer.Metrics().WorkersStarted.Add(1)
+	}
+	go p.compLoop(id)
+}
+
+// compLoop steals and runs work while it exists and no blocked worker is
+// waiting for the token back, then retires. The exit decision and the
+// active-- happen in one mu section so a concurrent submit either sees the
+// freed token (and spawns a replacement) or this loop sees its work.
+func (p *Pool) compLoop(id int) {
+	rng := uint32(88675123 + id)
+	for {
+		p.mu.Lock()
+		if p.reacq > 0 || p.closed {
+			p.active--
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+		q, ok := p.findWork(-1, &rng)
+		if !ok {
+			p.mu.Lock()
+			if p.queuedLocked() > 0 && p.reacq == 0 && !p.closed {
+				p.mu.Unlock()
+				continue
+			}
+			p.active--
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		p.execute(id, q)
+	}
+}
+
+// execute runs one unit while holding a parallelism token.
+func (p *Pool) execute(worker int, q queued) {
+	p.mu.Lock()
+	p.running++
 	p.noteRunningLocked()
+	p.mu.Unlock()
+	p.runOne(worker, q)
+	p.mu.Lock()
+	p.running--
+	p.pending--
+	p.noteRunningLocked()
+	if p.pending == 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
 }
 
 // noteRunningLocked publishes the running-token gauge to the tracer.
 func (p *Pool) noteRunningLocked() {
 	if p.tracer != nil {
 		p.tracer.Metrics().SetPoolRunning(int64(p.running))
-	}
-}
-
-// runLoop runs f, then keeps draining the queue while holding its token.
-func (p *Pool) runLoop(worker int, f queued) {
-	for {
-		p.runOne(worker, f)
-		p.mu.Lock()
-		p.pending--
-		if len(p.queue) == 0 {
-			p.running--
-			p.noteRunningLocked()
-			p.cond.Broadcast()
-			p.mu.Unlock()
-			return
-		}
-		f = p.queue[0]
-		p.queue = p.queue[1:]
-		p.mu.Unlock()
 	}
 }
 
@@ -221,17 +417,28 @@ func (p *Pool) runOne(worker int, f queued) {
 // returning.
 func (p *Pool) Block(wait func()) {
 	p.mu.Lock()
+	p.active--
 	p.running--
-	p.dispatchLocked()
-	p.cond.Broadcast()
+	p.noteRunningLocked()
+	if p.queuedLocked() > 0 {
+		if p.sleepers > 0 {
+			p.cond.Broadcast()
+		} else if p.active < p.par {
+			p.spawnCompLocked()
+		}
+	}
+	p.cond.Broadcast() // the freed token may unblock a re-acquirer
 	p.mu.Unlock()
 
 	wait()
 
 	p.mu.Lock()
-	for p.running >= p.par {
+	p.reacq++
+	for p.active >= p.par {
 		p.cond.Wait()
 	}
+	p.reacq--
+	p.active++
 	p.running++
 	p.noteRunningLocked()
 	p.mu.Unlock()
@@ -247,12 +454,13 @@ func (p *Pool) Quiesce() {
 	p.mu.Unlock()
 }
 
-// Shutdown waits for all work to finish and marks the pool closed. Further
-// Submit calls panic.
+// Shutdown waits for all work to finish and marks the pool closed; the
+// permanent workers retire. Further Submit calls panic.
 func (p *Pool) Shutdown() {
 	p.Quiesce()
 	p.mu.Lock()
 	p.closed = true
+	p.cond.Broadcast()
 	p.mu.Unlock()
 }
 
@@ -261,5 +469,100 @@ func (p *Pool) Shutdown() {
 func (p *Pool) Stats() (running, queued, pending int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.running, len(p.queue), p.pending
+	return p.running, p.queuedLocked(), p.pending
+}
+
+// xorshift is a tiny per-worker PRNG for randomized steal sweeps.
+func xorshift(s *uint32) uint32 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	*s = x
+	return x
+}
+
+// --- bounded MPMC ring -----------------------------------------------------
+
+// ringCap is the per-worker ring capacity (power of two). Overflow spills
+// to the mutex-guarded list, so the bound trades memory for the common
+// case staying lock-free.
+const ringCap = 256
+
+// ring is a bounded multi-producer multi-consumer FIFO (Vyukov's array
+// queue): each slot carries a sequence number that encodes whether it is
+// ready to be filled (seq == enqueue pos) or consumed (seq == dequeue
+// pos + 1). Producers are any submitters; consumers are the owning worker
+// and stealers.
+type ring struct {
+	slots [ringCap]rslot
+	enq   atomic.Uint64
+	deq   atomic.Uint64
+}
+
+type rslot struct {
+	seq atomic.Uint64
+	val queued
+}
+
+func newRing() *ring {
+	r := &ring{}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push appends q; false when the ring is full.
+func (r *ring) push(q queued) bool {
+	pos := r.enq.Load()
+	for {
+		s := &r.slots[pos%ringCap]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.val = q
+				s.seq.Store(pos + 1) // publish: val write ordered before
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos:
+			return false // full: consumer has not freed this slot yet
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// pop removes the oldest element; false when empty.
+func (r *ring) pop() (queued, bool) {
+	pos := r.deq.Load()
+	for {
+		s := &r.slots[pos%ringCap]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				q := s.val
+				s.val = queued{}
+				s.seq.Store(pos + ringCap) // recycle for lap pos+ringCap
+				return q, true
+			}
+			pos = r.deq.Load()
+		case seq <= pos:
+			return queued{}, false // empty (or the producer mid-publish)
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// size is a racy estimate of the element count (atomic cursor reads).
+func (r *ring) size() int {
+	e, d := r.enq.Load(), r.deq.Load()
+	if e <= d {
+		return 0
+	}
+	return int(e - d)
 }

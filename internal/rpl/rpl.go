@@ -121,6 +121,41 @@ func overlapsElem(a, b Elem) bool {
 // stored; the zero value denotes the region Root itself.
 type RPL struct {
 	elems []Elem
+	// iid is the intern id stamped by an effect.Interner (0 = not
+	// interned). The top InternIDInstanceBits identify the interner
+	// instance, the rest the slot; ids are only comparable within one
+	// instance. Only fully specified RPLs ever carry an id, and two RPLs
+	// with equal nonzero ids from the same instance denote the identical
+	// region — which is what licenses the O(1) fast paths in Disjoint and
+	// Included.
+	iid uint32
+}
+
+// Intern-id layout: an id packs an interner-instance tag in the top bits
+// and a slot number in the low bits, so ids from different interners are
+// never confused for each other.
+const (
+	// InternIDInstanceBits is the width of the instance tag.
+	InternIDInstanceBits = 8
+	// InternIDSlotBits is the width of the slot number.
+	InternIDSlotBits = 32 - InternIDInstanceBits
+)
+
+// WithInternID returns a copy of r carrying the given intern id. Callers
+// (the effect.Interner) must only stamp fully specified RPLs, and must
+// guarantee that within one interner instance equal ids ⇔ equal regions.
+func (r RPL) WithInternID(id uint32) RPL {
+	r.iid = id
+	return r
+}
+
+// InternID returns the intern id stamped on r (0 = not interned).
+func (r RPL) InternID() uint32 { return r.iid }
+
+// sameInternInstance reports whether two nonzero intern ids came from the
+// same interner instance and are therefore comparable.
+func sameInternInstance(a, b uint32) bool {
+	return a>>InternIDSlotBits == b>>InternIDSlotBits
 }
 
 // New builds an RPL from elements (Root-implicit).
@@ -282,6 +317,13 @@ func (r RPL) Equal(s RPL) bool {
 // Examples (paper §2.3.1): disjoint pairs — (A, A:B), (A:[i], A:B),
 // (A:*:X, A:B); non-disjoint pairs — (A:*, A), (A:* , A:B:C), (A:*, A:[i]).
 func (r RPL) Disjoint(s RPL) bool {
+	// Interned fast path: both RPLs are fully specified (the interner
+	// stamps nothing else), and two fully specified RPLs are disjoint
+	// unless identical — which within one interner instance is exactly an
+	// id compare.
+	if r.iid != 0 && s.iid != 0 && sameInternInstance(r.iid, s.iid) {
+		return r.iid != s.iid
+	}
 	a, b := r.elems, s.elems
 	// Left scan until either has a *.
 	i := 0
@@ -365,6 +407,11 @@ func (r RPL) Overlaps(s RPL) bool { return !r.Disjoint(s) }
 // sequence, [?] any index); wildcards in r universally quantify, so an r
 // wildcard can only be covered by a corresponding s wildcard.
 func (r RPL) Included(s RPL) bool {
+	// Interned fast path: both fully specified, so inclusion degenerates
+	// to identity, an id compare within one interner instance.
+	if r.iid != 0 && s.iid != 0 && sameInternInstance(r.iid, s.iid) {
+		return r.iid == s.iid
+	}
 	return includedFrom(r.elems, s.elems)
 }
 

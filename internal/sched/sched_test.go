@@ -1,0 +1,82 @@
+package sched_test
+
+import (
+	"strings"
+	"testing"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/sched"
+)
+
+// TestRegistryComplete: every advertised name constructs a working
+// scheduler, and the advertised set is exactly what the binaries expose.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"naive", "tree", "tree-lockfree", "tree-rootmutex"}
+	got := sched.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range got {
+		s, err := sched.New(sched.Config{Name: name})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s == nil {
+			t.Fatalf("New(%q) returned a nil scheduler", name)
+		}
+		if sched.Describe(name) == "" {
+			t.Errorf("Describe(%q) is empty", name)
+		}
+		if !sched.Known(name) {
+			t.Errorf("Known(%q) = false", name)
+		}
+	}
+}
+
+func TestDefaultIsTree(t *testing.T) {
+	s, err := sched.New(sched.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil {
+		t.Fatal("default scheduler is nil")
+	}
+	if !sched.Known("") {
+		t.Error(`Known("") = false; empty selects the default`)
+	}
+}
+
+func TestUnknownNameErrors(t *testing.T) {
+	if _, err := sched.New(sched.Config{Name: "btree"}); err == nil {
+		t.Fatal("unknown name did not error")
+	} else if !strings.Contains(err.Error(), "tree-lockfree") {
+		t.Errorf("error should list registered names, got: %v", err)
+	}
+	if sched.Known("btree") {
+		t.Error(`Known("btree") = true`)
+	}
+}
+
+// TestNewRuntimeRunsTasks: the convenience constructor yields a working
+// runtime for every registered scheduler.
+func TestNewRuntimeRunsTasks(t *testing.T) {
+	for _, name := range sched.Names() {
+		rt, err := sched.NewRuntime(sched.Config{Name: name, PoolSize: 2})
+		if err != nil {
+			t.Fatalf("NewRuntime(%q): %v", name, err)
+		}
+		f := rt.ExecuteLater(core.NewTask("probe", effect.NewSet(),
+			func(_ *core.Ctx, _ any) (any, error) { return 41 + 1, nil }), nil)
+		v, err := rt.GetValue(f)
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("%s: GetValue = %v, %v", name, v, err)
+		}
+		rt.Shutdown()
+	}
+}

@@ -257,7 +257,8 @@ func (e *faultExec) interpret(ctx *core.Ctx, ti, p int) error {
 			var f *core.Future
 			var err error
 			if child.Fault == FaultDeadline {
-				f, err = ctx.ExecuteLaterDeadline(e.tasks[op.Child], childArg, faultDeadline)
+				f, err = ctx.Submit(e.tasks[op.Child],
+					core.WithArg(childArg), core.WithDeadline(faultDeadline))
 			} else {
 				f, err = ctx.ExecuteLater(e.tasks[op.Child], childArg)
 			}

@@ -8,9 +8,8 @@ import (
 	"twe/internal/core"
 	"twe/internal/isolcheck"
 	"twe/internal/lang"
-	"twe/internal/naive"
+	"twe/internal/sched"
 	"twe/internal/semantics"
-	"twe/internal/tree"
 )
 
 // Config parameterizes a fuzz run.
@@ -100,22 +99,31 @@ func (f *Failure) Error() string {
 		f.Seed, f.Schedule, f.Scheduler, f.Kind, f.Detail)
 }
 
-// schedulerNames are the runtime schedulers under differential test.
-var schedulerNames = []string{"naive", "tree"}
+// schedulerNames are the runtime schedulers under differential test: the
+// baseline, the tree, and the tree's lock-free admission configuration
+// (the latter so the §17 fast/slow boundary is differentially checked
+// against both locked implementations on every seed).
+var schedulerNames = []string{"naive", "tree", "tree-lockfree"}
+
+// Schedulers returns the names in the differential set, for harness
+// front-ends validating a -sched replay filter.
+func Schedulers() []string {
+	out := make([]string, len(schedulerNames))
+	copy(out, schedulerNames)
+	return out
+}
 
 // pendingCount lets the harness report how many tasks were still waiting
-// when a run timed out; both schedulers implement it.
+// when a run timed out; all schedulers implement it.
 type pendingCount interface{ Pending() int }
 
-// newScheduler builds a fresh scheduler instance by name.
+// newScheduler builds a fresh scheduler instance via the sched registry.
 func newScheduler(name string) core.Scheduler {
-	switch name {
-	case "naive":
-		return naive.New()
-	case "tree":
-		return tree.New()
+	s, err := sched.New(sched.Config{Name: name})
+	if err != nil {
+		panic("schedfuzz: " + err.Error())
 	}
-	panic("schedfuzz: unknown scheduler " + name)
+	return s
 }
 
 // runOnRuntime executes the program's main task on a fresh runtime with the

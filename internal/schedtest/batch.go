@@ -12,9 +12,12 @@ import (
 // Batch-admission conformance (DESIGN.md §12): SubmitBatch must behave
 // like submitting the group one by one in slice order — same results, same
 // isolation — whether the scheduler implements core.BatchScheduler (both
-// bundled schedulers do) or falls back to per-task Submit. The isolation
-// checker installed by newRT is the authoritative oracle in every test
-// here; the result assertions catch lost updates directly.
+// bundled schedulers do) or falls back to per-task Submit. The normative
+// register-before-enable contract these tests enforce is stated on
+// core.BatchScheduler (core/submit.go); batchIntraConflict and
+// batchWildcardOrder are its direct probes. The isolation checker
+// installed by newRT is the authoritative oracle in every test here; the
+// result assertions catch lost updates directly.
 
 // batchDisjoint: a conflict-free 64-task batch all runs and delivers
 // per-task results.

@@ -1,0 +1,554 @@
+// Epoch mode: an explicit-state model of the lock-free admission fast
+// path (DESIGN.md §17, internal/tree/lockfree.go).
+//
+// The implementation admits fully specified, conflict-free effects
+// without taking node locks: a submitter snapshots the slow-path epoch,
+// descends the region tree reading per-node counters, publishes itself
+// into the lock-free fast set, then validates that no locked-path
+// activity overlapped the window (epoch unchanged, no slow inserts in
+// flight). Validation failure retracts the publication and re-inserts
+// through the locked slow path. The protocol's safety rests on three
+// clauses, each easy to get subtly wrong:
+//
+//  1. publish co-residence — the fast-set CAS refuses a publication
+//     that conflicts with a resident fast entry;
+//  2. epoch recheck — a fast admit is only final if the epoch/inflight
+//     pair proves no slow bracket overlapped the descent;
+//  3. bracketed wakes — waking a parked waiter bumps the epoch like
+//     any slow insert, so an in-flight fast descent that raced the
+//     wake retracts instead of co-running with the woken task.
+//
+// This file models the protocol over small closed configurations —
+// each task one abstract effect region, fast-eligible or wildcard —
+// and checks an invariant catalog (E1..E3 plus deadlock) over every
+// interleaving. The unbounded epoch counter is abstracted into a
+// per-task dirty bit: "some slow bracket opened since this task began
+// its descent", which is exactly what the e==e0 ∧ inflight==0 recheck
+// observes. EpochMutations seeds a deliberate break of each clause to
+// prove the catalog catches it.
+package spec
+
+import (
+	"fmt"
+	"time"
+)
+
+// EpochTask is one task of an epoch-mode configuration: a single
+// abstract effect region plus the fast-path eligibility the runtime
+// derives from the effect's shape (fully specified and non-prioritized
+// → eligible; wildcard tails force the locked slow path).
+type EpochTask struct {
+	// Name labels the task in traces.
+	Name string
+	// Res is the effect region (ResAll = wildcard over every region —
+	// conflicts with everything and is never fast-eligible).
+	Res int
+	// Write marks the access mode; two tasks conflict when their regions
+	// overlap and at least one writes.
+	Write bool
+	// Eligible marks the task fast-path eligible. Wildcard (ResAll)
+	// tasks must not be eligible; Validate enforces this.
+	Eligible bool
+}
+
+// EpochMutations are deliberate protocol breaks, one per safety
+// clause. Exploring a mutated preset must find a violation — that is
+// the evidence the invariant catalog actually covers the clause.
+type EpochMutations struct {
+	// SkipEpochRecheck makes fast validation unconditional: a published
+	// task admits without confirming the epoch/inflight pair, i.e. the
+	// descent's counter reads are trusted even when a slow bracket
+	// overlapped them. E1 (isolation) must catch this.
+	SkipEpochRecheck bool
+	// SkipPublishCheck drops the fast-set co-residence CAS: two
+	// conflicting fast descents can both publish. E1 must catch this.
+	SkipPublishCheck bool
+	// UnbrackedWake wakes parked waiters without opening a slow bracket
+	// (the recheckTaskLocked slowEnter/slowExit pair), so a racing fast
+	// descent never learns the wake happened. E1 must catch this.
+	UnbrackedWake bool
+}
+
+// EpochConfig is a closed epoch-mode configuration.
+type EpochConfig struct {
+	// Name labels the configuration in results.
+	Name string
+	// Tasks is the closed task set (1..maxEpochTasks).
+	Tasks []EpochTask
+	// Mutations seeds deliberate contract breaks.
+	Mutations EpochMutations
+}
+
+// maxEpochTasks bounds the packed state encoding.
+const maxEpochTasks = 5
+
+// Validate checks structural sanity.
+func (c *EpochConfig) Validate() error {
+	if len(c.Tasks) == 0 || len(c.Tasks) > maxEpochTasks {
+		return fmt.Errorf("spec: epoch config %q: need 1..%d tasks, have %d",
+			c.Name, maxEpochTasks, len(c.Tasks))
+	}
+	for i, t := range c.Tasks {
+		if t.Res < 0 && t.Res != ResAll {
+			return fmt.Errorf("spec: epoch config %q: task %d (%s): negative region %d",
+				c.Name, i, t.Name, t.Res)
+		}
+		if t.Res == ResAll && t.Eligible {
+			return fmt.Errorf("spec: epoch config %q: task %d (%s): wildcard tasks cannot be fast-eligible",
+				c.Name, i, t.Name)
+		}
+	}
+	return nil
+}
+
+// Per-task phases of the admission protocol.
+const (
+	epUnsub     uint8 = iota // not yet submitted
+	epDescend                // fast path: epoch snapshotted, descending (counter reads pending validation)
+	epPublished              // fast path: resident in the fast set, awaiting epoch recheck
+	epSlowEnter              // slow path: inside the epoch bracket (inflight++, epoch++), inserting under locks
+	epSlowWait               // slow path: registered as a parked waiter, bracket exited
+	epAdmitted               // enabled/running
+	epDone                   // finished, effects released
+)
+
+var epochPhaseNames = [...]string{"unsub", "descend", "published", "slow-enter", "slow-wait", "admitted", "done"}
+
+// estate packs one task per byte: low 3 bits phase, bit 3 dirty
+// ("a slow bracket opened since my descent began" — the abstraction of
+// the e==e0 ∧ inflight==0 recheck), bit 4 fast-set residence (cleared
+// when a slow descent captures the entry into the locked sets).
+type estate struct {
+	t [maxEpochTasks]uint8
+}
+
+const (
+	epPhaseMask uint8 = 0x07
+	epDirtyBit  uint8 = 1 << 3
+	epFastBit   uint8 = 1 << 4
+)
+
+func (s estate) phase(i int) uint8  { return s.t[i] & epPhaseMask }
+func (s estate) dirty(i int) bool   { return s.t[i]&epDirtyBit != 0 }
+func (s estate) fastRes(i int) bool { return s.t[i]&epFastBit != 0 }
+func (s *estate) setPhase(i int, p uint8) {
+	s.t[i] = s.t[i]&^epPhaseMask | p
+}
+func (s *estate) setDirty(i int)     { s.t[i] |= epDirtyBit }
+func (s *estate) clearDirty(i int)   { s.t[i] &^= epDirtyBit }
+func (s *estate) setFastRes(i int)   { s.t[i] |= epFastBit }
+func (s *estate) clearFastRes(i int) { s.t[i] &^= epFastBit }
+
+// compiled epoch configuration: the conflict matrix.
+type epochCompiled struct {
+	cfg      *EpochConfig
+	n        int
+	conflict [maxEpochTasks][maxEpochTasks]bool
+}
+
+func compileEpoch(cfg *EpochConfig) (*epochCompiled, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cc := &epochCompiled{cfg: cfg, n: len(cfg.Tasks)}
+	for i := 0; i < cc.n; i++ {
+		for j := 0; j < cc.n; j++ {
+			if i == j {
+				continue
+			}
+			ti, tj := cfg.Tasks[i], cfg.Tasks[j]
+			overlap := ti.Res == tj.Res || ti.Res == ResAll || tj.Res == ResAll
+			cc.conflict[i][j] = overlap && (ti.Write || tj.Write)
+		}
+	}
+	return cc, nil
+}
+
+// bracketOpen reports whether any task is inside the slow epoch
+// bracket (inflight > 0 in the implementation).
+func (cc *epochCompiled) bracketOpen(s estate) bool {
+	for i := 0; i < cc.n; i++ {
+		if s.phase(i) == epSlowEnter {
+			return true
+		}
+	}
+	return false
+}
+
+// conflictIn reports whether any task conflicting with i is in one of
+// the given phases.
+func (cc *epochCompiled) conflictIn(s estate, i int, phases ...uint8) bool {
+	for j := 0; j < cc.n; j++ {
+		if !cc.conflict[i][j] {
+			continue
+		}
+		pj := s.phase(j)
+		for _, p := range phases {
+			if pj == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// openBracket models the slow-path slowEnter: every in-flight fast
+// descent (descending or published) becomes dirty — its eventual
+// epoch recheck will observe e != e0 or inflight != 0 and retract.
+func (cc *epochCompiled) openBracket(s *estate, self int) {
+	for j := 0; j < cc.n; j++ {
+		if j == self {
+			continue
+		}
+		if p := s.phase(j); p == epDescend || p == epPublished {
+			s.setDirty(j)
+		}
+	}
+}
+
+// publishBlocked reports whether task i's fast-set CAS would refuse:
+// a conflicting entry is resident in the fast set (published awaiting
+// validation, or fast-admitted and not yet captured by a slow descent).
+func (cc *epochCompiled) publishBlocked(s estate, i int) bool {
+	for j := 0; j < cc.n; j++ {
+		if !cc.conflict[i][j] || !s.fastRes(j) {
+			continue
+		}
+		if p := s.phase(j); p == epPublished || p == epAdmitted {
+			return true
+		}
+	}
+	return false
+}
+
+// successors enumerates every enabled transition from s.
+func (cc *epochCompiled) successors(s estate, visit func(estate, Step)) {
+	mut := cc.cfg.Mutations
+	for i := 0; i < cc.n; i++ {
+		switch s.phase(i) {
+		case epUnsub:
+			// fast-begin: snapshot the epoch and descend. Requires
+			// eligibility, no open bracket (inflight == 0 at snapshot), and
+			// a clean descent: no conflicting task resident in the *locked*
+			// sets (enabledNoTail ≠ 0 ⇒ fall back). Fast-set residents are
+			// invisible to the descent — the publish CAS screens them.
+			if cc.cfg.Tasks[i].Eligible && !cc.bracketOpen(s) && !cc.lockedConflict(s, i) {
+				ns := s
+				ns.setPhase(i, epDescend)
+				ns.clearDirty(i)
+				visit(ns, Step{Action: "fast-begin", Task: i})
+			}
+			// slow-begin: open the epoch bracket (inflight++, epoch++) and
+			// insert under locks. Always available — the runtime falls back
+			// here for wildcards, contention, or a full fast set.
+			{
+				ns := s
+				ns.setPhase(i, epSlowEnter)
+				cc.openBracket(&ns, i)
+				visit(ns, Step{Action: "slow-begin", Task: i})
+			}
+		case epDescend:
+			if mut.SkipPublishCheck || !cc.publishBlocked(s, i) {
+				ns := s
+				ns.setPhase(i, epPublished)
+				ns.setFastRes(i)
+				visit(ns, Step{Action: "publish", Task: i})
+			} else {
+				// The CAS refused: unwind and re-insert through the slow
+				// path (which opens a bracket of its own).
+				ns := s
+				ns.setPhase(i, epSlowEnter)
+				cc.openBracket(&ns, i)
+				visit(ns, Step{Action: "fast-abort", Task: i})
+			}
+		case epPublished:
+			// validate: the epoch recheck. Clean window (no bracket opened
+			// since the descent began, none open now) ⇒ the counter reads
+			// were consistent ⇒ admit. Note bracketOpen ⇒ dirty here: a
+			// bracket cannot have opened before fast-begin (inflight was 0)
+			// so any open bracket marked us dirty when it opened.
+			if mut.SkipEpochRecheck || !s.dirty(i) {
+				ns := s
+				ns.setPhase(i, epAdmitted)
+				visit(ns, Step{Action: "fast-admit", Task: i})
+			} else {
+				// retract: drop the fast publication and re-insert through
+				// the slow path.
+				ns := s
+				ns.setPhase(i, epSlowEnter)
+				ns.clearFastRes(i)
+				ns.clearDirty(i)
+				cc.openBracket(&ns, i)
+				visit(ns, Step{Action: "retract", Task: i})
+			}
+		case epSlowEnter:
+			// The locked insert sees everything: locked residents, parked
+			// waiters it orders behind, and fast-set residents — which its
+			// descent *captures* into the locked sets (clearing fast-set
+			// residence; a captured publication's recheck then retracts,
+			// and a captured admit is simply tracked under locks).
+			if !cc.conflictIn(s, i, epAdmitted, epPublished) {
+				ns := s
+				ns.setPhase(i, epAdmitted)
+				ns.clearDirty(i)
+				visit(ns, Step{Action: "slow-admit", Task: i})
+			} else {
+				ns := s
+				ns.setPhase(i, epSlowWait)
+				ns.clearDirty(i)
+				for j := 0; j < cc.n; j++ {
+					if cc.conflict[i][j] && ns.fastRes(j) {
+						ns.clearFastRes(j) // capture into the locked sets
+					}
+				}
+				visit(ns, Step{Action: "slow-park", Task: i})
+			}
+		case epSlowWait:
+			// wake: a conflicting task finished and the recheck found this
+			// waiter runnable. The recheck runs inside a bracket of its own
+			// (recheckTaskLocked slowEnter/slowExit) — modeled by marking
+			// in-flight fast descents dirty — unless mutated.
+			if !cc.conflictIn(s, i, epAdmitted, epPublished) {
+				ns := s
+				ns.setPhase(i, epAdmitted)
+				if !mut.UnbrackedWake {
+					cc.openBracket(&ns, i)
+				}
+				visit(ns, Step{Action: "wake", Task: i})
+			}
+		case epAdmitted:
+			ns := s
+			ns.setPhase(i, epDone)
+			ns.clearFastRes(i)
+			ns.clearDirty(i)
+			visit(ns, Step{Action: "finish", Task: i})
+		}
+	}
+}
+
+// lockedConflict reports whether a conflicting task is resident in the
+// locked sets as enabled (slow-admitted, or fast-admitted and since
+// captured) — what the fast descent's enabledNoTail counters see.
+func (cc *epochCompiled) lockedConflict(s estate, i int) bool {
+	for j := 0; j < cc.n; j++ {
+		if cc.conflict[i][j] && s.phase(j) == epAdmitted && !s.fastRes(j) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkInvariants returns the violated invariant's name and detail, or
+// "".
+func (cc *epochCompiled) checkInvariants(s estate) (string, string) {
+	// E1 — isolation: no two conflicting tasks simultaneously admitted,
+	// regardless of which admission path each took.
+	for i := 0; i < cc.n; i++ {
+		if s.phase(i) != epAdmitted {
+			continue
+		}
+		for j := i + 1; j < cc.n; j++ {
+			if cc.conflict[i][j] && s.phase(j) == epAdmitted {
+				return "E1-isolation", fmt.Sprintf(
+					"conflicting tasks %s and %s are both admitted",
+					cc.cfg.Tasks[i].Name, cc.cfg.Tasks[j].Name)
+			}
+		}
+	}
+	// E2 — residence: fast-set residence only while published or
+	// admitted; a retract/capture/finish must clear it.
+	for i := 0; i < cc.n; i++ {
+		if p := s.phase(i); s.fastRes(i) && p != epPublished && p != epAdmitted {
+			return "E2-residence", fmt.Sprintf(
+				"task %s holds fast-set residence in phase %s",
+				cc.cfg.Tasks[i].Name, epochPhaseNames[p])
+		}
+	}
+	// E3 — clean finish: a finished task retains no protocol state.
+	for i := 0; i < cc.n; i++ {
+		if s.phase(i) == epDone && (s.dirty(i) || s.fastRes(i)) {
+			return "E3-clean-finish", fmt.Sprintf(
+				"finished task %s retains protocol state", cc.cfg.Tasks[i].Name)
+		}
+	}
+	return "", ""
+}
+
+// terminal reports whether every task finished.
+func (cc *epochCompiled) terminal(s estate) bool {
+	for i := 0; i < cc.n; i++ {
+		if s.phase(i) != epDone {
+			return false
+		}
+	}
+	return true
+}
+
+// EpochExplore exhaustively enumerates the epoch-mode configuration's
+// interleavings breadth-first, checking E1..E3 plus deadlock-freedom
+// at every reachable state. BFS order makes a violation's trace
+// shortest.
+func EpochExplore(cfg *EpochConfig, opts ExploreOpts) (*Result, error) {
+	cc, err := compileEpoch(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 5_000_000
+	}
+	start := time.Now()
+
+	type edge struct {
+		parent estate
+		step   Step
+	}
+	var init estate
+	visited := map[estate]edge{init: {}}
+	frontier := []estate{init}
+	res := &Result{Config: cfg.Name, States: 1}
+
+	trace := func(s estate) []Step {
+		var rev []Step
+		for s != init {
+			e := visited[s]
+			rev = append(rev, e.step)
+			s = e.parent
+		}
+		steps := make([]Step, len(rev))
+		for i := range rev {
+			steps[i] = rev[len(rev)-1-i]
+		}
+		return steps
+	}
+
+	if inv, detail := cc.checkInvariants(init); inv != "" {
+		res.Violation = &CounterExample{Invariant: inv, Detail: detail}
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+
+		anyMove := false
+		var stop *CounterExample
+		cc.successors(s, func(ns estate, st Step) {
+			anyMove = true
+			if stop != nil {
+				return
+			}
+			if _, ok := visited[ns]; ok {
+				res.Transitions++
+				return
+			}
+			visited[ns] = edge{parent: s, step: st}
+			res.Transitions++
+			res.States++
+			if inv, detail := cc.checkInvariants(ns); inv != "" {
+				stop = &CounterExample{Invariant: inv, Detail: detail, Trace: trace(ns)}
+				return
+			}
+			frontier = append(frontier, ns)
+		})
+		if stop != nil {
+			res.Violation = stop
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		if !anyMove && !cc.terminal(s) {
+			res.Violation = &CounterExample{
+				Invariant: "deadlock",
+				Detail:    "non-terminal state with no enabled transition",
+				Trace:     trace(s),
+			}
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		if res.States > opts.MaxStates {
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+	res.Complete = true
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// EpochPresets returns the epoch-mode preset configurations. Each
+// stresses one corner of the fast/slow boundary:
+//
+//   - disjoint-fast: independent eligible tasks — the pure fast path
+//     must admit all without interference.
+//   - fast-pair: two eligible writers on one region — the publish CAS
+//     and retract protocol serialize them.
+//   - fast-vs-slow: an eligible writer racing a wildcard — the epoch
+//     recheck is the only thing keeping them apart.
+//   - wake-race: a parked wildcard waiter waking while an unrelated
+//     fast descent is in flight — bracketed wakes are the only thing
+//     keeping the woken task and the fast admit apart.
+//   - mixed: all of the above in one configuration.
+func EpochPresets() []*EpochConfig {
+	return []*EpochConfig{
+		{
+			Name: "disjoint-fast",
+			Tasks: []EpochTask{
+				{Name: "A", Res: 0, Write: true, Eligible: true},
+				{Name: "B", Res: 1, Write: true, Eligible: true},
+				{Name: "C", Res: 2, Write: true, Eligible: true},
+			},
+		},
+		{
+			Name: "fast-pair",
+			Tasks: []EpochTask{
+				{Name: "W1", Res: 0, Write: true, Eligible: true},
+				{Name: "W2", Res: 0, Write: true, Eligible: true},
+				{Name: "R", Res: 1, Write: false, Eligible: true},
+			},
+		},
+		{
+			Name: "fast-vs-slow",
+			Tasks: []EpochTask{
+				{Name: "F", Res: 0, Write: true, Eligible: true},
+				{Name: "S", Res: ResAll, Write: true},
+			},
+		},
+		{
+			Name: "wake-race",
+			Tasks: []EpochTask{
+				{Name: "T", Res: 0, Write: true, Eligible: true},
+				{Name: "W", Res: ResAll, Write: true},
+				{Name: "F", Res: 1, Write: true, Eligible: true},
+			},
+		},
+		{
+			Name: "mixed",
+			Tasks: []EpochTask{
+				{Name: "W1", Res: 0, Write: true, Eligible: true},
+				{Name: "W2", Res: 0, Write: true, Eligible: true},
+				{Name: "S", Res: ResAll, Write: true},
+				{Name: "F", Res: 1, Write: true, Eligible: true},
+			},
+		},
+	}
+}
+
+// EpochPreset returns the named preset, or nil.
+func EpochPreset(name string) *EpochConfig {
+	for _, c := range EpochPresets() {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// EpochPresetNames lists the preset names.
+func EpochPresetNames() []string {
+	ps := EpochPresets()
+	names := make([]string, len(ps))
+	for i, c := range ps {
+		names[i] = c.Name
+	}
+	return names
+}

@@ -1,0 +1,185 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEpochPresetsClean: every unmutated preset explores to completion
+// with no violation — the modeled §17 protocol is safe and live over
+// every interleaving.
+func TestEpochPresetsClean(t *testing.T) {
+	for _, cfg := range EpochPresets() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			res, err := EpochExplore(cfg, ExploreOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("unexpected violation:\n%s", res.Violation)
+			}
+			if !res.Complete {
+				t.Fatalf("exploration incomplete at %d states", res.States)
+			}
+			if res.States < 10 {
+				t.Fatalf("suspiciously small state space: %d states", res.States)
+			}
+			t.Logf("%s: %d states, %d transitions", cfg.Name, res.States, res.Transitions)
+		})
+	}
+}
+
+// TestEpochMutationsCaught: each deliberate protocol break produces an
+// E1 isolation violation on the preset built to expose it. This is the
+// evidence the invariant catalog actually covers the three safety
+// clauses (publish co-residence, epoch recheck, bracketed wakes).
+func TestEpochMutationsCaught(t *testing.T) {
+	cases := []struct {
+		name   string
+		preset string
+		mutate func(*EpochMutations)
+	}{
+		{"skip-epoch-recheck", "fast-vs-slow", func(m *EpochMutations) { m.SkipEpochRecheck = true }},
+		{"skip-epoch-recheck-mixed", "mixed", func(m *EpochMutations) { m.SkipEpochRecheck = true }},
+		{"skip-publish-check", "fast-pair", func(m *EpochMutations) { m.SkipPublishCheck = true }},
+		{"unbracketed-wake", "wake-race", func(m *EpochMutations) { m.UnbrackedWake = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := EpochPreset(tc.preset)
+			if cfg == nil {
+				t.Fatalf("no preset %q", tc.preset)
+			}
+			tc.mutate(&cfg.Mutations)
+			res, err := EpochExplore(cfg, ExploreOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation == nil {
+				t.Fatalf("mutation went uncaught over %d states", res.States)
+			}
+			if res.Violation.Invariant != "E1-isolation" {
+				t.Fatalf("expected E1-isolation, got %s: %s",
+					res.Violation.Invariant, res.Violation.Detail)
+			}
+			if len(res.Violation.Trace) == 0 {
+				t.Fatal("violation has an empty trace")
+			}
+			t.Logf("%s caught in %d steps: %s", tc.name,
+				len(res.Violation.Trace), res.Violation)
+		})
+	}
+}
+
+// TestEpochFastPathReachable: the clean fast path (fast-begin →
+// publish → fast-admit for every task, no retract) is an actual
+// behavior of the model — the protocol is not vacuously safe by
+// forcing everything slow.
+func TestEpochFastPathReachable(t *testing.T) {
+	cfg := EpochPreset("disjoint-fast")
+	cc, err := compileEpoch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the deterministic all-fast schedule by hand: each task in
+	// turn descends, publishes, admits, finishes.
+	s := estate{}
+	for i := range cfg.Tasks {
+		step := func(want string) {
+			found := false
+			cc.successors(s, func(ns estate, st Step) {
+				if st.Task == i && st.Action == want && !found {
+					s, found = ns, true
+				}
+			})
+			if !found {
+				t.Fatalf("task %d: action %q not enabled", i, want)
+			}
+		}
+		step("fast-begin")
+		step("publish")
+		step("fast-admit")
+		step("finish")
+	}
+	if !cc.terminal(s) {
+		t.Fatal("all-fast schedule did not reach the terminal state")
+	}
+}
+
+// TestEpochRetractTrace: in fast-vs-slow, the interleaving where the
+// wildcard brackets during the fast descent must force a retract — the
+// model distinguishes the overlapped window from the clean one.
+func TestEpochRetractTrace(t *testing.T) {
+	cfg := EpochPreset("fast-vs-slow")
+	cc, err := compileEpoch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := estate{}
+	apply := func(task int, want string) {
+		found := false
+		cc.successors(s, func(ns estate, st Step) {
+			if st.Task == task && st.Action == want && !found {
+				s, found = ns, true
+			}
+		})
+		if !found {
+			t.Fatalf("task %d: action %q not enabled in phase %d", task, want, s.phase(task))
+		}
+	}
+	// F descends; S opens a bracket (dirtying F) and admits; F publishes
+	// — and its recheck must now retract, not fast-admit.
+	apply(0, "fast-begin")
+	apply(1, "slow-begin")
+	apply(1, "slow-admit")
+	apply(0, "publish")
+	fastAdmit := false
+	retract := false
+	cc.successors(s, func(_ estate, st Step) {
+		if st.Task == 0 && st.Action == "fast-admit" {
+			fastAdmit = true
+		}
+		if st.Task == 0 && st.Action == "retract" {
+			retract = true
+		}
+	})
+	if fastAdmit {
+		t.Fatal("fast-admit enabled despite an overlapping slow bracket")
+	}
+	if !retract {
+		t.Fatal("retract not enabled despite an overlapping slow bracket")
+	}
+}
+
+// TestEpochValidate: structural rejects.
+func TestEpochValidate(t *testing.T) {
+	bad := []*EpochConfig{
+		{Name: "empty"},
+		{Name: "wildcard-eligible", Tasks: []EpochTask{{Name: "X", Res: ResAll, Eligible: true}}},
+		{Name: "too-many", Tasks: make([]EpochTask, maxEpochTasks+1)},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", cfg.Name)
+		} else if !strings.Contains(err.Error(), cfg.Name) {
+			t.Errorf("%s: error does not name the config: %v", cfg.Name, err)
+		}
+	}
+}
+
+// TestEpochPresetLookup: the preset registry round-trips.
+func TestEpochPresetLookup(t *testing.T) {
+	names := EpochPresetNames()
+	if len(names) == 0 {
+		t.Fatal("no epoch presets")
+	}
+	for _, n := range names {
+		if EpochPreset(n) == nil {
+			t.Errorf("preset %q not found by name", n)
+		}
+	}
+	if EpochPreset("no-such") != nil {
+		t.Error("unknown preset resolved")
+	}
+}

@@ -94,7 +94,7 @@ func TestRefineAcceptsRealRuns(t *testing.T) {
 			// an immediately-shed deadline.
 			victim := rt.Submit(core.NewTask("victim", wB, func(*core.Ctx, any) (any, error) { return nil, nil }))
 			victim.Cancel(errors.New("nope"))
-			shed := rt.ExecuteLaterDeadline(core.NewTask("shed", wB, func(*core.Ctx, any) (any, error) { return nil, nil }), nil, -1)
+			shed := rt.Submit(core.NewTask("shed", wB, func(*core.Ctx, any) (any, error) { return nil, nil }), core.WithDeadline(-1))
 			for _, f := range append(futs, parent) {
 				rt.GetValue(f)
 			}

@@ -25,6 +25,13 @@ type EffectCache struct {
 	hits   atomic.Int64
 	misses atomic.Int64
 
+	// intern, when set, stamps every parsed set's fully specified regions
+	// with the runtime's interner ids (DESIGN.md §17) before caching, so
+	// steady-state admission compares integers, not structure. The v2
+	// EffectTable is fed through Lookup too (its decode path parses via
+	// the cache), so wire effRefs resolve to interned sets for free.
+	intern *effect.Interner
+
 	parse func(string) (effect.Set, error) // test seam; defaults to effect.Parse
 }
 
@@ -51,6 +58,7 @@ func (c *EffectCache) Lookup(s string) (effect.Set, error) {
 	if err != nil {
 		return effect.Set{}, err
 	}
+	es = c.intern.InternSet(es) // nil-safe: a nil interner returns es unchanged
 	c.mu.Lock()
 	if cached, ok := c.m[s]; ok {
 		es = cached // keep the first insertion canonical
@@ -60,6 +68,10 @@ func (c *EffectCache) Lookup(s string) (effect.Set, error) {
 	c.mu.Unlock()
 	return es, nil
 }
+
+// SetInterner routes every future parse through in (see the intern field
+// doc). Call before serving traffic; already-cached sets stay plain.
+func (c *EffectCache) SetInterner(in *effect.Interner) { c.intern = in }
 
 // Stats returns the hit/miss counters.
 func (c *EffectCache) Stats() (hits, misses int64) {

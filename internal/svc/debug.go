@@ -41,6 +41,23 @@ type DebugSnapshot struct {
 	QueueDepthPeak int64 `json:"queue_depth_peak"`
 	RespQueued     int   `json:"resp_queued"` // responses owed, summed over live sessions
 
+	// Admit splits effectful admissions between the lock-free fast path
+	// and the locked slow path (DESIGN.md §17); a healthy conflict-free
+	// steady state shows fastpath ≫ slowpath. PoolSteals counts tasks a
+	// pool worker took from a sibling's deque.
+	Admit struct {
+		Fastpath uint64 `json:"fastpath"`
+		Slowpath uint64 `json:"slowpath"`
+	} `json:"admit"`
+	PoolSteals uint64 `json:"pool_steals"`
+
+	// Interner is the runtime effect-interner occupancy (§17): resident
+	// out of cap fully specified RPLs holding integer comparison ids.
+	Interner struct {
+		Resident int64 `json:"resident"`
+		Cap      int   `json:"cap"`
+	} `json:"interner"`
+
 	EffectTables struct {
 		Conns    int   `json:"conns"`    // live v2 connections (tables)
 		Resident int64 `json:"resident"` // occupied slots, summed
@@ -76,6 +93,11 @@ func (s *Server) DebugSnapshot(topK int) DebugSnapshot {
 	ms := s.tr.Metrics().Snapshot()
 	d.QueueDepth = ms.QueueDepth
 	d.QueueDepthPeak = ms.QueueDepthPeak
+	d.Admit.Fastpath = ms.AdmitFastpath
+	d.Admit.Slowpath = ms.AdmitSlowpath
+	d.PoolSteals = ms.PoolSteals
+	d.Interner.Resident = s.rt.Interner().Resident()
+	d.Interner.Cap = s.rt.Interner().Cap()
 
 	s.mu.Lock()
 	for sess := range s.live {

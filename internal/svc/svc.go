@@ -10,15 +10,14 @@ import (
 
 	"twe/internal/core"
 	"twe/internal/isolcheck"
-	"twe/internal/naive"
 	"twe/internal/obs"
-	"twe/internal/tree"
+	"twe/internal/sched"
 )
 
 // Config sizes and shapes a Server.
 type Config struct {
 	Addr   string // listen address; empty means 127.0.0.1:0 (ephemeral)
-	Sched  string // "tree" (default) or "naive"
+	Sched  string // scheduler name resolved via internal/sched ("tree" default)
 	Par    int    // pool parallelism (default 4)
 	Shards int    // default 8
 	Keys   int    // default 256
@@ -148,13 +147,10 @@ func Start(cfg Config) (*Server, error) {
 	mk := cfg.MkSched
 	s.schedName = cfg.Sched
 	if mk == nil {
-		switch cfg.Sched {
-		case "tree":
-			mk = func() core.Scheduler { return tree.New() }
-		case "naive":
-			mk = func() core.Scheduler { return naive.New() }
-		default:
-			return nil, fmt.Errorf("svc: unknown scheduler %q (want tree or naive)", cfg.Sched)
+		var err error
+		mk, err = sched.Maker(sched.Config{Name: cfg.Sched})
+		if err != nil {
+			return nil, fmt.Errorf("svc: %w", err)
 		}
 	} else if cfg.Sched == "" {
 		s.schedName = "custom"
@@ -186,6 +182,7 @@ func Start(cfg Config) (*Server, error) {
 	s.st = newStore(cfg.Shards, cfg.Keys)
 	s.st.reg.SetTracer(s.tr)
 	s.cache = NewEffectCache(cfg.EffCacheMax)
+	s.cache.SetInterner(s.rt.Interner())
 
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -304,6 +301,9 @@ func (s *Server) Stats() StatsBody {
 // WriteMetrics emits the full Prometheus exposition: the runtime's twe_*
 // families followed by the service's twe_serve_* families.
 func (s *Server) WriteMetrics(w io.Writer) error {
+	// The interner occupancy gauge is sampled, not event-driven; refresh
+	// it so every scrape sees the live value.
+	s.tr.Metrics().SetInternerResident(s.rt.Interner().Resident())
 	if _, err := s.tr.Metrics().WriteTo(w); err != nil {
 		return err
 	}

@@ -34,7 +34,7 @@ func drainClean(t *testing.T, s *Server) {
 // scans and dyneff adds, per-connection oracle, final-state sweep, exact
 // accounting, clean drain.
 func TestServeEndToEnd(t *testing.T) {
-	for _, sched := range []string{"tree", "naive"} {
+	for _, sched := range []string{"tree", "naive", "tree-lockfree"} {
 		sched := sched
 		t.Run(sched, func(t *testing.T) {
 			s := startTestServer(t, Config{Sched: sched, Par: 4, Shards: 8, Keys: 128})
@@ -57,6 +57,45 @@ func TestServeEndToEnd(t *testing.T) {
 			drainClean(t, s)
 		})
 	}
+}
+
+// TestLockFreeServeCounters: served through the tree-lockfree scheduler,
+// low-contention traffic must actually ride the §17 fast path, the cache
+// must intern the wire effects, and the observability surface
+// (DebugSnapshot, Prometheus exposition) must report all of it.
+func TestLockFreeServeCounters(t *testing.T) {
+	s := startTestServer(t, Config{Sched: "tree-lockfree", Par: 4, Shards: 8, Keys: 128})
+	rep, err := RunLoad(LoadConfig{
+		Addr: s.Addr(), Conns: 4, Requests: 50, Pipeline: 1,
+		Seed: 11, Conflict: 0, ScanEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	d := s.DebugSnapshot(5)
+	if d.Admit.Fastpath == 0 {
+		t.Errorf("low-contention serving never took the fast path: admit=%+v", d.Admit)
+	}
+	if d.Interner.Resident == 0 {
+		t.Error("effect cache registered no interned regions")
+	}
+	if d.Interner.Cap <= 0 {
+		t.Errorf("interner cap = %d", d.Interner.Cap)
+	}
+	var sb strings.Builder
+	if err := s.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"twe_admit_fastpath_total", "twe_admit_slowpath_total",
+		"twe_pool_steals_total", "twe_interner_resident"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+	drainClean(t, s)
 }
 
 // TestServeSingleConnOracleExact: with one connection every response is

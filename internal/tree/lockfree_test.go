@@ -1,0 +1,291 @@
+package tree_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"twe/internal/core"
+	"twe/internal/effect"
+	"twe/internal/isolcheck"
+	"twe/internal/rpl"
+	"twe/internal/schedtest"
+	"twe/internal/tree"
+)
+
+// TestConformanceLockFree runs the full scheduler conformance suite against
+// the §17 lock-free admission configuration.
+func TestConformanceLockFree(t *testing.T) {
+	schedtest.Run(t, "tree-lockfree", func() core.Scheduler { return tree.NewLockFree() })
+}
+
+// TestLockFreeFastPathTaken: a conflict-free workload of fully specified
+// effects must admit through the zero-lock path, not the locked descent.
+func TestLockFreeFastPathTaken(t *testing.T) {
+	s := tree.NewLockFree()
+	rt := core.NewRuntime(s, 4)
+	const n = 64
+	futs := make([]*core.Future, n)
+	for i := 0; i < n; i++ {
+		task := core.NewTask(fmt.Sprintf("lf%d", i),
+			effect.NewSet(effect.WriteEff(rpl.New(rpl.N("D"), rpl.Idx(i)))),
+			func(_ *core.Ctx, _ any) (any, error) { return nil, nil })
+		futs[i] = rt.ExecuteLater(task, nil)
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Shutdown()
+	st := s.Stats()
+	if st.FastAdmits == 0 {
+		t.Fatalf("conflict-free fully-specified workload never took the fast path: %+v", st)
+	}
+	if st.FastAdmits+st.SlowAdmits != n {
+		t.Errorf("admissions %d fast + %d slow != %d submitted", st.FastAdmits, st.SlowAdmits, n)
+	}
+	if !s.Quiesced() {
+		t.Fatalf("not quiesced: pending=%d effects=%d", s.Pending(), s.PendingEffects())
+	}
+}
+
+// TestLockFreeWildcardForcesSlowPath: effects that are not fully specified
+// must never fast-admit — they follow the locked placement rules.
+func TestLockFreeWildcardForcesSlowPath(t *testing.T) {
+	s := tree.NewLockFree()
+	rt := core.NewRuntime(s, 4)
+	var futs []*core.Future
+	for i := 0; i < 8; i++ {
+		task := core.NewTask("wild", es(fmt.Sprintf("writes W:[%d]:*", i)),
+			func(_ *core.Ctx, _ any) (any, error) { return nil, nil })
+		futs = append(futs, rt.ExecuteLater(task, nil))
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Shutdown()
+	st := s.Stats()
+	if st.FastAdmits != 0 {
+		t.Fatalf("wildcard effects took the fast path %d times: %+v", st.FastAdmits, st)
+	}
+	if st.SlowAdmits != 8 {
+		t.Errorf("SlowAdmits = %d, want 8", st.SlowAdmits)
+	}
+}
+
+// TestLockFreeConflictSerializes drives the fallback boundary: many tasks
+// writing the SAME fully specified region. The first may fast-admit; the
+// rest must observe it (via the publish-time co-resident check or a
+// captured fast resident) and serialize. A lost conflict would show up as
+// a torn counter.
+func TestLockFreeConflictSerializes(t *testing.T) {
+	chk := isolcheck.New()
+	rt := core.NewRuntime(tree.NewLockFree(), 8, core.WithMonitor(chk))
+	const n = 400
+	shared := 0
+	task := core.NewTask("acc", es("writes Acc"), func(_ *core.Ctx, _ any) (any, error) {
+		v := shared
+		if v%7 == 0 {
+			time.Sleep(20 * time.Microsecond) // widen the race window
+		}
+		shared = v + 1
+		return nil, nil
+	})
+	futs := make([]*core.Future, n)
+	for i := range futs {
+		futs[i] = rt.ExecuteLater(task, nil)
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Shutdown()
+	if shared != n {
+		t.Fatalf("lost updates across the fast/slow boundary: %d != %d", shared, n)
+	}
+	for _, v := range chk.Violations() {
+		t.Error(v)
+	}
+}
+
+// TestLockFreeMixedWildcardAndFast interleaves wildcard sweeps (slow path,
+// enabledTail on the spine) with fully specified leaf writes (fast path
+// candidates) on the same subtree; the leaf writes must see the sweep via
+// the enabled-tail counters and wait.
+func TestLockFreeMixedWildcardAndFast(t *testing.T) {
+	chk := isolcheck.New()
+	rt := core.NewRuntime(tree.NewLockFree(), 8, core.WithMonitor(chk))
+	shared := make([]int, 16)
+	var futs []*core.Future
+	for round := 0; round < 30; round++ {
+		sweep := core.NewTask("sweep", es("writes M:*"), func(_ *core.Ctx, _ any) (any, error) {
+			total := 0
+			for i := range shared {
+				total += shared[i]
+			}
+			shared[0] = total
+			return nil, nil
+		})
+		futs = append(futs, rt.ExecuteLater(sweep, nil))
+		for i := 0; i < 4; i++ {
+			i := (round*4 + i) % 16
+			leaf := core.NewTask("leaf",
+				effect.NewSet(effect.WriteEff(rpl.New(rpl.N("M"), rpl.Idx(i)))),
+				func(_ *core.Ctx, _ any) (any, error) {
+					shared[i]++
+					return nil, nil
+				})
+			futs = append(futs, rt.ExecuteLater(leaf, nil))
+		}
+	}
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Shutdown()
+	for _, v := range chk.Violations() {
+		t.Error(v)
+	}
+}
+
+// TestLockFreeDescheduleWaitingTask: cancelling a parked task under the
+// lock-free scheduler must drain its effects and leave the audit clean
+// (exercises the lfState settlement handshake and removeEffect).
+func TestLockFreeDescheduleWaitingTask(t *testing.T) {
+	s := tree.NewLockFree()
+	rt := core.NewRuntime(s, 4)
+	running := make(chan struct{})
+	release := make(chan struct{})
+	head := rt.ExecuteLater(core.NewTask("head", es("writes A:[0]"),
+		func(_ *core.Ctx, _ any) (any, error) {
+			close(running)
+			<-release
+			return nil, nil
+		}), nil)
+	<-running
+	victim := rt.ExecuteLater(core.NewTask("victim", es("writes A:[0]"),
+		func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), nil)
+	if victim.Status() >= core.Enabled {
+		t.Fatal("victim admitted past a conflicting fast-admitted head")
+	}
+	if !victim.Cancel(nil) {
+		t.Fatal("waiting victim should be cancellable")
+	}
+	close(release)
+	if _, err := rt.GetValue(head); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if !s.Quiesced() {
+		t.Fatalf("not quiesced after deschedule: pending=%d effects=%d",
+			s.Pending(), s.PendingEffects())
+	}
+}
+
+// TestLockFreeBatchDisjoint: SubmitBatch under the lock-free scheduler uses
+// strict per-member in-order admission; a conflict-free batch should ride
+// the fast path and still flush every enable.
+func TestLockFreeBatchDisjoint(t *testing.T) {
+	s := tree.NewLockFree()
+	rt := core.NewRuntime(s, 8)
+	const n = 128
+	results := make([]int, n)
+	var mu sync.Mutex
+	subs := make([]core.Submission, n)
+	for i := 0; i < n; i++ {
+		i := i
+		subs[i] = core.Submission{Task: core.NewTask(fmt.Sprintf("b%d", i),
+			effect.NewSet(effect.WriteEff(rpl.New(rpl.N("B"), rpl.Idx(i)))),
+			func(_ *core.Ctx, _ any) (any, error) {
+				mu.Lock()
+				results[i] = i * 2
+				mu.Unlock()
+				return nil, nil
+			})}
+	}
+	futs := rt.SubmitBatch(subs)
+	for _, f := range futs {
+		if _, err := rt.GetValue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Shutdown()
+	for i, r := range results {
+		if r != i*2 {
+			t.Fatalf("batch member %d = %d, want %d", i, r, i*2)
+		}
+	}
+	if st := s.Stats(); st.FastAdmits == 0 {
+		t.Errorf("conflict-free batch never fast-admitted: %+v", st)
+	}
+	if !s.Quiesced() {
+		t.Fatal("not quiesced after batch")
+	}
+}
+
+// TestLockFreeChurn hammers the fast/slow boundary from many goroutines:
+// per-goroutine private regions (fast candidates) mixed with a contended
+// region and periodic wildcard sweeps, all while earlier tasks retire. Run
+// under -race this is the main interleaving stress for the §17 protocol.
+func TestLockFreeChurn(t *testing.T) {
+	chk := isolcheck.New()
+	rt := core.NewRuntime(tree.NewLockFree(), 8, core.WithMonitor(chk))
+	const workers = 8
+	const per = 60
+	contended := 0
+	private := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var futs []*core.Future
+			for i := 0; i < per; i++ {
+				switch i % 3 {
+				case 0:
+					futs = append(futs, rt.ExecuteLater(core.NewTask("priv",
+						effect.NewSet(effect.WriteEff(rpl.New(rpl.N("P"), rpl.Idx(w)))),
+						func(_ *core.Ctx, _ any) (any, error) {
+							private[w]++
+							return nil, nil
+						}), nil))
+				case 1:
+					futs = append(futs, rt.ExecuteLater(core.NewTask("hot", es("writes Hot"),
+						func(_ *core.Ctx, _ any) (any, error) {
+							contended++
+							return nil, nil
+						}), nil))
+				default:
+					futs = append(futs, rt.ExecuteLater(core.NewTask("sweep", es("writes P:*"),
+						func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), nil))
+				}
+			}
+			for _, f := range futs {
+				if _, err := rt.GetValue(f); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rt.Shutdown()
+	if want := workers * per / 3; contended != want {
+		t.Fatalf("contended counter %d != %d: conflict missed across fast/slow boundary", contended, want)
+	}
+	for w := range private {
+		if private[w] != per/3 {
+			t.Fatalf("private[%d] = %d, want %d", w, private[w], per/3)
+		}
+	}
+	for _, v := range chk.Violations() {
+		t.Error(v)
+	}
+}

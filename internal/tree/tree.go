@@ -76,15 +76,28 @@ type node struct {
 	rw    *sync.RWMutex // non-nil only at an RW-optimized root
 	depth int
 	elem  rpl.Elem // edge label from parent; zero at root
-	// children is guarded by the node lock; the RW root uses childSync
-	// instead so lookups are safe under the read lock.
+	// children is guarded by the node lock; the RW root — and every node
+	// of a lock-free scheduler — uses childSync instead so lookups are
+	// safe without the exclusive lock.
 	children  map[rpl.Elem]*node
-	childSync *sync.Map // rpl.Elem → *node; non-nil iff rw != nil
+	childSync *sync.Map // rpl.Elem → *node; non-nil iff rw != nil or lf
 	sets      [numSets]map[*effInst]struct{}
 	// enabledTail counts effects in the two enabled-with-tail sets; at the
 	// RW root a nonzero value forces writers onto the write-lock path
-	// because pass-through effects could conflict with them (§5.5.2).
+	// because pass-through effects could conflict with them (§5.5.2). The
+	// lock-free descent (DESIGN.md §17) reads it at every node on the way
+	// to an effect's home.
 	enabledTail atomic.Int32
+
+	// Lock-free admission state (DESIGN.md §17), used only when lf is set.
+	// fast is the epoch-snapshot publication set: an immutable slice of
+	// enabled, fully specified effects living exactly at this node,
+	// replaced wholesale by CAS. enabledNoTail mirrors the size of the two
+	// enabled-no-tail locked sets so the read-only walk can detect locked
+	// residents without taking the lock.
+	lf            bool
+	fast          atomic.Pointer[fastSet]
+	enabledNoTail atomic.Int32
 }
 
 func newNode(depth int, elem rpl.Elem) *node {
@@ -117,7 +130,14 @@ func (n *node) getOrCreateChild(elem rpl.Elem) *node {
 		if c, ok := n.childSync.Load(elem); ok {
 			return c.(*node)
 		}
-		c, _ := n.childSync.LoadOrStore(elem, newNode(n.depth+1, elem))
+		nn := newNode(n.depth+1, elem)
+		if n.lf {
+			// Lock-free schedulers keep the whole tree traversable without
+			// locks: every node gets a concurrent child map.
+			nn.lf = true
+			nn.childSync = new(sync.Map)
+		}
+		c, _ := n.childSync.LoadOrStore(elem, nn)
 		return c.(*node)
 	}
 	if n.children == nil {
@@ -202,6 +222,8 @@ func (n *node) add(e *effInst) {
 	e.node.Store(n)
 	if idx == setEnabledReadTail || idx == setEnabledWriteTail {
 		n.enabledTail.Add(1)
+	} else if idx == setEnabledReadNoTail || idx == setEnabledWriteNoTail {
+		n.enabledNoTail.Add(1)
 	}
 }
 
@@ -211,6 +233,8 @@ func (n *node) remove(e *effInst) {
 	delete(n.sets[e.setIdx], e)
 	if e.setIdx == setEnabledReadTail || e.setIdx == setEnabledWriteTail {
 		n.enabledTail.Add(-1)
+	} else if e.setIdx == setEnabledReadNoTail || e.setIdx == setEnabledWriteNoTail {
+		n.enabledNoTail.Add(-1)
 	}
 }
 
@@ -235,7 +259,22 @@ type futState struct {
 	// future that stalls repeatedly formats its effects once. Accessed
 	// from whichever goroutine is checking the future, hence atomic.
 	effStr atomic.Pointer[string]
+	// lfState tracks how a lock-free submission settled (DESIGN.md §17):
+	// lfPending while the fast attempt is in flight, lfFast once admitted
+	// by the zero-lock path (effects live in fast sets until captured),
+	// lfSlow once the submission reached the locked path (normal rules).
+	// Deschedule spins on it so a concurrent cancel never races the
+	// publish/retract window. Unused (always lfPending) by the default
+	// locked scheduler.
+	lfState atomic.Int32
 }
+
+// futState.lfState values.
+const (
+	lfPending = int32(iota)
+	lfFast
+	lfSlow
+)
 
 const recheckOffset = int64(1) << 32
 
@@ -258,16 +297,31 @@ type Scheduler struct {
 
 	// Liveness safety net (§5.3.2): if no task is enabled while waiting
 	// tasks exist, prioritize and recheck one arbitrary (oldest) waiter.
+	// liveMu guards waiting; enabledCount is atomic so the lock-free
+	// admission path can settle it without the lock.
 	liveMu       sync.Mutex
 	waiting      map[*core.Future]struct{}
-	enabledCount int
+	enabledCount atomic.Int64
+
+	// Lock-free admission (DESIGN.md §17). lockFree enables the
+	// epoch-snapshot fast path; slowEpoch/slowInflight form the global
+	// guard every locked mutation brackets with slowEnter/slowExit so the
+	// zero-lock walk can validate that no locked admission work overlapped
+	// its read window.
+	lockFree     bool
+	slowEpoch    atomic.Uint64
+	slowInflight atomic.Int64
 
 	// Instrumentation (cheap atomics) for the scalability claims of §5.3:
 	// how many pairwise effect comparisons the scheduler performed, and how
-	// many inserts took the root fast path.
+	// many inserts took the root fast path. fastAdmits/slowAdmits count
+	// effectful submissions admitted with zero lock acquisitions vs the
+	// locked descent (§17).
 	conflictChecks atomic.Int64
 	fastInserts    atomic.Int64
 	slowInserts    atomic.Int64
+	fastAdmits     atomic.Int64
+	slowAdmits     atomic.Int64
 
 	// tracer is the runtime's observability sink (set in Bind; nil when
 	// untraced). The scheduler feeds it conflict-check/hit counters,
@@ -336,6 +390,11 @@ type Stats struct {
 	// FastInserts / SlowInserts count Submit calls that took the §5.5.2
 	// root read-lock fast path vs the write-lock path.
 	FastInserts, SlowInserts int64
+	// FastAdmits / SlowAdmits count effectful submissions admitted by the
+	// §17 zero-lock epoch-snapshot walk vs any locked descent (including
+	// the §5.5.2 read-lock path). FastAdmits is zero unless the scheduler
+	// was built with Options.LockFree.
+	FastAdmits, SlowAdmits int64
 }
 
 // Stats returns the current instrumentation counters.
@@ -344,6 +403,26 @@ func (s *Scheduler) Stats() Stats {
 		ConflictChecks: s.conflictChecks.Load(),
 		FastInserts:    s.fastInserts.Load(),
 		SlowInserts:    s.slowInserts.Load(),
+		FastAdmits:     s.fastAdmits.Load(),
+		SlowAdmits:     s.slowAdmits.Load(),
+	}
+}
+
+// noteAdmit counts k effectful admissions on the fast (zero-lock) or slow
+// (locked) path, in both the local stats and the obs metric families.
+func (s *Scheduler) noteAdmit(fast bool, k int64) {
+	if fast {
+		s.fastAdmits.Add(k)
+	} else {
+		s.slowAdmits.Add(k)
+	}
+	if s.tracer != nil {
+		m := s.tracer.Metrics()
+		if fast {
+			m.AdmitFastpath.Add(uint64(k))
+		} else {
+			m.AdmitSlowpath.Add(uint64(k))
+		}
 	}
 }
 
@@ -360,21 +439,33 @@ type Options struct {
 	// and the trace-refinement check must catch it. Never use it to run
 	// real work.
 	UnsafeSkipConflictCheck bool
+	// LockFree enables the §17 epoch-snapshot admission fast path:
+	// conflict-free submissions of fully specified effects admit with zero
+	// lock acquisitions, falling back to the locked descent on a real
+	// conflict or concurrent locked admission work. Implies the root RW
+	// optimization (DisableRootRW is ignored).
+	LockFree bool
 }
 
 // New returns an empty tree scheduler with all optimizations enabled.
 func New() *Scheduler { return NewWithOptions(Options{}) }
 
+// NewLockFree returns a tree scheduler with the §17 lock-free admission
+// fast path enabled (the "tree-lockfree" registry entry).
+func NewLockFree() *Scheduler { return NewWithOptions(Options{LockFree: true}) }
+
 // NewWithOptions returns an empty tree scheduler with explicit options.
 func NewWithOptions(opts Options) *Scheduler {
 	root := newNode(0, rpl.Elem{})
-	if !opts.DisableRootRW {
+	if !opts.DisableRootRW || opts.LockFree {
 		root.rw = new(sync.RWMutex)
 		root.childSync = new(sync.Map)
 	}
+	root.lf = opts.LockFree
 	return &Scheduler{
 		root:                    root,
 		waiting:                 make(map[*core.Future]struct{}),
+		lockFree:                opts.LockFree,
 		unsafeSkipConflictCheck: opts.UnsafeSkipConflictCheck,
 	}
 }
@@ -403,10 +494,19 @@ func (s *Scheduler) Submit(f *core.Future) {
 
 	if len(st.effs) == 0 {
 		// A pure task conflicts with nothing.
-		s.liveMu.Lock()
-		s.enabledCount++
-		s.liveMu.Unlock()
+		st.lfState.Store(lfFast)
+		s.enabledCount.Add(1)
 		f.Ready()
+		return
+	}
+
+	if s.lockFree && s.tryFastSubmit(f, st, nil) {
+		// Fully handled: either admitted with zero lock acquisitions (the
+		// task holds an enabled slot, so the liveness net needs no kick
+		// here — its Done runs one), or published, invalidated by
+		// concurrent locked work, and retracted onto the slow path
+		// internally (which reuses the same effect instances so captured
+		// waiters survive).
 		return
 	}
 
@@ -414,16 +514,21 @@ func (s *Scheduler) Submit(f *core.Future) {
 	s.waiting[f] = struct{}{}
 	s.noteDepthLocked()
 	s.liveMu.Unlock()
+	if s.lockFree {
+		st.lfState.Store(lfSlow)
+	}
 
+	s.noteAdmit(false, 1)
 	prio := f.Status() == core.Prioritized // the execute optimization, §5.5.1
+	s.slowEnter()
 	if s.root.rw != nil && s.tryFastInsert(st.effs, prio, nil) {
 		s.fastInserts.Add(1)
-		s.ensureLiveness()
-		return
+	} else {
+		s.slowInserts.Add(1)
+		s.root.lock()
+		s.insert(s.root, st.effs, 0, prio, nil)
 	}
-	s.slowInserts.Add(1)
-	s.root.lock()
-	s.insert(s.root, st.effs, 0, prio, nil)
+	s.slowExit()
 	s.ensureLiveness()
 }
 
@@ -447,6 +552,15 @@ func (s *Scheduler) Submit(f *core.Future) {
 //     once per submitted task.
 func (s *Scheduler) SubmitBatch(fs []*core.Future) {
 	if len(fs) == 0 {
+		return
+	}
+	if s.lockFree {
+		// §17: strict per-member in-order admission. Each member is checked
+		// against everything already admitted — including earlier members
+		// of this batch — which is literally the one-by-one-in-Seq-order
+		// semantics the BatchScheduler contract asks for, while letting
+		// conflict-free members take the zero-lock fast path.
+		s.submitBatchLockFree(fs)
 		return
 	}
 	// Phase 1: register everything before enabling anything. The group's
@@ -488,8 +602,15 @@ func (s *Scheduler) SubmitBatch(fs []*core.Future) {
 		}
 	}
 	all := refs[:k] // combined, in future-Seq order
+	for i := range states {
+		if len(states[i].effs) == 0 {
+			states[i].lfState.Store(lfFast)
+		} else if s.lockFree {
+			states[i].lfState.Store(lfSlow)
+		}
+	}
+	s.enabledCount.Add(int64(npure))
 	s.liveMu.Lock()
-	s.enabledCount += npure
 	for _, f := range work {
 		s.waiting[f] = struct{}{}
 	}
@@ -498,9 +619,11 @@ func (s *Scheduler) SubmitBatch(fs []*core.Future) {
 
 	// Phase 2: one descent for the whole group.
 	if len(all) > 0 {
+		s.noteAdmit(false, int64(len(work)))
 		if s.tracer != nil {
 			s.tracer.Metrics().BatchDescents.Add(uint64(prefixGroups(all)))
 		}
+		s.slowEnter()
 		if s.root.rw != nil && s.tryFastInsert(all, false, &ready) {
 			s.fastInserts.Add(1)
 		} else {
@@ -508,6 +631,7 @@ func (s *Scheduler) SubmitBatch(fs []*core.Future) {
 			s.root.lock()
 			s.insert(s.root, all, 0, false, &ready)
 		}
+		s.slowExit()
 	}
 	core.ReadyBatch(ready)
 	s.ensureLivenessCoalesced()
@@ -586,18 +710,15 @@ func (s *Scheduler) Done(f *core.Future) {
 		return
 	}
 	for _, e := range st.effs {
-		n := s.lockContainingNode(e)
-		n.remove(e)
-		// Snapshot-and-clear waiters inside the same critical section as
-		// the removal: checkAt/checkBelow add waiters only while holding
-		// this node's lock and only for effects still present, so no
-		// wakeup can be lost.
-		waiters := make([]*effInst, 0, len(e.waiters))
-		for w := range e.waiters {
-			waiters = append(waiters, w)
+		// removeEffect snapshots-and-clears waiters inside the same
+		// critical section as the removal (or wins the fast-set CAS, in
+		// which case no waiter can exist): checkAt/checkBelow add waiters
+		// only while holding the node's lock and only for effects still
+		// present, so no wakeup can be lost.
+		waiters := s.removeEffect(e)
+		if len(waiters) == 0 {
+			continue
 		}
-		e.waiters = nil
-		n.unlock()
 		// Recheck oldest-first: conflicting waiters are admitted in task
 		// age order, the fairness §3.1.3 asks of schedulers for
 		// interactive programs ("avoid delaying the execution of one task
@@ -606,6 +727,7 @@ func (s *Scheduler) Done(f *core.Future) {
 			return waiters[i].fut.Seq() < waiters[j].fut.Seq()
 		})
 
+		s.slowEnter()
 		for _, w := range waiters {
 			nw := s.lockContainingNode(w)
 			if !w.enabled && w.fut.Status() < core.Done {
@@ -622,11 +744,10 @@ func (s *Scheduler) Done(f *core.Future) {
 				nw.unlock()
 			}
 		}
+		s.slowExit()
 	}
 
-	s.liveMu.Lock()
-	s.enabledCount--
-	s.liveMu.Unlock()
+	s.enabledCount.Add(-1)
 	s.ensureLiveness()
 }
 
@@ -649,16 +770,21 @@ func (s *Scheduler) Deschedule(f *core.Future) {
 	if st == nil {
 		return
 	}
+	if s.lockFree && len(st.effs) > 0 {
+		// Wait out an in-flight lock-free submission: until lfState
+		// settles, effects may be mid-publish (in no set at all) or
+		// mid-retract, and the removal loop below could spin against a
+		// state that is still being decided. After the spin, the effects
+		// are either fast-published (lfFast) or bound for the locked
+		// placement rules (lfSlow), both of which removeEffect handles.
+		for st.lfState.Load() == lfPending {
+			runtime.Gosched()
+		}
+	}
 	var waiters []*effInst
 	s.recheckMu.Lock()
 	for _, e := range st.effs {
-		n := s.lockContainingNode(e)
-		n.remove(e)
-		for w := range e.waiters {
-			waiters = append(waiters, w)
-		}
-		e.waiters = nil
-		n.unlock()
+		waiters = append(waiters, s.removeEffect(e)...)
 	}
 	s.recheckMu.Unlock()
 
@@ -667,31 +793,36 @@ func (s *Scheduler) Deschedule(f *core.Future) {
 		// Never fully enabled: it held a waiting slot.
 		delete(s.waiting, f)
 		s.noteDepthLocked()
+		s.liveMu.Unlock()
 	} else {
 		// The task had been enabled (or was pure) before the cancel won
 		// the start race; release its enabled slot like Done does.
-		s.enabledCount--
+		s.liveMu.Unlock()
+		s.enabledCount.Add(-1)
 	}
-	s.liveMu.Unlock()
 
 	// Recheck the effects that were waiting on the removed ones,
 	// oldest-first, exactly as Done does.
 	sort.Slice(waiters, func(i, j int) bool {
 		return waiters[i].fut.Seq() < waiters[j].fut.Seq()
 	})
-	for _, w := range waiters {
-		nw := s.lockContainingNode(w)
-		if !w.enabled && w.fut.Status() < core.Done {
-			prio := w.fut.Status() == core.Prioritized
-			s.recheckEffect(w, nw, prio)
-			if prio && w.fut.Status() == core.Prioritized {
-				if wst := stateOf(w.fut); wst != nil {
-					s.recheckTask(w.fut, wst)
+	if len(waiters) > 0 {
+		s.slowEnter()
+		for _, w := range waiters {
+			nw := s.lockContainingNode(w)
+			if !w.enabled && w.fut.Status() < core.Done {
+				prio := w.fut.Status() == core.Prioritized
+				s.recheckEffect(w, nw, prio)
+				if prio && w.fut.Status() == core.Prioritized {
+					if wst := stateOf(w.fut); wst != nil {
+						s.recheckTask(w.fut, wst)
+					}
 				}
+			} else {
+				nw.unlock()
 			}
-		} else {
-			nw.unlock()
 		}
+		s.slowExit()
 	}
 	s.ensureLiveness()
 }
@@ -703,9 +834,9 @@ func (s *Scheduler) Deschedule(f *core.Future) {
 // its effects.
 func (s *Scheduler) Quiesced() bool {
 	s.liveMu.Lock()
-	w, en := len(s.waiting), s.enabledCount
+	w := len(s.waiting)
 	s.liveMu.Unlock()
-	return w == 0 && en == 0 && s.PendingEffects() == 0
+	return w == 0 && s.enabledCount.Load() == 0 && s.PendingEffects() == 0
 }
 
 // --- insertion (Fig. 5.4) ------------------------------------------------
@@ -831,6 +962,14 @@ func (s *Scheduler) waitOnPending(e *effInst, pending []*effInst) bool {
 func (s *Scheduler) checkAt(n *node, e *effInst, prio bool) bool {
 	// passing-through: e continues below n with a concrete element.
 	passing := e.r.Len() > n.depth && !e.r.Elem(n.depth).IsWildcard()
+	if n.lf && !passing {
+		// §17: fast-set residents live exactly at n with no tail, so only an
+		// effect that stops at n (or continues with a wildcard) can conflict
+		// with one. Capture conflicting residents into the locked no-tail
+		// sets first; the scan below then treats them like any other enabled
+		// resident.
+		s.captureConflictingFast(n, e)
+	}
 	var idxs []int
 	if e.write {
 		if passing {
@@ -881,6 +1020,11 @@ func (s *Scheduler) checkBelow(n *node, e *effInst, ne *node, prio bool) bool {
 	for _, child := range n.sortedChildren() {
 		child.lock()
 		s.visitNode()
+		if child.lf {
+			// §17: pull conflicting fast-set residents into the locked sets
+			// so the snapshot scan below sees them.
+			s.captureConflictingFast(child, e)
+		}
 		conflictFound := false
 		// Snapshot: hoisting mutates the sets during iteration.
 		var all []*effInst
@@ -1000,7 +1144,7 @@ func (s *Scheduler) enableInto(e *effInst, n *node, ready *[]*core.Future) {
 	if v == 0 || v == recheckOffset {
 		s.liveMu.Lock()
 		delete(s.waiting, e.fut)
-		s.enabledCount++
+		s.enabledCount.Add(1)
 		s.noteDepthLocked()
 		s.liveMu.Unlock()
 		if ready != nil {
@@ -1055,6 +1199,9 @@ func (s *Scheduler) recheckTaskLocked(t *core.Future, st *futState) {
 		// effect to the tree after its removal; stand down.
 		return
 	}
+	// A recheck can enable effects, so it is locked admission work the §17
+	// zero-lock walk must observe.
+	s.slowEnter()
 	st.disabled.Add(recheckOffset) // set the rechecking flag
 	for _, e := range st.effs {
 		n := s.lockContainingNode(e)
@@ -1068,6 +1215,7 @@ func (s *Scheduler) recheckTaskLocked(t *core.Future, st *futState) {
 		}
 	}
 	st.disabled.Add(-recheckOffset)
+	s.slowExit()
 }
 
 // recheckEffect re-checks a single disabled effect, moving it down toward
@@ -1126,7 +1274,7 @@ func (s *Scheduler) lockContainingNode(e *effInst) *node {
 func (s *Scheduler) ensureLiveness() {
 	for {
 		s.liveMu.Lock()
-		if s.enabledCount > 0 || len(s.waiting) == 0 {
+		if s.enabledCount.Load() > 0 || len(s.waiting) == 0 {
 			s.liveMu.Unlock()
 			return
 		}
@@ -1163,7 +1311,7 @@ func (s *Scheduler) ensureLiveness() {
 // is unchanged.
 func (s *Scheduler) ensureLivenessCoalesced() {
 	s.liveMu.Lock()
-	stalled := s.enabledCount == 0 && len(s.waiting) > 0
+	stalled := s.enabledCount.Load() == 0 && len(s.waiting) > 0
 	s.liveMu.Unlock()
 	if !stalled {
 		return
@@ -1172,7 +1320,7 @@ func (s *Scheduler) ensureLivenessCoalesced() {
 	defer s.recheckMu.Unlock()
 	for {
 		s.liveMu.Lock()
-		if s.enabledCount > 0 || len(s.waiting) == 0 {
+		if s.enabledCount.Load() > 0 || len(s.waiting) == 0 {
 			s.liveMu.Unlock()
 			return
 		}
@@ -1238,6 +1386,9 @@ func (s *Scheduler) PendingEffects() int {
 		total := 0
 		for i := range n.sets {
 			total += len(n.sets[i])
+		}
+		if fs := n.fast.Load(); fs != nil {
+			total += len(*fs) // §17 fast-set residents
 		}
 		kids := n.sortedChildren()
 		n.unlock()

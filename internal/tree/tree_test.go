@@ -498,8 +498,8 @@ func TestQuiescedAfterMixedExitPaths(t *testing.T) {
 	cancelled := rt.ExecuteLater(core.NewTask("c", es("writes A"),
 		func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), nil)
 	cancelled.Cancel(nil)
-	late := rt.ExecuteLaterDeadline(core.NewTask("d", es("writes A"),
-		func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), nil, 5*time.Millisecond)
+	late := rt.Submit(core.NewTask("d", es("writes A"),
+		func(_ *core.Ctx, _ any) (any, error) { return nil, nil }), core.WithDeadline(5*time.Millisecond))
 	rt.GetValue(late)
 	bomb := rt.ExecuteLater(core.NewTask("p", es("writes B"),
 		func(_ *core.Ctx, _ any) (any, error) { panic("tree bomb") }), nil)

@@ -1,0 +1,72 @@
+#!/bin/sh
+# lockfree-smoke: gate for the lock-free admission fast path and the
+# work-stealing pool (DESIGN.md §17). Four phases, all bounded and
+# deterministic except the final perf gate:
+#
+#   1. unit — the fast-path stress batteries under -race: epoch
+#      capture/retract protocol (internal/tree), stealing-pool
+#      conformance (internal/pool), interner identity (internal/effect),
+#      factory registry (internal/sched), and the end-to-end
+#      tree-lockfree serving test with fast-path counter assertions
+#      (internal/svc).
+#   2. explore — exhaustively model-check the epoch-snapshot admission
+#      model (twe-spec -epoch, invariants E1..E3 + deadlock) on every
+#      preset, then prove each seeded protocol break is caught with a
+#      counterexample (-expect-violation): skipping the epoch recheck,
+#      dropping the publish co-residence CAS, and waking waiters
+#      without a bracket must all produce E1 isolation violations.
+#   3. differential fuzz — race-built pinned-seed schedfuzz runs; the
+#      scheduler rotation is naive vs tree vs tree-lockfree, so every
+#      seed checks the fast/slow boundary (generated programs mix
+#      fully specified effects with wildcard tails) against two locked
+#      reference implementations. Batch mode covers SubmitBatch
+#      admission through the same boundary.
+#   4. perf gate — BenchmarkSubmitBatch TreeLockFree/PerTask vs
+#      Tree/PerTask on fully specified disjoint effects must clear
+#      >= 1.2x submits/s (one retry for noisy CI hosts).
+#
+# Run via `make lockfree-smoke` or directly. Exits non-zero on failure.
+set -eu
+
+TMP="$(mktemp -d /tmp/twe-lockfree-smoke.XXXXXX)"
+SPEC="$TMP/twe-spec"
+
+cleanup() { rm -rf "$TMP"; }
+trap cleanup EXIT INT TERM
+
+echo '-- lock-free unit batteries (-race) --'
+go test -race -run 'TestLockFree|TestFast|TestSteal|TestIntern' \
+	./internal/tree/ ./internal/pool/ ./internal/effect/ -count=1
+go test -race ./internal/sched/ -count=1
+go test -race -run 'TestLockFreeServeCounters' ./internal/svc/ -count=1
+
+echo '-- epoch model: all presets must hold --'
+go build -o "$SPEC" ./cmd/twe-spec
+"$SPEC" -explore -epoch
+
+echo '-- epoch model: every protocol break must be caught --'
+"$SPEC" -explore -epoch -preset fast-vs-slow -mutate skip-epoch-recheck -expect-violation
+"$SPEC" -explore -epoch -preset fast-pair -mutate skip-publish-check -expect-violation
+"$SPEC" -explore -epoch -preset wake-race -mutate unbracketed-wake -expect-violation
+
+echo '-- race-built differential fuzz (naive vs tree vs tree-lockfree) --'
+go run -race ./cmd/twe-fuzz -seed 0 -n 120 -schedules 2 -timeout 40s
+go run -race ./cmd/twe-fuzz -batch -seed 0 -n 60 -schedules 1 -timeout 40s
+
+echo '-- perf gate: fast path >= 1.2x locked submission --'
+run_bench() {
+	go test -run '^$' -bench 'BenchmarkSubmitBatch/(Tree|TreeLockFree)/PerTask' \
+		-benchtime 500ms . | tee "$TMP/bench.txt"
+	tree=$(awk '$1 ~ /^BenchmarkSubmitBatch\/Tree\/PerTask/ {print $(NF-1)}' "$TMP/bench.txt")
+	lf=$(awk '$1 ~ /^BenchmarkSubmitBatch\/TreeLockFree\/PerTask/ {print $(NF-1)}' "$TMP/bench.txt")
+	[ -n "$tree" ] && [ -n "$lf" ] || { echo 'lockfree-smoke: bench output missing submits/s'; exit 1; }
+	ratio=$(awk "BEGIN{printf \"%.2f\", $lf / $tree}")
+	echo "lockfree-smoke: fast-path speedup ${ratio}x (${lf} vs ${tree} submits/s)"
+	awk "BEGIN{exit !($lf >= 1.2 * $tree)}"
+}
+if ! run_bench; then
+	echo 'lockfree-smoke: below 1.2x, retrying the bench pair once'
+	run_bench || { echo 'lockfree-smoke: fast-path speedup below 1.2x'; exit 1; }
+fi
+
+echo 'lockfree-smoke: OK'
